@@ -1,0 +1,67 @@
+package asterix
+
+// One benchmark per experiment of DESIGN.md's per-experiment index
+// (E1–E10). Each drives the same harness as cmd/asterixbench; run
+//
+//	go test -bench=. -benchmem
+//
+// for shapes, and `go run ./cmd/asterixbench` for the full report tables
+// recorded in EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	"asterix/internal/experiments"
+)
+
+// benchScale keeps testing.B iterations meaningful without multi-minute
+// runs; cmd/asterixbench uses experiments.Full.
+var benchScale = experiments.Scale{
+	Users: 1000, Messages: 3000, Points: 10000, Keys: 10000,
+	LogLines: 1000, SortRows: 20000, Queries: 1,
+}
+
+func benchExperiment(b *testing.B, run func(experiments.Scale, string) (*experiments.Report, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := run(benchScale, b.TempDir()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE1ScaleOut — §III scale-out claim / [13].
+func BenchmarkE1ScaleOut(b *testing.B) { benchExperiment(b, experiments.E1ScaleOut) }
+
+// BenchmarkE2Spatial — §V-B LSM spatial-index study [23].
+func BenchmarkE2Spatial(b *testing.B) { benchExperiment(b, experiments.E2Spatial) }
+
+// BenchmarkE3BtreeVsHash — §V-C B+tree vs linear hashing (Graefe).
+func BenchmarkE3BtreeVsHash(b *testing.B) { benchExperiment(b, experiments.E3BtreeVsHash) }
+
+// BenchmarkE4MRvsHyracks — §IV MapReduce-vs-parallel-DB judgment.
+func BenchmarkE4MRvsHyracks(b *testing.B) { benchExperiment(b, experiments.E4MRvsHyracks) }
+
+// BenchmarkE5MemoryBudget — Fig. 2 budgeted-operator spilling.
+func BenchmarkE5MemoryBudget(b *testing.B) { benchExperiment(b, experiments.E5MemoryBudget) }
+
+// BenchmarkE6HTAPIsolation — §VI / Fig. 7 shadow-ingest isolation.
+func BenchmarkE6HTAPIsolation(b *testing.B) { benchExperiment(b, experiments.E6HTAPIsolation) }
+
+// BenchmarkE7AqlVsSqlpp — §IV-A peer-language claim.
+func BenchmarkE7AqlVsSqlpp(b *testing.B) { benchExperiment(b, experiments.E7AqlVsSqlpp) }
+
+// BenchmarkE8MergePolicy — LSM merge-policy ablation.
+func BenchmarkE8MergePolicy(b *testing.B) { benchExperiment(b, experiments.E8MergePolicy) }
+
+// BenchmarkE9Figure3 — the paper's own Figure 3(c) query end-to-end.
+func BenchmarkE9Figure3(b *testing.B) { benchExperiment(b, experiments.E9Figure3) }
+
+// BenchmarkE10Recovery — WAL redo recovery (§III feature 9).
+func BenchmarkE10Recovery(b *testing.B) { benchExperiment(b, experiments.E10Recovery) }
+
+// BenchmarkE11PKSortAblation — the pk-sort-before-fetch trick of [26].
+func BenchmarkE11PKSortAblation(b *testing.B) { benchExperiment(b, experiments.E11PKSortAblation) }
+
+// BenchmarkE12Compression — the §VII storage-compression feature.
+func BenchmarkE12Compression(b *testing.B) { benchExperiment(b, experiments.E12Compression) }

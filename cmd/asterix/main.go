@@ -1,0 +1,138 @@
+// Command asterix is the interactive SQL++ shell over an embedded engine.
+//
+// Usage:
+//
+//	asterix -data /tmp/asterix                # REPL
+//	asterix -data /tmp/asterix -c 'SELECT VALUE 1;'
+//	asterix -data /tmp/asterix -f script.sqlpp
+//	asterix -data /tmp/asterix -aql -c 'for $x in dataset D return $x'
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"asterix/internal/adm"
+	"asterix/internal/aql"
+	"asterix/internal/core"
+)
+
+func main() {
+	var (
+		dataDir    = flag.String("data", "./asterix-data", "data directory")
+		partitions = flag.Int("partitions", 2, "storage partitions per dataset")
+		command    = flag.String("c", "", "execute this script and exit")
+		file       = flag.String("f", "", "execute this script file and exit")
+		useAQL     = flag.Bool("aql", false, "treat input as AQL (deprecated peer language)")
+		explain    = flag.Bool("explain", false, "print optimized plans instead of executing")
+	)
+	flag.Parse()
+
+	eng, err := core.Open(core.Config{DataDir: *dataDir, Partitions: *partitions})
+	if err != nil {
+		log.Fatalf("asterix: %v", err)
+	}
+	defer eng.Close()
+
+	run := func(script string) {
+		if err := execute(eng, script, *useAQL, *explain); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		}
+	}
+
+	switch {
+	case *command != "":
+		run(*command)
+	case *file != "":
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			log.Fatalf("asterix: %v", err)
+		}
+		run(string(data))
+	default:
+		repl(eng, *useAQL, *explain)
+	}
+}
+
+func execute(eng *core.Engine, script string, useAQL, explain bool) error {
+	ctx := context.Background()
+	if useAQL {
+		q, err := aql.Parse(script)
+		if err != nil {
+			return err
+		}
+		res, err := eng.QueryAST(ctx, q)
+		if err != nil {
+			return err
+		}
+		printResult(*res)
+		return nil
+	}
+	if explain {
+		plan, err := eng.Explain(script)
+		if err != nil {
+			return err
+		}
+		fmt.Print(plan)
+		return nil
+	}
+	results, err := eng.Execute(ctx, script)
+	for _, r := range results {
+		printResult(r)
+	}
+	return err
+}
+
+func printResult(r core.Result) {
+	switch r.Kind {
+	case core.ResultQuery:
+		for _, v := range r.Rows {
+			fmt.Println(adm.ToJSON(v))
+		}
+		fmt.Printf("-- %d row(s)\n", len(r.Rows))
+	case core.ResultDML:
+		fmt.Printf("-- %d record(s) affected\n", r.Count)
+	case core.ResultDDL:
+		fmt.Println("-- ok")
+	}
+}
+
+func repl(eng *core.Engine, useAQL, explain bool) {
+	fmt.Println("asterix shell — SQL++ statements end with ';' (AQL mode: blank line). Ctrl-D to exit.")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := "asterix> "
+	for {
+		fmt.Print(prompt)
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := sc.Text()
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		complete := strings.HasSuffix(strings.TrimSpace(line), ";")
+		if useAQL {
+			complete = strings.TrimSpace(line) == "" && strings.TrimSpace(buf.String()) != ""
+		}
+		if !complete {
+			prompt = "      -> "
+			continue
+		}
+		script := buf.String()
+		buf.Reset()
+		prompt = "asterix> "
+		if strings.TrimSpace(script) == ";" || strings.TrimSpace(script) == "" {
+			continue
+		}
+		if err := execute(eng, script, useAQL, explain); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		}
+	}
+}

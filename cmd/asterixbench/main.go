@@ -1,0 +1,66 @@
+// Command asterixbench regenerates the experiment suite of DESIGN.md /
+// EXPERIMENTS.md: one table per empirical claim of the paper (E1–E10).
+//
+// Usage:
+//
+//	asterixbench                 # run all experiments at full scale
+//	asterixbench -scale small    # CI scale
+//	asterixbench -only E2,E3     # a subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"asterix/internal/experiments"
+)
+
+func main() {
+	var (
+		scaleName = flag.String("scale", "full", "workload scale: full or small")
+		only      = flag.String("only", "", "comma-separated experiment ids (default all)")
+		workDir   = flag.String("work", "", "scratch directory (default: a temp dir)")
+	)
+	flag.Parse()
+
+	scale := experiments.Full
+	if *scaleName == "small" {
+		scale = experiments.Small
+	}
+	dir := *workDir
+	if dir == "" {
+		d, err := os.MkdirTemp("", "asterixbench-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(d)
+		dir = d
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToUpper(id))] = true
+		}
+	}
+
+	failed := 0
+	for _, exp := range experiments.All() {
+		if len(want) > 0 && !want[exp.ID] {
+			continue
+		}
+		rep, err := exp.Run(scale, dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s FAILED: %v\n", exp.ID, err)
+			failed++
+			continue
+		}
+		rep.Print(os.Stdout)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

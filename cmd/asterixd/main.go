@@ -1,0 +1,43 @@
+// Command asterixd runs the HTTP query service: an AsterixDB-style
+// endpoint (POST /query/service, {"statement": "..."}) over an embedded
+// engine instance.
+//
+// Usage:
+//
+//	asterixd -data /var/lib/asterix -listen :19002 -partitions 4
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"asterix/internal/core"
+	"asterix/internal/server"
+)
+
+func main() {
+	var (
+		dataDir    = flag.String("data", "./asterix-data", "data directory")
+		listen     = flag.String("listen", ":19002", "listen address")
+		partitions = flag.Int("partitions", 2, "storage partitions per dataset")
+		nodes      = flag.Int("nodes", 0, "dataflow node controllers (0 = partitions)")
+	)
+	flag.Parse()
+
+	eng, err := core.Open(core.Config{
+		DataDir:    *dataDir,
+		Partitions: *partitions,
+		Nodes:      *nodes,
+	})
+	if err != nil {
+		log.Fatalf("asterixd: %v", err)
+	}
+	defer eng.Close()
+
+	log.Printf("asterixd: query service listening on %s (data: %s, partitions: %d)",
+		*listen, *dataDir, *partitions)
+	if err := http.ListenAndServe(*listen, server.Handler(eng)); err != nil {
+		log.Fatalf("asterixd: %v", err)
+	}
+}

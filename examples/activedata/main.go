@@ -1,0 +1,101 @@
+// Activedata: the Big Active Data extension ([17], "Breaking BAD") — a
+// repetitive channel (a parameterized standing query) whose fresh results
+// are pushed to subscribed brokers, built as a layer over the engine just
+// as BAD extends AsterixDB.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"asterix"
+	"asterix/internal/adm"
+	"asterix/internal/bad"
+)
+
+// executor adapts the DB to the channel's query interface.
+type executor struct{ db *asterix.DB }
+
+func (e executor) QueryRows(ctx context.Context, src string) ([]adm.Value, error) {
+	res, err := e.db.Query(ctx, src)
+	if err != nil {
+		return nil, err
+	}
+	return res.Rows, nil
+}
+
+func main() {
+	dir, err := os.MkdirTemp("", "asterix-bad-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := asterix.Open(asterix.Config{DataDir: dir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	ctx := context.Background()
+
+	if _, err := db.Execute(ctx, `
+		CREATE TYPE ReportType AS {id: int, severity: int, place: string};
+		CREATE DATASET EmergencyReports(ReportType) PRIMARY KEY id;`); err != nil {
+		log.Fatal(err)
+	}
+
+	// A channel: "emergencies at or above my severity threshold".
+	ch := bad.NewChannel(executor{db},
+		"EmergenciesNearMe",
+		`SELECT r.id AS id, r.severity AS severity, r.place AS place
+		 FROM EmergencyReports r
+		 WHERE r.severity >= minSeverity`,
+		50*time.Millisecond)
+
+	// Two brokers with different thresholds.
+	casual := ch.Subscribe(map[string]adm.Value{"minSeverity": adm.Int64(3)})
+	vigilant := ch.Subscribe(map[string]adm.Value{"minSeverity": adm.Int64(1)})
+
+	chCtx, stop := context.WithCancel(ctx)
+	done := make(chan error, 1)
+	go func() { done <- ch.Run(chCtx) }()
+
+	report := func(id, severity int, place string) {
+		stmt := fmt.Sprintf(`UPSERT INTO EmergencyReports ({"id": %d, "severity": %d, "place": %q});`,
+			id, severity, place)
+		if _, err := db.Execute(ctx, stmt); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	report(1, 2, "Aldrich Park")
+	report(2, 4, "Engineering Hall")
+
+	recv := func(name string, sub *bad.Subscription) {
+		select {
+		case batch := <-sub.C:
+			for _, v := range batch {
+				fmt.Printf("[%s] %s\n", name, adm.ToJSON(v))
+			}
+		case <-time.After(2 * time.Second):
+			fmt.Printf("[%s] (no delivery)\n", name)
+		}
+	}
+	// Vigilant sees both; casual only severity >= 3.
+	recv("vigilant", vigilant)
+	recv("casual", casual)
+
+	// A new high-severity report: both brokers get exactly the new one.
+	report(3, 5, "Student Center")
+	fmt.Println("-- new severity-5 report filed --")
+	recv("vigilant", vigilant)
+	recv("casual", casual)
+
+	stop()
+	<-done
+	ch.Unsubscribe(casual)
+	ch.Unsubscribe(vigilant)
+}

@@ -1,0 +1,82 @@
+// Quickstart: open an embedded instance, define a schema, store JSON-ish
+// records, and query them with SQL++.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+
+	"asterix"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "asterix-quickstart-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := asterix.Open(asterix.Config{DataDir: dir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	ctx := context.Background()
+
+	// DDL: an open type (extra fields welcome) and a dataset.
+	if _, err := db.Execute(ctx, `
+		CREATE TYPE CustomerType AS {
+			id: int,
+			name: string,
+			rating: double?
+		};
+		CREATE DATASET Customers(CustomerType) PRIMARY KEY id;
+		CREATE INDEX ratingIdx ON Customers(rating);
+	`); err != nil {
+		log.Fatal(err)
+	}
+
+	// DML: records may carry undeclared fields ("schema optional").
+	if _, err := db.Execute(ctx, `
+		UPSERT INTO Customers ([
+			{"id": 1, "name": "Ada",   "rating": 4.5, "city": "London"},
+			{"id": 2, "name": "Grace", "rating": 4.9},
+			{"id": 3, "name": "Edsger","rating": 3.7, "tags": ["formal", "concise"]},
+			{"id": 4, "name": "Barbara"}
+		]);
+	`); err != nil {
+		log.Fatal(err)
+	}
+
+	// Query: missing fields are handled, not errors.
+	res, err := db.Query(ctx, `
+		SELECT c.name AS name,
+		       CASE WHEN c.rating IS MISSING THEN "unrated"
+		            ELSE to_string(c.rating) END AS rating
+		FROM Customers c
+		ORDER BY c.name;
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("customers:")
+	for _, row := range res.JSONRows() {
+		fmt.Println(" ", row)
+	}
+
+	// The optimizer uses the secondary index for range predicates.
+	plan, err := db.Explain(`SELECT VALUE c.name FROM Customers c WHERE c.rating >= 4.0;`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nplan for the rating query:")
+	fmt.Print(plan)
+
+	res, err = db.Query(ctx, `SELECT VALUE c.name FROM Customers c WHERE c.rating >= 4.0 ORDER BY c.name;`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nhighly rated:", res.JSONRows())
+}

@@ -1,0 +1,3 @@
+module asterix
+
+go 1.22

@@ -1,0 +1,336 @@
+package adm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary storage encoding: each value is a 1-byte kind tag followed by a
+// kind-specific payload. Variable-length payloads are uvarint
+// length-prefixed. This is the on-disk record format for LSM components
+// and the frame format for Hyracks data movement.
+
+// Encode appends the binary encoding of v to buf and returns the result.
+func Encode(buf []byte, v Value) []byte {
+	buf = append(buf, byte(v.Kind()))
+	switch x := v.(type) {
+	case missingValue, nullValue:
+	case Boolean:
+		if x {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	case Int64:
+		buf = binary.AppendVarint(buf, int64(x))
+	case Double:
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(float64(x)))
+	case String:
+		buf = binary.AppendUvarint(buf, uint64(len(x)))
+		buf = append(buf, x...)
+	case Date:
+		buf = binary.AppendVarint(buf, int64(x))
+	case Time:
+		buf = binary.AppendVarint(buf, int64(x))
+	case Datetime:
+		buf = binary.AppendVarint(buf, int64(x))
+	case Duration:
+		buf = binary.AppendVarint(buf, int64(x.Months))
+		buf = binary.AppendVarint(buf, x.Millis)
+	case Point:
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(x.X))
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(x.Y))
+	case Rectangle:
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(x.MinX))
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(x.MinY))
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(x.MaxX))
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(x.MaxY))
+	case UUID:
+		buf = append(buf, x[:]...)
+	case Binary:
+		buf = binary.AppendUvarint(buf, uint64(len(x)))
+		buf = append(buf, x...)
+	case Array:
+		buf = binary.AppendUvarint(buf, uint64(len(x)))
+		for _, e := range x {
+			buf = Encode(buf, e)
+		}
+	case Multiset:
+		buf = binary.AppendUvarint(buf, uint64(len(x)))
+		for _, e := range x {
+			buf = Encode(buf, e)
+		}
+	case *Object:
+		fs := x.Fields()
+		buf = binary.AppendUvarint(buf, uint64(len(fs)))
+		for _, f := range fs {
+			buf = binary.AppendUvarint(buf, uint64(len(f.Name)))
+			buf = append(buf, f.Name...)
+			buf = Encode(buf, f.Value)
+		}
+	default:
+		panic(fmt.Sprintf("adm: cannot encode %T", v))
+	}
+	return buf
+}
+
+// EncodeValue returns a fresh encoding of v.
+func EncodeValue(v Value) []byte { return Encode(nil, v) }
+
+// Decode decodes one value from data, returning it and the number of bytes
+// consumed.
+func Decode(data []byte) (Value, int, error) {
+	if len(data) == 0 {
+		return nil, 0, fmt.Errorf("adm: decode: empty input")
+	}
+	k := Kind(data[0])
+	pos := 1
+	fail := func(what string) (Value, int, error) {
+		return nil, 0, fmt.Errorf("adm: decode %s: truncated or invalid input", what)
+	}
+	switch k {
+	case KindMissing:
+		return Missing, pos, nil
+	case KindNull:
+		return Null, pos, nil
+	case KindBoolean:
+		if pos >= len(data) {
+			return fail("boolean")
+		}
+		return Boolean(data[pos] != 0), pos + 1, nil
+	case KindInt64:
+		i, n := binary.Varint(data[pos:])
+		if n <= 0 {
+			return fail("int64")
+		}
+		return Int64(i), pos + n, nil
+	case KindDouble:
+		if pos+8 > len(data) {
+			return fail("double")
+		}
+		return Double(math.Float64frombits(binary.BigEndian.Uint64(data[pos:]))), pos + 8, nil
+	case KindString:
+		l, n := binary.Uvarint(data[pos:])
+		if n <= 0 || pos+n+int(l) > len(data) {
+			return fail("string")
+		}
+		pos += n
+		return String(data[pos : pos+int(l)]), pos + int(l), nil
+	case KindDate:
+		i, n := binary.Varint(data[pos:])
+		if n <= 0 {
+			return fail("date")
+		}
+		return Date(i), pos + n, nil
+	case KindTime:
+		i, n := binary.Varint(data[pos:])
+		if n <= 0 {
+			return fail("time")
+		}
+		return Time(i), pos + n, nil
+	case KindDatetime:
+		i, n := binary.Varint(data[pos:])
+		if n <= 0 {
+			return fail("datetime")
+		}
+		return Datetime(i), pos + n, nil
+	case KindDuration:
+		months, n := binary.Varint(data[pos:])
+		if n <= 0 {
+			return fail("duration")
+		}
+		pos += n
+		millis, n := binary.Varint(data[pos:])
+		if n <= 0 {
+			return fail("duration")
+		}
+		return Duration{Months: int32(months), Millis: millis}, pos + n, nil
+	case KindPoint:
+		if pos+16 > len(data) {
+			return fail("point")
+		}
+		x := math.Float64frombits(binary.BigEndian.Uint64(data[pos:]))
+		y := math.Float64frombits(binary.BigEndian.Uint64(data[pos+8:]))
+		return Point{X: x, Y: y}, pos + 16, nil
+	case KindRectangle:
+		if pos+32 > len(data) {
+			return fail("rectangle")
+		}
+		var f [4]float64
+		for i := range f {
+			f[i] = math.Float64frombits(binary.BigEndian.Uint64(data[pos+8*i:]))
+		}
+		return Rectangle{MinX: f[0], MinY: f[1], MaxX: f[2], MaxY: f[3]}, pos + 32, nil
+	case KindUUID:
+		if pos+16 > len(data) {
+			return fail("uuid")
+		}
+		var u UUID
+		copy(u[:], data[pos:pos+16])
+		return u, pos + 16, nil
+	case KindBinary:
+		l, n := binary.Uvarint(data[pos:])
+		if n <= 0 || pos+n+int(l) > len(data) {
+			return fail("binary")
+		}
+		pos += n
+		b := make(Binary, l)
+		copy(b, data[pos:pos+int(l)])
+		return b, pos + int(l), nil
+	case KindArray, KindMultiset:
+		cnt, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return fail("collection")
+		}
+		pos += n
+		elems := make([]Value, 0, cnt)
+		for i := uint64(0); i < cnt; i++ {
+			e, n, err := Decode(data[pos:])
+			if err != nil {
+				return nil, 0, err
+			}
+			elems = append(elems, e)
+			pos += n
+		}
+		if k == KindArray {
+			return Array(elems), pos, nil
+		}
+		return Multiset(elems), pos, nil
+	case KindObject:
+		cnt, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return fail("object")
+		}
+		pos += n
+		o := &Object{fields: make([]Field, 0, cnt)}
+		for i := uint64(0); i < cnt; i++ {
+			l, n := binary.Uvarint(data[pos:])
+			if n <= 0 || pos+n+int(l) > len(data) {
+				return fail("object field name")
+			}
+			pos += n
+			name := string(data[pos : pos+int(l)])
+			pos += int(l)
+			v, n2, err := Decode(data[pos:])
+			if err != nil {
+				return nil, 0, err
+			}
+			pos += n2
+			o.fields = append(o.fields, Field{Name: name, Value: v})
+		}
+		return o, pos, nil
+	}
+	return nil, 0, fmt.Errorf("adm: decode: unknown kind tag %d", data[0])
+}
+
+// DecodeValue decodes a value that occupies the whole input.
+func DecodeValue(data []byte) (Value, error) {
+	v, n, err := Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	if n != len(data) {
+		return nil, fmt.Errorf("adm: decode: %d trailing bytes", len(data)-n)
+	}
+	return v, nil
+}
+
+// EncodeKey appends an order-preserving encoding of a scalar value:
+// bytes.Compare over encodings agrees with Compare over values. Used as
+// the key format for B+trees and other ordered indexes. Only scalar kinds
+// are supported; numerics (int64/double) share one encoding so that their
+// numeric cross-kind order is preserved.
+func EncodeKey(buf []byte, v Value) ([]byte, error) {
+	switch x := v.(type) {
+	case missingValue:
+		return append(buf, 0x00), nil
+	case nullValue:
+		return append(buf, 0x01), nil
+	case Boolean:
+		if x {
+			return append(buf, 0x02, 1), nil
+		}
+		return append(buf, 0x02, 0), nil
+	case Int64:
+		buf = append(buf, 0x03)
+		return appendOrderedFloat(buf, float64(x)), nil
+	case Double:
+		buf = append(buf, 0x03)
+		return appendOrderedFloat(buf, float64(x)), nil
+	case String:
+		buf = append(buf, 0x04)
+		return appendEscapedBytes(buf, []byte(x)), nil
+	case Date:
+		buf = append(buf, 0x05)
+		return appendOrderedInt(buf, int64(x)), nil
+	case Time:
+		buf = append(buf, 0x06)
+		return appendOrderedInt(buf, int64(x)), nil
+	case Datetime:
+		buf = append(buf, 0x07)
+		return appendOrderedInt(buf, int64(x)), nil
+	case Duration:
+		buf = append(buf, 0x08)
+		buf = appendOrderedInt(buf, int64(x.Months)*30*millisPerDay+x.Millis)
+		buf = appendOrderedInt(buf, int64(x.Months))
+		return appendOrderedInt(buf, x.Millis), nil
+	case Point:
+		buf = append(buf, 0x09)
+		buf = appendOrderedFloat(buf, x.X)
+		return appendOrderedFloat(buf, x.Y), nil
+	case UUID:
+		buf = append(buf, 0x0B)
+		return append(buf, x[:]...), nil
+	case Binary:
+		buf = append(buf, 0x0C)
+		return appendEscapedBytes(buf, x), nil
+	}
+	return nil, fmt.Errorf("adm: %s values cannot be index keys", v.Kind())
+}
+
+// EncodeCompositeKey encodes several scalar values into one
+// order-preserving composite key.
+func EncodeCompositeKey(buf []byte, vs ...Value) ([]byte, error) {
+	var err error
+	for _, v := range vs {
+		buf, err = EncodeKey(buf, v)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// appendOrderedInt encodes an int64 so unsigned byte order matches signed
+// numeric order (flip the sign bit, big endian).
+func appendOrderedInt(buf []byte, i int64) []byte {
+	u := uint64(i) ^ (1 << 63)
+	return binary.BigEndian.AppendUint64(buf, u)
+}
+
+// appendOrderedFloat encodes a float64 order-preservingly: positive values
+// get their sign bit set; negative values are bitwise inverted.
+func appendOrderedFloat(buf []byte, f float64) []byte {
+	u := math.Float64bits(f)
+	if u&(1<<63) != 0 {
+		u = ^u
+	} else {
+		u |= 1 << 63
+	}
+	return binary.BigEndian.AppendUint64(buf, u)
+}
+
+// appendEscapedBytes encodes a byte string with 0x00-escaping and a
+// 0x00 0x00 terminator so that concatenated composite keys preserve
+// lexicographic order: 0x00 in the data becomes 0x00 0xFF.
+func appendEscapedBytes(buf, data []byte) []byte {
+	for _, b := range data {
+		if b == 0x00 {
+			buf = append(buf, 0x00, 0xFF)
+		} else {
+			buf = append(buf, b)
+		}
+	}
+	return append(buf, 0x00, 0x00)
+}

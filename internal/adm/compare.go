@@ -1,0 +1,247 @@
+package adm
+
+import (
+	"bytes"
+	"hash/fnv"
+	"math"
+	"sort"
+)
+
+// Compare defines a total order over all ADM values. Values of different
+// kinds order by kind rank, except that int64 and double compare
+// numerically with each other. Within a kind the natural order applies;
+// objects compare by their name-sorted field lists, collections
+// element-wise. Missing sorts before null, which sorts before everything
+// else (the order AsterixDB uses for ORDER BY).
+func Compare(a, b Value) int {
+	ka, kb := a.Kind(), b.Kind()
+	if ka.IsNumeric() && kb.IsNumeric() {
+		fa, _ := AsFloat(a)
+		fb, _ := AsFloat(b)
+		switch {
+		case fa < fb:
+			return -1
+		case fa > fb:
+			return 1
+		}
+		return 0
+	}
+	if ka != kb {
+		if ka < kb {
+			return -1
+		}
+		return 1
+	}
+	switch ka {
+	case KindMissing, KindNull:
+		return 0
+	case KindBoolean:
+		x, y := a.(Boolean), b.(Boolean)
+		switch {
+		case !bool(x) && bool(y):
+			return -1
+		case bool(x) && !bool(y):
+			return 1
+		}
+		return 0
+	case KindString:
+		x, y := a.(String), b.(String)
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+		return 0
+	case KindDate:
+		return cmpInt(int64(a.(Date)), int64(b.(Date)))
+	case KindTime:
+		return cmpInt(int64(a.(Time)), int64(b.(Time)))
+	case KindDatetime:
+		return cmpInt(int64(a.(Datetime)), int64(b.(Datetime)))
+	case KindDuration:
+		// Order by an approximate total duration (month = 30 days), then
+		// by components for determinism.
+		x, y := a.(Duration), b.(Duration)
+		ax := int64(x.Months)*30*millisPerDay + x.Millis
+		ay := int64(y.Months)*30*millisPerDay + y.Millis
+		if c := cmpInt(ax, ay); c != 0 {
+			return c
+		}
+		if c := cmpInt(int64(x.Months), int64(y.Months)); c != 0 {
+			return c
+		}
+		return cmpInt(x.Millis, y.Millis)
+	case KindPoint:
+		x, y := a.(Point), b.(Point)
+		if c := cmpFloat(x.X, y.X); c != 0 {
+			return c
+		}
+		return cmpFloat(x.Y, y.Y)
+	case KindRectangle:
+		x, y := a.(Rectangle), b.(Rectangle)
+		for _, p := range [][2]float64{{x.MinX, y.MinX}, {x.MinY, y.MinY}, {x.MaxX, y.MaxX}, {x.MaxY, y.MaxY}} {
+			if c := cmpFloat(p[0], p[1]); c != 0 {
+				return c
+			}
+		}
+		return 0
+	case KindUUID:
+		x, y := a.(UUID), b.(UUID)
+		return bytes.Compare(x[:], y[:])
+	case KindBinary:
+		return bytes.Compare(a.(Binary), b.(Binary))
+	case KindArray:
+		return compareSeq(a.(Array), b.(Array))
+	case KindMultiset:
+		// Multisets are unordered bags: compare their sorted element lists.
+		return compareSeq(sortedElems(a.(Multiset)), sortedElems(b.(Multiset)))
+	case KindObject:
+		x, y := a.(*Object).sortedFields(), b.(*Object).sortedFields()
+		n := len(x)
+		if len(y) < n {
+			n = len(y)
+		}
+		for i := 0; i < n; i++ {
+			if x[i].Name != y[i].Name {
+				if x[i].Name < y[i].Name {
+					return -1
+				}
+				return 1
+			}
+			if c := Compare(x[i].Value, y[i].Value); c != 0 {
+				return c
+			}
+		}
+		return cmpInt(int64(len(x)), int64(len(y)))
+	}
+	return 0
+}
+
+func sortedElems(m Multiset) []Value {
+	s := make([]Value, len(m))
+	copy(s, m)
+	sort.Slice(s, func(i, j int) bool { return Compare(s[i], s[j]) < 0 })
+	return s
+}
+
+func compareSeq(a, b []Value) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if c := Compare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	return cmpInt(int64(len(a)), int64(len(b)))
+}
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// Equal reports deep equality under Compare's semantics. Note that like
+// Compare it treats int64(2) and double(2.0) as equal.
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// Hash64 computes a 64-bit hash of a value, consistent with Equal: equal
+// values hash identically (numerics hash via their float64 image).
+func Hash64(v Value) uint64 {
+	h := fnv.New64a()
+	hashInto(h.(hashWriter), v)
+	return h.Sum64()
+}
+
+type hashWriter interface {
+	Write(p []byte) (int, error)
+	Sum64() uint64
+}
+
+func hashInto(h hashWriter, v Value) {
+	var tag [1]byte
+	k := v.Kind()
+	if k == KindDouble || k == KindInt64 {
+		tag[0] = byte(KindDouble) // numeric types hash uniformly
+	} else {
+		tag[0] = byte(k)
+	}
+	h.Write(tag[:])
+	switch x := v.(type) {
+	case missingValue, nullValue:
+	case Boolean:
+		if x {
+			h.Write([]byte{1})
+		} else {
+			h.Write([]byte{0})
+		}
+	case Int64:
+		writeU64(h, math.Float64bits(float64(x)))
+	case Double:
+		writeU64(h, math.Float64bits(float64(x)))
+	case String:
+		h.Write([]byte(x))
+	case Date:
+		writeU64(h, uint64(int64(x)))
+	case Time:
+		writeU64(h, uint64(int64(x)))
+	case Datetime:
+		writeU64(h, uint64(int64(x)))
+	case Duration:
+		writeU64(h, uint64(int64(x.Months)))
+		writeU64(h, uint64(x.Millis))
+	case Point:
+		writeU64(h, math.Float64bits(x.X))
+		writeU64(h, math.Float64bits(x.Y))
+	case Rectangle:
+		writeU64(h, math.Float64bits(x.MinX))
+		writeU64(h, math.Float64bits(x.MinY))
+		writeU64(h, math.Float64bits(x.MaxX))
+		writeU64(h, math.Float64bits(x.MaxY))
+	case UUID:
+		h.Write(x[:])
+	case Binary:
+		h.Write(x)
+	case Array:
+		for _, e := range x {
+			hashInto(h, e)
+		}
+	case Multiset:
+		// Order-insensitive: XOR of element hashes folded in.
+		var acc uint64
+		for _, e := range x {
+			acc ^= Hash64(e)
+		}
+		writeU64(h, acc)
+	case *Object:
+		for _, f := range x.sortedFields() {
+			h.Write([]byte(f.Name))
+			hashInto(h, f.Value)
+		}
+	}
+}
+
+func writeU64(h hashWriter, u uint64) {
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(u >> (8 * i))
+	}
+	h.Write(b[:])
+}

@@ -1,0 +1,179 @@
+package adm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+const millisPerDay = 24 * 60 * 60 * 1000
+
+// ParseDatetime parses an ISO-8601 datetime ("2017-01-20T10:30:00",
+// optionally with fractional seconds or a trailing Z) into a Datetime.
+func ParseDatetime(s string) (Datetime, error) {
+	layouts := []string{
+		"2006-01-02T15:04:05.999Z07:00",
+		"2006-01-02T15:04:05.999",
+		"2006-01-02T15:04:05",
+		"2006-01-02T15:04",
+	}
+	for _, l := range layouts {
+		if t, err := time.Parse(l, s); err == nil {
+			return Datetime(t.UnixMilli()), nil
+		}
+	}
+	return 0, fmt.Errorf("adm: invalid datetime literal %q", s)
+}
+
+// FormatDatetime renders a Datetime in ISO-8601 UTC form.
+func FormatDatetime(dt Datetime) string {
+	t := time.UnixMilli(int64(dt)).UTC()
+	if t.Nanosecond() == 0 {
+		return t.Format("2006-01-02T15:04:05")
+	}
+	return t.Format("2006-01-02T15:04:05.000")
+}
+
+// ParseDate parses "2017-01-20" into a Date (days since epoch).
+func ParseDate(s string) (Date, error) {
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		return 0, fmt.Errorf("adm: invalid date literal %q", s)
+	}
+	return Date(t.Unix() / (24 * 3600)), nil
+}
+
+// FormatDate renders a Date as "2006-01-02".
+func FormatDate(d Date) string {
+	return time.Unix(int64(d)*24*3600, 0).UTC().Format("2006-01-02")
+}
+
+// ParseTime parses "15:04:05[.000]" into a Time (ms since midnight).
+func ParseTime(s string) (Time, error) {
+	for _, l := range []string{"15:04:05.999", "15:04:05", "15:04"} {
+		if t, err := time.Parse(l, s); err == nil {
+			return Time(t.Hour()*3600000 + t.Minute()*60000 + t.Second()*1000 + t.Nanosecond()/1e6), nil
+		}
+	}
+	return 0, fmt.Errorf("adm: invalid time literal %q", s)
+}
+
+// FormatTime renders a Time as "15:04:05[.000]".
+func FormatTime(t Time) string {
+	ms := int(t)
+	h, ms := ms/3600000, ms%3600000
+	m, ms := ms/60000, ms%60000
+	s, ms := ms/1000, ms%1000
+	if ms == 0 {
+		return fmt.Sprintf("%02d:%02d:%02d", h, m, s)
+	}
+	return fmt.Sprintf("%02d:%02d:%02d.%03d", h, m, s, ms)
+}
+
+// ParseDuration parses an ISO-8601 duration, e.g. "P30D", "P1Y2M",
+// "PT1H30M", "P1DT12H".
+func ParseDuration(s string) (Duration, error) {
+	orig := s
+	if len(s) == 0 || s[0] != 'P' {
+		return Duration{}, fmt.Errorf("adm: invalid duration literal %q", orig)
+	}
+	s = s[1:]
+	var d Duration
+	inTime := false
+	for len(s) > 0 {
+		if s[0] == 'T' {
+			inTime = true
+			s = s[1:]
+			continue
+		}
+		i := 0
+		for i < len(s) && (s[i] >= '0' && s[i] <= '9' || s[i] == '.') {
+			i++
+		}
+		if i == 0 || i == len(s) {
+			return Duration{}, fmt.Errorf("adm: invalid duration literal %q", orig)
+		}
+		n, err := strconv.ParseFloat(s[:i], 64)
+		if err != nil {
+			return Duration{}, fmt.Errorf("adm: invalid duration literal %q", orig)
+		}
+		unit := s[i]
+		s = s[i+1:]
+		switch {
+		case unit == 'Y' && !inTime:
+			d.Months += int32(n * 12)
+		case unit == 'M' && !inTime:
+			d.Months += int32(n)
+		case unit == 'W' && !inTime:
+			d.Millis += int64(n * 7 * millisPerDay)
+		case unit == 'D' && !inTime:
+			d.Millis += int64(n * millisPerDay)
+		case unit == 'H' && inTime:
+			d.Millis += int64(n * 3600000)
+		case unit == 'M' && inTime:
+			d.Millis += int64(n * 60000)
+		case unit == 'S' && inTime:
+			d.Millis += int64(n * 1000)
+		default:
+			return Duration{}, fmt.Errorf("adm: invalid duration unit %q in %q", string(unit), orig)
+		}
+	}
+	return d, nil
+}
+
+// FormatDuration renders a Duration in ISO-8601 form.
+func FormatDuration(d Duration) string {
+	var sb strings.Builder
+	sb.WriteByte('P')
+	months := d.Months
+	if y := months / 12; y != 0 {
+		fmt.Fprintf(&sb, "%dY", y)
+		months %= 12
+	}
+	if months != 0 {
+		fmt.Fprintf(&sb, "%dM", months)
+	}
+	ms := d.Millis
+	if days := ms / millisPerDay; days != 0 {
+		fmt.Fprintf(&sb, "%dD", days)
+		ms %= millisPerDay
+	}
+	if ms != 0 {
+		sb.WriteByte('T')
+		if h := ms / 3600000; h != 0 {
+			fmt.Fprintf(&sb, "%dH", h)
+			ms %= 3600000
+		}
+		if m := ms / 60000; m != 0 {
+			fmt.Fprintf(&sb, "%dM", m)
+			ms %= 60000
+		}
+		if ms != 0 {
+			if ms%1000 == 0 {
+				fmt.Fprintf(&sb, "%dS", ms/1000)
+			} else {
+				fmt.Fprintf(&sb, "%gS", float64(ms)/1000)
+			}
+		}
+	}
+	if sb.Len() == 1 {
+		sb.WriteString("T0S")
+	}
+	return sb.String()
+}
+
+// AddDuration adds a duration to a datetime, handling the month component
+// calendar-correctly.
+func AddDuration(dt Datetime, d Duration) Datetime {
+	t := time.UnixMilli(int64(dt)).UTC()
+	if d.Months != 0 {
+		t = t.AddDate(0, int(d.Months), 0)
+	}
+	return Datetime(t.UnixMilli() + d.Millis)
+}
+
+// SubDuration subtracts a duration from a datetime.
+func SubDuration(dt Datetime, d Duration) Datetime {
+	return AddDuration(dt, Duration{Months: -d.Months, Millis: -d.Millis})
+}

@@ -1,0 +1,153 @@
+package adm
+
+import (
+	"strings"
+	"testing"
+)
+
+// gleambookUserType mirrors Figure 3(a) of the paper.
+func gleambookUserType() *Type {
+	employment := NewObjectType("EmploymentType", false,
+		FieldType{Name: "organizationName", Type: Primitive(KindString)},
+		FieldType{Name: "startDate", Type: Primitive(KindDate)},
+		FieldType{Name: "endDate", Type: Primitive(KindDate), Optional: true},
+	)
+	return NewObjectType("GleambookUserType", false,
+		FieldType{Name: "id", Type: Primitive(KindInt64)},
+		FieldType{Name: "alias", Type: Primitive(KindString)},
+		FieldType{Name: "name", Type: Primitive(KindString)},
+		FieldType{Name: "userSince", Type: Primitive(KindDatetime)},
+		FieldType{Name: "friendIds", Type: NewMultisetType(Primitive(KindInt64))},
+		FieldType{Name: "employment", Type: NewArrayType(employment)},
+	)
+}
+
+func validUser() *Object {
+	since, _ := ParseDatetime("2017-01-01T00:00:00")
+	start, _ := ParseDate("2017-01-20")
+	return NewObject(
+		Field{"id", Int64(667)},
+		Field{"alias", String("dfrump")},
+		Field{"name", String("DonaldFrump")},
+		Field{"userSince", since},
+		Field{"friendIds", Multiset{}},
+		Field{"employment", Array{NewObject(
+			Field{"organizationName", String("USA")},
+			Field{"startDate", start},
+		)}},
+	)
+}
+
+func TestValidateOpenTypeAllowsExtraFields(t *testing.T) {
+	ut := gleambookUserType()
+	u := validUser()
+	u.Set("nickname", String("Frumpkin")) // undeclared field, open type
+	if err := ut.Validate(u); err != nil {
+		t.Fatalf("open type should allow extra fields: %v", err)
+	}
+}
+
+func TestValidateClosedTypeForbidsExtraFields(t *testing.T) {
+	closed := NewObjectType("AccessLogType", true,
+		FieldType{Name: "ip", Type: Primitive(KindString)},
+		FieldType{Name: "user", Type: Primitive(KindString)},
+		FieldType{Name: "stat", Type: Primitive(KindInt64)},
+	)
+	rec := NewObject(
+		Field{"ip", String("1.2.3.4")},
+		Field{"user", String("alice")},
+		Field{"stat", Int64(200)},
+	)
+	if err := closed.Validate(rec); err != nil {
+		t.Fatalf("conforming record rejected: %v", err)
+	}
+	rec.Set("surprise", Int64(1))
+	err := closed.Validate(rec)
+	if err == nil {
+		t.Fatal("closed type must forbid undeclared fields")
+	}
+	if !strings.Contains(err.Error(), "surprise") {
+		t.Errorf("error should name the offending field: %v", err)
+	}
+}
+
+func TestValidateRequiredAndOptional(t *testing.T) {
+	ut := gleambookUserType()
+	u := validUser()
+	if err := ut.Validate(u); err != nil {
+		t.Fatalf("valid user rejected: %v", err)
+	}
+	// Missing required field.
+	if err := ut.Validate(u.Without("alias")); err == nil {
+		t.Error("missing required field must fail validation")
+	}
+	// Optional endDate may be absent or null.
+	emp := u.Get("employment").(Array)[0].(*Object)
+	emp.Set("endDate", Null)
+	if err := ut.Validate(u); err != nil {
+		t.Errorf("optional field set to null should pass: %v", err)
+	}
+}
+
+func TestValidateKindMismatch(t *testing.T) {
+	ut := gleambookUserType()
+	u := validUser()
+	u.Set("id", String("not-a-number"))
+	err := ut.Validate(u)
+	if err == nil {
+		t.Fatal("wrong field kind must fail")
+	}
+	var te *TypeError
+	if !asTypeError(err, &te) {
+		t.Fatalf("expected *TypeError, got %T", err)
+	}
+	if !strings.Contains(te.Path, "id") {
+		t.Errorf("error path should mention id: %q", te.Path)
+	}
+}
+
+func asTypeError(err error, out **TypeError) bool {
+	te, ok := err.(*TypeError)
+	if ok {
+		*out = te
+	}
+	return ok
+}
+
+func TestValidateNumericPromotion(t *testing.T) {
+	ty := NewObjectType("T", false, FieldType{Name: "x", Type: Primitive(KindDouble)})
+	if err := ty.Validate(NewObject(Field{"x", Int64(3)})); err != nil {
+		t.Errorf("int64 should be accepted where double is declared: %v", err)
+	}
+}
+
+func TestValidateNestedCollections(t *testing.T) {
+	ty := NewArrayType(NewMultisetType(Primitive(KindInt64)))
+	ok := Array{Multiset{Int64(1), Int64(2)}, Multiset{}}
+	if err := ty.Validate(ok); err != nil {
+		t.Errorf("valid nested collection rejected: %v", err)
+	}
+	bad := Array{Multiset{String("x")}}
+	if err := ty.Validate(bad); err == nil {
+		t.Error("string inside {{int64}} must fail")
+	}
+}
+
+func TestAnyTypeAdmitsEverything(t *testing.T) {
+	for _, v := range []Value{Missing, Null, Int64(1), NewObject(), Array{Multiset{}}} {
+		if err := AnyType.Validate(v); err != nil {
+			t.Errorf("any must admit %v: %v", v, err)
+		}
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	ty := NewObjectType("", false,
+		FieldType{Name: "a", Type: Primitive(KindInt64)},
+		FieldType{Name: "b", Type: NewArrayType(Primitive(KindString)), Optional: true},
+	)
+	want := "{a: int64, b: [string]?}"
+	if got := ty.String(); got != want {
+		t.Errorf("Type.String() = %q, want %q", got, want)
+	}
+}

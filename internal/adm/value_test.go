@@ -1,0 +1,254 @@
+package adm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestKindOrder(t *testing.T) {
+	ordered := []Kind{KindMissing, KindNull, KindBoolean, KindInt64, KindDouble,
+		KindString, KindDate, KindTime, KindDatetime, KindDuration, KindPoint,
+		KindRectangle, KindUUID, KindBinary, KindArray, KindMultiset, KindObject}
+	for i := 1; i < len(ordered); i++ {
+		if ordered[i-1] >= ordered[i] {
+			t.Fatalf("kind order broken at %s >= %s", ordered[i-1], ordered[i])
+		}
+	}
+}
+
+func TestObjectBasics(t *testing.T) {
+	o := NewObject(
+		Field{"id", Int64(1)},
+		Field{"name", String("alice")},
+	)
+	if got := o.Get("id"); !Equal(got, Int64(1)) {
+		t.Errorf("Get(id) = %v", got)
+	}
+	if got := o.Get("nope"); got.Kind() != KindMissing {
+		t.Errorf("Get(nope) = %v, want missing", got)
+	}
+	o.Set("name", String("bob"))
+	if got := o.Get("name"); !Equal(got, String("bob")) {
+		t.Errorf("after Set, name = %v", got)
+	}
+	if o.Len() != 2 {
+		t.Errorf("Len = %d, want 2", o.Len())
+	}
+	w := o.Without("name")
+	if w.Has("name") || !w.Has("id") {
+		t.Errorf("Without(name) kept wrong fields: %v", w)
+	}
+	if o.Len() != 2 {
+		t.Errorf("Without mutated receiver")
+	}
+}
+
+func TestValueStringLiterals(t *testing.T) {
+	dt, _ := ParseDatetime("2017-01-01T00:00:00")
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Missing, "missing"},
+		{Null, "null"},
+		{Boolean(true), "true"},
+		{Int64(-42), "-42"},
+		{Double(2.5), "2.5"},
+		{Double(3), "3.0"},
+		{String("hi"), `"hi"`},
+		{dt, `datetime("2017-01-01T00:00:00")`},
+		{Point{1, 2}, `point("1,2")`},
+		{Array{Int64(1), Int64(2)}, "[1,2]"},
+		{Multiset{Int64(1)}, "{{1}}"},
+		{NewObject(Field{"a", Int64(1)}), `{"a":1}`},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%v-kind) = %q, want %q", c.v.Kind(), got, c.want)
+		}
+	}
+}
+
+func TestCompareNumericCrossKind(t *testing.T) {
+	if Compare(Int64(2), Double(2.0)) != 0 {
+		t.Error("int64 2 should equal double 2.0")
+	}
+	if Compare(Int64(2), Double(2.5)) != -1 {
+		t.Error("int64 2 should be < double 2.5")
+	}
+	if Compare(Double(-1), Int64(0)) != -1 {
+		t.Error("double -1 should be < int64 0")
+	}
+}
+
+func TestCompareCollections(t *testing.T) {
+	a := Array{Int64(1), Int64(2)}
+	b := Array{Int64(1), Int64(3)}
+	if Compare(a, b) != -1 {
+		t.Error("[1,2] < [1,3]")
+	}
+	if Compare(a, Array{Int64(1)}) != 1 {
+		t.Error("[1,2] > [1]")
+	}
+	o1 := NewObject(Field{"b", Int64(2)}, Field{"a", Int64(1)})
+	o2 := NewObject(Field{"a", Int64(1)}, Field{"b", Int64(2)})
+	if Compare(o1, o2) != 0 {
+		t.Error("objects should compare field-name-sorted, ignoring insertion order")
+	}
+}
+
+func TestHashConsistentWithEqual(t *testing.T) {
+	pairs := [][2]Value{
+		{Int64(7), Double(7)},
+		{NewObject(Field{"a", Int64(1)}, Field{"b", Int64(2)}),
+			NewObject(Field{"b", Int64(2)}, Field{"a", Int64(1)})},
+		{Multiset{Int64(1), Int64(2)}, Multiset{Int64(2), Int64(1)}},
+	}
+	for _, p := range pairs {
+		if !Equal(p[0], p[1]) {
+			t.Errorf("expected %v == %v", p[0], p[1])
+		}
+		if Hash64(p[0]) != Hash64(p[1]) {
+			t.Errorf("hashes differ for equal values %v and %v", p[0], p[1])
+		}
+	}
+	if Hash64(Int64(1)) == Hash64(Int64(2)) {
+		t.Error("suspicious hash collision for 1 and 2")
+	}
+}
+
+func TestTruthy(t *testing.T) {
+	if v, ok := Truthy(Boolean(true)); !v || !ok {
+		t.Error("true should be truthy and known")
+	}
+	if v, ok := Truthy(Boolean(false)); v || !ok {
+		t.Error("false should be falsy and known")
+	}
+	if _, ok := Truthy(Null); ok {
+		t.Error("null truthiness should be unknown")
+	}
+	if _, ok := Truthy(Int64(1)); ok {
+		t.Error("non-boolean truthiness should be unknown (SQL++ strictness)")
+	}
+}
+
+// randomValue generates an arbitrary ADM value of bounded depth.
+func randomValue(r *rand.Rand, depth int) Value {
+	max := 13
+	if depth > 0 {
+		max = 16
+	}
+	switch r.Intn(max) {
+	case 0:
+		return Missing
+	case 1:
+		return Null
+	case 2:
+		return Boolean(r.Intn(2) == 0)
+	case 3:
+		return Int64(r.Int63() - r.Int63())
+	case 4:
+		return Double(r.NormFloat64() * 1e6)
+	case 5:
+		b := make([]byte, r.Intn(20))
+		for i := range b {
+			b[i] = byte('a' + r.Intn(26))
+		}
+		return String(b)
+	case 6:
+		return Date(r.Int31n(50000) - 25000)
+	case 7:
+		return Time(r.Int31n(86400000))
+	case 8:
+		return Datetime(r.Int63n(4e12) - 2e12)
+	case 9:
+		return Duration{Months: r.Int31n(100), Millis: r.Int63n(1e10)}
+	case 10:
+		return Point{X: r.NormFloat64() * 100, Y: r.NormFloat64() * 100}
+	case 11:
+		x1, y1 := r.Float64()*100, r.Float64()*100
+		return Rectangle{MinX: x1, MinY: y1, MaxX: x1 + r.Float64()*10, MaxY: y1 + r.Float64()*10}
+	case 12:
+		b := make(Binary, r.Intn(12))
+		r.Read(b)
+		return b
+	case 13:
+		n := r.Intn(4)
+		a := make(Array, n)
+		for i := range a {
+			a[i] = randomValue(r, depth-1)
+		}
+		return a
+	case 14:
+		n := r.Intn(4)
+		m := make(Multiset, n)
+		for i := range m {
+			m[i] = randomValue(r, depth-1)
+		}
+		return m
+	default:
+		n := r.Intn(5)
+		o := NewObject()
+		for i := 0; i < n; i++ {
+			o.Set(string(rune('a'+r.Intn(8))), randomValue(r, depth-1))
+		}
+		return o
+	}
+}
+
+// Property: encode/decode round-trips every value.
+func TestPropEncodeDecodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		v := randomValue(r, 3)
+		data := EncodeValue(v)
+		got, err := DecodeValue(data)
+		if err != nil {
+			t.Fatalf("decode(%v): %v", v, err)
+		}
+		if Compare(v, got) != 0 {
+			t.Fatalf("round trip changed value: %v -> %v", v, got)
+		}
+	}
+}
+
+// Property: Compare is a total order (antisymmetric, transitive on samples,
+// reflexive).
+func TestPropCompareTotalOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	vals := make([]Value, 60)
+	for i := range vals {
+		vals[i] = randomValue(r, 2)
+	}
+	for _, a := range vals {
+		if Compare(a, a) != 0 {
+			t.Fatalf("Compare(%v, same) != 0", a)
+		}
+		for _, b := range vals {
+			if Compare(a, b) != -Compare(b, a) {
+				t.Fatalf("antisymmetry violated: %v vs %v", a, b)
+			}
+			for _, c := range vals {
+				if Compare(a, b) <= 0 && Compare(b, c) <= 0 && Compare(a, c) > 0 {
+					t.Fatalf("transitivity violated: %v, %v, %v", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+// Property: equal values hash equal.
+func TestPropHashRespectsEquality(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 500; i++ {
+		v := randomValue(r, 2)
+		data := EncodeValue(v)
+		w, err := DecodeValue(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if Hash64(v) != Hash64(w) {
+			t.Fatalf("hash not stable across encode/decode for %v", v)
+		}
+	}
+}

@@ -1,0 +1,448 @@
+package algebricks
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"asterix/internal/adm"
+	"asterix/internal/hyracks"
+	"asterix/internal/sqlpp"
+)
+
+// memSource is an in-memory partitioned dataset for tests.
+type memSource struct {
+	name string
+	par  int
+	recs []adm.Value
+}
+
+func (m *memSource) Name() string    { return m.name }
+func (m *memSource) Partitions() int { return m.par }
+func (m *memSource) ScanPartition(p int, emit func(adm.Value) error) error {
+	for i, r := range m.recs {
+		if i%m.par == p {
+			if err := emit(r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+type memCatalog struct {
+	sources map[string]*memSource
+}
+
+func (c *memCatalog) Resolve(name string) (DataSource, bool) {
+	s, ok := c.sources[name]
+	return s, ok
+}
+func (c *memCatalog) ResolveIndex(dataset, field string) (IndexAccessor, bool) {
+	return nil, false
+}
+
+func testCatalog() *memCatalog {
+	users := &memSource{name: "Users", par: 2}
+	for i := 0; i < 20; i++ {
+		users.recs = append(users.recs, adm.NewObject(
+			adm.Field{Name: "id", Value: adm.Int64(i)},
+			adm.Field{Name: "name", Value: adm.String(fmt.Sprintf("user%02d", i))},
+			adm.Field{Name: "age", Value: adm.Int64(20 + i%5)},
+			adm.Field{Name: "tags", Value: adm.Array{adm.String("a"), adm.String(fmt.Sprintf("t%d", i%3))}},
+		))
+	}
+	msgs := &memSource{name: "Messages", par: 2}
+	for i := 0; i < 50; i++ {
+		msgs.recs = append(msgs.recs, adm.NewObject(
+			adm.Field{Name: "mid", Value: adm.Int64(i)},
+			adm.Field{Name: "authorId", Value: adm.Int64(i % 20)},
+			adm.Field{Name: "len", Value: adm.Int64(i * 3)},
+		))
+	}
+	return &memCatalog{sources: map[string]*memSource{"Users": users, "Messages": msgs}}
+}
+
+func newEval(cat Catalog) *Evaluator {
+	now, _ := adm.ParseDatetime("2019-04-01T00:00:00")
+	return &Evaluator{Catalog: cat, Now: now}
+}
+
+func evalStr(t *testing.T, ev *Evaluator, src string) adm.Value {
+	t.Helper()
+	q, err := sqlpp.ParseQuery(src + ";")
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	v, err := ev.Eval(q.Body, NewEnv(nil, nil, nil))
+	if err != nil {
+		t.Fatalf("eval %q: %v", src, err)
+	}
+	return v
+}
+
+func TestEvalScalarExpressions(t *testing.T) {
+	ev := newEval(nil)
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{`1 + 2 * 3`, `7`},
+		{`(1 + 2) * 3`, `9`},
+		{`10 / 4`, `2.5`},
+		{`10 / 5`, `2`},
+		{`7 % 3`, `1`},
+		{`-(3 - 5)`, `2`},
+		{`"a" || "b"`, `"ab"`},
+		{`1 < 2 AND 2 < 3`, `true`},
+		{`1 > 2 OR 2 > 3`, `false`},
+		{`NOT false`, `true`},
+		{`null = 1`, `null`},
+		{`missing = 1`, `missing`},
+		{`null IS NULL`, `true`},
+		{`missing IS MISSING`, `true`},
+		{`null IS UNKNOWN`, `true`},
+		{`5 BETWEEN 1 AND 10`, `true`},
+		{`5 NOT BETWEEN 1 AND 3`, `true`},
+		{`2 IN [1, 2, 3]`, `true`},
+		{`5 NOT IN [1, 2, 3]`, `true`},
+		{`"hello" LIKE "he%"`, `true`},
+		{`"hello" LIKE "h_llo"`, `true`},
+		{`"hello" LIKE "x%"`, `false`},
+		{`CASE WHEN 1 > 2 THEN "a" ELSE "b" END`, `"b"`},
+		{`CASE 2 WHEN 1 THEN "one" WHEN 2 THEN "two" END`, `"two"`},
+		{`[1, 2, 3][1]`, `2`},
+		{`{"a": {"b": 7}}.a.b`, `7`},
+		{`{"a": 1}.nope`, `missing`},
+		{`SOME x IN [1, 2, 3] SATISFIES x > 2`, `true`},
+		{`EVERY x IN [1, 2, 3] SATISFIES x > 0`, `true`},
+		{`EVERY x IN [1, 2, 3] SATISFIES x > 1`, `false`},
+		{`coll_count([1, 2, 3])`, `3`},
+		{`coll_sum([1, 2, 3])`, `6`},
+		{`array_contains([1, 2], 2)`, `true`},
+		{`string_length("abc")`, `3`},
+		{`upper("aBc")`, `"ABC"`},
+		{`contains("hello world", "wor")`, `true`},
+		{`ftcontains("Hello, world!", "WORLD")`, `true`},
+		{`substring("abcdef", 1, 3)`, `"bcd"`},
+		{`abs(-5)`, `5`},
+		{`to_string(42)`, `"42"`},
+		{`is_missing(missing)`, `true`},
+		{`if_missing_or_null(missing, null, 3)`, `3`},
+		{`spatial_distance(point(0, 0), point(3, 4))`, `5.0`},
+		{`spatial_intersect(point(1, 1), create_rectangle(0, 0, 2, 2))`, `true`},
+		{`get_year(datetime("2017-06-01T00:00:00"))`, `2017`},
+		{`datetime("2017-01-31T00:00:00") + duration("P1D")`, `datetime("2017-02-01T00:00:00")`},
+		{`range(1, 4)`, `[1,2,3,4]`},
+	}
+	for _, c := range cases {
+		got := evalStr(t, ev, "SELECT VALUE "+c.src+" FROM [0] one")
+		arr := got.(adm.Array)
+		if len(arr) != 1 || arr[0].String() != c.want {
+			t.Errorf("%s = %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestIntervalBin(t *testing.T) {
+	ev := newEval(nil)
+	got := evalStr(t, ev, `SELECT VALUE interval_bin(datetime("2014-03-15T10:37:00"),
+		datetime("2014-01-01T00:00:00"), duration("PT1H")) FROM [0] one`)
+	want := `datetime("2014-03-15T10:00:00")`
+	if got.(adm.Array)[0].String() != want {
+		t.Errorf("interval_bin = %s, want %s", got, want)
+	}
+}
+
+func TestInterpretSelectOverDataset(t *testing.T) {
+	ev := newEval(testCatalog())
+	got := evalStr(t, ev, `SELECT VALUE u.name FROM Users u WHERE u.id < 3 ORDER BY u.id`)
+	arr := got.(adm.Array)
+	if len(arr) != 3 {
+		t.Fatalf("got %d rows", len(arr))
+	}
+	if arr[0].String() != `"user00"` || arr[2].String() != `"user02"` {
+		t.Errorf("rows: %v", arr)
+	}
+}
+
+func TestInterpretJoinAndGroup(t *testing.T) {
+	ev := newEval(testCatalog())
+	got := evalStr(t, ev, `
+		SELECT u.name AS name, COUNT(m) AS cnt
+		FROM Users u JOIN Messages m ON m.authorId = u.id
+		WHERE u.id < 2
+		GROUP BY u.name AS name
+		ORDER BY name`)
+	arr := got.(adm.Array)
+	if len(arr) != 2 {
+		t.Fatalf("groups: %d", len(arr))
+	}
+	// Messages 0..49, authorId = mid % 20 -> users 0..9 have 3 msgs.
+	for _, row := range arr {
+		o := row.(*adm.Object)
+		if c, _ := adm.AsInt(o.Get("cnt")); c != 3 {
+			t.Errorf("cnt = %v", o.Get("cnt"))
+		}
+	}
+}
+
+func TestInterpretLeftOuterJoin(t *testing.T) {
+	ev := newEval(testCatalog())
+	got := evalStr(t, ev, `
+		SELECT VALUE m.mid
+		FROM Users u LEFT OUTER JOIN Messages m ON m.authorId = u.id AND m.mid > 1000
+		WHERE u.id = 0`)
+	arr := got.(adm.Array)
+	if len(arr) != 1 || arr[0].Kind() != adm.KindMissing {
+		t.Fatalf("left outer mismatch: %v", arr)
+	}
+}
+
+func TestInterpretUnnestAndGroupAs(t *testing.T) {
+	ev := newEval(testCatalog())
+	got := evalStr(t, ev, `
+		SELECT t AS tag, COUNT(*) AS n
+		FROM Users u UNNEST u.tags t
+		GROUP BY t AS t
+		ORDER BY t`)
+	arr := got.(adm.Array)
+	// tags: "a" on every user (20), t0/t1/t2 distributed.
+	first := arr[0].(*adm.Object)
+	if first.Get("tag").String() != `"a"` {
+		t.Fatalf("first tag: %v", first)
+	}
+	if n, _ := adm.AsInt(first.Get("n")); n != 20 {
+		t.Errorf(`count("a") = %d`, n)
+	}
+}
+
+func TestInterpretImplicitGlobalAggregate(t *testing.T) {
+	ev := newEval(testCatalog())
+	got := evalStr(t, ev, `SELECT COUNT(*) AS n, MIN(u.age) AS lo, MAX(u.age) AS hi FROM Users u`)
+	arr := got.(adm.Array)
+	if len(arr) != 1 {
+		t.Fatalf("rows: %d", len(arr))
+	}
+	o := arr[0].(*adm.Object)
+	if n, _ := adm.AsInt(o.Get("n")); n != 20 {
+		t.Errorf("n = %v", o.Get("n"))
+	}
+	if lo, _ := adm.AsInt(o.Get("lo")); lo != 20 {
+		t.Errorf("lo = %v", o.Get("lo"))
+	}
+	if hi, _ := adm.AsInt(o.Get("hi")); hi != 24 {
+		t.Errorf("hi = %v", o.Get("hi"))
+	}
+}
+
+func TestInterpretSubqueryCorrelated(t *testing.T) {
+	ev := newEval(testCatalog())
+	got := evalStr(t, ev, `
+		SELECT VALUE coll_count((SELECT VALUE m FROM Messages m WHERE m.authorId = u.id))
+		FROM Users u WHERE u.id = 1`)
+	arr := got.(adm.Array)
+	if len(arr) != 1 {
+		t.Fatalf("rows: %d", len(arr))
+	}
+	if n, _ := adm.AsInt(arr[0]); n != 3 {
+		t.Errorf("correlated count = %v", arr[0])
+	}
+}
+
+func TestInterpretDistinctAndLimit(t *testing.T) {
+	ev := newEval(testCatalog())
+	got := evalStr(t, ev, `SELECT DISTINCT VALUE u.age FROM Users u ORDER BY u.age LIMIT 3 OFFSET 1`)
+	arr := got.(adm.Array)
+	if len(arr) != 3 {
+		t.Fatalf("rows: %v", arr)
+	}
+	if v, _ := adm.AsInt(arr[0]); v != 21 {
+		t.Errorf("offset wrong: %v", arr)
+	}
+}
+
+// --- Plan translation and rules ---
+
+func translate(t *testing.T, cat Catalog, src string) Op {
+	t.Helper()
+	q, err := sqlpp.ParseQuery(src + ";")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &Translator{Ev: newEval(cat), Catalog: cat}
+	plan, err := tr.Translate(q.Body.(*sqlpp.SelectExpr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr.Optimize(plan)
+}
+
+func TestRuleHashJoinRecognition(t *testing.T) {
+	plan := translate(t, testCatalog(),
+		`SELECT u.name, m.mid FROM Users u, Messages m WHERE m.authorId = u.id AND u.age > 21`)
+	s := PlanString(plan)
+	if !strings.Contains(s, "join[inner,hash]") {
+		t.Errorf("expected hash join in plan:\n%s", s)
+	}
+	// The age filter should have been pushed below the join.
+	joinIdx := strings.Index(s, "join[")
+	selIdx := strings.LastIndex(s, "select")
+	if selIdx < joinIdx {
+		t.Errorf("selection not pushed below join:\n%s", s)
+	}
+}
+
+func TestRuleQuantifierToSemijoin(t *testing.T) {
+	plan := translate(t, testCatalog(),
+		`SELECT VALUE u.name FROM Users u WHERE SOME m IN Messages SATISFIES m.authorId = u.id`)
+	s := PlanString(plan)
+	if !strings.Contains(s, "join[semi,hash]") {
+		t.Errorf("expected hash semi join:\n%s", s)
+	}
+}
+
+func TestPlanStringShape(t *testing.T) {
+	plan := translate(t, testCatalog(), `SELECT VALUE u FROM Users u WHERE u.id = 3`)
+	s := PlanString(plan)
+	if !strings.Contains(s, "scan(Users as u)") {
+		t.Errorf("plan:\n%s", s)
+	}
+}
+
+// --- End-to-end jobgen execution ---
+
+func runJob(t *testing.T, cat Catalog, src string) []adm.Value {
+	t.Helper()
+	q, err := sqlpp.ParseQuery(src + ";")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := newEval(cat)
+	tr := &Translator{Ev: ev, Catalog: cat}
+	plan, err := tr.Translate(q.Body.(*sqlpp.SelectExpr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan = tr.Optimize(plan)
+	cluster, err := hyracks.NewCluster(2, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &JobGen{Cluster: cluster, Catalog: cat, Ev: ev, Parallelism: 2}
+	coll := &hyracks.Collector{}
+	job, err := g.Build(plan, coll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Run(context.Background(), job); err != nil {
+		t.Fatal(err)
+	}
+	var out []adm.Value
+	for _, tp := range coll.Tuples() {
+		out = append(out, tp[0])
+	}
+	return out
+}
+
+// jobMatchesInterp cross-checks the parallel job result against the
+// serial interpreter (order-insensitively unless ORDER BY is present).
+func jobMatchesInterp(t *testing.T, cat Catalog, src string, ordered bool) {
+	t.Helper()
+	jobRes := runJob(t, cat, src)
+	ev := newEval(cat)
+	q, _ := sqlpp.ParseQuery(src + ";")
+	iv, err := ev.Eval(q.Body, NewEnv(nil, nil, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	interpRes := []adm.Value(iv.(adm.Array))
+	if len(jobRes) != len(interpRes) {
+		t.Fatalf("job returned %d rows, interpreter %d\njob: %v\ninterp: %v",
+			len(jobRes), len(interpRes), jobRes, interpRes)
+	}
+	a := make([]string, len(jobRes))
+	b := make([]string, len(interpRes))
+	for i := range jobRes {
+		a[i] = adm.ToJSON(jobRes[i])
+		b[i] = adm.ToJSON(interpRes[i])
+	}
+	if !ordered {
+		sort.Strings(a)
+		sort.Strings(b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs:\njob:    %s\ninterp: %s", i, a[i], b[i])
+		}
+	}
+}
+
+func TestJobEndToEnd(t *testing.T) {
+	cat := testCatalog()
+	queries := []struct {
+		src     string
+		ordered bool
+	}{
+		{`SELECT VALUE u.name FROM Users u WHERE u.id < 5`, false},
+		{`SELECT VALUE u.name FROM Users u WHERE u.id < 5 ORDER BY u.name DESC`, true},
+		{`SELECT u.name AS n, m.mid AS m FROM Users u, Messages m WHERE m.authorId = u.id AND u.id < 3`, false},
+		{`SELECT u.age AS age, COUNT(*) AS n, SUM(u.id) AS s FROM Users u GROUP BY u.age AS age`, false},
+		{`SELECT COUNT(*) AS n FROM Users u`, false},
+		{`SELECT COUNT(*) AS n FROM Users u WHERE u.id > 1000`, false},
+		{`SELECT DISTINCT VALUE u.age FROM Users u`, false},
+		{`SELECT VALUE u.name FROM Users u ORDER BY u.id LIMIT 4 OFFSET 2`, true},
+		{`SELECT VALUE t FROM Users u UNNEST u.tags t WHERE u.id = 1`, false},
+		{`SELECT VALUE u.name FROM Users u WHERE SOME m IN Messages SATISFIES m.authorId = u.id AND m.len > 100`, false},
+		{`SELECT u.name AS name, m.mid AS mid FROM Users u LEFT OUTER JOIN Messages m ON m.authorId = u.id WHERE u.id >= 18`, false},
+		{`SELECT a AS age, cnt AS c FROM Users u GROUP BY u.age AS a LET cnt = 1 SELECT a, cnt`, false},
+	}
+	for _, qc := range queries[:len(queries)-1] {
+		t.Run(qc.src[:24], func(t *testing.T) {
+			jobMatchesInterp(t, cat, qc.src, qc.ordered)
+		})
+	}
+}
+
+func TestJobGroupAs(t *testing.T) {
+	cat := testCatalog()
+	jobMatchesInterp(t, cat,
+		`SELECT a AS age, COLL_COUNT(g) AS n FROM Users u GROUP BY u.age AS a GROUP AS g`, false)
+}
+
+func TestJobHavingAndOrderByAggregate(t *testing.T) {
+	cat := testCatalog()
+	jobMatchesInterp(t, cat,
+		`SELECT u.age AS age, COUNT(*) AS n FROM Users u GROUP BY u.age AS age HAVING COUNT(*) >= 4 ORDER BY COUNT(*) DESC, age`, true)
+}
+
+func TestJobSelectStar(t *testing.T) {
+	cat := testCatalog()
+	res := runJob(t, cat, `SELECT * FROM Users u WHERE u.id = 7`)
+	if len(res) != 1 {
+		t.Fatalf("rows: %d", len(res))
+	}
+	o := res[0].(*adm.Object)
+	inner, ok := o.Get("u").(*adm.Object)
+	if !ok {
+		t.Fatalf("star row: %v", o)
+	}
+	if id, _ := adm.AsInt(inner.Get("id")); id != 7 {
+		t.Errorf("star content: %v", inner)
+	}
+}
+
+func TestRuleSemijoinWithResidualUsesHash(t *testing.T) {
+	// A quantifier whose SATISFIES mixes an equality with a range — the
+	// Figure 3(c) shape — must still become a *hash* semi join (the range
+	// conjuncts ride as a residual predicate).
+	plan := translate(t, testCatalog(),
+		`SELECT VALUE u.name FROM Users u
+		 WHERE SOME m IN Messages SATISFIES m.authorId = u.id AND m.len > 50`)
+	s := PlanString(plan)
+	if !strings.Contains(s, "join[semi,hash]") {
+		t.Errorf("expected hash semi join with residual:\n%s", s)
+	}
+}

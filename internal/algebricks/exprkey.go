@@ -1,0 +1,202 @@
+package algebricks
+
+import (
+	"fmt"
+	"strings"
+
+	"asterix/internal/sqlpp"
+)
+
+// ExprKey renders an expression to a canonical string used for structural
+// equality (matching SELECT expressions against GROUP BY keys).
+func ExprKey(e sqlpp.Expr) string {
+	var sb strings.Builder
+	writeExprKey(&sb, e)
+	return sb.String()
+}
+
+func writeExprKey(sb *strings.Builder, e sqlpp.Expr) {
+	switch x := e.(type) {
+	case *sqlpp.Literal:
+		fmt.Fprintf(sb, "lit(%s)", x.Value.String())
+	case *sqlpp.VarRef:
+		fmt.Fprintf(sb, "var(%s)", x.Name)
+	case *sqlpp.FieldAccess:
+		sb.WriteString("field(")
+		writeExprKey(sb, x.Base)
+		fmt.Fprintf(sb, ",%s)", x.Field)
+	case *sqlpp.IndexAccess:
+		sb.WriteString("index(")
+		writeExprKey(sb, x.Base)
+		sb.WriteByte(',')
+		writeExprKey(sb, x.Index)
+		sb.WriteByte(')')
+	case *sqlpp.Call:
+		fmt.Fprintf(sb, "call(%s,%v", x.Fn, x.Distinct)
+		for _, a := range x.Args {
+			sb.WriteByte(',')
+			writeExprKey(sb, a)
+		}
+		sb.WriteByte(')')
+	case *sqlpp.Unary:
+		fmt.Fprintf(sb, "un(%s,", x.Op)
+		writeExprKey(sb, x.X)
+		sb.WriteByte(')')
+	case *sqlpp.Binary:
+		fmt.Fprintf(sb, "bin(%s,", x.Op)
+		writeExprKey(sb, x.L)
+		sb.WriteByte(',')
+		writeExprKey(sb, x.R)
+		sb.WriteByte(')')
+	case *sqlpp.IsExpr:
+		fmt.Fprintf(sb, "is(%s,%v,", x.What, x.Negate)
+		writeExprKey(sb, x.X)
+		sb.WriteByte(')')
+	case *sqlpp.Between:
+		fmt.Fprintf(sb, "between(%v,", x.Negate)
+		writeExprKey(sb, x.X)
+		sb.WriteByte(',')
+		writeExprKey(sb, x.Lo)
+		sb.WriteByte(',')
+		writeExprKey(sb, x.Hi)
+		sb.WriteByte(')')
+	case *sqlpp.InExpr:
+		fmt.Fprintf(sb, "in(%v,", x.Negate)
+		writeExprKey(sb, x.X)
+		sb.WriteByte(',')
+		writeExprKey(sb, x.Coll)
+		sb.WriteByte(')')
+	case *sqlpp.CaseExpr:
+		sb.WriteString("case(")
+		if x.Operand != nil {
+			writeExprKey(sb, x.Operand)
+		}
+		for _, wt := range x.Whens {
+			sb.WriteByte(';')
+			writeExprKey(sb, wt.When)
+			sb.WriteByte(':')
+			writeExprKey(sb, wt.Then)
+		}
+		if x.Else != nil {
+			sb.WriteString(";else:")
+			writeExprKey(sb, x.Else)
+		}
+		sb.WriteByte(')')
+	case *sqlpp.QuantifiedExpr:
+		fmt.Fprintf(sb, "quant(%v,%s,", x.Some, x.Var)
+		writeExprKey(sb, x.In)
+		sb.WriteByte(',')
+		writeExprKey(sb, x.Satisfies)
+		sb.WriteByte(')')
+	case *sqlpp.ExistsExpr:
+		fmt.Fprintf(sb, "exists(%v,", x.Negate)
+		writeExprKey(sb, x.X)
+		sb.WriteByte(')')
+	case *sqlpp.ObjectConstructor:
+		sb.WriteString("obj(")
+		for _, f := range x.Fields {
+			writeExprKey(sb, f.Name)
+			sb.WriteByte(':')
+			writeExprKey(sb, f.Value)
+			sb.WriteByte(';')
+		}
+		sb.WriteByte(')')
+	case *sqlpp.ArrayConstructor:
+		sb.WriteString("arr(")
+		for _, el := range x.Elems {
+			writeExprKey(sb, el)
+			sb.WriteByte(';')
+		}
+		sb.WriteByte(')')
+	case *sqlpp.MultisetConstructor:
+		sb.WriteString("mset(")
+		for _, el := range x.Elems {
+			writeExprKey(sb, el)
+			sb.WriteByte(';')
+		}
+		sb.WriteByte(')')
+	case *sqlpp.SelectExpr:
+		fmt.Fprintf(sb, "select(%p)", x) // nested blocks compare by identity
+	default:
+		fmt.Fprintf(sb, "?%T", e)
+	}
+}
+
+// SubstituteByKey replaces any subexpression whose canonical key appears
+// in repl with the mapped expression (outermost match wins); used to
+// rewrite group-key expressions to their key variables after grouping.
+func SubstituteByKey(e sqlpp.Expr, repl map[string]sqlpp.Expr) sqlpp.Expr {
+	if r, ok := repl[ExprKey(e)]; ok {
+		return r
+	}
+	switch x := e.(type) {
+	case *sqlpp.FieldAccess:
+		return &sqlpp.FieldAccess{Base: SubstituteByKey(x.Base, repl), Field: x.Field}
+	case *sqlpp.IndexAccess:
+		return &sqlpp.IndexAccess{Base: SubstituteByKey(x.Base, repl), Index: SubstituteByKey(x.Index, repl)}
+	case *sqlpp.Call:
+		out := &sqlpp.Call{Fn: x.Fn, Distinct: x.Distinct}
+		for _, a := range x.Args {
+			out.Args = append(out.Args, SubstituteByKey(a, repl))
+		}
+		return out
+	case *sqlpp.Unary:
+		return &sqlpp.Unary{Op: x.Op, X: SubstituteByKey(x.X, repl)}
+	case *sqlpp.Binary:
+		return &sqlpp.Binary{Op: x.Op, L: SubstituteByKey(x.L, repl), R: SubstituteByKey(x.R, repl)}
+	case *sqlpp.IsExpr:
+		return &sqlpp.IsExpr{X: SubstituteByKey(x.X, repl), What: x.What, Negate: x.Negate}
+	case *sqlpp.Between:
+		return &sqlpp.Between{X: SubstituteByKey(x.X, repl), Lo: SubstituteByKey(x.Lo, repl), Hi: SubstituteByKey(x.Hi, repl), Negate: x.Negate}
+	case *sqlpp.InExpr:
+		return &sqlpp.InExpr{X: SubstituteByKey(x.X, repl), Coll: SubstituteByKey(x.Coll, repl), Negate: x.Negate}
+	case *sqlpp.CaseExpr:
+		out := &sqlpp.CaseExpr{}
+		if x.Operand != nil {
+			out.Operand = SubstituteByKey(x.Operand, repl)
+		}
+		for _, wt := range x.Whens {
+			out.Whens = append(out.Whens, sqlpp.WhenThen{
+				When: SubstituteByKey(wt.When, repl),
+				Then: SubstituteByKey(wt.Then, repl),
+			})
+		}
+		if x.Else != nil {
+			out.Else = SubstituteByKey(x.Else, repl)
+		}
+		return out
+	case *sqlpp.ObjectConstructor:
+		out := &sqlpp.ObjectConstructor{}
+		for _, f := range x.Fields {
+			out.Fields = append(out.Fields, sqlpp.ObjectField{
+				Name:  SubstituteByKey(f.Name, repl),
+				Value: SubstituteByKey(f.Value, repl),
+			})
+		}
+		return out
+	case *sqlpp.ArrayConstructor:
+		out := &sqlpp.ArrayConstructor{}
+		for _, el := range x.Elems {
+			out.Elems = append(out.Elems, SubstituteByKey(el, repl))
+		}
+		return out
+	case *sqlpp.MultisetConstructor:
+		out := &sqlpp.MultisetConstructor{}
+		for _, el := range x.Elems {
+			out.Elems = append(out.Elems, SubstituteByKey(el, repl))
+		}
+		return out
+	default:
+		return e
+	}
+}
+
+// groupKeyRewrites builds the substitution map key-expr → key-var for a
+// grouped block.
+func groupKeyRewrites(sel *sqlpp.SelectExpr) map[string]sqlpp.Expr {
+	repl := map[string]sqlpp.Expr{}
+	for _, gk := range sel.GroupBy {
+		repl[ExprKey(gk.Expr)] = &sqlpp.VarRef{Name: gk.Alias}
+	}
+	return repl
+}

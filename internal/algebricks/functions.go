@@ -1,0 +1,688 @@
+package algebricks
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"asterix/internal/adm"
+	"asterix/internal/sqlpp"
+)
+
+// evalCall dispatches built-in function calls. Aggregate functions
+// evaluated in scalar position receive a collection argument (their
+// COLL_-style semantics); under GROUP BY the translator rewrites them to
+// runtime aggregates before this path is reached.
+func (ev *Evaluator) evalCall(x *sqlpp.Call, env *Env) (adm.Value, error) {
+	args := make([]adm.Value, len(x.Args))
+	for i, a := range x.Args {
+		v, err := ev.Eval(a, env)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	return ev.callFn(x.Fn, args, x.Distinct)
+}
+
+func (ev *Evaluator) callFn(fn string, args []adm.Value, distinct bool) (adm.Value, error) {
+	need := func(n int) error {
+		if len(args) != n {
+			return evalErrf("%s expects %d argument(s), got %d", fn, n, len(args))
+		}
+		return nil
+	}
+	str := func(i int) (string, bool) {
+		s, ok := args[i].(adm.String)
+		return string(s), ok
+	}
+	anyUnknown := func() bool {
+		for _, a := range args {
+			if a.Kind() <= adm.KindNull {
+				return true
+			}
+		}
+		return false
+	}
+
+	switch fn {
+	// --- Constructors (ADM's extended types). ---
+	case "datetime":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		if dt, ok := args[0].(adm.Datetime); ok {
+			return dt, nil
+		}
+		s, ok := str(0)
+		if !ok {
+			return adm.Null, nil
+		}
+		dt, err := adm.ParseDatetime(s)
+		if err != nil {
+			return adm.Null, nil
+		}
+		return dt, nil
+	case "date":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		s, ok := str(0)
+		if !ok {
+			return adm.Null, nil
+		}
+		d, err := adm.ParseDate(s)
+		if err != nil {
+			return adm.Null, nil
+		}
+		return d, nil
+	case "time":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		s, ok := str(0)
+		if !ok {
+			return adm.Null, nil
+		}
+		t, err := adm.ParseTime(s)
+		if err != nil {
+			return adm.Null, nil
+		}
+		return t, nil
+	case "duration":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		s, ok := str(0)
+		if !ok {
+			return adm.Null, nil
+		}
+		d, err := adm.ParseDuration(s)
+		if err != nil {
+			return adm.Null, nil
+		}
+		return d, nil
+	case "point":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		xf, ok1 := adm.AsFloat(args[0])
+		yf, ok2 := adm.AsFloat(args[1])
+		if !ok1 || !ok2 {
+			return adm.Null, nil
+		}
+		return adm.Point{X: xf, Y: yf}, nil
+	case "create_rectangle", "rectangle":
+		if err := need(4); err != nil {
+			return nil, err
+		}
+		var f [4]float64
+		for i := range f {
+			v, ok := adm.AsFloat(args[i])
+			if !ok {
+				return adm.Null, nil
+			}
+			f[i] = v
+		}
+		return adm.Rectangle{MinX: f[0], MinY: f[1], MaxX: f[2], MaxY: f[3]}, nil
+	case "current_datetime":
+		return ev.Now, nil
+	case "current_date":
+		return adm.Date(int64(ev.Now) / (24 * 3600 * 1000)), nil
+
+	// --- Temporal accessors. ---
+	case "get_year", "year":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		if dt, ok := args[0].(adm.Datetime); ok {
+			return adm.Int64(time.UnixMilli(int64(dt)).UTC().Year()), nil
+		}
+		if d, ok := args[0].(adm.Date); ok {
+			return adm.Int64(time.Unix(int64(d)*24*3600, 0).UTC().Year()), nil
+		}
+		return adm.Null, nil
+	case "get_month", "month":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		if dt, ok := args[0].(adm.Datetime); ok {
+			return adm.Int64(int(time.UnixMilli(int64(dt)).UTC().Month())), nil
+		}
+		if d, ok := args[0].(adm.Date); ok {
+			return adm.Int64(int(time.Unix(int64(d)*24*3600, 0).UTC().Month())), nil
+		}
+		return adm.Null, nil
+	case "get_day", "day":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		if dt, ok := args[0].(adm.Datetime); ok {
+			return adm.Int64(time.UnixMilli(int64(dt)).UTC().Day()), nil
+		}
+		return adm.Null, nil
+	case "get_interval_bin", "interval_bin":
+		// interval_bin(dt, origin, duration): the start of dt's bin —
+		// the temporal binning the paper's Section V-D user study needed.
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		dt, ok1 := args[0].(adm.Datetime)
+		origin, ok2 := args[1].(adm.Datetime)
+		dur, ok3 := args[2].(adm.Duration)
+		if !ok1 || !ok2 || !ok3 || (dur.Millis == 0 && dur.Months == 0) {
+			return adm.Null, nil
+		}
+		if dur.Months != 0 {
+			// Month-granularity binning.
+			t0 := time.UnixMilli(int64(origin)).UTC()
+			t := time.UnixMilli(int64(dt)).UTC()
+			months := (t.Year()-t0.Year())*12 + int(t.Month()) - int(t0.Month())
+			bins := months / int(dur.Months)
+			if months < 0 && months%int(dur.Months) != 0 {
+				bins--
+			}
+			return adm.AddDuration(origin, adm.Duration{Months: int32(bins) * dur.Months}), nil
+		}
+		delta := int64(dt) - int64(origin)
+		bins := delta / dur.Millis
+		if delta < 0 && delta%dur.Millis != 0 {
+			bins--
+		}
+		return adm.Datetime(int64(origin) + bins*dur.Millis), nil
+
+	case "duration_ms", "ms_from_duration":
+		// Millisecond image of a duration (months converted at 30 days,
+		// as in the duration total order).
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		d, ok := args[0].(adm.Duration)
+		if !ok {
+			return adm.Null, nil
+		}
+		return adm.Int64(int64(d.Months)*30*24*3600*1000 + d.Millis), nil
+	case "datetime_to_ms", "unix_time_from_datetime_in_ms":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		dt, ok := args[0].(adm.Datetime)
+		if !ok {
+			return adm.Null, nil
+		}
+		return adm.Int64(int64(dt)), nil
+	case "datetime_from_ms", "datetime_from_unix_time_in_ms":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		i, ok := adm.AsInt(args[0])
+		if !ok {
+			return adm.Null, nil
+		}
+		return adm.Datetime(i), nil
+
+	// --- Strings. ---
+	case "lower", "lowercase":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		s, ok := str(0)
+		if !ok {
+			return adm.Null, nil
+		}
+		return adm.String(strings.ToLower(s)), nil
+	case "upper", "uppercase":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		s, ok := str(0)
+		if !ok {
+			return adm.Null, nil
+		}
+		return adm.String(strings.ToUpper(s)), nil
+	case "string_length", "length":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		s, ok := str(0)
+		if !ok {
+			return adm.Null, nil
+		}
+		return adm.Int64(len(s)), nil
+	case "contains":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		s, ok1 := str(0)
+		sub, ok2 := str(1)
+		if !ok1 || !ok2 {
+			return adm.Null, nil
+		}
+		return adm.Boolean(strings.Contains(s, sub)), nil
+	case "ftcontains":
+		// Full-text containment: token membership (keyword index).
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		s, ok1 := str(0)
+		w, ok2 := str(1)
+		if !ok1 || !ok2 {
+			return adm.Null, nil
+		}
+		for _, tok := range Tokenize(s) {
+			if tok == strings.ToLower(w) {
+				return adm.Boolean(true), nil
+			}
+		}
+		return adm.Boolean(false), nil
+	case "starts_with":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		s, ok1 := str(0)
+		pre, ok2 := str(1)
+		if !ok1 || !ok2 {
+			return adm.Null, nil
+		}
+		return adm.Boolean(strings.HasPrefix(s, pre)), nil
+	case "ends_with":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		s, ok1 := str(0)
+		suf, ok2 := str(1)
+		if !ok1 || !ok2 {
+			return adm.Null, nil
+		}
+		return adm.Boolean(strings.HasSuffix(s, suf)), nil
+	case "substring", "substr":
+		if len(args) < 2 || len(args) > 3 {
+			return nil, evalErrf("substring expects 2 or 3 arguments")
+		}
+		s, ok := str(0)
+		if !ok {
+			return adm.Null, nil
+		}
+		start, ok := adm.AsInt(args[1])
+		if !ok {
+			return adm.Null, nil
+		}
+		if start < 0 {
+			start = 0
+		}
+		if start > int64(len(s)) {
+			start = int64(len(s))
+		}
+		end := int64(len(s))
+		if len(args) == 3 {
+			n, ok := adm.AsInt(args[2])
+			if !ok {
+				return adm.Null, nil
+			}
+			end = start + n
+			if end > int64(len(s)) {
+				end = int64(len(s))
+			}
+		}
+		return adm.String(s[start:end]), nil
+	case "split":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		s, ok1 := str(0)
+		sep, ok2 := str(1)
+		if !ok1 || !ok2 {
+			return adm.Null, nil
+		}
+		var out adm.Array
+		for _, part := range strings.Split(s, sep) {
+			out = append(out, adm.String(part))
+		}
+		return out, nil
+	case "to_string", "string":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		if s, ok := args[0].(adm.String); ok {
+			return s, nil
+		}
+		return adm.String(args[0].String()), nil
+
+	// --- Numerics. ---
+	case "abs":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		switch n := args[0].(type) {
+		case adm.Int64:
+			if n < 0 {
+				return -n, nil
+			}
+			return n, nil
+		case adm.Double:
+			return adm.Double(math.Abs(float64(n))), nil
+		}
+		return adm.Null, nil
+	case "floor", "ceil", "round", "sqrt":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		f, ok := adm.AsFloat(args[0])
+		if !ok {
+			return adm.Null, nil
+		}
+		switch fn {
+		case "floor":
+			return adm.Double(math.Floor(f)), nil
+		case "ceil":
+			return adm.Double(math.Ceil(f)), nil
+		case "round":
+			return adm.Double(math.Round(f)), nil
+		default:
+			return adm.Double(math.Sqrt(f)), nil
+		}
+	case "to_bigint", "to_number", "int":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		if i, ok := adm.AsInt(args[0]); ok {
+			return adm.Int64(i), nil
+		}
+		return adm.Null, nil
+
+	// --- Collections (COLL_* and friends). ---
+	case "coll_count", "array_count", "len":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		if elems, ok := asCollection(args[0]); ok {
+			return adm.Int64(len(elems)), nil
+		}
+		return adm.Null, nil
+	case "coll_sum", "array_sum", "coll_min", "array_min", "coll_max",
+		"array_max", "coll_avg", "array_avg",
+		"count", "sum", "min", "max", "avg", "array_agg":
+		// Scalar (COLL_-style) aggregate over a collection argument.
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		elems, ok := asCollection(args[0])
+		if !ok {
+			if anyUnknown() {
+				return adm.Null, nil
+			}
+			return nil, evalErrf("%s expects a collection, got %s", fn, args[0].Kind())
+		}
+		if distinct {
+			elems = dedupe(elems)
+		}
+		return foldAggregate(strings.TrimPrefix(strings.TrimPrefix(fn, "coll_"), "array_"), elems)
+
+	case "field_collect":
+		// field_collect(groupAs, "name"): project one field out of a
+		// GROUP AS collection (AQL's with-variable lowering).
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		elems, ok := asCollection(args[0])
+		if !ok {
+			return adm.Null, nil
+		}
+		name, ok := str(1)
+		if !ok {
+			return adm.Null, nil
+		}
+		var out adm.Array
+		for _, e := range elems {
+			if o, ok := e.(*adm.Object); ok {
+				out = append(out, o.Get(name))
+			}
+		}
+		return out, nil
+
+	case "array_contains":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		elems, ok := asCollection(args[0])
+		if !ok {
+			return adm.Null, nil
+		}
+		for _, e := range elems {
+			if adm.Compare(e, args[1]) == 0 {
+				return adm.Boolean(true), nil
+			}
+		}
+		return adm.Boolean(false), nil
+	case "array_distinct":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		elems, ok := asCollection(args[0])
+		if !ok {
+			return adm.Null, nil
+		}
+		return adm.Array(dedupe(elems)), nil
+	case "range":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		lo, ok1 := adm.AsInt(args[0])
+		hi, ok2 := adm.AsInt(args[1])
+		if !ok1 || !ok2 {
+			return adm.Null, nil
+		}
+		var out adm.Array
+		for i := lo; i <= hi; i++ {
+			out = append(out, adm.Int64(i))
+		}
+		return out, nil
+
+	// --- Spatial. ---
+	case "spatial_intersect":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return spatialIntersect(args[0], args[1])
+	case "spatial_distance":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		p1, ok1 := args[0].(adm.Point)
+		p2, ok2 := args[1].(adm.Point)
+		if !ok1 || !ok2 {
+			return adm.Null, nil
+		}
+		return adm.Double(math.Hypot(p1.X-p2.X, p1.Y-p2.Y)), nil
+	case "get_x":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		if p, ok := args[0].(adm.Point); ok {
+			return adm.Double(p.X), nil
+		}
+		return adm.Null, nil
+	case "get_y":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		if p, ok := args[0].(adm.Point); ok {
+			return adm.Double(p.Y), nil
+		}
+		return adm.Null, nil
+
+	// --- Objects. ---
+	case "object_names":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		if o, ok := args[0].(*adm.Object); ok {
+			var out adm.Array
+			for _, f := range o.Fields() {
+				out = append(out, adm.String(f.Name))
+			}
+			return out, nil
+		}
+		return adm.Null, nil
+	case "object_remove":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		o, ok1 := args[0].(*adm.Object)
+		name, ok2 := str(1)
+		if !ok1 || !ok2 {
+			return adm.Null, nil
+		}
+		return o.Without(name), nil
+	case "object_merge":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		a, ok1 := args[0].(*adm.Object)
+		b, ok2 := args[1].(*adm.Object)
+		if !ok1 || !ok2 {
+			return adm.Null, nil
+		}
+		out := adm.NewObject(a.Fields()...)
+		for _, f := range b.Fields() {
+			out.Set(f.Name, f.Value)
+		}
+		return out, nil
+
+	case "is_missing":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return adm.Boolean(args[0].Kind() == adm.KindMissing), nil
+	case "is_null":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return adm.Boolean(args[0].Kind() == adm.KindNull), nil
+	case "if_missing_or_null", "coalesce":
+		for _, a := range args {
+			if a.Kind() > adm.KindNull {
+				return a, nil
+			}
+		}
+		return adm.Null, nil
+	}
+	return nil, evalErrf("unknown function %q", fn)
+}
+
+// foldAggregate applies a COLL_-style aggregate over elements, skipping
+// null/missing per SQL semantics.
+func foldAggregate(fn string, elems []adm.Value) (adm.Value, error) {
+	switch fn {
+	case "count":
+		n := 0
+		for _, e := range elems {
+			if e.Kind() > adm.KindNull {
+				n++
+			}
+		}
+		return adm.Int64(n), nil
+	case "array_agg", "agg":
+		return adm.Array(elems), nil
+	case "sum", "avg":
+		var sum adm.Value = adm.Null
+		n := 0
+		for _, e := range elems {
+			if e.Kind() <= adm.KindNull {
+				continue
+			}
+			if _, ok := adm.AsFloat(e); !ok {
+				return nil, evalErrf("%s over non-numeric %s", fn, e.Kind())
+			}
+			if sum.Kind() <= adm.KindNull {
+				sum = e
+			} else {
+				s, _ := adm.AsFloat(sum)
+				v, _ := adm.AsFloat(e)
+				si, sInt := sum.(adm.Int64)
+				vi, vInt := e.(adm.Int64)
+				if sInt && vInt {
+					sum = si + vi
+				} else {
+					sum = adm.Double(s + v)
+				}
+			}
+			n++
+		}
+		if fn == "sum" {
+			return sum, nil
+		}
+		if n == 0 || sum.Kind() <= adm.KindNull {
+			return adm.Null, nil
+		}
+		f, _ := adm.AsFloat(sum)
+		return adm.Double(f / float64(n)), nil
+	case "min", "max":
+		var best adm.Value = adm.Null
+		for _, e := range elems {
+			if e.Kind() <= adm.KindNull {
+				continue
+			}
+			if best.Kind() <= adm.KindNull {
+				best = e
+				continue
+			}
+			c := adm.Compare(e, best)
+			if (fn == "min" && c < 0) || (fn == "max" && c > 0) {
+				best = e
+			}
+		}
+		return best, nil
+	}
+	return nil, evalErrf("unknown aggregate %q", fn)
+}
+
+func dedupe(elems []adm.Value) []adm.Value {
+	sorted := append([]adm.Value(nil), elems...)
+	sort.Slice(sorted, func(i, j int) bool { return adm.Compare(sorted[i], sorted[j]) < 0 })
+	var out []adm.Value
+	for i, e := range sorted {
+		if i == 0 || adm.Compare(e, sorted[i-1]) != 0 {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func spatialIntersect(a, b adm.Value) (adm.Value, error) {
+	rect := func(v adm.Value) (adm.Rectangle, bool) {
+		switch x := v.(type) {
+		case adm.Rectangle:
+			return x, true
+		case adm.Point:
+			return adm.Rectangle{MinX: x.X, MinY: x.Y, MaxX: x.X, MaxY: x.Y}, true
+		}
+		return adm.Rectangle{}, false
+	}
+	ra, ok1 := rect(a)
+	rb, ok2 := rect(b)
+	if !ok1 || !ok2 {
+		return adm.Null, nil
+	}
+	return adm.Boolean(ra.Intersects(rb)), nil
+}
+
+// Tokenize splits text into lower-cased word tokens (the keyword index's
+// tokenizer).
+func Tokenize(s string) []string {
+	var out []string
+	var cur strings.Builder
+	for _, r := range s {
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' {
+			cur.WriteRune(r)
+		} else if cur.Len() > 0 {
+			out = append(out, strings.ToLower(cur.String()))
+			cur.Reset()
+		}
+	}
+	if cur.Len() > 0 {
+		out = append(out, strings.ToLower(cur.String()))
+	}
+	return out
+}

@@ -1,0 +1,615 @@
+package algebricks
+
+import (
+	"fmt"
+
+	"asterix/internal/adm"
+	"asterix/internal/hyracks"
+)
+
+// JobGen lowers an optimized logical plan to a Hyracks job.
+type JobGen struct {
+	Cluster *hyracks.Cluster
+	Catalog Catalog
+	Ev      *Evaluator
+	// Parallelism for compute operators (joins, group-bys); scans use
+	// the dataset's partition count.
+	Parallelism int
+}
+
+// built tracks a lowered subplan.
+type built struct {
+	op     *hyracks.Operator
+	schema []string
+	par    int
+	// ordered is non-nil when the stream is globally ordered (single
+	// partition) by this comparator.
+	ordered *hyracks.Comparator
+}
+
+// Build lowers plan into a job whose results land in coll as single-value
+// tuples (the $result column).
+func (g *JobGen) Build(plan Op, coll *hyracks.Collector) (*hyracks.Job, error) {
+	if g.Parallelism < 1 {
+		g.Parallelism = len(g.Cluster.Nodes)
+	}
+	j := hyracks.NewJob()
+	b, err := g.buildOp(j, plan)
+	if err != nil {
+		return nil, err
+	}
+	// Project down to the result column.
+	col := indexOf(b.schema, ResultVar)
+	if col < 0 {
+		return nil, fmt.Errorf("jobgen: plan produces no %s column", ResultVar)
+	}
+	proj := j.Add(hyracks.NewMap("project-result", b.par, func(tc *hyracks.TaskContext, t hyracks.Tuple, emit func(hyracks.Tuple) error) error {
+		return emit(hyracks.Tuple{t[col]})
+	}))
+	j.MustConnect(b.op, proj, 0, hyracks.OneToOne())
+	sinkPar := b.par
+	conn := hyracks.OneToOne()
+	if b.ordered != nil || b.par == 1 {
+		sinkPar = 1
+	} else {
+		sinkPar = 1
+		conn = hyracks.MergeUnordered()
+	}
+	sink := j.Add(hyracks.NewSink("sink", sinkPar, coll))
+	j.MustConnect(proj, sink, 0, conn)
+	return j, nil
+}
+
+// envFor builds an evaluation environment over a tuple.
+func envFor(schema []string, t hyracks.Tuple) *Env {
+	return NewEnv(nil, schema, t)
+}
+
+func indexOf(schema []string, name string) int {
+	for i, s := range schema {
+		if s == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func (g *JobGen) buildOp(j *hyracks.Job, plan Op) (built, error) {
+	switch o := plan.(type) {
+	case *EtsOp:
+		op := j.Add(hyracks.NewScan("ets", 1, func(tc *hyracks.TaskContext, emit func(hyracks.Tuple) error) error {
+			return emit(hyracks.Tuple{})
+		}))
+		return built{op: op, schema: nil, par: 1}, nil
+
+	case *ScanOp:
+		ds, ok := g.Catalog.Resolve(o.Dataset)
+		if !ok {
+			return built{}, fmt.Errorf("jobgen: unknown dataset %q", o.Dataset)
+		}
+		par := ds.Partitions()
+		op := j.Add(hyracks.NewScan("scan-"+o.Dataset, par, func(tc *hyracks.TaskContext, emit func(hyracks.Tuple) error) error {
+			return ds.ScanPartition(tc.Partition, func(rec adm.Value) error {
+				return emit(hyracks.Tuple{rec})
+			})
+		}))
+		return built{op: op, schema: []string{o.Var}, par: par}, nil
+
+	case *IndexSearchOp:
+		idx, ok := g.Catalog.ResolveIndex(o.Dataset, o.Field)
+		if !ok {
+			return built{}, fmt.Errorf("jobgen: no index on %s.%s", o.Dataset, o.Field)
+		}
+		ds, ok := g.Catalog.Resolve(o.Dataset)
+		if !ok {
+			return built{}, fmt.Errorf("jobgen: unknown dataset %q", o.Dataset)
+		}
+		par := ds.Partitions()
+		// Evaluate the constant search arguments now.
+		env := NewEnv(nil, nil, nil)
+		var lo, hi adm.Value
+		var rect adm.Rectangle
+		var token string
+		var err error
+		if o.Lo != nil {
+			if lo, err = g.Ev.Eval(o.Lo, env); err != nil {
+				return built{}, err
+			}
+		}
+		if o.Hi != nil {
+			if hi, err = g.Ev.Eval(o.Hi, env); err != nil {
+				return built{}, err
+			}
+		}
+		if o.Rect != nil {
+			rv, err := g.Ev.Eval(o.Rect, env)
+			if err != nil {
+				return built{}, err
+			}
+			switch r := rv.(type) {
+			case adm.Rectangle:
+				rect = r
+			case adm.Point:
+				rect = adm.Rectangle{MinX: r.X, MinY: r.Y, MaxX: r.X, MaxY: r.Y}
+			default:
+				return built{}, fmt.Errorf("jobgen: rtree search requires a rectangle")
+			}
+		}
+		if o.Token != nil {
+			tv, err := g.Ev.Eval(o.Token, env)
+			if err != nil {
+				return built{}, err
+			}
+			s, ok := tv.(adm.String)
+			if !ok {
+				return built{}, fmt.Errorf("jobgen: keyword search requires a string")
+			}
+			token = string(s)
+		}
+		kind := o.Kind
+		op := j.Add(hyracks.NewScan("idx-"+o.Dataset+"."+o.Field, par, func(tc *hyracks.TaskContext, emit func(hyracks.Tuple) error) error {
+			cb := func(rec adm.Value) error { return emit(hyracks.Tuple{rec}) }
+			switch kind {
+			case "BTREE":
+				return idx.SearchRange(tc.Partition, lo, hi, o.LoInc, o.HiInc, cb)
+			case "RTREE", "ZORDER", "HILBERT", "GRID":
+				return idx.SearchSpatial(tc.Partition, rect, cb)
+			case "KEYWORD":
+				return idx.SearchKeyword(tc.Partition, token, cb)
+			}
+			return fmt.Errorf("jobgen: unknown index kind %s", kind)
+		}))
+		return built{op: op, schema: []string{o.Var}, par: par}, nil
+
+	case *SelectOp:
+		in, err := g.buildOp(j, o.In)
+		if err != nil {
+			return built{}, err
+		}
+		schema := in.schema
+		cond := o.Cond
+		op := j.Add(hyracks.NewMap("select", in.par, func(tc *hyracks.TaskContext, t hyracks.Tuple, emit func(hyracks.Tuple) error) error {
+			ok, err := g.Ev.truthyExpr(cond, envFor(schema, t))
+			if err != nil {
+				return err
+			}
+			if ok {
+				return emit(t)
+			}
+			return nil
+		}))
+		j.MustConnect(in.op, op, 0, hyracks.OneToOne())
+		return built{op: op, schema: schema, par: in.par, ordered: in.ordered}, nil
+
+	case *AssignOp:
+		in, err := g.buildOp(j, o.In)
+		if err != nil {
+			return built{}, err
+		}
+		schema := in.schema
+		expr := o.Expr
+		op := j.Add(hyracks.NewMap("assign-"+o.Var, in.par, func(tc *hyracks.TaskContext, t hyracks.Tuple, emit func(hyracks.Tuple) error) error {
+			v, err := g.Ev.Eval(expr, envFor(schema, t))
+			if err != nil {
+				return err
+			}
+			out := make(hyracks.Tuple, 0, len(t)+1)
+			out = append(out, t...)
+			out = append(out, v)
+			return emit(out)
+		}))
+		j.MustConnect(in.op, op, 0, hyracks.OneToOne())
+		return built{op: op, schema: plan.Schema(), par: in.par, ordered: in.ordered}, nil
+
+	case *UnnestOp:
+		in, err := g.buildOp(j, o.In)
+		if err != nil {
+			return built{}, err
+		}
+		schema := in.schema
+		expr := o.Expr
+		outer := o.Outer
+		op := j.Add(hyracks.NewMap("unnest-"+o.Var, in.par, func(tc *hyracks.TaskContext, t hyracks.Tuple, emit func(hyracks.Tuple) error) error {
+			v, err := g.Ev.Eval(expr, envFor(schema, t))
+			if err != nil {
+				return err
+			}
+			elems, ok := asCollection(v)
+			if !ok || len(elems) == 0 {
+				if outer {
+					out := append(append(hyracks.Tuple{}, t...), adm.Missing)
+					return emit(out)
+				}
+				return nil
+			}
+			for _, el := range elems {
+				out := make(hyracks.Tuple, 0, len(t)+1)
+				out = append(out, t...)
+				out = append(out, el)
+				if err := emit(out); err != nil {
+					return err
+				}
+			}
+			return nil
+		}))
+		j.MustConnect(in.op, op, 0, hyracks.OneToOne())
+		return built{op: op, schema: plan.Schema(), par: in.par}, nil
+
+	case *JoinOp:
+		return g.buildJoin(j, o)
+
+	case *GroupOp:
+		return g.buildGroup(j, o)
+
+	case *ResultOp:
+		in, err := g.buildOp(j, o.In)
+		if err != nil {
+			return built{}, err
+		}
+		schema := in.schema
+		expr := o.Expr
+		op := j.Add(hyracks.NewMap("result", in.par, func(tc *hyracks.TaskContext, t hyracks.Tuple, emit func(hyracks.Tuple) error) error {
+			v, err := g.Ev.Eval(expr, envFor(schema, t))
+			if err != nil {
+				return err
+			}
+			out := make(hyracks.Tuple, 0, len(t)+1)
+			out = append(out, t...)
+			out = append(out, v)
+			return emit(out)
+		}))
+		j.MustConnect(in.op, op, 0, hyracks.OneToOne())
+		return built{op: op, schema: plan.Schema(), par: in.par, ordered: in.ordered}, nil
+
+	case *DistinctOp:
+		in, err := g.buildOp(j, o.In)
+		if err != nil {
+			return built{}, err
+		}
+		col := indexOf(in.schema, ResultVar)
+		if col < 0 {
+			return built{}, fmt.Errorf("jobgen: distinct without result column")
+		}
+		par := g.Parallelism
+		proj := j.Add(hyracks.NewMap("distinct-project", in.par, func(tc *hyracks.TaskContext, t hyracks.Tuple, emit func(hyracks.Tuple) error) error {
+			return emit(hyracks.Tuple{t[col]})
+		}))
+		j.MustConnect(in.op, proj, 0, hyracks.OneToOne())
+		d := j.Add(hyracks.NewDistinct("distinct", par, 1))
+		j.MustConnect(proj, d, 0, hyracks.HashPartition(0))
+		return built{op: d, schema: []string{ResultVar}, par: par}, nil
+
+	case *OrderOp:
+		in, err := g.buildOp(j, o.In)
+		if err != nil {
+			return built{}, err
+		}
+		schema := in.schema
+		// Append sort-key columns.
+		items := o.Items
+		keyed := j.Add(hyracks.NewMap("order-keys", in.par, func(tc *hyracks.TaskContext, t hyracks.Tuple, emit func(hyracks.Tuple) error) error {
+			out := make(hyracks.Tuple, 0, len(t)+len(items))
+			out = append(out, t...)
+			for _, it := range items {
+				v, err := g.Ev.Eval(it.Expr, envFor(schema, t))
+				if err != nil {
+					return err
+				}
+				out = append(out, v)
+			}
+			return emit(out)
+		}))
+		j.MustConnect(in.op, keyed, 0, hyracks.OneToOne())
+		cmp := hyracks.Comparator{}
+		for i, it := range items {
+			cmp.Columns = append(cmp.Columns, len(schema)+i)
+			cmp.Desc = append(cmp.Desc, it.Desc)
+		}
+		sorter := j.Add(hyracks.NewSort("order", in.par, cmp))
+		j.MustConnect(keyed, sorter, 0, hyracks.OneToOne())
+		// Concentrate to a single ordered stream and drop key columns.
+		strip := j.Add(hyracks.NewMap("order-strip", 1, func(tc *hyracks.TaskContext, t hyracks.Tuple, emit func(hyracks.Tuple) error) error {
+			return emit(t[:len(schema)])
+		}))
+		j.MustConnect(sorter, strip, 0, hyracks.MergeOrdered(cmp))
+		return built{op: strip, schema: schema, par: 1, ordered: &cmp}, nil
+
+	case *UnionAllOp:
+		union := j.Add(hyracks.NewUnionAll("union-all", 1, len(o.Ins)))
+		for port, inPlan := range o.Ins {
+			in, err := g.buildOp(j, inPlan)
+			if err != nil {
+				return built{}, err
+			}
+			col := indexOf(in.schema, ResultVar)
+			if col < 0 {
+				return built{}, fmt.Errorf("jobgen: union branch lacks %s", ResultVar)
+			}
+			proj := j.Add(hyracks.NewMap("union-project", in.par, func(tc *hyracks.TaskContext, t hyracks.Tuple, emit func(hyracks.Tuple) error) error {
+				return emit(hyracks.Tuple{t[col]})
+			}))
+			j.MustConnect(in.op, proj, 0, hyracks.OneToOne())
+			j.MustConnect(proj, union, port, hyracks.MergeUnordered())
+		}
+		return built{op: union, schema: []string{ResultVar}, par: 1}, nil
+
+	case *LimitOp:
+		in, err := g.buildOp(j, o.In)
+		if err != nil {
+			return built{}, err
+		}
+		limit := o.Limit
+		offset := o.Offset
+		if limit < 0 {
+			limit = 1<<62 - 1
+		}
+		// Limit runs single-partition (after a merge when parallel).
+		var upstream built = in
+		if in.par > 1 {
+			pass := j.Add(hyracks.NewMap("limit-merge", 1, func(tc *hyracks.TaskContext, t hyracks.Tuple, emit func(hyracks.Tuple) error) error {
+				return emit(t)
+			}))
+			j.MustConnect(in.op, pass, 0, hyracks.MergeUnordered())
+			upstream = built{op: pass, schema: in.schema, par: 1}
+		}
+		var seen int64
+		op := j.Add(hyracks.NewMap("limit", 1, func(tc *hyracks.TaskContext, t hyracks.Tuple, emit func(hyracks.Tuple) error) error {
+			seen++
+			if seen <= offset {
+				return nil
+			}
+			if seen > offset+limit {
+				return nil
+			}
+			return emit(t)
+		}))
+		j.MustConnect(upstream.op, op, 0, hyracks.OneToOne())
+		return built{op: op, schema: in.schema, par: 1, ordered: in.ordered}, nil
+	}
+	return built{}, fmt.Errorf("jobgen: unsupported operator %T", plan)
+}
+
+func (g *JobGen) buildJoin(j *hyracks.Job, o *JoinOp) (built, error) {
+	l, err := g.buildOp(j, o.L)
+	if err != nil {
+		return built{}, err
+	}
+	r, err := g.buildOp(j, o.R)
+	if err != nil {
+		return built{}, err
+	}
+	outSchema := o.Schema()
+	par := g.Parallelism
+
+	if len(o.LeftKeys) > 0 {
+		// Hash join on key columns.
+		var lCols, rCols []int
+		for i := range o.LeftKeys {
+			lc := indexOf(l.schema, o.LeftKeys[i])
+			rc := indexOf(r.schema, o.RightKeys[i])
+			if lc < 0 || rc < 0 {
+				return built{}, fmt.Errorf("jobgen: join key columns missing")
+			}
+			lCols = append(lCols, lc)
+			rCols = append(rCols, rc)
+		}
+		kind := hyracks.InnerJoin
+		switch o.Kind {
+		case JoinLeftOuter:
+			kind = hyracks.LeftOuterJoin
+		case JoinSemi:
+			kind = hyracks.LeftSemiJoin
+		}
+		// Residual ON conjuncts are checked per key-matching pair inside
+		// the join, preserving outer/semi match semantics.
+		var residual func(lt, rt hyracks.Tuple) (bool, error)
+		if o.On != nil {
+			lSchema, rSchema := l.schema, r.schema
+			cond := o.On
+			residual = func(lt, rt hyracks.Tuple) (bool, error) {
+				env := NewEnv(nil, lSchema, lt)
+				env = NewEnv(env, rSchema, rt)
+				return g.Ev.truthyExpr(cond, env)
+			}
+		}
+		join := j.Add(hyracks.NewHashJoin("hash-join", par, lCols, rCols, kind, len(r.schema), residual))
+		j.MustConnect(l.op, join, 0, hyracks.HashPartition(lCols...))
+		j.MustConnect(r.op, join, 1, hyracks.HashPartition(rCols...))
+		_ = outSchema
+		return built{op: join, schema: joinOutSchema(o, l.schema, r.schema), par: par}, nil
+	}
+
+	// Nested-loop join (cross product or non-equi condition).
+	kind := hyracks.InnerJoin
+	switch o.Kind {
+	case JoinLeftOuter:
+		kind = hyracks.LeftOuterJoin
+	case JoinSemi:
+		kind = hyracks.LeftSemiJoin
+	}
+	lSchema, rSchema := l.schema, r.schema
+	cond := o.On
+	pred := func(lt, rt hyracks.Tuple) (bool, error) {
+		if cond == nil {
+			return true, nil
+		}
+		env := NewEnv(nil, lSchema, lt)
+		env = NewEnv(env, rSchema, rt)
+		return g.Ev.truthyExpr(cond, env)
+	}
+	join := j.Add(hyracks.NewNestedLoopJoin("nl-join", l.par, pred, kind, len(r.schema)))
+	j.MustConnect(l.op, join, 0, hyracks.OneToOne())
+	j.MustConnect(r.op, join, 1, hyracks.Broadcast())
+	return built{op: join, schema: joinOutSchema(o, l.schema, r.schema), par: l.par}, nil
+}
+
+func joinOutSchema(o *JoinOp, l, r []string) []string {
+	if o.Kind == JoinSemi {
+		return l
+	}
+	return append(append([]string{}, l...), r...)
+}
+
+func (g *JobGen) buildGroup(j *hyracks.Job, o *GroupOp) (built, error) {
+	in, err := g.buildOp(j, o.In)
+	if err != nil {
+		return built{}, err
+	}
+	schema := in.schema
+	nKeys := len(o.Keys)
+	nAggs := len(o.Aggs)
+	hasGroupAs := o.GroupAs != ""
+	rowVars := o.RowVars
+
+	// Pre-compute: key columns, aggregate argument columns, and the
+	// GROUP AS object column.
+	keys := o.Keys
+	aggs := o.Aggs
+	prep := j.Add(hyracks.NewMap("group-prep", in.par, func(tc *hyracks.TaskContext, t hyracks.Tuple, emit func(hyracks.Tuple) error) error {
+		env := envFor(schema, t)
+		out := make(hyracks.Tuple, 0, nKeys+nAggs+1)
+		for _, k := range keys {
+			v, err := g.Ev.Eval(k.Expr, env)
+			if err != nil {
+				return err
+			}
+			out = append(out, v)
+		}
+		for _, a := range aggs {
+			if a.Star {
+				out = append(out, adm.Int64(1))
+				continue
+			}
+			v, err := g.Ev.Eval(a.Arg, env)
+			if err != nil {
+				return err
+			}
+			out = append(out, v)
+		}
+		if hasGroupAs {
+			obj := adm.NewObject()
+			for i, name := range rowVars {
+				if i < len(t) && t[i].Kind() != adm.KindMissing {
+					obj.Set(name, t[i])
+				}
+			}
+			out = append(out, obj)
+		}
+		return emit(out)
+	}))
+	j.MustConnect(in.op, prep, 0, hyracks.OneToOne())
+
+	groupCols := make([]int, nKeys)
+	for i := range groupCols {
+		groupCols[i] = i
+	}
+	var specs []hyracks.AggSpec
+	for i, a := range o.Aggs {
+		col := nKeys + i
+		spec, err := aggSpecFor(a, col)
+		if err != nil {
+			return built{}, err
+		}
+		specs = append(specs, spec)
+	}
+	if hasGroupAs {
+		specs = append(specs, hyracks.CollectAgg(nKeys+nAggs))
+	}
+
+	par := g.Parallelism
+	gb := j.Add(hyracks.NewGroupBy("group-by", parOrOne(nKeys, par), groupCols, specs))
+	if nKeys > 0 {
+		j.MustConnect(prep, gb, 0, hyracks.HashPartition(groupCols...))
+	} else {
+		j.MustConnect(prep, gb, 0, hyracks.MergeUnordered())
+	}
+
+	outOp := gb
+	outPar := parOrOne(nKeys, par)
+	// Global aggregation over empty input must still produce one row of
+	// defaults (COUNT(*) = 0 over an empty dataset).
+	if nKeys == 0 {
+		defaults := make(hyracks.Tuple, 0, len(specs))
+		for i, a := range o.Aggs {
+			spec, _ := aggSpecFor(a, i)
+			defaults = append(defaults, spec.Finish(spec.Init()))
+		}
+		if hasGroupAs {
+			defaults = append(defaults, adm.Array{})
+		}
+		fill := j.Add(&hyracks.Operator{
+			Name:        "global-agg-default",
+			Parallelism: 1,
+			New: func(int) hyracks.Runner {
+				return hyracks.RunnerFunc(func(tc *hyracks.TaskContext, ins []*hyracks.Input, outs []*hyracks.Output) error {
+					any := false
+					err := ins[0].ForEach(func(t hyracks.Tuple) error {
+						any = true
+						return outs[0].Write(t)
+					})
+					if err != nil {
+						return err
+					}
+					if !any {
+						return outs[0].Write(defaults)
+					}
+					return nil
+				})
+			},
+		})
+		j.MustConnect(gb, fill, 0, hyracks.OneToOne())
+		outOp = fill
+		outPar = 1
+	}
+	return built{op: outOp, schema: o.Schema(), par: outPar}, nil
+}
+
+func parOrOne(nKeys, par int) int {
+	if nKeys == 0 {
+		return 1
+	}
+	return par
+}
+
+// aggSpecFor maps an extracted aggregate to a runtime spec over its
+// argument column.
+func aggSpecFor(a AggRef, col int) (hyracks.AggSpec, error) {
+	if a.Distinct {
+		// Collect then dedupe at finish (exact, memory-proportional to
+		// group distinct cardinality).
+		base := hyracks.CollectAgg(col)
+		fn := a.Fn
+		return hyracks.AggSpec{
+			Name:  fn + "-distinct",
+			Init:  base.Init,
+			Step:  base.Step,
+			Merge: base.Merge,
+			Finish: func(s adm.Value) adm.Value {
+				elems := dedupe([]adm.Value(s.(adm.Array)))
+				v, err := foldAggregate(fn, elems)
+				if err != nil {
+					return adm.Null
+				}
+				return v
+			},
+		}, nil
+	}
+	switch a.Fn {
+	case "count":
+		if a.Star {
+			return hyracks.CountAgg(-1), nil
+		}
+		return hyracks.CountAgg(col), nil
+	case "sum":
+		return hyracks.SumAgg(col), nil
+	case "min":
+		return hyracks.MinAgg(col), nil
+	case "max":
+		return hyracks.MaxAgg(col), nil
+	case "avg":
+		return hyracks.AvgAgg(col), nil
+	case "array_agg":
+		return hyracks.CollectAgg(col), nil
+	}
+	return hyracks.AggSpec{}, fmt.Errorf("jobgen: unsupported aggregate %q", a.Fn)
+}

@@ -1,0 +1,571 @@
+package algebricks
+
+import (
+	"fmt"
+	"strings"
+
+	"asterix/internal/adm"
+	"asterix/internal/sqlpp"
+)
+
+// Op is a logical operator. Each op produces tuples whose columns are
+// named variables (Schema).
+type Op interface {
+	Schema() []string
+	Inputs() []Op
+	String() string
+}
+
+// EtsOp is the empty-tuple source: one tuple, no columns (the leaf under
+// constant FROM terms).
+type EtsOp struct{}
+
+// ScanOp is a full dataset scan binding each record to Var.
+type ScanOp struct {
+	Dataset string
+	Var     string
+}
+
+// IndexKind names the access paths an IndexSearchOp can use.
+type IndexKind string
+
+// IndexSearchOp replaces Scan+Select when a sargable predicate matches a
+// secondary index: search the index, fetch qualifying records (pk-sorted,
+// per [26]), and re-check the residual predicate.
+type IndexSearchOp struct {
+	Dataset string
+	Var     string
+	Field   string
+	Kind    string // BTREE, RTREE, KEYWORD, ...
+
+	// BTREE bounds (constant expressions; nil = unbounded).
+	Lo, Hi       sqlpp.Expr
+	LoInc, HiInc bool
+	// RTREE query rectangle (constant expression).
+	Rect sqlpp.Expr
+	// KEYWORD token (constant expression).
+	Token sqlpp.Expr
+}
+
+// SelectOp filters tuples by a predicate.
+type SelectOp struct {
+	In   Op
+	Cond sqlpp.Expr
+}
+
+// AssignOp appends a computed column.
+type AssignOp struct {
+	In   Op
+	Var  string
+	Expr sqlpp.Expr
+}
+
+// UnnestOp appends a column iterating a (possibly correlated) collection
+// expression; tuples whose collection is empty or non-collection are
+// dropped (or padded with missing when Outer).
+type UnnestOp struct {
+	In    Op
+	Var   string
+	Expr  sqlpp.Expr
+	Outer bool
+}
+
+// JoinKind for logical joins.
+type JoinKind int
+
+// Logical join kinds.
+const (
+	JoinInner JoinKind = iota
+	JoinLeftOuter
+	JoinSemi
+)
+
+// JoinOp joins two independent subplans. After rule application, equi
+// joins carry key variable lists (columns appended by assigns beneath).
+type JoinOp struct {
+	L, R Op
+	Kind JoinKind
+	On   sqlpp.Expr // nil = cross product
+	// Hash-join keys (variable names present in L/R schemas), set by the
+	// join-recognition rule.
+	LeftKeys, RightKeys []string
+}
+
+// GroupKeyDef is one grouping key.
+type GroupKeyDef struct {
+	Var  string
+	Expr sqlpp.Expr
+}
+
+// GroupOp groups by keys, computing extracted aggregates and optionally a
+// GROUP AS collection of the input row variables. Output schema: key vars,
+// aggregate vars, then GroupAs (if any).
+type GroupOp struct {
+	In      Op
+	Keys    []GroupKeyDef
+	Aggs    []AggRef
+	GroupAs string
+	RowVars []string // input schema captured for GROUP AS
+}
+
+// ResultOp appends the final projection value as column "$result".
+type ResultOp struct {
+	In   Op
+	Expr sqlpp.Expr
+}
+
+// DistinctOp removes duplicate $result values.
+type DistinctOp struct{ In Op }
+
+// OrderDef is one sort item.
+type OrderDef struct {
+	Expr sqlpp.Expr
+	Desc bool
+}
+
+// OrderOp sorts tuples.
+type OrderOp struct {
+	In    Op
+	Items []OrderDef
+}
+
+// LimitOp applies limit/offset (constants; -1 = none).
+type LimitOp struct {
+	In            Op
+	Limit, Offset int64
+}
+
+// UnionAllOp concatenates the $result streams of its inputs (bag union).
+type UnionAllOp struct{ Ins []Op }
+
+// Schema implements Op.
+func (o *UnionAllOp) Schema() []string { return []string{ResultVar} }
+
+// Inputs implements Op.
+func (o *UnionAllOp) Inputs() []Op { return o.Ins }
+func (o *UnionAllOp) String() string {
+	return fmt.Sprintf("union-all(%d)", len(o.Ins))
+}
+
+// ResultVar is the column name of the projected result value.
+const ResultVar = "$result"
+
+func (*EtsOp) Schema() []string    { return nil }
+func (*EtsOp) Inputs() []Op        { return nil }
+func (o *EtsOp) String() string    { return "ets" }
+func (o *ScanOp) Schema() []string { return []string{o.Var} }
+func (o *ScanOp) Inputs() []Op     { return nil }
+func (o *ScanOp) String() string   { return fmt.Sprintf("scan(%s as %s)", o.Dataset, o.Var) }
+
+func (o *IndexSearchOp) Schema() []string { return []string{o.Var} }
+func (o *IndexSearchOp) Inputs() []Op     { return nil }
+func (o *IndexSearchOp) String() string {
+	return fmt.Sprintf("index-search(%s.%s %s as %s)", o.Dataset, o.Field, o.Kind, o.Var)
+}
+
+func (o *SelectOp) Schema() []string { return o.In.Schema() }
+func (o *SelectOp) Inputs() []Op     { return []Op{o.In} }
+func (o *SelectOp) String() string   { return "select" }
+
+func (o *AssignOp) Schema() []string { return append(append([]string{}, o.In.Schema()...), o.Var) }
+func (o *AssignOp) Inputs() []Op     { return []Op{o.In} }
+func (o *AssignOp) String() string   { return "assign " + o.Var }
+
+func (o *UnnestOp) Schema() []string { return append(append([]string{}, o.In.Schema()...), o.Var) }
+func (o *UnnestOp) Inputs() []Op     { return []Op{o.In} }
+func (o *UnnestOp) String() string   { return "unnest " + o.Var }
+
+func (o *JoinOp) Schema() []string {
+	if o.Kind == JoinSemi {
+		return o.L.Schema()
+	}
+	return append(append([]string{}, o.L.Schema()...), o.R.Schema()...)
+}
+func (o *JoinOp) Inputs() []Op { return []Op{o.L, o.R} }
+func (o *JoinOp) String() string {
+	kinds := map[JoinKind]string{JoinInner: "inner", JoinLeftOuter: "left-outer", JoinSemi: "semi"}
+	how := "nested-loop"
+	if len(o.LeftKeys) > 0 {
+		how = "hash"
+	}
+	return fmt.Sprintf("join[%s,%s]", kinds[o.Kind], how)
+}
+
+func (o *GroupOp) Schema() []string {
+	var s []string
+	for _, k := range o.Keys {
+		s = append(s, k.Var)
+	}
+	for _, a := range o.Aggs {
+		s = append(s, a.Var)
+	}
+	if o.GroupAs != "" {
+		s = append(s, o.GroupAs)
+	}
+	return s
+}
+func (o *GroupOp) Inputs() []Op { return []Op{o.In} }
+func (o *GroupOp) String() string {
+	return fmt.Sprintf("group-by(%d keys, %d aggs)", len(o.Keys), len(o.Aggs))
+}
+
+func (o *ResultOp) Schema() []string { return append(append([]string{}, o.In.Schema()...), ResultVar) }
+func (o *ResultOp) Inputs() []Op     { return []Op{o.In} }
+func (o *ResultOp) String() string   { return "result" }
+
+func (o *DistinctOp) Schema() []string { return []string{ResultVar} }
+func (o *DistinctOp) Inputs() []Op     { return []Op{o.In} }
+func (o *DistinctOp) String() string   { return "distinct" }
+
+func (o *OrderOp) Schema() []string { return o.In.Schema() }
+func (o *OrderOp) Inputs() []Op     { return []Op{o.In} }
+func (o *OrderOp) String() string   { return fmt.Sprintf("order(%d keys)", len(o.Items)) }
+
+func (o *LimitOp) Schema() []string { return o.In.Schema() }
+func (o *LimitOp) Inputs() []Op     { return []Op{o.In} }
+func (o *LimitOp) String() string   { return fmt.Sprintf("limit(%d,%d)", o.Limit, o.Offset) }
+
+// PlanString renders a plan tree for tests and EXPLAIN.
+func PlanString(op Op) string {
+	var sb strings.Builder
+	var walk func(Op, int)
+	walk = func(o Op, depth int) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(o.String())
+		sb.WriteByte('\n')
+		for _, in := range o.Inputs() {
+			walk(in, depth+1)
+		}
+	}
+	walk(op, 0)
+	return sb.String()
+}
+
+// Translator lowers the AST to a logical plan.
+type Translator struct {
+	Ev      *Evaluator
+	Catalog Catalog
+	varGen  int
+}
+
+func (tr *Translator) freshVar(prefix string) string {
+	tr.varGen++
+	return fmt.Sprintf("$%s%d", prefix, tr.varGen)
+}
+
+// TranslateQuery lowers a top-level query body: a SELECT block or a
+// UNION ALL chain of them.
+func (tr *Translator) TranslateQuery(body sqlpp.Expr) (Op, error) {
+	switch x := body.(type) {
+	case *sqlpp.SelectExpr:
+		return tr.Translate(x)
+	case *sqlpp.UnionExpr:
+		u := &UnionAllOp{}
+		for _, b := range x.Blocks {
+			sel, ok := b.(*sqlpp.SelectExpr)
+			if !ok {
+				return nil, fmt.Errorf("UNION ALL branches must be SELECT blocks")
+			}
+			in, err := tr.Translate(sel)
+			if err != nil {
+				return nil, err
+			}
+			u.Ins = append(u.Ins, in)
+		}
+		return u, nil
+	}
+	return nil, fmt.Errorf("unsupported query body %T", body)
+}
+
+// Translate lowers a top-level SELECT block.
+func (tr *Translator) Translate(sel *sqlpp.SelectExpr) (Op, error) {
+	var plan Op = &EtsOp{}
+
+	// WITH bindings evaluate once per statement (constant w.r.t. the
+	// data being scanned).
+	baseEnv := NewEnv(nil, nil, nil)
+	for _, w := range sel.With {
+		v, err := tr.Ev.Eval(w.Expr, baseEnv)
+		if err != nil {
+			return nil, fmt.Errorf("WITH %s: %w", w.Var, err)
+		}
+		baseEnv.Bind(w.Var, v)
+		plan = &AssignOp{In: plan, Var: w.Var, Expr: &sqlpp.Literal{Value: v}}
+	}
+
+	for i, ft := range sel.From {
+		var err error
+		plan, err = tr.addFromTerm(plan, ft, i == 0 && len(sel.With) == 0)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(sel.From) == 0 {
+		// Expression-only query: SELECT VALUE 1+1.
+	}
+
+	for _, lc := range sel.Lets {
+		plan = &AssignOp{In: plan, Var: lc.Var, Expr: lc.Expr}
+	}
+	if sel.Where != nil {
+		plan = &SelectOp{In: plan, Cond: sel.Where}
+	}
+
+	// Grouping with shared aggregate numbering (mirrors the interpreter).
+	implicitAgg := len(sel.GroupBy) == 0 && tr.Ev.selectHasAggregates(sel)
+	grouping := len(sel.GroupBy) > 0 || implicitAgg
+
+	aliasMap := map[string]sqlpp.Expr{}
+	for _, item := range sel.Select.Items {
+		if item.Alias != "" {
+			aliasMap[item.Alias] = item.Expr
+		}
+	}
+	projExpr := tr.projectionFor(sel, plan)
+	havingExpr := sel.Having
+	orderExprs := make([]sqlpp.Expr, len(sel.OrderBy))
+	for i, oi := range sel.OrderBy {
+		orderExprs[i] = SubstituteVars(oi.Expr, aliasMap)
+	}
+	if grouping {
+		gen := 0
+		var aggs []AggRef
+		repl := groupKeyRewrites(sel)
+		projExpr = SubstituteByKey(ExtractAggregates(projExpr, &gen, &aggs), repl)
+		if havingExpr != nil {
+			havingExpr = SubstituteByKey(ExtractAggregates(havingExpr, &gen, &aggs), repl)
+		}
+		for i := range orderExprs {
+			orderExprs[i] = SubstituteByKey(ExtractAggregates(orderExprs[i], &gen, &aggs), repl)
+		}
+		// Dead GROUP AS elimination: materializing each group's rows is
+		// expensive; skip it when no post-group expression reads the
+		// binding (AQL's with-variables often compile this way).
+		groupAs := sel.GroupAs
+		if groupAs != "" {
+			used := map[string]bool{}
+			FreeVars(projExpr, used)
+			if havingExpr != nil {
+				FreeVars(havingExpr, used)
+			}
+			for _, oe := range orderExprs {
+				FreeVars(oe, used)
+			}
+			for _, a := range aggs {
+				if a.Arg != nil {
+					FreeVars(a.Arg, used)
+				}
+			}
+			if !used[groupAs] {
+				groupAs = ""
+			}
+		}
+		g := &GroupOp{In: plan, Aggs: aggs, GroupAs: groupAs, RowVars: plan.Schema()}
+		for _, gk := range sel.GroupBy {
+			g.Keys = append(g.Keys, GroupKeyDef{Var: gk.Alias, Expr: gk.Expr})
+		}
+		plan = g
+	}
+	if havingExpr != nil {
+		plan = &SelectOp{In: plan, Cond: havingExpr}
+	}
+
+	plan = &ResultOp{In: plan, Expr: projExpr}
+
+	if sel.Select.Distinct {
+		plan = &DistinctOp{In: plan}
+		// Order expressions after DISTINCT can only see the result value.
+		for i := range orderExprs {
+			orderExprs[i] = rebaseOnResult(orderExprs[i], aliasMap)
+		}
+	}
+	if len(orderExprs) > 0 {
+		o := &OrderOp{In: plan}
+		for i, oe := range orderExprs {
+			o.Items = append(o.Items, OrderDef{Expr: oe, Desc: sel.OrderBy[i].Desc})
+		}
+		plan = o
+	}
+	if sel.Limit != nil || sel.Offset != nil {
+		limit, offset := int64(-1), int64(0)
+		if sel.Limit != nil {
+			v, err := tr.Ev.Eval(sel.Limit, baseEnv)
+			if err != nil {
+				return nil, err
+			}
+			n, ok := adm.AsInt(v)
+			if !ok || n < 0 {
+				return nil, fmt.Errorf("LIMIT must be a non-negative integer")
+			}
+			limit = n
+		}
+		if sel.Offset != nil {
+			v, err := tr.Ev.Eval(sel.Offset, baseEnv)
+			if err != nil {
+				return nil, err
+			}
+			n, ok := adm.AsInt(v)
+			if !ok || n < 0 {
+				return nil, fmt.Errorf("OFFSET must be a non-negative integer")
+			}
+			offset = n
+		}
+		plan = &LimitOp{In: plan, Limit: limit, Offset: offset}
+	}
+	return plan, nil
+}
+
+// projectionFor builds the final projection expression; SELECT * expands
+// over the current schema's user-visible variables.
+func (tr *Translator) projectionFor(sel *sqlpp.SelectExpr, plan Op) sqlpp.Expr {
+	if sel.Select.Value != nil {
+		return sel.Select.Value
+	}
+	obj := &sqlpp.ObjectConstructor{}
+	if sel.Select.Star {
+		vars := plan.Schema()
+		if len(sel.GroupBy) > 0 {
+			vars = nil
+			for _, gk := range sel.GroupBy {
+				vars = append(vars, gk.Alias)
+			}
+			if sel.GroupAs != "" {
+				vars = append(vars, sel.GroupAs)
+			}
+		}
+		for _, v := range vars {
+			if strings.HasPrefix(v, "$") {
+				continue
+			}
+			obj.Fields = append(obj.Fields, sqlpp.ObjectField{
+				Name:  &sqlpp.Literal{Value: adm.String(v)},
+				Value: &sqlpp.VarRef{Name: v},
+			})
+		}
+		return obj
+	}
+	for _, it := range sel.Select.Items {
+		obj.Fields = append(obj.Fields, sqlpp.ObjectField{
+			Name:  &sqlpp.Literal{Value: adm.String(it.Alias)},
+			Value: it.Expr,
+		})
+	}
+	return obj
+}
+
+// rebaseOnResult rewrites an ORDER BY expression used above DISTINCT to
+// access fields of the projected result.
+func rebaseOnResult(e sqlpp.Expr, aliasMap map[string]sqlpp.Expr) sqlpp.Expr {
+	mapping := map[string]sqlpp.Expr{}
+	for alias := range aliasMap {
+		mapping[alias] = &sqlpp.FieldAccess{Base: &sqlpp.VarRef{Name: ResultVar}, Field: alias}
+	}
+	free := map[string]bool{}
+	FreeVars(e, free)
+	// Any other variable reference becomes the result itself (covers
+	// ORDER BY x after SELECT DISTINCT VALUE x).
+	for v := range free {
+		if _, ok := mapping[v]; !ok {
+			mapping[v] = &sqlpp.VarRef{Name: ResultVar}
+		}
+	}
+	return SubstituteVars(e, mapping)
+}
+
+// addFromTerm extends the plan with one FROM term and its join/unnest
+// links.
+func (tr *Translator) addFromTerm(plan Op, ft sqlpp.FromTerm, first bool) (Op, error) {
+	var err error
+	plan, err = tr.addSource(plan, ft.Expr, ft.Alias, false)
+	if err != nil {
+		return nil, err
+	}
+	for _, link := range ft.Links {
+		if link.IsJoin {
+			rhs, err := tr.sourcePlan(link.Expr, link.Alias)
+			if err == nil {
+				kind := JoinInner
+				if link.Kind == sqlpp.JoinLeftOuter {
+					kind = JoinLeftOuter
+				}
+				plan = &JoinOp{L: plan, R: rhs, Kind: kind, On: link.On}
+				continue
+			}
+			// Correlated right side: fall back to unnest + filter (inner
+			// joins only).
+			if link.Kind == sqlpp.JoinLeftOuter {
+				return nil, fmt.Errorf("LEFT JOIN with correlated right side is not supported")
+			}
+			plan, err = tr.addSource(plan, link.Expr, link.Alias, false)
+			if err != nil {
+				return nil, err
+			}
+			plan = &SelectOp{In: plan, Cond: link.On}
+			continue
+		}
+		// UNNEST (correlated by nature).
+		plan = &UnnestOp{In: plan, Var: link.Alias, Expr: link.Expr}
+	}
+	return plan, nil
+}
+
+// sourcePlan builds an independent subplan for an uncorrelated source
+// (dataset scan or constant collection); errors if correlated.
+func (tr *Translator) sourcePlan(e sqlpp.Expr, alias string) (Op, error) {
+	if vr, ok := e.(*sqlpp.VarRef); ok && tr.Catalog != nil {
+		if _, ok := tr.Catalog.Resolve(vr.Name); ok {
+			return &ScanOp{Dataset: vr.Name, Var: alias}, nil
+		}
+	}
+	free := map[string]bool{}
+	FreeVars(e, free)
+	for v := range free {
+		if tr.Catalog != nil {
+			if _, ok := tr.Catalog.Resolve(v); ok {
+				continue
+			}
+		}
+		return nil, fmt.Errorf("source expression references in-scope variable %q", v)
+	}
+	return &UnnestOp{In: &EtsOp{}, Var: alias, Expr: e}, nil
+}
+
+// addSource extends the current plan with a data source: an independent
+// source becomes a cross join; a correlated expression becomes an unnest.
+func (tr *Translator) addSource(plan Op, e sqlpp.Expr, alias string, outer bool) (Op, error) {
+	// Dataset scan?
+	if vr, ok := e.(*sqlpp.VarRef); ok && tr.Catalog != nil {
+		if _, ok := tr.Catalog.Resolve(vr.Name); ok {
+			scan := &ScanOp{Dataset: vr.Name, Var: alias}
+			if isEts(plan) {
+				return scan, nil
+			}
+			return &JoinOp{L: plan, R: scan, Kind: JoinInner}, nil
+		}
+	}
+	// Correlated with the current plan?
+	free := map[string]bool{}
+	FreeVars(e, free)
+	correlated := false
+	for _, v := range plan.Schema() {
+		if free[v] {
+			correlated = true
+			break
+		}
+	}
+	if correlated || isEts(plan) {
+		return &UnnestOp{In: plan, Var: alias, Expr: e, Outer: outer}, nil
+	}
+	rhs := &UnnestOp{In: &EtsOp{}, Var: alias, Expr: e, Outer: outer}
+	return &JoinOp{L: plan, R: rhs, Kind: JoinInner}, nil
+}
+
+func isEts(op Op) bool {
+	_, ok := op.(*EtsOp)
+	if ok {
+		return true
+	}
+	// A chain of assigns over ets is still a single-tuple source, but
+	// joining it is harmless; keep the simple test.
+	return false
+}

@@ -1,0 +1,422 @@
+package algebricks
+
+import (
+	"asterix/internal/adm"
+	"asterix/internal/sqlpp"
+)
+
+// Optimize applies the rule-based rewriter to a logical plan until
+// fixpoint (bounded): quantifier-to-semijoin, selection pushdown, join
+// recognition (equi-join key extraction), and index-access introduction —
+// the Algebricks rule pipeline of Figure 5 in miniature.
+func (tr *Translator) Optimize(plan Op) Op {
+	for pass := 0; pass < 8; pass++ {
+		var changed bool
+		plan, changed = tr.rewrite(plan)
+		if !changed {
+			break
+		}
+	}
+	return plan
+}
+
+func (tr *Translator) rewrite(op Op) (Op, bool) {
+	changed := false
+	// Rewrite children first (bottom-up).
+	switch o := op.(type) {
+	case *SelectOp:
+		in, c := tr.rewrite(o.In)
+		o.In, changed = in, c
+	case *AssignOp:
+		in, c := tr.rewrite(o.In)
+		o.In, changed = in, c
+	case *UnnestOp:
+		in, c := tr.rewrite(o.In)
+		o.In, changed = in, c
+	case *JoinOp:
+		l, c1 := tr.rewrite(o.L)
+		r, c2 := tr.rewrite(o.R)
+		o.L, o.R = l, r
+		changed = c1 || c2
+	case *GroupOp:
+		in, c := tr.rewrite(o.In)
+		o.In, changed = in, c
+	case *ResultOp:
+		in, c := tr.rewrite(o.In)
+		o.In, changed = in, c
+	case *DistinctOp:
+		in, c := tr.rewrite(o.In)
+		o.In, changed = in, c
+	case *OrderOp:
+		in, c := tr.rewrite(o.In)
+		o.In, changed = in, c
+	case *LimitOp:
+		in, c := tr.rewrite(o.In)
+		o.In, changed = in, c
+	case *UnionAllOp:
+		for i := range o.Ins {
+			in, c := tr.rewrite(o.Ins[i])
+			o.Ins[i] = in
+			changed = changed || c
+		}
+	}
+
+	if sel, ok := op.(*SelectOp); ok {
+		if out, c := tr.rewriteSelect(sel); c {
+			return out, true
+		}
+	}
+	if j, ok := op.(*JoinOp); ok && len(j.LeftKeys) == 0 && j.On != nil {
+		if c := tr.recognizeHashJoin(j); c {
+			return j, true
+		}
+	}
+	return op, changed
+}
+
+// conjuncts flattens a conjunction.
+func conjuncts(e sqlpp.Expr) []sqlpp.Expr {
+	if b, ok := e.(*sqlpp.Binary); ok && b.Op == "AND" {
+		return append(conjuncts(b.L), conjuncts(b.R)...)
+	}
+	return []sqlpp.Expr{e}
+}
+
+func conjoin(es []sqlpp.Expr) sqlpp.Expr {
+	if len(es) == 0 {
+		return nil
+	}
+	out := es[0]
+	for _, e := range es[1:] {
+		out = &sqlpp.Binary{Op: "AND", L: out, R: e}
+	}
+	return out
+}
+
+// usesOnly reports whether e's free variables (minus dataset names) are a
+// subset of vars.
+func (tr *Translator) usesOnly(e sqlpp.Expr, vars []string) bool {
+	free := map[string]bool{}
+	FreeVars(e, free)
+	allowed := map[string]bool{}
+	for _, v := range vars {
+		allowed[v] = true
+	}
+	for v := range free {
+		if allowed[v] {
+			continue
+		}
+		if tr.Catalog != nil {
+			if _, ok := tr.Catalog.Resolve(v); ok {
+				continue
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// isConstant reports whether e references no variables at all (safe to
+// evaluate at plan time).
+func (tr *Translator) isConstant(e sqlpp.Expr) bool {
+	free := map[string]bool{}
+	FreeVars(e, free)
+	return len(free) == 0
+}
+
+// rewriteSelect applies select-centered rules.
+func (tr *Translator) rewriteSelect(sel *SelectOp) (Op, bool) {
+	cs := conjuncts(sel.Cond)
+
+	// Rule: quantifier-to-semijoin. SOME x IN <dataset> SATISFIES pred
+	// becomes a (hash) semi join against the dataset.
+	for i, c := range cs {
+		q, ok := c.(*sqlpp.QuantifiedExpr)
+		if !ok || !q.Some {
+			continue
+		}
+		ds, ok := q.In.(*sqlpp.VarRef)
+		if !ok || tr.Catalog == nil {
+			continue
+		}
+		if _, isDS := tr.Catalog.Resolve(ds.Name); !isDS {
+			continue
+		}
+		// The satisfies predicate may reference the quantified var and
+		// outer scope only.
+		if !tr.usesOnly(q.Satisfies, append(append([]string{}, sel.In.Schema()...), q.Var)) {
+			continue
+		}
+		rest := append(append([]sqlpp.Expr{}, cs[:i]...), cs[i+1:]...)
+		join := &JoinOp{
+			L:    sel.In,
+			R:    &ScanOp{Dataset: ds.Name, Var: q.Var},
+			Kind: JoinSemi,
+			On:   q.Satisfies,
+		}
+		var out Op = join
+		if len(rest) > 0 {
+			out = &SelectOp{In: out, Cond: conjoin(rest)}
+		}
+		return out, true
+	}
+
+	// Rule: push selections below assigns/unnests that don't define the
+	// referenced variables, and into join sides.
+	switch in := sel.In.(type) {
+	case *AssignOp:
+		var below, above []sqlpp.Expr
+		for _, c := range cs {
+			free := map[string]bool{}
+			FreeVars(c, free)
+			if !free[in.Var] {
+				below = append(below, c)
+			} else {
+				above = append(above, c)
+			}
+		}
+		if len(below) > 0 {
+			in.In = &SelectOp{In: in.In, Cond: conjoin(below)}
+			if len(above) == 0 {
+				return in, true
+			}
+			sel.Cond = conjoin(above)
+			return sel, true
+		}
+	case *JoinOp:
+		if in.Kind == JoinInner {
+			var toL, toR, keep []sqlpp.Expr
+			for _, c := range cs {
+				switch {
+				case tr.usesOnly(c, in.L.Schema()):
+					toL = append(toL, c)
+				case tr.usesOnly(c, in.R.Schema()):
+					toR = append(toR, c)
+				default:
+					keep = append(keep, c)
+				}
+			}
+			if len(toL) > 0 || len(toR) > 0 {
+				if len(toL) > 0 {
+					in.L = &SelectOp{In: in.L, Cond: conjoin(toL)}
+				}
+				if len(toR) > 0 {
+					in.R = &SelectOp{In: in.R, Cond: conjoin(toR)}
+				}
+				if len(keep) == 0 {
+					return in, true
+				}
+				sel.Cond = conjoin(keep)
+				return sel, true
+			}
+			// Fold remaining cross-side conjuncts into the join
+			// condition (enables hash-join recognition).
+			if in.On == nil && len(keep) > 0 {
+				in.On = conjoin(keep)
+				return in, true
+			}
+		}
+	case *ScanOp:
+		if out, ok := tr.introduceIndex(sel, in); ok {
+			return out, true
+		}
+	}
+	return sel, false
+}
+
+// recognizeHashJoin extracts equi-join keys from a join condition, adding
+// assigns for the key expressions beneath each side.
+func (tr *Translator) recognizeHashJoin(j *JoinOp) bool {
+	cs := conjuncts(j.On)
+	var lExprs, rExprs []sqlpp.Expr
+	var residual []sqlpp.Expr
+	for _, c := range cs {
+		b, ok := c.(*sqlpp.Binary)
+		if !ok || b.Op != "=" {
+			residual = append(residual, c)
+			continue
+		}
+		switch {
+		case tr.usesOnly(b.L, j.L.Schema()) && tr.usesOnly(b.R, j.R.Schema()):
+			lExprs = append(lExprs, b.L)
+			rExprs = append(rExprs, b.R)
+		case tr.usesOnly(b.L, j.R.Schema()) && tr.usesOnly(b.R, j.L.Schema()):
+			lExprs = append(lExprs, b.R)
+			rExprs = append(rExprs, b.L)
+		default:
+			residual = append(residual, c)
+		}
+	}
+	if len(lExprs) == 0 {
+		return false
+	}
+	// Residual conjuncts ride along: the hash join checks them on each
+	// key-matching pair (required for correct outer/semi semantics; for
+	// inner joins it is equivalent to a post-join filter).
+	for i := range lExprs {
+		lv := tr.freshVar("jkl")
+		rv := tr.freshVar("jkr")
+		j.L = &AssignOp{In: j.L, Var: lv, Expr: lExprs[i]}
+		j.R = &AssignOp{In: j.R, Var: rv, Expr: rExprs[i]}
+		j.LeftKeys = append(j.LeftKeys, lv)
+		j.RightKeys = append(j.RightKeys, rv)
+	}
+	j.On = conjoin(residual) // post-join residual filter (inner only)
+	return true
+}
+
+// introduceIndex replaces Scan+Select with an index search when a
+// conjunct is sargable on an indexed field.
+func (tr *Translator) introduceIndex(sel *SelectOp, scan *ScanOp) (Op, bool) {
+	if tr.Catalog == nil {
+		return nil, false
+	}
+	cs := conjuncts(sel.Cond)
+
+	fieldOf := func(e sqlpp.Expr) (string, bool) {
+		fa, ok := e.(*sqlpp.FieldAccess)
+		if !ok {
+			return "", false
+		}
+		vr, ok := fa.Base.(*sqlpp.VarRef)
+		if !ok || vr.Name != scan.Var {
+			return "", false
+		}
+		return fa.Field, true
+	}
+
+	// BTREE: collect range bounds per field.
+	type rangeBound struct {
+		lo, hi       sqlpp.Expr
+		loInc, hiInc bool
+		used         []int
+	}
+	bounds := map[string]*rangeBound{}
+	for i, c := range cs {
+		b, ok := c.(*sqlpp.Binary)
+		if !ok {
+			continue
+		}
+		var field string
+		var valExpr sqlpp.Expr
+		op := b.Op
+		if f, ok := fieldOf(b.L); ok && tr.isConstant(b.R) {
+			field, valExpr = f, b.R
+		} else if f, ok := fieldOf(b.R); ok && tr.isConstant(b.L) {
+			field, valExpr = f, b.L
+			// Flip the comparison.
+			switch op {
+			case "<":
+				op = ">"
+			case "<=":
+				op = ">="
+			case ">":
+				op = "<"
+			case ">=":
+				op = "<="
+			}
+		} else {
+			continue
+		}
+		idx, ok := tr.Catalog.ResolveIndex(scan.Dataset, field)
+		if !ok || idx.Kind() != "BTREE" && idx.Kind() != "ZORDER" && idx.Kind() != "HILBERT" {
+			// Only value-ordered indexes take range predicates (the
+			// curve/grid variants are driven through spatial preds).
+			if !ok || idx.Kind() != "BTREE" {
+				continue
+			}
+		}
+		if idx.Kind() != "BTREE" {
+			continue
+		}
+		rb := bounds[field]
+		if rb == nil {
+			rb = &rangeBound{}
+			bounds[field] = rb
+		}
+		switch op {
+		case "=":
+			rb.lo, rb.hi, rb.loInc, rb.hiInc = valExpr, valExpr, true, true
+		case "<":
+			rb.hi, rb.hiInc = valExpr, false
+		case "<=":
+			rb.hi, rb.hiInc = valExpr, true
+		case ">":
+			rb.lo, rb.loInc = valExpr, false
+		case ">=":
+			rb.lo, rb.loInc = valExpr, true
+		default:
+			continue
+		}
+		rb.used = append(rb.used, i)
+	}
+	for field, rb := range bounds {
+		if rb.lo == nil && rb.hi == nil {
+			continue
+		}
+		is := &IndexSearchOp{
+			Dataset: scan.Dataset, Var: scan.Var, Field: field, Kind: "BTREE",
+			Lo: rb.lo, Hi: rb.hi, LoInc: rb.loInc, HiInc: rb.hiInc,
+		}
+		// Keep the full predicate as a residual filter: the index
+		// delivers a superset-safe candidate set; re-checking keeps
+		// open-type edge cases (non-comparable values) correct.
+		return &SelectOp{In: is, Cond: sel.Cond}, true
+	}
+
+	// RTREE: spatial_intersect(field, <const rect>).
+	for _, c := range cs {
+		call, ok := c.(*sqlpp.Call)
+		if !ok || call.Fn != "spatial_intersect" || len(call.Args) != 2 {
+			continue
+		}
+		var field string
+		var rectExpr sqlpp.Expr
+		if f, ok := fieldOf(call.Args[0]); ok && tr.isConstant(call.Args[1]) {
+			field, rectExpr = f, call.Args[1]
+		} else if f, ok := fieldOf(call.Args[1]); ok && tr.isConstant(call.Args[0]) {
+			field, rectExpr = f, call.Args[0]
+		} else {
+			continue
+		}
+		idx, ok := tr.Catalog.ResolveIndex(scan.Dataset, field)
+		if !ok {
+			continue
+		}
+		switch idx.Kind() {
+		case "RTREE", "ZORDER", "HILBERT", "GRID":
+			is := &IndexSearchOp{
+				Dataset: scan.Dataset, Var: scan.Var, Field: field,
+				Kind: idx.Kind(), Rect: rectExpr,
+			}
+			return &SelectOp{In: is, Cond: sel.Cond}, true
+		}
+	}
+
+	// KEYWORD: ftcontains(field, <const token>).
+	for _, c := range cs {
+		call, ok := c.(*sqlpp.Call)
+		if !ok || call.Fn != "ftcontains" || len(call.Args) != 2 {
+			continue
+		}
+		f, ok := fieldOf(call.Args[0])
+		if !ok || !tr.isConstant(call.Args[1]) {
+			continue
+		}
+		idx, ok := tr.Catalog.ResolveIndex(scan.Dataset, f)
+		if !ok || idx.Kind() != "KEYWORD" {
+			continue
+		}
+		is := &IndexSearchOp{
+			Dataset: scan.Dataset, Var: scan.Var, Field: f,
+			Kind: "KEYWORD", Token: call.Args[1],
+		}
+		return &SelectOp{In: is, Cond: sel.Cond}, true
+	}
+	return nil, false
+}
+
+// constValue evaluates a constant expression at plan time.
+func (tr *Translator) constValue(e sqlpp.Expr) (adm.Value, error) {
+	return tr.Ev.Eval(e, NewEnv(nil, nil, nil))
+}

@@ -1,0 +1,141 @@
+package aql
+
+import (
+	"testing"
+
+	"asterix/internal/sqlpp"
+)
+
+func TestParseBasicFLWOR(t *testing.T) {
+	q, err := Parse(`
+		for $u in dataset GleambookUsers
+		where $u.id > 100
+		order by $u.name desc
+		limit 10
+		return {"name": $u.name, "id": $u.id}
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := q.Body.(*sqlpp.SelectExpr)
+	if len(sel.From) != 1 || sel.From[0].Alias != "$u" {
+		t.Fatalf("from: %+v", sel.From)
+	}
+	ds, ok := sel.From[0].Expr.(*sqlpp.VarRef)
+	if !ok || ds.Name != "GleambookUsers" {
+		t.Fatalf("dataset ref: %+v", sel.From[0].Expr)
+	}
+	if sel.Where == nil || sel.Select.Value == nil {
+		t.Fatal("where/return missing")
+	}
+	if len(sel.OrderBy) != 1 || !sel.OrderBy[0].Desc {
+		t.Fatalf("order: %+v", sel.OrderBy)
+	}
+	if sel.Limit == nil {
+		t.Fatal("limit missing")
+	}
+}
+
+func TestParseMultipleForsAndLet(t *testing.T) {
+	q, err := Parse(`
+		for $u in dataset Users
+		for $m in dataset Messages
+		let $len := string_length($m.message)
+		where $m.authorId = $u.id and $len > 10
+		return {"user": $u.name, "len": $len}
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := q.Body.(*sqlpp.SelectExpr)
+	if len(sel.From) != 2 {
+		t.Fatalf("from terms: %d", len(sel.From))
+	}
+	if len(sel.Lets) != 1 || sel.Lets[0].Var != "$len" {
+		t.Fatalf("lets: %+v", sel.Lets)
+	}
+}
+
+func TestParseGroupByWith(t *testing.T) {
+	q, err := Parse(`
+		for $m in dataset Messages
+		group by $a := $m.authorId with $m
+		return {"author": $a, "cnt": count($m)}
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := q.Body.(*sqlpp.SelectExpr)
+	if len(sel.GroupBy) != 1 || sel.GroupBy[0].Alias != "$a" {
+		t.Fatalf("group by: %+v", sel.GroupBy)
+	}
+	if sel.GroupAs == "" {
+		t.Fatal("group as binding missing")
+	}
+	// count($m) stays a SQL-style aggregate over the grouped variable
+	// (the group-by operator computes it over pre-group rows).
+	obj := sel.Select.Value.(*sqlpp.ObjectConstructor)
+	cnt := obj.Fields[1].Value.(*sqlpp.Call)
+	if cnt.Fn != "count" {
+		t.Fatalf("cnt fn: %s", cnt.Fn)
+	}
+	if vr, ok := cnt.Args[0].(*sqlpp.VarRef); !ok || vr.Name != "$m" {
+		t.Fatalf("aggregate arg: %T %v", cnt.Args[0], cnt.Args[0])
+	}
+}
+
+func TestNonAggregateWithVarUsesGroupAs(t *testing.T) {
+	q, err := Parse(`
+		for $m in dataset Messages
+		group by $a := $m.authorId with $m
+		return {"author": $a, "lens": coll_count($m)}
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := q.Body.(*sqlpp.SelectExpr)
+	obj := sel.Select.Value.(*sqlpp.ObjectConstructor)
+	cc := obj.Fields[1].Value.(*sqlpp.Call)
+	inner, ok := cc.Args[0].(*sqlpp.Call)
+	if !ok || inner.Fn != "field_collect" {
+		t.Fatalf("non-aggregate with-var should read GROUP AS: %T", cc.Args[0])
+	}
+}
+
+func TestParseDatasetFunctionForm(t *testing.T) {
+	q, err := Parse(`for $x in dataset("Users") return $x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := q.Body.(*sqlpp.SelectExpr)
+	ds := sel.From[0].Expr.(*sqlpp.VarRef)
+	if ds.Name != "Users" {
+		t.Fatalf("dataset: %s", ds.Name)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`return 1`,                        // no for
+		`for u in dataset Users return u`, // var without $
+		`for $u in dataset Users`,         // no return
+		`for $u in dataset Users return $u extra`,
+		`for $u in dataset Users let $x = 1 return $u`, // = instead of :=
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestDistinctReturn(t *testing.T) {
+	q, err := Parse(`for $u in dataset Users distinct return $u.name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := q.Body.(*sqlpp.SelectExpr)
+	if !sel.Select.Distinct {
+		t.Error("distinct not set")
+	}
+}

@@ -1,0 +1,161 @@
+// Package bad implements the Big Active Data extension the paper
+// describes ([17], "data pub/sub"): repetitive channels — parameterized
+// standing queries re-executed on a period — whose *new* results are
+// delivered to subscribed brokers. It runs as a layer over the engine,
+// exactly as BAD extends AsterixDB with extra DDL/DML.
+package bad
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"asterix/internal/adm"
+)
+
+// Executor abstracts the query engine a channel runs against.
+type Executor interface {
+	QueryRows(ctx context.Context, src string) ([]adm.Value, error)
+}
+
+// Channel is a repetitive channel: a parameterized query whose fresh
+// results are pushed to subscribers each period.
+type Channel struct {
+	Name   string
+	Query  string // may reference parameters as variables, e.g. $threshold
+	Period time.Duration
+
+	exec Executor
+
+	mu     sync.Mutex
+	subs   map[int64]*Subscription
+	nextID int64
+}
+
+// Subscription is one broker's parameterized subscription.
+type Subscription struct {
+	ID     int64
+	Params map[string]adm.Value
+	// C delivers each execution's new results (results not delivered to
+	// this subscription before).
+	C <-chan []adm.Value
+
+	ch   chan []adm.Value
+	seen map[string]bool
+}
+
+// NewChannel creates a channel over the executor.
+func NewChannel(exec Executor, name, query string, period time.Duration) *Channel {
+	return &Channel{
+		Name:   name,
+		Query:  query,
+		Period: period,
+		exec:   exec,
+		subs:   map[int64]*Subscription{},
+	}
+}
+
+// Subscribe registers a subscription with parameter bindings.
+func (c *Channel) Subscribe(params map[string]adm.Value) *Subscription {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	ch := make(chan []adm.Value, 16)
+	s := &Subscription{
+		ID:     c.nextID,
+		Params: params,
+		C:      ch,
+		ch:     ch,
+		seen:   map[string]bool{},
+	}
+	c.subs[s.ID] = s
+	return s
+}
+
+// Unsubscribe removes a subscription and closes its delivery channel.
+func (c *Channel) Unsubscribe(s *Subscription) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.subs[s.ID]; ok {
+		delete(c.subs, s.ID)
+		close(s.ch)
+	}
+}
+
+// bindParams prepends WITH bindings for the subscription parameters.
+func bindParams(query string, params map[string]adm.Value) string {
+	if len(params) == 0 {
+		return query
+	}
+	var binds []string
+	for name, v := range params {
+		binds = append(binds, fmt.Sprintf("%s AS %s", name, v.String()))
+	}
+	// Deterministic order for testability.
+	sortStrings(binds)
+	q := strings.TrimSpace(query)
+	if strings.HasPrefix(strings.ToUpper(q), "WITH ") {
+		return "WITH " + strings.Join(binds, ", ") + ", " + q[5:]
+	}
+	return "WITH " + strings.Join(binds, ", ") + " " + q
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// ExecuteOnce runs the channel once for every subscription, delivering
+// only results each subscription has not seen before.
+func (c *Channel) ExecuteOnce(ctx context.Context) error {
+	c.mu.Lock()
+	subs := make([]*Subscription, 0, len(c.subs))
+	for _, s := range c.subs {
+		subs = append(subs, s)
+	}
+	c.mu.Unlock()
+	for _, s := range subs {
+		rows, err := c.exec.QueryRows(ctx, bindParams(c.Query, s.Params))
+		if err != nil {
+			return fmt.Errorf("bad: channel %s: %w", c.Name, err)
+		}
+		var fresh []adm.Value
+		for _, r := range rows {
+			key := adm.ToJSON(r)
+			if !s.seen[key] {
+				s.seen[key] = true
+				fresh = append(fresh, r)
+			}
+		}
+		if len(fresh) > 0 {
+			select {
+			case s.ch <- fresh:
+			default:
+				// Slow broker: drop this delivery rather than stall the
+				// channel (brokers resynchronize on the next period).
+			}
+		}
+	}
+	return nil
+}
+
+// Run executes the channel on its period until ctx is done.
+func (c *Channel) Run(ctx context.Context) error {
+	ticker := time.NewTicker(c.Period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+			if err := c.ExecuteOnce(ctx); err != nil {
+				return err
+			}
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package bad
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"asterix/internal/adm"
+)
+
+// fakeExec returns canned rows, optionally filtered by a parameter bound
+// in the WITH prefix.
+type fakeExec struct {
+	mu   sync.Mutex
+	rows []adm.Value
+	// lastQuery records the query text received.
+	lastQuery string
+}
+
+func (f *fakeExec) QueryRows(ctx context.Context, src string) ([]adm.Value, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.lastQuery = src
+	out := append([]adm.Value(nil), f.rows...)
+	return out, nil
+}
+
+func (f *fakeExec) setRows(rows ...adm.Value) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rows = rows
+}
+
+func TestChannelDeliversOnlyNewResults(t *testing.T) {
+	exec := &fakeExec{}
+	exec.setRows(adm.Int64(1), adm.Int64(2))
+	ch := NewChannel(exec, "emergencies", "SELECT VALUE x FROM X x", time.Hour)
+	sub := ch.Subscribe(nil)
+
+	if err := ch.ExecuteOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	got := <-sub.C
+	if len(got) != 2 {
+		t.Fatalf("first delivery: %v", got)
+	}
+	// Same results again: nothing new, nothing delivered.
+	if err := ch.ExecuteOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case v := <-sub.C:
+		t.Fatalf("unexpected delivery: %v", v)
+	default:
+	}
+	// A new row appears: only it is delivered.
+	exec.setRows(adm.Int64(1), adm.Int64(2), adm.Int64(3))
+	if err := ch.ExecuteOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	got = <-sub.C
+	if len(got) != 1 || got[0].String() != "3" {
+		t.Fatalf("incremental delivery: %v", got)
+	}
+}
+
+func TestChannelParameterBinding(t *testing.T) {
+	exec := &fakeExec{}
+	ch := NewChannel(exec, "c", "SELECT VALUE x FROM X x WHERE x > threshold", time.Hour)
+	sub := ch.Subscribe(map[string]adm.Value{"threshold": adm.Int64(10)})
+	_ = sub
+	if err := ch.ExecuteOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(exec.lastQuery, "WITH threshold AS 10 ") {
+		t.Fatalf("parameter binding missing: %q", exec.lastQuery)
+	}
+	// WITH-prefixed queries merge bindings.
+	ch2 := NewChannel(exec, "c2", "WITH a AS 1 SELECT VALUE a", time.Hour)
+	ch2.Subscribe(map[string]adm.Value{"b": adm.Int64(2)})
+	ch2.ExecuteOnce(context.Background())
+	if !strings.HasPrefix(exec.lastQuery, "WITH b AS 2, ") {
+		t.Fatalf("merged WITH wrong: %q", exec.lastQuery)
+	}
+}
+
+func TestSubscriptionsIndependent(t *testing.T) {
+	exec := &fakeExec{}
+	exec.setRows(adm.Int64(1))
+	ch := NewChannel(exec, "c", "Q", time.Hour)
+	s1 := ch.Subscribe(nil)
+	ch.ExecuteOnce(context.Background())
+	<-s1.C
+	// A later subscriber still gets the full current result set.
+	s2 := ch.Subscribe(nil)
+	ch.ExecuteOnce(context.Background())
+	got := <-s2.C
+	if len(got) != 1 {
+		t.Fatalf("late subscriber delivery: %v", got)
+	}
+	select {
+	case v := <-s1.C:
+		t.Fatalf("s1 got duplicate: %v", v)
+	default:
+	}
+}
+
+func TestUnsubscribeCloses(t *testing.T) {
+	exec := &fakeExec{}
+	ch := NewChannel(exec, "c", "Q", time.Hour)
+	s := ch.Subscribe(nil)
+	ch.Unsubscribe(s)
+	if _, ok := <-s.C; ok {
+		t.Fatal("channel should be closed")
+	}
+	// Double unsubscribe is safe.
+	ch.Unsubscribe(s)
+}
+
+func TestRunPeriodic(t *testing.T) {
+	exec := &fakeExec{}
+	exec.setRows(adm.Int64(1))
+	ch := NewChannel(exec, "c", "Q", 10*time.Millisecond)
+	sub := ch.Subscribe(nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- ch.Run(ctx) }()
+	select {
+	case got := <-sub.C:
+		if len(got) != 1 {
+			t.Fatalf("periodic delivery: %v", got)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no periodic delivery")
+	}
+	cancel()
+	<-done
+}

@@ -1,0 +1,76 @@
+package bad_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"asterix/internal/adm"
+	"asterix/internal/bad"
+	"asterix/internal/core"
+)
+
+// engineExec adapts the real engine to the channel's Executor.
+type engineExec struct{ e *core.Engine }
+
+func (x engineExec) QueryRows(ctx context.Context, src string) ([]adm.Value, error) {
+	r, err := x.e.Query(ctx, src)
+	if err != nil {
+		return nil, err
+	}
+	return r.Rows, nil
+}
+
+// TestChannelOverRealEngine runs a BAD channel against a live engine: new
+// matching records appear in the next delivery, parameterized per broker.
+func TestChannelOverRealEngine(t *testing.T) {
+	fixed, _ := time.Parse(time.RFC3339, "2019-04-01T00:00:00Z")
+	e, err := core.Open(core.Config{DataDir: t.TempDir(), Now: func() time.Time { return fixed }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	ctx := context.Background()
+	if _, err := e.Execute(ctx, `
+		CREATE TYPE RT AS {id: int, severity: int};
+		CREATE DATASET Reports(RT) PRIMARY KEY id;`); err != nil {
+		t.Fatal(err)
+	}
+
+	ch := bad.NewChannel(engineExec{e}, "alerts",
+		`SELECT VALUE r.id FROM Reports r WHERE r.severity >= minSev ORDER BY r.id`,
+		time.Hour)
+	strict := ch.Subscribe(map[string]adm.Value{"minSev": adm.Int64(4)})
+	loose := ch.Subscribe(map[string]adm.Value{"minSev": adm.Int64(1)})
+
+	exec := func(stmt string) {
+		t.Helper()
+		if _, err := e.Execute(ctx, stmt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	exec(`INSERT INTO Reports ([{"id": 1, "severity": 2}, {"id": 2, "severity": 5}]);`)
+	if err := ch.ExecuteOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	gotStrict := <-strict.C
+	if len(gotStrict) != 1 || gotStrict[0].String() != "2" {
+		t.Fatalf("strict delivery: %v", gotStrict)
+	}
+	gotLoose := <-loose.C
+	if len(gotLoose) != 2 {
+		t.Fatalf("loose delivery: %v", gotLoose)
+	}
+
+	// A new high-severity report: both get exactly the new id.
+	exec(`INSERT INTO Reports ({"id": 3, "severity": 9});`)
+	if err := ch.ExecuteOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for name, sub := range map[string]*bad.Subscription{"strict": strict, "loose": loose} {
+		got := <-sub.C
+		if len(got) != 1 || got[0].String() != "3" {
+			t.Fatalf("%s incremental delivery: %v", name, got)
+		}
+	}
+}

@@ -1,0 +1,361 @@
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"asterix/internal/storage"
+)
+
+func newTree(t testing.TB, pageSize, frames int) *BTree {
+	t.Helper()
+	fm, err := storage.NewFileManager(t.TempDir(), pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fm.Close() })
+	bc := storage.NewBufferCache(fm, frames)
+	id, err := fm.Open("bt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt, err := Open(bc, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bt
+}
+
+func ikey(i int) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(i))
+	return b[:]
+}
+
+func TestInsertSearchSmall(t *testing.T) {
+	bt := newTree(t, 512, 64)
+	for i := 0; i < 100; i++ {
+		if err := bt.Insert(ikey(i*2), []byte(fmt.Sprintf("v%d", i*2))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		v, ok, err := bt.Search(ikey(i * 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok || string(v) != fmt.Sprintf("v%d", i*2) {
+			t.Fatalf("key %d: ok=%v v=%q", i*2, ok, v)
+		}
+		if _, ok, _ := bt.Search(ikey(i*2 + 1)); ok {
+			t.Fatalf("key %d should be absent", i*2+1)
+		}
+	}
+	if bt.Count() != 100 {
+		t.Errorf("count = %d", bt.Count())
+	}
+}
+
+func TestInsertUpsertsReplaces(t *testing.T) {
+	bt := newTree(t, 512, 64)
+	if err := bt.Insert([]byte("k"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := bt.Insert([]byte("k"), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, _ := bt.Search([]byte("k"))
+	if !ok || string(v) != "v2" {
+		t.Fatalf("got %q", v)
+	}
+	if bt.Count() != 1 {
+		t.Errorf("replace should not grow count: %d", bt.Count())
+	}
+}
+
+func TestSplitsGrowHeight(t *testing.T) {
+	bt := newTree(t, 256, 256) // small pages force splits
+	n := 2000
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, i := range perm {
+		if err := bt.Insert(ikey(i), ikey(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bt.Height() < 3 {
+		t.Errorf("expected height >= 3 after %d inserts into 256B pages, got %d", n, bt.Height())
+	}
+	for i := 0; i < n; i++ {
+		if _, ok, _ := bt.Search(ikey(i)); !ok {
+			t.Fatalf("lost key %d", i)
+		}
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	bt := newTree(t, 256, 256)
+	for i := 0; i < 500; i++ {
+		if err := bt.Insert(ikey(i), ikey(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []int
+	err := bt.Scan(ikey(100), ikey(199), func(k, v []byte) bool {
+		got = append(got, int(binary.BigEndian.Uint64(k)))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("scan returned %d keys", len(got))
+	}
+	for i, k := range got {
+		if k != 100+i {
+			t.Fatalf("scan out of order at %d: %d", i, k)
+		}
+	}
+	// Full scan, unbounded.
+	cnt := 0
+	if err := bt.Scan(nil, nil, func(k, v []byte) bool { cnt++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if cnt != 500 {
+		t.Errorf("full scan found %d", cnt)
+	}
+	// Early stop.
+	cnt = 0
+	bt.Scan(nil, nil, func(k, v []byte) bool { cnt++; return cnt < 10 })
+	if cnt != 10 {
+		t.Errorf("early stop at %d", cnt)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	bt := newTree(t, 256, 256)
+	for i := 0; i < 300; i++ {
+		bt.Insert(ikey(i), ikey(i))
+	}
+	for i := 0; i < 300; i += 2 {
+		ok, err := bt.Delete(ikey(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("delete %d reported absent", i)
+		}
+	}
+	if ok, _ := bt.Delete(ikey(0)); ok {
+		t.Error("double delete should report absent")
+	}
+	for i := 0; i < 300; i++ {
+		_, ok, _ := bt.Search(ikey(i))
+		if (i%2 == 0) == ok {
+			t.Fatalf("key %d presence wrong: %v", i, ok)
+		}
+	}
+	if bt.Count() != 150 {
+		t.Errorf("count = %d", bt.Count())
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	fm, err := storage.NewFileManager(dir, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc := storage.NewBufferCache(fm, 32)
+	id, _ := fm.Open("bt")
+	bt, err := Open(bc, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		bt.Insert(ikey(i), []byte("x"))
+	}
+	if err := bc.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	fm.Close()
+
+	fm2, err := storage.NewFileManager(dir, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fm2.Close()
+	bc2 := storage.NewBufferCache(fm2, 32)
+	id2, _ := fm2.Open("bt")
+	bt2, err := Open(bc2, id2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bt2.Count() != 200 {
+		t.Fatalf("reopened count = %d", bt2.Count())
+	}
+	for i := 0; i < 200; i++ {
+		if _, ok, _ := bt2.Search(ikey(i)); !ok {
+			t.Fatalf("key %d lost across reopen", i)
+		}
+	}
+}
+
+func TestBulkLoadAndSearch(t *testing.T) {
+	bt := newTree(t, 512, 128)
+	n := 5000
+	i := 0
+	err := bt.BulkLoad(func() ([]byte, []byte, bool) {
+		if i >= n {
+			return nil, nil, false
+		}
+		k := ikey(i)
+		i++
+		return k, k, true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bt.Count() != int64(n) {
+		t.Fatalf("count = %d", bt.Count())
+	}
+	for _, probe := range []int{0, 1, 999, 2500, 4999} {
+		v, ok, err := bt.Search(ikey(probe))
+		if err != nil || !ok || !bytes.Equal(v, ikey(probe)) {
+			t.Fatalf("probe %d: ok=%v err=%v", probe, ok, err)
+		}
+	}
+	if _, ok, _ := bt.Search(ikey(n)); ok {
+		t.Error("absent key found")
+	}
+	// Scan order intact.
+	prev := -1
+	bt.Scan(nil, nil, func(k, v []byte) bool {
+		cur := int(binary.BigEndian.Uint64(k))
+		if cur <= prev {
+			t.Fatalf("scan out of order: %d after %d", cur, prev)
+		}
+		prev = cur
+		return true
+	})
+	if prev != n-1 {
+		t.Errorf("scan ended at %d", prev)
+	}
+	// Inserts after bulk load still work.
+	if err := bt.Insert(ikey(n+10), []byte("late")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := bt.Search(ikey(n + 10)); !ok || string(v) != "late" {
+		t.Error("post-bulk-load insert lost")
+	}
+}
+
+func TestBulkLoadRejectsUnsorted(t *testing.T) {
+	bt := newTree(t, 512, 32)
+	seq := [][]byte{ikey(1), ikey(3), ikey(2)}
+	i := 0
+	err := bt.BulkLoad(func() ([]byte, []byte, bool) {
+		if i >= len(seq) {
+			return nil, nil, false
+		}
+		k := seq[i]
+		i++
+		return k, k, true
+	})
+	if err == nil {
+		t.Error("unsorted bulk load must fail")
+	}
+}
+
+func TestBulkLoadEmpty(t *testing.T) {
+	bt := newTree(t, 512, 32)
+	if err := bt.BulkLoad(func() ([]byte, []byte, bool) { return nil, nil, false }); err != nil {
+		t.Fatal(err)
+	}
+	if bt.Count() != 0 {
+		t.Error("empty bulk load should leave empty tree")
+	}
+	if _, ok, _ := bt.Search([]byte("x")); ok {
+		t.Error("search in empty tree")
+	}
+}
+
+func TestRejectsOversizeEntry(t *testing.T) {
+	bt := newTree(t, 256, 32)
+	big := make([]byte, 300)
+	if err := bt.Insert([]byte("k"), big); err == nil {
+		t.Error("oversize entry must be rejected")
+	}
+}
+
+// Property: tree behaves like a sorted map under random interleaved
+// operations.
+func TestPropMatchesReferenceMap(t *testing.T) {
+	bt := newTree(t, 256, 512)
+	ref := map[string]string{}
+	r := rand.New(rand.NewSource(77))
+	for op := 0; op < 5000; op++ {
+		k := fmt.Sprintf("key%04d", r.Intn(800))
+		switch r.Intn(3) {
+		case 0, 1:
+			v := fmt.Sprintf("val%d", op)
+			if err := bt.Insert([]byte(k), []byte(v)); err != nil {
+				t.Fatal(err)
+			}
+			ref[k] = v
+		case 2:
+			ok, err := bt.Delete([]byte(k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, inRef := ref[k]
+			if ok != inRef {
+				t.Fatalf("delete(%s) = %v, ref has %v", k, ok, inRef)
+			}
+			delete(ref, k)
+		}
+	}
+	if bt.Count() != int64(len(ref)) {
+		t.Fatalf("count %d != ref %d", bt.Count(), len(ref))
+	}
+	// Full scan must equal the sorted reference.
+	var refKeys []string
+	for k := range ref {
+		refKeys = append(refKeys, k)
+	}
+	sort.Strings(refKeys)
+	i := 0
+	bt.Scan(nil, nil, func(k, v []byte) bool {
+		if i >= len(refKeys) || string(k) != refKeys[i] || string(v) != ref[refKeys[i]] {
+			t.Fatalf("scan mismatch at %d: %s", i, k)
+		}
+		i++
+		return true
+	})
+	if i != len(refKeys) {
+		t.Fatalf("scan visited %d of %d", i, len(refKeys))
+	}
+}
+
+func BenchmarkInsertRandom(b *testing.B) {
+	bt := newTree(b, 4096, 1024)
+	r := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bt.Insert(ikey(r.Intn(1<<30)), ikey(i))
+	}
+}
+
+func BenchmarkSearchHot(b *testing.B) {
+	bt := newTree(b, 4096, 1024)
+	for i := 0; i < 10000; i++ {
+		bt.Insert(ikey(i), ikey(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bt.Search(ikey(i % 10000))
+	}
+}

@@ -1,0 +1,92 @@
+package btree
+
+import "bytes"
+
+// Iterator is a pull-style cursor over a key range, used by LSM k-way
+// merges where callback-style Scan cannot interleave multiple sources.
+type Iterator struct {
+	t    *BTree
+	hi   []byte
+	node *node
+	pos  int
+	err  error
+	done bool
+}
+
+// NewIterator positions a cursor at the first key >= lo (nil = min); it
+// yields keys up to hi inclusive (nil = max).
+func (t *BTree) NewIterator(lo, hi []byte) *Iterator {
+	it := &Iterator{t: t, hi: hi}
+	num := t.root
+	for lvl := t.height; lvl > 1; lvl-- {
+		n, err := t.readNode(num)
+		if err != nil {
+			it.err = err
+			it.done = true
+			return it
+		}
+		if lo == nil {
+			num = n.children[0]
+		} else {
+			num = n.children[n.childIndex(lo)]
+		}
+	}
+	leaf, err := t.readNode(num)
+	if err != nil {
+		it.err = err
+		it.done = true
+		return it
+	}
+	it.node = leaf
+	if lo != nil {
+		it.pos, _ = leaf.leafIndex(lo)
+	}
+	it.skipEmptyLeaves()
+	return it
+}
+
+// skipEmptyLeaves advances across exhausted leaves.
+func (it *Iterator) skipEmptyLeaves() {
+	for it.node != nil && it.pos >= len(it.node.keys) {
+		if it.node.next == noPage {
+			it.done = true
+			it.node = nil
+			return
+		}
+		n, err := it.t.readNode(it.node.next)
+		if err != nil {
+			it.err = err
+			it.done = true
+			it.node = nil
+			return
+		}
+		it.node = n
+		it.pos = 0
+	}
+}
+
+// Valid reports whether the cursor is on an entry.
+func (it *Iterator) Valid() bool {
+	if it.done || it.node == nil {
+		return false
+	}
+	if it.hi != nil && bytes.Compare(it.node.keys[it.pos], it.hi) > 0 {
+		return false
+	}
+	return true
+}
+
+// Key returns the current key (valid until Next).
+func (it *Iterator) Key() []byte { return it.node.keys[it.pos] }
+
+// Value returns the current value (valid until Next).
+func (it *Iterator) Value() []byte { return it.node.vals[it.pos] }
+
+// Next advances the cursor.
+func (it *Iterator) Next() {
+	it.pos++
+	it.skipEmptyLeaves()
+}
+
+// Err returns any I/O error the iterator hit.
+func (it *Iterator) Err() error { return it.err }

@@ -1,0 +1,127 @@
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func TestIteratorFullScan(t *testing.T) {
+	bt := newTree(t, 256, 256)
+	n := 1000
+	for i := 0; i < n; i++ {
+		if err := bt.Insert(ikey(i), ikey(i*2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it := bt.NewIterator(nil, nil)
+	count := 0
+	prev := -1
+	for ; it.Valid(); it.Next() {
+		k := int(binary.BigEndian.Uint64(it.Key()))
+		if k <= prev {
+			t.Fatalf("out of order: %d after %d", k, prev)
+		}
+		if !bytes.Equal(it.Value(), ikey(k*2)) {
+			t.Fatalf("value mismatch at %d", k)
+		}
+		prev = k
+		count++
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("visited %d of %d", count, n)
+	}
+}
+
+func TestIteratorBounds(t *testing.T) {
+	bt := newTree(t, 256, 256)
+	for i := 0; i < 500; i++ {
+		bt.Insert(ikey(i), ikey(i))
+	}
+	it := bt.NewIterator(ikey(100), ikey(199))
+	first, last, count := -1, -1, 0
+	for ; it.Valid(); it.Next() {
+		k := int(binary.BigEndian.Uint64(it.Key()))
+		if first == -1 {
+			first = k
+		}
+		last = k
+		count++
+	}
+	if first != 100 || last != 199 || count != 100 {
+		t.Fatalf("bounds: first=%d last=%d count=%d", first, last, count)
+	}
+}
+
+func TestIteratorLoBetweenKeys(t *testing.T) {
+	bt := newTree(t, 256, 64)
+	for i := 0; i < 100; i += 10 {
+		bt.Insert(ikey(i), ikey(i))
+	}
+	// lo = 15 (absent) must position at 20.
+	it := bt.NewIterator(ikey(15), nil)
+	if !it.Valid() {
+		t.Fatal("iterator should be valid")
+	}
+	if k := int(binary.BigEndian.Uint64(it.Key())); k != 20 {
+		t.Fatalf("positioned at %d, want 20", k)
+	}
+}
+
+func TestIteratorEmptyTree(t *testing.T) {
+	bt := newTree(t, 256, 16)
+	it := bt.NewIterator(nil, nil)
+	if it.Valid() {
+		t.Fatal("empty tree iterator should be invalid")
+	}
+	if it.Err() != nil {
+		t.Fatal(it.Err())
+	}
+}
+
+func TestIteratorEmptyRange(t *testing.T) {
+	bt := newTree(t, 256, 64)
+	for i := 0; i < 100; i++ {
+		bt.Insert(ikey(i), ikey(i))
+	}
+	it := bt.NewIterator(ikey(500), ikey(600))
+	if it.Valid() {
+		t.Fatalf("range beyond data should be empty, got %x", it.Key())
+	}
+}
+
+func TestIteratorAcrossEmptiedLeaves(t *testing.T) {
+	bt := newTree(t, 256, 256)
+	for i := 0; i < 400; i++ {
+		bt.Insert(ikey(i), ikey(i))
+	}
+	// Empty out a middle band of keys (lazy deletion leaves empty leaves
+	// in the chain; the iterator must skip them).
+	for i := 100; i < 300; i++ {
+		if ok, err := bt.Delete(ikey(i)); err != nil || !ok {
+			t.Fatal(err, ok)
+		}
+	}
+	it := bt.NewIterator(ikey(50), ikey(350))
+	var seen []int
+	for ; it.Valid(); it.Next() {
+		seen = append(seen, int(binary.BigEndian.Uint64(it.Key())))
+	}
+	want := 0
+	for i := 50; i <= 350; i++ {
+		if i < 100 || i >= 300 {
+			want++
+		}
+	}
+	if len(seen) != want {
+		t.Fatalf("saw %d keys, want %d", len(seen), want)
+	}
+	for i := 1; i < len(seen); i++ {
+		if seen[i] <= seen[i-1] {
+			t.Fatal("order violated across emptied leaves")
+		}
+	}
+}

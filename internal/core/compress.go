@@ -1,0 +1,78 @@
+package core
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Record compression (the "storage compression" contribution §VII credits
+// to the open-source community): primary-index record values are
+// optionally deflate-compressed. Each stored value carries a scheme tag
+// so compressed and raw records coexist (datasets survive toggling the
+// option).
+const (
+	recRaw  = 0x00
+	recFlat = 0x01
+
+	// compressMin skips records too small to benefit.
+	compressMin = 128
+)
+
+// flate writers and readers carry large internal state; pool them rather
+// than paying their construction per record.
+var (
+	flateWriters = sync.Pool{New: func() any {
+		w, _ := flate.NewWriter(io.Discard, flate.BestSpeed)
+		return w
+	}}
+	flateReaders = sync.Pool{New: func() any {
+		return flate.NewReader(bytes.NewReader(nil))
+	}}
+)
+
+// encodeRecordBytes wraps an encoded record for storage.
+func encodeRecordBytes(raw []byte, compress bool) []byte {
+	if !compress || len(raw) < compressMin {
+		return append([]byte{recRaw}, raw...)
+	}
+	var buf bytes.Buffer
+	buf.Grow(len(raw)/2 + 16)
+	buf.WriteByte(recFlat)
+	w := flateWriters.Get().(*flate.Writer)
+	w.Reset(&buf)
+	_, werr := w.Write(raw)
+	cerr := w.Close()
+	flateWriters.Put(w)
+	if werr != nil || cerr != nil || buf.Len() >= len(raw)+1 {
+		return append([]byte{recRaw}, raw...) // incompressible or failed
+	}
+	return buf.Bytes()
+}
+
+// decodeRecordBytes unwraps a stored record value.
+func decodeRecordBytes(stored []byte) ([]byte, error) {
+	if len(stored) == 0 {
+		return nil, fmt.Errorf("core: empty stored record")
+	}
+	switch stored[0] {
+	case recRaw:
+		return stored[1:], nil
+	case recFlat:
+		r := flateReaders.Get().(io.ReadCloser)
+		if err := r.(flate.Resetter).Reset(bytes.NewReader(stored[1:]), nil); err != nil {
+			flateReaders.Put(r)
+			return nil, err
+		}
+		out, err := io.ReadAll(r)
+		r.Close()
+		flateReaders.Put(r)
+		if err != nil {
+			return nil, fmt.Errorf("core: decompress record: %w", err)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("core: unknown record scheme 0x%02x", stored[0])
+}

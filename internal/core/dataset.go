@@ -1,0 +1,774 @@
+// Package core is the BDMS engine tying the stack together (Figure 1):
+// statement execution (DDL, DML, queries), hash-partitioned LSM storage
+// with secondary-index maintenance, transactions and recovery, external
+// datasets, and partitioned-parallel query execution over Hyracks.
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"asterix/internal/adm"
+	"asterix/internal/algebricks"
+	"asterix/internal/external"
+	"asterix/internal/lsm"
+	"asterix/internal/metadata"
+	"asterix/internal/rtree"
+	"asterix/internal/spatial"
+)
+
+// Dataset is an open native dataset: one LSM B+tree per hash partition
+// plus its secondary indexes.
+type Dataset struct {
+	eng   *Engine
+	def   *metadata.DatasetDef
+	typ   *adm.Type
+	parts []*lsm.Tree
+	idxs  map[string]*SecondaryIndex // by index name
+}
+
+// SecondaryIndex is one open secondary index across all partitions.
+type SecondaryIndex struct {
+	def   *metadata.IndexDef
+	ds    *Dataset
+	trees []*lsm.Tree       // BTREE / ZORDER / HILBERT / GRID / KEYWORD
+	rts   []*lsm.RTreeIndex // RTREE
+	norm  spatial.Normalizer
+	grid  spatial.Grid
+}
+
+// defaultWorld bounds the curve/grid linearizations (geographic-style
+// coordinates; the core API allows custom worlds via index params).
+var defaultWorld = [4]float64{-180, -90, 180, 90}
+
+// openDataset opens (or creates) storage for a dataset definition.
+func (e *Engine) openDataset(def *metadata.DatasetDef) (*Dataset, error) {
+	var typ *adm.Type
+	var err error
+	if def.TypeName != "" {
+		typ, err = e.catalog.ResolveType(def.TypeName)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		typ = adm.AnyType
+	}
+	d := &Dataset{eng: e, def: def, typ: typ, idxs: map[string]*SecondaryIndex{}}
+	if def.External {
+		return d, nil
+	}
+	for p := 0; p < def.Partitions; p++ {
+		t, err := lsm.Open(e.bc, fmt.Sprintf("%s/p%d/primary", def.Name, p), lsm.Options{
+			MemBudget: e.cfg.MemComponentBudget,
+			Policy:    e.cfg.MergePolicy,
+		})
+		if err != nil {
+			return nil, err
+		}
+		d.parts = append(d.parts, t)
+	}
+	for _, idef := range e.catalog.IndexesOf(def.Name) {
+		si, err := d.openIndex(idef)
+		if err != nil {
+			return nil, err
+		}
+		d.idxs[idef.Name] = si
+	}
+	return d, nil
+}
+
+func (d *Dataset) openIndex(idef *metadata.IndexDef) (*SecondaryIndex, error) {
+	si := &SecondaryIndex{def: idef, ds: d}
+	si.norm = spatial.NewNormalizer(defaultWorld[0], defaultWorld[1], defaultWorld[2], defaultWorld[3])
+	si.grid = spatial.NewGrid(defaultWorld[0], defaultWorld[1], defaultWorld[2], defaultWorld[3], 64, 64)
+	e := d.eng
+	for p := 0; p < d.def.Partitions; p++ {
+		name := fmt.Sprintf("%s/p%d/idx-%s", d.def.Name, p, idef.Name)
+		if idef.Kind == "RTREE" {
+			rt, err := lsm.OpenRTree(e.bc, name, lsm.RTreeOptions{MemBudget: e.cfg.MemComponentBudget})
+			if err != nil {
+				return nil, err
+			}
+			si.rts = append(si.rts, rt)
+			continue
+		}
+		t, err := lsm.Open(e.bc, name, lsm.Options{
+			MemBudget: e.cfg.MemComponentBudget,
+			Policy:    e.cfg.MergePolicy,
+		})
+		if err != nil {
+			return nil, err
+		}
+		si.trees = append(si.trees, t)
+	}
+	return si, nil
+}
+
+// --- Primary key handling ---
+
+// primaryKeyValues extracts the dataset's primary key fields.
+func (d *Dataset) primaryKeyValues(rec *adm.Object) ([]adm.Value, error) {
+	pks := make([]adm.Value, len(d.def.PrimaryKey))
+	for i, f := range d.def.PrimaryKey {
+		v := rec.Get(f)
+		if v.Kind() <= adm.KindNull {
+			return nil, fmt.Errorf("core: record lacks primary key field %q", f)
+		}
+		if !v.Kind().IsScalar() {
+			return nil, fmt.Errorf("core: primary key field %q has non-scalar kind %s", f, v.Kind())
+		}
+		pks[i] = v
+	}
+	return pks, nil
+}
+
+// encodePK builds order-preserving key bytes for a primary key.
+func encodePK(pks []adm.Value) ([]byte, error) {
+	return adm.EncodeCompositeKey(nil, pks...)
+}
+
+// partitionOf hashes a primary key to a partition.
+func (d *Dataset) partitionOf(pks []adm.Value) int {
+	var h uint64 = 14695981039346656037
+	for _, v := range pks {
+		h = h*1099511628211 ^ adm.Hash64(v)
+	}
+	return int(h % uint64(d.def.Partitions))
+}
+
+// locate computes (partition, key bytes, pk values) for a record.
+func (d *Dataset) locate(rec *adm.Object) (int, []byte, []adm.Value, error) {
+	pks, err := d.primaryKeyValues(rec)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	kb, err := encodePK(pks)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return d.partitionOf(pks), kb, pks, nil
+}
+
+// --- Mutations (called after WAL logging, or from recovery redo) ---
+
+// applyUpsert installs a record in the primary index and maintains all
+// secondary indexes (removing entries of any replaced record first).
+func (d *Dataset) applyUpsert(part int, keyBytes []byte, rec *adm.Object) error {
+	if old, ok, err := d.getRecord(part, keyBytes); err != nil {
+		return err
+	} else if ok {
+		if err := d.removeSecondaryEntries(part, keyBytes, old); err != nil {
+			return err
+		}
+	}
+	stored := encodeRecordBytes(adm.EncodeValue(rec), d.eng.cfg.Compression)
+	if err := d.parts[part].Upsert(keyBytes, stored); err != nil {
+		return err
+	}
+	return d.addSecondaryEntries(part, keyBytes, rec)
+}
+
+// applyDelete removes a record and its index entries.
+func (d *Dataset) applyDelete(part int, keyBytes []byte) error {
+	if old, ok, err := d.getRecord(part, keyBytes); err != nil {
+		return err
+	} else if ok {
+		if err := d.removeSecondaryEntries(part, keyBytes, old); err != nil {
+			return err
+		}
+	}
+	return d.parts[part].Delete(keyBytes)
+}
+
+func (d *Dataset) getRecord(part int, keyBytes []byte) (*adm.Object, bool, error) {
+	data, ok, err := d.parts[part].Get(keyBytes)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	raw, err := decodeRecordBytes(data)
+	if err != nil {
+		return nil, false, err
+	}
+	v, err := adm.DecodeValue(raw)
+	if err != nil {
+		return nil, false, err
+	}
+	o, ok := v.(*adm.Object)
+	if !ok {
+		return nil, false, fmt.Errorf("core: stored record is %s, not object", v.Kind())
+	}
+	return o, true, nil
+}
+
+// secondaryEntries computes an index's (key, value) entries for a record.
+// Returned keys are composite (secondary key, primary key); values carry
+// the secondary key value and pk bytes for post-filtering and fetch.
+type secEntry struct {
+	key  []byte
+	rect rtree.Rect // RTREE only
+	val  []byte
+}
+
+func (si *SecondaryIndex) entriesFor(keyBytes []byte, rec *adm.Object) ([]secEntry, error) {
+	field := si.def.Fields[0]
+	fv := rec.Get(field)
+	if fv.Kind() <= adm.KindNull {
+		return nil, nil // null/missing values are not indexed
+	}
+	mkVal := func(skey adm.Value) []byte {
+		return adm.EncodeValue(adm.Array{skey, adm.Binary(keyBytes)})
+	}
+	switch si.def.Kind {
+	case "BTREE":
+		if !fv.Kind().IsScalar() {
+			return nil, nil
+		}
+		kb, err := adm.EncodeKey(nil, fv)
+		if err != nil {
+			return nil, err
+		}
+		kb = append(kb, keyBytes...)
+		return []secEntry{{key: kb, val: mkVal(fv)}}, nil
+	case "ZORDER", "HILBERT":
+		pt, ok := fv.(adm.Point)
+		if !ok {
+			return nil, nil
+		}
+		x, y := si.norm.Lattice(pt.X, pt.Y)
+		var curve uint64
+		if si.def.Kind == "ZORDER" {
+			curve = spatial.ZOrder(x, y)
+		} else {
+			curve = spatial.Hilbert(x, y)
+		}
+		var cb [8]byte
+		binary.BigEndian.PutUint64(cb[:], curve)
+		kb, err := adm.EncodeKey(nil, adm.Binary(cb[:]))
+		if err != nil {
+			return nil, err
+		}
+		kb = append(kb, keyBytes...)
+		return []secEntry{{key: kb, val: mkVal(fv)}}, nil
+	case "GRID":
+		pt, ok := fv.(adm.Point)
+		if !ok {
+			return nil, nil
+		}
+		cell := si.grid.Cell(pt.X, pt.Y)
+		kb, err := adm.EncodeKey(nil, adm.Int64(cell))
+		if err != nil {
+			return nil, err
+		}
+		kb = append(kb, keyBytes...)
+		return []secEntry{{key: kb, val: mkVal(fv)}}, nil
+	case "KEYWORD":
+		s, ok := fv.(adm.String)
+		if !ok {
+			return nil, nil
+		}
+		toks := algebricks.Tokenize(string(s))
+		seen := map[string]bool{}
+		var out []secEntry
+		for _, tok := range toks {
+			if seen[tok] {
+				continue
+			}
+			seen[tok] = true
+			kb, err := adm.EncodeKey(nil, adm.String(tok))
+			if err != nil {
+				return nil, err
+			}
+			kb = append(kb, keyBytes...)
+			out = append(out, secEntry{key: kb, val: mkVal(adm.String(tok))})
+		}
+		return out, nil
+	case "RTREE":
+		pt, ok := fv.(adm.Point)
+		if ok {
+			return []secEntry{{rect: rtree.PointRect(pt.X, pt.Y)}}, nil
+		}
+		if r, ok := fv.(adm.Rectangle); ok {
+			return []secEntry{{rect: rtree.Rect{MinX: r.MinX, MinY: r.MinY, MaxX: r.MaxX, MaxY: r.MaxY}}}, nil
+		}
+		return nil, nil
+	}
+	return nil, fmt.Errorf("core: unknown index kind %q", si.def.Kind)
+}
+
+func (d *Dataset) addSecondaryEntries(part int, keyBytes []byte, rec *adm.Object) error {
+	for _, si := range d.idxs {
+		entries, err := si.entriesFor(keyBytes, rec)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if si.def.Kind == "RTREE" {
+				if err := si.rts[part].Insert(e.rect, keyBytes); err != nil {
+					return err
+				}
+			} else if err := si.trees[part].Upsert(e.key, e.val); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (d *Dataset) removeSecondaryEntries(part int, keyBytes []byte, rec *adm.Object) error {
+	for _, si := range d.idxs {
+		entries, err := si.entriesFor(keyBytes, rec)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if si.def.Kind == "RTREE" {
+				if err := si.rts[part].Delete(e.rect, keyBytes); err != nil {
+					return err
+				}
+			} else if err := si.trees[part].Delete(e.key); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// buildIndex populates a fresh secondary index from existing data.
+func (d *Dataset) buildIndex(si *SecondaryIndex) error {
+	for p := 0; p < d.def.Partitions; p++ {
+		err := d.parts[p].Scan(nil, nil, func(k, v []byte) bool {
+			raw, err := decodeRecordBytes(v)
+			if err != nil {
+				return false
+			}
+			rec, err := adm.DecodeValue(raw)
+			if err != nil {
+				return false
+			}
+			o, ok := rec.(*adm.Object)
+			if !ok {
+				return true
+			}
+			entries, err := si.entriesFor(append([]byte(nil), k...), o)
+			if err != nil {
+				return false
+			}
+			for _, e := range entries {
+				if si.def.Kind == "RTREE" {
+					if err := si.rts[p].Insert(e.rect, k); err != nil {
+						return false
+					}
+				} else if err := si.trees[p].Upsert(e.key, e.val); err != nil {
+					return false
+				}
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- algebricks.DataSource ---
+
+// Name implements algebricks.DataSource.
+func (d *Dataset) Name() string { return d.def.Name }
+
+// Partitions implements algebricks.DataSource.
+func (d *Dataset) Partitions() int { return d.def.Partitions }
+
+// ScanPartition implements algebricks.DataSource over the primary index.
+func (d *Dataset) ScanPartition(part int, emit func(adm.Value) error) error {
+	if d.def.External {
+		typ := d.typ
+		adapter, err := external.New(d.def.Adapter, d.def.Params, typ)
+		if err != nil {
+			return err
+		}
+		return adapter.Scan(part, d.def.Partitions, emit)
+	}
+	var scanErr error
+	err := d.parts[part].Scan(nil, nil, func(k, v []byte) bool {
+		raw, err := decodeRecordBytes(v)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		rec, err := adm.DecodeValue(raw)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		if err := emit(rec); err != nil {
+			scanErr = err
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	return scanErr
+}
+
+// Count returns the number of live records across partitions.
+func (d *Dataset) Count() (int64, error) {
+	var total int64
+	for p := range d.parts {
+		n, err := d.parts[p].Count()
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// LSMStats sums disk-component counts and merge counts over the primary
+// index's partitions (the E8 merge-policy ablation metric).
+func (d *Dataset) LSMStats() (components, merges int) {
+	for _, t := range d.parts {
+		components += t.DiskComponents()
+		merges += t.Merges
+	}
+	return components, merges
+}
+
+// FlushAll flushes every partition's memory components (primary and
+// secondary) to disk components.
+func (d *Dataset) FlushAll() error {
+	for _, t := range d.parts {
+		if err := t.Flush(); err != nil {
+			return err
+		}
+	}
+	for _, si := range d.idxs {
+		for _, t := range si.trees {
+			if err := t.Flush(); err != nil {
+				return err
+			}
+		}
+		for _, rt := range si.rts {
+			if err := rt.Flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// --- algebricks.IndexAccessor ---
+
+// Kind implements algebricks.IndexAccessor.
+func (si *SecondaryIndex) Kind() string { return si.def.Kind }
+
+// fetchSorted resolves candidate pk byte-keys through the primary index in
+// sorted order (the pk-sort-before-fetch optimization of [26]) and emits
+// records passing the check predicate.
+func (si *SecondaryIndex) fetchSorted(part int, pkSet map[string]bool, check func(*adm.Object) bool, emit func(adm.Value) error) error {
+	return si.fetch(part, pkSet, true, check, emit)
+}
+
+// fetch resolves candidates with or without the pk sort — the ablation
+// knob for experiment E11 (unsorted fetch loses the access locality the
+// paper's [26] trick provides).
+func (si *SecondaryIndex) fetch(part int, pkSet map[string]bool, sorted bool, check func(*adm.Object) bool, emit func(adm.Value) error) error {
+	pks := make([]string, 0, len(pkSet))
+	for pk := range pkSet {
+		pks = append(pks, pk)
+	}
+	if sorted {
+		sort.Strings(pks)
+	}
+	for _, pk := range pks {
+		rec, ok, err := si.ds.getRecord(part, []byte(pk))
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue // index entry raced a delete; primary wins
+		}
+		if check != nil && !check(rec) {
+			continue
+		}
+		if err := emit(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// decodeSecVal splits a secondary-index value into (skey, pk bytes).
+func decodeSecVal(v []byte) (adm.Value, []byte, error) {
+	val, err := adm.DecodeValue(v)
+	if err != nil {
+		return nil, nil, err
+	}
+	arr, ok := val.(adm.Array)
+	if !ok || len(arr) != 2 {
+		return nil, nil, fmt.Errorf("core: corrupt secondary entry")
+	}
+	pkb, ok := arr[1].(adm.Binary)
+	if !ok {
+		return nil, nil, fmt.Errorf("core: corrupt secondary entry pk")
+	}
+	return arr[0], []byte(pkb), nil
+}
+
+// SearchRange implements algebricks.IndexAccessor for BTREE indexes.
+func (si *SecondaryIndex) SearchRange(part int, lo, hi adm.Value, loInc, hiInc bool, emit func(adm.Value) error) error {
+	if si.def.Kind != "BTREE" {
+		return fmt.Errorf("core: SearchRange on %s index", si.def.Kind)
+	}
+	var loB, hiB []byte
+	var err error
+	if lo != nil {
+		if loB, err = adm.EncodeKey(nil, lo); err != nil {
+			return err
+		}
+	}
+	if hi != nil {
+		if hiB, err = adm.EncodeKey(nil, hi); err != nil {
+			return err
+		}
+		hiB = append(hiB, 0xFF) // include all pk suffixes under hi
+	}
+	pks := map[string]bool{}
+	var innerErr error
+	err = si.trees[part].Scan(loB, hiB, func(k, v []byte) bool {
+		skey, pkb, err := decodeSecVal(v)
+		if err != nil {
+			innerErr = err
+			return false
+		}
+		if lo != nil {
+			c := adm.Compare(skey, lo)
+			if c < 0 || (c == 0 && !loInc) {
+				return true
+			}
+		}
+		if hi != nil {
+			c := adm.Compare(skey, hi)
+			if c > 0 || (c == 0 && !hiInc) {
+				return true
+			}
+		}
+		pks[string(pkb)] = true
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if innerErr != nil {
+		return innerErr
+	}
+	return si.fetchSorted(part, pks, nil, emit)
+}
+
+// SearchSpatial implements algebricks.IndexAccessor for the spatial index
+// variants of the Section V-B study.
+func (si *SecondaryIndex) SearchSpatial(part int, rect adm.Rectangle, emit func(adm.Value) error) error {
+	field := si.def.Fields[0]
+	check := func(rec *adm.Object) bool {
+		switch p := rec.Get(field).(type) {
+		case adm.Point:
+			return rect.Contains(p.X, p.Y)
+		case adm.Rectangle:
+			return rect.Intersects(p)
+		}
+		return false
+	}
+	pks := map[string]bool{}
+	switch si.def.Kind {
+	case "RTREE":
+		q := rtree.Rect{MinX: rect.MinX, MinY: rect.MinY, MaxX: rect.MaxX, MaxY: rect.MaxY}
+		err := si.rts[part].Search(q, func(r rtree.Rect, key []byte) bool {
+			pks[string(key)] = true
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	case "ZORDER", "HILBERT", "GRID":
+		if err := si.collectSpatialCandidates(part, rect, pks); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("core: SearchSpatial on %s index", si.def.Kind)
+	}
+	return si.fetchSorted(part, pks, check, emit)
+}
+
+// SearchSpatialAblation answers a spatial query with the fetch phase's
+// pk sort toggled (experiment E11: quantifying the [26] optimization).
+// Only meaningful for BTREE-family spatial variants and RTREE.
+func (si *SecondaryIndex) SearchSpatialAblation(part int, rect adm.Rectangle, sortedFetch bool, emit func(adm.Value) error) error {
+	field := si.def.Fields[0]
+	check := func(rec *adm.Object) bool {
+		switch p := rec.Get(field).(type) {
+		case adm.Point:
+			return rect.Contains(p.X, p.Y)
+		case adm.Rectangle:
+			return rect.Intersects(p)
+		}
+		return false
+	}
+	pks := map[string]bool{}
+	switch si.def.Kind {
+	case "RTREE":
+		q := rtree.Rect{MinX: rect.MinX, MinY: rect.MinY, MaxX: rect.MaxX, MaxY: rect.MaxY}
+		if err := si.rts[part].Search(q, func(r rtree.Rect, key []byte) bool {
+			pks[string(key)] = true
+			return true
+		}); err != nil {
+			return err
+		}
+	case "ZORDER", "HILBERT", "GRID":
+		if err := si.collectSpatialCandidates(part, rect, pks); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("core: SearchSpatialAblation on %s index", si.def.Kind)
+	}
+	return si.fetch(part, pks, sortedFetch, check, emit)
+}
+
+// SearchSpatialCandidates runs only the index portion of a spatial search,
+// returning the candidate primary-key count without fetching records —
+// the "index time vs end-to-end time" split at the heart of the paper's
+// Section V-B study (experiment E2).
+func (si *SecondaryIndex) SearchSpatialCandidates(part int, rect adm.Rectangle) (int, error) {
+	n := 0
+	switch si.def.Kind {
+	case "RTREE":
+		q := rtree.Rect{MinX: rect.MinX, MinY: rect.MinY, MaxX: rect.MaxX, MaxY: rect.MaxY}
+		err := si.rts[part].Search(q, func(r rtree.Rect, key []byte) bool {
+			n++
+			return true
+		})
+		return n, err
+	case "ZORDER", "HILBERT", "GRID":
+		pks := map[string]bool{}
+		// Reuse the candidate-collection logic by running the search with
+		// fetch replaced by counting: factored via a tiny shim below.
+		err := si.collectSpatialCandidates(part, rect, pks)
+		return len(pks), err
+	}
+	return 0, fmt.Errorf("core: SearchSpatialCandidates on %s index", si.def.Kind)
+}
+
+// collectSpatialCandidates gathers candidate pks for curve/grid indexes.
+func (si *SecondaryIndex) collectSpatialCandidates(part int, rect adm.Rectangle, pks map[string]bool) error {
+	switch si.def.Kind {
+	case "ZORDER", "HILBERT":
+		x0, y0 := si.norm.Lattice(rect.MinX, rect.MinY)
+		x1, y1 := si.norm.Lattice(rect.MaxX, rect.MaxY)
+		// A generous range budget keeps curve false positives low; the
+		// paper's §V-B point is precisely that sloppy candidates get
+		// amplified by the (dominant) object-fetch phase.
+		const curveRangeBudget = 512
+		var ranges []spatial.CurveRange
+		if si.def.Kind == "ZORDER" {
+			ranges = spatial.ZOrderRanges(x0, y0, x1, y1, curveRangeBudget)
+		} else {
+			ranges = spatial.HilbertRanges(x0, y0, x1, y1, curveRangeBudget)
+		}
+		for _, r := range ranges {
+			var loB, hiB [8]byte
+			binary.BigEndian.PutUint64(loB[:], r.Lo)
+			binary.BigEndian.PutUint64(hiB[:], r.Hi)
+			loK, err := adm.EncodeKey(nil, adm.Binary(loB[:]))
+			if err != nil {
+				return err
+			}
+			hiK, err := adm.EncodeKey(nil, adm.Binary(hiB[:]))
+			if err != nil {
+				return err
+			}
+			hiK = append(hiK, 0xFF)
+			var innerErr error
+			err = si.trees[part].Scan(loK, hiK, func(k, v []byte) bool {
+				_, pkb, err := decodeSecVal(v)
+				if err != nil {
+					innerErr = err
+					return false
+				}
+				pks[string(pkb)] = true
+				return true
+			})
+			if err != nil {
+				return err
+			}
+			if innerErr != nil {
+				return innerErr
+			}
+		}
+		return nil
+	case "GRID":
+		for _, cell := range si.grid.CellsInRect(rect.MinX, rect.MinY, rect.MaxX, rect.MaxY) {
+			loK, err := adm.EncodeKey(nil, adm.Int64(cell))
+			if err != nil {
+				return err
+			}
+			hiK := append(append([]byte(nil), loK...), 0xFF)
+			var innerErr error
+			err = si.trees[part].Scan(loK, hiK, func(k, v []byte) bool {
+				_, pkb, err := decodeSecVal(v)
+				if err != nil {
+					innerErr = err
+					return false
+				}
+				pks[string(pkb)] = true
+				return true
+			})
+			if err != nil {
+				return err
+			}
+			if innerErr != nil {
+				return innerErr
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("core: collectSpatialCandidates on %s index", si.def.Kind)
+}
+
+// SearchKeyword implements algebricks.IndexAccessor for KEYWORD indexes.
+func (si *SecondaryIndex) SearchKeyword(part int, token string, emit func(adm.Value) error) error {
+	if si.def.Kind != "KEYWORD" {
+		return fmt.Errorf("core: SearchKeyword on %s index", si.def.Kind)
+	}
+	toks := algebricks.Tokenize(token)
+	if len(toks) != 1 {
+		return fmt.Errorf("core: keyword search requires a single token, got %q", token)
+	}
+	loK, err := adm.EncodeKey(nil, adm.String(toks[0]))
+	if err != nil {
+		return err
+	}
+	hiK := append(append([]byte(nil), loK...), 0xFF)
+	pks := map[string]bool{}
+	var innerErr error
+	err = si.trees[part].Scan(loK, hiK, func(k, v []byte) bool {
+		skey, pkb, err := decodeSecVal(v)
+		if err != nil {
+			innerErr = err
+			return false
+		}
+		if s, ok := skey.(adm.String); !ok || string(s) != toks[0] {
+			return true
+		}
+		pks[string(pkb)] = true
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if innerErr != nil {
+		return innerErr
+	}
+	return si.fetchSorted(part, pks, nil, emit)
+}

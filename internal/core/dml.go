@@ -1,0 +1,235 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"asterix/internal/adm"
+	"asterix/internal/algebricks"
+	"asterix/internal/external"
+	"asterix/internal/sqlpp"
+	"asterix/internal/txn"
+)
+
+// execUpsert evaluates the payload expression and inserts/upserts the
+// resulting record(s) as one transaction: WAL first, then LSM apply, with
+// record-level locks on the primary keys.
+func (e *Engine) execUpsert(ctx context.Context, dataset string, expr sqlpp.Expr, upsert bool) (Result, error) {
+	e.mu.Lock()
+	d, ok := e.datasets[dataset]
+	e.mu.Unlock()
+	if !ok {
+		return Result{}, fmt.Errorf("core: unknown dataset %q", dataset)
+	}
+	if d.def.External {
+		return Result{}, fmt.Errorf("core: dataset %q is external (read-only)", dataset)
+	}
+	ev := e.evaluator()
+	v, err := ev.Eval(expr, algebricks.NewEnv(nil, nil, nil))
+	if err != nil {
+		return Result{}, err
+	}
+	var recs []adm.Value
+	switch x := v.(type) {
+	case *adm.Object:
+		recs = []adm.Value{x}
+	case adm.Array:
+		recs = x
+	case adm.Multiset:
+		recs = x
+	default:
+		return Result{}, fmt.Errorf("core: INSERT/UPSERT payload must be object(s), got %s", v.Kind())
+	}
+	n, err := e.storeRecords(d, recs, upsert)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Kind: ResultDML, Count: n}, nil
+}
+
+// storeRecords writes a batch of records transactionally.
+func (e *Engine) storeRecords(d *Dataset, recs []adm.Value, upsert bool) (int64, error) {
+	tx := e.txmgr.Begin()
+	var count int64
+	for _, rv := range recs {
+		rec, ok := rv.(*adm.Object)
+		if !ok {
+			tx.Abort()
+			return count, fmt.Errorf("core: record is %s, not object", rv.Kind())
+		}
+		if err := d.typ.Validate(rec); err != nil {
+			tx.Abort()
+			return count, err
+		}
+		part, keyBytes, _, err := d.locate(rec)
+		if err != nil {
+			tx.Abort()
+			return count, err
+		}
+		if !upsert {
+			if _, exists, err := d.getRecord(part, keyBytes); err != nil {
+				tx.Abort()
+				return count, err
+			} else if exists {
+				tx.Abort()
+				return count, fmt.Errorf("core: duplicate primary key in %s", d.def.Name)
+			}
+		}
+		recBytes := adm.EncodeValue(rec)
+		if err := tx.LogUpdate(d.def.Name, int32(part), txn.OpUpsert, keyBytes, recBytes); err != nil {
+			tx.Abort()
+			return count, err
+		}
+		if err := d.applyUpsert(part, keyBytes, rec); err != nil {
+			tx.Abort()
+			return count, err
+		}
+		count++
+	}
+	if err := tx.Commit(); err != nil {
+		return count, err
+	}
+	return count, nil
+}
+
+// execDelete deletes matching records: scan (with the statement's
+// predicate) to locate victims, then delete transactionally.
+func (e *Engine) execDelete(ctx context.Context, s *sqlpp.DeleteStmt) (Result, error) {
+	e.mu.Lock()
+	d, ok := e.datasets[s.Dataset]
+	e.mu.Unlock()
+	if !ok {
+		return Result{}, fmt.Errorf("core: unknown dataset %q", s.Dataset)
+	}
+	if d.def.External {
+		return Result{}, fmt.Errorf("core: dataset %q is external (read-only)", s.Dataset)
+	}
+	ev := e.evaluator()
+	type victim struct {
+		part int
+		key  []byte
+	}
+	var victims []victim
+	for p := 0; p < d.def.Partitions; p++ {
+		err := d.ScanPartition(p, func(rec adm.Value) error {
+			o, ok := rec.(*adm.Object)
+			if !ok {
+				return nil
+			}
+			if s.Where != nil {
+				env := algebricks.NewEnv(nil, []string{s.Alias}, []adm.Value{o})
+				keep, err := ev.Eval(s.Where, env)
+				if err != nil {
+					return err
+				}
+				if b, known := adm.Truthy(keep); !known || !b {
+					return nil
+				}
+			}
+			_, kb, _, err := d.locate(o)
+			if err != nil {
+				return err
+			}
+			victims = append(victims, victim{part: p, key: kb})
+			return nil
+		})
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	tx := e.txmgr.Begin()
+	for _, v := range victims {
+		if err := tx.LogUpdate(d.def.Name, int32(v.part), txn.OpDelete, v.key, nil); err != nil {
+			tx.Abort()
+			return Result{}, err
+		}
+		if err := d.applyDelete(v.part, v.key); err != nil {
+			tx.Abort()
+			return Result{}, err
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return Result{}, err
+	}
+	return Result{Kind: ResultDML, Count: int64(len(victims))}, nil
+}
+
+// execLoad bulk-imports external data into a native dataset.
+func (e *Engine) execLoad(ctx context.Context, s *sqlpp.LoadStmt) (Result, error) {
+	e.mu.Lock()
+	d, ok := e.datasets[s.Dataset]
+	e.mu.Unlock()
+	if !ok {
+		return Result{}, fmt.Errorf("core: unknown dataset %q", s.Dataset)
+	}
+	adapter, err := external.New(s.Adapter, s.Params, d.typ)
+	if err != nil {
+		return Result{}, err
+	}
+	var recs []adm.Value
+	if err := adapter.Scan(0, 1, func(rec adm.Value) error {
+		recs = append(recs, rec)
+		return nil
+	}); err != nil {
+		return Result{}, err
+	}
+	n, err := e.storeRecords(d, recs, true)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Kind: ResultDML, Count: n}, nil
+}
+
+// UpsertValue is the programmatic single-record upsert used by feeds and
+// the benchmark harness (bypasses SQL parsing, keeps WAL + index
+// maintenance).
+func (e *Engine) UpsertValue(dataset string, rec *adm.Object) error {
+	e.mu.Lock()
+	d, ok := e.datasets[dataset]
+	e.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("core: unknown dataset %q", dataset)
+	}
+	_, err := e.storeRecords(d, []adm.Value{rec}, true)
+	return err
+}
+
+// DeleteKey removes one record by primary key (programmatic path).
+func (e *Engine) DeleteKey(dataset string, pk ...adm.Value) error {
+	e.mu.Lock()
+	d, ok := e.datasets[dataset]
+	e.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("core: unknown dataset %q", dataset)
+	}
+	kb, err := encodePK(pk)
+	if err != nil {
+		return err
+	}
+	part := d.partitionOf(pk)
+	tx := e.txmgr.Begin()
+	if err := tx.LogUpdate(d.def.Name, int32(part), txn.OpDelete, kb, nil); err != nil {
+		tx.Abort()
+		return err
+	}
+	if err := d.applyDelete(part, kb); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+// GetKey fetches one record by primary key (programmatic path).
+func (e *Engine) GetKey(dataset string, pk ...adm.Value) (*adm.Object, bool, error) {
+	e.mu.Lock()
+	d, ok := e.datasets[dataset]
+	e.mu.Unlock()
+	if !ok {
+		return nil, false, fmt.Errorf("core: unknown dataset %q", dataset)
+	}
+	kb, err := encodePK(pk)
+	if err != nil {
+		return nil, false, err
+	}
+	return d.getRecord(d.partitionOf(pk), kb)
+}

@@ -1,0 +1,136 @@
+// Package experiments implements the benchmark harness of DESIGN.md: one
+// runnable experiment per empirical claim in the paper (E1–E10), each
+// printing the rows/series the claim predicts. The same functions back
+// the root bench_test.go benchmarks and the asterixbench binary.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"asterix/internal/adm"
+)
+
+// GenUser produces Gleambook users matching the paper's Figure 3 schema.
+func GenUser(i int, nUsers int, r *rand.Rand) *adm.Object {
+	year := 2010 + i%9
+	since, _ := adm.ParseDatetime(fmt.Sprintf("%d-0%d-01T00:00:00", year, 1+i%9))
+	nFriends := r.Intn(8)
+	friends := make(adm.Multiset, nFriends)
+	for f := range friends {
+		friends[f] = adm.Int64(r.Intn(nUsers))
+	}
+	start, _ := adm.ParseDate(fmt.Sprintf("%d-06-01", 2005+i%14))
+	return adm.NewObject(
+		adm.Field{Name: "id", Value: adm.Int64(i)},
+		adm.Field{Name: "alias", Value: adm.String(fmt.Sprintf("user%06d", i))},
+		adm.Field{Name: "name", Value: adm.String(fmt.Sprintf("Gleambook User %d", i))},
+		adm.Field{Name: "userSince", Value: since},
+		adm.Field{Name: "friendIds", Value: friends},
+		adm.Field{Name: "employment", Value: adm.Array{adm.NewObject(
+			adm.Field{Name: "organizationName", Value: adm.String(fmt.Sprintf("Org%d", i%100))},
+			adm.Field{Name: "startDate", Value: start},
+		)}},
+	)
+}
+
+// GenMessage produces Gleambook messages; about half carry a location.
+func GenMessage(i, nUsers int, r *rand.Rand) *adm.Object {
+	o := adm.NewObject(
+		adm.Field{Name: "messageId", Value: adm.Int64(i)},
+		adm.Field{Name: "authorId", Value: adm.Int64(r.Intn(nUsers))},
+		adm.Field{Name: "message", Value: adm.String(messageText(i, r))},
+	)
+	if i%2 == 0 {
+		o.Set("senderLocation", adm.Point{
+			X: -180 + r.Float64()*360,
+			Y: -90 + r.Float64()*180,
+		})
+	}
+	return o
+}
+
+var topicWords = []string{"verizon", "sprint", "tmobile", "iphone", "pixel",
+	"plan", "signal", "coverage", "battery", "speed", "price", "support"}
+
+func messageText(i int, r *rand.Rand) string {
+	var sb strings.Builder
+	sb.WriteString("message ")
+	n := 3 + r.Intn(8)
+	for w := 0; w < n; w++ {
+		sb.WriteString(topicWords[r.Intn(len(topicWords))])
+		sb.WriteByte(' ')
+	}
+	fmt.Fprintf(&sb, "num%d", i)
+	return sb.String()
+}
+
+// GenPoint produces point records on the default world for spatial
+// experiments.
+func GenPoint(i int, r *rand.Rand) *adm.Object {
+	return adm.NewObject(
+		adm.Field{Name: "id", Value: adm.Int64(i)},
+		adm.Field{Name: "loc", Value: adm.Point{
+			X: -180 + r.Float64()*360,
+			Y: -90 + r.Float64()*180,
+		}},
+		adm.Field{Name: "payload", Value: adm.String(strings.Repeat("x", 64))},
+	)
+}
+
+// WriteAccessLog writes a Figure 3(b)-shaped delimited access log and
+// returns its path.
+func WriteAccessLog(dir string, n, nUsers int, seed int64) (string, error) {
+	r := rand.New(rand.NewSource(seed))
+	path := filepath.Join(dir, "accesses.txt")
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		day := 1 + r.Intn(28)
+		fmt.Fprintf(&sb, "10.0.%d.%d|2019-03-%02dT%02d:00:00|user%06d|GET|/p%d|200|%d\n",
+			i%256, r.Intn(256), day, r.Intn(24), r.Intn(nUsers), i, 100+r.Intn(5000))
+	}
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// accessLogDDL is the Figure 3(b) external dataset definition.
+func accessLogDDL(path string) string {
+	return fmt.Sprintf(`
+CREATE TYPE AccessLogType AS CLOSED {
+	ip: string, time: string, user: string, verb: string,
+	'path': string, stat: int32, size: int32
+};
+CREATE EXTERNAL DATASET AccessLog(AccessLogType) USING localfs
+	(("path"="localhost://%s"), ("format"="delimited-text"), ("delimiter"="|"));`, path)
+}
+
+// gleambookDDL is the Figure 3(a) schema.
+const gleambookDDL = `
+CREATE TYPE EmploymentType AS {
+	organizationName: string,
+	startDate: date,
+	endDate: date?
+};
+CREATE TYPE GleambookUserType AS {
+	id: int,
+	alias: string,
+	name: string,
+	userSince: datetime,
+	friendIds: {{ int }},
+	employment: [EmploymentType]
+};
+CREATE TYPE GleambookMessageType AS {
+	messageId: int,
+	authorId: int,
+	inResponseTo: int?,
+	senderLocation: point?,
+	message: string
+};
+CREATE DATASET GleambookUsers(GleambookUserType) PRIMARY KEY id;
+CREATE DATASET GleambookMessages(GleambookMessageType) PRIMARY KEY messageId;
+`

@@ -1,0 +1,155 @@
+package external
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"asterix/internal/adm"
+)
+
+func accessLogType() *adm.Type {
+	return adm.NewObjectType("AccessLogType", true,
+		adm.FieldType{Name: "ip", Type: adm.Primitive(adm.KindString)},
+		adm.FieldType{Name: "time", Type: adm.Primitive(adm.KindString)},
+		adm.FieldType{Name: "user", Type: adm.Primitive(adm.KindString)},
+		adm.FieldType{Name: "verb", Type: adm.Primitive(adm.KindString)},
+		adm.FieldType{Name: "path", Type: adm.Primitive(adm.KindString)},
+		adm.FieldType{Name: "stat", Type: adm.Primitive(adm.KindInt64)},
+		adm.FieldType{Name: "size", Type: adm.Primitive(adm.KindInt64)},
+	)
+}
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func scanAll(t *testing.T, a Adapter, parts int) []adm.Value {
+	t.Helper()
+	var out []adm.Value
+	for p := 0; p < parts; p++ {
+		if err := a.Scan(p, parts, func(rec adm.Value) error {
+			out = append(out, rec)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+func TestDelimitedText(t *testing.T) {
+	path := writeFile(t, "log.txt",
+		"1.2.3.4|2019-03-01T00:00:00|alice|GET|/a|200|123\n"+
+			"5.6.7.8|2019-03-02T00:00:00|bob|POST|/b|404|456\n")
+	a, err := New("localfs", map[string]string{
+		"path": "localhost://" + path, "format": "delimited-text", "delimiter": "|",
+	}, accessLogType())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := scanAll(t, a, 1)
+	if len(recs) != 2 {
+		t.Fatalf("records: %d", len(recs))
+	}
+	r0 := recs[0].(*adm.Object)
+	if r0.Get("user").String() != `"alice"` {
+		t.Errorf("user: %v", r0.Get("user"))
+	}
+	if v, _ := adm.AsInt(r0.Get("stat")); v != 200 {
+		t.Errorf("stat: %v", r0.Get("stat"))
+	}
+	if r0.Get("path").String() != `"/a"` {
+		t.Errorf("path: %v", r0.Get("path"))
+	}
+}
+
+func TestDelimitedPartitioning(t *testing.T) {
+	content := ""
+	for i := 0; i < 10; i++ {
+		content += "1.1.1.1|t|u|GET|/|200|1\n"
+	}
+	path := writeFile(t, "log.txt", content)
+	a, err := New("localfs", map[string]string{
+		"path": path, "format": "delimited-text",
+	}, accessLogType())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := scanAll(t, a, 3)
+	if len(recs) != 10 {
+		t.Fatalf("partitioned scan lost rows: %d", len(recs))
+	}
+}
+
+func TestDelimitedColumnMismatch(t *testing.T) {
+	path := writeFile(t, "bad.txt", "only|three|cols\n")
+	a, _ := New("localfs", map[string]string{
+		"path": path, "format": "delimited-text",
+	}, accessLogType())
+	err := a.Scan(0, 1, func(adm.Value) error { return nil })
+	if err == nil {
+		t.Fatal("column mismatch must error")
+	}
+}
+
+func TestDelimitedBadInt(t *testing.T) {
+	path := writeFile(t, "bad.txt", "ip|t|u|GET|/|notanint|1\n")
+	a, _ := New("localfs", map[string]string{
+		"path": path, "format": "delimited-text",
+	}, accessLogType())
+	if err := a.Scan(0, 1, func(adm.Value) error { return nil }); err == nil {
+		t.Fatal("bad integer must error")
+	}
+}
+
+func TestJSONLines(t *testing.T) {
+	path := writeFile(t, "data.json",
+		`{"id": 1, "name": "a", "nested": {"x": [1, 2]}}`+"\n\n"+
+			`{"id": 2, "name": "b"}`+"\n")
+	a, err := New("localfs", map[string]string{"path": path, "format": "json"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := scanAll(t, a, 1)
+	if len(recs) != 2 {
+		t.Fatalf("records: %d", len(recs))
+	}
+	o := recs[0].(*adm.Object)
+	nested := o.Get("nested").(*adm.Object)
+	if arr := nested.Get("x").(adm.Array); len(arr) != 2 {
+		t.Errorf("nested: %v", nested)
+	}
+}
+
+func TestJSONLinesCorrupt(t *testing.T) {
+	path := writeFile(t, "bad.json", `{"id": 1`+"\n")
+	a, _ := New("localfs", map[string]string{"path": path, "format": "json"}, nil)
+	if err := a.Scan(0, 1, func(adm.Value) error { return nil }); err == nil {
+		t.Fatal("corrupt json must error")
+	}
+}
+
+func TestAdapterErrors(t *testing.T) {
+	if _, err := New("hdfs", nil, nil); err == nil {
+		t.Error("unknown adapter must fail")
+	}
+	if _, err := New("localfs", map[string]string{}, nil); err == nil {
+		t.Error("missing path must fail")
+	}
+	if _, err := New("localfs", map[string]string{"path": "/x", "format": "avro"}, nil); err == nil {
+		t.Error("unknown format must fail")
+	}
+	if _, err := New("localfs", map[string]string{"path": "/x", "format": "delimited-text"}, nil); err == nil {
+		t.Error("delimited-text without type must fail")
+	}
+	a, _ := New("localfs", map[string]string{"path": "/does/not/exist", "format": "json"}, nil)
+	if err := a.Scan(0, 1, func(adm.Value) error { return nil }); err == nil {
+		t.Error("missing file must error at scan")
+	}
+}

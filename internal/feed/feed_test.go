@@ -1,0 +1,186 @@
+package feed
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"asterix/internal/adm"
+)
+
+// memSink is a test Sink.
+type memSink struct {
+	mu   sync.Mutex
+	docs map[string]*adm.Object
+}
+
+func newMemSink() *memSink { return &memSink{docs: map[string]*adm.Object{}} }
+
+func (s *memSink) Upsert(dataset string, rec *adm.Object) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := rec.Get("id")
+	s.docs[adm.ToJSON(id)] = rec
+	return nil
+}
+
+func (s *memSink) Delete(dataset string, pk ...adm.Value) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.docs, adm.ToJSON(pk[0]))
+	return nil
+}
+
+func (s *memSink) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.docs)
+}
+
+func doc(i int) *adm.Object {
+	return adm.NewObject(
+		adm.Field{Name: "id", Value: adm.String(fmt.Sprintf("doc%d", i))},
+		adm.Field{Name: "v", Value: adm.Int64(int64(i))},
+	)
+}
+
+func TestKVStoreBasics(t *testing.T) {
+	s := NewKVStore()
+	s.Set("a", doc(1))
+	s.Set("b", doc(2))
+	if d, ok := s.Get("a"); !ok || d.Get("v").String() != "1" {
+		t.Fatal("get a failed")
+	}
+	s.Delete("a")
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("delete failed")
+	}
+	if s.Seq() != 3 {
+		t.Fatalf("seq = %d", s.Seq())
+	}
+}
+
+func TestStreamBackfillThenLive(t *testing.T) {
+	s := NewKVStore()
+	for i := 0; i < 5; i++ {
+		s.Set(fmt.Sprintf("k%d", i), doc(i))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ch := s.Stream(ctx, 0)
+	// Backfill of 5.
+	for i := 0; i < 5; i++ {
+		m := <-ch
+		if m.Seq != int64(i+1) {
+			t.Fatalf("backfill seq %d", m.Seq)
+		}
+	}
+	// Live.
+	go s.Set("live", doc(99))
+	select {
+	case m := <-ch:
+		if m.Key != "live" {
+			t.Fatalf("live key %q", m.Key)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("live mutation not delivered")
+	}
+}
+
+func TestStreamFromMidpoint(t *testing.T) {
+	s := NewKVStore()
+	for i := 0; i < 10; i++ {
+		s.Set(fmt.Sprintf("k%d", i), doc(i))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ch := s.Stream(ctx, 7)
+	var seqs []int64
+	for i := 0; i < 3; i++ {
+		m := <-ch
+		seqs = append(seqs, m.Seq)
+	}
+	if seqs[0] != 8 || seqs[2] != 10 {
+		t.Fatalf("seqs: %v", seqs)
+	}
+}
+
+func TestShadowLinkCatchUp(t *testing.T) {
+	s := NewKVStore()
+	sink := newMemSink()
+	for i := 0; i < 20; i++ {
+		s.Set(fmt.Sprintf("k%d", i), doc(i))
+	}
+	s.Delete("k3")
+	s.Delete("k7")
+	link := &ShadowLink{Store: s, Sink: sink, Dataset: "Shadow", PKField: "id"}
+	if err := link.CatchUp(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if sink.len() != 18 {
+		t.Fatalf("shadow has %d docs, want 18", sink.len())
+	}
+	if link.Lag() != 0 {
+		t.Fatalf("lag = %d", link.Lag())
+	}
+	// More mutations; catch up again.
+	s.Set("new", doc(100))
+	if link.Lag() != 1 {
+		t.Fatalf("lag after new mutation = %d", link.Lag())
+	}
+	if err := link.CatchUp(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if sink.len() != 19 {
+		t.Fatalf("shadow has %d docs after second catch-up", sink.len())
+	}
+}
+
+func TestShadowLinkInjectsKey(t *testing.T) {
+	s := NewKVStore()
+	sink := newMemSink()
+	// Document without an id field: the KV key must be injected.
+	s.Set("the-key", adm.NewObject(adm.Field{Name: "v", Value: adm.Int64(1)}))
+	link := &ShadowLink{Store: s, Sink: sink, Dataset: "Shadow"}
+	if err := link.CatchUp(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if sink.len() != 1 {
+		t.Fatal("document not shadowed")
+	}
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	for k := range sink.docs {
+		if k != `"the-key"` {
+			t.Fatalf("injected key = %s", k)
+		}
+	}
+}
+
+func TestShadowLinkLive(t *testing.T) {
+	s := NewKVStore()
+	sink := newMemSink()
+	link := &ShadowLink{Store: s, Sink: sink, Dataset: "Shadow", PKField: "id"}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- link.Run(ctx, 0) }()
+	for i := 0; i < 50; i++ {
+		s.Set(fmt.Sprintf("k%d", i), doc(i))
+	}
+	deadline := time.After(3 * time.Second)
+	for link.Applied() < 50 {
+		select {
+		case <-deadline:
+			t.Fatalf("shadow only applied %d of 50", link.Applied())
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	cancel()
+	<-done
+	if sink.len() != 50 {
+		t.Fatalf("shadow docs = %d", sink.len())
+	}
+}

@@ -1,0 +1,68 @@
+package hyracks
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// NodeController is one simulated cluster node: it owns a spill directory
+// and I/O counters. Operator partitions are assigned to nodes round-robin,
+// standing in for the paper's shared-nothing node controllers (Figure 1).
+type NodeController struct {
+	ID      string
+	TempDir string
+
+	// Counters (atomic).
+	TuplesIn  int64
+	TuplesOut int64
+	Spills    int64
+}
+
+func (n *NodeController) addIn(c int64)  { atomic.AddInt64(&n.TuplesIn, c) }
+func (n *NodeController) addOut(c int64) { atomic.AddInt64(&n.TuplesOut, c) }
+
+// AddSpill counts one run-file spill on this node.
+func (n *NodeController) AddSpill() { atomic.AddInt64(&n.Spills, 1) }
+
+// Cluster is a simulated Hyracks cluster: a cluster controller's worth of
+// coordination over N node controllers, all in one process.
+type Cluster struct {
+	Nodes []*NodeController
+	// FrameSize is the tuple-batch size moved through connectors.
+	FrameSize int
+	// MemBudget is the default per-task working-memory budget in bytes.
+	MemBudget int
+}
+
+// NewCluster creates an n-node cluster with spill directories under
+// baseDir.
+func NewCluster(n int, baseDir string) (*Cluster, error) {
+	if n < 1 {
+		n = 1
+	}
+	c := &Cluster{FrameSize: 256, MemBudget: 32 << 20}
+	for i := 0; i < n; i++ {
+		dir := filepath.Join(baseDir, fmt.Sprintf("nc%d", i))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("hyracks: node temp dir: %w", err)
+		}
+		c.Nodes = append(c.Nodes, &NodeController{ID: fmt.Sprintf("nc%d", i), TempDir: dir})
+	}
+	return c, nil
+}
+
+// NodeFor maps an operator partition to its node.
+func (c *Cluster) NodeFor(partition int) *NodeController {
+	return c.Nodes[partition%len(c.Nodes)]
+}
+
+// ResetStats zeroes all node counters.
+func (c *Cluster) ResetStats() {
+	for _, n := range c.Nodes {
+		atomic.StoreInt64(&n.TuplesIn, 0)
+		atomic.StoreInt64(&n.TuplesOut, 0)
+		atomic.StoreInt64(&n.Spills, 0)
+	}
+}

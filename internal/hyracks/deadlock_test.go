@@ -1,0 +1,117 @@
+package hyracks
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"asterix/internal/adm"
+)
+
+// These regression tests reproduce exchange deadlocks found at full
+// benchmark scale: a merge-type consumer must never stall one producer
+// stream while waiting on another when both share an upstream hash
+// exchange (the classic distributed-dataflow merge deadlock).
+
+// runWithDeadline fails the test if the job doesn't finish promptly.
+func runWithDeadline(t *testing.T, c *Cluster, j *Job) {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- c.Run(context.Background(), j) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("job deadlocked")
+	}
+}
+
+// TestNoDeadlockHashExchangeIntoUnorderedMerge: scan → hash exchange →
+// group-by(par 2) → unordered merge → sink, with enough tuples to fill
+// every channel buffer many times over.
+func TestNoDeadlockHashExchangeIntoUnorderedMerge(t *testing.T) {
+	c := newCluster(t, 2)
+	j := NewJob()
+	n := 60000
+	scan := j.Add(NewScan("scan", 2, func(tc *TaskContext, emit func(Tuple) error) error {
+		for i := tc.Partition; i < n; i += tc.NumPartitions {
+			if err := emit(Tuple{adm.Int64(i % 1000), adm.Int64(i)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}))
+	gb := j.Add(NewGroupBy("gb", 2, []int{0}, []AggSpec{CountAgg(-1)}))
+	coll := &Collector{}
+	sink := j.Add(NewSink("sink", 1, coll))
+	j.MustConnect(scan, gb, 0, HashPartition(0))
+	j.MustConnect(gb, sink, 0, MergeUnordered())
+	runWithDeadline(t, c, j)
+	if coll.Len() != 1000 {
+		t.Fatalf("groups: %d", coll.Len())
+	}
+}
+
+// TestNoDeadlockHashExchangeIntoOrderedMerge: the ordered-merge variant —
+// the merging input must buffer streams it is not currently draining.
+func TestNoDeadlockHashExchangeIntoOrderedMerge(t *testing.T) {
+	c := newCluster(t, 2)
+	j := NewJob()
+	n := 60000
+	scan := j.Add(NewScan("scan", 2, func(tc *TaskContext, emit func(Tuple) error) error {
+		for i := tc.Partition; i < n; i += tc.NumPartitions {
+			if err := emit(Tuple{adm.Int64(i % 1000), adm.Int64(i)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}))
+	gb := j.Add(NewGroupBy("gb", 2, []int{0}, []AggSpec{CountAgg(-1)}))
+	cmp := Comparator{Columns: []int{0}}
+	sorter := j.Add(NewSort("sort", 2, cmp))
+	coll := &Collector{}
+	sink := j.Add(NewOrderedSink("sink", coll))
+	j.MustConnect(scan, gb, 0, HashPartition(0))
+	j.MustConnect(gb, sorter, 0, OneToOne())
+	j.MustConnect(sorter, sink, 0, MergeOrdered(cmp))
+	runWithDeadline(t, c, j)
+	if coll.Len() != 1000 {
+		t.Fatalf("groups: %d", coll.Len())
+	}
+	ts := coll.Tuples()
+	for i := 1; i < len(ts); i++ {
+		if adm.Compare(ts[i-1][0], ts[i][0]) > 0 {
+			t.Fatal("order violated")
+		}
+	}
+}
+
+// TestNoDeadlockSkewedMerge: all data lands in one consumer partition of
+// a hash exchange whose sibling stays empty — the degenerate skew case.
+func TestNoDeadlockSkewedMerge(t *testing.T) {
+	c := newCluster(t, 2)
+	j := NewJob()
+	n := 30000
+	scan := j.Add(NewScan("scan", 2, func(tc *TaskContext, emit func(Tuple) error) error {
+		for i := tc.Partition; i < n; i += tc.NumPartitions {
+			if err := emit(Tuple{adm.Int64(7), adm.Int64(i)}); err != nil { // single key
+				return err
+			}
+		}
+		return nil
+	}))
+	gb := j.Add(NewGroupBy("gb", 2, []int{0}, []AggSpec{CountAgg(-1)}))
+	coll := &Collector{}
+	sink := j.Add(NewSink("sink", 1, coll))
+	j.MustConnect(scan, gb, 0, HashPartition(0))
+	j.MustConnect(gb, sink, 0, MergeUnordered())
+	runWithDeadline(t, c, j)
+	if coll.Len() != 1 {
+		t.Fatalf("groups: %d", coll.Len())
+	}
+	if v, _ := adm.AsInt(coll.Tuples()[0][1]); v != int64(n) {
+		t.Fatalf("count: %d", v)
+	}
+}

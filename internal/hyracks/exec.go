@@ -1,0 +1,401 @@
+package hyracks
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Run executes a job on the cluster, blocking until completion. The first
+// task error cancels the whole job.
+func (c *Cluster) Run(ctx context.Context, j *Job) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Validate wiring.
+	for _, op := range j.ops {
+		for port, e := range op.inEnds {
+			if e == nil {
+				return fmt.Errorf("hyracks: %s input port %d unconnected", op.Name, port)
+			}
+		}
+	}
+
+	// Build per-edge channel fabric.
+	type edgeRT struct {
+		chans     []chan []Tuple
+		producers sync.WaitGroup
+	}
+	rts := make(map[*edge]*edgeRT, len(j.edges))
+	for _, e := range j.edges {
+		rt := &edgeRT{}
+		n := e.to.Parallelism
+		if e.conn.Kind == ConnMerge {
+			if len(e.conn.Cmp.Columns) > 0 {
+				// Ordered merge needs one stream per producer; the
+				// consumer-side merging input buffers them unboundedly to
+				// avoid exchange deadlocks (it must be able to wait on a
+				// specific stream while others keep producing).
+				n = e.from.Parallelism
+			} else {
+				// Unordered concentration: one shared MPSC channel, so no
+				// producer is ever left unread while another is drained.
+				n = 1
+			}
+		}
+		rt.chans = make([]chan []Tuple, n)
+		for i := range rt.chans {
+			rt.chans[i] = make(chan []Tuple, 8)
+		}
+		rt.producers.Add(e.from.Parallelism)
+		rts[e] = rt
+		go func(rt *edgeRT) {
+			rt.producers.Wait()
+			for _, ch := range rt.chans {
+				close(ch)
+			}
+		}(rt)
+	}
+
+	send := func(ch chan []Tuple, frame []Tuple) error {
+		select {
+		case ch <- frame:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	for _, op := range j.ops {
+		for p := 0; p < op.Parallelism; p++ {
+			op, p := op, p
+			node := c.NodeFor(p)
+			tc := &TaskContext{
+				Ctx:           ctx,
+				Partition:     p,
+				NumPartitions: op.Parallelism,
+				Node:          node,
+				MemBudget:     c.MemBudget,
+			}
+
+			// Inputs, ordered by port.
+			ins := make([]*Input, len(op.inEnds))
+			for port, e := range op.inEnds {
+				rt := rts[e]
+				switch e.conn.Kind {
+				case ConnMerge:
+					if len(e.conn.Cmp.Columns) > 0 {
+						buffered := make([]chan []Tuple, len(rt.chans))
+						for i, ch := range rt.chans {
+							buffered[i] = unboundedBuffer(ctx, ch)
+						}
+						ins[port] = newMergingInput(ctx, buffered, e.conn.Cmp, c.FrameSize, node)
+					} else {
+						ins[port] = newConcatInput(ctx, rt.chans, node)
+					}
+				default:
+					ch := rt.chans[p]
+					ins[port] = &Input{recv: func() ([]Tuple, bool, error) {
+						select {
+						case f, ok := <-ch:
+							if !ok {
+								return nil, false, nil
+							}
+							node.addIn(int64(len(f)))
+							return f, true, nil
+						case <-ctx.Done():
+							return nil, false, ctx.Err()
+						}
+					}}
+				}
+			}
+
+			// Outputs, one per out edge in connection order.
+			outs := make([]*Output, len(op.outs))
+			writers := make([]*connWriter, len(op.outs))
+			for i, e := range op.outs {
+				w := &connWriter{
+					conn:      e.conn,
+					chans:     rts[e].chans,
+					frameSize: c.FrameSize,
+					producer:  p,
+					send:      send,
+					node:      node,
+				}
+				if e.conn.Kind == ConnMerge {
+					if len(e.conn.Cmp.Columns) > 0 {
+						w.mergeChan = rts[e].chans[p]
+					} else {
+						w.mergeChan = rts[e].chans[0]
+					}
+				}
+				w.buffers = make([][]Tuple, len(w.chans))
+				writers[i] = w
+				outs[i] = &Output{write: w.Write, close: w.Close}
+			}
+
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				runner := op.New(p)
+				err := runner.Run(tc, ins, outs)
+				if err == nil {
+					for _, w := range writers {
+						if e := w.Close(); e != nil {
+							err = e
+							break
+						}
+					}
+				}
+				// Producers must be marked done even on error so channel
+				// closers terminate.
+				for _, e := range op.outs {
+					rts[e].producers.Done()
+				}
+				if err != nil && err != context.Canceled {
+					fail(fmt.Errorf("hyracks: %s[%d]: %w", op.Name, p, err))
+				} else if err != nil {
+					fail(err)
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// connWriter routes a producer partition's output tuples into the edge's
+// channels with frame batching.
+type connWriter struct {
+	conn      Connector
+	chans     []chan []Tuple
+	buffers   [][]Tuple
+	frameSize int
+	producer  int
+	rr        int
+	mergeChan chan []Tuple
+	mbuf      []Tuple
+	send      func(chan []Tuple, []Tuple) error
+	node      *NodeController
+	closed    bool
+}
+
+func (w *connWriter) Write(t Tuple) error {
+	w.node.addOut(1)
+	switch w.conn.Kind {
+	case ConnOneToOne:
+		return w.buffered(w.producer, t)
+	case ConnHashPartition:
+		dst := int(HashColumns(t, w.conn.HashCols) % uint64(len(w.chans)))
+		return w.buffered(dst, t)
+	case ConnBroadcast:
+		for i := range w.chans {
+			if err := w.buffered(i, t); err != nil {
+				return err
+			}
+		}
+		return nil
+	case ConnRoundRobin:
+		dst := w.rr % len(w.chans)
+		w.rr++
+		return w.buffered(dst, t)
+	case ConnMerge:
+		// One writer-local buffer feeding this producer's merge channel
+		// (shared MPSC channel for unordered merges).
+		w.mbuf = append(w.mbuf, t)
+		if len(w.mbuf) >= w.frameSize {
+			f := w.mbuf
+			w.mbuf = nil
+			return w.send(w.mergeChan, f)
+		}
+		return nil
+	}
+	return fmt.Errorf("hyracks: unknown connector kind %d", w.conn.Kind)
+}
+
+func (w *connWriter) buffered(dst int, t Tuple) error {
+	w.buffers[dst] = append(w.buffers[dst], t)
+	if len(w.buffers[dst]) >= w.frameSize {
+		f := w.buffers[dst]
+		w.buffers[dst] = nil
+		return w.send(w.chans[dst], f)
+	}
+	return nil
+}
+
+// Close flushes all partial frames.
+func (w *connWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if w.conn.Kind == ConnMerge {
+		if len(w.mbuf) > 0 {
+			f := w.mbuf
+			w.mbuf = nil
+			return w.send(w.mergeChan, f)
+		}
+		return nil
+	}
+	for i, buf := range w.buffers {
+		if len(buf) > 0 {
+			if err := w.send(w.chans[i], buf); err != nil {
+				return err
+			}
+			w.buffers[i] = nil
+		}
+	}
+	return nil
+}
+
+// unboundedBuffer decouples a producer channel from its consumer with an
+// unbounded in-memory queue: the producer is never blocked by a merge
+// consumer that is waiting on a different stream (exchange-deadlock
+// avoidance for ordered merges; real Hyracks spills here instead).
+func unboundedBuffer(ctx context.Context, in chan []Tuple) chan []Tuple {
+	out := make(chan []Tuple, 8)
+	go func() {
+		defer close(out)
+		var queue [][]Tuple
+		inOpen := true
+		for {
+			if len(queue) == 0 {
+				if !inOpen {
+					return
+				}
+				select {
+				case f, ok := <-in:
+					if !ok {
+						inOpen = false
+						continue
+					}
+					queue = append(queue, f)
+				case <-ctx.Done():
+					return
+				}
+				continue
+			}
+			if inOpen {
+				select {
+				case f, ok := <-in:
+					if !ok {
+						inOpen = false
+					} else {
+						queue = append(queue, f)
+					}
+				case out <- queue[0]:
+					queue = queue[1:]
+				case <-ctx.Done():
+					return
+				}
+			} else {
+				select {
+				case out <- queue[0]:
+					queue = queue[1:]
+				case <-ctx.Done():
+					return
+				}
+			}
+		}
+	}()
+	return out
+}
+
+// newConcatInput drains k producer channels sequentially (unordered
+// concentrator).
+func newConcatInput(ctx context.Context, chans []chan []Tuple, node *NodeController) *Input {
+	idx := 0
+	return &Input{recv: func() ([]Tuple, bool, error) {
+		for idx < len(chans) {
+			select {
+			case f, ok := <-chans[idx]:
+				if !ok {
+					idx++
+					continue
+				}
+				node.addIn(int64(len(f)))
+				return f, true, nil
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+		}
+		return nil, false, nil
+	}}
+}
+
+// newMergingInput merge-sorts k already-sorted producer channels.
+func newMergingInput(ctx context.Context, chans []chan []Tuple, cmp Comparator, frameSize int, node *NodeController) *Input {
+	type cursor struct {
+		frame []Tuple
+		pos   int
+		done  bool
+	}
+	curs := make([]cursor, len(chans))
+	fill := func(i int) error {
+		for !curs[i].done && curs[i].pos >= len(curs[i].frame) {
+			select {
+			case f, ok := <-chans[i]:
+				if !ok {
+					curs[i].done = true
+					return nil
+				}
+				node.addIn(int64(len(f)))
+				curs[i].frame = f
+				curs[i].pos = 0
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		return nil
+	}
+	primed := false
+	return &Input{recv: func() ([]Tuple, bool, error) {
+		if !primed {
+			for i := range curs {
+				if err := fill(i); err != nil {
+					return nil, false, err
+				}
+			}
+			primed = true
+		}
+		var out []Tuple
+		for len(out) < frameSize {
+			best := -1
+			for i := range curs {
+				if curs[i].done || curs[i].pos >= len(curs[i].frame) {
+					continue
+				}
+				if best == -1 || cmp.Compare(curs[i].frame[curs[i].pos], curs[best].frame[curs[best].pos]) < 0 {
+					best = i
+				}
+			}
+			if best == -1 {
+				break
+			}
+			out = append(out, curs[best].frame[curs[best].pos])
+			curs[best].pos++
+			if err := fill(best); err != nil {
+				return nil, false, err
+			}
+		}
+		if len(out) == 0 {
+			return nil, false, nil
+		}
+		return out, true, nil
+	}}
+}

@@ -1,0 +1,348 @@
+package hyracks
+
+import (
+	"fmt"
+
+	"asterix/internal/adm"
+)
+
+// AggSpec is a mergeable aggregate function over tuples. Partial states
+// are ADM values so overflowing group tables can spill partial aggregates
+// to run files and re-merge them later (hybrid hash aggregation).
+type AggSpec struct {
+	Name string
+	// Init returns the initial partial state.
+	Init func() adm.Value
+	// Step folds one input tuple into the state.
+	Step func(state adm.Value, t Tuple) adm.Value
+	// Merge combines two partial states.
+	Merge func(a, b adm.Value) adm.Value
+	// Finish converts the state to the final value.
+	Finish func(state adm.Value) adm.Value
+}
+
+// NewGroupBy builds a memory-budgeted hash aggregation. Input is grouped
+// on groupCols; output tuples are the group columns followed by one value
+// per aggregate. An upstream hash-partition connector on the group columns
+// makes the aggregation partition-parallel.
+func NewGroupBy(name string, parallelism int, groupCols []int, aggs []AggSpec) *Operator {
+	return &Operator{
+		Name:        name,
+		Parallelism: parallelism,
+		New: func(int) Runner {
+			return RunnerFunc(func(tc *TaskContext, in []*Input, out []*Output) error {
+				return runGroupBy(tc, in[0], out[0], groupCols, aggs)
+			})
+		},
+	}
+}
+
+type group struct {
+	key    Tuple // group column values
+	states []adm.Value
+}
+
+func runGroupBy(tc *TaskContext, in *Input, out *Output, groupCols []int, aggs []AggSpec) error {
+	const spillFanout = 8
+	var (
+		table   = map[uint64][]*group{}
+		size    = 0
+		spills  [spillFanout]*RunWriter
+		spilled = false
+	)
+	groupKey := func(t Tuple) Tuple {
+		k := make(Tuple, len(groupCols))
+		for i, c := range groupCols {
+			k[i] = t[c]
+		}
+		return k
+	}
+	keyHash := func(k Tuple) uint64 {
+		cols := make([]int, len(k))
+		for i := range cols {
+			cols[i] = i
+		}
+		return HashColumns(k, cols)
+	}
+	keyEq := func(a, b Tuple) bool {
+		for i := range a {
+			if adm.Compare(a[i], b[i]) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	// spillGroup writes a group's partial state as key ++ states.
+	spillGroup := func(g *group) error {
+		p := keyHash(g.key) % spillFanout
+		if spills[p] == nil {
+			rw, err := NewRunWriter(tc.TempDir())
+			if err != nil {
+				return err
+			}
+			spills[p] = rw
+			tc.Node.AddSpill()
+		}
+		rec := make(Tuple, 0, len(g.key)+len(g.states))
+		rec = append(rec, g.key...)
+		rec = append(rec, g.states...)
+		return spills[p].Write(rec)
+	}
+
+	step := func(g *group, t Tuple) {
+		for i, a := range aggs {
+			g.states[i] = a.Step(g.states[i], t)
+		}
+	}
+
+	err := in.ForEach(func(t Tuple) error {
+		k := groupKey(t)
+		h := keyHash(k)
+		var g *group
+		for _, cand := range table[h] {
+			if keyEq(cand.key, k) {
+				g = cand
+				break
+			}
+		}
+		if g == nil {
+			g = &group{key: k.Clone(), states: make([]adm.Value, len(aggs))}
+			for i, a := range aggs {
+				g.states[i] = a.Init()
+			}
+			table[h] = append(table[h], g)
+			size += k.EstimateSize() + 64
+		}
+		step(g, t)
+		if size >= tc.MemBudget {
+			// Spill the whole table as partial aggregates and start over.
+			spilled = true
+			for _, bucket := range table {
+				for _, g := range bucket {
+					if err := spillGroup(g); err != nil {
+						return err
+					}
+				}
+			}
+			table = map[uint64][]*group{}
+			size = 0
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	emit := func(g *group) error {
+		rec := make(Tuple, 0, len(g.key)+len(aggs))
+		rec = append(rec, g.key...)
+		for i, a := range aggs {
+			rec = append(rec, a.Finish(g.states[i]))
+		}
+		return out.Write(rec)
+	}
+
+	if !spilled {
+		for _, bucket := range table {
+			for _, g := range bucket {
+				if err := emit(g); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	// Flush the residual table, then merge partials partition by
+	// partition.
+	for _, bucket := range table {
+		for _, g := range bucket {
+			if err := spillGroup(g); err != nil {
+				return err
+			}
+		}
+	}
+	for p := 0; p < spillFanout; p++ {
+		if spills[p] == nil {
+			continue
+		}
+		rr, err := spills[p].Finish()
+		if err != nil {
+			return err
+		}
+		merged := map[uint64][]*group{}
+		for {
+			rec, ok, err := rr.Next()
+			if err != nil {
+				rr.Close()
+				return err
+			}
+			if !ok {
+				break
+			}
+			if len(rec) != len(groupCols)+len(aggs) {
+				rr.Close()
+				return fmt.Errorf("groupby: corrupt partial record")
+			}
+			k := rec[:len(groupCols)]
+			states := rec[len(groupCols):]
+			h := keyHash(k)
+			var g *group
+			for _, cand := range merged[h] {
+				if keyEq(cand.key, k) {
+					g = cand
+					break
+				}
+			}
+			if g == nil {
+				g = &group{key: k.Clone(), states: append([]adm.Value(nil), states...)}
+				merged[h] = append(merged[h], g)
+				continue
+			}
+			for i, a := range aggs {
+				g.states[i] = a.Merge(g.states[i], states[i])
+			}
+		}
+		rr.Close()
+		for _, bucket := range merged {
+			for _, g := range bucket {
+				if err := emit(g); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// --- Standard aggregate specs. ---
+
+// CountAgg counts tuples (COUNT(*)) or non-null/missing values of a
+// column (COUNT(col), col >= 0).
+func CountAgg(col int) AggSpec {
+	return AggSpec{
+		Name: "count",
+		Init: func() adm.Value { return adm.Int64(0) },
+		Step: func(s adm.Value, t Tuple) adm.Value {
+			if col >= 0 && t[col].Kind() <= adm.KindNull {
+				return s
+			}
+			return s.(adm.Int64) + 1
+		},
+		Merge:  func(a, b adm.Value) adm.Value { return a.(adm.Int64) + b.(adm.Int64) },
+		Finish: func(s adm.Value) adm.Value { return s },
+	}
+}
+
+// SumAgg sums a numeric column (null result when no numeric input seen).
+func SumAgg(col int) AggSpec {
+	return AggSpec{
+		Name: "sum",
+		Init: func() adm.Value { return adm.Null },
+		Step: func(s adm.Value, t Tuple) adm.Value {
+			return numericAdd(s, t[col])
+		},
+		Merge:  numericAdd,
+		Finish: func(s adm.Value) adm.Value { return s },
+	}
+}
+
+func numericAdd(a, b adm.Value) adm.Value {
+	if b.Kind() <= adm.KindNull {
+		return a
+	}
+	if a.Kind() <= adm.KindNull {
+		return b
+	}
+	if ai, ok := a.(adm.Int64); ok {
+		if bi, ok := b.(adm.Int64); ok {
+			return ai + bi
+		}
+	}
+	af, _ := adm.AsFloat(a)
+	bf, _ := adm.AsFloat(b)
+	return adm.Double(af + bf)
+}
+
+// MinAgg / MaxAgg track extremes of a column.
+func MinAgg(col int) AggSpec { return extremeAgg("min", col, -1) }
+
+// MaxAgg tracks the maximum of a column.
+func MaxAgg(col int) AggSpec { return extremeAgg("max", col, 1) }
+
+func extremeAgg(name string, col int, sign int) AggSpec {
+	pick := func(a, b adm.Value) adm.Value {
+		if b.Kind() <= adm.KindNull {
+			return a
+		}
+		if a.Kind() <= adm.KindNull {
+			return b
+		}
+		if adm.Compare(b, a)*sign > 0 {
+			return b
+		}
+		return a
+	}
+	return AggSpec{
+		Name:   name,
+		Init:   func() adm.Value { return adm.Null },
+		Step:   func(s adm.Value, t Tuple) adm.Value { return pick(s, t[col]) },
+		Merge:  pick,
+		Finish: func(s adm.Value) adm.Value { return s },
+	}
+}
+
+// AvgAgg averages a numeric column; its partial state is [sum, count].
+func AvgAgg(col int) AggSpec {
+	return AggSpec{
+		Name: "avg",
+		Init: func() adm.Value { return adm.Array{adm.Null, adm.Int64(0)} },
+		Step: func(s adm.Value, t Tuple) adm.Value {
+			st := s.(adm.Array)
+			v := t[col]
+			if v.Kind() <= adm.KindNull {
+				return st
+			}
+			return adm.Array{numericAdd(st[0], v), st[1].(adm.Int64) + 1}
+		},
+		Merge: func(a, b adm.Value) adm.Value {
+			as, bs := a.(adm.Array), b.(adm.Array)
+			return adm.Array{numericAdd(as[0], bs[0]), as[1].(adm.Int64) + bs[1].(adm.Int64)}
+		},
+		Finish: func(s adm.Value) adm.Value {
+			st := s.(adm.Array)
+			n := int64(st[1].(adm.Int64))
+			if n == 0 || st[0].Kind() <= adm.KindNull {
+				return adm.Null
+			}
+			f, _ := adm.AsFloat(st[0])
+			return adm.Double(f / float64(n))
+		},
+	}
+}
+
+// CollectAgg gathers a column's values into an array (ARRAY_AGG / the
+// nested results of GROUP AS).
+func CollectAgg(col int) AggSpec {
+	return AggSpec{
+		Name: "collect",
+		Init: func() adm.Value { return adm.Array{} },
+		Step: func(s adm.Value, t Tuple) adm.Value {
+			return append(s.(adm.Array), t[col])
+		},
+		Merge: func(a, b adm.Value) adm.Value {
+			return append(append(adm.Array{}, a.(adm.Array)...), b.(adm.Array)...)
+		},
+		Finish: func(s adm.Value) adm.Value { return s },
+	}
+}
+
+// NewDistinct removes duplicate tuples (a group-by on all columns with no
+// aggregates).
+func NewDistinct(name string, parallelism int, width int) *Operator {
+	cols := make([]int, width)
+	for i := range cols {
+		cols[i] = i
+	}
+	return NewGroupBy(name, parallelism, cols, nil)
+}

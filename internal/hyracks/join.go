@@ -1,0 +1,315 @@
+package hyracks
+
+import (
+	"asterix/internal/adm"
+)
+
+// JoinKind selects inner or left-outer semantics.
+type JoinKind int
+
+// Join kinds.
+const (
+	InnerJoin JoinKind = iota
+	LeftOuterJoin
+	// LeftSemiJoin emits each left tuple at most once if any match exists
+	// (used by the quantified-expression rewrite).
+	LeftSemiJoin
+)
+
+// NewHashJoin builds an equi-join: port 0 is the left (probe/outer) input,
+// port 1 the right (build/inner) input. Output tuples are left ++ right
+// (for semi joins, just left). If the build side exceeds the working-
+// memory budget, the operator degrades to a grace hash join: both sides
+// are partitioned to spill files and joined partition-wise.
+//
+// residual, if non-nil, is an extra ON predicate checked on each
+// key-matching pair — only pairs passing it count as matches (the join
+// semantics needed for outer and semi joins whose conditions mix
+// equalities with other predicates).
+func NewHashJoin(name string, parallelism int, leftCols, rightCols []int, kind JoinKind, rightWidth int, residual func(l, r Tuple) (bool, error)) *Operator {
+	return &Operator{
+		Name:        name,
+		Parallelism: parallelism,
+		New: func(int) Runner {
+			return RunnerFunc(func(tc *TaskContext, in []*Input, out []*Output) error {
+				return runHashJoin(tc, in[0], in[1], out[0], leftCols, rightCols, kind, rightWidth, residual)
+			})
+		},
+	}
+}
+
+func keysEqual(a Tuple, aCols []int, b Tuple, bCols []int) bool {
+	for i := range aCols {
+		av, bv := a[aCols[i]], b[bCols[i]]
+		// SQL join semantics: null/missing never match.
+		ak, bk := av.Kind(), bv.Kind()
+		if ak <= adm.KindNull || bk <= adm.KindNull {
+			return false
+		}
+		if adm.Compare(av, bv) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func hasNullKey(t Tuple, cols []int) bool {
+	for _, c := range cols {
+		if t[c].Kind() <= adm.KindNull {
+			return true
+		}
+	}
+	return false
+}
+
+func runHashJoin(tc *TaskContext, left, right *Input, out *Output, leftCols, rightCols []int, kind JoinKind, rightWidth int, residual func(l, r Tuple) (bool, error)) error {
+	matches := func(l, r Tuple) (bool, error) {
+		if !keysEqual(l, leftCols, r, rightCols) {
+			return false, nil
+		}
+		if residual == nil {
+			return true, nil
+		}
+		return residual(l, r)
+	}
+	// Build phase: read the right side into memory, spilling to grace
+	// partitions if the budget is exceeded.
+	const graceFanout = 16
+	var (
+		table     = map[uint64][]Tuple{}
+		tableSize = 0
+		spilled   = false
+		buildRuns [graceFanout]*RunWriter
+	)
+	spillBuild := func(t Tuple) error {
+		p := HashColumns(t, rightCols) % graceFanout
+		if buildRuns[p] == nil {
+			rw, err := NewRunWriter(tc.TempDir())
+			if err != nil {
+				return err
+			}
+			buildRuns[p] = rw
+			tc.Node.AddSpill()
+		}
+		return buildRuns[p].Write(t)
+	}
+	err := right.ForEach(func(t Tuple) error {
+		if spilled {
+			return spillBuild(t)
+		}
+		h := HashColumns(t, rightCols)
+		table[h] = append(table[h], t)
+		tableSize += t.EstimateSize()
+		if tableSize >= tc.MemBudget {
+			// Degrade: move the in-memory table to spill partitions.
+			spilled = true
+			for _, bucket := range table {
+				for _, bt := range bucket {
+					if err := spillBuild(bt); err != nil {
+						return err
+					}
+				}
+			}
+			table = nil
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	emit := func(l, r Tuple) error {
+		if kind == LeftSemiJoin {
+			return out.Write(l)
+		}
+		combined := make(Tuple, 0, len(l)+len(r))
+		combined = append(combined, l...)
+		combined = append(combined, r...)
+		return out.Write(combined)
+	}
+	emitOuter := func(l Tuple) error {
+		combined := make(Tuple, 0, len(l)+rightWidth)
+		combined = append(combined, l...)
+		for i := 0; i < rightWidth; i++ {
+			combined = append(combined, adm.Missing)
+		}
+		return out.Write(combined)
+	}
+
+	if !spilled {
+		// In-memory probe.
+		return left.ForEach(func(l Tuple) error {
+			matched := false
+			if !hasNullKey(l, leftCols) {
+				h := HashColumns(l, leftCols)
+				for _, r := range table[h] {
+					ok, err := matches(l, r)
+					if err != nil {
+						return err
+					}
+					if ok {
+						matched = true
+						if kind == LeftSemiJoin {
+							return out.Write(l)
+						}
+						if err := emit(l, r); err != nil {
+							return err
+						}
+					}
+				}
+			}
+			if !matched && kind == LeftOuterJoin {
+				return emitOuter(l)
+			}
+			return nil
+		})
+	}
+
+	// Grace: partition the probe side the same way.
+	var probeRuns [graceFanout]*RunWriter
+	err = left.ForEach(func(t Tuple) error {
+		p := HashColumns(t, leftCols) % graceFanout
+		if probeRuns[p] == nil {
+			rw, err := NewRunWriter(tc.TempDir())
+			if err != nil {
+				return err
+			}
+			probeRuns[p] = rw
+		}
+		return probeRuns[p].Write(t)
+	})
+	if err != nil {
+		return err
+	}
+
+	// Join each partition pair in memory.
+	for p := 0; p < graceFanout; p++ {
+		var part map[uint64][]Tuple
+		if buildRuns[p] != nil {
+			part = map[uint64][]Tuple{}
+			rr, err := buildRuns[p].Finish()
+			if err != nil {
+				return err
+			}
+			for {
+				t, ok, err := rr.Next()
+				if err != nil {
+					rr.Close()
+					return err
+				}
+				if !ok {
+					break
+				}
+				part[HashColumns(t, rightCols)] = append(part[HashColumns(t, rightCols)], t)
+			}
+			rr.Close()
+		}
+		if probeRuns[p] == nil {
+			continue
+		}
+		rr, err := probeRuns[p].Finish()
+		if err != nil {
+			return err
+		}
+		for {
+			l, ok, err := rr.Next()
+			if err != nil {
+				rr.Close()
+				return err
+			}
+			if !ok {
+				break
+			}
+			matched := false
+			if part != nil && !hasNullKey(l, leftCols) {
+				h := HashColumns(l, leftCols)
+				for _, r := range part[h] {
+					ok, err := matches(l, r)
+					if err != nil {
+						rr.Close()
+						return err
+					}
+					if ok {
+						matched = true
+						if kind == LeftSemiJoin {
+							break
+						}
+						if err := emit(l, r); err != nil {
+							rr.Close()
+							return err
+						}
+					}
+				}
+			}
+			if matched && kind == LeftSemiJoin {
+				if err := out.Write(l); err != nil {
+					rr.Close()
+					return err
+				}
+			}
+			if !matched && kind == LeftOuterJoin {
+				if err := emitOuter(l); err != nil {
+					rr.Close()
+					return err
+				}
+			}
+		}
+		rr.Close()
+	}
+	return nil
+}
+
+// NewNestedLoopJoin joins with an arbitrary predicate: port 0 left
+// (streamed), port 1 right (materialized in memory). Used for non-equi
+// join conditions; the optimizer prefers hash joins when it can.
+func NewNestedLoopJoin(name string, parallelism int, pred func(l, r Tuple) (bool, error), kind JoinKind, rightWidth int) *Operator {
+	return &Operator{
+		Name:        name,
+		Parallelism: parallelism,
+		New: func(int) Runner {
+			return RunnerFunc(func(tc *TaskContext, in []*Input, out []*Output) error {
+				var build []Tuple
+				if err := in[1].ForEach(func(t Tuple) error {
+					build = append(build, t)
+					return nil
+				}); err != nil {
+					return err
+				}
+				return in[0].ForEach(func(l Tuple) error {
+					matched := false
+					for _, r := range build {
+						ok, err := pred(l, r)
+						if err != nil {
+							return err
+						}
+						if !ok {
+							continue
+						}
+						matched = true
+						if kind == LeftSemiJoin {
+							break
+						}
+						combined := make(Tuple, 0, len(l)+len(r))
+						combined = append(combined, l...)
+						combined = append(combined, r...)
+						if err := out[0].Write(combined); err != nil {
+							return err
+						}
+					}
+					if matched && kind == LeftSemiJoin {
+						return out[0].Write(l)
+					}
+					if !matched && kind == LeftOuterJoin {
+						combined := make(Tuple, 0, len(l)+rightWidth)
+						combined = append(combined, l...)
+						for i := 0; i < rightWidth; i++ {
+							combined = append(combined, adm.Missing)
+						}
+						return out[0].Write(combined)
+					}
+					return nil
+				})
+			})
+		},
+	}
+}

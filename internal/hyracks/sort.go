@@ -1,0 +1,135 @@
+package hyracks
+
+import (
+	"sort"
+)
+
+// NewSort builds a memory-budgeted external sort: each partition
+// accumulates tuples up to the working-memory budget, spills sorted runs,
+// and merges them on output. With a single run everything stays in memory
+// (the crossover E5 measures).
+func NewSort(name string, parallelism int, cmp Comparator) *Operator {
+	return &Operator{
+		Name:        name,
+		Parallelism: parallelism,
+		New: func(int) Runner {
+			return RunnerFunc(func(tc *TaskContext, in []*Input, out []*Output) error {
+				return runSort(tc, in[0], out[0], cmp)
+			})
+		},
+	}
+}
+
+func runSort(tc *TaskContext, in *Input, out *Output, cmp Comparator) error {
+	var (
+		buf     []Tuple
+		bufSize int
+		runs    []*RunReader
+	)
+	spill := func() error {
+		sort.SliceStable(buf, func(i, j int) bool { return cmp.Compare(buf[i], buf[j]) < 0 })
+		rw, err := NewRunWriter(tc.TempDir())
+		if err != nil {
+			return err
+		}
+		for _, t := range buf {
+			if err := rw.Write(t); err != nil {
+				rw.Abort()
+				return err
+			}
+		}
+		rr, err := rw.Finish()
+		if err != nil {
+			return err
+		}
+		runs = append(runs, rr)
+		tc.Node.AddSpill()
+		buf = buf[:0]
+		bufSize = 0
+		return nil
+	}
+
+	err := in.ForEach(func(t Tuple) error {
+		buf = append(buf, t)
+		bufSize += t.EstimateSize()
+		if bufSize >= tc.MemBudget {
+			return spill()
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	defer func() {
+		for _, r := range runs {
+			r.Close()
+		}
+	}()
+
+	sort.SliceStable(buf, func(i, j int) bool { return cmp.Compare(buf[i], buf[j]) < 0 })
+	if len(runs) == 0 {
+		// Pure in-memory sort.
+		for _, t := range buf {
+			if err := out.Write(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// K-way merge of spilled runs plus the in-memory tail.
+	type source struct {
+		cur  Tuple
+		next func() (Tuple, bool, error)
+	}
+	var sources []*source
+	for _, r := range runs {
+		r := r
+		sources = append(sources, &source{next: r.Next})
+	}
+	memPos := 0
+	sources = append(sources, &source{next: func() (Tuple, bool, error) {
+		if memPos >= len(buf) {
+			return nil, false, nil
+		}
+		t := buf[memPos]
+		memPos++
+		return t, true, nil
+	}})
+	for _, s := range sources {
+		t, ok, err := s.next()
+		if err != nil {
+			return err
+		}
+		if ok {
+			s.cur = t
+		}
+	}
+	for {
+		best := -1
+		for i, s := range sources {
+			if s.cur == nil {
+				continue
+			}
+			if best == -1 || cmp.Compare(s.cur, sources[best].cur) < 0 {
+				best = i
+			}
+		}
+		if best == -1 {
+			return nil
+		}
+		if err := out.Write(sources[best].cur); err != nil {
+			return err
+		}
+		t, ok, err := sources[best].next()
+		if err != nil {
+			return err
+		}
+		if ok {
+			sources[best].cur = t
+		} else {
+			sources[best].cur = nil
+		}
+	}
+}

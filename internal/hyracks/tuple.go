@@ -1,0 +1,211 @@
+// Package hyracks implements the dataflow runtime of the stack (Figure 4):
+// jobs are DAGs of operators and connectors executed with partitioned
+// parallelism — one goroutine per (operator, partition) standing in for
+// the per-node tasks of a shared-nothing cluster. Data moves in frames
+// (tuple batches) through connectors (one-to-one, hash-partitioning,
+// broadcast, ordered-merge). Memory-intensive operators (sort, join,
+// group-by) honor a working-memory budget and spill to run files, per the
+// paper's founding assumption that data and intermediate results exceed
+// main memory.
+package hyracks
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"asterix/internal/adm"
+)
+
+// Tuple is one row: a fixed-width array of ADM values whose layout is
+// defined by the plan that produces it.
+type Tuple []adm.Value
+
+// Clone copies the tuple (values are immutable and shared).
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// EstimateSize approximates the tuple's in-memory footprint in bytes, used
+// for working-memory accounting.
+func (t Tuple) EstimateSize() int {
+	sz := 24
+	for _, v := range t {
+		sz += estimateValueSize(v)
+	}
+	return sz
+}
+
+func estimateValueSize(v adm.Value) int {
+	switch x := v.(type) {
+	case adm.String:
+		return 16 + len(x)
+	case adm.Binary:
+		return 16 + len(x)
+	case adm.Array:
+		sz := 24
+		for _, e := range x {
+			sz += estimateValueSize(e)
+		}
+		return sz
+	case adm.Multiset:
+		sz := 24
+		for _, e := range x {
+			sz += estimateValueSize(e)
+		}
+		return sz
+	case *adm.Object:
+		sz := 32
+		for _, f := range x.Fields() {
+			sz += 16 + len(f.Name) + estimateValueSize(f.Value)
+		}
+		return sz
+	default:
+		return 16
+	}
+}
+
+// Comparator orders tuples by a column list with per-column direction.
+type Comparator struct {
+	Columns []int
+	Desc    []bool // parallel to Columns; nil = all ascending
+}
+
+// Compare returns the order of a vs b under the comparator.
+func (c Comparator) Compare(a, b Tuple) int {
+	for i, col := range c.Columns {
+		r := adm.Compare(a[col], b[col])
+		if r != 0 {
+			if c.Desc != nil && c.Desc[i] {
+				return -r
+			}
+			return r
+		}
+	}
+	return 0
+}
+
+// HashColumns hashes the listed columns of a tuple (for hash partitioning
+// and hash joins).
+func HashColumns(t Tuple, cols []int) uint64 {
+	var h uint64 = 14695981039346656037
+	for _, c := range cols {
+		h = h*1099511628211 ^ adm.Hash64(t[c])
+	}
+	return h
+}
+
+// --- Run files: spilled tuple streams for sort/join/group-by. ---
+
+// RunWriter writes tuples to a spill file.
+type RunWriter struct {
+	f   *os.File
+	w   *bufio.Writer
+	n   int
+	buf []byte
+}
+
+// NewRunWriter creates a spill file in dir.
+func NewRunWriter(dir string) (*RunWriter, error) {
+	f, err := os.CreateTemp(dir, "run-*.tmp")
+	if err != nil {
+		return nil, fmt.Errorf("hyracks: create run file: %w", err)
+	}
+	return &RunWriter{f: f, w: bufio.NewWriterSize(f, 1<<16)}, nil
+}
+
+// Write appends one tuple.
+func (rw *RunWriter) Write(t Tuple) error {
+	rw.buf = rw.buf[:0]
+	rw.buf = binary.AppendUvarint(rw.buf, uint64(len(t)))
+	for _, v := range t {
+		rw.buf = adm.Encode(rw.buf, v)
+	}
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(rw.buf)))
+	if _, err := rw.w.Write(hdr[:n]); err != nil {
+		return err
+	}
+	if _, err := rw.w.Write(rw.buf); err != nil {
+		return err
+	}
+	rw.n++
+	return nil
+}
+
+// Len returns the number of tuples written.
+func (rw *RunWriter) Len() int { return rw.n }
+
+// Finish flushes and returns a reader positioned at the start. The file is
+// unlinked once the reader is closed.
+func (rw *RunWriter) Finish() (*RunReader, error) {
+	if err := rw.w.Flush(); err != nil {
+		return nil, err
+	}
+	if _, err := rw.f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	return &RunReader{f: rw.f, r: bufio.NewReaderSize(rw.f, 1<<16), remaining: rw.n}, nil
+}
+
+// Abort discards the run file without reading it.
+func (rw *RunWriter) Abort() {
+	name := rw.f.Name()
+	rw.f.Close()
+	os.Remove(name)
+}
+
+// RunReader reads back a spilled tuple stream.
+type RunReader struct {
+	f         *os.File
+	r         *bufio.Reader
+	remaining int
+	buf       []byte
+}
+
+// Next returns the next tuple, or ok=false at end.
+func (rr *RunReader) Next() (Tuple, bool, error) {
+	if rr.remaining == 0 {
+		return nil, false, nil
+	}
+	sz, err := binary.ReadUvarint(rr.r)
+	if err != nil {
+		return nil, false, fmt.Errorf("hyracks: run read: %w", err)
+	}
+	if cap(rr.buf) < int(sz) {
+		rr.buf = make([]byte, sz)
+	}
+	rr.buf = rr.buf[:sz]
+	if _, err := io.ReadFull(rr.r, rr.buf); err != nil {
+		return nil, false, fmt.Errorf("hyracks: run read: %w", err)
+	}
+	pos := 0
+	n, m := binary.Uvarint(rr.buf)
+	if m <= 0 {
+		return nil, false, fmt.Errorf("hyracks: corrupt run file")
+	}
+	pos += m
+	t := make(Tuple, n)
+	for i := range t {
+		v, used, err := adm.Decode(rr.buf[pos:])
+		if err != nil {
+			return nil, false, err
+		}
+		t[i] = v
+		pos += used
+	}
+	rr.remaining--
+	return t, true, nil
+}
+
+// Close closes and removes the run file.
+func (rr *RunReader) Close() error {
+	name := rr.f.Name()
+	err := rr.f.Close()
+	os.Remove(name)
+	return err
+}

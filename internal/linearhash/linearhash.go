@@ -1,0 +1,496 @@
+// Package linearhash implements classic linear hashing (Litwin) over the
+// storage buffer cache: a dynamically growing hash file with a split
+// pointer, bucket doubling, and overflow-page chains.
+//
+// It exists to reproduce the paper's Section V-C lesson (via Goetz
+// Graefe): hashing's O(1) lookup looks attractive next to a B+tree's
+// O(log_f N), but with a modest buffer-cache allocation their practical
+// I/O costs converge — and linear hashing has no efficient analogue of the
+// B+tree's sorted bulk load.
+package linearhash
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+
+	"asterix/internal/storage"
+)
+
+const (
+	metaPage       = int32(0)
+	noPage         = int32(-1)
+	initialBuckets = 4
+	// splitThreshold is the load factor (entries per primary bucket)
+	// above which an insert triggers a bucket split.
+	splitThreshold = 0.8
+)
+
+// LinearHash is a linear hash table in one page file.
+type LinearHash struct {
+	bc   *storage.BufferCache
+	file storage.FileID
+
+	level    int32 // number of completed doublings
+	next     int32 // next bucket to split
+	count    int64
+	freeHead int32   // head of free-page list (chained via page next field)
+	dir      []int32 // bucket number -> primary page
+	dirPages []int32 // pages storing the directory itself
+}
+
+// Open opens (or initializes) a linear hash file.
+func Open(bc *storage.BufferCache, file storage.FileID) (*LinearHash, error) {
+	lh := &LinearHash{bc: bc, file: file, freeHead: noPage}
+	n, err := bc.FileManager().NumPages(file)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		mp, err := bc.NewPage(file)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < initialBuckets; i++ {
+			p, err := bc.NewPage(file)
+			if err != nil {
+				bc.Unpin(mp, true)
+				return nil, err
+			}
+			initBucketPage(p.Data)
+			lh.dir = append(lh.dir, p.ID.Num)
+			bc.Unpin(p, true)
+		}
+		lh.writeMeta(mp.Data)
+		bc.Unpin(mp, true)
+		return lh, nil
+	}
+	mp, err := bc.Pin(storage.PageID{File: file, Num: metaPage})
+	if err != nil {
+		return nil, err
+	}
+	lh.level = int32(binary.BigEndian.Uint32(mp.Data[0:]))
+	lh.next = int32(binary.BigEndian.Uint32(mp.Data[4:]))
+	lh.count = int64(binary.BigEndian.Uint64(mp.Data[8:]))
+	lh.freeHead = int32(binary.BigEndian.Uint32(mp.Data[16:]))
+	nb := int(binary.BigEndian.Uint32(mp.Data[20:]))
+	ndp := int(binary.BigEndian.Uint32(mp.Data[24:]))
+	lh.dirPages = make([]int32, ndp)
+	for i := 0; i < ndp; i++ {
+		lh.dirPages[i] = int32(binary.BigEndian.Uint32(mp.Data[28+4*i:]))
+	}
+	bc.Unpin(mp, false)
+	// Load the directory from its pages.
+	perPage := bc.FileManager().PageSize() / 4
+	lh.dir = make([]int32, 0, nb)
+	for _, dp := range lh.dirPages {
+		p, err := bc.Pin(storage.PageID{File: file, Num: dp})
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < perPage && len(lh.dir) < nb; i++ {
+			lh.dir = append(lh.dir, int32(binary.BigEndian.Uint32(p.Data[4*i:])))
+		}
+		bc.Unpin(p, false)
+	}
+	if len(lh.dir) != nb {
+		return nil, fmt.Errorf("linearhash: directory truncated (%d of %d buckets)", len(lh.dir), nb)
+	}
+	return lh, nil
+}
+
+func (lh *LinearHash) writeMeta(buf []byte) {
+	binary.BigEndian.PutUint32(buf[0:], uint32(lh.level))
+	binary.BigEndian.PutUint32(buf[4:], uint32(lh.next))
+	binary.BigEndian.PutUint64(buf[8:], uint64(lh.count))
+	binary.BigEndian.PutUint32(buf[16:], uint32(lh.freeHead))
+	binary.BigEndian.PutUint32(buf[20:], uint32(len(lh.dir)))
+	binary.BigEndian.PutUint32(buf[24:], uint32(len(lh.dirPages)))
+	for i, p := range lh.dirPages {
+		binary.BigEndian.PutUint32(buf[28+4*i:], uint32(p))
+	}
+}
+
+// syncMeta persists the split state and the directory (spread over
+// dedicated directory pages, growing the chain as buckets are added).
+func (lh *LinearHash) syncMeta() error {
+	pageSize := lh.bc.FileManager().PageSize()
+	perPage := pageSize / 4
+	need := (len(lh.dir) + perPage - 1) / perPage
+	for len(lh.dirPages) < need {
+		p, err := lh.bc.NewPage(lh.file)
+		if err != nil {
+			return err
+		}
+		lh.dirPages = append(lh.dirPages, p.ID.Num)
+		lh.bc.Unpin(p, true)
+	}
+	if 28+4*len(lh.dirPages) > pageSize {
+		return fmt.Errorf("linearhash: directory page list exceeds meta page")
+	}
+	for i := 0; i < need; i++ {
+		p, err := lh.bc.Pin(storage.PageID{File: lh.file, Num: lh.dirPages[i]})
+		if err != nil {
+			return err
+		}
+		for j := 0; j < perPage; j++ {
+			idx := i*perPage + j
+			if idx >= len(lh.dir) {
+				break
+			}
+			binary.BigEndian.PutUint32(p.Data[4*j:], uint32(lh.dir[idx]))
+		}
+		lh.bc.Unpin(p, true)
+	}
+	mp, err := lh.bc.Pin(storage.PageID{File: lh.file, Num: metaPage})
+	if err != nil {
+		return err
+	}
+	lh.writeMeta(mp.Data)
+	lh.bc.Unpin(mp, true)
+	return nil
+}
+
+// Count returns the number of entries.
+func (lh *LinearHash) Count() int64 { return lh.count }
+
+// Buckets returns the number of primary buckets.
+func (lh *LinearHash) Buckets() int { return len(lh.dir) }
+
+// Bucket page layout: [count uint16][next int32][entries...]
+// entry: klen uvarint, key, vlen uvarint, value.
+
+func initBucketPage(buf []byte) {
+	binary.BigEndian.PutUint16(buf[0:], 0)
+	n := noPage
+	binary.BigEndian.PutUint32(buf[2:], uint32(n))
+}
+
+type bucketPage struct {
+	next int32
+	keys [][]byte
+	vals [][]byte
+}
+
+func decodeBucket(buf []byte) *bucketPage {
+	b := &bucketPage{}
+	cnt := int(binary.BigEndian.Uint16(buf[0:]))
+	b.next = int32(binary.BigEndian.Uint32(buf[2:]))
+	pos := 6
+	for i := 0; i < cnt; i++ {
+		kl, m := binary.Uvarint(buf[pos:])
+		pos += m
+		b.keys = append(b.keys, append([]byte(nil), buf[pos:pos+int(kl)]...))
+		pos += int(kl)
+		vl, m := binary.Uvarint(buf[pos:])
+		pos += m
+		b.vals = append(b.vals, append([]byte(nil), buf[pos:pos+int(vl)]...))
+		pos += int(vl)
+	}
+	return b
+}
+
+func (b *bucketPage) encode(buf []byte) {
+	binary.BigEndian.PutUint16(buf[0:], uint16(len(b.keys)))
+	binary.BigEndian.PutUint32(buf[2:], uint32(b.next))
+	pos := 6
+	for i, k := range b.keys {
+		pos += binary.PutUvarint(buf[pos:], uint64(len(k)))
+		pos += copy(buf[pos:], k)
+		pos += binary.PutUvarint(buf[pos:], uint64(len(b.vals[i])))
+		pos += copy(buf[pos:], b.vals[i])
+	}
+}
+
+func (b *bucketPage) size() int {
+	sz := 6
+	for i, k := range b.keys {
+		sz += uvarintLen(len(k)) + len(k) + uvarintLen(len(b.vals[i])) + len(b.vals[i])
+	}
+	return sz
+}
+
+func uvarintLen(x int) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+func hashKey(key []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(key)
+	return h.Sum64()
+}
+
+// bucketFor maps a hash to the current bucket number per the linear
+// hashing addressing rule.
+func (lh *LinearHash) bucketFor(h uint64) int32 {
+	n := uint64(initialBuckets) << uint(lh.level)
+	b := int32(h % n)
+	if b < lh.next {
+		b = int32(h % (n * 2))
+	}
+	return b
+}
+
+// Search returns the value stored under key.
+func (lh *LinearHash) Search(key []byte) ([]byte, bool, error) {
+	page := lh.dir[lh.bucketFor(hashKey(key))]
+	for page != noPage {
+		p, err := lh.bc.Pin(storage.PageID{File: lh.file, Num: page})
+		if err != nil {
+			return nil, false, err
+		}
+		b := decodeBucket(p.Data)
+		lh.bc.Unpin(p, false)
+		for i, k := range b.keys {
+			if bytes.Equal(k, key) {
+				return b.vals[i], true, nil
+			}
+		}
+		page = b.next
+	}
+	return nil, false, nil
+}
+
+// MaxEntrySize returns the largest key+value the table accepts.
+func (lh *LinearHash) MaxEntrySize() int {
+	return (lh.bc.FileManager().PageSize() - 16) / 4
+}
+
+// Insert upserts key → value, splitting a bucket when the load factor
+// exceeds the threshold.
+func (lh *LinearHash) Insert(key, value []byte) error {
+	if len(key)+len(value) > lh.MaxEntrySize() {
+		return fmt.Errorf("linearhash: entry of %d bytes exceeds max %d", len(key)+len(value), lh.MaxEntrySize())
+	}
+	replaced, err := lh.insertIntoBucket(lh.dir[lh.bucketFor(hashKey(key))], key, value)
+	if err != nil {
+		return err
+	}
+	if !replaced {
+		lh.count++
+	}
+	// Split policy: keep average chain occupancy under threshold.
+	capacityPerPage := float64(lh.bc.FileManager().PageSize()-6) / float64(len(key)+len(value)+4)
+	if capacityPerPage < 1 {
+		capacityPerPage = 1
+	}
+	if float64(lh.count) > splitThreshold*capacityPerPage*float64(len(lh.dir)) {
+		if err := lh.split(); err != nil {
+			return err
+		}
+	}
+	return lh.syncMeta()
+}
+
+// insertIntoBucket upserts within a chain: a first pass replaces the key
+// wherever it lives; otherwise a second pass inserts into the first page
+// with room, extending the overflow chain if none has any.
+func (lh *LinearHash) insertIntoBucket(head int32, key, value []byte) (replaced bool, err error) {
+	pageSize := lh.bc.FileManager().PageSize()
+	// Pass 1: replace in place if present.
+	for page := head; page != noPage; {
+		p, err := lh.bc.Pin(storage.PageID{File: lh.file, Num: page})
+		if err != nil {
+			return false, err
+		}
+		b := decodeBucket(p.Data)
+		for i, k := range b.keys {
+			if bytes.Equal(k, key) {
+				b.vals[i] = value
+				if b.size() <= pageSize {
+					b.encode(p.Data)
+					lh.bc.Unpin(p, true)
+					return true, nil
+				}
+				// Grew past the page: remove here, re-insert below.
+				b.keys = append(b.keys[:i], b.keys[i+1:]...)
+				b.vals = append(b.vals[:i], b.vals[i+1:]...)
+				b.encode(p.Data)
+				lh.bc.Unpin(p, true)
+				_, err := lh.insertIntoBucket(head, key, value)
+				return true, err
+			}
+		}
+		next := b.next
+		lh.bc.Unpin(p, false)
+		page = next
+	}
+	// Pass 2: insert into the first page with room.
+	for page := head; ; {
+		p, err := lh.bc.Pin(storage.PageID{File: lh.file, Num: page})
+		if err != nil {
+			return false, err
+		}
+		b := decodeBucket(p.Data)
+		b.keys = append(b.keys, key)
+		b.vals = append(b.vals, value)
+		if b.size() <= pageSize {
+			b.encode(p.Data)
+			lh.bc.Unpin(p, true)
+			return false, nil
+		}
+		b.keys = b.keys[:len(b.keys)-1]
+		b.vals = b.vals[:len(b.vals)-1]
+		if b.next != noPage {
+			next := b.next
+			lh.bc.Unpin(p, false)
+			page = next
+			continue
+		}
+		of, err := lh.allocPage()
+		if err != nil {
+			lh.bc.Unpin(p, false)
+			return false, err
+		}
+		b.next = of
+		b.encode(p.Data)
+		lh.bc.Unpin(p, true)
+		page = of
+	}
+}
+
+// allocPage takes a page from the free list or extends the file.
+func (lh *LinearHash) allocPage() (int32, error) {
+	if lh.freeHead != noPage {
+		num := lh.freeHead
+		p, err := lh.bc.Pin(storage.PageID{File: lh.file, Num: num})
+		if err != nil {
+			return 0, err
+		}
+		b := decodeBucket(p.Data)
+		lh.freeHead = b.next
+		initBucketPage(p.Data)
+		lh.bc.Unpin(p, true)
+		return num, nil
+	}
+	p, err := lh.bc.NewPage(lh.file)
+	if err != nil {
+		return 0, err
+	}
+	initBucketPage(p.Data)
+	num := p.ID.Num
+	lh.bc.Unpin(p, true)
+	return num, nil
+}
+
+func (lh *LinearHash) freePage(num int32) error {
+	p, err := lh.bc.Pin(storage.PageID{File: lh.file, Num: num})
+	if err != nil {
+		return err
+	}
+	b := &bucketPage{next: lh.freeHead}
+	b.encode(p.Data)
+	lh.bc.Unpin(p, true)
+	lh.freeHead = num
+	return nil
+}
+
+// split performs one linear-hashing split of bucket lh.next.
+func (lh *LinearHash) split() error {
+	oldBucket := lh.next
+	// Collect all entries of the splitting chain.
+	var keys, vals [][]byte
+	page := lh.dir[oldBucket]
+	first := true
+	for page != noPage {
+		p, err := lh.bc.Pin(storage.PageID{File: lh.file, Num: page})
+		if err != nil {
+			return err
+		}
+		b := decodeBucket(p.Data)
+		keys = append(keys, b.keys...)
+		vals = append(vals, b.vals...)
+		nextPage := b.next
+		if first {
+			// Reset the primary page in place.
+			initBucketPage(p.Data)
+			lh.bc.Unpin(p, true)
+			first = false
+		} else {
+			lh.bc.Unpin(p, false)
+			if err := lh.freePage(page); err != nil {
+				return err
+			}
+		}
+		page = nextPage
+	}
+	// Make the buddy bucket.
+	buddyPage, err := lh.allocPage()
+	if err != nil {
+		return err
+	}
+	lh.dir = append(lh.dir, buddyPage)
+	buddy := int32(len(lh.dir) - 1)
+
+	// Advance split state before rehashing so bucketFor maps correctly.
+	lh.next++
+	n := int32(initialBuckets) << uint(lh.level)
+	if lh.next == n {
+		lh.level++
+		lh.next = 0
+	}
+
+	for i, k := range keys {
+		target := lh.bucketFor(hashKey(k))
+		if target != oldBucket && target != buddy {
+			return fmt.Errorf("linearhash: rehash of split bucket %d landed in %d", oldBucket, target)
+		}
+		if _, err := lh.insertIntoBucket(lh.dir[target], k, vals[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Delete removes key, reporting whether it was present.
+func (lh *LinearHash) Delete(key []byte) (bool, error) {
+	page := lh.dir[lh.bucketFor(hashKey(key))]
+	for page != noPage {
+		p, err := lh.bc.Pin(storage.PageID{File: lh.file, Num: page})
+		if err != nil {
+			return false, err
+		}
+		b := decodeBucket(p.Data)
+		for i, k := range b.keys {
+			if bytes.Equal(k, key) {
+				b.keys = append(b.keys[:i], b.keys[i+1:]...)
+				b.vals = append(b.vals[:i], b.vals[i+1:]...)
+				b.encode(p.Data)
+				lh.bc.Unpin(p, true)
+				lh.count--
+				return true, lh.syncMeta()
+			}
+		}
+		next := b.next
+		lh.bc.Unpin(p, false)
+		page = next
+	}
+	return false, nil
+}
+
+// Scan visits all entries in unspecified (hash) order.
+func (lh *LinearHash) Scan(fn func(key, value []byte) bool) error {
+	for _, page := range lh.dir {
+		for page != noPage {
+			p, err := lh.bc.Pin(storage.PageID{File: lh.file, Num: page})
+			if err != nil {
+				return err
+			}
+			b := decodeBucket(p.Data)
+			lh.bc.Unpin(p, false)
+			for i, k := range b.keys {
+				if !fn(k, b.vals[i]) {
+					return nil
+				}
+			}
+			page = b.next
+		}
+	}
+	return nil
+}

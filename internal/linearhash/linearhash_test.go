@@ -1,0 +1,236 @@
+package linearhash
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"asterix/internal/storage"
+)
+
+func newLH(t testing.TB, pageSize, frames int) (*LinearHash, *storage.FileManager, string) {
+	t.Helper()
+	dir := t.TempDir()
+	fm, err := storage.NewFileManager(dir, pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fm.Close() })
+	bc := storage.NewBufferCache(fm, frames)
+	id, err := fm.Open("lh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lh, err := Open(bc, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lh, fm, dir
+}
+
+func ikey(i int) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(i))
+	return b[:]
+}
+
+func TestInsertSearch(t *testing.T) {
+	lh, _, _ := newLH(t, 512, 128)
+	n := 2000
+	for i := 0; i < n; i++ {
+		if err := lh.Insert(ikey(i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if lh.Count() != int64(n) {
+		t.Fatalf("count = %d", lh.Count())
+	}
+	if lh.Buckets() <= 4 {
+		t.Error("expected splits to have grown the bucket count")
+	}
+	for i := 0; i < n; i++ {
+		v, ok, err := lh.Search(ikey(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("key %d: ok=%v v=%q", i, ok, v)
+		}
+	}
+	if _, ok, _ := lh.Search(ikey(n + 5)); ok {
+		t.Error("absent key found")
+	}
+}
+
+func TestUpsertReplaces(t *testing.T) {
+	lh, _, _ := newLH(t, 512, 32)
+	lh.Insert([]byte("k"), []byte("v1"))
+	lh.Insert([]byte("k"), []byte("v2"))
+	v, ok, _ := lh.Search([]byte("k"))
+	if !ok || string(v) != "v2" {
+		t.Fatalf("got %q", v)
+	}
+	if lh.Count() != 1 {
+		t.Errorf("count = %d", lh.Count())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	lh, _, _ := newLH(t, 512, 64)
+	for i := 0; i < 500; i++ {
+		lh.Insert(ikey(i), ikey(i))
+	}
+	for i := 0; i < 500; i += 3 {
+		ok, err := lh.Delete(ikey(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("delete %d reported absent", i)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		_, ok, _ := lh.Search(ikey(i))
+		want := i%3 != 0
+		if ok != want {
+			t.Fatalf("key %d presence = %v, want %v", i, ok, want)
+		}
+	}
+	if ok, _ := lh.Delete(ikey(0)); ok {
+		t.Error("double delete should report absent")
+	}
+}
+
+func TestScanVisitsAll(t *testing.T) {
+	lh, _, _ := newLH(t, 512, 64)
+	n := 800
+	for i := 0; i < n; i++ {
+		lh.Insert(ikey(i), ikey(i))
+	}
+	seen := map[int]bool{}
+	err := lh.Scan(func(k, v []byte) bool {
+		seen[int(binary.BigEndian.Uint64(k))] = true
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != n {
+		t.Fatalf("scan saw %d of %d", len(seen), n)
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	fm, err := storage.NewFileManager(dir, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc := storage.NewBufferCache(fm, 64)
+	id, _ := fm.Open("lh")
+	lh, err := Open(bc, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 1500 // enough to force several splits and a multi-page directory
+	for i := 0; i < n; i++ {
+		lh.Insert(ikey(i), ikey(i))
+	}
+	if err := bc.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	fm.Close()
+
+	fm2, _ := storage.NewFileManager(dir, 512)
+	defer fm2.Close()
+	bc2 := storage.NewBufferCache(fm2, 64)
+	id2, _ := fm2.Open("lh")
+	lh2, err := Open(bc2, id2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lh2.Count() != int64(n) {
+		t.Fatalf("reopened count = %d", lh2.Count())
+	}
+	for i := 0; i < n; i++ {
+		if _, ok, _ := lh2.Search(ikey(i)); !ok {
+			t.Fatalf("key %d lost across reopen", i)
+		}
+	}
+}
+
+func TestLargeValuesOverflowChains(t *testing.T) {
+	lh, _, _ := newLH(t, 512, 64)
+	// Values near the max entry size force overflow chains quickly.
+	big := make([]byte, lh.MaxEntrySize()-16)
+	for i := 0; i < 60; i++ {
+		if err := lh.Insert(ikey(i), big); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 60; i++ {
+		v, ok, err := lh.Search(ikey(i))
+		if err != nil || !ok || len(v) != len(big) {
+			t.Fatalf("key %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if err := lh.Insert([]byte("x"), make([]byte, lh.MaxEntrySize()+1)); err == nil {
+		t.Error("oversize entry must be rejected")
+	}
+}
+
+// Property: the table matches a reference map under random operations.
+func TestPropMatchesReferenceMap(t *testing.T) {
+	lh, _, _ := newLH(t, 512, 256)
+	ref := map[string]string{}
+	r := rand.New(rand.NewSource(13))
+	for op := 0; op < 6000; op++ {
+		k := fmt.Sprintf("key%04d", r.Intn(900))
+		switch r.Intn(3) {
+		case 0, 1:
+			v := fmt.Sprintf("val%d", op)
+			if err := lh.Insert([]byte(k), []byte(v)); err != nil {
+				t.Fatal(err)
+			}
+			ref[k] = v
+		case 2:
+			ok, err := lh.Delete([]byte(k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, inRef := ref[k]; ok != inRef {
+				t.Fatalf("delete(%s) = %v, ref %v", k, ok, inRef)
+			}
+			delete(ref, k)
+		}
+	}
+	if lh.Count() != int64(len(ref)) {
+		t.Fatalf("count %d != ref %d", lh.Count(), len(ref))
+	}
+	for k, v := range ref {
+		got, ok, err := lh.Search([]byte(k))
+		if err != nil || !ok || string(got) != v {
+			t.Fatalf("key %s: got %q ok=%v err=%v, want %q", k, got, ok, err, v)
+		}
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	lh, _, _ := newLH(b, 4096, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lh.Insert(ikey(i), ikey(i))
+	}
+}
+
+func BenchmarkSearch(b *testing.B) {
+	lh, _, _ := newLH(b, 4096, 1024)
+	for i := 0; i < 10000; i++ {
+		lh.Insert(ikey(i), ikey(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lh.Search(ikey(i % 10000))
+	}
+}

@@ -1,0 +1,49 @@
+package lsm
+
+import "hash/fnv"
+
+// bloomFilter is a fixed-size Bloom filter guarding point lookups into a
+// disk component (each disk component carries one, as in AsterixDB's LSM
+// B+tree).
+type bloomFilter struct {
+	bits []uint64
+	k    int
+}
+
+// newBloom sizes a filter for n keys at ~10 bits/key (k=7 ≈ 1% FPR).
+func newBloom(n int) *bloomFilter {
+	if n < 16 {
+		n = 16
+	}
+	words := (n*10 + 63) / 64
+	return &bloomFilter{bits: make([]uint64, words), k: 7}
+}
+
+func bloomHashes(key []byte) (uint64, uint64) {
+	h := fnv.New64a()
+	h.Write(key)
+	h1 := h.Sum64()
+	h.Write([]byte{0x9e})
+	return h1, h.Sum64()
+}
+
+func (b *bloomFilter) add(key []byte) {
+	h1, h2 := bloomHashes(key)
+	m := uint64(len(b.bits) * 64)
+	for i := 0; i < b.k; i++ {
+		pos := (h1 + uint64(i)*h2) % m
+		b.bits[pos/64] |= 1 << (pos % 64)
+	}
+}
+
+func (b *bloomFilter) mayContain(key []byte) bool {
+	h1, h2 := bloomHashes(key)
+	m := uint64(len(b.bits) * 64)
+	for i := 0; i < b.k; i++ {
+		pos := (h1 + uint64(i)*h2) % m
+		if b.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,570 @@
+package lsm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"asterix/internal/rtree"
+	"asterix/internal/storage"
+)
+
+func newEnv(t testing.TB, pageSize, frames int) (*storage.BufferCache, string) {
+	t.Helper()
+	dir := t.TempDir()
+	fm, err := storage.NewFileManager(dir, pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fm.Close() })
+	return storage.NewBufferCache(fm, frames), dir
+}
+
+func ikey(i int) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(i))
+	return b[:]
+}
+
+func TestMemTableBasics(t *testing.T) {
+	m := newMemTable()
+	m.put([]byte("b"), []byte("2"), false)
+	m.put([]byte("a"), []byte("1"), false)
+	m.put([]byte("c"), []byte("3"), true)
+	if v, tomb, ok := m.get([]byte("a")); !ok || tomb || string(v) != "1" {
+		t.Fatalf("get a: %q %v %v", v, tomb, ok)
+	}
+	if _, tomb, ok := m.get([]byte("c")); !ok || !tomb {
+		t.Fatal("tombstone lost")
+	}
+	if _, _, ok := m.get([]byte("zz")); ok {
+		t.Fatal("phantom key")
+	}
+	var keys []string
+	m.scan(nil, nil, func(e memEntry) bool {
+		keys = append(keys, string(e.key))
+		return true
+	})
+	if fmt.Sprint(keys) != "[a b c]" {
+		t.Fatalf("scan order: %v", keys)
+	}
+	// Bounded scan.
+	keys = nil
+	m.scan([]byte("b"), []byte("b"), func(e memEntry) bool {
+		keys = append(keys, string(e.key))
+		return true
+	})
+	if fmt.Sprint(keys) != "[b]" {
+		t.Fatalf("bounded scan: %v", keys)
+	}
+	if m.len() != 3 {
+		t.Fatalf("len = %d", m.len())
+	}
+}
+
+func TestMemTableOrderedUnderRandomInserts(t *testing.T) {
+	m := newMemTable()
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 3000; i++ {
+		m.put(ikey(r.Intn(1000)), ikey(i), false)
+	}
+	var prev []byte
+	m.scan(nil, nil, func(e memEntry) bool {
+		if prev != nil && string(prev) >= string(e.key) {
+			t.Fatalf("out of order: %x after %x", e.key, prev)
+		}
+		prev = append(prev[:0], e.key...)
+		return true
+	})
+}
+
+func TestBloomFilter(t *testing.T) {
+	b := newBloom(1000)
+	for i := 0; i < 1000; i++ {
+		b.add(ikey(i))
+	}
+	for i := 0; i < 1000; i++ {
+		if !b.mayContain(ikey(i)) {
+			t.Fatalf("false negative for %d", i)
+		}
+	}
+	fp := 0
+	for i := 1000; i < 11000; i++ {
+		if b.mayContain(ikey(i)) {
+			fp++
+		}
+	}
+	if fp > 500 { // expect ~1%, allow 5%
+		t.Errorf("false positive rate too high: %d/10000", fp)
+	}
+}
+
+func TestTreeGetUpsertDelete(t *testing.T) {
+	bc, _ := newEnv(t, 1024, 256)
+	tr, err := Open(bc, "ds/primary", Options{MemBudget: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if err := tr.Upsert(ikey(i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 500; i += 5 {
+		if err := tr.Delete(ikey(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		v, ok, err := tr.Get(ikey(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%5 == 0 {
+			if ok {
+				t.Fatalf("deleted key %d still visible", i)
+			}
+		} else if !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("key %d: %q %v", i, v, ok)
+		}
+	}
+}
+
+func TestTreeFlushAndNewestWins(t *testing.T) {
+	bc, _ := newEnv(t, 1024, 512)
+	tr, err := Open(bc, "t", Options{MemBudget: 1 << 30, Policy: NoMergePolicy{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three generations of the same keys across three components.
+	for gen := 0; gen < 3; gen++ {
+		for i := 0; i < 200; i++ {
+			tr.Upsert(ikey(i), []byte(fmt.Sprintf("gen%d-%d", gen, i)))
+		}
+		if err := tr.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.DiskComponents() != 3 {
+		t.Fatalf("components = %d", tr.DiskComponents())
+	}
+	for i := 0; i < 200; i++ {
+		v, ok, err := tr.Get(ikey(i))
+		if err != nil || !ok {
+			t.Fatal(err, ok)
+		}
+		if string(v) != fmt.Sprintf("gen2-%d", i) {
+			t.Fatalf("key %d: newest-wins violated: %q", i, v)
+		}
+	}
+	// Scan must also see exactly one (newest) version per key.
+	n := 0
+	err = tr.Scan(nil, nil, func(k, v []byte) bool {
+		if string(v) != fmt.Sprintf("gen2-%d", int(binary.BigEndian.Uint64(k))) {
+			t.Fatalf("scan got %q", v)
+		}
+		n++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 200 {
+		t.Fatalf("scan found %d", n)
+	}
+}
+
+func TestTreeScanAcrossMemAndDisk(t *testing.T) {
+	bc, _ := newEnv(t, 1024, 512)
+	tr, _ := Open(bc, "t", Options{MemBudget: 1 << 30, Policy: NoMergePolicy{}})
+	// Even keys on disk.
+	for i := 0; i < 400; i += 2 {
+		tr.Upsert(ikey(i), []byte("disk"))
+	}
+	tr.Flush()
+	// Odd keys in memory; delete some even ones from memory (antimatter).
+	for i := 1; i < 400; i += 2 {
+		tr.Upsert(ikey(i), []byte("mem"))
+	}
+	for i := 0; i < 400; i += 20 {
+		tr.Delete(ikey(i))
+	}
+	var got []int
+	err := tr.Scan(ikey(10), ikey(50), func(k, v []byte) bool {
+		got = append(got, int(binary.BigEndian.Uint64(k)))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keys 10..50 minus {20, 40} (deleted; 10, 30, 50 wait: deletes are 0,20,40,...).
+	want := []int{}
+	for i := 10; i <= 50; i++ {
+		if i%20 == 0 {
+			continue
+		}
+		want = append(want, i)
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("scan got %v, want %v", got, want)
+	}
+}
+
+func TestTreeAutoFlushOnBudget(t *testing.T) {
+	bc, _ := newEnv(t, 1024, 512)
+	tr, _ := Open(bc, "t", Options{MemBudget: 8 << 10, Policy: NoMergePolicy{}})
+	for i := 0; i < 2000; i++ {
+		tr.Upsert(ikey(i), make([]byte, 32))
+	}
+	if tr.Flushes == 0 {
+		t.Error("expected automatic flushes when exceeding the memory budget")
+	}
+	n, err := tr.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2000 {
+		t.Fatalf("count = %d", n)
+	}
+}
+
+func TestConstantPolicyMerges(t *testing.T) {
+	bc, _ := newEnv(t, 1024, 512)
+	tr, _ := Open(bc, "t", Options{MemBudget: 1 << 30, Policy: ConstantPolicy{Components: 2}})
+	for gen := 0; gen < 6; gen++ {
+		for i := gen * 100; i < (gen+1)*100; i++ {
+			tr.Upsert(ikey(i), ikey(i))
+		}
+		if err := tr.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.DiskComponents() > 2 {
+		t.Errorf("constant policy exceeded bound: %d components", tr.DiskComponents())
+	}
+	if tr.Merges == 0 {
+		t.Error("expected merges")
+	}
+	n, _ := tr.Count()
+	if n != 600 {
+		t.Fatalf("count after merges = %d", n)
+	}
+}
+
+func TestMergeDropsTombstones(t *testing.T) {
+	bc, _ := newEnv(t, 1024, 512)
+	tr, _ := Open(bc, "t", Options{MemBudget: 1 << 30, Policy: NoMergePolicy{}})
+	for i := 0; i < 100; i++ {
+		tr.Upsert(ikey(i), ikey(i))
+	}
+	tr.Flush()
+	for i := 0; i < 100; i += 2 {
+		tr.Delete(ikey(i))
+	}
+	tr.Flush()
+	if err := tr.mergeRange(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if tr.DiskComponents() != 1 {
+		t.Fatalf("components = %d", tr.DiskComponents())
+	}
+	n, _ := tr.Count()
+	if n != 50 {
+		t.Fatalf("count = %d", n)
+	}
+	// The merged component must physically contain only 50 entries
+	// (tombstones dropped in a full merge).
+	tr.mu.RLock()
+	physical := tr.disk[0].bt.Count()
+	tr.mu.RUnlock()
+	if physical != 50 {
+		t.Errorf("physical entries = %d, tombstones not dropped", physical)
+	}
+}
+
+func TestTreeReopenFromManifest(t *testing.T) {
+	dir := t.TempDir()
+	fm, err := storage.NewFileManager(dir, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc := storage.NewBufferCache(fm, 256)
+	tr, _ := Open(bc, "ds/p0/pk", Options{MemBudget: 1 << 30, Policy: NoMergePolicy{}})
+	for i := 0; i < 300; i++ {
+		tr.Upsert(ikey(i), ikey(i))
+	}
+	tr.Flush()
+	for i := 300; i < 400; i++ {
+		tr.Upsert(ikey(i), ikey(i))
+	}
+	tr.Flush()
+	bc.FlushAll()
+	fm.Close()
+
+	fm2, _ := storage.NewFileManager(dir, 1024)
+	defer fm2.Close()
+	bc2 := storage.NewBufferCache(fm2, 256)
+	tr2, err := Open(bc2, "ds/p0/pk", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.DiskComponents() != 2 {
+		t.Fatalf("reopened components = %d", tr2.DiskComponents())
+	}
+	n, _ := tr2.Count()
+	if n != 400 {
+		t.Fatalf("reopened count = %d", n)
+	}
+	if _, ok, _ := tr2.Get(ikey(42)); !ok {
+		t.Error("key lost across reopen")
+	}
+}
+
+// Property: LSM tree matches a reference map under random ops with
+// periodic flushes and merges.
+func TestPropTreeMatchesReference(t *testing.T) {
+	bc, _ := newEnv(t, 1024, 1024)
+	tr, _ := Open(bc, "t", Options{MemBudget: 1 << 30, Policy: ConstantPolicy{Components: 3}})
+	ref := map[string]string{}
+	r := rand.New(rand.NewSource(21))
+	for op := 0; op < 4000; op++ {
+		k := fmt.Sprintf("k%03d", r.Intn(300))
+		switch r.Intn(10) {
+		case 0, 1, 2, 3, 4, 5:
+			v := fmt.Sprintf("v%d", op)
+			tr.Upsert([]byte(k), []byte(v))
+			ref[k] = v
+		case 6, 7:
+			tr.Delete([]byte(k))
+			delete(ref, k)
+		case 8:
+			if err := tr.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		case 9:
+			v, ok, err := tr.Get([]byte(k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, inRef := ref[k]
+			if ok != inRef || (ok && string(v) != want) {
+				t.Fatalf("op %d: get(%s) = %q,%v want %q,%v", op, k, v, ok, want, inRef)
+			}
+		}
+	}
+	// Final full comparison via scan.
+	got := map[string]string{}
+	err := tr.Scan(nil, nil, func(k, v []byte) bool {
+		got[string(k)] = string(v)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ref) {
+		t.Fatalf("scan size %d != ref %d", len(got), len(ref))
+	}
+	for k, v := range ref {
+		if got[k] != v {
+			t.Fatalf("key %s: %q != %q", k, got[k], v)
+		}
+	}
+}
+
+func TestLSMRTreeInsertSearchDelete(t *testing.T) {
+	bc, _ := newEnv(t, 1024, 512)
+	rt, err := OpenRTree(bc, "idx/spatial", RTreeOptions{MemBudget: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		x := float64(i % 20)
+		y := float64(i / 20)
+		if err := rt.Insert(rtree.PointRect(x, y), ikey(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	count := 0
+	rt.Search(rtree.Rect{MinX: 0, MinY: 0, MaxX: 4.5, MaxY: 4.5}, func(r rtree.Rect, key []byte) bool {
+		count++
+		return true
+	})
+	if count != 25 {
+		t.Fatalf("search found %d, want 25", count)
+	}
+	// Delete a few and verify they disappear.
+	rt.Delete(rtree.PointRect(0, 0), ikey(0))
+	rt.Delete(rtree.PointRect(1, 0), ikey(1))
+	count = 0
+	rt.Search(rtree.Rect{MinX: 0, MinY: 0, MaxX: 4.5, MaxY: 4.5}, func(r rtree.Rect, key []byte) bool {
+		count++
+		return true
+	})
+	if count != 23 {
+		t.Fatalf("after deletes found %d, want 23", count)
+	}
+}
+
+func TestLSMRTreeAntimatterAcrossComponents(t *testing.T) {
+	bc, _ := newEnv(t, 1024, 512)
+	rt, _ := OpenRTree(bc, "sp", RTreeOptions{MemBudget: 1 << 30, MaxComps: 100})
+	for i := 0; i < 100; i++ {
+		rt.Insert(rtree.PointRect(float64(i), 0), ikey(i))
+	}
+	if err := rt.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Delete half after the flush: antimatter lives in memory, data on disk.
+	for i := 0; i < 100; i += 2 {
+		rt.Delete(rtree.PointRect(float64(i), 0), ikey(i))
+	}
+	count := 0
+	rt.Search(rtree.Rect{MinX: -1, MinY: -1, MaxX: 200, MaxY: 1}, func(r rtree.Rect, key []byte) bool {
+		count++
+		return true
+	})
+	if count != 50 {
+		t.Fatalf("found %d, want 50", count)
+	}
+	// Flush the antimatter too; still 50 visible across two components.
+	rt.Flush()
+	if rt.DiskComponents() != 2 {
+		t.Fatalf("components = %d", rt.DiskComponents())
+	}
+	count = 0
+	rt.Search(rtree.Rect{MinX: -1, MinY: -1, MaxX: 200, MaxY: 1}, func(r rtree.Rect, key []byte) bool {
+		count++
+		return true
+	})
+	if count != 50 {
+		t.Fatalf("after antimatter flush found %d, want 50", count)
+	}
+	// Full merge cancels pairs and drops antimatter.
+	if err := rt.mergeAll(); err != nil {
+		t.Fatal(err)
+	}
+	if rt.DiskComponents() != 1 {
+		t.Fatalf("components after merge = %d", rt.DiskComponents())
+	}
+	count = 0
+	rt.Search(rtree.Rect{MinX: -1, MinY: -1, MaxX: 200, MaxY: 1}, func(r rtree.Rect, key []byte) bool {
+		count++
+		return true
+	})
+	if count != 50 {
+		t.Fatalf("after merge found %d, want 50", count)
+	}
+}
+
+func TestLSMRTreeReopen(t *testing.T) {
+	dir := t.TempDir()
+	fm, _ := storage.NewFileManager(dir, 1024)
+	bc := storage.NewBufferCache(fm, 256)
+	rt, _ := OpenRTree(bc, "sp", RTreeOptions{MemBudget: 1 << 30})
+	for i := 0; i < 50; i++ {
+		rt.Insert(rtree.PointRect(float64(i), float64(i)), ikey(i))
+	}
+	rt.Flush()
+	bc.FlushAll()
+	fm.Close()
+
+	fm2, _ := storage.NewFileManager(dir, 1024)
+	defer fm2.Close()
+	bc2 := storage.NewBufferCache(fm2, 256)
+	rt2, err := OpenRTree(bc2, "sp", RTreeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	rt2.Search(rtree.Rect{MinX: -1, MinY: -1, MaxX: 100, MaxY: 100}, func(r rtree.Rect, key []byte) bool {
+		count++
+		return true
+	})
+	if count != 50 {
+		t.Fatalf("reopened search found %d", count)
+	}
+}
+
+func TestTieredPolicy(t *testing.T) {
+	p := TieredPolicy{Ratio: 3, MinComponents: 3}
+	if _, _, ok := p.PickMerge([]int64{100, 90}); ok {
+		t.Error("two components should not merge with MinComponents=3")
+	}
+	lo, hi, ok := p.PickMerge([]int64{100, 90, 110})
+	if !ok || lo != 0 || hi != 2 {
+		t.Errorf("similar sizes should merge: %d..%d %v", lo, hi, ok)
+	}
+	if _, _, ok := p.PickMerge([]int64{10, 9, 10000}); ok {
+		t.Error("dissimilar run should not merge")
+	}
+}
+
+func BenchmarkTreeUpsert(b *testing.B) {
+	bc, _ := newEnv(b, 4096, 2048)
+	tr, _ := Open(bc, "bench", Options{MemBudget: 8 << 20})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Upsert(ikey(i), ikey(i))
+	}
+}
+
+func BenchmarkTreeGet(b *testing.B) {
+	bc, _ := newEnv(b, 4096, 2048)
+	tr, _ := Open(bc, "bench", Options{MemBudget: 1 << 20})
+	for i := 0; i < 50000; i++ {
+		tr.Upsert(ikey(i), ikey(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(ikey(i % 50000))
+	}
+}
+
+// TestTreeConcurrentReadersAndWriter exercises the LSM tree under a
+// writer with periodic flushes and concurrent point readers.
+func TestTreeConcurrentReadersAndWriter(t *testing.T) {
+	bc, _ := newEnv(t, 1024, 1024)
+	tr, _ := Open(bc, "conc", Options{MemBudget: 32 << 10, Policy: ConstantPolicy{Components: 3}})
+	const n = 3000
+	done := make(chan error, 4)
+	go func() {
+		for i := 0; i < n; i++ {
+			if err := tr.Upsert(ikey(i), ikey(i*7)); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	for g := 0; g < 3; g++ {
+		go func(seed int) {
+			for i := 0; i < 2000; i++ {
+				k := (seed*31 + i*17) % n
+				v, ok, err := tr.Get(ikey(k))
+				if err != nil {
+					done <- err
+					return
+				}
+				if ok && string(v) != string(ikey(k*7)) {
+					done <- fmt.Errorf("key %d: wrong value", k)
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	// All writes present afterwards.
+	cnt, err := tr.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt != n {
+		t.Fatalf("count = %d, want %d", cnt, n)
+	}
+}

@@ -1,0 +1,365 @@
+package lsm
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"asterix/internal/rtree"
+	"asterix/internal/storage"
+)
+
+// RTreeIndex is an LSM R-tree: an in-memory R-tree component plus
+// immutable STR-packed disk components. Deletes are antimatter entries
+// that cancel matching (rect, key) pairs in older components — the design
+// the paper says was adopted into AsterixDB after the Section V-B study.
+type RTreeIndex struct {
+	bc        *storage.BufferCache
+	name      string
+	memBudget int
+	maxComps  int
+
+	mu      sync.RWMutex
+	mem     *rtree.RTree // payload: flag byte + primary key
+	memSize int
+	disk    []*rtreeComponent // newest first
+	seq     int
+
+	Flushes int
+	Merges  int
+}
+
+type rtreeComponent struct {
+	seq  int
+	file storage.FileID
+	rt   *rtree.DiskRTree
+
+	// refs: 1 for the index's component list plus 1 per reader snapshot;
+	// files are destroyed when the last reference drops (see Tree).
+	refs int32
+}
+
+// RTreeOptions configures an LSM R-tree.
+type RTreeOptions struct {
+	MemBudget int // bytes; default 4 MiB
+	MaxComps  int // full-merge when exceeded; default 4
+}
+
+// OpenRTree opens (or creates) the LSM R-tree named by the file prefix.
+func OpenRTree(bc *storage.BufferCache, name string, opts RTreeOptions) (*RTreeIndex, error) {
+	if opts.MemBudget <= 0 {
+		opts.MemBudget = 4 << 20
+	}
+	if opts.MaxComps <= 0 {
+		opts.MaxComps = 4
+	}
+	t := &RTreeIndex{
+		bc:        bc,
+		name:      name,
+		memBudget: opts.MemBudget,
+		maxComps:  opts.MaxComps,
+		mem:       rtree.New(),
+	}
+	data, err := os.ReadFile(t.manifestPath())
+	if err != nil && !os.IsNotExist(err) {
+		return nil, err
+	}
+	var seqs []int
+	for _, f := range strings.Fields(string(data)) {
+		var s int
+		if _, err := fmt.Sscanf(f, "%d", &s); err != nil {
+			return nil, fmt.Errorf("lsm: corrupt rtree manifest %q", f)
+		}
+		seqs = append(seqs, s)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(seqs)))
+	for _, s := range seqs {
+		file, err := bc.FileManager().Open(t.componentFileName(s))
+		if err != nil {
+			return nil, err
+		}
+		rt, err := rtree.OpenDisk(bc, file)
+		if err != nil {
+			return nil, err
+		}
+		t.disk = append(t.disk, &rtreeComponent{seq: s, file: file, rt: rt, refs: 1})
+		if s >= t.seq {
+			t.seq = s + 1
+		}
+	}
+	return t, nil
+}
+
+func (t *RTreeIndex) manifestPath() string {
+	return filepath.Join(t.bc.FileManager().Root(), filepath.FromSlash(t.name)+".manifest")
+}
+
+func (t *RTreeIndex) componentFileName(seq int) string {
+	return fmt.Sprintf("%s.r%06d", t.name, seq)
+}
+
+func (t *RTreeIndex) writeManifest() error {
+	var sb strings.Builder
+	for _, c := range t.disk {
+		fmt.Fprintf(&sb, "%d\n", c.seq)
+	}
+	path := t.manifestPath()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(sb.String()), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func flagged(key []byte, tombstone bool) []byte {
+	out := make([]byte, 0, len(key)+1)
+	if tombstone {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
+	return append(out, key...)
+}
+
+// Insert adds a live (rect, key) entry.
+func (t *RTreeIndex) Insert(r rtree.Rect, key []byte) error {
+	t.mu.Lock()
+	// If an antimatter entry for this pair is pending in memory, the
+	// insert simply revives it.
+	t.mem.Delete(r, flagged(key, true))
+	t.mem.Insert(r, flagged(key, false))
+	t.memSize += len(key) + 64
+	t.mu.Unlock()
+	return t.maybeFlush()
+}
+
+// Delete records the removal of (rect, key): it cancels any in-memory live
+// entry and inserts antimatter to cancel older disk entries.
+func (t *RTreeIndex) Delete(r rtree.Rect, key []byte) error {
+	t.mu.Lock()
+	t.mem.Delete(r, flagged(key, false))
+	t.mem.Insert(r, flagged(key, true))
+	t.memSize += len(key) + 64
+	t.mu.Unlock()
+	return t.maybeFlush()
+}
+
+// snapshotComps acquires a reference-counted component view.
+func (t *RTreeIndex) snapshotComps() []*rtreeComponent {
+	t.mu.RLock()
+	comps := append([]*rtreeComponent(nil), t.disk...)
+	for _, c := range comps {
+		atomic.AddInt32(&c.refs, 1)
+	}
+	t.mu.RUnlock()
+	return comps
+}
+
+// releaseComps drops references, destroying merged-away components on the
+// last release.
+func (t *RTreeIndex) releaseComps(comps []*rtreeComponent) error {
+	var firstErr error
+	for _, c := range comps {
+		if atomic.AddInt32(&c.refs, -1) == 0 {
+			if err := t.bc.Evict(c.file); err != nil && firstErr == nil {
+				firstErr = err
+				continue
+			}
+			if err := t.bc.FileManager().Delete(t.componentFileName(c.seq)); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// Search visits live keys whose rects intersect query, applying antimatter
+// cancellation across components (newest wins).
+func (t *RTreeIndex) Search(query rtree.Rect, fn func(r rtree.Rect, key []byte) bool) error {
+	comps := t.snapshotComps()
+	defer t.releaseComps(comps)
+	t.mu.RLock()
+	mem := t.mem
+	t.mu.RUnlock()
+
+	type pairKey string
+	mk := func(r rtree.Rect, key []byte) pairKey {
+		return pairKey(fmt.Sprintf("%v|%s", r, key))
+	}
+	seen := map[pairKey]bool{} // pair already decided (live emitted or cancelled)
+	stopped := false
+	visit := func(r rtree.Rect, payload []byte) bool {
+		tomb := payload[0] == 1
+		key := payload[1:]
+		pk := mk(r, key)
+		if seen[pk] {
+			return true
+		}
+		seen[pk] = true
+		if !tomb {
+			if !fn(r, append([]byte(nil), key...)) {
+				stopped = true
+				return false
+			}
+		}
+		return true
+	}
+	mem.Search(query, func(e rtree.Entry) bool { return visit(e.Rect, e.Payload) })
+	if stopped {
+		return nil
+	}
+	for _, c := range comps {
+		err := c.rt.Search(query, func(e rtree.Entry) bool { return visit(e.Rect, e.Payload) })
+		if err != nil {
+			return err
+		}
+		if stopped {
+			return nil
+		}
+	}
+	return nil
+}
+
+// MemSize returns the memory component's approximate byte size.
+func (t *RTreeIndex) MemSize() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.memSize
+}
+
+// DiskComponents returns the number of disk components.
+func (t *RTreeIndex) DiskComponents() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.disk)
+}
+
+func (t *RTreeIndex) maybeFlush() error {
+	t.mu.RLock()
+	over := t.memSize >= t.memBudget
+	t.mu.RUnlock()
+	if !over {
+		return nil
+	}
+	return t.Flush()
+}
+
+// Flush packs the memory component into a new disk component.
+func (t *RTreeIndex) Flush() error {
+	t.mu.Lock()
+	if t.mem.Len() == 0 {
+		t.mu.Unlock()
+		return nil
+	}
+	mem := t.mem
+	seq := t.seq
+	t.seq++
+	t.mu.Unlock()
+
+	var entries []rtree.Entry
+	mem.All(func(e rtree.Entry) bool {
+		entries = append(entries, e)
+		return true
+	})
+	file, err := t.bc.FileManager().Open(t.componentFileName(seq))
+	if err != nil {
+		return err
+	}
+	rt, err := rtree.BuildDisk(t.bc, file, entries)
+	if err != nil {
+		return err
+	}
+	if err := t.bc.FlushFile(file); err != nil {
+		return err
+	}
+
+	t.mu.Lock()
+	t.disk = append([]*rtreeComponent{{seq: seq, file: file, rt: rt, refs: 1}}, t.disk...)
+	t.mem = rtree.New()
+	t.memSize = 0
+	t.Flushes++
+	err = t.writeManifest()
+	needMerge := len(t.disk) > t.maxComps
+	t.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if needMerge {
+		return t.mergeAll()
+	}
+	return nil
+}
+
+// mergeAll performs a full merge of every disk component, cancelling
+// antimatter pairs and dropping the antimatter itself.
+func (t *RTreeIndex) mergeAll() error {
+	t.mu.Lock()
+	victims := append([]*rtreeComponent(nil), t.disk...)
+	for _, c := range victims {
+		atomic.AddInt32(&c.refs, 1) // hold while merging
+	}
+	seq := t.seq
+	t.seq++
+	t.mu.Unlock()
+	if len(victims) < 2 {
+		for _, c := range victims {
+			atomic.AddInt32(&c.refs, -1)
+		}
+		return nil
+	}
+
+	// Newest-first traversal with pair cancellation.
+	type pairKey string
+	decided := map[pairKey]bool{}
+	var live []rtree.Entry
+	everything := rtree.Rect{MinX: -1e308, MinY: -1e308, MaxX: 1e308, MaxY: 1e308}
+	for _, c := range victims {
+		err := c.rt.Search(everything, func(e rtree.Entry) bool {
+			pk := pairKey(fmt.Sprintf("%v|%s", e.Rect, e.Payload[1:]))
+			if decided[pk] {
+				return true
+			}
+			decided[pk] = true
+			if e.Payload[0] == 0 {
+				live = append(live, e)
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	file, err := t.bc.FileManager().Open(t.componentFileName(seq))
+	if err != nil {
+		return err
+	}
+	rt, err := rtree.BuildDisk(t.bc, file, live)
+	if err != nil {
+		return err
+	}
+	if err := t.bc.FlushFile(file); err != nil {
+		return err
+	}
+
+	t.mu.Lock()
+	t.disk = []*rtreeComponent{{seq: seq, file: file, rt: rt, refs: 1}}
+	t.Merges++
+	err = t.writeManifest()
+	t.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	// Drop the merge's hold and the list's reference; destruction waits
+	// for any concurrent readers.
+	if err := t.releaseComps(victims); err != nil {
+		return err
+	}
+	return t.releaseComps(victims)
+}

@@ -1,0 +1,77 @@
+package lsm
+
+// MergePolicy decides which disk components to merge after a flush. Sizes
+// are entry counts, newest component first. PickMerge returns an inclusive
+// index range and ok=true to request a merge.
+//
+// The policy menagerie mirrors AsterixDB's: no-merge (pure append),
+// constant-components (bounded read amplification, high write
+// amplification), and prefix/tiered (merge runs of similar size). The E8
+// bench compares them.
+type MergePolicy interface {
+	PickMerge(sizes []int64) (lo, hi int, ok bool)
+}
+
+// NoMergePolicy never merges; read amplification grows with every flush.
+type NoMergePolicy struct{}
+
+// PickMerge implements MergePolicy.
+func (NoMergePolicy) PickMerge([]int64) (int, int, bool) { return 0, 0, false }
+
+// ConstantPolicy keeps at most Components disk components by merging all
+// of them whenever the bound is exceeded.
+type ConstantPolicy struct {
+	Components int
+}
+
+// PickMerge implements MergePolicy.
+func (p ConstantPolicy) PickMerge(sizes []int64) (int, int, bool) {
+	max := p.Components
+	if max < 1 {
+		max = 1
+	}
+	if len(sizes) > max {
+		return 0, len(sizes) - 1, true
+	}
+	return 0, 0, false
+}
+
+// TieredPolicy merges a run of components when a newer component has grown
+// to within Ratio of the size of the run of older ones — the classic
+// size-tiered scheme (AsterixDB's "prefix" policy is a close relative).
+type TieredPolicy struct {
+	// Ratio is the size multiple between tiers (default 3).
+	Ratio float64
+	// MinComponents is the run length that triggers a merge (default 3).
+	MinComponents int
+}
+
+// PickMerge implements MergePolicy.
+func (p TieredPolicy) PickMerge(sizes []int64) (int, int, bool) {
+	ratio := p.Ratio
+	if ratio <= 1 {
+		ratio = 3
+	}
+	minRun := p.MinComponents
+	if minRun < 2 {
+		minRun = 3
+	}
+	// Find the longest newest-prefix of components whose sizes are within
+	// ratio of each other; merge it when long enough.
+	run := 1
+	for i := 1; i < len(sizes); i++ {
+		a, b := float64(sizes[i-1]), float64(sizes[i])
+		if a == 0 || b == 0 {
+			break
+		}
+		if b/a <= ratio && a/b <= ratio {
+			run++
+		} else {
+			break
+		}
+	}
+	if run >= minRun {
+		return 0, run - 1, true
+	}
+	return 0, 0, false
+}

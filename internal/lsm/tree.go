@@ -1,0 +1,535 @@
+package lsm
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"asterix/internal/btree"
+	"asterix/internal/storage"
+)
+
+// Tree is an LSM B+tree: one mutable memory component plus a stack of
+// immutable, bloom-guarded disk components. It is the storage form of
+// every primary index and every value-keyed secondary index.
+type Tree struct {
+	bc        *storage.BufferCache
+	name      string // file-name prefix ("dataset/part0/primary")
+	memBudget int
+	policy    MergePolicy
+
+	mu   sync.RWMutex
+	mem  *memTable
+	disk []*diskComponent // newest first
+	seq  int
+
+	// Stats for the merge-policy ablation (experiment E8).
+	Flushes int
+	Merges  int
+
+	// OnFlush, if set, is called after each flush completes (the
+	// transaction log uses it to advance the checkpoint LSN).
+	OnFlush func()
+}
+
+type diskComponent struct {
+	seq   int
+	file  storage.FileID
+	bt    *btree.BTree
+	bloom *bloomFilter
+
+	// refs counts users of the component: 1 for the tree's component
+	// list plus 1 per in-flight reader snapshot. A merge "deletes" a
+	// component by dropping the list's reference; the files are
+	// destroyed only when the last reader releases (dropped is set then).
+	refs    int32
+	dropped bool
+}
+
+// Options configures an LSM tree.
+type Options struct {
+	// MemBudget is the memory-component byte budget; exceeding it
+	// triggers a flush. Default 4 MiB.
+	MemBudget int
+	// Policy is the merge policy. Default ConstantPolicy{Components: 4}.
+	Policy MergePolicy
+}
+
+func (o Options) withDefaults() Options {
+	if o.MemBudget <= 0 {
+		o.MemBudget = 4 << 20
+	}
+	if o.Policy == nil {
+		o.Policy = ConstantPolicy{Components: 4}
+	}
+	return o
+}
+
+// Open opens (or creates) the LSM tree named by the file prefix, reloading
+// any disk components recorded in its manifest.
+func Open(bc *storage.BufferCache, name string, opts Options) (*Tree, error) {
+	opts = opts.withDefaults()
+	t := &Tree{
+		bc:        bc,
+		name:      name,
+		memBudget: opts.MemBudget,
+		policy:    opts.Policy,
+		mem:       newMemTable(),
+	}
+	seqs, err := t.readManifest()
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range seqs {
+		c, err := t.openComponent(s)
+		if err != nil {
+			return nil, err
+		}
+		t.disk = append(t.disk, c)
+		if s >= t.seq {
+			t.seq = s + 1
+		}
+	}
+	return t, nil
+}
+
+func (t *Tree) manifestPath() string {
+	return filepath.Join(t.bc.FileManager().Root(), filepath.FromSlash(t.name)+".manifest")
+}
+
+// readManifest returns the live component sequence numbers, newest first.
+func (t *Tree) readManifest() ([]int, error) {
+	data, err := os.ReadFile(t.manifestPath())
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lsm: read manifest: %w", err)
+	}
+	var seqs []int
+	for _, line := range strings.Fields(string(data)) {
+		var s int
+		if _, err := fmt.Sscanf(line, "%d", &s); err != nil {
+			return nil, fmt.Errorf("lsm: corrupt manifest %q", line)
+		}
+		seqs = append(seqs, s)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(seqs)))
+	return seqs, nil
+}
+
+// writeManifest persists the current component list (caller holds t.mu).
+func (t *Tree) writeManifest() error {
+	var sb strings.Builder
+	for _, c := range t.disk {
+		fmt.Fprintf(&sb, "%d\n", c.seq)
+	}
+	path := t.manifestPath()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(sb.String()), 0o644); err != nil {
+		return fmt.Errorf("lsm: write manifest: %w", err)
+	}
+	return os.Rename(tmp, path)
+}
+
+func (t *Tree) componentFileName(seq int) string {
+	return fmt.Sprintf("%s.c%06d", t.name, seq)
+}
+
+// openComponent opens a disk component, rebuilding its bloom filter from a
+// key scan (the filter is held in memory only).
+func (t *Tree) openComponent(seq int) (*diskComponent, error) {
+	file, err := t.bc.FileManager().Open(t.componentFileName(seq))
+	if err != nil {
+		return nil, err
+	}
+	bt, err := btree.Open(t.bc, file)
+	if err != nil {
+		return nil, err
+	}
+	bloom := newBloom(int(bt.Count()))
+	err = bt.Scan(nil, nil, func(k, v []byte) bool {
+		bloom.add(k)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &diskComponent{seq: seq, file: file, bt: bt, bloom: bloom, refs: 1}, nil
+}
+
+// value encoding inside disk components: flag byte (1 = antimatter) +
+// payload.
+
+func encodeFlagged(value []byte, tombstone bool) []byte {
+	out := make([]byte, 0, len(value)+1)
+	if tombstone {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
+	return append(out, value...)
+}
+
+// Upsert inserts or replaces the value stored under key.
+func (t *Tree) Upsert(key, value []byte) error {
+	t.mem.put(key, value, false)
+	return t.maybeFlush()
+}
+
+// Delete records an antimatter entry for key (the key need not exist).
+func (t *Tree) Delete(key []byte) error {
+	t.mem.put(key, nil, true)
+	return t.maybeFlush()
+}
+
+// snapshot acquires a reference-counted view of the disk components.
+func (t *Tree) snapshot() []*diskComponent {
+	t.mu.RLock()
+	comps := append([]*diskComponent(nil), t.disk...)
+	for _, c := range comps {
+		atomic.AddInt32(&c.refs, 1)
+	}
+	t.mu.RUnlock()
+	return comps
+}
+
+// release drops snapshot references, destroying components whose last
+// reference this was (they were merged away while being read).
+func (t *Tree) release(comps []*diskComponent) error {
+	var firstErr error
+	for _, c := range comps {
+		if atomic.AddInt32(&c.refs, -1) == 0 {
+			if err := t.destroyComponent(c); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// destroyComponent evicts and deletes a fully-released component's file.
+func (t *Tree) destroyComponent(c *diskComponent) error {
+	if err := t.bc.Evict(c.file); err != nil {
+		return err
+	}
+	return t.bc.FileManager().Delete(t.componentFileName(c.seq))
+}
+
+// Get returns the newest live value for key.
+func (t *Tree) Get(key []byte) ([]byte, bool, error) {
+	if v, tomb, ok := t.mem.get(key); ok {
+		if tomb {
+			return nil, false, nil
+		}
+		return v, true, nil
+	}
+	comps := t.snapshot()
+	defer t.release(comps)
+	for _, c := range comps {
+		if !c.bloom.mayContain(key) {
+			continue
+		}
+		v, ok, err := c.bt.Search(key)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			if v[0] == 1 {
+				return nil, false, nil
+			}
+			return append([]byte(nil), v[1:]...), true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// Scan visits live entries with lo <= key <= hi in key order, newest
+// version winning; fn returning false stops early.
+func (t *Tree) Scan(lo, hi []byte, fn func(key, value []byte) bool) error {
+	// Snapshot the memory component's range (bounded by the mem budget).
+	type flaggedEntry struct {
+		key, value []byte
+		tombstone  bool
+	}
+	var memRun []flaggedEntry
+	t.mem.scan(lo, hi, func(e memEntry) bool {
+		memRun = append(memRun, flaggedEntry{e.key, e.value, e.tombstone})
+		return true
+	})
+	comps := t.snapshot()
+	defer t.release(comps)
+
+	// K-way merge: source 0 is the memory run (newest), then disk
+	// components newest-first. Lowest source index wins ties.
+	iters := make([]*btree.Iterator, len(comps))
+	for i, c := range comps {
+		iters[i] = c.bt.NewIterator(lo, hi)
+	}
+	memPos := 0
+	for {
+		// Find the smallest key among sources; newest source wins ties.
+		var bestKey []byte
+		bestSrc := -1
+		if memPos < len(memRun) {
+			bestKey = memRun[memPos].key
+			bestSrc = 0
+		}
+		for i, it := range iters {
+			if !it.Valid() {
+				if err := it.Err(); err != nil {
+					return err
+				}
+				continue
+			}
+			if bestSrc == -1 || bytes.Compare(it.Key(), bestKey) < 0 {
+				bestKey = it.Key()
+				bestSrc = i + 1
+			}
+		}
+		if bestSrc == -1 {
+			return nil
+		}
+		// Emit the winner; advance every source sitting on this key.
+		var value []byte
+		tombstone := false
+		if bestSrc == 0 {
+			value = memRun[memPos].value
+			tombstone = memRun[memPos].tombstone
+		} else {
+			v := iters[bestSrc-1].Value()
+			tombstone = v[0] == 1
+			value = append([]byte(nil), v[1:]...)
+		}
+		if memPos < len(memRun) && bytes.Equal(memRun[memPos].key, bestKey) {
+			memPos++
+		}
+		for _, it := range iters {
+			if it.Valid() && bytes.Equal(it.Key(), bestKey) {
+				it.Next()
+			}
+		}
+		if !tombstone {
+			if !fn(bestKey, value) {
+				return nil
+			}
+		}
+	}
+}
+
+// MemSize returns the memory component's approximate byte size.
+func (t *Tree) MemSize() int { return t.mem.size() }
+
+// DiskComponents returns the current number of disk components.
+func (t *Tree) DiskComponents() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.disk)
+}
+
+// maybeFlush flushes when the memory budget is exceeded.
+func (t *Tree) maybeFlush() error {
+	if t.mem.size() < t.memBudget {
+		return nil
+	}
+	return t.Flush()
+}
+
+// Flush persists the memory component as a new disk component and applies
+// the merge policy.
+func (t *Tree) Flush() error {
+	t.mu.Lock()
+	mem := t.mem
+	if mem.len() == 0 {
+		t.mu.Unlock()
+		return nil
+	}
+	seq := t.seq
+	t.seq++
+	t.mu.Unlock()
+
+	file, err := t.bc.FileManager().Open(t.componentFileName(seq))
+	if err != nil {
+		return err
+	}
+	bt, err := btree.Open(t.bc, file)
+	if err != nil {
+		return err
+	}
+	bloom := newBloom(mem.len())
+
+	// Snapshot the memtable in order, then bulk load.
+	var entries []memEntry
+	mem.scan(nil, nil, func(e memEntry) bool {
+		entries = append(entries, e)
+		return true
+	})
+	i := 0
+	err = bt.BulkLoad(func() ([]byte, []byte, bool) {
+		if i >= len(entries) {
+			return nil, nil, false
+		}
+		e := entries[i]
+		i++
+		bloom.add(e.key)
+		return e.key, encodeFlagged(e.value, e.tombstone), true
+	})
+	if err != nil {
+		return err
+	}
+	if err := t.bc.FlushFile(file); err != nil {
+		return err
+	}
+
+	t.mu.Lock()
+	t.disk = append([]*diskComponent{{seq: seq, file: file, bt: bt, bloom: bloom, refs: 1}}, t.disk...)
+	t.mem = newMemTable()
+	t.Flushes++
+	err = t.writeManifest()
+	t.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if t.OnFlush != nil {
+		t.OnFlush()
+	}
+	return t.maybeMerge()
+}
+
+// maybeMerge consults the policy and merges one component range.
+func (t *Tree) maybeMerge() error {
+	t.mu.RLock()
+	sizes := make([]int64, len(t.disk))
+	for i, c := range t.disk {
+		sizes[i] = c.bt.Count()
+	}
+	t.mu.RUnlock()
+	lo, hi, ok := t.policy.PickMerge(sizes)
+	if !ok {
+		return nil
+	}
+	return t.mergeRange(lo, hi)
+}
+
+// mergeRange merges disk components [lo..hi] (newest-first indexes) into
+// one. Tombstones are dropped only when the merge includes the oldest
+// component.
+func (t *Tree) mergeRange(lo, hi int) error {
+	t.mu.RLock()
+	if lo < 0 || hi >= len(t.disk) || lo >= hi {
+		t.mu.RUnlock()
+		return nil
+	}
+	victims := append([]*diskComponent(nil), t.disk[lo:hi+1]...)
+	for _, c := range victims {
+		atomic.AddInt32(&c.refs, 1) // hold them while merging
+	}
+	dropTombstones := hi == len(t.disk)-1
+	t.mu.RUnlock()
+
+	seq := func() int {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		s := t.seq
+		t.seq++
+		return s
+	}()
+	file, err := t.bc.FileManager().Open(t.componentFileName(seq))
+	if err != nil {
+		return err
+	}
+	bt, err := btree.Open(t.bc, file)
+	if err != nil {
+		return err
+	}
+	total := int64(0)
+	for _, c := range victims {
+		total += c.bt.Count()
+	}
+	bloom := newBloom(int(total))
+
+	iters := make([]*btree.Iterator, len(victims))
+	for i, c := range victims {
+		iters[i] = c.bt.NewIterator(nil, nil)
+	}
+	var mergeErr error
+	err = bt.BulkLoad(func() ([]byte, []byte, bool) {
+		for {
+			var bestKey []byte
+			bestSrc := -1
+			for i, it := range iters {
+				if !it.Valid() {
+					if e := it.Err(); e != nil {
+						mergeErr = e
+						return nil, nil, false
+					}
+					continue
+				}
+				if bestSrc == -1 || bytes.Compare(it.Key(), bestKey) < 0 {
+					bestKey = it.Key()
+					bestSrc = i
+				}
+			}
+			if bestSrc == -1 {
+				return nil, nil, false
+			}
+			value := append([]byte(nil), iters[bestSrc].Value()...)
+			for _, it := range iters {
+				if it.Valid() && bytes.Equal(it.Key(), bestKey) {
+					it.Next()
+				}
+			}
+			if dropTombstones && value[0] == 1 {
+				continue
+			}
+			bloom.add(bestKey)
+			return append([]byte(nil), bestKey...), value, true
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if mergeErr != nil {
+		return mergeErr
+	}
+	if err := t.bc.FlushFile(file); err != nil {
+		return err
+	}
+
+	t.mu.Lock()
+	newDisk := append([]*diskComponent(nil), t.disk[:lo]...)
+	newDisk = append(newDisk, &diskComponent{seq: seq, file: file, bt: bt, bloom: bloom, refs: 1})
+	newDisk = append(newDisk, t.disk[hi+1:]...)
+	t.disk = newDisk
+	t.Merges++
+	for _, c := range victims {
+		c.dropped = true
+	}
+	err = t.writeManifest()
+	t.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	// Drop the list's reference and the merge's own hold; files are
+	// destroyed when the last concurrent reader releases.
+	if err := t.release(victims); err != nil {
+		return err
+	}
+	return t.release(victims)
+}
+
+// Count estimates the number of live keys by a full scan (exact but O(n));
+// intended for tests and small datasets.
+func (t *Tree) Count() (int64, error) {
+	var n int64
+	err := t.Scan(nil, nil, func(k, v []byte) bool { n++; return true })
+	return n, err
+}

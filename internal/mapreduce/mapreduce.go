@@ -1,0 +1,329 @@
+// Package mapreduce is a from-scratch mini MapReduce engine in the mold
+// of early Hadoop: map tasks that materialize partitioned, sorted
+// intermediate files to disk; a hard barrier between phases; and reduce
+// tasks that re-read, merge, and group those files. It exists as the
+// baseline for experiment E4 — the paper's Section IV judgment that
+// "MapReduce was not a sensible runtime platform for efficient,
+// database-style query processing" needs the contender implemented to be
+// measured. (The real project once built a Hadoop-compatible engine on
+// Hyracks; this clone reproduces the execution model, not the API.)
+package mapreduce
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"asterix/internal/adm"
+)
+
+// Pair is one intermediate key/value record.
+type Pair struct {
+	Key, Value adm.Value
+}
+
+// Job describes a MapReduce job.
+type Job struct {
+	Name string
+	// NumMaps map tasks read Input(task, emit); NumReduces reduce tasks.
+	NumMaps    int
+	NumReduces int
+	// Input feeds records to one map task.
+	Input func(task int, emit func(rec adm.Value) error) error
+	// Map emits intermediate pairs for one record.
+	Map func(rec adm.Value, emit func(k, v adm.Value) error) error
+	// Combine optionally pre-aggregates map-side (nil = none).
+	Combine func(key adm.Value, values []adm.Value, emit func(v adm.Value) error) error
+	// Reduce folds each key's values into output records.
+	Reduce func(key adm.Value, values []adm.Value, emit func(out adm.Value) error) error
+	// TmpDir hosts the materialized shuffle files.
+	TmpDir string
+}
+
+// Stats reports a run's I/O behavior (the measurable cost of the model).
+type Stats struct {
+	MapOutputRecords int64
+	ShuffleBytes     int64
+	SpillFiles       int
+}
+
+// Run executes the job, returning reduce outputs and shuffle statistics.
+// Map tasks run concurrently, then a barrier, then reduce tasks — the
+// materialize-everything dataflow that a pipelined engine avoids.
+func Run(job *Job) ([]adm.Value, Stats, error) {
+	var stats Stats
+	if job.NumMaps < 1 || job.NumReduces < 1 {
+		return nil, stats, fmt.Errorf("mapreduce: NumMaps and NumReduces must be >= 1")
+	}
+	dir, err := os.MkdirTemp(job.TmpDir, "mr-"+job.Name+"-*")
+	if err != nil {
+		return nil, stats, err
+	}
+	defer os.RemoveAll(dir)
+
+	// --- Map phase ---
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	for m := 0; m < job.NumMaps; m++ {
+		wg.Add(1)
+		go func(task int) {
+			defer wg.Done()
+			if err := runMapTask(job, task, dir, &mu, &stats); err != nil {
+				fail(err)
+			}
+		}(m)
+	}
+	wg.Wait() // the barrier
+	if firstErr != nil {
+		return nil, stats, firstErr
+	}
+
+	// --- Reduce phase ---
+	outs := make([][]adm.Value, job.NumReduces)
+	for r := 0; r < job.NumReduces; r++ {
+		wg.Add(1)
+		go func(task int) {
+			defer wg.Done()
+			out, err := runReduceTask(job, task, dir)
+			if err != nil {
+				fail(err)
+				return
+			}
+			outs[task] = out
+		}(r)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, stats, firstErr
+	}
+	var all []adm.Value
+	for _, o := range outs {
+		all = append(all, o...)
+	}
+	return all, stats, nil
+}
+
+func shufflePath(dir string, mapTask, reduceTask int) string {
+	return filepath.Join(dir, fmt.Sprintf("m%04d-r%04d.shuffle", mapTask, reduceTask))
+}
+
+func runMapTask(job *Job, task int, dir string, mu *sync.Mutex, stats *Stats) error {
+	// Buffer pairs per reduce partition.
+	parts := make([][]Pair, job.NumReduces)
+	var outRecs int64
+	err := job.Input(task, func(rec adm.Value) error {
+		return job.Map(rec, func(k, v adm.Value) error {
+			p := int(adm.Hash64(k) % uint64(job.NumReduces))
+			parts[p] = append(parts[p], Pair{Key: k, Value: v})
+			outRecs++
+			return nil
+		})
+	})
+	if err != nil {
+		return err
+	}
+	var shuffleBytes int64
+	files := 0
+	for r, pairs := range parts {
+		if len(pairs) == 0 {
+			continue
+		}
+		sort.SliceStable(pairs, func(i, j int) bool {
+			return adm.Compare(pairs[i].Key, pairs[j].Key) < 0
+		})
+		if job.Combine != nil {
+			combined, err := combineRun(job, pairs)
+			if err != nil {
+				return err
+			}
+			pairs = combined
+		}
+		n, err := writeShuffleFile(shufflePath(dir, task, r), pairs)
+		if err != nil {
+			return err
+		}
+		shuffleBytes += n
+		files++
+	}
+	mu.Lock()
+	stats.MapOutputRecords += outRecs
+	stats.ShuffleBytes += shuffleBytes
+	stats.SpillFiles += files
+	mu.Unlock()
+	return nil
+}
+
+func combineRun(job *Job, pairs []Pair) ([]Pair, error) {
+	var out []Pair
+	i := 0
+	for i < len(pairs) {
+		j := i + 1
+		for j < len(pairs) && adm.Compare(pairs[j].Key, pairs[i].Key) == 0 {
+			j++
+		}
+		vals := make([]adm.Value, 0, j-i)
+		for k := i; k < j; k++ {
+			vals = append(vals, pairs[k].Value)
+		}
+		err := job.Combine(pairs[i].Key, vals, func(v adm.Value) error {
+			out = append(out, Pair{Key: pairs[i].Key, Value: v})
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		i = j
+	}
+	return out, nil
+}
+
+func writeShuffleFile(path string, pairs []Pair) (int64, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	var total int64
+	var buf []byte
+	for _, p := range pairs {
+		buf = buf[:0]
+		buf = adm.Encode(buf, p.Key)
+		buf = adm.Encode(buf, p.Value)
+		var hdr [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(hdr[:], uint64(len(buf)))
+		if _, err := w.Write(hdr[:n]); err != nil {
+			f.Close()
+			return 0, err
+		}
+		if _, err := w.Write(buf); err != nil {
+			f.Close()
+			return 0, err
+		}
+		total += int64(n + len(buf))
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return 0, err
+	}
+	return total, f.Close()
+}
+
+func readShuffleFile(path string) ([]Pair, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+	var out []Pair
+	for {
+		sz, err := binary.ReadUvarint(r)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		buf := make([]byte, sz)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		k, n, err := adm.Decode(buf)
+		if err != nil {
+			return nil, err
+		}
+		v, _, err := adm.Decode(buf[n:])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Pair{Key: k, Value: v})
+	}
+}
+
+func runReduceTask(job *Job, task int, dir string) ([]adm.Value, error) {
+	// Fetch + merge all map outputs for this partition.
+	var all []Pair
+	for m := 0; m < job.NumMaps; m++ {
+		pairs, err := readShuffleFile(shufflePath(dir, m, task))
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, pairs...)
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		return adm.Compare(all[i].Key, all[j].Key) < 0
+	})
+	var out []adm.Value
+	i := 0
+	for i < len(all) {
+		j := i + 1
+		for j < len(all) && adm.Compare(all[j].Key, all[i].Key) == 0 {
+			j++
+		}
+		vals := make([]adm.Value, 0, j-i)
+		for k := i; k < j; k++ {
+			vals = append(vals, all[k].Value)
+		}
+		err := job.Reduce(all[i].Key, vals, func(o adm.Value) error {
+			out = append(out, o)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		i = j
+	}
+	return out, nil
+}
+
+// Chain runs a sequence of jobs where each stage's output feeds the next
+// stage's input (Hadoop-style multi-job queries, e.g. join then group).
+func Chain(tmpDir string, stages ...*Job) ([]adm.Value, Stats, error) {
+	var data []adm.Value
+	var total Stats
+	for i, job := range stages {
+		if i > 0 {
+			prev := data
+			job.Input = func(task int, emit func(adm.Value) error) error {
+				for k, rec := range prev {
+					if k%job.NumMaps == task {
+						if err := emit(rec); err != nil {
+							return err
+						}
+					}
+				}
+				return nil
+			}
+		}
+		if job.TmpDir == "" {
+			job.TmpDir = tmpDir
+		}
+		out, st, err := Run(job)
+		if err != nil {
+			return nil, total, err
+		}
+		total.MapOutputRecords += st.MapOutputRecords
+		total.ShuffleBytes += st.ShuffleBytes
+		total.SpillFiles += st.SpillFiles
+		data = out
+	}
+	return data, total, nil
+}

@@ -1,0 +1,234 @@
+package mapreduce
+
+import (
+	"fmt"
+	"testing"
+
+	"asterix/internal/adm"
+)
+
+// wordCountJob is the canonical test job.
+func wordCountJob(tmp string, docs []string) *Job {
+	return &Job{
+		Name:       "wordcount",
+		NumMaps:    3,
+		NumReduces: 2,
+		TmpDir:     tmp,
+		Input: func(task int, emit func(adm.Value) error) error {
+			for i, d := range docs {
+				if i%3 == task {
+					if err := emit(adm.String(d)); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		},
+		Map: func(rec adm.Value, emit func(k, v adm.Value) error) error {
+			for _, w := range splitWords(string(rec.(adm.String))) {
+				if err := emit(adm.String(w), adm.Int64(1)); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Reduce: func(key adm.Value, values []adm.Value, emit func(adm.Value) error) error {
+			var sum int64
+			for _, v := range values {
+				n, _ := adm.AsInt(v)
+				sum += n
+			}
+			return emit(adm.NewObject(
+				adm.Field{Name: "word", Value: key},
+				adm.Field{Name: "count", Value: adm.Int64(sum)},
+			))
+		},
+	}
+}
+
+func splitWords(s string) []string {
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r == ' ' {
+			if cur != "" {
+				out = append(out, cur)
+				cur = ""
+			}
+		} else {
+			cur += string(r)
+		}
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}
+
+func TestWordCount(t *testing.T) {
+	docs := []string{"a b a", "b c", "a", "c c c", "d"}
+	out, stats, err := Run(wordCountJob(t.TempDir(), docs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int64{}
+	for _, o := range out {
+		obj := o.(*adm.Object)
+		n, _ := adm.AsInt(obj.Get("count"))
+		counts[string(obj.Get("word").(adm.String))] = n
+	}
+	want := map[string]int64{"a": 3, "b": 2, "c": 4, "d": 1}
+	for w, n := range want {
+		if counts[w] != n {
+			t.Errorf("count[%s] = %d, want %d", w, counts[w], n)
+		}
+	}
+	if len(counts) != len(want) {
+		t.Errorf("words: %v", counts)
+	}
+	if stats.MapOutputRecords != 10 {
+		t.Errorf("map output records = %d", stats.MapOutputRecords)
+	}
+	if stats.ShuffleBytes == 0 || stats.SpillFiles == 0 {
+		t.Error("shuffle must be materialized to disk")
+	}
+}
+
+func TestCombinerReducesShuffle(t *testing.T) {
+	docs := []string{"x x x x x x x x", "x x x x x x x x"}
+	plain := wordCountJob(t.TempDir(), docs)
+	_, noCombine, err := Run(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined := wordCountJob(t.TempDir(), docs)
+	combined.Combine = func(key adm.Value, values []adm.Value, emit func(adm.Value) error) error {
+		var sum int64
+		for _, v := range values {
+			n, _ := adm.AsInt(v)
+			sum += n
+		}
+		return emit(adm.Int64(sum))
+	}
+	out, withCombine, err := Run(combined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withCombine.ShuffleBytes >= noCombine.ShuffleBytes {
+		t.Errorf("combiner should shrink shuffle: %d vs %d", withCombine.ShuffleBytes, noCombine.ShuffleBytes)
+	}
+	obj := out[0].(*adm.Object)
+	if n, _ := adm.AsInt(obj.Get("count")); n != 16 {
+		t.Errorf("combined count = %d", n)
+	}
+}
+
+// TestReduceSideJoin exercises the classic MR equi-join pattern used by
+// the E4 comparison.
+func TestReduceSideJoin(t *testing.T) {
+	users := make([]adm.Value, 5)
+	for i := range users {
+		users[i] = adm.NewObject(
+			adm.Field{Name: "tag", Value: adm.String("u")},
+			adm.Field{Name: "id", Value: adm.Int64(int64(i))},
+			adm.Field{Name: "name", Value: adm.String(fmt.Sprintf("user%d", i))},
+		)
+	}
+	msgs := make([]adm.Value, 12)
+	for i := range msgs {
+		msgs[i] = adm.NewObject(
+			adm.Field{Name: "tag", Value: adm.String("m")},
+			adm.Field{Name: "authorId", Value: adm.Int64(int64(i % 5))},
+			adm.Field{Name: "mid", Value: adm.Int64(int64(i))},
+		)
+	}
+	all := append(append([]adm.Value{}, users...), msgs...)
+	job := &Job{
+		Name: "join", NumMaps: 2, NumReduces: 2, TmpDir: t.TempDir(),
+		Input: func(task int, emit func(adm.Value) error) error {
+			for i, r := range all {
+				if i%2 == task {
+					if err := emit(r); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		},
+		Map: func(rec adm.Value, emit func(k, v adm.Value) error) error {
+			o := rec.(*adm.Object)
+			if o.Get("tag").String() == `"u"` {
+				return emit(o.Get("id"), rec)
+			}
+			return emit(o.Get("authorId"), rec)
+		},
+		Reduce: func(key adm.Value, values []adm.Value, emit func(adm.Value) error) error {
+			var user *adm.Object
+			var ms []*adm.Object
+			for _, v := range values {
+				o := v.(*adm.Object)
+				if o.Get("tag").String() == `"u"` {
+					user = o
+				} else {
+					ms = append(ms, o)
+				}
+			}
+			if user == nil {
+				return nil
+			}
+			for _, m := range ms {
+				if err := emit(adm.NewObject(
+					adm.Field{Name: "name", Value: user.Get("name")},
+					adm.Field{Name: "mid", Value: m.Get("mid")},
+				)); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+	out, _, err := Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 12 {
+		t.Fatalf("join produced %d rows, want 12", len(out))
+	}
+}
+
+func TestChainTwoJobs(t *testing.T) {
+	// Stage 1: word count. Stage 2: histogram of counts.
+	docs := []string{"a b a", "b c", "a", "c c c", "d"}
+	stage1 := wordCountJob(t.TempDir(), docs)
+	stage2 := &Job{
+		Name: "hist", NumMaps: 2, NumReduces: 1,
+		Map: func(rec adm.Value, emit func(k, v adm.Value) error) error {
+			o := rec.(*adm.Object)
+			return emit(o.Get("count"), adm.Int64(1))
+		},
+		Reduce: func(key adm.Value, values []adm.Value, emit func(adm.Value) error) error {
+			return emit(adm.NewObject(
+				adm.Field{Name: "count", Value: key},
+				adm.Field{Name: "words", Value: adm.Int64(int64(len(values)))},
+			))
+		},
+	}
+	out, _, err := Chain(t.TempDir(), stage1, stage2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// counts: a=3,b=2,c=4,d=1 -> histogram: 1->1, 2->1, 3->1, 4->1.
+	if len(out) != 4 {
+		t.Fatalf("histogram rows: %d (%v)", len(out), out)
+	}
+}
+
+func TestErrorsPropagate(t *testing.T) {
+	job := wordCountJob(t.TempDir(), []string{"a"})
+	job.Map = func(rec adm.Value, emit func(k, v adm.Value) error) error {
+		return fmt.Errorf("boom")
+	}
+	if _, _, err := Run(job); err == nil {
+		t.Fatal("map error should fail the job")
+	}
+}

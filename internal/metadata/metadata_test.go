@@ -1,0 +1,164 @@
+package metadata
+
+import (
+	"testing"
+
+	"asterix/internal/adm"
+)
+
+func newCat(t *testing.T) (*Catalog, string) {
+	t.Helper()
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, dir
+}
+
+func employmentType() *TypeDef {
+	return &TypeDef{Name: "EmploymentType", Fields: []FieldDef{
+		{Name: "organizationName", Type: TypeRef{Named: "string"}},
+		{Name: "startDate", Type: TypeRef{Named: "date"}},
+		{Name: "endDate", Type: TypeRef{Named: "date"}, Optional: true},
+	}}
+}
+
+func userType() *TypeDef {
+	return &TypeDef{Name: "UserType", Fields: []FieldDef{
+		{Name: "id", Type: TypeRef{Named: "int64"}},
+		{Name: "friendIds", Type: TypeRef{Multiset: &TypeRef{Named: "int64"}}},
+		{Name: "employment", Type: TypeRef{Array: &TypeRef{Named: "EmploymentType"}}},
+	}}
+}
+
+func TestAddAndResolveTypes(t *testing.T) {
+	c, _ := newCat(t)
+	if err := c.AddType(employmentType(), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddType(userType(), false); err != nil {
+		t.Fatal(err)
+	}
+	ty, err := c.ResolveType("UserType")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ty.Tag != adm.TagObject || len(ty.Fields) != 3 {
+		t.Fatalf("resolved: %s", ty)
+	}
+	emp, _ := ty.Field("employment")
+	if emp.Type.Tag != adm.TagArray || emp.Type.Elem.Name != "EmploymentType" {
+		t.Errorf("employment: %s", emp.Type)
+	}
+	// Duplicate registration.
+	if err := c.AddType(userType(), false); err == nil {
+		t.Error("duplicate type must fail")
+	}
+	if err := c.AddType(userType(), true); err != nil {
+		t.Errorf("IF NOT EXISTS should be quiet: %v", err)
+	}
+	// Unknown reference.
+	if _, err := c.ResolveType("Nope"); err == nil {
+		t.Error("unknown type must fail")
+	}
+	// Primitives resolve directly.
+	p, err := c.ResolveType("string")
+	if err != nil || p.Prim != adm.KindString {
+		t.Errorf("primitive: %v %v", p, err)
+	}
+}
+
+func TestDatasetsAndIndexes(t *testing.T) {
+	c, _ := newCat(t)
+	c.AddType(employmentType(), false)
+	c.AddType(userType(), false)
+	ds := &DatasetDef{Name: "Users", TypeName: "UserType", PrimaryKey: []string{"id"}, Partitions: 2}
+	if err := c.AddDataset(ds, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddDataset(ds, false); err == nil {
+		t.Error("duplicate dataset must fail")
+	}
+	if err := c.AddDataset(&DatasetDef{Name: "Bad", TypeName: "Nope"}, false); err == nil {
+		t.Error("dataset with unknown type must fail")
+	}
+	if err := c.AddIndex(&IndexDef{Name: "idx", Dataset: "Users", Fields: []string{"id"}, Kind: "BTREE"}, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddIndex(&IndexDef{Name: "idx", Dataset: "Users", Fields: []string{"id"}, Kind: "BTREE"}, false); err == nil {
+		t.Error("duplicate index must fail")
+	}
+	if err := c.AddIndex(&IndexDef{Name: "x", Dataset: "NoDS", Fields: []string{"a"}, Kind: "BTREE"}, false); err == nil {
+		t.Error("index on unknown dataset must fail")
+	}
+	if got := c.IndexesOf("Users"); len(got) != 1 || got[0].Name != "idx" {
+		t.Errorf("IndexesOf: %v", got)
+	}
+	// Type in use cannot be dropped.
+	if err := c.DropType("UserType", false); err == nil {
+		t.Error("dropping in-use type must fail")
+	}
+	// Dropping the dataset removes its indexes.
+	if err := c.DropDataset("Users", false); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.IndexesOf("Users"); len(got) != 0 {
+		t.Errorf("indexes survived dataset drop: %v", got)
+	}
+	if err := c.DropDataset("Users", false); err == nil {
+		t.Error("double drop must fail")
+	}
+	if err := c.DropDataset("Users", true); err != nil {
+		t.Errorf("IF EXISTS drop should be quiet: %v", err)
+	}
+	if err := c.DropType("UserType", false); err != nil {
+		t.Errorf("type now unused: %v", err)
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	c, dir := newCat(t)
+	c.AddType(employmentType(), false)
+	c.AddType(userType(), false)
+	c.AddDataset(&DatasetDef{Name: "Users", TypeName: "UserType", PrimaryKey: []string{"id"}, Partitions: 4}, false)
+	c.AddIndex(&IndexDef{Name: "idx", Dataset: "Users", Fields: []string{"id"}, Kind: "BTREE"}, false)
+
+	c2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, ok := c2.Dataset("Users")
+	if !ok || ds.Partitions != 4 || ds.PrimaryKey[0] != "id" {
+		t.Fatalf("dataset lost: %+v", ds)
+	}
+	if _, err := c2.ResolveType("UserType"); err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.IndexesOf("Users"); len(got) != 1 {
+		t.Fatalf("index lost: %v", got)
+	}
+}
+
+func TestExternalDatasetRules(t *testing.T) {
+	c, _ := newCat(t)
+	c.AddType(employmentType(), false)
+	ext := &DatasetDef{Name: "Log", TypeName: "EmploymentType", External: true,
+		Adapter: "localfs", Params: map[string]string{"path": "/x"}, Partitions: 2}
+	if err := c.AddDataset(ext, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddIndex(&IndexDef{Name: "i", Dataset: "Log", Fields: []string{"a"}, Kind: "BTREE"}, false); err == nil {
+		t.Error("indexing an external dataset must fail")
+	}
+}
+
+func TestRecursiveTypeBounded(t *testing.T) {
+	c, _ := newCat(t)
+	c.AddType(&TypeDef{Name: "Loop", Fields: []FieldDef{
+		{Name: "next", Type: TypeRef{Named: "Loop"}},
+	}}, false)
+	if _, err := c.ResolveType("Loop"); err == nil {
+		t.Error("recursive type must be rejected, not loop forever")
+	}
+}

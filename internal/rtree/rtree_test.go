@@ -1,0 +1,283 @@
+package rtree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"asterix/internal/storage"
+)
+
+func payload(i int) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(i))
+	return b[:]
+}
+
+func randomPoints(n int, seed int64) []Entry {
+	r := rand.New(rand.NewSource(seed))
+	es := make([]Entry, n)
+	for i := range es {
+		x, y := r.Float64()*1000, r.Float64()*1000
+		es[i] = Entry{Rect: PointRect(x, y), Payload: payload(i)}
+	}
+	return es
+}
+
+// bruteSearch is the reference implementation.
+func bruteSearch(es []Entry, q Rect) map[int]bool {
+	out := map[int]bool{}
+	for _, e := range es {
+		if q.Intersects(e.Rect) {
+			out[int(binary.BigEndian.Uint64(e.Payload))] = true
+		}
+	}
+	return out
+}
+
+func TestRectOps(t *testing.T) {
+	a := Rect{0, 0, 10, 10}
+	b := Rect{5, 5, 15, 15}
+	if !a.Intersects(b) || !b.Intersects(a) {
+		t.Error("overlap not detected")
+	}
+	c := Rect{11, 11, 12, 12}
+	if a.Intersects(c) {
+		t.Error("false overlap")
+	}
+	if got := a.Union(b); got != (Rect{0, 0, 15, 15}) {
+		t.Errorf("union = %v", got)
+	}
+	if !a.Contains(Rect{1, 1, 2, 2}) || a.Contains(b) {
+		t.Error("contains wrong")
+	}
+	if a.Area() != 100 {
+		t.Errorf("area = %f", a.Area())
+	}
+	// Touching boundaries count as intersecting (closed rectangles).
+	if !a.Intersects(Rect{10, 10, 20, 20}) {
+		t.Error("touching rects must intersect")
+	}
+}
+
+func TestInsertSearchMatchesBruteForce(t *testing.T) {
+	es := randomPoints(2000, 42)
+	tr := New()
+	for _, e := range es {
+		tr.Insert(e.Rect, e.Payload)
+	}
+	if tr.Len() != len(es) {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	r := rand.New(rand.NewSource(7))
+	for q := 0; q < 50; q++ {
+		x, y := r.Float64()*900, r.Float64()*900
+		query := Rect{x, y, x + r.Float64()*100, y + r.Float64()*100}
+		want := bruteSearch(es, query)
+		got := map[int]bool{}
+		tr.Search(query, func(e Entry) bool {
+			got[int(binary.BigEndian.Uint64(e.Payload))] = true
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("query %v: got %d, want %d", query, len(got), len(want))
+		}
+		for k := range want {
+			if !got[k] {
+				t.Fatalf("query %v: missing %d", query, k)
+			}
+		}
+	}
+}
+
+func TestNonPointRects(t *testing.T) {
+	tr := New()
+	// Overlapping regions (non-point data, the R-tree's advantage per
+	// Section V-B).
+	for i := 0; i < 100; i++ {
+		x := float64(i)
+		tr.Insert(Rect{x, 0, x + 10, 10}, payload(i))
+	}
+	count := 0
+	tr.Search(Rect{50, 5, 52, 6}, func(e Entry) bool { count++; return true })
+	// Rects with x in [40..52] overlap the query.
+	if count != 13 {
+		t.Errorf("overlap count = %d, want 13", count)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	es := randomPoints(500, 9)
+	tr := New()
+	for _, e := range es {
+		tr.Insert(e.Rect, e.Payload)
+	}
+	for i, e := range es {
+		if i%2 == 0 {
+			if !tr.Delete(e.Rect, e.Payload) {
+				t.Fatalf("delete %d failed", i)
+			}
+		}
+	}
+	if tr.Len() != 250 {
+		t.Errorf("len = %d", tr.Len())
+	}
+	everything := Rect{-1e18, -1e18, 1e18, 1e18}
+	got := map[int]bool{}
+	tr.Search(everything, func(e Entry) bool {
+		got[int(binary.BigEndian.Uint64(e.Payload))] = true
+		return true
+	})
+	for i := range es {
+		want := i%2 == 1
+		if got[i] != want {
+			t.Fatalf("entry %d presence = %v, want %v", i, got[i], want)
+		}
+	}
+	if tr.Delete(PointRect(-999, -999), payload(0)) {
+		t.Error("deleting absent entry should return false")
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	tr := New()
+	for _, e := range randomPoints(100, 3) {
+		tr.Insert(e.Rect, e.Payload)
+	}
+	n := 0
+	tr.Search(Rect{-1e18, -1e18, 1e18, 1e18}, func(e Entry) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func newBC(t testing.TB, pageSize, frames int) (*storage.BufferCache, storage.FileID) {
+	t.Helper()
+	fm, err := storage.NewFileManager(t.TempDir(), pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fm.Close() })
+	bc := storage.NewBufferCache(fm, frames)
+	id, err := fm.Open("rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bc, id
+}
+
+func TestDiskRTreeMatchesBruteForce(t *testing.T) {
+	es := randomPoints(3000, 11)
+	bc, id := newBC(t, 1024, 256)
+	dt, err := BuildDisk(bc, id, append([]Entry(nil), es...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt.Count() != int64(len(es)) {
+		t.Fatalf("count = %d", dt.Count())
+	}
+	r := rand.New(rand.NewSource(13))
+	for q := 0; q < 40; q++ {
+		x, y := r.Float64()*900, r.Float64()*900
+		query := Rect{x, y, x + r.Float64()*120, y + r.Float64()*120}
+		want := bruteSearch(es, query)
+		got := map[int]bool{}
+		err := dt.Search(query, func(e Entry) bool {
+			got[int(binary.BigEndian.Uint64(e.Payload))] = true
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("query %d: got %d, want %d", q, len(got), len(want))
+		}
+	}
+}
+
+func TestDiskRTreeReopen(t *testing.T) {
+	es := randomPoints(500, 21)
+	fm, err := storage.NewFileManager(t.TempDir(), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fm.Close()
+	bc := storage.NewBufferCache(fm, 64)
+	id, _ := fm.Open("rt")
+	if _, err := BuildDisk(bc, id, append([]Entry(nil), es...)); err != nil {
+		t.Fatal(err)
+	}
+	if err := bc.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	dt, err := OpenDisk(bc, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	dt.Search(Rect{-1e18, -1e18, 1e18, 1e18}, func(e Entry) bool { n++; return true })
+	if n != len(es) {
+		t.Fatalf("full scan found %d of %d", n, len(es))
+	}
+}
+
+func TestDiskRTreeEmpty(t *testing.T) {
+	bc, id := newBC(t, 1024, 16)
+	dt, err := BuildDisk(bc, id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if err := dt.Search(Rect{0, 0, 1, 1}, func(e Entry) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("empty tree returned %d entries", n)
+	}
+}
+
+func TestDiskRTreeVariablePayloads(t *testing.T) {
+	var es []Entry
+	for i := 0; i < 200; i++ {
+		es = append(es, Entry{
+			Rect:    PointRect(float64(i), float64(i)),
+			Payload: []byte(fmt.Sprintf("payload-%d-%s", i, string(make([]byte, i%50)))),
+		})
+	}
+	bc, id := newBC(t, 512, 128)
+	dt, err := BuildDisk(bc, id, append([]Entry(nil), es...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	dt.Search(Rect{-1, -1, 300, 300}, func(e Entry) bool { got++; return true })
+	if got != len(es) {
+		t.Errorf("got %d of %d", got, len(es))
+	}
+}
+
+func BenchmarkMemInsert(b *testing.B) {
+	es := randomPoints(b.N+1, 1)
+	tr := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(es[i].Rect, es[i].Payload)
+	}
+}
+
+func BenchmarkMemSearch(b *testing.B) {
+	tr := New()
+	for _, e := range randomPoints(50000, 2) {
+		tr.Insert(e.Rect, e.Payload)
+	}
+	r := rand.New(rand.NewSource(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x, y := r.Float64()*990, r.Float64()*990
+		tr.Search(Rect{x, y, x + 10, y + 10}, func(e Entry) bool { return true })
+	}
+}

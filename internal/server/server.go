@@ -1,0 +1,114 @@
+// Package server exposes the engine over HTTP with an API shaped like
+// AsterixDB's query service: POST /query/service with a JSON body
+// {"statement": "..."} returns {"status", "results", "metrics"}.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"asterix/internal/adm"
+	"asterix/internal/core"
+)
+
+// Engine is the statement executor the server fronts.
+type Engine interface {
+	Execute(ctx context.Context, script string) ([]core.Result, error)
+}
+
+// Handler returns the HTTP handler for the query service.
+func Handler(e Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query/service", func(w http.ResponseWriter, r *http.Request) {
+		serveQuery(e, w, r)
+	})
+	mux.HandleFunc("/admin/ping", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	})
+	return mux
+}
+
+type queryRequest struct {
+	Statement string `json:"statement"`
+}
+
+type queryMetrics struct {
+	ElapsedTime string `json:"elapsedTime"`
+	ResultCount int    `json:"resultCount"`
+}
+
+type queryResponse struct {
+	Status  string            `json:"status"`
+	Results []json.RawMessage `json:"results"`
+	Errors  []string          `json:"errors,omitempty"`
+	Metrics queryMetrics      `json:"metrics"`
+}
+
+func serveQuery(e Engine, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, `{"status":"fatal","errors":["POST required"]}`, http.StatusMethodNotAllowed)
+		return
+	}
+	var req queryRequest
+	ct := r.Header.Get("Content-Type")
+	switch {
+	case strings.Contains(ct, "application/json"):
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid request body: %v", err))
+			return
+		}
+	default:
+		// Form encoding (statement=...) like the real service.
+		if err := r.ParseForm(); err != nil {
+			writeError(w, http.StatusBadRequest, "invalid form body")
+			return
+		}
+		req.Statement = r.PostFormValue("statement")
+	}
+	if strings.TrimSpace(req.Statement) == "" {
+		writeError(w, http.StatusBadRequest, "empty statement")
+		return
+	}
+
+	start := time.Now()
+	results, err := e.Execute(r.Context(), req.Statement)
+	resp := queryResponse{Status: "success"}
+	if err != nil {
+		resp.Status = "fatal"
+		resp.Errors = append(resp.Errors, err.Error())
+	}
+	// Results of the last statement are the response payload (matching
+	// the service's behavior for scripts).
+	if len(results) > 0 {
+		last := results[len(results)-1]
+		switch last.Kind {
+		case core.ResultQuery:
+			for _, v := range last.Rows {
+				resp.Results = append(resp.Results, json.RawMessage(adm.ToJSON(v)))
+			}
+		case core.ResultDML:
+			resp.Results = append(resp.Results,
+				json.RawMessage(fmt.Sprintf(`{"count":%d}`, last.Count)))
+		}
+	}
+	resp.Metrics = queryMetrics{
+		ElapsedTime: time.Since(start).String(),
+		ResultCount: len(resp.Results),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if resp.Status != "success" {
+		w.WriteHeader(http.StatusInternalServerError)
+	}
+	json.NewEncoder(w).Encode(&resp)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(&queryResponse{Status: "fatal", Errors: []string{msg}})
+}

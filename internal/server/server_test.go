@@ -1,0 +1,124 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"asterix/internal/core"
+)
+
+func newServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	fixed, _ := time.Parse(time.RFC3339, "2019-04-01T00:00:00Z")
+	eng, err := core.Open(core.Config{DataDir: t.TempDir(), Now: func() time.Time { return fixed }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	srv := httptest.NewServer(Handler(eng))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func post(t *testing.T, srv *httptest.Server, stmt string) queryResponse {
+	t.Helper()
+	body := `{"statement": ` + jsonString(stmt) + `}`
+	resp, err := http.Post(srv.URL+"/query/service", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var qr queryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	return qr
+}
+
+func jsonString(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}
+
+func TestQueryService(t *testing.T) {
+	srv := newServer(t)
+	r := post(t, srv, `
+		CREATE TYPE T AS {id: int};
+		CREATE DATASET D(T) PRIMARY KEY id;
+	`)
+	if r.Status != "success" {
+		t.Fatalf("DDL: %+v", r)
+	}
+	r = post(t, srv, `UPSERT INTO D ([{"id": 1, "x": "a"}, {"id": 2, "x": "b"}]);`)
+	if r.Status != "success" || string(r.Results[0]) != `{"count":2}` {
+		t.Fatalf("DML: %+v", r)
+	}
+	r = post(t, srv, `SELECT VALUE d.x FROM D d ORDER BY d.id;`)
+	if r.Status != "success" || len(r.Results) != 2 {
+		t.Fatalf("query: %+v", r)
+	}
+	if string(r.Results[0]) != `"a"` || string(r.Results[1]) != `"b"` {
+		t.Fatalf("rows: %v", r.Results)
+	}
+	if r.Metrics.ResultCount != 2 {
+		t.Errorf("metrics: %+v", r.Metrics)
+	}
+}
+
+func TestQueryServiceErrors(t *testing.T) {
+	srv := newServer(t)
+	r := post(t, srv, `SELECT VALUE x FROM NoSuchDataset x;`)
+	if r.Status != "fatal" || len(r.Errors) == 0 {
+		t.Fatalf("expected error response: %+v", r)
+	}
+	// Empty statement.
+	resp, err := http.Post(srv.URL+"/query/service", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty statement status: %d", resp.StatusCode)
+	}
+	// Wrong method.
+	resp, err = http.Get(srv.URL + "/query/service")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET status: %d", resp.StatusCode)
+	}
+}
+
+func TestQueryServiceFormEncoding(t *testing.T) {
+	srv := newServer(t)
+	resp, err := http.PostForm(srv.URL+"/query/service",
+		url.Values{"statement": {"SELECT VALUE 1 + 1;"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var qr queryResponse
+	json.NewDecoder(resp.Body).Decode(&qr)
+	if qr.Status != "success" || string(qr.Results[0]) != "2" {
+		t.Fatalf("form query: %+v", qr)
+	}
+}
+
+func TestPing(t *testing.T) {
+	srv := newServer(t)
+	resp, err := http.Get(srv.URL + "/admin/ping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("ping: %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,267 @@
+// Package spatial provides the space-filling curves and grid partitioning
+// used by the alternative spatial indexes of the paper's Section V-B study
+// [23]: Z-order (bit interleaving) and Hilbert linearizations for
+// LSM-B+tree-over-transformed-keys indexes, and a uniform grid for
+// grid-based indexing.
+package spatial
+
+// CurveOrder is the number of bits per dimension used by the
+// linearizations (32 bits → 64-bit curve positions).
+const CurveOrder = 32
+
+// Normalizer maps floating-point coordinates in a bounded world to the
+// integer lattice the curves operate on.
+type Normalizer struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// NewNormalizer builds a normalizer for the world rectangle.
+func NewNormalizer(minX, minY, maxX, maxY float64) Normalizer {
+	if maxX <= minX {
+		maxX = minX + 1
+	}
+	if maxY <= minY {
+		maxY = minY + 1
+	}
+	return Normalizer{MinX: minX, MinY: minY, MaxX: maxX, MaxY: maxY}
+}
+
+const latticeMax = (1 << CurveOrder) - 1
+
+// Lattice maps (x, y) to lattice coordinates, clamping to the world.
+func (n Normalizer) Lattice(x, y float64) (uint32, uint32) {
+	fx := (x - n.MinX) / (n.MaxX - n.MinX)
+	fy := (y - n.MinY) / (n.MaxY - n.MinY)
+	return clamp01ToLattice(fx), clamp01ToLattice(fy)
+}
+
+func clamp01ToLattice(f float64) uint32 {
+	if f <= 0 {
+		return 0
+	}
+	if f >= 1 {
+		return latticeMax
+	}
+	return uint32(f * float64(latticeMax+1))
+}
+
+// ZOrder interleaves the bits of x and y (x in even positions), producing
+// the Morton code of the point.
+func ZOrder(x, y uint32) uint64 {
+	return spreadBits(x) | spreadBits(y)<<1
+}
+
+// spreadBits spaces the 32 bits of v into the even bit positions of a
+// uint64 (the classic "interleave with magic numbers" routine).
+func spreadBits(v uint32) uint64 {
+	x := uint64(v)
+	x = (x | x<<16) & 0x0000FFFF0000FFFF
+	x = (x | x<<8) & 0x00FF00FF00FF00FF
+	x = (x | x<<4) & 0x0F0F0F0F0F0F0F0F
+	x = (x | x<<2) & 0x3333333333333333
+	x = (x | x<<1) & 0x5555555555555555
+	return x
+}
+
+// Hilbert returns the Hilbert-curve position of (x, y) on a 2^CurveOrder
+// square grid. Unlike Z-order, consecutive curve positions are always
+// adjacent cells, which gives better range-query clustering.
+func Hilbert(x, y uint32) uint64 {
+	var d uint64
+	rx, ry := uint32(0), uint32(0)
+	for s := uint32(1) << (CurveOrder - 1); s > 0; s >>= 1 {
+		if x&s > 0 {
+			rx = 1
+		} else {
+			rx = 0
+		}
+		if y&s > 0 {
+			ry = 1
+		} else {
+			ry = 0
+		}
+		d += uint64(s) * uint64(s) * uint64((3*rx)^ry)
+		// Rotate the quadrant.
+		if ry == 0 {
+			if rx == 1 {
+				x = s - 1 - x
+				y = s - 1 - y
+			}
+			x, y = y, x
+		}
+	}
+	return d
+}
+
+// Grid is a uniform W×H grid over a world rectangle; cells are numbered
+// row-major.
+type Grid struct {
+	Norm Normalizer
+	W, H int
+}
+
+// NewGrid builds a w×h grid over the world rectangle.
+func NewGrid(minX, minY, maxX, maxY float64, w, h int) Grid {
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	return Grid{Norm: NewNormalizer(minX, minY, maxX, maxY), W: w, H: h}
+}
+
+// Cells returns the total number of cells.
+func (g Grid) Cells() int { return g.W * g.H }
+
+// Cell returns the cell containing (x, y).
+func (g Grid) Cell(x, y float64) int {
+	cx := g.cellX(x)
+	cy := g.cellY(y)
+	return cy*g.W + cx
+}
+
+func (g Grid) cellX(x float64) int {
+	f := (x - g.Norm.MinX) / (g.Norm.MaxX - g.Norm.MinX)
+	c := int(f * float64(g.W))
+	if c < 0 {
+		c = 0
+	}
+	if c >= g.W {
+		c = g.W - 1
+	}
+	return c
+}
+
+func (g Grid) cellY(y float64) int {
+	f := (y - g.Norm.MinY) / (g.Norm.MaxY - g.Norm.MinY)
+	c := int(f * float64(g.H))
+	if c < 0 {
+		c = 0
+	}
+	if c >= g.H {
+		c = g.H - 1
+	}
+	return c
+}
+
+// CellsInRect returns the ids of all cells overlapping the query
+// rectangle.
+func (g Grid) CellsInRect(minX, minY, maxX, maxY float64) []int {
+	x0, x1 := g.cellX(minX), g.cellX(maxX)
+	y0, y1 := g.cellY(minY), g.cellY(maxY)
+	out := make([]int, 0, (x1-x0+1)*(y1-y0+1))
+	for cy := y0; cy <= y1; cy++ {
+		for cx := x0; cx <= x1; cx++ {
+			out = append(out, cy*g.W+cx)
+		}
+	}
+	return out
+}
+
+// CurveRange describes one contiguous run of curve positions.
+type CurveRange struct{ Lo, Hi uint64 }
+
+// ZOrderRanges decomposes a query rectangle (in lattice coordinates) into
+// at most maxRanges contiguous Z-order intervals covering it. The
+// decomposition recursively splits the quadtree induced by the curve; when
+// the budget is exhausted, remaining regions are covered conservatively
+// (supersets), so callers must still post-filter by the true predicate.
+func ZOrderRanges(x0, y0, x1, y1 uint32, maxRanges int) []CurveRange {
+	return curveRanges(x0, y0, x1, y1, maxRanges, ZOrder)
+}
+
+// HilbertRanges is ZOrderRanges for the Hilbert curve.
+func HilbertRanges(x0, y0, x1, y1 uint32, maxRanges int) []CurveRange {
+	return curveRanges(x0, y0, x1, y1, maxRanges, Hilbert)
+}
+
+// curveRanges performs breadth-first quadtree decomposition of the query
+// box, emitting a curve interval per fully-covered quad cell. Partially-
+// covered cells split level by level until the range budget is reached,
+// then are emitted as conservative whole-cell intervals - BFS distributes
+// the budget evenly over the box instead of refining one corner.
+func curveRanges(x0, y0, x1, y1 uint32, maxRanges int, curve func(x, y uint32) uint64) []CurveRange {
+	if maxRanges < 1 {
+		maxRanges = 1
+	}
+	type quad struct {
+		qx, qy uint32 // cell origin in lattice coords
+		size   uint64 // cell edge length (power of two), up to 2^32
+	}
+	emitCell := func(out []CurveRange, q quad) []CurveRange {
+		// For both Z-order and Hilbert, an aligned power-of-two quad
+		// cell maps to one contiguous, n-aligned curve run of size^2.
+		lo := curve(q.qx, q.qy)
+		n := q.size * q.size
+		base := lo &^ (n - 1)
+		return append(out, CurveRange{Lo: base, Hi: base + n - 1})
+	}
+	overlaps := func(q quad) (full bool, any bool) {
+		qx1 := uint64(q.qx) + q.size - 1
+		qy1 := uint64(q.qy) + q.size - 1
+		if uint64(x0) > qx1 || uint64(x1) < uint64(q.qx) || uint64(y0) > qy1 || uint64(y1) < uint64(q.qy) {
+			return false, false
+		}
+		full = uint64(x0) <= uint64(q.qx) && uint64(x1) >= qx1 && uint64(y0) <= uint64(q.qy) && uint64(y1) >= qy1
+		return full, true
+	}
+
+	var out []CurveRange
+	level := []quad{{0, 0, 1 << CurveOrder}}
+	for len(level) > 0 {
+		// Refining this level can at worst quadruple the pending cells;
+		// stop when emitted + pending would exceed the budget.
+		if len(out)+4*len(level) > maxRanges {
+			for _, q := range level {
+				out = emitCell(out, q)
+			}
+			break
+		}
+		var next []quad
+		for _, q := range level {
+			full, any := overlaps(q)
+			if !any {
+				continue
+			}
+			if full || q.size == 1 {
+				out = emitCell(out, q)
+				continue
+			}
+			h := q.size / 2
+			next = append(next,
+				quad{q.qx, q.qy, h},
+				quad{q.qx + uint32(h), q.qy, h},
+				quad{q.qx, q.qy + uint32(h), h},
+				quad{q.qx + uint32(h), q.qy + uint32(h), h},
+			)
+		}
+		level = next
+	}
+	return mergeRanges(out)
+}
+
+// mergeRanges sorts and coalesces overlapping/adjacent intervals.
+func mergeRanges(rs []CurveRange) []CurveRange {
+	if len(rs) <= 1 {
+		return rs
+	}
+	// Insertion sort (small n).
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j].Lo < rs[j-1].Lo; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+	out := rs[:1]
+	for _, r := range rs[1:] {
+		last := &out[len(out)-1]
+		if last.Hi == ^uint64(0) || r.Lo <= last.Hi+1 {
+			if r.Hi > last.Hi {
+				last.Hi = r.Hi
+			}
+		} else {
+			out = append(out, r)
+		}
+	}
+	return out
+}

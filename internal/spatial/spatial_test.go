@@ -1,0 +1,155 @@
+package spatial
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestZOrderInterleaving(t *testing.T) {
+	// x=0b11, y=0b00 -> 0b0101
+	if got := ZOrder(3, 0); got != 0b0101 {
+		t.Errorf("ZOrder(3,0) = %b", got)
+	}
+	// x=0, y=0b11 -> 0b1010
+	if got := ZOrder(0, 3); got != 0b1010 {
+		t.Errorf("ZOrder(0,3) = %b", got)
+	}
+	if ZOrder(0, 0) != 0 {
+		t.Error("origin should map to 0")
+	}
+}
+
+func TestZOrderInjective(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	seen := map[uint64][2]uint32{}
+	for i := 0; i < 20000; i++ {
+		x, y := r.Uint32(), r.Uint32()
+		z := ZOrder(x, y)
+		if prev, ok := seen[z]; ok && (prev[0] != x || prev[1] != y) {
+			t.Fatalf("collision: (%d,%d) and (%d,%d) -> %d", prev[0], prev[1], x, y, z)
+		}
+		seen[z] = [2]uint32{x, y}
+	}
+}
+
+func TestHilbertAdjacency(t *testing.T) {
+	// On a small grid, consecutive Hilbert positions must be adjacent
+	// cells (the curve's defining property). Test an 8x8 corner of the
+	// big lattice by enumerating positions 0..63 via inverse search.
+	pos := map[uint64][2]uint32{}
+	for x := uint32(0); x < 8; x++ {
+		for y := uint32(0); y < 8; y++ {
+			h := Hilbert(x<<29, y<<29) // scale up to top 3 bits
+			pos[h>>58] = [2]uint32{x, y}
+		}
+	}
+	if len(pos) != 64 {
+		t.Fatalf("expected 64 distinct positions, got %d", len(pos))
+	}
+	for d := uint64(1); d < 64; d++ {
+		a, b := pos[d-1], pos[d]
+		dx := int(a[0]) - int(b[0])
+		dy := int(a[1]) - int(b[1])
+		if dx*dx+dy*dy != 1 {
+			t.Fatalf("positions %d and %d not adjacent: %v -> %v", d-1, d, a, b)
+		}
+	}
+}
+
+func TestHilbertInjective(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	seen := map[uint64][2]uint32{}
+	for i := 0; i < 20000; i++ {
+		x, y := r.Uint32(), r.Uint32()
+		h := Hilbert(x, y)
+		if prev, ok := seen[h]; ok && (prev[0] != x || prev[1] != y) {
+			t.Fatalf("collision: (%d,%d) and (%d,%d)", prev[0], prev[1], x, y)
+		}
+		seen[h] = [2]uint32{x, y}
+	}
+}
+
+func TestNormalizerClamps(t *testing.T) {
+	n := NewNormalizer(0, 0, 100, 100)
+	if x, y := n.Lattice(-5, 200); x != 0 || y != latticeMax {
+		t.Errorf("clamp failed: %d, %d", x, y)
+	}
+	x1, _ := n.Lattice(10, 0)
+	x2, _ := n.Lattice(20, 0)
+	if x1 >= x2 {
+		t.Error("lattice mapping must be monotone")
+	}
+}
+
+func TestGridCells(t *testing.T) {
+	g := NewGrid(0, 0, 100, 100, 10, 10)
+	if g.Cells() != 100 {
+		t.Fatalf("cells = %d", g.Cells())
+	}
+	if c := g.Cell(5, 5); c != 0 {
+		t.Errorf("cell(5,5) = %d", c)
+	}
+	if c := g.Cell(95, 95); c != 99 {
+		t.Errorf("cell(95,95) = %d", c)
+	}
+	if c := g.Cell(150, -10); c != 9 {
+		t.Errorf("out-of-world point should clamp: %d", c)
+	}
+	cells := g.CellsInRect(12, 12, 38, 27)
+	// x cells 1..3, y cells 1..2 -> 6 cells.
+	if len(cells) != 6 {
+		t.Errorf("CellsInRect returned %d cells: %v", len(cells), cells)
+	}
+}
+
+// Property: curve range decomposition covers every point in the query box.
+func TestPropCurveRangesCoverQuery(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		x0 := r.Uint32() >> 1
+		y0 := r.Uint32() >> 1
+		x1 := x0 + uint32(r.Intn(1<<20))
+		y1 := y0 + uint32(r.Intn(1<<20))
+		for _, curve := range []struct {
+			name string
+			rs   []CurveRange
+			f    func(x, y uint32) uint64
+		}{
+			{"zorder", ZOrderRanges(x0, y0, x1, y1, 16), ZOrder},
+			{"hilbert", HilbertRanges(x0, y0, x1, y1, 16), Hilbert},
+		} {
+			if len(curve.rs) == 0 {
+				t.Fatalf("%s: no ranges", curve.name)
+			}
+			if len(curve.rs) > 16 {
+				t.Fatalf("%s: budget exceeded: %d", curve.name, len(curve.rs))
+			}
+			// Sample points inside the box; each must fall in some range.
+			for s := 0; s < 100; s++ {
+				px := x0 + uint32(r.Int63n(int64(x1-x0)+1))
+				py := y0 + uint32(r.Int63n(int64(y1-y0)+1))
+				pos := curve.f(px, py)
+				found := false
+				for _, rg := range curve.rs {
+					if pos >= rg.Lo && pos <= rg.Hi {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("%s: point (%d,%d) pos %d not covered by %v",
+						curve.name, px, py, pos, curve.rs)
+				}
+			}
+		}
+	}
+}
+
+func TestCurveRangesMerged(t *testing.T) {
+	rs := ZOrderRanges(0, 0, 1<<31, 1<<31, 64)
+	for i := 1; i < len(rs); i++ {
+		if rs[i].Lo <= rs[i-1].Hi {
+			t.Fatalf("ranges overlap or unsorted: %v", rs)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package sqlpp
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParserNeverPanics throws structured garbage at the parser: random
+// token soup assembled from real lexemes. The parser must return errors,
+// never panic — front-line input handling for a system with users (§VII).
+func TestParserNeverPanics(t *testing.T) {
+	lexemes := []string{
+		"SELECT", "VALUE", "FROM", "WHERE", "GROUP", "BY", "ORDER", "LIMIT",
+		"LET", "WITH", "AS", "JOIN", "ON", "UNNEST", "SOME", "EVERY",
+		"SATISFIES", "CASE", "WHEN", "THEN", "ELSE", "END", "AND", "OR",
+		"NOT", "IN", "BETWEEN", "LIKE", "IS", "NULL", "MISSING", "UNION",
+		"ALL", "CREATE", "DROP", "DATASET", "TYPE", "INDEX", "PRIMARY",
+		"KEY", "INSERT", "UPSERT", "DELETE", "INTO", "USING", "EXISTS",
+		"ident", "x", "ds", "f1", `"str"`, "'str2'", "`q id`", "42", "3.14",
+		"(", ")", "{", "}", "{{", "}}", "[", "]", ",", ";", ":", ".", "*",
+		"+", "-", "/", "%", "=", "!=", "<", "<=", ">", ">=", "||", "?",
+	}
+	r := rand.New(rand.NewSource(99))
+	defer func() {
+		if p := recover(); p != nil {
+			t.Fatalf("parser panicked: %v", p)
+		}
+	}()
+	for trial := 0; trial < 3000; trial++ {
+		n := 1 + r.Intn(25)
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteString(lexemes[r.Intn(len(lexemes))])
+			sb.WriteByte(' ')
+		}
+		sb.WriteByte(';')
+		// Errors are fine and expected; panics are not.
+		_, _ = ParseScript(sb.String())
+	}
+}
+
+// TestLexerNeverPanics feeds raw random bytes to the lexer.
+func TestLexerNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	defer func() {
+		if p := recover(); p != nil {
+			t.Fatalf("lexer panicked: %v", p)
+		}
+	}()
+	for trial := 0; trial < 2000; trial++ {
+		b := make([]byte, r.Intn(60))
+		for i := range b {
+			b[i] = byte(r.Intn(256))
+		}
+		lx := NewLexer(string(b))
+		for i := 0; i < 100; i++ {
+			tok, err := lx.Next()
+			if err != nil || tok.Kind == TokEOF {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,67 @@
+// Package sqlpp implements the SQL++ query language: lexer, parser, and
+// AST. SQL++ extends SQL for semi-structured, schema-optional data (nested
+// objects, multisets, missing vs null) and is AsterixDB's current query
+// language; the deprecated AQL front end (package aql) parses to the same
+// AST, mirroring how the real system implemented SQL++ "as a peer of AQL"
+// sharing the Algebricks algebra underneath.
+package sqlpp
+
+import "fmt"
+
+// TokKind classifies tokens.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokQuotedIdent
+	TokKeyword
+	TokInt
+	TokFloat
+	TokString
+	TokOp // operators and punctuation
+)
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string // keyword text is upper-cased
+	Pos  int    // byte offset
+	Line int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	case TokString:
+		return fmt.Sprintf("string %q", t.Text)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+// keywords is the SQL++ reserved-word set (subset sufficient for the
+// implemented grammar; identifiers matching these must be quoted).
+var keywords = map[string]bool{
+	"SELECT": true, "VALUE": true, "FROM": true, "WHERE": true, "AS": true,
+	"LET": true, "WITH": true, "GROUP": true, "BY": true, "HAVING": true,
+	"ORDER": true, "LIMIT": true, "OFFSET": true, "ASC": true, "DESC": true,
+	"JOIN": true, "LEFT": true, "OUTER": true, "INNER": true, "ON": true,
+	"UNNEST": true, "DISTINCT": true, "ALL": true, "UNION": true,
+	"AND": true, "OR": true, "NOT": true, "IN": true, "BETWEEN": true,
+	"LIKE": true, "IS": true, "NULL": true, "MISSING": true, "UNKNOWN": true,
+	"TRUE": true, "FALSE": true, "EXISTS": true, "SOME": true, "EVERY": true,
+	"SATISFIES": true, "CASE": true, "WHEN": true, "THEN": true, "ELSE": true,
+	"END": true, "CREATE": true, "DROP": true, "DATAVERSE": true, "USE": true,
+	"TYPE": true, "DATASET": true, "EXTERNAL": true, "INDEX": true,
+	"PRIMARY": true, "KEY": true, "CLOSED": true, "OPEN": true, "IF": true,
+	"INSERT": true, "UPSERT": true, "DELETE": true, "INTO": true,
+	"USING": true, "LOAD": true, "RETURNING": true, "EXPLAIN": true,
+	// AQL keywords (the lexer is shared by the deprecated AQL front end).
+	"FOR": true, "RETURN": true,
+}
+
+// IsKeyword reports whether an upper-cased word is reserved.
+func IsKeyword(s string) bool { return keywords[s] }
