@@ -1,0 +1,14 @@
+# Tier-1: the must-stay-green gate for every PR.
+tier1:
+	go build ./... && go test ./...
+
+# verify: tier-1 plus static analysis and race-detection over the
+# concurrent observability/executor code paths.
+verify: tier1
+	go vet ./...
+	go test -race ./internal/obs/... ./internal/server/... ./internal/hyracks/...
+
+bench:
+	go test -bench . -benchtime 1x -run NONE .
+
+.PHONY: tier1 verify bench

@@ -23,6 +23,7 @@ import (
 	"asterix/internal/aql"
 	"asterix/internal/core"
 	"asterix/internal/lsm"
+	"asterix/internal/obs"
 )
 
 // Config configures a DB instance.
@@ -121,6 +122,11 @@ func (db *DB) QueryAQL(ctx context.Context, src string) (*Result, error) {
 
 // Explain returns the optimized logical plan for a query.
 func (db *DB) Explain(src string) (string, error) { return db.engine.Explain(src) }
+
+// Metrics returns the instance's observability registry: counters,
+// gauges, and histograms published by every subsystem (see
+// docs/OBSERVABILITY.md).
+func (db *DB) Metrics() *obs.Registry { return db.engine.Metrics() }
 
 // Checkpoint flushes all LSM memory components and truncates the
 // recovery log's redo window.

@@ -1,6 +1,7 @@
 // Command asterixd runs the HTTP query service: an AsterixDB-style
 // endpoint (POST /query/service, {"statement": "..."}) over an embedded
-// engine instance.
+// engine instance, with observability endpoints at /admin/metrics
+// (Prometheus), /admin/stats (JSON), and /debug/pprof/.
 //
 // Usage:
 //
@@ -11,6 +12,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"time"
 
 	"asterix/internal/core"
 	"asterix/internal/server"
@@ -22,6 +24,8 @@ func main() {
 		listen     = flag.String("listen", ":19002", "listen address")
 		partitions = flag.Int("partitions", 2, "storage partitions per dataset")
 		nodes      = flag.Int("nodes", 0, "dataflow node controllers (0 = partitions)")
+		slowQuery  = flag.Duration("slow-query", 500*time.Millisecond,
+			"log statements slower than this (negative disables)")
 	)
 	flag.Parse()
 
@@ -35,9 +39,10 @@ func main() {
 	}
 	defer eng.Close()
 
-	log.Printf("asterixd: query service listening on %s (data: %s, partitions: %d)",
+	h := server.NewHandler(eng, server.Options{SlowQueryThreshold: *slowQuery})
+	log.Printf("asterixd: query service listening on %s (data: %s, partitions: %d; metrics at /admin/metrics)",
 		*listen, *dataDir, *partitions)
-	if err := http.ListenAndServe(*listen, server.Handler(eng)); err != nil {
+	if err := http.ListenAndServe(*listen, h); err != nil {
 		log.Fatalf("asterixd: %v", err)
 	}
 }

@@ -62,6 +62,7 @@ func (e *Engine) openDataset(def *metadata.DatasetDef) (*Dataset, error) {
 		t, err := lsm.Open(e.bc, fmt.Sprintf("%s/p%d/primary", def.Name, p), lsm.Options{
 			MemBudget: e.cfg.MemComponentBudget,
 			Policy:    e.cfg.MergePolicy,
+			Metrics:   e.reg,
 		})
 		if err != nil {
 			return nil, err
@@ -86,7 +87,7 @@ func (d *Dataset) openIndex(idef *metadata.IndexDef) (*SecondaryIndex, error) {
 	for p := 0; p < d.def.Partitions; p++ {
 		name := fmt.Sprintf("%s/p%d/idx-%s", d.def.Name, p, idef.Name)
 		if idef.Kind == "RTREE" {
-			rt, err := lsm.OpenRTree(e.bc, name, lsm.RTreeOptions{MemBudget: e.cfg.MemComponentBudget})
+			rt, err := lsm.OpenRTree(e.bc, name, lsm.RTreeOptions{MemBudget: e.cfg.MemComponentBudget, Metrics: e.reg})
 			if err != nil {
 				return nil, err
 			}
@@ -96,6 +97,7 @@ func (d *Dataset) openIndex(idef *metadata.IndexDef) (*SecondaryIndex, error) {
 		t, err := lsm.Open(e.bc, name, lsm.Options{
 			MemBudget: e.cfg.MemComponentBudget,
 			Policy:    e.cfg.MergePolicy,
+			Metrics:   e.reg,
 		})
 		if err != nil {
 			return nil, err

@@ -13,6 +13,7 @@ import (
 	"asterix/internal/hyracks"
 	"asterix/internal/lsm"
 	"asterix/internal/metadata"
+	"asterix/internal/obs"
 	"asterix/internal/sqlpp"
 	"asterix/internal/storage"
 	"asterix/internal/txn"
@@ -46,6 +47,9 @@ type Config struct {
 	// Compressed and raw records coexist, so the option can be toggled
 	// across restarts.
 	Compression bool
+	// Metrics, when set, is the observability registry all subsystems
+	// publish into; nil = the engine creates its own (see Engine.Metrics).
+	Metrics *obs.Registry
 	// Now overrides the statement clock (tests); nil = time.Now.
 	Now func() time.Time
 }
@@ -72,6 +76,9 @@ func (c Config) withDefaults() (Config, error) {
 	if c.WorkingMemory <= 0 {
 		c.WorkingMemory = 32 << 20
 	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewRegistry()
+	}
 	if c.Now == nil {
 		c.Now = time.Now
 	}
@@ -86,6 +93,14 @@ type Engine struct {
 	catalog *metadata.Catalog
 	cluster *hyracks.Cluster
 	txmgr   *txn.Manager
+
+	// Observability: the registry is shared by every subsystem; the
+	// engine-level instruments below are pushed per statement.
+	reg         *obs.Registry
+	mStatements *obs.Counter
+	mQueries    *obs.Counter
+	mStmtErrors *obs.Counter
+	mQueryDur   *obs.Histogram
 
 	mu       sync.Mutex
 	datasets map[string]*Dataset
@@ -125,6 +140,7 @@ func Open(cfg Config) (*Engine, error) {
 		datasets: map[string]*Dataset{},
 	}
 	e.txmgr.NoSync = cfg.NoSyncCommits
+	e.registerMetrics(cfg.Metrics)
 	// Open all datasets, then redo committed updates since the last
 	// checkpoint.
 	for name, def := range cat.Datasets {
@@ -205,6 +221,58 @@ func (e *Engine) Close() error {
 	return e.txmgr.Log.Close()
 }
 
+// registerMetrics binds the engine's registry: push-style engine
+// instruments plus scrape-time callbacks publishing the private counters
+// of the storage buffer cache, Hyracks nodes, and transaction manager.
+// LSM flush/merge metrics are pre-created here so exposition always lists
+// them; the trees share them by name (see lsm.Options.Metrics).
+func (e *Engine) registerMetrics(reg *obs.Registry) {
+	e.reg = reg
+	e.mStatements = reg.Counter("engine_statements_total", "statements executed")
+	e.mQueries = reg.Counter("engine_queries_total", "query statements executed")
+	e.mStmtErrors = reg.Counter("engine_statement_errors_total", "statements that returned an error")
+	e.mQueryDur = reg.Histogram("engine_query_duration_seconds", "per-statement wall time", nil)
+
+	reg.Counter("lsm_flushes_total", "LSM memory-component flushes")
+	reg.Counter("lsm_merges_total", "LSM disk-component merges")
+	reg.Histogram("lsm_flush_duration_seconds", "LSM flush wall time", nil)
+	reg.Histogram("lsm_merge_duration_seconds", "LSM merge wall time", nil)
+
+	bc := e.bc
+	reg.RegisterFunc("storage_buffercache_hits_total", "buffer-cache page hits", obs.TypeCounter,
+		func() float64 { return float64(bc.Stats().Hits) })
+	reg.RegisterFunc("storage_buffercache_misses_total", "buffer-cache page misses", obs.TypeCounter,
+		func() float64 { return float64(bc.Stats().Misses) })
+	reg.RegisterFunc("storage_buffercache_reads_total", "physical page reads", obs.TypeCounter,
+		func() float64 { return float64(bc.Stats().Reads) })
+	reg.RegisterFunc("storage_buffercache_writes_total", "physical page writes", obs.TypeCounter,
+		func() float64 { return float64(bc.Stats().Writes) })
+	reg.RegisterFunc("storage_buffercache_hit_ratio", "hits / (hits+misses)", obs.TypeGauge,
+		func() float64 { return bc.Stats().HitRatio() })
+
+	cl := e.cluster
+	reg.RegisterFunc("hyracks_tuples_in_total", "tuples received by operator tasks", obs.TypeCounter,
+		func() float64 { return float64(cl.TotalStats().TuplesIn) })
+	reg.RegisterFunc("hyracks_tuples_out_total", "tuples emitted by operator tasks", obs.TypeCounter,
+		func() float64 { return float64(cl.TotalStats().TuplesOut) })
+	reg.RegisterFunc("hyracks_spills_total", "run-file spills across all nodes", obs.TypeCounter,
+		func() float64 { return float64(cl.TotalStats().Spills) })
+	reg.RegisterFunc("hyracks_nodes", "node controllers in the cluster", obs.TypeGauge,
+		func() float64 { return float64(len(cl.Nodes)) })
+
+	tm := e.txmgr
+	reg.RegisterFunc("txn_begins_total", "transactions started", obs.TypeCounter,
+		func() float64 { return float64(tm.Stats().Begins) })
+	reg.RegisterFunc("txn_commits_total", "transactions committed", obs.TypeCounter,
+		func() float64 { return float64(tm.Stats().Commits) })
+	reg.RegisterFunc("txn_aborts_total", "transactions aborted", obs.TypeCounter,
+		func() float64 { return float64(tm.Stats().Aborts) })
+}
+
+// Metrics returns the engine's observability registry (the HTTP server
+// exposes it at /admin/metrics and /admin/stats).
+func (e *Engine) Metrics() *obs.Registry { return e.reg }
+
 // BufferCacheStats exposes buffer-cache counters (benchmark harness).
 func (e *Engine) BufferCacheStats() storage.Stats { return e.bc.Stats() }
 
@@ -264,15 +332,31 @@ func (r *Result) JSONRows() []string {
 
 // Execute parses and executes a ;-separated script, returning one Result
 // per statement. Execution stops at the first error.
+//
+// When the context carries an obs.Span (the HTTP server attaches one per
+// request), the statement lifecycle is traced into it: a "parse" child,
+// then per statement a "statement" child whose subtree holds compile and
+// execute phases down to per-operator tasks. Without a span every trace
+// call is a nil no-op.
 func (e *Engine) Execute(ctx context.Context, script string) ([]Result, error) {
+	root := obs.SpanFromContext(ctx)
+	ps := root.StartChild("parse")
 	stmts, err := sqlpp.ParseScript(script)
+	ps.End()
 	if err != nil {
+		e.mStmtErrors.Inc()
 		return nil, err
 	}
 	var results []Result
 	for _, stmt := range stmts {
-		r, err := e.executeStmt(ctx, stmt)
+		ss := root.StartChild("statement")
+		start := time.Now()
+		r, err := e.executeStmt(obs.ContextWithSpan(ctx, ss), stmt)
+		ss.End()
+		e.mStatements.Inc()
+		e.mQueryDur.Observe(time.Since(start).Seconds())
 		if err != nil {
+			e.mStmtErrors.Inc()
 			return results, err
 		}
 		results = append(results, r)
@@ -303,6 +387,12 @@ func (e *Engine) QueryAST(ctx context.Context, q *sqlpp.QueryStmt) (*Result, err
 }
 
 func (e *Engine) executeStmt(ctx context.Context, stmt sqlpp.Statement) (Result, error) {
+	// Queries trace their own compile/execute phases in execQuery; every
+	// other statement kind is a single "execute" phase.
+	if _, isQuery := stmt.(*sqlpp.QueryStmt); !isQuery {
+		es := obs.SpanFromContext(ctx).StartChild("execute")
+		defer es.End()
+	}
 	switch s := stmt.(type) {
 	case *sqlpp.CreateDataverse, *sqlpp.UseDataverse:
 		// Single-dataverse engine: accepted for compatibility.
@@ -380,36 +470,53 @@ func (c *engineCatalog) ResolveIndex(dataset, field string) (algebricks.IndexAcc
 // execQuery compiles and runs a query: SELECT blocks go through the full
 // Algebricks → Hyracks pipeline; bare expressions evaluate directly.
 func (e *Engine) execQuery(ctx context.Context, q *sqlpp.QueryStmt) (Result, error) {
+	e.mQueries.Inc()
+	sp := obs.SpanFromContext(ctx)
 	ev := e.evaluator()
 	switch q.Body.(type) {
 	case *sqlpp.SelectExpr, *sqlpp.UnionExpr:
 	default:
+		es := sp.StartChild("execute")
 		v, err := ev.Eval(q.Body, algebricks.NewEnv(nil, nil, nil))
+		es.End()
 		if err != nil {
 			return Result{}, err
 		}
 		return Result{Kind: ResultQuery, Rows: []adm.Value{v}}, nil
 	}
+	cs := sp.StartChild("compile")
+	ts := cs.StartChild("translate")
 	tr := &algebricks.Translator{Ev: ev, Catalog: ev.Catalog}
 	plan, err := tr.TranslateQuery(q.Body)
+	ts.End()
 	if err != nil {
+		cs.End()
 		return Result{}, err
 	}
+	opt := cs.StartChild("optimize")
 	plan = tr.Optimize(plan)
+	opt.End()
 	g := &algebricks.JobGen{
 		Cluster:     e.cluster,
 		Catalog:     ev.Catalog,
 		Ev:          ev,
 		Parallelism: e.cfg.Nodes,
 	}
+	js := cs.StartChild("jobgen")
 	coll := &hyracks.Collector{}
 	job, err := g.Build(plan, coll)
+	js.End()
+	cs.End()
 	if err != nil {
 		return Result{}, err
 	}
-	if err := e.cluster.Run(ctx, job); err != nil {
+	es := sp.StartChild("execute")
+	err = e.cluster.Run(obs.ContextWithSpan(ctx, es), job)
+	es.End()
+	if err != nil {
 		return Result{}, err
 	}
+	es.Add("resultTuples", int64(coll.Len()))
 	rows := make([]adm.Value, 0, coll.Len())
 	for _, t := range coll.Tuples() {
 		rows = append(rows, t[0])

@@ -537,7 +537,7 @@ func E5MemoryBudget(scale Scale, workDir string) (*Report, error) {
 			return nil, fmt.Errorf("sort lost rows: %d of %d", count, rows)
 		}
 		rep.Rows = append(rep.Rows, []string{
-			fmt.Sprintf("%dKB", budget/1024), ms(elapsed), fmt.Sprint(cluster.Nodes[0].Spills),
+			fmt.Sprintf("%dKB", budget/1024), ms(elapsed), fmt.Sprint(cluster.Nodes[0].Stats().Spills),
 		})
 	}
 	return rep, nil

@@ -26,6 +26,24 @@ func (n *NodeController) addOut(c int64) { atomic.AddInt64(&n.TuplesOut, c) }
 // AddSpill counts one run-file spill on this node.
 func (n *NodeController) AddSpill() { atomic.AddInt64(&n.Spills, 1) }
 
+// NodeStats is an atomic snapshot of one node's counters.
+type NodeStats struct {
+	TuplesIn  int64
+	TuplesOut int64
+	Spills    int64
+}
+
+// Stats snapshots the node's counters with atomic loads — the only
+// race-safe way to read them while jobs run (plain field reads race with
+// the executor's atomic adds).
+func (n *NodeController) Stats() NodeStats {
+	return NodeStats{
+		TuplesIn:  atomic.LoadInt64(&n.TuplesIn),
+		TuplesOut: atomic.LoadInt64(&n.TuplesOut),
+		Spills:    atomic.LoadInt64(&n.Spills),
+	}
+}
+
 // Cluster is a simulated Hyracks cluster: a cluster controller's worth of
 // coordination over N node controllers, all in one process.
 type Cluster struct {
@@ -58,7 +76,22 @@ func (c *Cluster) NodeFor(partition int) *NodeController {
 	return c.Nodes[partition%len(c.Nodes)]
 }
 
-// ResetStats zeroes all node counters.
+// TotalStats sums counter snapshots across all nodes.
+func (c *Cluster) TotalStats() NodeStats {
+	var t NodeStats
+	for _, n := range c.Nodes {
+		s := n.Stats()
+		t.TuplesIn += s.TuplesIn
+		t.TuplesOut += s.TuplesOut
+		t.Spills += s.Spills
+	}
+	return t
+}
+
+// ResetStats zeroes all node counters. Safe to call concurrently with
+// running jobs: every counter access is atomic, so a concurrent reset
+// simply loses the in-flight job's updates made before the reset (the
+// counters stay consistent, never torn).
 func (c *Cluster) ResetStats() {
 	for _, n := range c.Nodes {
 		atomic.StoreInt64(&n.TuplesIn, 0)

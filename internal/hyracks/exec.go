@@ -4,11 +4,20 @@ import (
 	"context"
 	"fmt"
 	"sync"
+
+	"asterix/internal/obs"
 )
 
 // Run executes a job on the cluster, blocking until completion. The first
 // task error cancels the whole job.
 func (c *Cluster) Run(ctx context.Context, j *Job) error {
+	// When the caller's span requests detailed profiling, every
+	// (operator, partition) task gets its own child span recording wall
+	// time, tuple counts, and spills. With no span (or detail off) every
+	// task span is nil and all span calls are nil-check no-ops.
+	jobSpan := obs.SpanFromContext(ctx)
+	traceTasks := jobSpan.Detailed()
+
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -82,12 +91,17 @@ func (c *Cluster) Run(ctx context.Context, j *Job) error {
 		for p := 0; p < op.Parallelism; p++ {
 			op, p := op, p
 			node := c.NodeFor(p)
+			var ts *obs.Span
+			if traceTasks {
+				ts = jobSpan.StartChild(fmt.Sprintf("%s[%d]", op.Name, p))
+			}
 			tc := &TaskContext{
 				Ctx:           ctx,
 				Partition:     p,
 				NumPartitions: op.Parallelism,
 				Node:          node,
 				MemBudget:     c.MemBudget,
+				Span:          ts,
 			}
 
 			// Inputs, ordered by port.
@@ -101,9 +115,9 @@ func (c *Cluster) Run(ctx context.Context, j *Job) error {
 						for i, ch := range rt.chans {
 							buffered[i] = unboundedBuffer(ctx, ch)
 						}
-						ins[port] = newMergingInput(ctx, buffered, e.conn.Cmp, c.FrameSize, node)
+						ins[port] = newMergingInput(ctx, buffered, e.conn.Cmp, c.FrameSize, node, ts)
 					} else {
-						ins[port] = newConcatInput(ctx, rt.chans, node)
+						ins[port] = newConcatInput(ctx, rt.chans, node, ts)
 					}
 				default:
 					ch := rt.chans[p]
@@ -114,6 +128,7 @@ func (c *Cluster) Run(ctx context.Context, j *Job) error {
 								return nil, false, nil
 							}
 							node.addIn(int64(len(f)))
+							ts.AddTuplesIn(int64(len(f)))
 							return f, true, nil
 						case <-ctx.Done():
 							return nil, false, ctx.Err()
@@ -133,6 +148,7 @@ func (c *Cluster) Run(ctx context.Context, j *Job) error {
 					producer:  p,
 					send:      send,
 					node:      node,
+					span:      ts,
 				}
 				if e.conn.Kind == ConnMerge {
 					if len(e.conn.Cmp.Columns) > 0 {
@@ -151,6 +167,7 @@ func (c *Cluster) Run(ctx context.Context, j *Job) error {
 				defer wg.Done()
 				runner := op.New(p)
 				err := runner.Run(tc, ins, outs)
+				ts.End()
 				if err == nil {
 					for _, w := range writers {
 						if e := w.Close(); e != nil {
@@ -192,11 +209,13 @@ type connWriter struct {
 	mbuf      []Tuple
 	send      func(chan []Tuple, []Tuple) error
 	node      *NodeController
+	span      *obs.Span
 	closed    bool
 }
 
 func (w *connWriter) Write(t Tuple) error {
 	w.node.addOut(1)
+	w.span.AddTuplesOut(1)
 	switch w.conn.Kind {
 	case ConnOneToOne:
 		return w.buffered(w.producer, t)
@@ -318,7 +337,7 @@ func unboundedBuffer(ctx context.Context, in chan []Tuple) chan []Tuple {
 
 // newConcatInput drains k producer channels sequentially (unordered
 // concentrator).
-func newConcatInput(ctx context.Context, chans []chan []Tuple, node *NodeController) *Input {
+func newConcatInput(ctx context.Context, chans []chan []Tuple, node *NodeController, span *obs.Span) *Input {
 	idx := 0
 	return &Input{recv: func() ([]Tuple, bool, error) {
 		for idx < len(chans) {
@@ -329,6 +348,7 @@ func newConcatInput(ctx context.Context, chans []chan []Tuple, node *NodeControl
 					continue
 				}
 				node.addIn(int64(len(f)))
+				span.AddTuplesIn(int64(len(f)))
 				return f, true, nil
 			case <-ctx.Done():
 				return nil, false, ctx.Err()
@@ -339,7 +359,7 @@ func newConcatInput(ctx context.Context, chans []chan []Tuple, node *NodeControl
 }
 
 // newMergingInput merge-sorts k already-sorted producer channels.
-func newMergingInput(ctx context.Context, chans []chan []Tuple, cmp Comparator, frameSize int, node *NodeController) *Input {
+func newMergingInput(ctx context.Context, chans []chan []Tuple, cmp Comparator, frameSize int, node *NodeController, span *obs.Span) *Input {
 	type cursor struct {
 		frame []Tuple
 		pos   int
@@ -355,6 +375,7 @@ func newMergingInput(ctx context.Context, chans []chan []Tuple, cmp Comparator, 
 					return nil
 				}
 				node.addIn(int64(len(f)))
+				span.AddTuplesIn(int64(len(f)))
 				curs[i].frame = f
 				curs[i].pos = 0
 			case <-ctx.Done():

@@ -81,7 +81,7 @@ func runGroupBy(tc *TaskContext, in *Input, out *Output, groupCols []int, aggs [
 				return err
 			}
 			spills[p] = rw
-			tc.Node.AddSpill()
+			tc.Spill()
 		}
 		rec := make(Tuple, 0, len(g.key)+len(g.states))
 		rec = append(rec, g.key...)

@@ -3,6 +3,8 @@ package hyracks
 import (
 	"context"
 	"fmt"
+
+	"asterix/internal/obs"
 )
 
 // TaskContext is handed to each (operator, partition) task.
@@ -14,10 +16,20 @@ type TaskContext struct {
 	// MemBudget is the working-memory budget in bytes for this task
 	// (sorts, joins, aggregation), per Figure 2.
 	MemBudget int
+	// Span is this task's trace span when the job runs under detailed
+	// profiling; nil otherwise (all span methods are nil-safe).
+	Span *obs.Span
 }
 
 // TempDir returns the node-local spill directory.
 func (tc *TaskContext) TempDir() string { return tc.Node.TempDir }
+
+// Spill accounts one run-file spill on the node and, when profiling, the
+// task span.
+func (tc *TaskContext) Spill() {
+	tc.Node.AddSpill()
+	tc.Span.AddSpill()
+}
 
 // Input is a pull endpoint delivering frames from an upstream connector.
 type Input struct {

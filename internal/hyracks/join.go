@@ -89,7 +89,7 @@ func runHashJoin(tc *TaskContext, left, right *Input, out *Output, leftCols, rig
 				return err
 			}
 			buildRuns[p] = rw
-			tc.Node.AddSpill()
+			tc.Spill()
 		}
 		return buildRuns[p].Write(t)
 	}

@@ -43,7 +43,7 @@ func runSort(tc *TaskContext, in *Input, out *Output, cmp Comparator) error {
 			return err
 		}
 		runs = append(runs, rr)
-		tc.Node.AddSpill()
+		tc.Spill()
 		buf = buf[:0]
 		bufSize = 0
 		return nil

@@ -8,7 +8,9 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"asterix/internal/obs"
 	"asterix/internal/rtree"
 	"asterix/internal/storage"
 )
@@ -31,6 +33,12 @@ type RTreeIndex struct {
 
 	Flushes int
 	Merges  int
+
+	// Registry metrics (nil-safe no-ops when RTreeOptions.Metrics unset).
+	mFlushes  *obs.Counter
+	mMerges   *obs.Counter
+	mFlushDur *obs.Histogram
+	mMergeDur *obs.Histogram
 }
 
 type rtreeComponent struct {
@@ -47,6 +55,9 @@ type rtreeComponent struct {
 type RTreeOptions struct {
 	MemBudget int // bytes; default 4 MiB
 	MaxComps  int // full-merge when exceeded; default 4
+	// Metrics, when set, receives the shared LSM flush/merge counters
+	// and duration histograms.
+	Metrics *obs.Registry
 }
 
 // OpenRTree opens (or creates) the LSM R-tree named by the file prefix.
@@ -64,6 +75,10 @@ func OpenRTree(bc *storage.BufferCache, name string, opts RTreeOptions) (*RTreeI
 		maxComps:  opts.MaxComps,
 		mem:       rtree.New(),
 	}
+	t.mFlushes = opts.Metrics.Counter("lsm_flushes_total", "LSM memory-component flushes")
+	t.mMerges = opts.Metrics.Counter("lsm_merges_total", "LSM disk-component merges")
+	t.mFlushDur = opts.Metrics.Histogram("lsm_flush_duration_seconds", "LSM flush wall time", nil)
+	t.mMergeDur = opts.Metrics.Histogram("lsm_merge_duration_seconds", "LSM merge wall time", nil)
 	data, err := os.ReadFile(t.manifestPath())
 	if err != nil && !os.IsNotExist(err) {
 		return nil, err
@@ -253,6 +268,7 @@ func (t *RTreeIndex) maybeFlush() error {
 
 // Flush packs the memory component into a new disk component.
 func (t *RTreeIndex) Flush() error {
+	flushStart := time.Now()
 	t.mu.Lock()
 	if t.mem.Len() == 0 {
 		t.mu.Unlock()
@@ -288,6 +304,8 @@ func (t *RTreeIndex) Flush() error {
 	err = t.writeManifest()
 	needMerge := len(t.disk) > t.maxComps
 	t.mu.Unlock()
+	t.mFlushes.Inc()
+	t.mFlushDur.Observe(time.Since(flushStart).Seconds())
 	if err != nil {
 		return err
 	}
@@ -300,6 +318,7 @@ func (t *RTreeIndex) Flush() error {
 // mergeAll performs a full merge of every disk component, cancelling
 // antimatter pairs and dropping the antimatter itself.
 func (t *RTreeIndex) mergeAll() error {
+	mergeStart := time.Now()
 	t.mu.Lock()
 	victims := append([]*rtreeComponent(nil), t.disk...)
 	for _, c := range victims {
@@ -353,6 +372,8 @@ func (t *RTreeIndex) mergeAll() error {
 	t.Merges++
 	err = t.writeManifest()
 	t.mu.Unlock()
+	t.mMerges.Inc()
+	t.mMergeDur.Observe(time.Since(mergeStart).Seconds())
 	if err != nil {
 		return err
 	}

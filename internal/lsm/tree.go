@@ -9,8 +9,10 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"asterix/internal/btree"
+	"asterix/internal/obs"
 	"asterix/internal/storage"
 )
 
@@ -31,6 +33,12 @@ type Tree struct {
 	// Stats for the merge-policy ablation (experiment E8).
 	Flushes int
 	Merges  int
+
+	// Registry metrics (nil-safe no-ops when Options.Metrics is unset).
+	mFlushes  *obs.Counter
+	mMerges   *obs.Counter
+	mFlushDur *obs.Histogram
+	mMergeDur *obs.Histogram
 
 	// OnFlush, if set, is called after each flush completes (the
 	// transaction log uses it to advance the checkpoint LSN).
@@ -58,6 +66,9 @@ type Options struct {
 	MemBudget int
 	// Policy is the merge policy. Default ConstantPolicy{Components: 4}.
 	Policy MergePolicy
+	// Metrics, when set, receives flush/merge counters and duration
+	// histograms (shared by name across all trees on the registry).
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -81,6 +92,7 @@ func Open(bc *storage.BufferCache, name string, opts Options) (*Tree, error) {
 		policy:    opts.Policy,
 		mem:       newMemTable(),
 	}
+	registerTreeMetrics(t, opts.Metrics)
 	seqs, err := t.readManifest()
 	if err != nil {
 		return nil, err
@@ -96,6 +108,16 @@ func Open(bc *storage.BufferCache, name string, opts Options) (*Tree, error) {
 		}
 	}
 	return t, nil
+}
+
+// registerTreeMetrics binds the shared LSM metrics (get-or-create, so
+// every tree on the same registry shares them). Nil registry = nil
+// handles = no-op updates.
+func registerTreeMetrics(t *Tree, reg *obs.Registry) {
+	t.mFlushes = reg.Counter("lsm_flushes_total", "LSM memory-component flushes")
+	t.mMerges = reg.Counter("lsm_merges_total", "LSM disk-component merges")
+	t.mFlushDur = reg.Histogram("lsm_flush_duration_seconds", "LSM flush wall time", nil)
+	t.mMergeDur = reg.Histogram("lsm_merge_duration_seconds", "LSM merge wall time", nil)
 }
 
 func (t *Tree) manifestPath() string {
@@ -346,6 +368,7 @@ func (t *Tree) maybeFlush() error {
 // Flush persists the memory component as a new disk component and applies
 // the merge policy.
 func (t *Tree) Flush() error {
+	flushStart := time.Now()
 	t.mu.Lock()
 	mem := t.mem
 	if mem.len() == 0 {
@@ -395,6 +418,8 @@ func (t *Tree) Flush() error {
 	t.Flushes++
 	err = t.writeManifest()
 	t.mu.Unlock()
+	t.mFlushes.Inc()
+	t.mFlushDur.Observe(time.Since(flushStart).Seconds())
 	if err != nil {
 		return err
 	}
@@ -423,6 +448,7 @@ func (t *Tree) maybeMerge() error {
 // one. Tombstones are dropped only when the merge includes the oldest
 // component.
 func (t *Tree) mergeRange(lo, hi int) error {
+	mergeStart := time.Now()
 	t.mu.RLock()
 	if lo < 0 || hi >= len(t.disk) || lo >= hi {
 		t.mu.RUnlock()
@@ -515,6 +541,8 @@ func (t *Tree) mergeRange(lo, hi int) error {
 	}
 	err = t.writeManifest()
 	t.mu.Unlock()
+	t.mMerges.Inc()
+	t.mMergeDur.Observe(time.Since(mergeStart).Seconds())
 	if err != nil {
 		return err
 	}

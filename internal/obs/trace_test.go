@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTree(t *testing.T) {
+	root := NewSpan("request")
+	parse := root.StartChild("parse")
+	time.Sleep(time.Millisecond)
+	parse.End()
+	exec := root.StartChild("execute")
+	exec.AddTuplesIn(100)
+	exec.AddTuplesOut(10)
+	exec.AddSpill()
+	exec.Add("rows", 10)
+	exec.End()
+	root.End()
+
+	tree := root.Tree()
+	if tree.Name != "request" || len(tree.Children) != 2 {
+		t.Fatalf("tree = %+v", tree)
+	}
+	if tree.Children[0].Name != "parse" || tree.Children[0].DurationUS < 1000 {
+		t.Fatalf("parse child = %+v", tree.Children[0])
+	}
+	ec := tree.Children[1]
+	if ec.Counters["tuplesIn"] != 100 || ec.Counters["tuplesOut"] != 10 ||
+		ec.Counters["spills"] != 1 || ec.Counters["rows"] != 10 {
+		t.Fatalf("execute counters = %+v", ec.Counters)
+	}
+	if got := root.TotalFor("parse"); got < time.Millisecond {
+		t.Fatalf("TotalFor(parse) = %v", got)
+	}
+}
+
+func TestSpanDetailedPropagation(t *testing.T) {
+	root := NewSpan("request")
+	if root.Detailed() {
+		t.Fatal("detailed defaults on")
+	}
+	root.SetDetailed(true)
+	c := root.StartChild("stmt")
+	if !c.Detailed() {
+		t.Fatal("detailed flag not inherited")
+	}
+}
+
+func TestSpanContext(t *testing.T) {
+	if SpanFromContext(context.Background()) != nil {
+		t.Fatal("empty context has a span")
+	}
+	s := NewSpan("x")
+	ctx := ContextWithSpan(context.Background(), s)
+	if SpanFromContext(ctx) != s {
+		t.Fatal("span lost in context")
+	}
+	if ContextWithSpan(context.Background(), nil) == nil {
+		t.Fatal("nil span must keep the context usable")
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	s := NewSpan("x")
+	s.End()
+	d1 := s.Duration()
+	time.Sleep(2 * time.Millisecond)
+	s.End()
+	if d2 := s.Duration(); d2 != d1 {
+		t.Fatalf("second End changed duration: %v -> %v", d1, d2)
+	}
+}
+
+// TestSpanConcurrentChildren mirrors the executor: many tasks attach
+// children and bump counters concurrently (run under -race).
+func TestSpanConcurrentChildren(t *testing.T) {
+	root := NewSpan("execute")
+	root.SetDetailed(true)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := root.StartChild("task")
+			for j := 0; j < 100; j++ {
+				c.AddTuplesIn(1)
+				c.AddTuplesOut(1)
+			}
+			c.End()
+			_ = root.Tree() // concurrent snapshot while others still write
+		}()
+	}
+	wg.Wait()
+	tree := root.Tree()
+	if len(tree.Children) != 16 {
+		t.Fatalf("children = %d", len(tree.Children))
+	}
+	var in int64
+	for _, c := range tree.Children {
+		in += c.Counters["tuplesIn"]
+	}
+	if in != 1600 {
+		t.Fatalf("tuplesIn sum = %d", in)
+	}
+}

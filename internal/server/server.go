@@ -1,18 +1,25 @@
 // Package server exposes the engine over HTTP with an API shaped like
 // AsterixDB's query service: POST /query/service with a JSON body
-// {"statement": "..."} returns {"status", "results", "metrics"}.
+// {"statement": "..."} returns {"status", "results", "metrics"}, with
+// optional per-query profiling ({"profile": "timings"}) mirroring the real
+// query service. Admin endpoints expose the shared metrics registry:
+// GET /admin/metrics (Prometheus text), GET /admin/stats (JSON snapshot),
+// GET /admin/ping, and net/http/pprof under /debug/pprof/.
 package server
 
 import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"time"
 
 	"asterix/internal/adm"
 	"asterix/internal/core"
+	"asterix/internal/obs"
 )
 
 // Engine is the statement executor the server fronts.
@@ -20,26 +27,110 @@ type Engine interface {
 	Execute(ctx context.Context, script string) ([]core.Result, error)
 }
 
-// Handler returns the HTTP handler for the query service.
-func Handler(e Engine) http.Handler {
+// MetricsProvider is implemented by engines that own an observability
+// registry (core.Engine does); the server exposes it on /admin/metrics.
+type MetricsProvider interface {
+	Metrics() *obs.Registry
+}
+
+// Options configures the HTTP service.
+type Options struct {
+	// SlowQueryThreshold is the elapsed time beyond which a statement is
+	// logged with its phase timings (default 500ms; negative disables).
+	SlowQueryThreshold time.Duration
+	// Logger receives slow-query lines (default log.Default()).
+	Logger *log.Logger
+	// Registry overrides the metrics registry; default is the engine's
+	// own (when it implements MetricsProvider) or a fresh one.
+	Registry *obs.Registry
+}
+
+// Handler returns the HTTP handler for the query service with default
+// options.
+func Handler(e Engine) http.Handler { return NewHandler(e, Options{}) }
+
+// NewHandler returns the HTTP handler for the query service.
+func NewHandler(e Engine, opts Options) http.Handler {
+	if opts.SlowQueryThreshold == 0 {
+		opts.SlowQueryThreshold = 500 * time.Millisecond
+	}
+	if opts.Logger == nil {
+		opts.Logger = log.Default()
+	}
+	reg := opts.Registry
+	if reg == nil {
+		if mp, ok := e.(MetricsProvider); ok {
+			reg = mp.Metrics()
+		} else {
+			reg = obs.NewRegistry()
+		}
+	}
+	s := &service{
+		eng:      e,
+		reg:      reg,
+		slow:     opts.SlowQueryThreshold,
+		logger:   opts.Logger,
+		requests: reg.Counter("server_requests_total", "query-service requests"),
+		errors:   reg.Counter("server_request_errors_total", "query-service requests that failed"),
+		slowQ:    reg.Counter("server_slow_queries_total", "statements over the slow-query threshold"),
+		reqDur:   reg.Histogram("server_request_duration_seconds", "query-service request wall time", nil),
+	}
+
 	mux := http.NewServeMux()
-	mux.HandleFunc("/query/service", func(w http.ResponseWriter, r *http.Request) {
-		serveQuery(e, w, r)
-	})
+	mux.HandleFunc("/query/service", s.serveQuery)
 	mux.HandleFunc("/admin/ping", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintln(w, `{"status":"ok"}`)
 	})
+	mux.HandleFunc("/admin/metrics", s.serveMetrics)
+	mux.HandleFunc("/admin/stats", s.serveStats)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+type service struct {
+	eng    Engine
+	reg    *obs.Registry
+	slow   time.Duration
+	logger *log.Logger
+
+	requests *obs.Counter
+	errors   *obs.Counter
+	slowQ    *obs.Counter
+	reqDur   *obs.Histogram
+}
+
+func (s *service) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+}
+
+func (s *service) serveStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.reg.WriteJSON(w)
 }
 
 type queryRequest struct {
 	Statement string `json:"statement"`
+	// Profile requests expanded response metrics; "timings" additionally
+	// returns the span tree with per-operator, per-partition timings
+	// (mirroring AsterixDB's query-service profiling).
+	Profile string `json:"profile"`
 }
 
+// queryMetrics keeps elapsedTime/resultCount stable for old clients and
+// adds phase timings and the result payload size.
 type queryMetrics struct {
-	ElapsedTime string `json:"elapsedTime"`
-	ResultCount int    `json:"resultCount"`
+	ElapsedTime  string `json:"elapsedTime"`
+	ResultCount  int    `json:"resultCount"`
+	ParseTime    string `json:"parseTime"`
+	OptimizeTime string `json:"optimizeTime"`
+	ExecuteTime  string `json:"executeTime"`
+	ResultSize   int64  `json:"resultSize"`
 }
 
 type queryResponse struct {
@@ -47,9 +138,11 @@ type queryResponse struct {
 	Results []json.RawMessage `json:"results"`
 	Errors  []string          `json:"errors,omitempty"`
 	Metrics queryMetrics      `json:"metrics"`
+	// Profile is the span tree, present only when requested.
+	Profile *obs.SpanNode `json:"profile,omitempty"`
 }
 
-func serveQuery(e Engine, w http.ResponseWriter, r *http.Request) {
+func (s *service) serveQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, `{"status":"fatal","errors":["POST required"]}`, http.StatusMethodNotAllowed)
 		return
@@ -69,16 +162,31 @@ func serveQuery(e Engine, w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		req.Statement = r.PostFormValue("statement")
+		req.Profile = r.PostFormValue("profile")
 	}
 	if strings.TrimSpace(req.Statement) == "" {
 		writeError(w, http.StatusBadRequest, "empty statement")
 		return
 	}
+	s.requests.Inc()
+
+	// Every request is traced (the spans feed the phase metrics and the
+	// slow-query log); per-operator detail is opt-in via the profile flag.
+	root := obs.NewSpan("request")
+	if req.Profile == "timings" {
+		root.SetDetailed(true)
+	}
+	ctx := obs.ContextWithSpan(r.Context(), root)
 
 	start := time.Now()
-	results, err := e.Execute(r.Context(), req.Statement)
+	results, err := s.eng.Execute(ctx, req.Statement)
+	root.End()
+	elapsed := time.Since(start)
+	s.reqDur.Observe(elapsed.Seconds())
+
 	resp := queryResponse{Status: "success"}
 	if err != nil {
+		s.errors.Inc()
 		resp.Status = "fatal"
 		resp.Errors = append(resp.Errors, err.Error())
 	}
@@ -96,15 +204,44 @@ func serveQuery(e Engine, w http.ResponseWriter, r *http.Request) {
 				json.RawMessage(fmt.Sprintf(`{"count":%d}`, last.Count)))
 		}
 	}
+	var resultSize int64
+	for _, raw := range resp.Results {
+		resultSize += int64(len(raw))
+	}
+	parseT := root.TotalFor("parse")
+	optT := root.TotalFor("compile")
+	execT := root.TotalFor("execute")
 	resp.Metrics = queryMetrics{
-		ElapsedTime: time.Since(start).String(),
-		ResultCount: len(resp.Results),
+		ElapsedTime:  elapsed.String(),
+		ResultCount:  len(resp.Results),
+		ParseTime:    parseT.String(),
+		OptimizeTime: optT.String(),
+		ExecuteTime:  execT.String(),
+		ResultSize:   resultSize,
+	}
+	if req.Profile == "timings" {
+		resp.Profile = root.Tree()
+	}
+	if s.slow >= 0 && elapsed >= s.slow {
+		s.slowQ.Inc()
+		s.logger.Printf("server: slow query (%v; parse=%v optimize=%v execute=%v): %s",
+			elapsed, parseT, optT, execT, truncateStmt(req.Statement))
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if resp.Status != "success" {
 		w.WriteHeader(http.StatusInternalServerError)
 	}
 	json.NewEncoder(w).Encode(&resp)
+}
+
+// truncateStmt bounds slow-query log lines (statements can be whole
+// scripts).
+func truncateStmt(s string) string {
+	s = strings.Join(strings.Fields(s), " ")
+	if len(s) > 500 {
+		return s[:500] + "…"
+	}
+	return s
 }
 
 func writeError(w http.ResponseWriter, code int, msg string) {

@@ -2,20 +2,31 @@ package server
 
 import (
 	"encoding/json"
+	"fmt"
+	"io"
+	"log"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
 
 	"asterix/internal/core"
+	"asterix/internal/obs"
 )
 
 func newServer(t *testing.T) *httptest.Server {
 	t.Helper()
 	fixed, _ := time.Parse(time.RFC3339, "2019-04-01T00:00:00Z")
-	eng, err := core.Open(core.Config{DataDir: t.TempDir(), Now: func() time.Time { return fixed }})
+	eng, err := core.Open(core.Config{
+		DataDir: t.TempDir(),
+		Now:     func() time.Time { return fixed },
+		// Tiny memory components so test loads flush to disk and the
+		// storage/lsm counters go live.
+		MemComponentBudget: 4 << 10,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,6 +119,241 @@ func TestQueryServiceFormEncoding(t *testing.T) {
 	json.NewDecoder(resp.Body).Decode(&qr)
 	if qr.Status != "success" || string(qr.Results[0]) != "2" {
 		t.Fatalf("form query: %+v", qr)
+	}
+}
+
+// loadGleambook creates a two-partition dataset with enough rows that a
+// multi-operator query (scan → join/group → sort) touches every layer.
+func loadGleambook(t *testing.T, srv *httptest.Server) {
+	t.Helper()
+	r := post(t, srv, `
+		CREATE TYPE UserT AS {id: int};
+		CREATE DATASET Users(UserT) PRIMARY KEY id;
+	`)
+	if r.Status != "success" {
+		t.Fatalf("DDL: %+v", r)
+	}
+	var sb strings.Builder
+	sb.WriteString("UPSERT INTO Users ([")
+	for i := 0; i < 200; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		fmt.Fprintf(&sb, `{"id": %d, "org": "org%d", "score": %d}`, i, i%7, i%13)
+	}
+	sb.WriteString("]);")
+	if r := post(t, srv, sb.String()); r.Status != "success" {
+		t.Fatalf("load: %+v", r)
+	}
+}
+
+func TestAdminMetricsPrometheus(t *testing.T) {
+	srv := newServer(t)
+	loadGleambook(t, srv)
+	// A multi-operator query: group-by with aggregation and ordering.
+	r := post(t, srv, `SELECT u.org AS org, COUNT(*) AS n FROM Users u GROUP BY u.org ORDER BY org;`)
+	if r.Status != "success" || len(r.Results) != 7 {
+		t.Fatalf("query: %+v", r)
+	}
+
+	resp, err := http.Get(srv.URL + "/admin/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("metrics status: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type: %s", ct)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	body := string(raw)
+
+	// Valid exposition: every non-comment line is "name[{labels}] value".
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if strings.HasPrefix(line, "#") || line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+			t.Fatalf("non-numeric sample %q", line)
+		}
+	}
+
+	// Live counters from at least four subsystems.
+	for _, name := range []string{
+		"storage_buffercache_hits_total",
+		"hyracks_tuples_in_total",
+		"hyracks_tuples_out_total",
+		"lsm_flushes_total",
+		"txn_commits_total",
+		"engine_statements_total",
+		"server_requests_total",
+		"# TYPE engine_query_duration_seconds histogram",
+	} {
+		if !strings.Contains(body, name) {
+			t.Errorf("metrics missing %s", name)
+		}
+	}
+	// The query must have moved tuples through hyracks, committed txns,
+	// flushed LSM components, and hit the buffer cache.
+	for _, want := range []string{"hyracks_tuples_out_total", "txn_commits_total",
+		"storage_buffercache_hits_total", "lsm_flushes_total"} {
+		v := promValue(t, body, want)
+		if v <= 0 {
+			t.Errorf("%s = %v, want > 0", want, v)
+		}
+	}
+}
+
+// promValue extracts a sample value from exposition text.
+func promValue(t *testing.T, body, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			v, err := strconv.ParseFloat(strings.Fields(line)[1], 64)
+			if err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found", name)
+	return 0
+}
+
+func TestAdminStatsJSON(t *testing.T) {
+	srv := newServer(t)
+	post(t, srv, `SELECT VALUE 1 + 1;`)
+	resp, err := http.Get(srv.URL + "/admin/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("stats not valid JSON: %v", err)
+	}
+	if snap["engine_statements_total"].(float64) < 1 {
+		t.Errorf("engine_statements_total = %v", snap["engine_statements_total"])
+	}
+	if _, ok := snap["engine_query_duration_seconds"].(map[string]interface{}); !ok {
+		t.Errorf("histogram snapshot missing: %T", snap["engine_query_duration_seconds"])
+	}
+}
+
+// walkProfile visits every node of a span tree depth-first.
+func walkProfile(n *obs.SpanNode, fn func(*obs.SpanNode)) {
+	if n == nil {
+		return
+	}
+	fn(n)
+	for _, c := range n.Children {
+		walkProfile(c, fn)
+	}
+}
+
+func postProfile(t *testing.T, srv *httptest.Server, stmt string) queryResponse {
+	t.Helper()
+	body := `{"statement": ` + jsonString(stmt) + `, "profile": "timings"}`
+	resp, err := http.Post(srv.URL+"/query/service", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var qr queryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	return qr
+}
+
+func TestProfileTimings(t *testing.T) {
+	srv := newServer(t)
+	loadGleambook(t, srv)
+	r := postProfile(t, srv, `SELECT u.org AS org, COUNT(*) AS n FROM Users u GROUP BY u.org ORDER BY org;`)
+	if r.Status != "success" {
+		t.Fatalf("query: %+v", r)
+	}
+	if r.Profile == nil || r.Profile.Name != "request" {
+		t.Fatalf("profile missing: %+v", r.Profile)
+	}
+	// Expanded phase metrics are populated.
+	if r.Metrics.ParseTime == "" || r.Metrics.OptimizeTime == "0s" || r.Metrics.ExecuteTime == "0s" {
+		t.Errorf("phase metrics empty: %+v", r.Metrics)
+	}
+	if r.Metrics.ResultSize <= 0 {
+		t.Errorf("resultSize = %d", r.Metrics.ResultSize)
+	}
+
+	// The span tree holds parse → statement → compile/execute, and under
+	// execute the per-operator, per-partition task spans with tuple counts.
+	names := map[string]int{}
+	var tasks, tuples int64
+	walkProfile(r.Profile, func(n *obs.SpanNode) {
+		names[n.Name]++
+		if strings.Contains(n.Name, "[") { // operator task span, e.g. "sort[0]"
+			tasks++
+			tuples += n.Counters["tuplesIn"] + n.Counters["tuplesOut"]
+		}
+	})
+	if names["parse"] == 0 || names["statement"] == 0 || names["compile"] == 0 || names["execute"] == 0 {
+		t.Fatalf("span tree missing phases: %v", names)
+	}
+	if tasks == 0 {
+		t.Fatalf("no per-operator task spans in profile: %v", names)
+	}
+	if tuples == 0 {
+		t.Fatal("task spans carry no tuple counts")
+	}
+
+	// Without the profile flag the response has no span tree.
+	r = post(t, srv, `SELECT VALUE 1;`)
+	if r.Profile != nil {
+		t.Error("profile returned without being requested")
+	}
+}
+
+func TestSlowQueryLog(t *testing.T) {
+	fixed, _ := time.Parse(time.RFC3339, "2019-04-01T00:00:00Z")
+	eng, err := core.Open(core.Config{DataDir: t.TempDir(), Now: func() time.Time { return fixed }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	var buf strings.Builder
+	h := NewHandler(eng, Options{
+		SlowQueryThreshold: 1 * time.Nanosecond, // everything is slow
+		Logger:             log.New(&buf, "", 0),
+	})
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+
+	post(t, srv, `SELECT VALUE 40 + 2;`)
+	if !strings.Contains(buf.String(), "slow query") || !strings.Contains(buf.String(), "40 + 2") {
+		t.Fatalf("slow-query log missing: %q", buf.String())
+	}
+	resp, _ := http.Get(srv.URL + "/admin/metrics")
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if promValue(t, string(raw), "server_slow_queries_total") < 1 {
+		t.Error("server_slow_queries_total not incremented")
+	}
+}
+
+func TestPprofEndpoint(t *testing.T) {
+	srv := newServer(t)
+	resp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("pprof index: %d", resp.StatusCode)
 	}
 }
 

@@ -250,7 +250,10 @@ func (bc *BufferCache) Stats() Stats {
 	return bc.stats
 }
 
-// ResetStats zeroes the counters (benchmark harness support).
+// ResetStats zeroes the counters (benchmark harness support). Safe to
+// call concurrently with running jobs: counters are guarded by the cache
+// mutex, so a concurrent reset only discards updates that happened-before
+// it, never tears a snapshot.
 func (bc *BufferCache) ResetStats() {
 	bc.mu.Lock()
 	defer bc.mu.Unlock()

@@ -3,6 +3,7 @@ package txn
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -106,6 +107,28 @@ type Manager struct {
 	// checkpointLSN is the redo start point recorded by the last
 	// checkpoint.
 	checkpointLSN int64
+
+	// Lifecycle counters (atomic).
+	begins  int64
+	commits int64
+	aborts  int64
+}
+
+// Stats is an atomic snapshot of transaction lifecycle counters.
+type Stats struct {
+	Begins  int64
+	Commits int64
+	Aborts  int64
+}
+
+// Stats snapshots the manager's counters; safe to call concurrently with
+// running transactions.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Begins:  atomic.LoadInt64(&m.begins),
+		Commits: atomic.LoadInt64(&m.commits),
+		Aborts:  atomic.LoadInt64(&m.aborts),
+	}
 }
 
 // NewManager builds a transaction manager over an opened log.
@@ -127,6 +150,7 @@ func (m *Manager) Begin() *Txn {
 	id := m.nextID
 	m.nextID++
 	m.mu.Unlock()
+	atomic.AddInt64(&m.begins, 1)
 	return &Txn{ID: id, mgr: m}
 }
 
@@ -161,6 +185,7 @@ func (t *Txn) Commit() error {
 		}
 	}
 	t.mgr.Locks.UnlockAll(t.ID)
+	atomic.AddInt64(&t.mgr.commits, 1)
 	return nil
 }
 
@@ -178,6 +203,7 @@ func (t *Txn) Abort() error {
 		return err
 	}
 	t.mgr.Locks.UnlockAll(t.ID)
+	atomic.AddInt64(&t.mgr.aborts, 1)
 	return nil
 }
 
