@@ -2,13 +2,36 @@
 tier1:
 	go build ./... && go test ./...
 
-# verify: tier-1 plus static analysis and race-detection over the
-# concurrent observability/executor code paths.
-verify: tier1
+# verify: tier-1 plus go vet, the project linter, and the race detector
+# over the whole module.
+verify: tier1 lint
 	go vet ./...
-	go test -race ./internal/obs/... ./internal/server/... ./internal/hyracks/...
+	go test -race ./...
+
+# lint: project-specific static analysis (see docs/STATIC_ANALYSIS.md).
+lint:
+	go run ./cmd/asterixlint ./...
+
+# invariants: the test suite with deep structural validators compiled in
+# (see internal/check).
+invariants:
+	go test -tags invariants ./...
 
 bench:
 	go test -bench . -benchtime 1x -run NONE .
 
-.PHONY: tier1 verify bench
+# fuzz-smoke: a short bounded run of each fuzz target (CI uses this).
+fuzz-smoke:
+	go test -run NONE -fuzz FuzzADMBinaryRoundTrip -fuzztime 10s ./internal/adm
+	go test -run NONE -fuzz FuzzSQLPPParse -fuzztime 10s ./internal/sqlpp
+
+help:
+	@echo "Targets:"
+	@echo "  tier1       build + test (the must-stay-green gate)"
+	@echo "  verify      tier1 + lint + go vet + race detector"
+	@echo "  lint        asterixlint static analysis over the module"
+	@echo "  invariants  tests with deep structural validators enabled"
+	@echo "  fuzz-smoke  short bounded fuzz run (ADM codec, SQL++ parser)"
+	@echo "  bench       top-level benchmarks"
+
+.PHONY: tier1 verify lint invariants bench fuzz-smoke help

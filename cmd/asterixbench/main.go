@@ -36,6 +36,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		//lint:ignore err-discard best-effort cleanup of the demo temp dir
 		defer os.RemoveAll(d)
 		dir = d
 	}

@@ -1,0 +1,201 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Config names the project-specific types and packages the rules key on.
+// Tests override the paths to point at fixture packages.
+type Config struct {
+	// ObsPkgPath is the package whose exported handle types promise
+	// nil-safe methods.
+	ObsPkgPath string
+	// ObsHandles are the handle type names within ObsPkgPath.
+	ObsHandles []string
+	// TuplePkgPath/TupleType name the executor tuple type whose frames
+	// must not be mutated after being sent over a channel.
+	TuplePkgPath string
+	TupleType    string
+	// ErrPkgs are package paths (exact, or prefix when ending in "/")
+	// whose discarded error returns are flagged.
+	ErrPkgs []string
+}
+
+// DefaultConfig is the configuration for this repository.
+func DefaultConfig() *Config {
+	return &Config{
+		ObsPkgPath:   "asterix/internal/obs",
+		ObsHandles:   []string{"Span", "Counter", "Gauge", "Histogram", "Registry"},
+		TuplePkgPath: "asterix/internal/hyracks",
+		TupleType:    "Tuple",
+		ErrPkgs: []string{
+			"io", "os", "encoding/",
+			"asterix/internal/storage", "asterix/internal/txn",
+		},
+	}
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Msg)
+}
+
+// Rule is one analyzer check.
+type Rule struct {
+	Name string
+	Doc  string
+	Run  func(c *Config, p *Package, report func(token.Pos, string))
+}
+
+// AllRules returns every rule in stable order.
+func AllRules() []*Rule {
+	return []*Rule{
+		ruleObsNil(),
+		ruleLockHeld(),
+		ruleGoLifecycle(),
+		ruleErrDiscard(),
+		ruleFrameAlias(),
+	}
+}
+
+var ignoreRe = regexp.MustCompile(`^//lint:ignore\s+(\S+)(?:\s+(.*))?$`)
+
+// suppressions maps file:line to the set of rule names ignored there. A
+// directive covers its own line and the next line, so it works both as a
+// trailing comment and on the line above the flagged statement.
+type suppressions map[string]map[string]bool
+
+func collectSuppressions(p *Package, report func(token.Pos, string)) suppressions {
+	sup := suppressions{}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				if strings.TrimSpace(m[2]) == "" {
+					report(c.Pos(), "lint:ignore directive is missing a reason (//lint:ignore rule reason)")
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				for _, rule := range strings.Split(m[1], ",") {
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						key := fmt.Sprintf("%s:%d", pos.Filename, line)
+						if sup[key] == nil {
+							sup[key] = map[string]bool{}
+						}
+						sup[key][rule] = true
+					}
+				}
+			}
+		}
+	}
+	return sup
+}
+
+// RunRules runs the rules over a package and returns unsuppressed findings
+// sorted by position.
+func RunRules(c *Config, p *Package, rules []*Rule) []Diagnostic {
+	var diags []Diagnostic
+	sup := collectSuppressions(p, func(pos token.Pos, msg string) {
+		diags = append(diags, Diagnostic{Pos: p.Fset.Position(pos), Rule: "lint-directive", Msg: msg})
+	})
+	for _, r := range rules {
+		r := r
+		r.Run(c, p, func(pos token.Pos, msg string) {
+			d := Diagnostic{Pos: p.Fset.Position(pos), Rule: r.Name, Msg: msg}
+			key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+			if sup[key][r.Name] {
+				return
+			}
+			diags = append(diags, d)
+		})
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return diags
+}
+
+// --- shared type helpers ---
+
+// namedType unwraps pointers and returns the named type, if any.
+func namedType(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	if n == nil {
+		if p, ok := t.(*types.Pointer); ok {
+			n, _ = p.Elem().(*types.Named)
+		}
+	}
+	return n
+}
+
+// isPkgType reports whether t (through pointers) is the named type
+// pkgPath.name.
+func isPkgType(t types.Type, pkgPath, name string) bool {
+	n := namedType(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == pkgPath && n.Obj().Name() == name
+}
+
+// calleeFunc resolves a call's callee to its declared *types.Func (methods
+// included), or nil for builtins, conversions, and function-typed values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Pkg() == nil && n.Obj().Name() == "error"
+}
+
+// isChanType reports whether t is a channel type.
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	return isPkgType(t, "context", "Context")
+}

@@ -1,0 +1,92 @@
+// Command asterixlint is the repository's project-specific static
+// analyzer: a stdlib-only (go/parser + go/types) multi-rule linter that
+// machine-checks the concurrency and resource invariants this codebase
+// relies on. See docs/STATIC_ANALYSIS.md for the rule catalogue and the
+// //lint:ignore suppression syntax.
+//
+// Usage:
+//
+//	asterixlint [-rules r1,r2] [-v] [packages...]
+//
+// Package patterns are directories or go-style "./..." trees. Exit code
+// is 1 when any diagnostic is reported, 2 on load/type-check failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func main() {
+	var (
+		rulesFlag = flag.String("rules", "", "comma-separated rule names to run (default: all)")
+		verbose   = flag.Bool("v", false, "print packages as they are checked")
+		listFlag  = flag.Bool("list", false, "list rules and exit")
+	)
+	flag.Parse()
+
+	rules := AllRules()
+	if *listFlag {
+		for _, r := range rules {
+			fmt.Printf("%-12s %s\n", r.Name, r.Doc)
+		}
+		return
+	}
+	if *rulesFlag != "" {
+		want := map[string]bool{}
+		for _, name := range strings.Split(*rulesFlag, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		var sel []*Rule
+		for _, r := range rules {
+			if want[r.Name] {
+				sel = append(sel, r)
+				delete(want, r.Name)
+			}
+		}
+		for name := range want {
+			fmt.Fprintf(os.Stderr, "asterixlint: unknown rule %q\n", name)
+			os.Exit(2)
+		}
+		rules = sel
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asterixlint:", err)
+		os.Exit(2)
+	}
+	dirs, err := loader.ExpandPatterns(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asterixlint:", err)
+		os.Exit(2)
+	}
+
+	cfg := DefaultConfig()
+	found := 0
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "asterixlint:", err)
+			os.Exit(2)
+		}
+		if *verbose {
+			fmt.Fprintln(os.Stderr, "checking", pkg.Path)
+		}
+		for _, d := range RunRules(cfg, pkg, rules) {
+			fmt.Println(d)
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "asterixlint: %d issue(s)\n", found)
+		os.Exit(1)
+	}
+}

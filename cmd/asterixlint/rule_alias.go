@@ -1,0 +1,198 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// ruleFrameAlias flags executor frames (Tuple / []Tuple values) that are
+// mutated after being sent over a channel. A connector frame handed to a
+// channel is owned by the consumer; appending to it, writing an element,
+// or re-slicing it back to zero length reuses the backing array under the
+// reader — the silent-corruption-under-concurrency class of bug from the
+// paper's Section V. The fix is always the same: hand off a fresh frame
+// (set the variable to nil / make a new one) or copy via the tuple.go
+// helpers before sending.
+//
+// Detection is per-function and identifier-based: a send event is a
+// direct `ch <- x` or a call passing x alongside a `chan`-of-frame
+// parameter (the connWriter send helpers); a mutation after the send
+// without an intervening reset assignment is reported.
+func ruleFrameAlias() *Rule {
+	return &Rule{
+		Name: "frame-alias",
+		Doc:  "frames sent over connector channels must not be mutated afterwards",
+		Run:  runFrameAlias,
+	}
+}
+
+func runFrameAlias(c *Config, p *Package, report func(token.Pos, string)) {
+	isTuple := func(t types.Type) bool {
+		return isPkgType(t, c.TuplePkgPath, c.TupleType)
+	}
+	isFrame := func(t types.Type) bool {
+		if t == nil {
+			return false
+		}
+		if isTuple(t) {
+			return true
+		}
+		if sl, ok := t.Underlying().(*types.Slice); ok {
+			return isTuple(sl.Elem())
+		}
+		return false
+	}
+	isFrameChan := func(t types.Type) bool {
+		ch, ok := t.Underlying().(*types.Chan)
+		return ok && isFrame(ch.Elem())
+	}
+
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkFrameAliasing(p, body, isFrame, isFrameChan, report)
+			}
+			return true
+		})
+	}
+}
+
+type aliasEvent struct {
+	pos  token.Pos
+	kind int // 0 = send, 1 = mutate, 2 = reset
+	obj  types.Object
+	desc string
+}
+
+func checkFrameAliasing(p *Package, body *ast.BlockStmt, isFrame, isFrameChan func(types.Type) bool, report func(token.Pos, string)) {
+	objOf := func(e ast.Expr) types.Object {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		obj := p.Info.Uses[id]
+		if obj == nil {
+			obj = p.Info.Defs[id]
+		}
+		if obj == nil {
+			return nil
+		}
+		if tv, ok := p.Info.Types[e]; !ok || !isFrame(tv.Type) {
+			return nil
+		}
+		return obj
+	}
+
+	var events []aliasEvent
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.FuncLit:
+			// Nested literals are separate executions, analyzed on their
+			// own visit by runFrameAlias.
+			_ = st
+			return false
+		case *ast.SendStmt:
+			if obj := objOf(st.Value); obj != nil {
+				events = append(events, aliasEvent{st.Pos(), 0, obj, "sent over a channel"})
+			}
+		case *ast.CallExpr:
+			// A call passing a frame alongside a chan-of-frame argument
+			// or through a func whose params include one (the send
+			// helpers in exec.go).
+			hasChan := false
+			if tv, ok := p.Info.Types[st.Fun]; ok {
+				if sig, ok := tv.Type.Underlying().(*types.Signature); ok {
+					for i := 0; i < sig.Params().Len(); i++ {
+						if isFrameChan(sig.Params().At(i).Type()) {
+							hasChan = true
+						}
+					}
+				}
+			}
+			if !hasChan {
+				return true
+			}
+			for _, a := range st.Args {
+				if obj := objOf(a); obj != nil {
+					events = append(events, aliasEvent{st.Pos(), 0, obj, "passed to a channel send helper"})
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				// x[i] = ... → mutation of x's backing array.
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					if obj := objOf(ix.X); obj != nil {
+						events = append(events, aliasEvent{st.Pos(), 1, obj, "element written"})
+					}
+					continue
+				}
+				obj := objOf(lhs)
+				if obj == nil {
+					continue
+				}
+				var rhs ast.Expr
+				if len(st.Rhs) == len(st.Lhs) {
+					rhs = st.Rhs[i]
+				} else if len(st.Rhs) == 1 {
+					rhs = st.Rhs[0]
+				}
+				switch classifyFrameRHS(p, rhs, obj) {
+				case 1:
+					events = append(events, aliasEvent{st.Pos(), 1, obj, "grown or re-sliced in place"})
+				default:
+					events = append(events, aliasEvent{st.Pos(), 2, obj, ""})
+				}
+			}
+		}
+		return true
+	})
+
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	pending := map[types.Object]string{}
+	for _, ev := range events {
+		switch ev.kind {
+		case 0:
+			pending[ev.obj] = ev.desc
+		case 1:
+			if how, ok := pending[ev.obj]; ok {
+				report(ev.pos, "frame "+ev.obj.Name()+" was "+how+" and is "+ev.desc+
+					" afterwards; the consumer aliases its backing array — hand off a fresh frame or copy it first")
+			}
+		case 2:
+			delete(pending, ev.obj)
+		}
+	}
+}
+
+// classifyFrameRHS reports how an assignment to obj treats its backing
+// array: 1 = in-place reuse (append to self, re-slice of self), 0 = fresh
+// value (nil, make, literal, other expression).
+func classifyFrameRHS(p *Package, rhs ast.Expr, obj types.Object) int {
+	if rhs == nil {
+		return 0
+	}
+	switch e := ast.Unparen(rhs).(type) {
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "append" && len(e.Args) > 0 {
+			if base, ok := ast.Unparen(e.Args[0]).(*ast.Ident); ok && (p.Info.Uses[base] == obj) {
+				return 1
+			}
+		}
+	case *ast.SliceExpr:
+		if base, ok := ast.Unparen(e.X).(*ast.Ident); ok && p.Info.Uses[base] == obj {
+			return 1
+		}
+	}
+	return 0
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ruleErrDiscard flags discarded error returns from the packages where a
+// dropped error means silent data loss: io, os, encoding/*, and the
+// repo's own storage and txn layers. Both forms are caught: a bare call
+// statement (including defer/go) whose error result vanishes, and an
+// assignment that blanks the error position with `_`.
+func ruleErrDiscard() *Rule {
+	return &Rule{
+		Name: "err-discard",
+		Doc:  "no discarded error returns from io/os/encoding/storage/txn calls",
+		Run:  runErrDiscard,
+	}
+}
+
+func runErrDiscard(c *Config, p *Package, report func(token.Pos, string)) {
+	inScope := func(fn *types.Func) bool {
+		if fn == nil || fn.Pkg() == nil {
+			return false
+		}
+		path := fn.Pkg().Path()
+		for _, pat := range c.ErrPkgs {
+			if strings.HasSuffix(pat, "/") {
+				if strings.HasPrefix(path, pat) {
+					return true
+				}
+			} else if path == pat {
+				return true
+			}
+		}
+		return false
+	}
+
+	// errResults returns the indices of error-typed results of the call,
+	// when the callee is in scope.
+	errResults := func(call *ast.CallExpr) ([]int, string) {
+		fn := calleeFunc(p.Info, call)
+		if !inScope(fn) {
+			return nil, ""
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			return nil, ""
+		}
+		var idx []int
+		for i := 0; i < sig.Results().Len(); i++ {
+			if isErrorType(sig.Results().At(i).Type()) {
+				idx = append(idx, i)
+			}
+		}
+		return idx, fn.Pkg().Path() + "." + fn.Name()
+	}
+
+	checkBare := func(call *ast.CallExpr) {
+		if idx, name := errResults(call); len(idx) > 0 {
+			report(call.Pos(), "error return of "+name+" is discarded")
+		}
+	}
+
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok {
+					checkBare(call)
+				}
+			case *ast.DeferStmt:
+				checkBare(st.Call)
+			case *ast.GoStmt:
+				checkBare(st.Call)
+			case *ast.AssignStmt:
+				if len(st.Rhs) != 1 {
+					return true
+				}
+				call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				idx, name := errResults(call)
+				if len(idx) == 0 {
+					return true
+				}
+				for _, i := range idx {
+					if i >= len(st.Lhs) {
+						continue
+					}
+					if id, ok := st.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						report(st.Pos(), "error return of "+name+" is assigned to _")
+					}
+				}
+			}
+			return true
+		})
+	}
+}

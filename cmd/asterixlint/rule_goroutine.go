@@ -1,0 +1,98 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ruleGoLifecycle flags `go func(...) {...}()` statements whose goroutine
+// has no visible join or cancellation: nothing in the literal's body (or
+// its call arguments) touches a sync.WaitGroup, a channel, or a
+// context.Context. Such fire-and-forget goroutines outlive jobs, leak
+// under error paths, and are exactly the lifecycle bugs the long-running
+// feed/executor code paths cannot afford.
+func ruleGoLifecycle() *Rule {
+	return &Rule{
+		Name: "go-lifecycle",
+		Doc:  "every go func literal must be tied to a WaitGroup, channel, or context",
+		Run:  runGoLifecycle,
+	}
+}
+
+func runGoLifecycle(c *Config, p *Package, report func(token.Pos, string)) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+			if !ok {
+				return true // named functions manage their own lifecycle
+			}
+			if goroutineTied(p, g.Call, lit) {
+				return true
+			}
+			report(g.Pos(), "goroutine has no join or cancellation: tie it to a sync.WaitGroup, a channel, or a context")
+			return true
+		})
+	}
+}
+
+// goroutineTied reports whether the goroutine is observably joined or
+// cancellable: a WaitGroup/channel/context flows in through the call
+// arguments, or the body performs a channel operation, WaitGroup call, or
+// context use.
+func goroutineTied(p *Package, call *ast.CallExpr, lit *ast.FuncLit) bool {
+	tiedType := func(t types.Type) bool {
+		return isChanType(t) || isContextType(t) || isWaitGroup(t)
+	}
+	for _, a := range call.Args {
+		if tv, ok := p.Info.Types[a]; ok && tiedType(tv.Type) {
+			return true
+		}
+	}
+	tied := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if tied {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			tied = true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				tied = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := p.Info.Types[x.X]; ok && isChanType(tv.Type) {
+				tied = true
+			}
+		case *ast.SelectStmt:
+			tied = true
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "close" && len(x.Args) == 1 {
+				if tv, ok := p.Info.Types[x.Args[0]]; ok && isChanType(tv.Type) {
+					tied = true
+				}
+			}
+			if fn := calleeFunc(p.Info, x); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+				sig, _ := fn.Type().(*types.Signature)
+				if sig != nil && sig.Recv() != nil && isWaitGroup(sig.Recv().Type()) {
+					tied = true
+				}
+			}
+		case *ast.Ident:
+			if obj := p.Info.Uses[x]; obj != nil && (isContextType(obj.Type()) || isWaitGroup(obj.Type())) {
+				tied = true
+			}
+		}
+		return !tied
+	})
+	return tied
+}
+
+func isWaitGroup(t types.Type) bool {
+	return isPkgType(t, "sync", "WaitGroup")
+}

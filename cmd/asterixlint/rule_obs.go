@@ -1,0 +1,204 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ruleObsNil enforces the observability layer's nil-safety contract from
+// both sides:
+//
+//   - inside the obs package, every exported pointer-receiver method on a
+//     handle type (Span, Counter, ...) must nil-check the receiver before
+//     touching its fields or unexported methods, so a nil handle is a
+//     no-op rather than a panic;
+//   - everywhere else, code must not compare a handle to nil — the whole
+//     point of the contract is that call sites instrument unconditionally
+//     and never branch on whether observability is wired.
+func ruleObsNil() *Rule {
+	return &Rule{
+		Name: "obs-nil",
+		Doc:  "obs handle methods must be nil-safe; call sites must not branch on nil handles",
+		Run:  runObsNil,
+	}
+}
+
+func runObsNil(c *Config, p *Package, report func(token.Pos, string)) {
+	handles := map[string]bool{}
+	for _, h := range c.ObsHandles {
+		handles[h] = true
+	}
+	isHandle := func(t types.Type) (string, bool) {
+		n := namedType(t)
+		if n == nil || n.Obj().Pkg() == nil {
+			return "", false
+		}
+		if n.Obj().Pkg().Path() == c.ObsPkgPath && handles[n.Obj().Name()] {
+			return n.Obj().Name(), true
+		}
+		return "", false
+	}
+
+	if p.Path == c.ObsPkgPath {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Recv == nil || !fd.Name.IsExported() || fd.Body == nil {
+					continue
+				}
+				checkHandleMethod(p, fd, isHandle, report)
+			}
+		}
+	}
+
+	// Call-site half: no nil comparisons of handle-typed expressions
+	// outside the obs package (where the guards themselves live).
+	if p.Path == c.ObsPkgPath {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			for _, pair := range [2][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+				side, other := pair[0], pair[1]
+				if id, ok := ast.Unparen(other).(*ast.Ident); !ok || id.Name != "nil" {
+					continue
+				}
+				tv, ok := p.Info.Types[side]
+				if !ok {
+					continue
+				}
+				if _, ok := tv.Type.Underlying().(*types.Pointer); !ok {
+					continue
+				}
+				if name, ok := isHandle(tv.Type); ok {
+					report(be.Pos(), "branching on nil *"+name+": obs handle methods are nil-safe, call them unconditionally")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkHandleMethod verifies the nil-receiver guard discipline of one
+// exported method on a handle type.
+func checkHandleMethod(p *Package, fd *ast.FuncDecl, isHandle func(types.Type) (string, bool), report func(token.Pos, string)) {
+	if len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+		return
+	}
+	recvIdent := fd.Recv.List[0].Names[0]
+	recvObj := p.Info.Defs[recvIdent]
+	if recvObj == nil {
+		return
+	}
+	if _, ok := recvObj.Type().(*types.Pointer); !ok {
+		return // value receivers cannot be nil
+	}
+	name, ok := isHandle(recvObj.Type())
+	if !ok {
+		return
+	}
+
+	guardPos := findNilGuard(p, fd.Body, recvObj)
+
+	// Receiver uses that are calls to exported methods are safe without a
+	// guard: those methods carry their own nil checks by this same rule.
+	// Comparing the receiver itself to nil is also safe — no dereference.
+	safe := map[*ast.Ident]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if be, ok := n.(*ast.BinaryExpr); ok && (be.Op == token.EQL || be.Op == token.NEQ) {
+			for _, pair := range [2][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+				id1, ok1 := ast.Unparen(pair[0]).(*ast.Ident)
+				id2, ok2 := ast.Unparen(pair[1]).(*ast.Ident)
+				if ok1 && ok2 && p.Info.Uses[id1] == recvObj && id2.Name == "nil" {
+					safe[id1] = true
+				}
+			}
+			return true
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok || p.Info.Uses[id] != recvObj {
+			return true
+		}
+		if s, ok := p.Info.Selections[sel]; ok {
+			if fn, ok := s.Obj().(*types.Func); ok && fn.Exported() {
+				safe[id] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || p.Info.Uses[id] != recvObj || safe[id] {
+			return true
+		}
+		if guardPos != token.NoPos && id.Pos() >= guardPos {
+			return true
+		}
+		report(id.Pos(), "exported method (*"+name+")."+fd.Name.Name+
+			" uses receiver before a nil guard; obs handles must be nil-safe")
+		return false
+	})
+}
+
+// findNilGuard returns the position of the method's nil-receiver guard:
+// either `if recv == nil { ... return }` or a return expression containing
+// `recv != nil`. NoPos if there is none.
+func findNilGuard(p *Package, body *ast.BlockStmt, recvObj types.Object) token.Pos {
+	isRecvNilCmp := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			for _, pair := range [2][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+				id1, ok1 := ast.Unparen(pair[0]).(*ast.Ident)
+				id2, ok2 := ast.Unparen(pair[1]).(*ast.Ident)
+				if ok1 && ok2 && p.Info.Uses[id1] == recvObj && id2.Name == "nil" {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+	endsInReturn := func(b *ast.BlockStmt) bool {
+		if len(b.List) == 0 {
+			return false
+		}
+		_, ok := b.List[len(b.List)-1].(*ast.ReturnStmt)
+		return ok
+	}
+	pos := token.NoPos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if pos != token.NoPos {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.IfStmt:
+			if isRecvNilCmp(s.Cond) && endsInReturn(s.Body) {
+				pos = s.Pos()
+				return false
+			}
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				if isRecvNilCmp(r) {
+					pos = s.Pos()
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return pos
+}

@@ -1,0 +1,10 @@
+// Package directive exercises the malformed-suppression path: a
+// lint:ignore with no reason is reported and does not suppress.
+package directive
+
+import "os"
+
+func malformed(path string) {
+	//lint:ignore err-discard
+	os.Remove(path)
+}

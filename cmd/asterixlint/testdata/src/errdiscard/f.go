@@ -1,0 +1,26 @@
+package errdiscard
+
+import (
+	"fmt"
+	"os"
+)
+
+func bad(path string) {
+	os.Remove(path)       // WANT err-discard
+	_ = os.Remove(path)   // WANT err-discard
+	defer os.Remove(path) // WANT err-discard
+	go os.Remove(path)    // WANT err-discard
+	f, _ := os.Open(path) // WANT err-discard
+	_ = f
+}
+
+func good(path string) error {
+	if err := os.Remove(path); err != nil {
+		return err
+	}
+	//lint:ignore err-discard fixture: deliberate best-effort cleanup
+	os.Remove(path)
+	os.Remove(path) //lint:ignore err-discard fixture: trailing form
+	fmt.Println(path)
+	return nil
+}

@@ -1,0 +1,53 @@
+// Package framealias is the fixture for the frame-alias rule: the test
+// points Config.TuplePkgPath at this package, with Tuple standing in for
+// hyracks.Tuple. A frame ([]Tuple) sent over a channel must not be
+// mutated afterwards unless it is reset to a fresh buffer first.
+package framealias
+
+type Tuple []int
+
+func badAppend(ch chan []Tuple, buf []Tuple, t Tuple) {
+	ch <- buf
+	buf = append(buf, t) // WANT frame-alias
+	_ = buf
+}
+
+func badIndex(ch chan []Tuple, buf []Tuple, t Tuple) {
+	ch <- buf
+	buf[0] = t // WANT frame-alias
+}
+
+func badReslice(ch chan []Tuple, buf []Tuple) {
+	ch <- buf
+	buf = buf[:0] // WANT frame-alias
+	_ = buf
+}
+
+func goodReset(ch chan []Tuple, buf []Tuple, t Tuple) {
+	ch <- buf
+	buf = nil
+	buf = append(buf, t)
+	_ = buf
+}
+
+func goodMake(ch chan []Tuple, buf []Tuple, t Tuple) {
+	ch <- buf
+	buf = make([]Tuple, 0, 8)
+	buf = append(buf, t)
+	_ = buf
+}
+
+func send(ch chan []Tuple, f []Tuple) { ch <- f }
+
+func badViaHelper(ch chan []Tuple, buf []Tuple, t Tuple) {
+	send(ch, buf)
+	buf = append(buf, t) // WANT frame-alias
+	_ = buf
+}
+
+func suppressed(ch chan []Tuple, buf []Tuple, t Tuple) {
+	ch <- buf
+	//lint:ignore frame-alias fixture: consumer drains synchronously before reuse
+	buf = append(buf, t)
+	_ = buf
+}

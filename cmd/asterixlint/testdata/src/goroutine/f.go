@@ -1,0 +1,54 @@
+package goroutine
+
+import (
+	"context"
+	"sync"
+)
+
+func bad() {
+	go func() { // WANT go-lifecycle
+		println("orphan")
+	}()
+}
+
+func suppressed() {
+	//lint:ignore go-lifecycle fixture: daemon by design
+	go func() {
+		println("daemon")
+	}()
+}
+
+func withWG(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+func withChan(done chan struct{}) {
+	go func() {
+		close(done)
+	}()
+}
+
+func withSend(out chan int) {
+	go func() {
+		out <- 1
+	}()
+}
+
+func withCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func withChanArg(ch chan int) {
+	go func(c chan int) {
+		_ = c
+	}(ch)
+}
+
+func named() {
+	go println("named functions manage their own lifecycle")
+}

@@ -1,0 +1,102 @@
+package lockheld
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type S struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan int
+	wg sync.WaitGroup
+}
+
+func (s *S) sendLocked() {
+	s.mu.Lock()
+	s.ch <- 1 // WANT lock-held
+	s.mu.Unlock()
+}
+
+func (s *S) recvLocked() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.ch // WANT lock-held
+}
+
+func (s *S) selectLocked() {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	select { // WANT lock-held
+	case <-s.ch:
+	}
+}
+
+func (s *S) rangeLocked() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for range s.ch { // WANT lock-held
+	}
+}
+
+func (s *S) waitLocked() {
+	s.mu.Lock()
+	s.wg.Wait() // WANT lock-held
+	s.mu.Unlock()
+}
+
+func (s *S) sleepLocked() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // WANT lock-held
+	s.mu.Unlock()
+}
+
+func (s *S) ioLocked() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return os.Remove("x") // WANT lock-held
+}
+
+func (s *S) nonBlockingSelect() {
+	s.mu.Lock()
+	select {
+	case s.ch <- 1:
+	default:
+	}
+	s.mu.Unlock()
+}
+
+func (s *S) afterUnlock() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.ch <- 1
+}
+
+func (s *S) condWait(c *sync.Cond) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c.Wait() // Cond.Wait requires the lock by contract: exempt
+}
+
+func (s *S) goroutineBodyIsFresh() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.ch <- 1 // runs on its own stack without the lock
+	}()
+}
+
+func (s *S) predicateOK() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := os.Stat("x") // WANT lock-held
+	return os.IsNotExist(err)
+}
+
+func (s *S) suppressed() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lint:ignore lock-held fixture: ordering requires the lock across the send
+	s.ch <- 1
+}

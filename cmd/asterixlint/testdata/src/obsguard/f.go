@@ -1,0 +1,61 @@
+// Package obsguard is the fixture for the obs-nil guard-discipline half:
+// the test points Config.ObsPkgPath at this package with H as the handle
+// type, standing in for internal/obs.
+package obsguard
+
+import "sync/atomic"
+
+// H is a nil-safe handle type.
+type H struct {
+	v int64
+}
+
+func (h *H) Good() int64 {
+	if h == nil {
+		return 0
+	}
+	return atomic.LoadInt64(&h.v)
+}
+
+func (h *H) GoodReturnForm() bool {
+	return h != nil && atomic.LoadInt64(&h.v) != 0
+}
+
+func (h *H) GoodLateButBeforeUse() int64 {
+	out := int64(7)
+	if h == nil {
+		return out
+	}
+	return out + h.v
+}
+
+// Delegate calls only exported (hence nil-safe) methods: no guard needed.
+func (h *H) Delegate() int64 { return h.Good() }
+
+func (h *H) Bad() int64 {
+	return atomic.LoadInt64(&h.v) // WANT obs-nil
+}
+
+func (h *H) BadGuardAfterUse() int64 {
+	v := h.v // WANT obs-nil
+	if h == nil {
+		return 0
+	}
+	return v
+}
+
+func (h *H) BadGuardNoReturn() int64 {
+	if h == nil { // guard body must exit the method
+		println("nil")
+	}
+	return h.v // WANT obs-nil
+}
+
+// unexported methods carry no contract.
+func (h *H) internal() int64 { return h.v }
+
+// Suppressed documents a deliberate exception.
+func (h *H) Suppressed() int64 {
+	//lint:ignore obs-nil fixture: testing the suppression path
+	return h.v
+}

@@ -1,0 +1,33 @@
+// Package obsnil is the fixture for the obs-nil call-site half: code
+// outside internal/obs must not branch on handle nil-ness, because every
+// handle method is a nil-safe no-op.
+package obsnil
+
+import "asterix/internal/obs"
+
+func bad(sp *obs.Span) {
+	if sp != nil { // WANT obs-nil
+		sp.End()
+	}
+}
+
+func badEq(c *obs.Counter) {
+	if c == nil { // WANT obs-nil
+		return
+	}
+	c.Inc()
+}
+
+func good(sp *obs.Span, c *obs.Counter) {
+	defer sp.End()
+	c.Inc()
+}
+
+func suppressed(sp *obs.Span) bool {
+	//lint:ignore obs-nil fixture: testing the suppression path
+	return sp == nil
+}
+
+func otherNilChecksFine(p *int) bool {
+	return p != nil
+}

@@ -22,6 +22,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	//lint:ignore err-discard best-effort cleanup of the demo temp dir
 	defer os.RemoveAll(dir)
 
 	// A fixed clock makes the Figure 3(c) 30-day window reproducible.
@@ -133,7 +134,9 @@ UPSERT INTO GleambookUsers (
 		fmt.Fprintf(f, "10.0.%d.%d|2019-03-%02dT%02d:00:00|user%03d|GET|/p%d|200|%d\n",
 			i%200, r.Intn(255), 1+r.Intn(28), r.Intn(24), r.Intn(users), i, 200+r.Intn(900))
 	}
-	f.Close()
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
 	if _, err := db.Execute(ctx, fmt.Sprintf(`
 CREATE TYPE AccessLogType AS CLOSED {
 	ip: string, time: string, user: string, verb: string,

@@ -24,6 +24,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	//lint:ignore err-discard best-effort cleanup of the demo temp dir
 	defer os.RemoveAll(dir)
 
 	db, err := asterix.Open(asterix.Config{DataDir: dir})

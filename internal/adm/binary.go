@@ -112,7 +112,9 @@ func Decode(data []byte) (Value, int, error) {
 		return Double(math.Float64frombits(binary.BigEndian.Uint64(data[pos:]))), pos + 8, nil
 	case KindString:
 		l, n := binary.Uvarint(data[pos:])
-		if n <= 0 || pos+n+int(l) > len(data) {
+		// The length check stays in uint64: converting an adversarial l
+		// to int first can overflow negative and slip past the bound.
+		if n <= 0 || l > uint64(len(data)-pos-n) {
 			return fail("string")
 		}
 		pos += n
@@ -171,7 +173,7 @@ func Decode(data []byte) (Value, int, error) {
 		return u, pos + 16, nil
 	case KindBinary:
 		l, n := binary.Uvarint(data[pos:])
-		if n <= 0 || pos+n+int(l) > len(data) {
+		if n <= 0 || l > uint64(len(data)-pos-n) {
 			return fail("binary")
 		}
 		pos += n
@@ -184,7 +186,10 @@ func Decode(data []byte) (Value, int, error) {
 			return fail("collection")
 		}
 		pos += n
-		elems := make([]Value, 0, cnt)
+		// Cap the preallocation: cnt is untrusted and every element costs
+		// at least one input byte, so a huge count on a short input must
+		// not allocate ahead of decoding.
+		elems := make([]Value, 0, min(cnt, uint64(len(data)-pos)))
 		for i := uint64(0); i < cnt; i++ {
 			e, n, err := Decode(data[pos:])
 			if err != nil {
@@ -203,10 +208,11 @@ func Decode(data []byte) (Value, int, error) {
 			return fail("object")
 		}
 		pos += n
-		o := &Object{fields: make([]Field, 0, cnt)}
+		// Same untrusted-count cap as collections above.
+		o := &Object{fields: make([]Field, 0, min(cnt, uint64(len(data)-pos)))}
 		for i := uint64(0); i < cnt; i++ {
 			l, n := binary.Uvarint(data[pos:])
-			if n <= 0 || pos+n+int(l) > len(data) {
+			if n <= 0 || l > uint64(len(data)-pos-n) {
 				return fail("object field name")
 			}
 			pos += n

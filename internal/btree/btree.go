@@ -14,6 +14,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"asterix/internal/check"
 	"asterix/internal/storage"
 )
 
@@ -547,5 +548,9 @@ func (t *BTree) BulkLoad(next func() (key, value []byte, ok bool)) error {
 	t.root = pages[0]
 	t.height = height
 	t.count = total
-	return t.syncMeta()
+	if err := t.syncMeta(); err != nil {
+		return err
+	}
+	// Deep structural walk of the freshly built tree in invariant builds.
+	return check.Run(t)
 }

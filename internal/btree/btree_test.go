@@ -8,6 +8,7 @@ import (
 	"sort"
 	"testing"
 
+	"asterix/internal/check"
 	"asterix/internal/storage"
 )
 
@@ -27,6 +28,13 @@ func newTree(t testing.TB, pageSize, frames int) *BTree {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Every test ends with a deep structural walk and a pin-leak check.
+	t.Cleanup(func() {
+		check.MustValidate(t, bt)
+		if n := bc.Pinned(); n != 0 {
+			t.Errorf("buffer cache still holds %d pins after the test", n)
+		}
+	})
 	return bt
 }
 

@@ -1,0 +1,85 @@
+package btree
+
+import (
+	"testing"
+
+	"asterix/internal/storage"
+)
+
+// rawTree builds a tree without newTree's cleanup validation, so tests
+// can corrupt it deliberately.
+func rawTree(t *testing.T) *BTree {
+	t.Helper()
+	fm, err := storage.NewFileManager(t.TempDir(), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fm.Close() })
+	bc := storage.NewBufferCache(fm, 64)
+	id, err := fm.Open("bt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt, err := Open(bc, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bt
+}
+
+func TestValidateCleanTree(t *testing.T) {
+	bt := rawTree(t)
+	for i := 0; i < 500; i++ {
+		if err := bt.Insert(ikey(i), ikey(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bt.Validate(); err != nil {
+		t.Fatalf("healthy tree failed validation: %v", err)
+	}
+}
+
+func TestValidateDetectsCountMismatch(t *testing.T) {
+	bt := rawTree(t)
+	for i := 0; i < 50; i++ {
+		if err := bt.Insert(ikey(i), ikey(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bt.count += 5
+	if err := bt.Validate(); err == nil {
+		t.Fatal("validator missed a meta-count mismatch")
+	}
+	bt.count -= 5
+}
+
+func TestValidateDetectsKeyDisorder(t *testing.T) {
+	bt := rawTree(t)
+	for i := 0; i < 500; i++ {
+		if err := bt.Insert(ikey(i), ikey(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Swap two keys in the leftmost leaf.
+	num := bt.root
+	for {
+		n, err := bt.readNode(num)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n.typ == nodeLeaf {
+			if len(n.keys) < 2 {
+				t.Fatal("leftmost leaf too small to corrupt")
+			}
+			n.keys[0], n.keys[1] = n.keys[1], n.keys[0]
+			if err := bt.writeNode(num, n); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+		num = n.children[0]
+	}
+	if err := bt.Validate(); err == nil {
+		t.Fatal("validator missed out-of-order keys")
+	}
+}

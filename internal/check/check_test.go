@@ -1,0 +1,69 @@
+package check
+
+import (
+	"errors"
+	"testing"
+)
+
+type fake struct{ err error }
+
+func (f fake) Validate() error { return f.err }
+
+func TestRunDisabledByDefault(t *testing.T) {
+	if tagEnabled {
+		t.Skip("built with -tags invariants")
+	}
+	t.Setenv("ASTERIX_INVARIANTS", "")
+	if Enabled() {
+		t.Fatal("Enabled() = true in a default build with no env")
+	}
+	if err := Run(fake{err: errors.New("boom")}); err != nil {
+		t.Fatalf("Run must be a no-op when disabled, got %v", err)
+	}
+}
+
+func TestRunEnabledByEnv(t *testing.T) {
+	t.Setenv("ASTERIX_INVARIANTS", "1")
+	if !Enabled() {
+		t.Fatal("Enabled() = false with ASTERIX_INVARIANTS set")
+	}
+	if err := Run(fake{err: errors.New("boom")}); err == nil {
+		t.Fatal("Run must surface the violation when enabled")
+	}
+	if err := Run(fake{}); err != nil {
+		t.Fatalf("Run on a valid structure: %v", err)
+	}
+	if err := Run(nil); err != nil {
+		t.Fatalf("Run(nil) must be a no-op, got %v", err)
+	}
+}
+
+func TestAssertPanics(t *testing.T) {
+	t.Setenv("ASTERIX_INVARIANTS", "1")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Assert must panic on violation")
+		}
+	}()
+	Assert(fake{err: errors.New("boom")})
+}
+
+type fataler struct {
+	failed bool
+	msg    string
+}
+
+func (f *fataler) Helper() {}
+func (f *fataler) Fatalf(format string, args ...any) {
+	f.failed = true
+	f.msg = format
+}
+
+func TestMustValidateRunsWhenDisabled(t *testing.T) {
+	t.Setenv("ASTERIX_INVARIANTS", "")
+	var tb fataler
+	MustValidate(&tb, fake{err: errors.New("boom")})
+	if !tb.failed {
+		t.Fatal("MustValidate must run validators even when checking is disabled")
+	}
+}

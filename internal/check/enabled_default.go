@@ -1,0 +1,7 @@
+//go:build !invariants
+
+package check
+
+// tagEnabled is false in default builds: production Run/Assert hooks are
+// no-ops unless ASTERIX_INVARIANTS is set in the environment.
+const tagEnabled = false

@@ -1,0 +1,7 @@
+//go:build invariants
+
+package check
+
+// tagEnabled is true in -tags invariants builds: production Run/Assert
+// hooks validate on every call.
+const tagEnabled = true

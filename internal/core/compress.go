@@ -67,7 +67,9 @@ func decodeRecordBytes(stored []byte) ([]byte, error) {
 			return nil, err
 		}
 		out, err := io.ReadAll(r)
-		r.Close()
+		if cerr := r.Close(); err == nil {
+			err = cerr
+		}
 		flateReaders.Put(r)
 		if err != nil {
 			return nil, fmt.Errorf("core: decompress record: %w", err)

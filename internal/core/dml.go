@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"asterix/internal/adm"
@@ -47,6 +48,13 @@ func (e *Engine) execUpsert(ctx context.Context, dataset string, expr sqlpp.Expr
 	return Result{Kind: ResultDML, Count: n}, nil
 }
 
+// rollback aborts tx on an error path. The abort's own error (a failed
+// WAL append) is joined with the error being propagated, so neither is
+// silently discarded.
+func rollback(tx *txn.Txn, err error) error {
+	return errors.Join(err, tx.Abort())
+}
+
 // storeRecords writes a batch of records transactionally.
 func (e *Engine) storeRecords(d *Dataset, recs []adm.Value, upsert bool) (int64, error) {
 	tx := e.txmgr.Begin()
@@ -54,35 +62,28 @@ func (e *Engine) storeRecords(d *Dataset, recs []adm.Value, upsert bool) (int64,
 	for _, rv := range recs {
 		rec, ok := rv.(*adm.Object)
 		if !ok {
-			tx.Abort()
-			return count, fmt.Errorf("core: record is %s, not object", rv.Kind())
+			return count, rollback(tx, fmt.Errorf("core: record is %s, not object", rv.Kind()))
 		}
 		if err := d.typ.Validate(rec); err != nil {
-			tx.Abort()
-			return count, err
+			return count, rollback(tx, err)
 		}
 		part, keyBytes, _, err := d.locate(rec)
 		if err != nil {
-			tx.Abort()
-			return count, err
+			return count, rollback(tx, err)
 		}
 		if !upsert {
 			if _, exists, err := d.getRecord(part, keyBytes); err != nil {
-				tx.Abort()
-				return count, err
+				return count, rollback(tx, err)
 			} else if exists {
-				tx.Abort()
-				return count, fmt.Errorf("core: duplicate primary key in %s", d.def.Name)
+				return count, rollback(tx, fmt.Errorf("core: duplicate primary key in %s", d.def.Name))
 			}
 		}
 		recBytes := adm.EncodeValue(rec)
 		if err := tx.LogUpdate(d.def.Name, int32(part), txn.OpUpsert, keyBytes, recBytes); err != nil {
-			tx.Abort()
-			return count, err
+			return count, rollback(tx, err)
 		}
 		if err := d.applyUpsert(part, keyBytes, rec); err != nil {
-			tx.Abort()
-			return count, err
+			return count, rollback(tx, err)
 		}
 		count++
 	}
@@ -140,12 +141,10 @@ func (e *Engine) execDelete(ctx context.Context, s *sqlpp.DeleteStmt) (Result, e
 	tx := e.txmgr.Begin()
 	for _, v := range victims {
 		if err := tx.LogUpdate(d.def.Name, int32(v.part), txn.OpDelete, v.key, nil); err != nil {
-			tx.Abort()
-			return Result{}, err
+			return Result{}, rollback(tx, err)
 		}
 		if err := d.applyDelete(v.part, v.key); err != nil {
-			tx.Abort()
-			return Result{}, err
+			return Result{}, rollback(tx, err)
 		}
 	}
 	if err := tx.Commit(); err != nil {
@@ -209,12 +208,10 @@ func (e *Engine) DeleteKey(dataset string, pk ...adm.Value) error {
 	part := d.partitionOf(pk)
 	tx := e.txmgr.Begin()
 	if err := tx.LogUpdate(d.def.Name, int32(part), txn.OpDelete, kb, nil); err != nil {
-		tx.Abort()
-		return err
+		return rollback(tx, err)
 	}
 	if err := d.applyDelete(part, kb); err != nil {
-		tx.Abort()
-		return err
+		return rollback(tx, err)
 	}
 	return tx.Commit()
 }

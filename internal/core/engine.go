@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"path/filepath"
 	"strings"
@@ -76,6 +77,7 @@ func (c Config) withDefaults() (Config, error) {
 	if c.WorkingMemory <= 0 {
 		c.WorkingMemory = 32 << 20
 	}
+	//lint:ignore obs-nil config defaulting, not instrumentation branching: a real registry keeps Snapshot and /metrics meaningful
 	if c.Metrics == nil {
 		c.Metrics = obs.NewRegistry()
 	}
@@ -207,18 +209,10 @@ func (e *Engine) Checkpoint() error {
 }
 
 // Close flushes caches and closes files (without checkpointing; reopen
-// will recover from the log).
+// will recover from the log). Every stage runs even if an earlier one
+// fails; the errors are joined.
 func (e *Engine) Close() error {
-	if err := e.bc.FlushAll(); err != nil {
-		e.fm.Close()
-		e.txmgr.Log.Close()
-		return err
-	}
-	if err := e.fm.Close(); err != nil {
-		e.txmgr.Log.Close()
-		return err
-	}
-	return e.txmgr.Log.Close()
+	return errors.Join(e.bc.FlushAll(), e.fm.Close(), e.txmgr.Log.Close())
 }
 
 // registerMetrics binds the engine's registry: push-style engine

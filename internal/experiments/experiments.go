@@ -167,6 +167,7 @@ func E1ScaleOut(scale Scale, workDir string) (*Report, error) {
 			fmt.Sprintf("%.2fx", float64(base)/float64(avg)),
 		})
 		e.Close()
+		//lint:ignore err-discard benchmark scratch-dir cleanup is best-effort
 		os.RemoveAll(dir)
 	}
 	return rep, nil
@@ -185,6 +186,7 @@ func E2Spatial(scale Scale, workDir string) (*Report, error) {
 		},
 	}
 	dir := filepath.Join(workDir, "e2")
+	//lint:ignore err-discard benchmark scratch-dir cleanup is best-effort
 	defer os.RemoveAll(dir)
 	e, err := newEngine(dir, 2, nil, 0)
 	if err != nil {
@@ -269,11 +271,13 @@ func E3BtreeVsHash(scale Scale, workDir string) (*Report, error) {
 		Header: []string{"structure", "load-mode", "load-time", "lookup(avg I/O)", "lookup-time"},
 	}
 	dir := filepath.Join(workDir, "e3")
+	//lint:ignore err-discard benchmark scratch-dir cleanup is best-effort
 	defer os.RemoveAll(dir)
 	fm, err := storage.NewFileManager(dir, 4096)
 	if err != nil {
 		return nil, err
 	}
+	//lint:ignore err-discard benchmark scratch teardown is best-effort
 	defer fm.Close()
 	const cachePages = 256 // a modest memory allocation
 	n := scale.Keys
@@ -374,6 +378,7 @@ func E4MRvsHyracks(scale Scale, workDir string) (*Report, error) {
 		Header: []string{"engine", "time", "shuffle-bytes", "result-rows"},
 	}
 	dir := filepath.Join(workDir, "e4")
+	//lint:ignore err-discard benchmark scratch-dir cleanup is best-effort
 	defer os.RemoveAll(dir)
 	e, err := newEngine(filepath.Join(dir, "engine"), 2, nil, 0)
 	if err != nil {
@@ -499,6 +504,7 @@ func E5MemoryBudget(scale Scale, workDir string) (*Report, error) {
 		Header: []string{"budget", "sort-time", "spill-runs"},
 	}
 	dir := filepath.Join(workDir, "e5")
+	//lint:ignore err-discard benchmark scratch-dir cleanup is best-effort
 	defer os.RemoveAll(dir)
 	rows := scale.SortRows
 	dataBytes := rows * 64

@@ -26,6 +26,7 @@ func E6HTAPIsolation(scale Scale, workDir string) (*Report, error) {
 		Header: []string{"phase", "frontend-ops/s", "analytics-queries", "shadow-lag"},
 	}
 	dir := filepath.Join(workDir, "e6")
+	//lint:ignore err-discard benchmark scratch-dir cleanup is best-effort
 	defer os.RemoveAll(dir)
 	e, err := newEngine(dir, 2, nil, 0)
 	if err != nil {
@@ -137,6 +138,7 @@ func E7AqlVsSqlpp(scale Scale, workDir string) (*Report, error) {
 		Header: []string{"query", "sqlpp", "aql", "ratio", "rows-equal"},
 	}
 	dir := filepath.Join(workDir, "e7")
+	//lint:ignore err-discard benchmark scratch-dir cleanup is best-effort
 	defer os.RemoveAll(dir)
 	e, err := newEngine(dir, 2, nil, 0)
 	if err != nil {
@@ -260,6 +262,7 @@ func E8MergePolicy(scale Scale, workDir string) (*Report, error) {
 			fmt.Sprintf("%.1fµs", float64(get.Nanoseconds())/1000),
 		})
 		e.Close()
+		//lint:ignore err-discard benchmark scratch-dir cleanup is best-effort
 		os.RemoveAll(dir)
 	}
 	return rep, nil
@@ -274,6 +277,7 @@ func E9Figure3(scale Scale, workDir string) (*Report, error) {
 		Header: []string{"users", "log-lines", "query-time", "groups"},
 	}
 	dir := filepath.Join(workDir, "e9")
+	//lint:ignore err-discard benchmark scratch-dir cleanup is best-effort
 	defer os.RemoveAll(dir)
 	e, err := newEngine(filepath.Join(dir, "engine"), 2, nil, 0)
 	if err != nil {
@@ -328,6 +332,7 @@ func E10Recovery(scale Scale, workDir string) (*Report, error) {
 		Header: []string{"records", "ingest", "recovery", "records/s", "verified"},
 	}
 	dir := filepath.Join(workDir, "e10")
+	//lint:ignore err-discard benchmark scratch-dir cleanup is best-effort
 	defer os.RemoveAll(dir)
 	cfg := core.Config{DataDir: dir, Partitions: 2, NoSyncCommits: true, Now: fixedClock()}
 	e, err := core.Open(cfg)
@@ -420,6 +425,7 @@ func E11PKSortAblation(scale Scale, workDir string) (*Report, error) {
 		Header: []string{"fetch-order", "rows", "time", "physical-reads"},
 	}
 	dir := filepath.Join(workDir, "e11")
+	//lint:ignore err-discard benchmark scratch-dir cleanup is best-effort
 	defer os.RemoveAll(dir)
 	// A small buffer cache makes locality visible.
 	e, err := core.Open(core.Config{
@@ -556,6 +562,7 @@ func E12Compression(scale Scale, workDir string) (*Report, error) {
 			label = "on"
 		}
 		rep.Rows = append(rep.Rows, []string{label, ms(ingest), fmt.Sprint(size), ms(scan)})
+		//lint:ignore err-discard benchmark scratch-dir cleanup is best-effort
 		os.RemoveAll(dir)
 	}
 	return rep, nil

@@ -66,6 +66,7 @@ func (a *delimitedAdapter) Scan(partition, numPartitions int, emit func(adm.Valu
 	if err != nil {
 		return fmt.Errorf("external: %w", err)
 	}
+	//lint:ignore err-discard read-only scan; a close failure cannot lose data
 	defer f.Close()
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -146,6 +147,7 @@ func (a *jsonLinesAdapter) Scan(partition, numPartitions int, emit func(adm.Valu
 	if err != nil {
 		return fmt.Errorf("external: %w", err)
 	}
+	//lint:ignore err-discard read-only scan; a close failure cannot lose data
 	defer f.Close()
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 16<<20)

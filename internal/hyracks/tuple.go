@@ -155,7 +155,9 @@ func (rw *RunWriter) Finish() (*RunReader, error) {
 // Abort discards the run file without reading it.
 func (rw *RunWriter) Abort() {
 	name := rw.f.Name()
+	//lint:ignore err-discard best-effort cleanup of a spill file that is being thrown away
 	rw.f.Close()
+	//lint:ignore err-discard best-effort cleanup of a spill file that is being thrown away
 	os.Remove(name)
 }
 
@@ -206,6 +208,8 @@ func (rr *RunReader) Next() (Tuple, bool, error) {
 func (rr *RunReader) Close() error {
 	name := rr.f.Name()
 	err := rr.f.Close()
-	os.Remove(name)
+	if rerr := os.Remove(name); err == nil {
+		err = rerr
+	}
 	return err
 }

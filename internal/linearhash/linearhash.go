@@ -222,6 +222,7 @@ func uvarintLen(x int) int {
 
 func hashKey(key []byte) uint64 {
 	h := fnv.New64a()
+	//lint:ignore err-discard hash.Hash documents that Write never returns an error
 	h.Write(key)
 	return h.Sum64()
 }

@@ -21,8 +21,10 @@ func newBloom(n int) *bloomFilter {
 
 func bloomHashes(key []byte) (uint64, uint64) {
 	h := fnv.New64a()
+	//lint:ignore err-discard hash.Hash documents that Write never returns an error
 	h.Write(key)
 	h1 := h.Sum64()
+	//lint:ignore err-discard hash.Hash documents that Write never returns an error
 	h.Write([]byte{0x9e})
 	return h1, h.Sum64()
 }

@@ -6,9 +6,22 @@ import (
 	"math/rand"
 	"testing"
 
+	"asterix/internal/check"
 	"asterix/internal/rtree"
 	"asterix/internal/storage"
 )
+
+// mustValidate runs the deep LSM and buffer-cache validators and checks
+// for leaked pins; called at the end of tests that exercised flushes,
+// merges, or reopen.
+func mustValidate(t *testing.T, tr *Tree, bc *storage.BufferCache) {
+	t.Helper()
+	check.MustValidate(t, tr)
+	check.MustValidate(t, bc)
+	if n := bc.Pinned(); n != 0 {
+		t.Errorf("buffer cache still holds %d pins after the test", n)
+	}
+}
 
 func newEnv(t testing.TB, pageSize, frames int) (*storage.BufferCache, string) {
 	t.Helper()
@@ -173,6 +186,7 @@ func TestTreeFlushAndNewestWins(t *testing.T) {
 	if n != 200 {
 		t.Fatalf("scan found %d", n)
 	}
+	mustValidate(t, tr, bc)
 }
 
 func TestTreeScanAcrossMemAndDisk(t *testing.T) {
@@ -250,6 +264,7 @@ func TestConstantPolicyMerges(t *testing.T) {
 	if n != 600 {
 		t.Fatalf("count after merges = %d", n)
 	}
+	mustValidate(t, tr, bc)
 }
 
 func TestMergeDropsTombstones(t *testing.T) {
@@ -281,6 +296,7 @@ func TestMergeDropsTombstones(t *testing.T) {
 	if physical != 50 {
 		t.Errorf("physical entries = %d, tombstones not dropped", physical)
 	}
+	mustValidate(t, tr, bc)
 }
 
 func TestTreeReopenFromManifest(t *testing.T) {
@@ -319,6 +335,7 @@ func TestTreeReopenFromManifest(t *testing.T) {
 	if _, ok, _ := tr2.Get(ikey(42)); !ok {
 		t.Error("key lost across reopen")
 	}
+	mustValidate(t, tr2, bc2)
 }
 
 // Property: LSM tree matches a reference map under random ops with
@@ -370,6 +387,7 @@ func TestPropTreeMatchesReference(t *testing.T) {
 			t.Fatalf("key %s: %q != %q", k, got[k], v)
 		}
 	}
+	mustValidate(t, tr, bc)
 }
 
 func TestLSMRTreeInsertSearchDelete(t *testing.T) {
@@ -567,4 +585,5 @@ func TestTreeConcurrentReadersAndWriter(t *testing.T) {
 	if cnt != n {
 		t.Fatalf("count = %d, want %d", cnt, n)
 	}
+	mustValidate(t, tr, bc)
 }

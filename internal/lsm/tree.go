@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"asterix/internal/btree"
+	"asterix/internal/check"
 	"asterix/internal/obs"
 	"asterix/internal/storage"
 )
@@ -201,15 +202,23 @@ func encodeFlagged(value []byte, tombstone bool) []byte {
 	return append(out, value...)
 }
 
+// memRef returns the current memory component. Flush swaps the pointer
+// under t.mu, so every access outside Flush goes through here.
+func (t *Tree) memRef() *memTable {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.mem
+}
+
 // Upsert inserts or replaces the value stored under key.
 func (t *Tree) Upsert(key, value []byte) error {
-	t.mem.put(key, value, false)
+	t.memRef().put(key, value, false)
 	return t.maybeFlush()
 }
 
 // Delete records an antimatter entry for key (the key need not exist).
 func (t *Tree) Delete(key []byte) error {
-	t.mem.put(key, nil, true)
+	t.memRef().put(key, nil, true)
 	return t.maybeFlush()
 }
 
@@ -248,7 +257,7 @@ func (t *Tree) destroyComponent(c *diskComponent) error {
 
 // Get returns the newest live value for key.
 func (t *Tree) Get(key []byte) ([]byte, bool, error) {
-	if v, tomb, ok := t.mem.get(key); ok {
+	if v, tomb, ok := t.memRef().get(key); ok {
 		if tomb {
 			return nil, false, nil
 		}
@@ -283,7 +292,7 @@ func (t *Tree) Scan(lo, hi []byte, fn func(key, value []byte) bool) error {
 		tombstone  bool
 	}
 	var memRun []flaggedEntry
-	t.mem.scan(lo, hi, func(e memEntry) bool {
+	t.memRef().scan(lo, hi, func(e memEntry) bool {
 		memRun = append(memRun, flaggedEntry{e.key, e.value, e.tombstone})
 		return true
 	})
@@ -348,7 +357,7 @@ func (t *Tree) Scan(lo, hi []byte, fn func(key, value []byte) bool) error {
 }
 
 // MemSize returns the memory component's approximate byte size.
-func (t *Tree) MemSize() int { return t.mem.size() }
+func (t *Tree) MemSize() int { return t.memRef().size() }
 
 // DiskComponents returns the current number of disk components.
 func (t *Tree) DiskComponents() int {
@@ -359,14 +368,17 @@ func (t *Tree) DiskComponents() int {
 
 // maybeFlush flushes when the memory budget is exceeded.
 func (t *Tree) maybeFlush() error {
-	if t.mem.size() < t.memBudget {
+	if t.memRef().size() < t.memBudget {
 		return nil
 	}
 	return t.Flush()
 }
 
 // Flush persists the memory component as a new disk component and applies
-// the merge policy.
+// the merge policy. Writers are single-threaded per tree (the engine
+// serializes mutations per partition), so no put can land in the old
+// memory component between the snapshot scan and the pointer swap;
+// concurrent readers are safe because they take the pointer via memRef.
 func (t *Tree) Flush() error {
 	flushStart := time.Now()
 	t.mu.Lock()
@@ -425,6 +437,10 @@ func (t *Tree) Flush() error {
 	}
 	if t.OnFlush != nil {
 		t.OnFlush()
+	}
+	// Component sequencing + manifest walk in invariant builds.
+	if err := check.Run(t); err != nil {
+		return err
 	}
 	return t.maybeMerge()
 }
@@ -551,7 +567,10 @@ func (t *Tree) mergeRange(lo, hi int) error {
 	if err := t.release(victims); err != nil {
 		return err
 	}
-	return t.release(victims)
+	if err := t.release(victims); err != nil {
+		return err
+	}
+	return check.Run(t)
 }
 
 // Count estimates the number of live keys by a full scan (exact but O(n));

@@ -1,0 +1,59 @@
+package lsm
+
+import "testing"
+
+func flushedTree(t *testing.T) *Tree {
+	t.Helper()
+	bc, _ := newEnv(t, 1024, 512)
+	tr, err := Open(bc, "v", Options{MemBudget: 1 << 30, Policy: NoMergePolicy{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for gen := 0; gen < 2; gen++ {
+		for i := 0; i < 100; i++ {
+			tr.Upsert(ikey(i), ikey(i+gen))
+		}
+		if err := tr.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr
+}
+
+func TestValidateDetectsComponentDisorder(t *testing.T) {
+	tr := flushedTree(t)
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("healthy tree failed validation: %v", err)
+	}
+	tr.mu.Lock()
+	tr.disk[0], tr.disk[1] = tr.disk[1], tr.disk[0]
+	tr.mu.Unlock()
+	if err := tr.Validate(); err == nil {
+		t.Fatal("validator missed out-of-order components")
+	}
+	tr.mu.Lock()
+	tr.disk[0], tr.disk[1] = tr.disk[1], tr.disk[0]
+	tr.mu.Unlock()
+}
+
+func TestValidateDetectsDroppedInList(t *testing.T) {
+	tr := flushedTree(t)
+	tr.disk[0].dropped = true
+	if err := tr.Validate(); err == nil {
+		t.Fatal("validator missed a dropped component in the live list")
+	}
+	tr.disk[0].dropped = false
+}
+
+func TestValidateDetectsManifestDrift(t *testing.T) {
+	tr := flushedTree(t)
+	// A component the manifest does not know about.
+	tr.mu.Lock()
+	extra := tr.disk[0]
+	tr.disk = append([]*diskComponent{{seq: tr.seq, file: extra.file, bt: extra.bt, bloom: extra.bloom, refs: 1}}, tr.disk...)
+	tr.seq++
+	tr.mu.Unlock()
+	if err := tr.Validate(); err == nil {
+		t.Fatal("validator missed a component missing from the manifest")
+	}
+}

@@ -12,6 +12,7 @@ package mapreduce
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -64,6 +65,7 @@ func Run(job *Job) ([]adm.Value, Stats, error) {
 	if err != nil {
 		return nil, stats, err
 	}
+	//lint:ignore err-discard best-effort cleanup of the job's private temp dir
 	defer os.RemoveAll(dir)
 
 	// --- Map phase ---
@@ -207,18 +209,15 @@ func writeShuffleFile(path string, pairs []Pair) (int64, error) {
 		var hdr [binary.MaxVarintLen64]byte
 		n := binary.PutUvarint(hdr[:], uint64(len(buf)))
 		if _, err := w.Write(hdr[:n]); err != nil {
-			f.Close()
-			return 0, err
+			return 0, errors.Join(err, f.Close())
 		}
 		if _, err := w.Write(buf); err != nil {
-			f.Close()
-			return 0, err
+			return 0, errors.Join(err, f.Close())
 		}
 		total += int64(n + len(buf))
 	}
 	if err := w.Flush(); err != nil {
-		f.Close()
-		return 0, err
+		return 0, errors.Join(err, f.Close())
 	}
 	return total, f.Close()
 }
@@ -231,6 +230,7 @@ func readShuffleFile(path string) ([]Pair, error) {
 	if err != nil {
 		return nil, err
 	}
+	//lint:ignore err-discard read-only scan; a close failure cannot lose data
 	defer f.Close()
 	r := bufio.NewReaderSize(f, 1<<16)
 	var out []Pair

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"asterix/internal/check"
 	"asterix/internal/storage"
 )
 
@@ -70,6 +71,7 @@ func TestInsertSearchMatchesBruteForce(t *testing.T) {
 	if tr.Len() != len(es) {
 		t.Fatalf("len = %d", tr.Len())
 	}
+	check.MustValidate(t, tr)
 	r := rand.New(rand.NewSource(7))
 	for q := 0; q < 50; q++ {
 		x, y := r.Float64()*900, r.Float64()*900
@@ -138,6 +140,8 @@ func TestDelete(t *testing.T) {
 	if tr.Delete(PointRect(-999, -999), payload(0)) {
 		t.Error("deleting absent entry should return false")
 	}
+	// MBRs must have been tightened correctly by the deletions.
+	check.MustValidate(t, tr)
 }
 
 func TestSearchEarlyStop(t *testing.T) {

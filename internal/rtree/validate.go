@@ -1,0 +1,79 @@
+package rtree
+
+import "fmt"
+
+// Validate verifies the in-memory R-tree's structural invariants:
+//
+//   - every node's MBR is exactly the union of its children's MBRs
+//     (leaves: of its entries' rectangles) — containment alone would let
+//     bounding boxes drift loose after deletes and silently degrade
+//     search pruning, so equality is enforced;
+//   - leaves carry entries and no children; interior nodes the reverse;
+//   - no node exceeds maxEntries (lazy deletion means no minimum);
+//   - all leaves sit at the same depth;
+//   - the entry count matches Len().
+//
+// O(n); intended for tests and opt-in check hooks.
+func (t *RTree) Validate() error {
+	if t.root == nil {
+		return fmt.Errorf("rtree: nil root")
+	}
+	total := 0
+	leafDepth := -1
+	var walk func(n *memNode, depth int) error
+	walk = func(n *memNode, depth int) error {
+		if n.leaf {
+			if len(n.children) != 0 {
+				return fmt.Errorf("rtree: leaf at depth %d has %d children", depth, len(n.children))
+			}
+			if len(n.entries) > maxEntries {
+				return fmt.Errorf("rtree: leaf holds %d entries, max is %d", len(n.entries), maxEntries)
+			}
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if depth != leafDepth {
+				return fmt.Errorf("rtree: leaves at depths %d and %d, want uniform", leafDepth, depth)
+			}
+			total += len(n.entries)
+			if len(n.entries) > 0 {
+				mbr := n.entries[0].Rect
+				for _, e := range n.entries[1:] {
+					mbr = mbr.Union(e.Rect)
+				}
+				if n.rect != mbr {
+					return fmt.Errorf("rtree: leaf MBR %v is not the union %v of its entries", n.rect, mbr)
+				}
+			}
+			return nil
+		}
+		if len(n.entries) != 0 {
+			return fmt.Errorf("rtree: interior node at depth %d has %d entries", depth, len(n.entries))
+		}
+		if len(n.children) == 0 {
+			return fmt.Errorf("rtree: interior node at depth %d has no children", depth)
+		}
+		if len(n.children) > maxEntries {
+			return fmt.Errorf("rtree: interior node holds %d children, max is %d", len(n.children), maxEntries)
+		}
+		mbr := n.children[0].rect
+		for _, c := range n.children[1:] {
+			mbr = mbr.Union(c.rect)
+		}
+		if n.rect != mbr {
+			return fmt.Errorf("rtree: interior MBR %v is not the union %v of its children", n.rect, mbr)
+		}
+		for _, c := range n.children {
+			if err := walk(c, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, 0); err != nil {
+		return err
+	}
+	if total != t.count {
+		return fmt.Errorf("rtree: nodes hold %d entries, count says %d", total, t.count)
+	}
+	return nil
+}

@@ -1,0 +1,31 @@
+package rtree
+
+import "testing"
+
+func TestValidateDetectsLooseMBR(t *testing.T) {
+	tr := New()
+	for _, e := range randomPoints(300, 3) {
+		tr.Insert(e.Rect, e.Payload)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("healthy tree failed validation: %v", err)
+	}
+	saved := tr.root.rect
+	tr.root.rect = Rect{MinX: -1e9, MinY: -1e9, MaxX: 1e9, MaxY: 1e9}
+	if err := tr.Validate(); err == nil {
+		t.Fatal("validator missed a loose (non-tight) MBR")
+	}
+	tr.root.rect = saved
+}
+
+func TestValidateDetectsCountDrift(t *testing.T) {
+	tr := New()
+	for _, e := range randomPoints(50, 4) {
+		tr.Insert(e.Rect, e.Payload)
+	}
+	tr.count++
+	if err := tr.Validate(); err == nil {
+		t.Fatal("validator missed an entry-count drift")
+	}
+	tr.count--
+}

@@ -58,6 +58,7 @@ func NewHandler(e Engine, opts Options) http.Handler {
 		opts.Logger = log.Default()
 	}
 	reg := opts.Registry
+	//lint:ignore obs-nil config defaulting, not instrumentation branching: prefer the engine's registry so scrapes see its counters
 	if reg == nil {
 		if mp, ok := e.(MetricsProvider); ok {
 			reg = mp.Metrics()
@@ -231,6 +232,7 @@ func (s *service) serveQuery(w http.ResponseWriter, r *http.Request) {
 	if resp.Status != "success" {
 		w.WriteHeader(http.StatusInternalServerError)
 	}
+	//lint:ignore err-discard best-effort write to the response; a failure means the client is gone
 	json.NewEncoder(w).Encode(&resp)
 }
 
@@ -247,5 +249,6 @@ func truncateStmt(s string) string {
 func writeError(w http.ResponseWriter, code int, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
+	//lint:ignore err-discard best-effort write to the response; a failure means the client is gone
 	json.NewEncoder(w).Encode(&queryResponse{Status: "fatal", Errors: []string{msg}})
 }

@@ -10,11 +10,17 @@ import (
 
 // Parser is a recursive-descent SQL++ parser.
 type Parser struct {
-	lx   *Lexer
-	tok  Token
-	next Token
-	err  error
+	lx    *Lexer
+	tok   Token
+	next  Token
+	err   error
+	depth int
 }
+
+// maxExprDepth bounds expression-nesting recursion so a hostile
+// multi-megabyte query ("(((((...") returns an error instead of
+// overflowing the goroutine stack.
+const maxExprDepth = 10000
 
 // NewParser creates a parser over src.
 func NewParser(src string) (*Parser, error) {
@@ -39,6 +45,9 @@ func ParseScript(src string) ([]Statement, error) {
 		for p.acceptOp(";") {
 		}
 		if p.tok.Kind == TokEOF {
+			if p.err != nil {
+				return nil, p.err
+			}
 			return stmts, nil
 		}
 		s, err := p.ParseStatement()
@@ -71,8 +80,17 @@ func ParseQuery(src string) (*QueryStmt, error) {
 
 func (p *Parser) advance() error {
 	p.tok = p.next
+	// Lexer errors are sticky: accept* callers discard advance's return,
+	// so the lookahead is pinned at EOF to guarantee every parsing loop
+	// terminates, and errf surfaces the recorded error.
+	if p.err != nil {
+		p.next = Token{Kind: TokEOF, Line: p.tok.Line}
+		return p.err
+	}
 	t, err := p.lx.Next()
 	if err != nil {
+		p.err = err
+		p.next = Token{Kind: TokEOF, Line: p.tok.Line}
 		return err
 	}
 	p.next = t
@@ -80,6 +98,9 @@ func (p *Parser) advance() error {
 }
 
 func (p *Parser) errf(format string, args ...any) error {
+	if p.err != nil {
+		return p.err
+	}
 	return &SyntaxError{Line: p.tok.Line, Msg: fmt.Sprintf(format, args...)}
 }
 
@@ -800,6 +821,11 @@ func (p *Parser) parseMultiplicative() (Expr, error) {
 }
 
 func (p *Parser) parseUnary() (Expr, error) {
+	p.depth++
+	defer func() { p.depth-- }()
+	if p.depth > maxExprDepth {
+		return nil, p.errf("expression nesting exceeds %d levels", maxExprDepth)
+	}
 	if p.acceptOp("-") {
 		x, err := p.parseUnary()
 		if err != nil {

@@ -5,7 +5,19 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+
+	"asterix/internal/check"
 )
+
+// validateQuiescent runs the cache's deep accounting validator and
+// asserts every pin has been released.
+func validateQuiescent(t *testing.T, bc *BufferCache) {
+	t.Helper()
+	check.MustValidate(t, bc)
+	if n := bc.Pinned(); n != 0 {
+		t.Errorf("quiescent cache holds %d pins", n)
+	}
+}
 
 func newFM(t *testing.T, pageSize int) *FileManager {
 	t.Helper()
@@ -118,6 +130,7 @@ func TestBufferCacheHitAndMiss(t *testing.T) {
 	if st.Reads != 0 {
 		t.Errorf("reads = %d, want 0 (page never left cache)", st.Reads)
 	}
+	validateQuiescent(t, bc)
 }
 
 func TestBufferCacheEvictionWritesBack(t *testing.T) {
@@ -148,6 +161,7 @@ func TestBufferCacheEvictionWritesBack(t *testing.T) {
 	if st := bc.Stats(); st.Writes == 0 {
 		t.Error("evictions should have caused physical writes")
 	}
+	validateQuiescent(t, bc)
 }
 
 func TestBufferCacheAllPinnedFails(t *testing.T) {
@@ -212,6 +226,7 @@ func TestBufferCacheFlushAndEvict(t *testing.T) {
 	if bc.Stats().Reads != before+1 {
 		t.Error("evict should have dropped the page from cache")
 	}
+	validateQuiescent(t, bc)
 }
 
 func TestBufferCacheConcurrentAccess(t *testing.T) {
@@ -255,6 +270,7 @@ func TestBufferCacheConcurrentAccess(t *testing.T) {
 	for err := range errCh {
 		t.Fatal(err)
 	}
+	validateQuiescent(t, bc)
 }
 
 func TestStatsHitRatio(t *testing.T) {

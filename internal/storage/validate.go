@@ -1,0 +1,64 @@
+package storage
+
+import "fmt"
+
+// Validate verifies the buffer cache's internal accounting:
+//
+//   - every page-table entry points at a valid frame holding that page;
+//   - every valid frame is reachable through the table (no orphans, and
+//     hence no two frames caching the same page);
+//   - pin counts are never negative;
+//   - every frame's buffer is exactly one page.
+//
+// Safe to call concurrently with cache traffic; it holds the cache mutex
+// for the duration of the walk.
+func (bc *BufferCache) Validate() error {
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+	valid := 0
+	for i := range bc.frames {
+		f := &bc.frames[i]
+		if len(f.page.Data) != bc.fm.PageSize() {
+			return fmt.Errorf("storage: frame %d buffer is %d bytes, page size is %d", i, len(f.page.Data), bc.fm.PageSize())
+		}
+		if f.page.frame != i {
+			return fmt.Errorf("storage: frame %d back-pointer says %d", i, f.page.frame)
+		}
+		if f.pins < 0 {
+			return fmt.Errorf("storage: frame %d has negative pin count %d", i, f.pins)
+		}
+		if !f.valid {
+			if f.pins != 0 {
+				return fmt.Errorf("storage: invalid frame %d holds %d pins", i, f.pins)
+			}
+			continue
+		}
+		valid++
+		j, ok := bc.table[f.page.ID]
+		if !ok {
+			return fmt.Errorf("storage: frame %d caches page %v not present in the table", i, f.page.ID)
+		}
+		if j != i {
+			return fmt.Errorf("storage: page %v cached in frames %d and %d", f.page.ID, i, j)
+		}
+	}
+	if len(bc.table) != valid {
+		return fmt.Errorf("storage: table has %d entries but %d frames are valid", len(bc.table), valid)
+	}
+	return nil
+}
+
+// Pinned returns the total pin count across all frames. A quiescent cache
+// (no operation in flight) must report zero: every Pin is matched by an
+// Unpin. Tests assert this between operations to catch pin leaks.
+func (bc *BufferCache) Pinned() int {
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+	total := 0
+	for i := range bc.frames {
+		if bc.frames[i].valid {
+			total += bc.frames[i].pins
+		}
+	}
+	return total
+}

@@ -1,0 +1,46 @@
+package storage
+
+import "testing"
+
+func TestValidateDetectsNegativePins(t *testing.T) {
+	fm := newFM(t, 256)
+	bc := NewBufferCache(fm, 4)
+	id, _ := fm.Open("f")
+	p, err := bc.NewPage(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc.Unpin(p, false)
+	if err := bc.Validate(); err != nil {
+		t.Fatalf("healthy cache failed validation: %v", err)
+	}
+	bc.mu.Lock()
+	bc.frames[p.frame].pins = -1
+	bc.mu.Unlock()
+	if err := bc.Validate(); err == nil {
+		t.Fatal("validator missed a negative pin count")
+	}
+	bc.mu.Lock()
+	bc.frames[p.frame].pins = 0
+	bc.mu.Unlock()
+}
+
+func TestValidateDetectsOrphanFrame(t *testing.T) {
+	fm := newFM(t, 256)
+	bc := NewBufferCache(fm, 4)
+	id, _ := fm.Open("f")
+	p, err := bc.NewPage(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc.Unpin(p, false)
+	bc.mu.Lock()
+	delete(bc.table, p.ID)
+	bc.mu.Unlock()
+	if err := bc.Validate(); err == nil {
+		t.Fatal("validator missed a valid frame absent from the page table")
+	}
+	bc.mu.Lock()
+	bc.table[p.ID] = p.frame
+	bc.mu.Unlock()
+}
