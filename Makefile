@@ -17,6 +17,14 @@ lint:
 invariants:
 	go test -tags invariants ./...
 
+# fault-matrix: the robustness gate — crash-recovery matrix, node-failure
+# and cancellation tests, and the WAL torn-tail suite, with deep
+# validators compiled in (see docs/ROBUSTNESS.md).
+fault-matrix:
+	go test -tags invariants -run 'TestCrash|TestKillNode|TestRunWithRetry|TestRunFails|TestNodeCrash|TestCancelMidQuery|TestRepairTail|TestTornWrite|TestWALSync|TestFlushFault|TestMergeFault|TestLockTimeout' \
+		./internal/core/ ./internal/hyracks/ ./internal/txn/ ./internal/lsm/
+	ASTERIX_FAULTS="hyracks.frame.delay:delay=1ms:times=4" go test -count=1 ./internal/hyracks/
+
 bench:
 	go test -bench . -benchtime 1x -run NONE .
 
@@ -31,7 +39,8 @@ help:
 	@echo "  verify      tier1 + lint + go vet + race detector"
 	@echo "  lint        asterixlint static analysis over the module"
 	@echo "  invariants  tests with deep structural validators enabled"
+	@echo "  fault-matrix crash-recovery + node-failure tests with validators on"
 	@echo "  fuzz-smoke  short bounded fuzz run (ADM codec, SQL++ parser)"
 	@echo "  bench       top-level benchmarks"
 
-.PHONY: tier1 verify lint invariants bench fuzz-smoke help
+.PHONY: tier1 verify lint invariants fault-matrix bench fuzz-smoke help

@@ -25,6 +25,10 @@ type Config struct {
 	// ErrPkgs are package paths (exact, or prefix when ending in "/")
 	// whose discarded error returns are flagged.
 	ErrPkgs []string
+	// FaultPkgPath is the fault-injection registry; production code may
+	// only call the guarded probe helpers named in FaultGuarded from it.
+	FaultPkgPath string
+	FaultGuarded []string
 }
 
 // DefaultConfig is the configuration for this repository.
@@ -38,6 +42,8 @@ func DefaultConfig() *Config {
 			"io", "os", "encoding/",
 			"asterix/internal/storage", "asterix/internal/txn",
 		},
+		FaultPkgPath: "asterix/internal/fault",
+		FaultGuarded: []string{"Hit", "Tear", "Armed", "Hits", "Fired", "Snapshot", "BindMetrics"},
 	}
 }
 
@@ -67,6 +73,7 @@ func AllRules() []*Rule {
 		ruleGoLifecycle(),
 		ruleErrDiscard(),
 		ruleFrameAlias(),
+		ruleFaultGate(),
 	}
 }
 

@@ -142,6 +142,10 @@ func TestObsNilCallSiteFixture(t *testing.T) {
 	checkFixture(t, "obsnil", nil)
 }
 
+func TestFaultGateFixture(t *testing.T) {
+	checkFixture(t, "faultgate", nil)
+}
+
 func TestFrameAliasFixture(t *testing.T) {
 	checkFixture(t, "framealias", func(cfg *Config, pkgPath string) {
 		cfg.TuplePkgPath = pkgPath

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// ruleFaultGate keeps fault injection out of production control flow:
+// outside the fault package itself, non-test code may only call the
+// guarded probe helpers (Hit, Tear, Armed, ...) whose disarmed cost is a
+// single atomic load and whose behavior is a no-op. Arming, seeding, and
+// disarming the registry change global state for the whole process and
+// belong to tests and explicitly-marked harnesses (the loader already
+// skips _test.go files, so this rule only sees production code).
+func ruleFaultGate() *Rule {
+	return &Rule{
+		Name: "fault-gate",
+		Doc:  "production code may only use guarded fault probes (fault.Hit/Tear/Armed); arming faults belongs to tests",
+		Run:  runFaultGate,
+	}
+}
+
+func runFaultGate(c *Config, p *Package, report func(token.Pos, string)) {
+	if p.Path == c.FaultPkgPath {
+		return // the registry's own implementation
+	}
+	guarded := map[string]bool{}
+	for _, name := range c.FaultGuarded {
+		guarded[name] = true
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != c.FaultPkgPath {
+				return true
+			}
+			if guarded[fn.Name()] {
+				return true
+			}
+			report(call.Pos(), "fault."+fn.Name()+" mutates the process-wide fault registry; "+
+				"production code must stick to guarded probes ("+guardedList(c)+") — arm faults from tests or ASTERIX_FAULTS")
+			return true
+		})
+	}
+}
+
+func guardedList(c *Config) string {
+	s := ""
+	for i, name := range c.FaultGuarded {
+		if i > 0 {
+			s += ", "
+		}
+		s += name
+	}
+	return s
+}

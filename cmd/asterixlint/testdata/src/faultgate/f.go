@@ -1,0 +1,46 @@
+// Package faultgate is the fixture for the fault-gate rule: production
+// code may probe fault points through the guarded helpers but must never
+// arm, seed, or disarm the process-wide registry — that is test and
+// harness territory.
+package faultgate
+
+import "asterix/internal/fault"
+
+func badArm() error {
+	return fault.Arm("lsm.flush.io:error") // WANT fault-gate
+}
+
+func badArmPoint() {
+	fault.ArmPoint(fault.Point{Name: fault.PointLSMFlush}) // WANT fault-gate
+}
+
+func badDisarm() {
+	fault.Disarm() // WANT fault-gate
+}
+
+func badSeed() {
+	fault.Seed(42) // WANT fault-gate
+}
+
+func goodProbes(buf []byte) ([]byte, error) {
+	if !fault.Armed() {
+		return buf, nil
+	}
+	if err := fault.Hit(fault.PointLSMFlush); err != nil {
+		return nil, err
+	}
+	if frag, torn := fault.Tear(fault.PointWALAppend, buf); torn {
+		return frag, nil
+	}
+	return buf, nil
+}
+
+func goodObservers() (int64, bool) {
+	_ = fault.Snapshot()
+	return fault.Hits(fault.PointLSMMerge), fault.Fired(fault.PointLSMMerge) > 0
+}
+
+func suppressedHarness() {
+	//lint:ignore fault-gate fixture: a marked harness may arm faults deliberately
+	fault.Disarm()
+}

@@ -11,6 +11,7 @@ import (
 
 	"asterix/internal/adm"
 	"asterix/internal/algebricks"
+	"asterix/internal/check"
 	"asterix/internal/external"
 	"asterix/internal/lsm"
 	"asterix/internal/metadata"
@@ -456,6 +457,27 @@ func (d *Dataset) FlushAll() error {
 		for _, rt := range si.rts {
 			if err := rt.Flush(); err != nil {
 				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Validate runs the deep structural validators (internal/check) over the
+// dataset's primary partition trees and value-keyed secondary index
+// trees. Like every check validator it is a no-op unless invariants are
+// enabled (-tags invariants or ASTERIX_INVARIANTS); the crash-recovery
+// matrix calls it after every Reopen.
+func (d *Dataset) Validate() error {
+	for p, t := range d.parts {
+		if err := check.Run(t); err != nil {
+			return fmt.Errorf("core: dataset %s partition %d: %w", d.def.Name, p, err)
+		}
+	}
+	for name, si := range d.idxs {
+		for _, t := range si.trees {
+			if err := check.Run(t); err != nil {
+				return fmt.Errorf("core: dataset %s index %s: %w", d.def.Name, name, err)
 			}
 		}
 	}

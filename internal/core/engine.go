@@ -11,6 +11,7 @@ import (
 
 	"asterix/internal/adm"
 	"asterix/internal/algebricks"
+	"asterix/internal/fault"
 	"asterix/internal/hyracks"
 	"asterix/internal/lsm"
 	"asterix/internal/metadata"
@@ -215,6 +216,22 @@ func (e *Engine) Close() error {
 	return errors.Join(e.bc.FlushAll(), e.fm.Close(), e.txmgr.Log.Close())
 }
 
+// CrashStop simulates a hard crash: file handles close WITHOUT flushing
+// the buffer cache or checkpointing, so only state already durable (the
+// WAL, flushed components, manifests) survives. The engine is unusable
+// afterwards; Reopen the DataDir to run recovery.
+func (e *Engine) CrashStop() error {
+	return errors.Join(e.fm.Close(), e.txmgr.Log.Close())
+}
+
+// Reopen opens a fresh engine over this engine's DataDir with the same
+// configuration — the crash-recovery path: call CrashStop (or Close)
+// first, then Reopen replays the WAL via txn.Manager.Recover into the
+// LSM datasets.
+func (e *Engine) Reopen() (*Engine, error) {
+	return Open(e.cfg)
+}
+
 // registerMetrics binds the engine's registry: push-style engine
 // instruments plus scrape-time callbacks publishing the private counters
 // of the storage buffer cache, Hyracks nodes, and transaction manager.
@@ -261,6 +278,20 @@ func (e *Engine) registerMetrics(reg *obs.Registry) {
 		func() float64 { return float64(tm.Stats().Commits) })
 	reg.RegisterFunc("txn_aborts_total", "transactions aborted", obs.TypeCounter,
 		func() float64 { return float64(tm.Stats().Aborts) })
+	reg.RegisterFunc("txn_torn_tails_total", "torn WAL tails detected by log scans", obs.TypeCounter,
+		func() float64 { return float64(tm.Log.TornTails()) })
+	tm.Locks.BindMetrics(reg)
+
+	reg.RegisterFunc("hyracks_job_attempts_total", "job executions including retries", obs.TypeCounter,
+		func() float64 { return float64(cl.RetryStats().Attempts) })
+	reg.RegisterFunc("hyracks_job_retries_total", "job re-executions after node failures", obs.TypeCounter,
+		func() float64 { return float64(cl.RetryStats().Retries) })
+	reg.RegisterFunc("hyracks_node_failures_total", "jobs failed by a node death", obs.TypeCounter,
+		func() float64 { return float64(cl.RetryStats().NodeFailures) })
+	reg.RegisterFunc("hyracks_dead_nodes", "node controllers currently dead", obs.TypeGauge,
+		func() float64 { return float64(len(cl.DeadNodeIDs())) })
+
+	fault.BindMetrics(reg)
 }
 
 // Metrics returns the engine's observability registry (the HTTP server
@@ -313,6 +344,11 @@ type Result struct {
 	Count int64
 	// Plan is the optimized logical plan (queries only).
 	Plan string
+	// Attempts is how many times the query's job ran (>1 after a node
+	// failure was retried); 0 for non-job statements.
+	Attempts int
+	// DeadNodes lists nodes observed dead while executing the query.
+	DeadNodes []string
 }
 
 // JSONRows renders query rows as JSON strings.
@@ -504,18 +540,33 @@ func (e *Engine) execQuery(ctx context.Context, q *sqlpp.QueryStmt) (Result, err
 	if err != nil {
 		return Result{}, err
 	}
+	// Execute with node-failure retry: the first attempt uses the job
+	// built under the compile span; a retry regenerates the job with a
+	// fresh collector (sinks hold per-run state) and runs it on the
+	// surviving nodes.
+	first := true
 	es := sp.StartChild("execute")
-	err = e.cluster.Run(obs.ContextWithSpan(ctx, es), job)
+	rep, err := e.cluster.RunWithRetry(obs.ContextWithSpan(ctx, es), func() (*hyracks.Job, error) {
+		if first {
+			first = false
+			return job, nil
+		}
+		coll = &hyracks.Collector{}
+		return g.Build(plan, coll)
+	}, hyracks.RetryPolicy{})
 	es.End()
 	if err != nil {
-		return Result{}, err
+		return Result{Attempts: rep.Attempts, DeadNodes: rep.DeadNodes}, err
 	}
 	es.Add("resultTuples", int64(coll.Len()))
 	rows := make([]adm.Value, 0, coll.Len())
 	for _, t := range coll.Tuples() {
 		rows = append(rows, t[0])
 	}
-	return Result{Kind: ResultQuery, Rows: rows, Plan: algebricks.PlanString(plan)}, nil
+	return Result{
+		Kind: ResultQuery, Rows: rows, Plan: algebricks.PlanString(plan),
+		Attempts: rep.Attempts, DeadNodes: rep.DeadNodes,
+	}, nil
 }
 
 // Explain returns the optimized plan for a query without running it.

@@ -1,0 +1,244 @@
+package fault
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"asterix/internal/obs"
+)
+
+func TestDisarmedIsNil(t *testing.T) {
+	Disarm()
+	if Armed() {
+		t.Fatal("Armed() true with empty registry")
+	}
+	if err := Hit("anything"); err != nil {
+		t.Fatalf("disarmed Hit returned %v", err)
+	}
+	buf := []byte("hello")
+	out, torn := Tear("anything", buf)
+	if torn || len(out) != len(buf) {
+		t.Fatalf("disarmed Tear tore: torn=%v len=%d", torn, len(out))
+	}
+}
+
+func TestArmErrorOnce(t *testing.T) {
+	Disarm()
+	defer Disarm()
+	if err := Arm("lsm.flush.io:error"); err != nil {
+		t.Fatal(err)
+	}
+	if !Armed() {
+		t.Fatal("not armed after Arm")
+	}
+	err := Hit(PointLSMFlush)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("first hit: want ErrInjected, got %v", err)
+	}
+	// Default times=1: the second hit passes.
+	if err := Hit(PointLSMFlush); err != nil {
+		t.Fatalf("second hit should pass, got %v", err)
+	}
+	if got := Hits(PointLSMFlush); got != 2 {
+		t.Fatalf("Hits = %d, want 2", got)
+	}
+	if got := Fired(PointLSMFlush); got != 1 {
+		t.Fatalf("Fired = %d, want 1", got)
+	}
+}
+
+func TestAfterAndTimes(t *testing.T) {
+	Disarm()
+	defer Disarm()
+	ArmPoint(Point{Name: "x", Mode: ModeError, After: 2, Times: 2})
+	var errs int
+	for i := 0; i < 10; i++ {
+		if Hit("x") != nil {
+			errs++
+			if i < 2 {
+				t.Fatalf("fired during after-window at hit %d", i)
+			}
+		}
+	}
+	if errs != 2 {
+		t.Fatalf("fired %d times, want 2", errs)
+	}
+}
+
+func TestTimesZeroUnlimited(t *testing.T) {
+	Disarm()
+	defer Disarm()
+	if err := Arm("x:error:times=0"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if Hit("x") == nil {
+			t.Fatalf("hit %d did not fire with times=0 (unlimited)", i)
+		}
+	}
+}
+
+func TestTornWrite(t *testing.T) {
+	Disarm()
+	defer Disarm()
+	if err := Arm("txn.wal.append:torn"); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 100)
+	out, torn := Tear(PointWALAppend, buf)
+	if !torn {
+		t.Fatal("expected torn write")
+	}
+	if len(out) >= len(buf) {
+		t.Fatalf("torn prefix len %d not shorter than %d", len(out), len(buf))
+	}
+	// Second tear passes through (times=1 default).
+	out, torn = Tear(PointWALAppend, buf)
+	if torn || len(out) != len(buf) {
+		t.Fatal("second tear should pass through")
+	}
+}
+
+func TestDelayMode(t *testing.T) {
+	Disarm()
+	defer Disarm()
+	if err := Arm("hyracks.frame.delay:delay=10ms"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Hit(PointFrameDelay); err != nil {
+		t.Fatalf("delay mode returned error %v", err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("delay too short: %v", d)
+	}
+	// Delay defaults to unlimited times.
+	start = time.Now()
+	_ = Hit(PointFrameDelay)
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("second delay too short: %v", d)
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	Disarm()
+	defer Disarm()
+	if err := Arm("x:panic"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	_ = Hit("x")
+}
+
+func TestProbabilisticDeterminism(t *testing.T) {
+	run := func() []bool {
+		Disarm()
+		Seed(42)
+		ArmPoint(Point{Name: "x", Mode: ModeError, P: 0.5, Times: -1})
+		out := make([]bool, 20)
+		for i := range out {
+			out[i] = Hit("x") != nil
+		}
+		Disarm()
+		return out
+	}
+	a, b := run(), run()
+	var fired int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("p=0.5 fired %d/%d — not probabilistic", fired, len(a))
+	}
+}
+
+func TestMultiPointSpec(t *testing.T) {
+	Disarm()
+	defer Disarm()
+	if err := Arm("a:error, b:torn:after=1 ,c:delay=1ms"); err != nil {
+		t.Fatal(err)
+	}
+	snap := Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d points, want 3", len(snap))
+	}
+	if snap[0].Name != "a" || snap[1].Name != "b" || snap[2].Name != "c" {
+		t.Fatalf("snapshot order wrong: %+v", snap)
+	}
+}
+
+func TestBadSpecs(t *testing.T) {
+	for _, spec := range []string{
+		":error",
+		"x:bogus",
+		"x:delay=notadur",
+		"x:after=-1",
+		"x:p=2",
+		"x:p=0",
+		"x:times=abc",
+	} {
+		if err := Arm(spec); err == nil {
+			t.Errorf("Arm(%q) accepted a bad spec", spec)
+		}
+	}
+	Disarm()
+}
+
+func TestMetricsBinding(t *testing.T) {
+	Disarm()
+	defer Disarm()
+	r := obs.NewRegistry()
+	BindMetrics(r)
+	if err := Arm("lsm.flush.io:error"); err != nil {
+		t.Fatal(err)
+	}
+	_ = Hit(PointLSMFlush)
+	snap := r.Snapshot()
+	if v, ok := snap["fault_injected_total"].(int64); !ok || v < 1 {
+		t.Fatalf("fault_injected_total = %v", snap["fault_injected_total"])
+	}
+	if v, ok := snap["fault_lsm_flush_io_injected_total"].(int64); !ok || v < 1 {
+		t.Fatalf("per-point counter = %v", snap["fault_lsm_flush_io_injected_total"])
+	}
+	if v, ok := snap["fault_armed"].(float64); !ok || v != 1 {
+		t.Fatalf("fault_armed = %v", snap["fault_armed"])
+	}
+	Disarm()
+	if v := r.Snapshot()["fault_armed"].(float64); v != 0 {
+		t.Fatalf("fault_armed after Disarm = %v", v)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "fault_lsm_flush_io_injected_total") {
+		t.Fatal("prometheus exposition missing per-point counter")
+	}
+	// Unbind so later tests/benchmarks don't write into this registry.
+	reg.mu.Lock()
+	reg.metrics = nil
+	reg.mu.Unlock()
+}
+
+// BenchmarkHitDisarmed is the zero-cost acceptance check: a disarmed
+// probe must be one atomic load.
+func BenchmarkHitDisarmed(b *testing.B) {
+	Disarm()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Hit(PointLSMFlush); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

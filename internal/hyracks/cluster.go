@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 )
 
@@ -18,6 +19,52 @@ type NodeController struct {
 	TuplesIn  int64
 	TuplesOut int64
 	Spills    int64
+
+	// Failure state: Kill closes killed so every in-flight task watcher
+	// on this node wakes; dead mirrors it for cheap polling.
+	killMu sync.Mutex
+	killed chan struct{}
+	dead   atomic.Bool
+}
+
+// Kill marks the node dead and wakes every in-flight task running on it.
+// Idempotent.
+func (n *NodeController) Kill() {
+	n.killMu.Lock()
+	defer n.killMu.Unlock()
+	if n.dead.Load() {
+		return
+	}
+	if n.killed == nil {
+		n.killed = make(chan struct{})
+	}
+	n.dead.Store(true)
+	close(n.killed)
+}
+
+// Revive brings a killed node back for future jobs (it does not resurrect
+// tasks that already failed).
+func (n *NodeController) Revive() {
+	n.killMu.Lock()
+	defer n.killMu.Unlock()
+	if n.dead.Load() {
+		n.killed = make(chan struct{})
+		n.dead.Store(false)
+	}
+}
+
+// Dead reports whether the node has been killed.
+func (n *NodeController) Dead() bool { return n.dead.Load() }
+
+// killedCh returns the channel closed by Kill (lazily created so
+// directly-constructed test nodes behave).
+func (n *NodeController) killedCh() <-chan struct{} {
+	n.killMu.Lock()
+	defer n.killMu.Unlock()
+	if n.killed == nil {
+		n.killed = make(chan struct{})
+	}
+	return n.killed
 }
 
 func (n *NodeController) addIn(c int64)  { atomic.AddInt64(&n.TuplesIn, c) }
@@ -52,6 +99,52 @@ type Cluster struct {
 	FrameSize int
 	// MemBudget is the default per-task working-memory budget in bytes.
 	MemBudget int
+
+	// Job lifecycle counters (atomic).
+	jobAttempts  int64
+	jobRetries   int64
+	nodeFailures int64
+}
+
+// RetryStats is an atomic snapshot of the cluster's job retry counters.
+type RetryStats struct {
+	// Attempts counts job executions, including retries.
+	Attempts int64
+	// Retries counts re-executions after a node failure.
+	Retries int64
+	// NodeFailures counts jobs that failed because a node died.
+	NodeFailures int64
+}
+
+// RetryStats snapshots the retry counters.
+func (c *Cluster) RetryStats() RetryStats {
+	return RetryStats{
+		Attempts:     atomic.LoadInt64(&c.jobAttempts),
+		Retries:      atomic.LoadInt64(&c.jobRetries),
+		NodeFailures: atomic.LoadInt64(&c.nodeFailures),
+	}
+}
+
+// AliveNodes returns the nodes not currently killed, in id order.
+func (c *Cluster) AliveNodes() []*NodeController {
+	out := make([]*NodeController, 0, len(c.Nodes))
+	for _, n := range c.Nodes {
+		if !n.Dead() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// DeadNodeIDs returns the ids of killed nodes.
+func (c *Cluster) DeadNodeIDs() []string {
+	var out []string
+	for _, n := range c.Nodes {
+		if n.Dead() {
+			out = append(out, n.ID)
+		}
+	}
+	return out
 }
 
 // NewCluster creates an n-node cluster with spill directories under
@@ -66,7 +159,10 @@ func NewCluster(n int, baseDir string) (*Cluster, error) {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("hyracks: node temp dir: %w", err)
 		}
-		c.Nodes = append(c.Nodes, &NodeController{ID: fmt.Sprintf("nc%d", i), TempDir: dir})
+		c.Nodes = append(c.Nodes, &NodeController{
+			ID: fmt.Sprintf("nc%d", i), TempDir: dir,
+			killed: make(chan struct{}),
+		})
 	}
 	return c, nil
 }

@@ -2,15 +2,25 @@ package hyracks
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
+	"asterix/internal/fault"
 	"asterix/internal/obs"
 )
 
 // Run executes a job on the cluster, blocking until completion. The first
-// task error cancels the whole job.
+// task error cancels the whole job. Partitions are placed on the nodes
+// alive when the run starts; a node killed mid-run cancels its tasks,
+// which surface as a *NodeFailure (retriable via RunWithRetry).
 func (c *Cluster) Run(ctx context.Context, j *Job) error {
+	atomic.AddInt64(&c.jobAttempts, 1)
+	alive := c.AliveNodes()
+	if len(alive) == 0 {
+		return fmt.Errorf("hyracks: no alive nodes in the cluster")
+	}
 	// When the caller's span requests detailed profiling, every
 	// (operator, partition) task gets its own child span recording wall
 	// time, tuple counts, and spills. With no span (or detail off) every
@@ -66,15 +76,6 @@ func (c *Cluster) Run(ctx context.Context, j *Job) error {
 		}(rt)
 	}
 
-	send := func(ch chan []Tuple, frame []Tuple) error {
-		select {
-		case ch <- frame:
-			return nil
-		case <-ctx.Done():
-			return ctx.Err()
-		}
-	}
-
 	var (
 		wg       sync.WaitGroup
 		errOnce  sync.Once
@@ -90,13 +91,35 @@ func (c *Cluster) Run(ctx context.Context, j *Job) error {
 	for _, op := range j.ops {
 		for p := 0; p < op.Parallelism; p++ {
 			op, p := op, p
-			node := c.NodeFor(p)
+			node := alive[p%len(alive)]
 			var ts *obs.Span
 			if traceTasks {
 				ts = jobSpan.StartChild(fmt.Sprintf("%s[%d]", op.Name, p))
 			}
+			// Every blocking construct of this task selects on tctx, which
+			// the watcher cancels the instant the task's node is killed —
+			// the whole job then tears down via the usual error path.
+			tctx, tcancel := context.WithCancel(ctx)
+			go func() {
+				select {
+				case <-node.killedCh():
+					tcancel()
+				case <-tctx.Done():
+				}
+			}()
+			send := func(ch chan []Tuple, frame []Tuple) error {
+				if err := fault.Hit(fault.PointFrameDelay); err != nil {
+					return err
+				}
+				select {
+				case ch <- frame:
+					return nil
+				case <-tctx.Done():
+					return tctx.Err()
+				}
+			}
 			tc := &TaskContext{
-				Ctx:           ctx,
+				Ctx:           tctx,
 				Partition:     p,
 				NumPartitions: op.Parallelism,
 				Node:          node,
@@ -113,11 +136,11 @@ func (c *Cluster) Run(ctx context.Context, j *Job) error {
 					if len(e.conn.Cmp.Columns) > 0 {
 						buffered := make([]chan []Tuple, len(rt.chans))
 						for i, ch := range rt.chans {
-							buffered[i] = unboundedBuffer(ctx, ch)
+							buffered[i] = unboundedBuffer(tctx, ch)
 						}
-						ins[port] = newMergingInput(ctx, buffered, e.conn.Cmp, c.FrameSize, node, ts)
+						ins[port] = newMergingInput(tctx, buffered, e.conn.Cmp, c.FrameSize, node, ts)
 					} else {
-						ins[port] = newConcatInput(ctx, rt.chans, node, ts)
+						ins[port] = newConcatInput(tctx, rt.chans, node, ts)
 					}
 				default:
 					ch := rt.chans[p]
@@ -130,8 +153,8 @@ func (c *Cluster) Run(ctx context.Context, j *Job) error {
 							node.addIn(int64(len(f)))
 							ts.AddTuplesIn(int64(len(f)))
 							return f, true, nil
-						case <-ctx.Done():
-							return nil, false, ctx.Err()
+						case <-tctx.Done():
+							return nil, false, tctx.Err()
 						}
 					}}
 				}
@@ -165,8 +188,16 @@ func (c *Cluster) Run(ctx context.Context, j *Job) error {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				defer tcancel() // releases the kill watcher
 				runner := op.New(p)
-				err := runner.Run(tc, ins, outs)
+				err := fault.Hit(fault.PointNodeCrash)
+				if err != nil {
+					// The injected crash takes down the whole node, not
+					// just this task.
+					node.Kill()
+				} else {
+					err = runner.Run(tc, ins, outs)
+				}
 				ts.End()
 				if err == nil {
 					for _, w := range writers {
@@ -181,7 +212,13 @@ func (c *Cluster) Run(ctx context.Context, j *Job) error {
 				for _, e := range op.outs {
 					rts[e].producers.Done()
 				}
-				if err != nil && err != context.Canceled {
+				// A task that failed on a dead node failed BECAUSE the node
+				// died (its tctx was cancelled by the watcher); a task that
+				// finished before the kill landed keeps its success.
+				if err != nil && node.Dead() {
+					err = &NodeFailure{Node: node.ID, Op: op.Name}
+				}
+				if err != nil && !errors.Is(err, context.Canceled) {
 					fail(fmt.Errorf("hyracks: %s[%d]: %w", op.Name, p, err))
 				} else if err != nil {
 					fail(err)
@@ -191,6 +228,10 @@ func (c *Cluster) Run(ctx context.Context, j *Job) error {
 	}
 	wg.Wait()
 	if firstErr != nil {
+		var nf *NodeFailure
+		if errors.As(firstErr, &nf) {
+			atomic.AddInt64(&c.nodeFailures, 1)
+		}
 		return firstErr
 	}
 	return ctx.Err()

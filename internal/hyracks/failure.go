@@ -1,0 +1,124 @@
+package hyracks
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+)
+
+// NodeFailure is the error a job fails with when a node controller dies
+// while one of its tasks is in flight. It is retriable: RunWithRetry
+// re-executes the job on the surviving nodes.
+type NodeFailure struct {
+	Node string // node controller id
+	Op   string // operator whose task observed the death
+}
+
+func (e *NodeFailure) Error() string {
+	return fmt.Sprintf("node %s died running %s", e.Node, e.Op)
+}
+
+// RetryPolicy bounds RunWithRetry's re-execution of node-failed jobs with
+// exponential backoff.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of executions, including the first
+	// (default 3).
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry (default 10ms); it
+	// doubles per retry up to MaxBackoff (default 1s).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Jitter is the fraction of each delay randomized on top of it, in
+	// [0,1]. Zero means the default 0.2; negative disables jitter.
+	Jitter float64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 10 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = time.Second
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.2
+	}
+	return p
+}
+
+// RunReport describes one RunWithRetry execution.
+type RunReport struct {
+	// Attempts is how many times the job ran (>= 1 unless build failed).
+	Attempts int
+	// DeadNodes lists the nodes observed dead over the run.
+	DeadNodes []string
+}
+
+// RunWithRetry executes the job produced by build, re-building and
+// re-running it on the surviving nodes when a node failure kills an
+// attempt, with bounded exponential backoff plus jitter between attempts.
+// build must return a fresh Job per call — sinks and collectors hold
+// per-run state, so a Job value cannot be re-run. Non-node-failure errors
+// are returned immediately.
+func (c *Cluster) RunWithRetry(ctx context.Context, build func() (*Job, error), pol RetryPolicy) (RunReport, error) {
+	pol = pol.withDefaults()
+	var rep RunReport
+	backoff := pol.BaseBackoff
+	for {
+		j, err := build()
+		if err != nil {
+			return rep, err
+		}
+		rep.Attempts++
+		err = c.Run(ctx, j)
+		if err == nil {
+			return rep, nil
+		}
+		var nf *NodeFailure
+		if !errors.As(err, &nf) {
+			return rep, err
+		}
+		rep.DeadNodes = mergeDead(rep.DeadNodes, c.DeadNodeIDs(), nf.Node)
+		if rep.Attempts >= pol.MaxAttempts {
+			return rep, fmt.Errorf("hyracks: job failed after %d attempts: %w", rep.Attempts, err)
+		}
+		if len(c.AliveNodes()) == 0 {
+			return rep, fmt.Errorf("hyracks: no surviving nodes: %w", err)
+		}
+		atomic.AddInt64(&c.jobRetries, 1)
+		d := backoff
+		if pol.Jitter > 0 {
+			d += time.Duration(rand.Int63n(int64(float64(backoff)*pol.Jitter) + 1))
+		}
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+			return rep, ctx.Err()
+		}
+		backoff *= 2
+		if backoff > pol.MaxBackoff {
+			backoff = pol.MaxBackoff
+		}
+	}
+}
+
+// mergeDead unions dead-node ids into have, preserving first-seen order.
+func mergeDead(have, current []string, extra string) []string {
+	seen := make(map[string]bool, len(have))
+	for _, id := range have {
+		seen[id] = true
+	}
+	for _, id := range append(current, extra) {
+		if id != "" && !seen[id] {
+			seen[id] = true
+			have = append(have, id)
+		}
+	}
+	return have
+}

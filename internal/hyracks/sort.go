@@ -2,6 +2,8 @@ package hyracks
 
 import (
 	"sort"
+
+	"asterix/internal/fault"
 )
 
 // NewSort builds a memory-budgeted external sort: each partition
@@ -27,6 +29,9 @@ func runSort(tc *TaskContext, in *Input, out *Output, cmp Comparator) error {
 		runs    []*RunReader
 	)
 	spill := func() error {
+		if err := fault.Hit(fault.PointSpillIO); err != nil {
+			return err
+		}
 		sort.SliceStable(buf, func(i, j int) bool { return cmp.Compare(buf[i], buf[j]) < 0 })
 		rw, err := NewRunWriter(tc.TempDir())
 		if err != nil {

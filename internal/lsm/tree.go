@@ -2,6 +2,7 @@ package lsm
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -13,6 +14,7 @@ import (
 
 	"asterix/internal/btree"
 	"asterix/internal/check"
+	"asterix/internal/fault"
 	"asterix/internal/obs"
 	"asterix/internal/storage"
 )
@@ -391,7 +393,15 @@ func (t *Tree) Flush() error {
 	t.seq++
 	t.mu.Unlock()
 
-	file, err := t.bc.FileManager().Open(t.componentFileName(seq))
+	fname := t.componentFileName(seq)
+	// A flush that crashed before reaching the manifest can leave an
+	// orphan component file under this name (the seq counter restarts
+	// from the manifest on reopen); opening it as-is would misparse the
+	// stale pages, so drop any leftover first.
+	if err := t.bc.FileManager().Delete(fname); err != nil {
+		return err
+	}
+	file, err := t.bc.FileManager().Open(fname)
 	if err != nil {
 		return err
 	}
@@ -419,6 +429,12 @@ func (t *Tree) Flush() error {
 	})
 	if err != nil {
 		return err
+	}
+	// Injected flush I/O failure: the component is built in the buffer
+	// cache but never made durable or added to the manifest; the memory
+	// component keeps the data, so nothing committed is lost.
+	if err := fault.Hit(fault.PointLSMFlush); err != nil {
+		return fmt.Errorf("lsm: flush %s: %w", t.name, err)
 	}
 	if err := t.bc.FlushFile(file); err != nil {
 		return err
@@ -484,13 +500,19 @@ func (t *Tree) mergeRange(lo, hi int) error {
 		t.seq++
 		return s
 	}()
-	file, err := t.bc.FileManager().Open(t.componentFileName(seq))
+	fname := t.componentFileName(seq)
+	// Same orphan hazard as Flush: a crashed merge can leave a stale file
+	// under a seq the reopened tree will hand out again.
+	if err := t.bc.FileManager().Delete(fname); err != nil {
+		return errors.Join(err, t.release(victims))
+	}
+	file, err := t.bc.FileManager().Open(fname)
 	if err != nil {
-		return err
+		return errors.Join(err, t.release(victims))
 	}
 	bt, err := btree.Open(t.bc, file)
 	if err != nil {
-		return err
+		return errors.Join(err, t.release(victims))
 	}
 	total := int64(0)
 	for _, c := range victims {
@@ -537,13 +559,19 @@ func (t *Tree) mergeRange(lo, hi int) error {
 		}
 	})
 	if err != nil {
-		return err
+		return errors.Join(err, t.release(victims))
 	}
 	if mergeErr != nil {
-		return mergeErr
+		return errors.Join(mergeErr, t.release(victims))
+	}
+	// Injected merge I/O failure: the victims stay live (their refs are
+	// released below) and the half-built component never reaches the
+	// manifest.
+	if err := fault.Hit(fault.PointLSMMerge); err != nil {
+		return errors.Join(fmt.Errorf("lsm: merge %s: %w", t.name, err), t.release(victims))
 	}
 	if err := t.bc.FlushFile(file); err != nil {
-		return err
+		return errors.Join(err, t.release(victims))
 	}
 
 	t.mu.Lock()

@@ -10,6 +10,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
@@ -19,7 +20,9 @@ import (
 
 	"asterix/internal/adm"
 	"asterix/internal/core"
+	"asterix/internal/hyracks"
 	"asterix/internal/obs"
+	"asterix/internal/txn"
 )
 
 // Engine is the statement executor the server fronts.
@@ -71,10 +74,11 @@ func NewHandler(e Engine, opts Options) http.Handler {
 		reg:      reg,
 		slow:     opts.SlowQueryThreshold,
 		logger:   opts.Logger,
-		requests: reg.Counter("server_requests_total", "query-service requests"),
-		errors:   reg.Counter("server_request_errors_total", "query-service requests that failed"),
-		slowQ:    reg.Counter("server_slow_queries_total", "statements over the slow-query threshold"),
-		reqDur:   reg.Histogram("server_request_duration_seconds", "query-service request wall time", nil),
+		requests:  reg.Counter("server_requests_total", "query-service requests"),
+		errors:    reg.Counter("server_request_errors_total", "query-service requests that failed"),
+		retriable: reg.Counter("server_retriable_errors_total", "failed requests the client may safely resend (lock timeout, node failure)"),
+		slowQ:     reg.Counter("server_slow_queries_total", "statements over the slow-query threshold"),
+		reqDur:    reg.Histogram("server_request_duration_seconds", "query-service request wall time", nil),
 	}
 
 	mux := http.NewServeMux()
@@ -99,10 +103,11 @@ type service struct {
 	slow   time.Duration
 	logger *log.Logger
 
-	requests *obs.Counter
-	errors   *obs.Counter
-	slowQ    *obs.Counter
-	reqDur   *obs.Histogram
+	requests  *obs.Counter
+	errors    *obs.Counter
+	retriable *obs.Counter
+	slowQ     *obs.Counter
+	reqDur    *obs.Histogram
 }
 
 func (s *service) serveMetrics(w http.ResponseWriter, r *http.Request) {
@@ -124,7 +129,9 @@ type queryRequest struct {
 }
 
 // queryMetrics keeps elapsedTime/resultCount stable for old clients and
-// adds phase timings and the result payload size.
+// adds phase timings, the result payload size, and — when the cluster had
+// to work around a dead node — the job attempt count and the nodes seen
+// dead during execution.
 type queryMetrics struct {
 	ElapsedTime  string `json:"elapsedTime"`
 	ResultCount  int    `json:"resultCount"`
@@ -132,13 +139,22 @@ type queryMetrics struct {
 	OptimizeTime string `json:"optimizeTime"`
 	ExecuteTime  string `json:"executeTime"`
 	ResultSize   int64  `json:"resultSize"`
+	// JobAttempts is how many times the runtime job executed (>1 means a
+	// node failed mid-query and the job was retried on survivors).
+	JobAttempts int `json:"jobAttempts,omitempty"`
+	// DeadNodes lists node controllers observed dead while the statement
+	// ran.
+	DeadNodes []string `json:"deadNodes,omitempty"`
 }
 
 type queryResponse struct {
 	Status  string            `json:"status"`
 	Results []json.RawMessage `json:"results"`
 	Errors  []string          `json:"errors,omitempty"`
-	Metrics queryMetrics      `json:"metrics"`
+	// Retriable tells the client the failure is transient (lock wait
+	// timeout, node failure): the same statement may succeed if resent.
+	Retriable bool         `json:"retriable,omitempty"`
+	Metrics   queryMetrics `json:"metrics"`
 	// Profile is the span tree, present only when requested.
 	Profile *obs.SpanNode `json:"profile,omitempty"`
 }
@@ -190,6 +206,20 @@ func (s *service) serveQuery(w http.ResponseWriter, r *http.Request) {
 		s.errors.Inc()
 		resp.Status = "fatal"
 		resp.Errors = append(resp.Errors, err.Error())
+		var nf *hyracks.NodeFailure
+		switch {
+		case errors.Is(err, txn.ErrLockTimeout):
+			// AsterixDB reports lock-wait expiry as a timeout; the client
+			// may simply resend the statement.
+			resp.Status = "timeout"
+			resp.Retriable = true
+			s.retriable.Inc()
+		case errors.As(err, &nf):
+			// Retries on survivors were already exhausted (or impossible);
+			// resending still helps once nodes rejoin.
+			resp.Retriable = true
+			s.retriable.Inc()
+		}
 	}
 	// Results of the last statement are the response payload (matching
 	// the service's behavior for scripts).
@@ -209,6 +239,31 @@ func (s *service) serveQuery(w http.ResponseWriter, r *http.Request) {
 	for _, raw := range resp.Results {
 		resultSize += int64(len(raw))
 	}
+	// Surface node-failure recovery work: the max attempt count over the
+	// script's statements and the union of nodes seen dead. Attempts is
+	// reported only when a statement actually re-ran.
+	attempts := 0
+	var dead []string
+	for _, res := range results {
+		if res.Attempts > attempts {
+			attempts = res.Attempts
+		}
+		for _, id := range res.DeadNodes {
+			found := false
+			for _, have := range dead {
+				if have == id {
+					found = true
+					break
+				}
+			}
+			if !found {
+				dead = append(dead, id)
+			}
+		}
+	}
+	if attempts <= 1 {
+		attempts = 0
+	}
 	parseT := root.TotalFor("parse")
 	optT := root.TotalFor("compile")
 	execT := root.TotalFor("execute")
@@ -219,6 +274,8 @@ func (s *service) serveQuery(w http.ResponseWriter, r *http.Request) {
 		OptimizeTime: optT.String(),
 		ExecuteTime:  execT.String(),
 		ResultSize:   resultSize,
+		JobAttempts:  attempts,
+		DeadNodes:    dead,
 	}
 	if req.Profile == "timings" {
 		resp.Profile = root.Tree()
@@ -230,7 +287,11 @@ func (s *service) serveQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if resp.Status != "success" {
-		w.WriteHeader(http.StatusInternalServerError)
+		if resp.Retriable {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		} else {
+			w.WriteHeader(http.StatusInternalServerError)
+		}
 	}
 	//lint:ignore err-discard best-effort write to the response; a failure means the client is gone
 	json.NewEncoder(w).Encode(&resp)

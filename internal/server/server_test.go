@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -14,7 +15,9 @@ import (
 	"time"
 
 	"asterix/internal/core"
+	"asterix/internal/hyracks"
 	"asterix/internal/obs"
+	"asterix/internal/txn"
 )
 
 func newServer(t *testing.T) *httptest.Server {
@@ -366,5 +369,96 @@ func TestPing(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != 200 {
 		t.Fatalf("ping: %d", resp.StatusCode)
+	}
+}
+
+// stubEngine lets failure-path tests script Execute's outcome without a
+// real engine.
+type stubEngine struct {
+	res []core.Result
+	err error
+}
+
+func (s stubEngine) Execute(ctx context.Context, script string) ([]core.Result, error) {
+	return s.res, s.err
+}
+
+func postRaw(t *testing.T, srv *httptest.Server, stmt string) (int, queryResponse) {
+	t.Helper()
+	body := `{"statement": ` + jsonString(stmt) + `}`
+	resp, err := http.Post(srv.URL+"/query/service", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var qr queryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, qr
+}
+
+func TestLockTimeoutMapsToRetriable503(t *testing.T) {
+	reg := obs.NewRegistry()
+	eng := stubEngine{err: fmt.Errorf("stmt 1: %w", txn.ErrLockTimeout)}
+	srv := httptest.NewServer(NewHandler(eng, Options{Registry: reg}))
+	t.Cleanup(srv.Close)
+
+	code, qr := postRaw(t, srv, `UPSERT INTO D ({"id": 1});`)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("lock timeout returned HTTP %d, want 503", code)
+	}
+	if qr.Status != "timeout" || !qr.Retriable {
+		t.Fatalf("response %+v, want status=timeout retriable=true", qr)
+	}
+	if got := reg.Snapshot()["server_retriable_errors_total"]; got != int64(1) {
+		t.Fatalf("server_retriable_errors_total = %v, want 1", got)
+	}
+}
+
+func TestNodeFailureMapsToRetriable503(t *testing.T) {
+	eng := stubEngine{err: fmt.Errorf("execute: %w", &hyracks.NodeFailure{Node: "nc2", Op: "join"})}
+	srv := httptest.NewServer(NewHandler(eng, Options{Registry: obs.NewRegistry()}))
+	t.Cleanup(srv.Close)
+
+	code, qr := postRaw(t, srv, `SELECT VALUE 1;`)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("node failure returned HTTP %d, want 503", code)
+	}
+	if qr.Status != "fatal" || !qr.Retriable {
+		t.Fatalf("response %+v, want status=fatal retriable=true", qr)
+	}
+	if len(qr.Errors) == 0 || !strings.Contains(qr.Errors[0], "nc2") {
+		t.Fatalf("error text should name the dead node: %v", qr.Errors)
+	}
+}
+
+func TestQueryMetricsReportRetryWork(t *testing.T) {
+	eng := stubEngine{res: []core.Result{{
+		Kind:      core.ResultQuery,
+		Attempts:  2,
+		DeadNodes: []string{"nc1"},
+	}}}
+	srv := httptest.NewServer(NewHandler(eng, Options{Registry: obs.NewRegistry()}))
+	t.Cleanup(srv.Close)
+
+	code, qr := postRaw(t, srv, `SELECT VALUE 1;`)
+	if code != http.StatusOK {
+		t.Fatalf("HTTP %d", code)
+	}
+	if qr.Metrics.JobAttempts != 2 {
+		t.Fatalf("jobAttempts = %d, want 2", qr.Metrics.JobAttempts)
+	}
+	if len(qr.Metrics.DeadNodes) != 1 || qr.Metrics.DeadNodes[0] != "nc1" {
+		t.Fatalf("deadNodes = %v, want [nc1]", qr.Metrics.DeadNodes)
+	}
+
+	// Single-attempt success must not clutter the metrics block.
+	eng2 := stubEngine{res: []core.Result{{Kind: core.ResultQuery, Attempts: 1}}}
+	srv2 := httptest.NewServer(NewHandler(eng2, Options{Registry: obs.NewRegistry()}))
+	t.Cleanup(srv2.Close)
+	_, qr2 := postRaw(t, srv2, `SELECT VALUE 1;`)
+	if qr2.Metrics.JobAttempts != 0 || qr2.Metrics.DeadNodes != nil {
+		t.Fatalf("clean run leaked retry metrics: %+v", qr2.Metrics)
 	}
 }

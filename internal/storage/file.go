@@ -12,6 +12,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"asterix/internal/fault"
 )
 
 // FileID identifies an open page file within a FileManager.
@@ -146,6 +148,9 @@ func (fm *FileManager) WritePage(id FileID, num int32, buf []byte) error {
 	fm.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("storage: unknown file %d", id)
+	}
+	if err := fault.Hit(fault.PointPageWrite); err != nil {
+		return fmt.Errorf("storage: write %s page %d: %w", pf.name, num, err)
 	}
 	if _, err := pf.f.WriteAt(buf, int64(num)*int64(fm.pageSize)); err != nil {
 		return fmt.Errorf("storage: write %s page %d: %w", pf.name, num, err)

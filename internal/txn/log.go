@@ -15,6 +15,9 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
+
+	"asterix/internal/fault"
 )
 
 // RecordType tags log records.
@@ -57,6 +60,12 @@ type LogManager struct {
 	f    *os.File
 	size int64
 	path string
+	// wedged is set after an injected torn write: the simulated process
+	// died mid-append, so the log refuses further writes until the torn
+	// tail is repaired (RepairTail) by a reopen/recovery.
+	wedged bool
+	// tornTails counts torn or corrupt tails detected by scans (atomic).
+	tornTails int64
 }
 
 // OpenLog opens (creating if needed) the log file at dir/txn.log.
@@ -65,7 +74,10 @@ func OpenLog(dir string) (*LogManager, error) {
 		return nil, err
 	}
 	path := filepath.Join(dir, "txn.log")
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	// O_APPEND: writes always land at EOF, so a reopened log appends after
+	// the surviving records (and after RepairTail truncates a torn tail,
+	// the next append lands exactly at the repaired end).
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("txn: open log: %w", err)
 	}
@@ -89,21 +101,33 @@ func (lm *LogManager) Size() int64 {
 // Append writes a record and returns its LSN.
 func (lm *LogManager) Append(rec *LogRecord) (int64, error) {
 	body := encodeRecord(rec)
+	full := make([]byte, 0, 8+len(body))
 	var hdr [8]byte
 	binary.BigEndian.PutUint32(hdr[0:], uint32(len(body)))
 	binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(body))
+	full = append(full, hdr[:]...)
+	full = append(full, body...)
 	lm.mu.Lock()
 	defer lm.mu.Unlock()
+	if lm.wedged {
+		return 0, fmt.Errorf("txn: append: log wedged after torn write")
+	}
 	lsn := lm.size
-	//lint:ignore lock-held WAL ordering: appends must be serialized under mu so LSNs match file offsets
-	if _, err := lm.f.Write(hdr[:]); err != nil {
-		return 0, fmt.Errorf("txn: append: %w", err)
+	if frag, torn := fault.Tear(fault.PointWALAppend, full); torn {
+		// Simulated crash mid-write: a prefix of the record reaches the
+		// file and the "process" dies — the log wedges so nothing (not
+		// even an abort record) can land after the torn fragment. Only
+		// RepairTail (the reopen/recovery path) unwedges it.
+		//lint:ignore lock-held,err-discard serialized WAL write of a torn fragment that is garbage by construction; recovery truncates it regardless
+		_, _ = lm.f.Write(frag)
+		lm.wedged = true
+		return 0, fmt.Errorf("txn: append %s: %w", rec.Dataset, fault.ErrInjected)
 	}
 	//lint:ignore lock-held WAL ordering: appends must be serialized under mu so LSNs match file offsets
-	if _, err := lm.f.Write(body); err != nil {
+	if _, err := lm.f.Write(full); err != nil {
 		return 0, fmt.Errorf("txn: append: %w", err)
 	}
-	lm.size += int64(len(hdr) + len(body))
+	lm.size += int64(len(full))
 	rec.LSN = lsn
 	return lsn, nil
 }
@@ -113,9 +137,19 @@ func (lm *LogManager) Append(rec *LogRecord) (int64, error) {
 func (lm *LogManager) Sync() error {
 	lm.mu.Lock()
 	defer lm.mu.Unlock()
+	if lm.wedged {
+		return fmt.Errorf("txn: sync: log wedged after torn write")
+	}
+	if err := fault.Hit(fault.PointWALSync); err != nil {
+		return fmt.Errorf("txn: sync: %w", err)
+	}
 	//lint:ignore lock-held group commit: syncing under mu lets concurrent committers share one fsync
 	return lm.f.Sync()
 }
+
+// TornTails returns how many torn or corrupt log tails scans have
+// detected over this manager's lifetime.
+func (lm *LogManager) TornTails() int64 { return atomic.LoadInt64(&lm.tornTails) }
 
 func encodeRecord(r *LogRecord) []byte {
 	buf := make([]byte, 0, 64+len(r.Key)+len(r.Value)+len(r.Dataset))
@@ -187,8 +221,19 @@ func decodeRecord(body []byte) (*LogRecord, error) {
 }
 
 // Scan reads records from the given LSN to the end, stopping cleanly at a
-// torn tail (a partial record after a crash is ignored).
+// torn tail (a partial record after a crash is ignored, never surfaced as
+// an error that would abort recovery).
 func (lm *LogManager) Scan(fromLSN int64, fn func(rec *LogRecord) bool) error {
+	_, err := lm.scan(fromLSN, fn)
+	return err
+}
+
+// scan walks whole, checksummed records from fromLSN and returns the
+// offset just past the last one — the valid end of the log. Anything
+// after that offset (a partial header, a short body, a checksum mismatch,
+// or an undecodable record) is a torn tail: the scan ends there, the
+// torn-tail counter ticks, and no error is returned.
+func (lm *LogManager) scan(fromLSN int64, fn func(rec *LogRecord) bool) (int64, error) {
 	lm.mu.Lock()
 	size := lm.size
 	lm.mu.Unlock()
@@ -197,31 +242,76 @@ func (lm *LogManager) Scan(fromLSN int64, fn func(rec *LogRecord) bool) error {
 		var hdr [8]byte
 		if _, err := lm.f.ReadAt(hdr[:], pos); err != nil {
 			if err == io.EOF || err == io.ErrUnexpectedEOF {
-				return nil // torn tail
+				lm.noteTornTail()
+				return pos, nil
 			}
-			return err
+			return pos, err
 		}
 		bl := int(binary.BigEndian.Uint32(hdr[0:]))
 		sum := binary.BigEndian.Uint32(hdr[4:])
 		if pos+8+int64(bl) > size {
-			return nil // torn tail
+			lm.noteTornTail()
+			return pos, nil
 		}
 		body := make([]byte, bl)
 		if _, err := lm.f.ReadAt(body, pos+8); err != nil {
-			return err
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				lm.noteTornTail()
+				return pos, nil
+			}
+			return pos, err
 		}
 		if crc32.ChecksumIEEE(body) != sum {
-			return nil // torn/corrupt tail: stop replay here
+			lm.noteTornTail()
+			return pos, nil
 		}
 		rec, err := decodeRecord(body)
 		if err != nil {
-			return err
+			// Checksummed but undecodable: treat like a torn tail rather
+			// than failing recovery — everything before pos is intact.
+			lm.noteTornTail()
+			return pos, nil
 		}
 		rec.LSN = pos
 		if !fn(rec) {
-			return nil
+			return pos, nil
 		}
 		pos += 8 + int64(bl)
 	}
-	return nil
+	return pos, nil
+}
+
+func (lm *LogManager) noteTornTail() { atomic.AddInt64(&lm.tornTails, 1) }
+
+// RepairTail truncates any torn tail — bytes past the last whole,
+// checksummed record — so that post-recovery appends land at an offset
+// future scans can reach. Recovery calls it before replay; it also
+// clears the wedged state left by an injected torn write. Returns the
+// number of bytes dropped.
+func (lm *LogManager) RepairTail() (int64, error) {
+	validEnd, err := lm.scan(0, func(*LogRecord) bool { return true })
+	if err != nil {
+		return 0, err
+	}
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	// Stat rather than lm.size: an injected torn write reaches the file
+	// without ever advancing the in-memory size.
+	//lint:ignore lock-held cold recovery path; the tail must not move between measuring and truncating
+	st, err := lm.f.Stat()
+	if err != nil {
+		return 0, fmt.Errorf("txn: repair tail: %w", err)
+	}
+	dropped := st.Size() - validEnd
+	if dropped <= 0 {
+		lm.wedged = false
+		return 0, nil
+	}
+	//lint:ignore lock-held truncation must be atomic with respect to concurrent appends
+	if err := lm.f.Truncate(validEnd); err != nil {
+		return 0, fmt.Errorf("txn: repair tail: %w", err)
+	}
+	lm.size = validEnd
+	lm.wedged = false
+	return dropped, nil
 }

@@ -1,11 +1,19 @@
 package txn
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"asterix/internal/obs"
 )
+
+// ErrLockTimeout marks a lock wait that exceeded the manager's timeout —
+// a likely deadlock. It is retriable: the caller may abort and rerun the
+// transaction (the server maps it to a retriable error code, not a 500).
+var ErrLockTimeout = errors.New("lock wait timeout")
 
 // LockManager grants exclusive record-level locks keyed by (dataset,
 // primary-key bytes). Lock waits time out to break deadlocks (AsterixDB
@@ -16,6 +24,19 @@ type LockManager struct {
 	mu      sync.Mutex
 	locks   map[string]*lockEntry
 	Timeout time.Duration
+
+	// Metric handles (nil-safe no-ops until BindMetrics).
+	waits    *obs.Counter
+	timeouts *obs.Counter
+	waitSecs *obs.Histogram
+}
+
+// BindMetrics exports lock contention through an obs registry: how many
+// acquisitions blocked, how many timed out, and a wait-time histogram.
+func (lm *LockManager) BindMetrics(r *obs.Registry) {
+	lm.waits = r.Counter("txn_lock_waits_total", "lock acquisitions that blocked on a held lock")
+	lm.timeouts = r.Counter("txn_lock_timeouts_total", "lock waits that hit the deadlock timeout")
+	lm.waitSecs = r.Histogram("txn_lock_wait_seconds", "time spent waiting for record locks", nil)
 }
 
 type lockEntry struct {
@@ -53,9 +74,16 @@ func (lm *LockManager) Lock(txnID int64, dataset string, key []byte) error {
 	if e.owner == txnID {
 		return nil
 	}
+	var waitStart time.Time
 	for e.owner != 0 {
+		if waitStart.IsZero() {
+			waitStart = time.Now()
+			lm.waits.Inc()
+		}
 		if time.Now().After(deadline) {
-			return fmt.Errorf("txn %d: lock timeout on %s (held by txn %d) — possible deadlock", txnID, dataset, e.owner)
+			lm.timeouts.Inc()
+			lm.waitSecs.Observe(time.Since(waitStart).Seconds())
+			return fmt.Errorf("txn %d: %w on %s (held by txn %d) — possible deadlock", txnID, ErrLockTimeout, dataset, e.owner)
 		}
 		e.waiters++
 		// Timed wait: poll via a helper goroutine waking the cond.
@@ -72,6 +100,9 @@ func (lm *LockManager) Lock(txnID int64, dataset string, key []byte) error {
 		e.cond.Wait()
 		close(done)
 		e.waiters--
+	}
+	if !waitStart.IsZero() {
+		lm.waitSecs.Observe(time.Since(waitStart).Seconds())
 	}
 	e.owner = txnID
 	return nil
@@ -225,7 +256,12 @@ func (m *Manager) Checkpoint() error {
 
 // Recover replays committed updates since the last checkpoint, calling
 // apply for each in log order. It returns the number of records redone.
+// A torn tail (crash mid-append) is truncated first so post-recovery
+// appends land at a reachable offset, never stranded behind garbage.
 func (m *Manager) Recover(apply func(rec *LogRecord) error) (int, error) {
+	if _, err := m.Log.RepairTail(); err != nil {
+		return 0, err
+	}
 	// Pass 1: find the last checkpoint and the set of committed txns.
 	committed := map[int64]bool{}
 	start := int64(0)
