@@ -28,6 +28,13 @@ fault-matrix:
 bench:
 	go test -bench . -benchtime 1x -run NONE .
 
+# bench-smoke: a fast bounded benchmark pass (CI uses this): every
+# top-level benchmark once, plus the E5 memory-governor experiment at the
+# small scale (budget sweep + concurrent queries under one shared pool).
+bench-smoke:
+	go test -bench . -benchtime 1x -run NONE .
+	go test -run TestE5MemoryBudget -count=1 -v ./internal/experiments/
+
 # fuzz-smoke: a short bounded run of each fuzz target (CI uses this).
 fuzz-smoke:
 	go test -run NONE -fuzz FuzzADMBinaryRoundTrip -fuzztime 10s ./internal/adm
@@ -42,5 +49,6 @@ help:
 	@echo "  fault-matrix crash-recovery + node-failure tests with validators on"
 	@echo "  fuzz-smoke  short bounded fuzz run (ADM codec, SQL++ parser)"
 	@echo "  bench       top-level benchmarks"
+	@echo "  bench-smoke fast bounded benchmark pass + E5 memory experiment"
 
-.PHONY: tier1 verify lint invariants fault-matrix bench fuzz-smoke help
+.PHONY: tier1 verify lint invariants fault-matrix bench bench-smoke fuzz-smoke help

@@ -38,14 +38,31 @@ type Config struct {
 	Nodes int
 	// PageSize is the buffer-cache page size in bytes (default 8192).
 	PageSize int
-	// BufferPages sizes the buffer cache in pages (default 4096).
+	// FrameSize is the dataflow runtime's frame (batch) size in tuples
+	// (default 256).
+	FrameSize int
+	// TotalMemory is the instance-wide memory budget in bytes. When set,
+	// the memory governor splits it across the buffer cache, LSM memory
+	// components, and operator working memory; any of the explicit knobs
+	// below carve their share out of it. When zero, the explicit knobs
+	// (or their defaults) apply and the total is their sum.
+	TotalMemory int64
+	// BufferPages sizes the buffer cache in pages (default 4096, or
+	// TotalMemory/4 when TotalMemory is set).
 	BufferPages int
+	// MemComponentPool bounds the sum of all LSM memory components in
+	// bytes; the governor flushes the earliest-dirty component when the
+	// pool overflows (default 4x MemComponentBudget, or TotalMemory/4).
+	MemComponentPool int
 	// MemComponentBudget bounds each LSM memory component in bytes
 	// (default 4 MiB).
 	MemComponentBudget int
-	// WorkingMemory bounds each sort/join/aggregate task in bytes
-	// (default 32 MiB).
+	// WorkingMemory bounds the shared operator working-memory pool in
+	// bytes (default 32 MiB, or the TotalMemory remainder).
 	WorkingMemory int
+	// AdmitTimeout bounds how long a query waits for working-memory
+	// admission before failing retriably (default 10s).
+	AdmitTimeout time.Duration
 	// MergePolicy selects the LSM merge policy: "constant" (default),
 	// "tiered", or "none".
 	MergePolicy string
@@ -81,9 +98,13 @@ func Open(cfg Config) (*DB, error) {
 		Partitions:         cfg.Partitions,
 		Nodes:              cfg.Nodes,
 		PageSize:           cfg.PageSize,
+		FrameSize:          cfg.FrameSize,
+		TotalMemory:        cfg.TotalMemory,
 		BufferPages:        cfg.BufferPages,
+		MemComponentPool:   cfg.MemComponentPool,
 		MemComponentBudget: cfg.MemComponentBudget,
 		WorkingMemory:      cfg.WorkingMemory,
+		AdmitTimeout:       cfg.AdmitTimeout,
 		MergePolicy:        policy,
 		Now:                cfg.Now,
 	})

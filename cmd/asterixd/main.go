@@ -5,18 +5,52 @@
 //
 // Usage:
 //
-//	asterixd -data /var/lib/asterix -listen :19002 -partitions 4
+//	asterixd -data /var/lib/asterix -listen :19002 -partitions 4 -total-memory 256MiB
 package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
+	"strconv"
+	"strings"
 	"time"
 
 	"asterix/internal/core"
 	"asterix/internal/server"
 )
+
+// parseBytes parses a byte-size string: a plain integer (bytes) or an
+// integer with a KB/KiB/MB/MiB/GB/GiB suffix (decimal and binary suffixes
+// are treated alike, binary).
+func parseBytes(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	upper := strings.ToUpper(s)
+	for _, suf := range []struct {
+		name string
+		mult int64
+	}{
+		{"KIB", 1 << 10}, {"KB", 1 << 10},
+		{"MIB", 1 << 20}, {"MB", 1 << 20},
+		{"GIB", 1 << 30}, {"GB", 1 << 30},
+	} {
+		if strings.HasSuffix(upper, suf.name) {
+			mult = suf.mult
+			s = strings.TrimSpace(s[:len(s)-len(suf.name)])
+			break
+		}
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid byte size %q", s)
+	}
+	return n * mult, nil
+}
 
 func main() {
 	var (
@@ -24,15 +58,27 @@ func main() {
 		listen     = flag.String("listen", ":19002", "listen address")
 		partitions = flag.Int("partitions", 2, "storage partitions per dataset")
 		nodes      = flag.Int("nodes", 0, "dataflow node controllers (0 = partitions)")
-		slowQuery  = flag.Duration("slow-query", 500*time.Millisecond,
+		frameSize  = flag.Int("frame-size", 0, "dataflow frame size in tuples (0 = default 256)")
+		bufPages   = flag.Int("buffer-pages", 0, "buffer cache size in pages (0 = derived)")
+		totalMem   = flag.String("total-memory", "",
+			"instance-wide memory budget, e.g. 256MiB; split across buffer cache, LSM memtables, and working memory")
+		slowQuery = flag.Duration("slow-query", 500*time.Millisecond,
 			"log statements slower than this (negative disables)")
 	)
 	flag.Parse()
 
+	total, err := parseBytes(*totalMem)
+	if err != nil {
+		log.Fatalf("asterixd: -total-memory: %v", err)
+	}
+
 	eng, err := core.Open(core.Config{
-		DataDir:    *dataDir,
-		Partitions: *partitions,
-		Nodes:      *nodes,
+		DataDir:     *dataDir,
+		Partitions:  *partitions,
+		Nodes:       *nodes,
+		FrameSize:   *frameSize,
+		BufferPages: *bufPages,
+		TotalMemory: total,
 	})
 	if err != nil {
 		log.Fatalf("asterixd: %v", err)

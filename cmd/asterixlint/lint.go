@@ -29,6 +29,11 @@ type Config struct {
 	// only call the guarded probe helpers named in FaultGuarded from it.
 	FaultPkgPath string
 	FaultGuarded []string
+	// OperatorPkgs are the runtime packages whose code must size working
+	// memory through governor grants; MemBudgetField is the legacy static
+	// knob whose reads are flagged there.
+	OperatorPkgs   []string
+	MemBudgetField string
 }
 
 // DefaultConfig is the configuration for this repository.
@@ -44,6 +49,10 @@ func DefaultConfig() *Config {
 		},
 		FaultPkgPath: "asterix/internal/fault",
 		FaultGuarded: []string{"Hit", "Tear", "Armed", "Hits", "Fired", "Snapshot", "BindMetrics"},
+		OperatorPkgs: []string{
+			"asterix/internal/hyracks", "asterix/internal/algebricks",
+		},
+		MemBudgetField: "MemBudget",
 	}
 }
 
@@ -74,6 +83,7 @@ func AllRules() []*Rule {
 		ruleErrDiscard(),
 		ruleFrameAlias(),
 		ruleFaultGate(),
+		ruleMemGrant(),
 	}
 }
 

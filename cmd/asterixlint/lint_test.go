@@ -152,6 +152,12 @@ func TestFrameAliasFixture(t *testing.T) {
 	})
 }
 
+func TestMemGrantFixture(t *testing.T) {
+	checkFixture(t, "memgrant", func(cfg *Config, pkgPath string) {
+		cfg.OperatorPkgs = []string{pkgPath}
+	})
+}
+
 // A lint:ignore without a reason is itself a finding, and does not
 // suppress the rule it names.
 func TestDirectiveMissingReason(t *testing.T) {

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ruleMemGrant keeps operator code on the memory governor's grant API.
+// The legacy static budget knob (Cluster.MemBudget) still exists so old
+// configurations keep working, but operator and runtime code must size
+// working memory from its task grant (TaskContext.Mem.Granted/Grow), not
+// by reading the static field: a static read bypasses admission control
+// and the shared-pool accounting the governor maintains. Writes (config
+// wiring, defaulting) are allowed; reads in operator packages are not.
+func ruleMemGrant() *Rule {
+	return &Rule{
+		Name: "mem-grant",
+		Doc:  "operator code must size working memory from governor grants, not by reading the static MemBudget knob",
+		Run:  runMemGrant,
+	}
+}
+
+func runMemGrant(c *Config, p *Package, report func(token.Pos, string)) {
+	inScope := false
+	for _, pkg := range c.OperatorPkgs {
+		if p.Path == pkg {
+			inScope = true
+			break
+		}
+	}
+	if !inScope || c.MemBudgetField == "" {
+		return
+	}
+	for _, f := range p.Files {
+		// Selector expressions appearing on an assignment's LHS are
+		// writes (config wiring) and stay legal.
+		writes := map[*ast.SelectorExpr]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+					writes[sel] = true
+				}
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != c.MemBudgetField || writes[sel] {
+				return true
+			}
+			s, ok := p.Info.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				return true
+			}
+			report(sel.Pos(), "reading the static "+c.MemBudgetField+" knob bypasses admission control; "+
+				"size working memory from the task's grant (TaskContext.Mem.Granted/Grow)")
+			return true
+		})
+	}
+}

@@ -1,0 +1,64 @@
+// Package memgrant is the fixture for the mem-grant rule: the test points
+// Config.OperatorPkgs at this package, with Cluster standing in for
+// hyracks.Cluster. Operator code must size its working memory from the
+// task's governor grant; reading the legacy static MemBudget knob bypasses
+// admission control. Writing the knob (config wiring) stays legal.
+package memgrant
+
+type Cluster struct {
+	MemBudget int
+	FrameSize int
+}
+
+type grant struct{ n int }
+
+func (g *grant) Granted() int    { return g.n }
+func (g *grant) Grow(n int) bool { g.n += n; return true }
+
+type taskCtx struct {
+	Mem *grant
+}
+
+func badRead(c *Cluster) int {
+	return c.MemBudget // WANT mem-grant
+}
+
+func badReadInExpr(c *Cluster, used int) bool {
+	return used > c.MemBudget/2 // WANT mem-grant
+}
+
+func badReadThroughLocal(c *Cluster) {
+	budget := c.MemBudget // WANT mem-grant
+	_ = budget
+}
+
+func goodWrite(c *Cluster) {
+	c.MemBudget = 32 << 20
+}
+
+func goodCompositeWrite() *Cluster {
+	return &Cluster{MemBudget: 32 << 20, FrameSize: 256}
+}
+
+func goodGrantSizing(tc *taskCtx, used int) bool {
+	for used > tc.Mem.Granted() {
+		if !tc.Mem.Grow(256 << 10) {
+			return false
+		}
+	}
+	return true
+}
+
+// A field with the same name on an unrelated type is untouched by the
+// rule only via suppression-free matching on the field name, so it is
+// flagged too — the knob name is reserved in operator packages.
+type otherConfig struct{ MemBudget int }
+
+func suppressedRead(c *Cluster) int {
+	//lint:ignore mem-grant fixture: the one sanctioned legacy fold
+	return c.MemBudget
+}
+
+func unrelatedRead(o otherConfig) int {
+	return o.MemBudget // WANT mem-grant
+}

@@ -43,6 +43,28 @@ type SecondaryIndex struct {
 // coordinates; the core API allows custom worlds via index params).
 var defaultWorld = [4]float64{-180, -90, 180, 90}
 
+// detachGovernor removes every partition's and index's component-pool
+// account (dataset drop): abandoned trees must not keep competing for
+// the governor's arbitration.
+func (d *Dataset) detachGovernor() {
+	for _, t := range d.parts {
+		t.Unregister()
+	}
+	for _, si := range d.idxs {
+		si.detachGovernor()
+	}
+}
+
+// detachGovernor removes the index's component-pool accounts (index drop).
+func (si *SecondaryIndex) detachGovernor() {
+	for _, t := range si.trees {
+		t.Unregister()
+	}
+	for _, rt := range si.rts {
+		rt.Unregister()
+	}
+}
+
 // openDataset opens (or creates) storage for a dataset definition.
 func (e *Engine) openDataset(def *metadata.DatasetDef) (*Dataset, error) {
 	var typ *adm.Type
@@ -64,6 +86,7 @@ func (e *Engine) openDataset(def *metadata.DatasetDef) (*Dataset, error) {
 			MemBudget: e.cfg.MemComponentBudget,
 			Policy:    e.cfg.MergePolicy,
 			Metrics:   e.reg,
+			Gov:       e.gov,
 		})
 		if err != nil {
 			return nil, err
@@ -88,7 +111,7 @@ func (d *Dataset) openIndex(idef *metadata.IndexDef) (*SecondaryIndex, error) {
 	for p := 0; p < d.def.Partitions; p++ {
 		name := fmt.Sprintf("%s/p%d/idx-%s", d.def.Name, p, idef.Name)
 		if idef.Kind == "RTREE" {
-			rt, err := lsm.OpenRTree(e.bc, name, lsm.RTreeOptions{MemBudget: e.cfg.MemComponentBudget, Metrics: e.reg})
+			rt, err := lsm.OpenRTree(e.bc, name, lsm.RTreeOptions{MemBudget: e.cfg.MemComponentBudget, Metrics: e.reg, Gov: e.gov})
 			if err != nil {
 				return nil, err
 			}
@@ -99,6 +122,7 @@ func (d *Dataset) openIndex(idef *metadata.IndexDef) (*SecondaryIndex, error) {
 			MemBudget: e.cfg.MemComponentBudget,
 			Policy:    e.cfg.MergePolicy,
 			Metrics:   e.reg,
+			Gov:       e.gov,
 		})
 		if err != nil {
 			return nil, err

@@ -166,8 +166,12 @@ func (e *Engine) execDrop(s *sqlpp.DropStmt) (Result, error) {
 			return Result{}, err
 		}
 		e.mu.Lock()
+		d := e.datasets[s.Name]
 		delete(e.datasets, s.Name)
 		e.mu.Unlock()
+		if d != nil {
+			d.detachGovernor()
+		}
 		// Component files are left for the file manager to reuse; a
 		// vacuum pass could reclaim them (out of scope).
 		return Result{Kind: ResultDDL}, nil
@@ -181,10 +185,15 @@ func (e *Engine) execDrop(s *sqlpp.DropStmt) (Result, error) {
 			return Result{}, err
 		}
 		e.mu.Lock()
+		var dropped *SecondaryIndex
 		if d, ok := e.datasets[s.On]; ok {
+			dropped = d.idxs[s.Name]
 			delete(d.idxs, s.Name)
 		}
 		e.mu.Unlock()
+		if dropped != nil {
+			dropped.detachGovernor()
+		}
 		return Result{Kind: ResultDDL}, nil
 	case "DATAVERSE":
 		return Result{Kind: ResultDDL}, nil

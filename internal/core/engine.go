@@ -14,6 +14,7 @@ import (
 	"asterix/internal/fault"
 	"asterix/internal/hyracks"
 	"asterix/internal/lsm"
+	"asterix/internal/mem"
 	"asterix/internal/metadata"
 	"asterix/internal/obs"
 	"asterix/internal/sqlpp"
@@ -32,12 +33,33 @@ type Config struct {
 	Nodes int
 	// PageSize is the buffer-cache page size (default 8192).
 	PageSize int
-	// BufferPages is the buffer-cache size in pages (default 4096).
+	// FrameSize is the Hyracks tuple-batch size moved through connectors
+	// (default 256 tuples).
+	FrameSize int
+	// TotalMemory, when set, is the single budget of Figure 2: the memory
+	// governor splits it across the buffer cache, the LSM component pool,
+	// and query working memory. Knobs left unset are derived from it
+	// (buffer cache and component pool get a quarter each, working memory
+	// the remainder); explicitly-set knobs are honored as carve-outs.
+	// Zero means "derive the total from the legacy knobs instead".
+	TotalMemory int64
+	// BufferPages is the buffer-cache size in pages (default 4096, or
+	// TotalMemory/4 worth of pages).
 	BufferPages int
-	// MemComponentBudget bounds each LSM memory component (default 4 MiB).
+	// MemComponentPool caps the governor's shared LSM memory-component
+	// pool across all datasets (default 4x MemComponentBudget, or
+	// TotalMemory/4).
+	MemComponentPool int
+	// MemComponentBudget bounds each LSM memory component (default 4 MiB,
+	// or MemComponentPool/4).
 	MemComponentBudget int
-	// WorkingMemory bounds each sort/join/group task (default 32 MiB).
+	// WorkingMemory caps the governor's query working-memory pool,
+	// shared by all concurrent sorts/joins/aggregations (default 32 MiB,
+	// or what TotalMemory leaves after the other pools).
 	WorkingMemory int
+	// AdmitTimeout bounds how long a query waits for working-memory
+	// admission before failing retriably (default 10s).
+	AdmitTimeout time.Duration
 	// MergePolicy for LSM components (default ConstantPolicy{4}).
 	MergePolicy lsm.MergePolicy
 	// NoSyncCommits skips the per-commit log fsync (a group-commit
@@ -69,14 +91,60 @@ func (c Config) withDefaults() (Config, error) {
 	if c.PageSize <= 0 {
 		c.PageSize = 8192
 	}
-	if c.BufferPages <= 0 {
-		c.BufferPages = 4096
+	if c.FrameSize < 0 {
+		return c, fmt.Errorf("core: Config.FrameSize must be positive, got %d", c.FrameSize)
 	}
-	if c.MemComponentBudget <= 0 {
-		c.MemComponentBudget = 4 << 20
+	if c.FrameSize == 0 {
+		c.FrameSize = 256
 	}
-	if c.WorkingMemory <= 0 {
-		c.WorkingMemory = 32 << 20
+	if c.AdmitTimeout <= 0 {
+		c.AdmitTimeout = 10 * time.Second
+	}
+	if c.TotalMemory > 0 {
+		// One-knob sizing: derive the pools Figure 2 splits the budget
+		// into, honoring any explicitly-set legacy knob as a carve-out.
+		if c.TotalMemory < 1<<20 {
+			return c, fmt.Errorf("core: Config.TotalMemory %d is below the 1 MiB minimum", c.TotalMemory)
+		}
+		if c.BufferPages <= 0 {
+			c.BufferPages = int(c.TotalMemory/4) / c.PageSize
+			if c.BufferPages < 64 {
+				c.BufferPages = 64
+			}
+		}
+		if c.MemComponentPool <= 0 {
+			c.MemComponentPool = int(c.TotalMemory / 4)
+		}
+		if c.MemComponentBudget <= 0 {
+			c.MemComponentBudget = c.MemComponentPool / 4
+			if c.MemComponentBudget < 64<<10 {
+				c.MemComponentBudget = 64 << 10
+			}
+		}
+		if c.WorkingMemory <= 0 {
+			w := c.TotalMemory - int64(c.BufferPages)*int64(c.PageSize) - int64(c.MemComponentPool)
+			if w <= 0 {
+				return c, fmt.Errorf("core: Config.TotalMemory %d leaves no working memory after the buffer cache (%d) and component pool (%d)",
+					c.TotalMemory, c.BufferPages*c.PageSize, c.MemComponentPool)
+			}
+			c.WorkingMemory = int(w)
+		}
+	} else {
+		// Legacy knobs: default each pool, then report their sum as the
+		// total budget.
+		if c.BufferPages <= 0 {
+			c.BufferPages = 4096
+		}
+		if c.MemComponentBudget <= 0 {
+			c.MemComponentBudget = 4 << 20
+		}
+		if c.MemComponentPool <= 0 {
+			c.MemComponentPool = 4 * c.MemComponentBudget
+		}
+		if c.WorkingMemory <= 0 {
+			c.WorkingMemory = 32 << 20
+		}
+		c.TotalMemory = int64(c.BufferPages)*int64(c.PageSize) + int64(c.MemComponentPool) + int64(c.WorkingMemory)
 	}
 	//lint:ignore obs-nil config defaulting, not instrumentation branching: a real registry keeps Snapshot and /metrics meaningful
 	if c.Metrics == nil {
@@ -96,6 +164,7 @@ type Engine struct {
 	catalog *metadata.Catalog
 	cluster *hyracks.Cluster
 	txmgr   *txn.Manager
+	gov     *mem.Governor
 
 	// Observability: the registry is shared by every subsystem; the
 	// engine-level instruments below are pushed per statement.
@@ -132,14 +201,27 @@ func Open(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	cluster.MemBudget = cfg.WorkingMemory
+	bc := storage.NewBufferCache(fm, cfg.BufferPages)
+	// One governor owns the whole Figure 2 budget: the buffer cache's
+	// fixed slice, the shared LSM component pool, and the query working
+	// pool every Hyracks job is admitted through.
+	gov := mem.NewGovernor(mem.Config{
+		BufferCacheBytes: bc.CapacityBytes(),
+		ComponentBytes:   int64(cfg.MemComponentPool),
+		WorkingBytes:     int64(cfg.WorkingMemory),
+		AdmitTimeout:     cfg.AdmitTimeout,
+		Metrics:          cfg.Metrics,
+	})
+	cluster.Gov = gov
+	cluster.FrameSize = cfg.FrameSize
 	e := &Engine{
 		cfg:      cfg,
 		fm:       fm,
-		bc:       storage.NewBufferCache(fm, cfg.BufferPages),
+		bc:       bc,
 		catalog:  cat,
 		cluster:  cluster,
 		txmgr:    txn.NewManager(log),
+		gov:      gov,
 		datasets: map[string]*Dataset{},
 	}
 	e.txmgr.NoSync = cfg.NoSyncCommits
@@ -304,6 +386,10 @@ func (e *Engine) BufferCacheStats() storage.Stats { return e.bc.Stats() }
 // Cluster exposes the Hyracks cluster (benchmark harness).
 func (e *Engine) Cluster() *hyracks.Cluster { return e.cluster }
 
+// MemGovernor exposes the memory governor (admission tests, benchmark
+// harness).
+func (e *Engine) MemGovernor() *mem.Governor { return e.gov }
+
 // Dataset returns an open dataset handle.
 func (e *Engine) Dataset(name string) (*Dataset, bool) {
 	e.mu.Lock()
@@ -349,6 +435,9 @@ type Result struct {
 	Attempts int
 	// DeadNodes lists nodes observed dead while executing the query.
 	DeadNodes []string
+	// PeakWorkingMem is the query's high-water mark of granted working
+	// memory in bytes (0 for statements that drew none).
+	PeakWorkingMem int64
 }
 
 // JSONRows renders query rows as JSON strings.
@@ -556,7 +645,7 @@ func (e *Engine) execQuery(ctx context.Context, q *sqlpp.QueryStmt) (Result, err
 	}, hyracks.RetryPolicy{})
 	es.End()
 	if err != nil {
-		return Result{Attempts: rep.Attempts, DeadNodes: rep.DeadNodes}, err
+		return Result{Attempts: rep.Attempts, DeadNodes: rep.DeadNodes, PeakWorkingMem: rep.PeakWorkingBytes}, err
 	}
 	es.Add("resultTuples", int64(coll.Len()))
 	rows := make([]adm.Value, 0, coll.Len())
@@ -565,7 +654,7 @@ func (e *Engine) execQuery(ctx context.Context, q *sqlpp.QueryStmt) (Result, err
 	}
 	return Result{
 		Kind: ResultQuery, Rows: rows, Plan: algebricks.PlanString(plan),
-		Attempts: rep.Attempts, DeadNodes: rep.DeadNodes,
+		Attempts: rep.Attempts, DeadNodes: rep.DeadNodes, PeakWorkingMem: rep.PeakWorkingBytes,
 	}, nil
 }
 

@@ -92,8 +92,8 @@ func TestE4MRvsHyracks(t *testing.T) {
 
 func TestE5MemoryBudget(t *testing.T) {
 	rep := runExp(t, E5MemoryBudget)
-	if len(rep.Rows) != 3 {
-		t.Fatalf("rows: %d", len(rep.Rows))
+	if len(rep.Rows) != 6 {
+		t.Fatalf("rows: %d, want 3 budget sweeps + 3 concurrent queries", len(rep.Rows))
 	}
 	// Tightest budget must spill; largest must not.
 	if rep.Rows[0][2] != "0" {
@@ -101,6 +101,16 @@ func TestE5MemoryBudget(t *testing.T) {
 	}
 	if rep.Rows[2][2] == "0" {
 		t.Errorf("tight-budget sort did not spill: %v", rep.Rows[2])
+	}
+	// Concurrent queries sharing one governed pool all completed and
+	// report a nonzero granted peak.
+	for _, row := range rep.Rows[3:] {
+		if !strings.HasPrefix(row[0], "conc-q") {
+			t.Errorf("concurrent row mislabeled: %v", row)
+		}
+		if row[3] == "0KB" {
+			t.Errorf("concurrent query reported no peak grant: %v", row)
+		}
 	}
 }
 

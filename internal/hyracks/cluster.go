@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+
+	"asterix/internal/mem"
 )
 
 // NodeController is one simulated cluster node: it owns a spill directory
@@ -97,13 +99,33 @@ type Cluster struct {
 	Nodes []*NodeController
 	// FrameSize is the tuple-batch size moved through connectors.
 	FrameSize int
-	// MemBudget is the default per-task working-memory budget in bytes.
+	// MemBudget is the legacy working-memory knob: when no governor is
+	// installed before the first Run, it sizes the working pool of the
+	// default governor (tests set it directly; the engine installs Gov).
 	MemBudget int
+	// Gov arbitrates working memory across concurrent jobs. Set it
+	// before the first Run; left nil, a governor with MemBudget of
+	// working memory is created lazily.
+	Gov *mem.Governor
+
+	govOnce sync.Once
 
 	// Job lifecycle counters (atomic).
 	jobAttempts  int64
 	jobRetries   int64
 	nodeFailures int64
+}
+
+// governor resolves the cluster's memory governor, building the default
+// one from the legacy MemBudget knob on first use.
+func (c *Cluster) governor() *mem.Governor {
+	c.govOnce.Do(func() {
+		if c.Gov == nil {
+			//lint:ignore mem-grant folding the legacy MemBudget knob into the governor default is the one sanctioned read
+			c.Gov = mem.NewGovernor(mem.Config{WorkingBytes: int64(c.MemBudget)})
+		}
+	})
+	return c.Gov
 }
 
 // RetryStats is an atomic snapshot of the cluster's job retry counters.

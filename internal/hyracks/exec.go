@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"asterix/internal/fault"
+	"asterix/internal/mem"
 	"asterix/internal/obs"
 )
 
@@ -15,6 +16,12 @@ import (
 // task error cancels the whole job. Partitions are placed on the nodes
 // alive when the run starts; a node killed mid-run cancels its tasks,
 // which surface as a *NodeFailure (retriable via RunWithRetry).
+//
+// Before any task starts, the job is admitted through the cluster's
+// memory governor: the minimum grants of ALL its memory operators'
+// tasks are reserved atomically (bounded wait, typed timeout). Because
+// a running task only ever Grows non-blockingly — a denial means spill
+// — admitted jobs can never deadlock on memory against each other.
 func (c *Cluster) Run(ctx context.Context, j *Job) error {
 	atomic.AddInt64(&c.jobAttempts, 1)
 	alive := c.AliveNodes()
@@ -38,6 +45,23 @@ func (c *Cluster) Run(ctx context.Context, j *Job) error {
 				return fmt.Errorf("hyracks: %s input port %d unconnected", op.Name, port)
 			}
 		}
+	}
+
+	// Admit the job: one atomic reservation covering every memory task's
+	// minimum grant.
+	memTasks := 0
+	for _, op := range j.ops {
+		if op.Memory {
+			memTasks += op.Parallelism
+		}
+	}
+	var jobGrant *mem.JobGrant
+	if memTasks > 0 {
+		jg, err := c.governor().AdmitJob(ctx, memTasks)
+		if err != nil {
+			return fmt.Errorf("hyracks: job admission: %w", err)
+		}
+		jobGrant = jg
 	}
 
 	// Build per-edge channel fabric.
@@ -118,12 +142,16 @@ func (c *Cluster) Run(ctx context.Context, j *Job) error {
 					return tctx.Err()
 				}
 			}
+			var taskMem *mem.Grant
+			if op.Memory {
+				taskMem = jobGrant.TaskGrant()
+			}
 			tc := &TaskContext{
 				Ctx:           tctx,
 				Partition:     p,
 				NumPartitions: op.Parallelism,
 				Node:          node,
-				MemBudget:     c.MemBudget,
+				Mem:           taskMem,
 				Span:          ts,
 			}
 
@@ -188,7 +216,8 @@ func (c *Cluster) Run(ctx context.Context, j *Job) error {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				defer tcancel() // releases the kill watcher
+				defer tcancel()         // releases the kill watcher
+				defer taskMem.Release() // returns this task's working memory
 				runner := op.New(p)
 				err := fault.Hit(fault.PointNodeCrash)
 				if err != nil {
@@ -227,6 +256,10 @@ func (c *Cluster) Run(ctx context.Context, j *Job) error {
 		}
 	}
 	wg.Wait()
+	if jobGrant != nil {
+		j.peakWorking = jobGrant.Peak()
+		jobGrant.Release()
+	}
 	if firstErr != nil {
 		var nf *NodeFailure
 		if errors.As(firstErr, &nf) {

@@ -58,6 +58,9 @@ type RunReport struct {
 	Attempts int
 	// DeadNodes lists the nodes observed dead over the run.
 	DeadNodes []string
+	// PeakWorkingBytes is the largest working-memory high-water mark any
+	// attempt reached (0 when no operator drew memory).
+	PeakWorkingBytes int64
 }
 
 // RunWithRetry executes the job produced by build, re-building and
@@ -77,6 +80,9 @@ func (c *Cluster) RunWithRetry(ctx context.Context, build func() (*Job, error), 
 		}
 		rep.Attempts++
 		err = c.Run(ctx, j)
+		if p := j.PeakWorkingBytes(); p > rep.PeakWorkingBytes {
+			rep.PeakWorkingBytes = p
+		}
 		if err == nil {
 			return rep, nil
 		}

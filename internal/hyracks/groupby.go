@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"asterix/internal/adm"
+	"asterix/internal/mem"
 )
 
 // AggSpec is a mergeable aggregate function over tuples. Partial states
@@ -21,7 +22,7 @@ type AggSpec struct {
 	Finish func(state adm.Value) adm.Value
 }
 
-// NewGroupBy builds a memory-budgeted hash aggregation. Input is grouped
+// NewGroupBy builds a memory-governed hash aggregation. Input is grouped
 // on groupCols; output tuples are the group columns followed by one value
 // per aggregate. An upstream hash-partition connector on the group columns
 // makes the aggregation partition-parallel.
@@ -29,6 +30,7 @@ func NewGroupBy(name string, parallelism int, groupCols []int, aggs []AggSpec) *
 	return &Operator{
 		Name:        name,
 		Parallelism: parallelism,
+		Memory:      true,
 		New: func(int) Runner {
 			return RunnerFunc(func(tc *TaskContext, in []*Input, out []*Output) error {
 				return runGroupBy(tc, in[0], out[0], groupCols, aggs)
@@ -106,15 +108,20 @@ func runGroupBy(tc *TaskContext, in *Input, out *Output, groupCols []int, aggs [
 			}
 		}
 		if g == nil {
+			// The key was cloned above, so its *adm.Object columns are
+			// shared with the source tuple: account them shallowly.
 			g = &group{key: k.Clone(), states: make([]adm.Value, len(aggs))}
 			for i, a := range aggs {
 				g.states[i] = a.Init()
 			}
 			table[h] = append(table[h], g)
-			size += k.EstimateSize() + 64
+			size += k.EstimateSizeShallow() + 64
 		}
 		step(g, t)
-		if size >= tc.MemBudget {
+		for size > tc.Mem.Granted() {
+			if tc.Mem.Grow(mem.GrowChunk) {
+				continue
+			}
 			// Spill the whole table as partial aggregates and start over.
 			spilled = true
 			for _, bucket := range table {
@@ -126,6 +133,7 @@ func runGroupBy(tc *TaskContext, in *Input, out *Output, groupCols []int, aggs [
 			}
 			table = map[uint64][]*group{}
 			size = 0
+			tc.Mem.ShrinkToMin()
 		}
 		return nil
 	})

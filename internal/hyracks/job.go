@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"asterix/internal/mem"
 	"asterix/internal/obs"
 )
 
@@ -13,9 +14,12 @@ type TaskContext struct {
 	Partition     int
 	NumPartitions int
 	Node          *NodeController
-	// MemBudget is the working-memory budget in bytes for this task
-	// (sorts, joins, aggregation), per Figure 2.
-	MemBudget int
+	// Mem is this task's working-memory grant (sorts, joins,
+	// aggregation), drawn from the cluster's governor per Figure 2. The
+	// task's minimum was reserved at job admission; operators Grow it as
+	// their buffers fill and spill when a Grow is denied. Nil for tasks
+	// of operators that declared no memory need (unbounded no-op).
+	Mem *mem.Grant
 	// Span is this task's trace span when the job runs under detailed
 	// profiling; nil otherwise (all span methods are nil-safe).
 	Span *obs.Span
@@ -83,6 +87,11 @@ type Operator struct {
 	Name        string
 	Parallelism int
 	New         func(partition int) Runner
+	// Memory marks operators that buffer tuples against the working-
+	// memory budget (sort, join, group-by). Each of their tasks gets a
+	// minimum grant reserved at job admission; tasks of other operators
+	// run with a nil grant.
+	Memory bool
 
 	id     int
 	inEnds []*edge // ordered by input port
@@ -146,7 +155,16 @@ type edge struct {
 type Job struct {
 	ops   []*Operator
 	edges []*edge
+
+	// peakWorking records the job's high-water mark of granted working
+	// memory, set by Run when the job completes.
+	peakWorking int64
 }
+
+// PeakWorkingBytes returns the high-water mark of working memory granted
+// to the job's tasks during its last Run (0 before the job ran or when
+// no operator drew memory).
+func (j *Job) PeakWorkingBytes() int64 { return j.peakWorking }
 
 // NewJob creates an empty job.
 func NewJob() *Job { return &Job{} }

@@ -2,6 +2,7 @@ package hyracks
 
 import (
 	"asterix/internal/adm"
+	"asterix/internal/mem"
 )
 
 // JoinKind selects inner or left-outer semantics.
@@ -18,9 +19,10 @@ const (
 
 // NewHashJoin builds an equi-join: port 0 is the left (probe/outer) input,
 // port 1 the right (build/inner) input. Output tuples are left ++ right
-// (for semi joins, just left). If the build side exceeds the working-
-// memory budget, the operator degrades to a grace hash join: both sides
-// are partitioned to spill files and joined partition-wise.
+// (for semi joins, just left). If the build side outgrows what the task's
+// working-memory grant can be grown to cover, the operator degrades to a
+// grace hash join: both sides are partitioned to spill files and joined
+// partition-wise.
 //
 // residual, if non-nil, is an extra ON predicate checked on each
 // key-matching pair — only pairs passing it count as matches (the join
@@ -30,6 +32,7 @@ func NewHashJoin(name string, parallelism int, leftCols, rightCols []int, kind J
 	return &Operator{
 		Name:        name,
 		Parallelism: parallelism,
+		Memory:      true,
 		New: func(int) Runner {
 			return RunnerFunc(func(tc *TaskContext, in []*Input, out []*Output) error {
 				return runHashJoin(tc, in[0], in[1], out[0], leftCols, rightCols, kind, rightWidth, residual)
@@ -100,7 +103,10 @@ func runHashJoin(tc *TaskContext, left, right *Input, out *Output, leftCols, rig
 		h := HashColumns(t, rightCols)
 		table[h] = append(table[h], t)
 		tableSize += t.EstimateSize()
-		if tableSize >= tc.MemBudget {
+		for tableSize > tc.Mem.Granted() {
+			if tc.Mem.Grow(mem.GrowChunk) {
+				continue
+			}
 			// Degrade: move the in-memory table to spill partitions.
 			spilled = true
 			for _, bucket := range table {
@@ -111,6 +117,8 @@ func runHashJoin(tc *TaskContext, left, right *Input, out *Output, leftCols, rig
 				}
 			}
 			table = nil
+			tableSize = 0
+			tc.Mem.ShrinkToMin()
 		}
 		return nil
 	})
@@ -261,16 +269,26 @@ func runHashJoin(tc *TaskContext, left, right *Input, out *Output, leftCols, rig
 
 // NewNestedLoopJoin joins with an arbitrary predicate: port 0 left
 // (streamed), port 1 right (materialized in memory). Used for non-equi
-// join conditions; the optimizer prefers hash joins when it can.
+// join conditions; the optimizer prefers hash joins when it can. The
+// materialized side has no spill path, so its footprint is accounted
+// against the task grant best-effort: Grow denials are tolerated (the
+// governor's grow-denied counter still records the overrun).
 func NewNestedLoopJoin(name string, parallelism int, pred func(l, r Tuple) (bool, error), kind JoinKind, rightWidth int) *Operator {
 	return &Operator{
 		Name:        name,
 		Parallelism: parallelism,
+		Memory:      true,
 		New: func(int) Runner {
 			return RunnerFunc(func(tc *TaskContext, in []*Input, out []*Output) error {
 				var build []Tuple
+				buildSize := 0
+				growOK := true
 				if err := in[1].ForEach(func(t Tuple) error {
 					build = append(build, t)
+					buildSize += t.EstimateSize()
+					for growOK && buildSize > tc.Mem.Granted() {
+						growOK = tc.Mem.Grow(mem.GrowChunk)
+					}
 					return nil
 				}); err != nil {
 					return err

@@ -4,16 +4,19 @@ import (
 	"sort"
 
 	"asterix/internal/fault"
+	"asterix/internal/mem"
 )
 
-// NewSort builds a memory-budgeted external sort: each partition
-// accumulates tuples up to the working-memory budget, spills sorted runs,
-// and merges them on output. With a single run everything stays in memory
-// (the crossover E5 measures).
+// NewSort builds a memory-governed external sort: each partition
+// accumulates tuples in its working-memory grant, growing it as the
+// buffer fills; a denied Grow spills a sorted run, and runs are merged
+// on output. With a single run everything stays in memory (the crossover
+// E5 measures).
 func NewSort(name string, parallelism int, cmp Comparator) *Operator {
 	return &Operator{
 		Name:        name,
 		Parallelism: parallelism,
+		Memory:      true,
 		New: func(int) Runner {
 			return RunnerFunc(func(tc *TaskContext, in []*Input, out []*Output) error {
 				return runSort(tc, in[0], out[0], cmp)
@@ -51,14 +54,17 @@ func runSort(tc *TaskContext, in *Input, out *Output, cmp Comparator) error {
 		tc.Spill()
 		buf = buf[:0]
 		bufSize = 0
+		tc.Mem.ShrinkToMin()
 		return nil
 	}
 
 	err := in.ForEach(func(t Tuple) error {
 		buf = append(buf, t)
 		bufSize += t.EstimateSize()
-		if bufSize >= tc.MemBudget {
-			return spill()
+		for bufSize > tc.Mem.Granted() {
+			if !tc.Mem.Grow(mem.GrowChunk) {
+				return spill()
+			}
 		}
 		return nil
 	})

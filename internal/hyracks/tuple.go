@@ -40,6 +40,41 @@ func (t Tuple) EstimateSize() int {
 	return sz
 }
 
+// EstimateSizeShallow approximates the tuple's incremental footprint when
+// its pointer-typed values are shared with another live tuple — the
+// post-Clone case: Clone copies the value slice but *adm.Object columns
+// still point at the originals, so deep-counting them double-charges
+// memory the table does not own. Pointer-shared values are charged at
+// pointer cost; everything else matches EstimateSize.
+func (t Tuple) EstimateSizeShallow() int {
+	sz := 24
+	for _, v := range t {
+		sz += estimateValueShallow(v)
+	}
+	return sz
+}
+
+func estimateValueShallow(v adm.Value) int {
+	switch x := v.(type) {
+	case *adm.Object:
+		return 16 // one shared pointer; the object is charged to its owner
+	case adm.Array:
+		sz := 24
+		for _, e := range x {
+			sz += estimateValueShallow(e)
+		}
+		return sz
+	case adm.Multiset:
+		sz := 24
+		for _, e := range x {
+			sz += estimateValueShallow(e)
+		}
+		return sz
+	default:
+		return estimateValueSize(v)
+	}
+}
+
 func estimateValueSize(v adm.Value) int {
 	switch x := v.(type) {
 	case adm.String:

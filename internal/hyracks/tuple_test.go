@@ -1,0 +1,83 @@
+package hyracks
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"asterix/internal/adm"
+)
+
+// measureAlloc returns the heap bytes retained by n invocations of build
+// (keeping every result live), averaged per invocation.
+func measureAlloc(n int, build func(i int) Tuple) int {
+	keep := make([]Tuple, n)
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := range keep {
+		keep[i] = build(i)
+	}
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	per := int(after.HeapAlloc-before.HeapAlloc) / n
+	runtime.KeepAlive(keep)
+	return per
+}
+
+func sampleTuple(i int) Tuple {
+	obj := adm.NewObject(
+		adm.Field{Name: "id", Value: adm.Int64(int64(i))},
+		adm.Field{Name: "name", Value: adm.String(fmt.Sprintf("user-%06d", i))},
+		adm.Field{Name: "tags", Value: adm.Array{adm.String("a"), adm.String("b")}},
+	)
+	return Tuple{adm.Int64(int64(i)), adm.String(fmt.Sprintf("key-%06d", i)), obj}
+}
+
+// TestEstimateSizeTracksFootprint pins EstimateSize against the measured
+// heap footprint of representative tuples: the estimate must stay within
+// 2x of reality in both directions, so spill decisions track actual
+// memory pressure.
+func TestEstimateSizeTracksFootprint(t *testing.T) {
+	const n = 4096
+	measured := measureAlloc(n, sampleTuple)
+	est := sampleTuple(0).EstimateSize()
+	if est*2 < measured {
+		t.Fatalf("EstimateSize %d under-counts: measured footprint %d (> 2x estimate)", est, measured)
+	}
+	if est > measured*2 {
+		t.Fatalf("EstimateSize %d over-counts: measured footprint %d (< estimate/2)", est, measured)
+	}
+}
+
+// TestEstimateSizeShallowSharedObjects checks the post-Clone accounting
+// mode: a cloned tuple's *adm.Object columns are pointers shared with
+// another live holder, so the shallow estimate must charge them at
+// pointer cost while still owning its scalar columns — within 2x of the
+// measured incremental footprint, and strictly below the deep estimate.
+func TestEstimateSizeShallowSharedObjects(t *testing.T) {
+	const n = 4096
+	objs := make([]*adm.Object, n)
+	for i := range objs {
+		objs[i] = sampleTuple(i)[2].(*adm.Object)
+	}
+	// The group-key scenario shallow accounting serves: a fresh tuple
+	// owning its scalar columns but sharing the object with objs.
+	measured := measureAlloc(n, func(i int) Tuple {
+		return Tuple{adm.Int64(int64(i)), adm.String(fmt.Sprintf("key-%06d", i)), objs[i]}
+	})
+	runtime.KeepAlive(objs)
+
+	shallow := sampleTuple(0).EstimateSizeShallow()
+	deep := sampleTuple(0).EstimateSize()
+	if shallow >= deep {
+		t.Fatalf("shallow estimate %d must be below deep estimate %d for pointer-shared tuples", shallow, deep)
+	}
+	if shallow*2 < measured {
+		t.Fatalf("EstimateSizeShallow %d under-counts clone: measured %d (> 2x estimate)", shallow, measured)
+	}
+	if shallow > measured*2 {
+		t.Fatalf("EstimateSizeShallow %d over-counts clone: measured %d (< estimate/2)", shallow, measured)
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"asterix/internal/check"
 	"asterix/internal/fault"
+	"asterix/internal/mem"
 	"asterix/internal/rtree"
 	"asterix/internal/storage"
 )
@@ -675,4 +676,45 @@ func TestMergeFaultReleasesVictims(t *testing.T) {
 		t.Fatal(err)
 	}
 	mustValidate(t, tr, bc)
+}
+
+// TestGovernorArbitratedFlush overflows a shared component pool from a
+// second tree and checks the earliest-dirty tree is the one flushed —
+// cross-tree arbitration replacing the per-tree threshold.
+func TestGovernorArbitratedFlush(t *testing.T) {
+	bc, _ := newEnv(t, 1024, 256)
+	gov := mem.NewGovernor(mem.Config{ComponentBytes: 4 << 10, WorkingBytes: 1 << 20})
+	// Per-tree budgets far above the pool: only the governor can flush.
+	opts := Options{MemBudget: 1 << 30, Gov: gov}
+	a, err := Open(bc, "arb/a", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open(bc, "arb/b", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := make([]byte, 100)
+	// Dirty a first with ~2 KiB, then push b past the 4 KiB pool.
+	for i := 0; i < 16; i++ {
+		if err := a.Upsert(ikey(i), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		if err := b.Upsert(ikey(i), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Flushes == 0 {
+		t.Fatalf("earliest-dirty tree a not flushed (a=%d b=%d)", a.Flushes, b.Flushes)
+	}
+	if got := gov.ComponentCharged(); got > 4<<10 {
+		t.Fatalf("component pool still over budget after arbitration: %d", got)
+	}
+	if gov.StatsSnapshot().ArbitratedFlushes == 0 {
+		t.Fatal("arbitrated-flush counter stayed zero")
+	}
+	mustValidate(t, a, bc)
+	mustValidate(t, b, bc)
 }

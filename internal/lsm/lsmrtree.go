@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"asterix/internal/mem"
 	"asterix/internal/obs"
 	"asterix/internal/rtree"
 	"asterix/internal/storage"
@@ -24,6 +25,13 @@ type RTreeIndex struct {
 	name      string
 	memBudget int
 	maxComps  int
+
+	// wmu serializes mutations and flushes; the governor's arbitration
+	// hook try-acquires it (see Tree.wmu).
+	wmu sync.Mutex
+	// charge accounts the memory component against the governor's shared
+	// component pool (nil without a governor).
+	charge *mem.ComponentCharge
 
 	mu      sync.RWMutex
 	mem     *rtree.RTree // payload: flag byte + primary key
@@ -58,6 +66,9 @@ type RTreeOptions struct {
 	// Metrics, when set, receives the shared LSM flush/merge counters
 	// and duration histograms.
 	Metrics *obs.Registry
+	// Gov, when set, charges the memory component to the governor's
+	// shared component pool (see Options.Gov).
+	Gov *mem.Governor
 }
 
 // OpenRTree opens (or creates) the LSM R-tree named by the file prefix.
@@ -75,6 +86,7 @@ func OpenRTree(bc *storage.BufferCache, name string, opts RTreeOptions) (*RTreeI
 		maxComps:  opts.MaxComps,
 		mem:       rtree.New(),
 	}
+	t.charge = opts.Gov.RegisterComponent(name, t.tryFlushForGovernor)
 	t.mFlushes = opts.Metrics.Counter("lsm_flushes_total", "LSM memory-component flushes")
 	t.mMerges = opts.Metrics.Counter("lsm_merges_total", "LSM disk-component merges")
 	t.mFlushDur = opts.Metrics.Histogram("lsm_flush_duration_seconds", "LSM flush wall time", nil)
@@ -145,6 +157,8 @@ func flagged(key []byte, tombstone bool) []byte {
 
 // Insert adds a live (rect, key) entry.
 func (t *RTreeIndex) Insert(r rtree.Rect, key []byte) error {
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
 	t.mu.Lock()
 	// If an antimatter entry for this pair is pending in memory, the
 	// insert simply revives it.
@@ -152,18 +166,55 @@ func (t *RTreeIndex) Insert(r rtree.Rect, key []byte) error {
 	t.mem.Insert(r, flagged(key, false))
 	t.memSize += len(key) + 64
 	t.mu.Unlock()
-	return t.maybeFlush()
+	return t.afterPut(len(key) + 64)
 }
 
 // Delete records the removal of (rect, key): it cancels any in-memory live
 // entry and inserts antimatter to cancel older disk entries.
 func (t *RTreeIndex) Delete(r rtree.Rect, key []byte) error {
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
 	t.mu.Lock()
 	t.mem.Delete(r, flagged(key, false))
 	t.mem.Insert(r, flagged(key, true))
 	t.memSize += len(key) + 64
 	t.mu.Unlock()
-	return t.maybeFlush()
+	return t.afterPut(len(key) + 64)
+}
+
+// afterPut charges the mutation to the governor and applies the per-index
+// budget. Caller holds t.wmu.
+func (t *RTreeIndex) afterPut(delta int) error {
+	flushSelf, err := t.charge.Add(int64(delta))
+	if err != nil {
+		return err
+	}
+	t.mu.RLock()
+	over := t.memSize >= t.memBudget
+	t.mu.RUnlock()
+	if flushSelf || over {
+		return t.flushLocked()
+	}
+	return nil
+}
+
+// Unregister removes the index's account from the governor's component
+// pool (index or dataset drop).
+func (t *RTreeIndex) Unregister() {
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
+	t.charge.Unregister()
+	t.charge = nil
+}
+
+// tryFlushForGovernor is the arbitration hook: flush if the writer lock
+// is free, otherwise report busy so the arbiter skips this index.
+func (t *RTreeIndex) tryFlushForGovernor() (bool, error) {
+	if !t.wmu.TryLock() {
+		return false, nil
+	}
+	defer t.wmu.Unlock()
+	return true, t.flushLocked()
 }
 
 // snapshotComps acquires a reference-counted component view.
@@ -256,18 +307,15 @@ func (t *RTreeIndex) DiskComponents() int {
 	return len(t.disk)
 }
 
-func (t *RTreeIndex) maybeFlush() error {
-	t.mu.RLock()
-	over := t.memSize >= t.memBudget
-	t.mu.RUnlock()
-	if !over {
-		return nil
-	}
-	return t.Flush()
-}
-
 // Flush packs the memory component into a new disk component.
 func (t *RTreeIndex) Flush() error {
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
+	return t.flushLocked()
+}
+
+// flushLocked is Flush with t.wmu held (no put can race the swap).
+func (t *RTreeIndex) flushLocked() error {
 	flushStart := time.Now()
 	t.mu.Lock()
 	if t.mem.Len() == 0 {
@@ -304,6 +352,7 @@ func (t *RTreeIndex) Flush() error {
 	err = t.writeManifest()
 	needMerge := len(t.disk) > t.maxComps
 	t.mu.Unlock()
+	t.charge.Flushed()
 	t.mFlushes.Inc()
 	t.mFlushDur.Observe(time.Since(flushStart).Seconds())
 	if err != nil {

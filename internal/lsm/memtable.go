@@ -44,8 +44,10 @@ func newMemTable() *memTable {
 	}
 }
 
-// put upserts the key's state.
-func (m *memTable) put(key, value []byte, tombstone bool) {
+// put upserts the key's state and returns the byte-size delta it caused
+// (negative when a replace shrinks the stored value) so callers can keep
+// external memory accounting exact.
+func (m *memTable) put(key, value []byte, tombstone bool) int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var update [maxSkipHeight]*skipNode
@@ -57,10 +59,11 @@ func (m *memTable) put(key, value []byte, tombstone bool) {
 		update[i] = x
 	}
 	if n := x.next[0]; n != nil && bytes.Equal(n.entry.key, key) {
-		m.bytes += len(value) - len(n.entry.value)
+		delta := len(value) - len(n.entry.value)
+		m.bytes += delta
 		n.entry.value = append([]byte(nil), value...)
 		n.entry.tombstone = tombstone
-		return
+		return delta
 	}
 	h := 1
 	for h < maxSkipHeight && m.rng.Intn(2) == 0 {
@@ -82,7 +85,9 @@ func (m *memTable) put(key, value []byte, tombstone bool) {
 		update[i].next[i] = n
 	}
 	m.count++
-	m.bytes += len(key) + len(value) + 32
+	delta := len(key) + len(value) + 32
+	m.bytes += delta
+	return delta
 }
 
 // get returns the key's state if present.

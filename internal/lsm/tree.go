@@ -15,6 +15,7 @@ import (
 	"asterix/internal/btree"
 	"asterix/internal/check"
 	"asterix/internal/fault"
+	"asterix/internal/mem"
 	"asterix/internal/obs"
 	"asterix/internal/storage"
 )
@@ -27,6 +28,14 @@ type Tree struct {
 	name      string // file-name prefix ("dataset/part0/primary")
 	memBudget int
 	policy    MergePolicy
+
+	// wmu serializes mutations and flushes. The governor's arbitration
+	// hook try-acquires it, so a tree mid-write is skipped rather than
+	// deadlocked on when another tree's ingestion overflows the pool.
+	wmu sync.Mutex
+	// charge is this tree's account against the governor's memory-
+	// component pool (nil without a governor: per-tree budget only).
+	charge *mem.ComponentCharge
 
 	mu   sync.RWMutex
 	mem  *memTable
@@ -72,6 +81,10 @@ type Options struct {
 	// Metrics, when set, receives flush/merge counters and duration
 	// histograms (shared by name across all trees on the registry).
 	Metrics *obs.Registry
+	// Gov, when set, charges the memory component to the governor's
+	// shared component pool: overflowing the pool flushes the earliest-
+	// dirty tree across the whole engine, not just this one.
+	Gov *mem.Governor
 }
 
 func (o Options) withDefaults() Options {
@@ -96,6 +109,7 @@ func Open(bc *storage.BufferCache, name string, opts Options) (*Tree, error) {
 		mem:       newMemTable(),
 	}
 	registerTreeMetrics(t, opts.Metrics)
+	t.charge = opts.Gov.RegisterComponent(name, t.tryFlushForGovernor)
 	seqs, err := t.readManifest()
 	if err != nil {
 		return nil, err
@@ -214,14 +228,50 @@ func (t *Tree) memRef() *memTable {
 
 // Upsert inserts or replaces the value stored under key.
 func (t *Tree) Upsert(key, value []byte) error {
-	t.memRef().put(key, value, false)
-	return t.maybeFlush()
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
+	return t.afterPut(t.memRef().put(key, value, false))
 }
 
 // Delete records an antimatter entry for key (the key need not exist).
 func (t *Tree) Delete(key []byte) error {
-	t.memRef().put(key, nil, true)
-	return t.maybeFlush()
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
+	return t.afterPut(t.memRef().put(key, nil, true))
+}
+
+// afterPut charges the mutation's byte delta to the governor (which may
+// arbitrate flushes of OTHER trees, or elect this one) and then applies
+// the per-tree budget. Caller holds t.wmu.
+func (t *Tree) afterPut(delta int) error {
+	flushSelf, err := t.charge.Add(int64(delta))
+	if err != nil {
+		return err
+	}
+	if flushSelf || t.memRef().size() >= t.memBudget {
+		return t.flushLocked()
+	}
+	return nil
+}
+
+// Unregister removes the tree's account from the governor's component
+// pool (dataset drop); the tree keeps working against its per-tree
+// budget only.
+func (t *Tree) Unregister() {
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
+	t.charge.Unregister()
+	t.charge = nil
+}
+
+// tryFlushForGovernor is the arbitration hook: flush if the writer lock
+// is free, otherwise report busy so the arbiter skips this tree.
+func (t *Tree) tryFlushForGovernor() (bool, error) {
+	if !t.wmu.TryLock() {
+		return false, nil
+	}
+	defer t.wmu.Unlock()
+	return true, t.flushLocked()
 }
 
 // snapshot acquires a reference-counted view of the disk components.
@@ -368,20 +418,19 @@ func (t *Tree) DiskComponents() int {
 	return len(t.disk)
 }
 
-// maybeFlush flushes when the memory budget is exceeded.
-func (t *Tree) maybeFlush() error {
-	if t.memRef().size() < t.memBudget {
-		return nil
-	}
-	return t.Flush()
+// Flush persists the memory component as a new disk component and applies
+// the merge policy.
+func (t *Tree) Flush() error {
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
+	return t.flushLocked()
 }
 
-// Flush persists the memory component as a new disk component and applies
-// the merge policy. Writers are single-threaded per tree (the engine
-// serializes mutations per partition), so no put can land in the old
-// memory component between the snapshot scan and the pointer swap;
-// concurrent readers are safe because they take the pointer via memRef.
-func (t *Tree) Flush() error {
+// flushLocked is Flush with t.wmu held: holding the writer mutex means no
+// put can land in the old memory component between the snapshot scan and
+// the pointer swap; concurrent readers are safe because they take the
+// pointer via memRef.
+func (t *Tree) flushLocked() error {
 	flushStart := time.Now()
 	t.mu.Lock()
 	mem := t.mem
@@ -446,6 +495,7 @@ func (t *Tree) Flush() error {
 	t.Flushes++
 	err = t.writeManifest()
 	t.mu.Unlock()
+	t.charge.Flushed()
 	t.mFlushes.Inc()
 	t.mFlushDur.Observe(time.Since(flushStart).Seconds())
 	if err != nil {

@@ -21,6 +21,7 @@ import (
 	"asterix/internal/adm"
 	"asterix/internal/core"
 	"asterix/internal/hyracks"
+	"asterix/internal/mem"
 	"asterix/internal/obs"
 	"asterix/internal/txn"
 )
@@ -70,10 +71,10 @@ func NewHandler(e Engine, opts Options) http.Handler {
 		}
 	}
 	s := &service{
-		eng:      e,
-		reg:      reg,
-		slow:     opts.SlowQueryThreshold,
-		logger:   opts.Logger,
+		eng:       e,
+		reg:       reg,
+		slow:      opts.SlowQueryThreshold,
+		logger:    opts.Logger,
 		requests:  reg.Counter("server_requests_total", "query-service requests"),
 		errors:    reg.Counter("server_request_errors_total", "query-service requests that failed"),
 		retriable: reg.Counter("server_retriable_errors_total", "failed requests the client may safely resend (lock timeout, node failure)"),
@@ -145,6 +146,9 @@ type queryMetrics struct {
 	// DeadNodes lists node controllers observed dead while the statement
 	// ran.
 	DeadNodes []string `json:"deadNodes,omitempty"`
+	// PeakWorkingMemBytes is the largest working-memory grant the memory
+	// governor saw for any statement in the script.
+	PeakWorkingMemBytes int64 `json:"peakWorkingMemBytes,omitempty"`
 }
 
 type queryResponse struct {
@@ -214,6 +218,13 @@ func (s *service) serveQuery(w http.ResponseWriter, r *http.Request) {
 			resp.Status = "timeout"
 			resp.Retriable = true
 			s.retriable.Inc()
+		case errors.Is(err, mem.ErrAdmissionTimeout):
+			// The memory governor could not admit the query before its
+			// wait bound expired; once running queries release working
+			// memory a resend will be admitted.
+			resp.Status = "timeout"
+			resp.Retriable = true
+			s.retriable.Inc()
 		case errors.As(err, &nf):
 			// Retries on survivors were already exhausted (or impossible);
 			// resending still helps once nodes rejoin.
@@ -244,9 +255,13 @@ func (s *service) serveQuery(w http.ResponseWriter, r *http.Request) {
 	// reported only when a statement actually re-ran.
 	attempts := 0
 	var dead []string
+	var peakMem int64
 	for _, res := range results {
 		if res.Attempts > attempts {
 			attempts = res.Attempts
+		}
+		if res.PeakWorkingMem > peakMem {
+			peakMem = res.PeakWorkingMem
 		}
 		for _, id := range res.DeadNodes {
 			found := false
@@ -268,14 +283,15 @@ func (s *service) serveQuery(w http.ResponseWriter, r *http.Request) {
 	optT := root.TotalFor("compile")
 	execT := root.TotalFor("execute")
 	resp.Metrics = queryMetrics{
-		ElapsedTime:  elapsed.String(),
-		ResultCount:  len(resp.Results),
-		ParseTime:    parseT.String(),
-		OptimizeTime: optT.String(),
-		ExecuteTime:  execT.String(),
-		ResultSize:   resultSize,
-		JobAttempts:  attempts,
-		DeadNodes:    dead,
+		ElapsedTime:         elapsed.String(),
+		ResultCount:         len(resp.Results),
+		ParseTime:           parseT.String(),
+		OptimizeTime:        optT.String(),
+		ExecuteTime:         execT.String(),
+		ResultSize:          resultSize,
+		JobAttempts:         attempts,
+		DeadNodes:           dead,
+		PeakWorkingMemBytes: peakMem,
 	}
 	if req.Profile == "timings" {
 		resp.Profile = root.Tree()

@@ -16,6 +16,7 @@ import (
 
 	"asterix/internal/core"
 	"asterix/internal/hyracks"
+	"asterix/internal/mem"
 	"asterix/internal/obs"
 	"asterix/internal/txn"
 )
@@ -460,5 +461,80 @@ func TestQueryMetricsReportRetryWork(t *testing.T) {
 	_, qr2 := postRaw(t, srv2, `SELECT VALUE 1;`)
 	if qr2.Metrics.JobAttempts != 0 || qr2.Metrics.DeadNodes != nil {
 		t.Fatalf("clean run leaked retry metrics: %+v", qr2.Metrics)
+	}
+}
+
+func TestAdmissionTimeoutMapsToRetriable503(t *testing.T) {
+	reg := obs.NewRegistry()
+	eng := stubEngine{err: fmt.Errorf("stmt 1: %w", mem.ErrAdmissionTimeout)}
+	srv := httptest.NewServer(NewHandler(eng, Options{Registry: reg}))
+	t.Cleanup(srv.Close)
+
+	code, qr := postRaw(t, srv, `SELECT VALUE 1;`)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("admission timeout returned HTTP %d, want 503", code)
+	}
+	if qr.Status != "timeout" || !qr.Retriable {
+		t.Fatalf("response %+v, want status=timeout retriable=true", qr)
+	}
+	if got := reg.Snapshot()["server_retriable_errors_total"]; got != int64(1) {
+		t.Fatalf("server_retriable_errors_total = %v, want 1", got)
+	}
+}
+
+// TestAdmissionTimeoutEndToEnd drives the whole stack: a held working-memory
+// pool makes a real query miss its admission deadline; the service must
+// answer 503/timeout/retriable, and the resend after release must succeed.
+func TestAdmissionTimeoutEndToEnd(t *testing.T) {
+	fixed, _ := time.Parse(time.RFC3339, "2019-04-01T00:00:00Z")
+	eng, err := core.Open(core.Config{
+		DataDir:       t.TempDir(),
+		Partitions:    1,
+		Nodes:         1,
+		WorkingMemory: 64 << 10,
+		AdmitTimeout:  100 * time.Millisecond,
+		Now:           func() time.Time { return fixed },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	srv := httptest.NewServer(Handler(eng))
+	t.Cleanup(srv.Close)
+
+	r := post(t, srv, `
+		CREATE TYPE T AS {id: int};
+		CREATE DATASET D(T) PRIMARY KEY id;
+		UPSERT INTO D ([{"id": 1, "g": 1}, {"id": 2, "g": 1}, {"id": 3, "g": 2}]);
+	`)
+	if r.Status != "success" {
+		t.Fatalf("setup: %+v", r)
+	}
+
+	gov := eng.MemGovernor()
+	hold, err := gov.Reserve(context.Background(), gov.WorkingCap())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const q = `SELECT g AS grp, COUNT(*) AS n FROM D d GROUP BY d.g AS g ORDER BY grp;`
+	code, qr := postRaw(t, srv, q)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("starved query returned HTTP %d, want 503 (%+v)", code, qr)
+	}
+	if qr.Status != "timeout" || !qr.Retriable {
+		t.Fatalf("response %+v, want status=timeout retriable=true", qr)
+	}
+
+	hold.Release()
+	code, qr = postRaw(t, srv, q)
+	if code != http.StatusOK || qr.Status != "success" {
+		t.Fatalf("resend after release: HTTP %d %+v", code, qr)
+	}
+	if len(qr.Results) != 2 {
+		t.Fatalf("resend rows = %d, want 2", len(qr.Results))
+	}
+	if qr.Metrics.PeakWorkingMemBytes <= 0 {
+		t.Fatalf("peakWorkingMemBytes = %d, want > 0", qr.Metrics.PeakWorkingMemBytes)
 	}
 }

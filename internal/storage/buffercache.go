@@ -73,6 +73,13 @@ func NewBufferCache(fm *FileManager, numFrames int) *BufferCache {
 // FileManager returns the underlying file manager.
 func (bc *BufferCache) FileManager() *FileManager { return bc.fm }
 
+// CapacityBytes returns the cache's fixed memory footprint (frames ×
+// page size) — the buffer-cache slice of the Figure 2 budget that the
+// memory governor reports as permanently reserved.
+func (bc *BufferCache) CapacityBytes() int64 {
+	return int64(len(bc.frames)) * int64(bc.fm.PageSize())
+}
+
 // Pin fetches the page into the cache (reading it if absent) and pins it.
 func (bc *BufferCache) Pin(pid PageID) (*Page, error) {
 	bc.mu.Lock()
