@@ -1,0 +1,102 @@
+package cfg
+
+import "go/ast"
+
+// Lattice defines one forward gen/kill dataflow problem over a Graph.
+// The state type S is rule-defined (typically a small map of facts);
+// the solver treats it opaquely through these callbacks.
+type Lattice[S any] struct {
+	// Clone deep-copies a state. The solver clones before every
+	// transfer, so Node and Refine may mutate their argument freely.
+	Clone func(S) S
+	// Meet joins two states at a control-flow merge (set union for
+	// may-analyses, intersection for must-analyses). It may mutate and
+	// return dst.
+	Meet func(dst, src S) S
+	// Equal reports state equality; the fixed point is reached when no
+	// block's in-state changes under Meet.
+	Equal func(a, b S) bool
+	// Node is the per-node transfer function. It may mutate and return s.
+	Node func(n ast.Node, s S) S
+	// Refine, if non-nil, adjusts a block's out-state per outgoing
+	// edge — the hook for branch-sensitive facts (err != nil checks,
+	// TryLock guards). It may mutate and return s.
+	Refine func(blk *Block, e Edge, s S) S
+}
+
+// Forward solves the dataflow problem by worklist iteration and returns
+// each reachable block's in-state. Facts must form a finite lattice
+// under Meet (the rules use finite fact sets per function), which
+// guarantees termination across loop back-edges.
+func Forward[S any](g *Graph, entry S, lat Lattice[S]) map[*Block]S {
+	in := map[*Block]S{g.Entry: entry}
+	work := []*Block{g.Entry}
+	queued := map[*Block]bool{g.Entry: true}
+	push := func(blk *Block) {
+		if !queued[blk] {
+			queued[blk] = true
+			work = append(work, blk)
+		}
+	}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+		out := lat.Clone(in[blk])
+		for _, n := range blk.Nodes {
+			out = lat.Node(n, out)
+		}
+		for _, e := range blk.Succs {
+			es := lat.Clone(out)
+			if lat.Refine != nil {
+				es = lat.Refine(blk, e, es)
+			}
+			cur, ok := in[e.To]
+			if !ok {
+				in[e.To] = es
+				push(e.To)
+				continue
+			}
+			merged := lat.Meet(lat.Clone(cur), es)
+			if !lat.Equal(merged, cur) {
+				in[e.To] = merged
+				push(e.To)
+			}
+		}
+	}
+	return in
+}
+
+// Visit replays the solved states in one deterministic pass: for every
+// reachable block (in creation order) it calls node before each node
+// transfer with the state at that point, and edge with the block's
+// final out-state per successor edge (after Refine). Rules do their
+// reporting here, so diagnostics fire exactly once regardless of how
+// many worklist iterations the solver needed.
+func Visit[S any](g *Graph, in map[*Block]S, lat Lattice[S],
+	node func(blk *Block, n ast.Node, before S),
+	edge func(blk *Block, e Edge, out S)) {
+	for _, blk := range g.Blocks {
+		s, ok := in[blk]
+		if !ok {
+			continue // unreachable
+		}
+		out := lat.Clone(s)
+		for _, n := range blk.Nodes {
+			if node != nil {
+				node(blk, n, lat.Clone(out))
+			}
+			out = lat.Node(n, out)
+		}
+		if edge == nil {
+			continue
+		}
+		for _, e := range blk.Succs {
+			es := lat.Clone(out)
+			if lat.Refine != nil {
+				es = lat.Refine(blk, e, es)
+			}
+			edge(blk, e, es)
+		}
+	}
+}

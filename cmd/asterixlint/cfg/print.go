@@ -1,0 +1,38 @@
+package cfg
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// String renders the graph in a stable textual form for golden tests
+// and debugging: one section per block (creation order), each node
+// printed as single-line source, each edge as "-> index kind".
+func (g *Graph) String(fset *token.FileSet) string {
+	var sb strings.Builder
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&sb, "block %d %s\n", blk.Index, blk.Label)
+		for _, n := range blk.Nodes {
+			fmt.Fprintf(&sb, "  %s\n", nodeText(fset, n))
+		}
+		for _, e := range blk.Succs {
+			fmt.Fprintf(&sb, "  -> %d %s\n", e.To.Index, e.Kind)
+		}
+	}
+	return sb.String()
+}
+
+// nodeText prints a node as one line of source, collapsing any interior
+// newlines (multiline composite literals, deferred closures).
+func nodeText(fset *token.FileSet, n ast.Node) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, n); err != nil {
+		return fmt.Sprintf("<%T>", n)
+	}
+	fields := strings.Fields(buf.String())
+	return strings.Join(fields, " ")
+}

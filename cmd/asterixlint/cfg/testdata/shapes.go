@@ -1,0 +1,94 @@
+// Package shapes is the CFG golden-test corpus: one function per
+// control-flow shape the builder must handle. The golden file
+// (shapes.golden) pins the exact block/edge structure, so a solver bug
+// localizes to the engine rather than to whichever rule noticed it.
+package shapes
+
+func ifElse(a int) int {
+	if a > 0 {
+		a++
+	} else {
+		a--
+	}
+	return a
+}
+
+func ifNoElse(a int) int {
+	if a > 0 {
+		return 1
+	}
+	return 0
+}
+
+func forBreakContinue(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		if i == 3 {
+			continue
+		}
+		if i == 7 {
+			break
+		}
+		s += i
+	}
+	return s
+}
+
+func forever(ch chan int) {
+	for {
+		if <-ch == 0 {
+			break
+		}
+	}
+}
+
+func rangeLoop(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func switchShape(k int) string {
+	switch k {
+	case 0:
+		return "zero"
+	case 1:
+		fallthrough
+	case 2:
+		return "small"
+	default:
+		return "big"
+	}
+}
+
+func deferShape(unlock func()) int {
+	defer unlock()
+	if unlock == nil {
+		panic("nil unlock")
+	}
+	return 1
+}
+
+func gotoShape(n int) int {
+	i := 0
+loop:
+	if i < n {
+		i++
+		goto loop
+	}
+	return i
+}
+
+func labeledBreak(m [][]int) int {
+outer:
+	for _, row := range m {
+		for _, v := range row {
+			if v < 0 {
+				break outer
+			}
+		}
+	}
+	return 0
+}

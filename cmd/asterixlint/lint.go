@@ -34,6 +34,10 @@ type Config struct {
 	// knob whose reads are flagged there.
 	OperatorPkgs   []string
 	MemBudgetField string
+	// Resources registers acquire/release pairs for the resource-leak
+	// rule: every value produced by an acquire must reach one of its
+	// releases on all paths out of the acquiring function.
+	Resources []ResourceSpec
 }
 
 // DefaultConfig is the configuration for this repository.
@@ -53,6 +57,72 @@ func DefaultConfig() *Config {
 			"asterix/internal/hyracks", "asterix/internal/algebricks",
 		},
 		MemBudgetField: "MemBudget",
+		Resources: []ResourceSpec{
+			{
+				Pkg: "asterix/internal/mem", Recv: "Governor", Func: "Reserve", Result: 0,
+				Desc: "memory grant",
+				Releases: []ReleaseSpec{
+					{Pkg: "asterix/internal/mem", Recv: "Grant", Func: "Release", Arg: -1},
+				},
+			},
+			{
+				Pkg: "asterix/internal/mem", Recv: "Governor", Func: "AdmitJob", Result: 0,
+				Desc: "job admission grant",
+				Releases: []ReleaseSpec{
+					{Pkg: "asterix/internal/mem", Recv: "JobGrant", Func: "Release", Arg: -1},
+				},
+			},
+			{
+				Pkg: "asterix/internal/storage", Recv: "BufferCache", Func: "Pin", Result: 0,
+				Desc: "pinned page",
+				Releases: []ReleaseSpec{
+					{Pkg: "asterix/internal/storage", Recv: "BufferCache", Func: "Unpin", Arg: 0},
+				},
+			},
+			{
+				Pkg: "asterix/internal/storage", Recv: "BufferCache", Func: "NewPage", Result: 0,
+				Desc: "pinned page",
+				Releases: []ReleaseSpec{
+					{Pkg: "asterix/internal/storage", Recv: "BufferCache", Func: "Unpin", Arg: 0},
+				},
+			},
+			{
+				Pkg: "asterix/internal/lsm", Recv: "Tree", Func: "snapshot", Result: 0,
+				Desc: "component snapshot",
+				Releases: []ReleaseSpec{
+					{Pkg: "asterix/internal/lsm", Recv: "Tree", Func: "release", Arg: 0},
+				},
+			},
+			{
+				Pkg: "asterix/internal/txn", Recv: "Manager", Func: "Begin", Result: 0,
+				Desc: "transaction",
+				Releases: []ReleaseSpec{
+					{Pkg: "asterix/internal/txn", Recv: "Txn", Func: "Commit", Arg: -1},
+					{Pkg: "asterix/internal/txn", Recv: "Txn", Func: "Abort", Arg: -1},
+				},
+			},
+			{
+				Pkg: "os", Func: "Open", Result: 0,
+				Desc: "open file",
+				Releases: []ReleaseSpec{
+					{Pkg: "os", Recv: "File", Func: "Close", Arg: -1},
+				},
+			},
+			{
+				Pkg: "os", Func: "Create", Result: 0,
+				Desc: "open file",
+				Releases: []ReleaseSpec{
+					{Pkg: "os", Recv: "File", Func: "Close", Arg: -1},
+				},
+			},
+			{
+				Pkg: "os", Func: "OpenFile", Result: 0,
+				Desc: "open file",
+				Releases: []ReleaseSpec{
+					{Pkg: "os", Recv: "File", Func: "Close", Arg: -1},
+				},
+			},
+		},
 	}
 }
 
@@ -67,14 +137,21 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Msg)
 }
 
-// Rule is one analyzer check.
+// Rule is one analyzer check. Run is invoked once per package; Finish,
+// when set, runs once after every package has been scanned — it is how
+// repo-global analyses (lock-order) report on state accumulated across
+// packages. The positions a Finish reports must come from the shared
+// loader FileSet.
 type Rule struct {
-	Name string
-	Doc  string
-	Run  func(c *Config, p *Package, report func(token.Pos, string))
+	Name   string
+	Doc    string
+	Run    func(c *Config, p *Package, report func(token.Pos, string))
+	Finish func(c *Config, fset *token.FileSet, report func(token.Pos, string))
 }
 
-// AllRules returns every rule in stable order.
+// AllRules returns every rule in stable order. Rules carrying
+// cross-package state are built fresh on each call, so independent
+// runs (and tests) do not share graphs.
 func AllRules() []*Rule {
 	return []*Rule{
 		ruleObsNil(),
@@ -84,6 +161,10 @@ func AllRules() []*Rule {
 		ruleFrameAlias(),
 		ruleFaultGate(),
 		ruleMemGrant(),
+		ruleDeferUnlock(),
+		ruleLockOrder(),
+		ruleResourceLeak(),
+		ruleCtxFlow(),
 	}
 }
 
@@ -91,12 +172,26 @@ var ignoreRe = regexp.MustCompile(`^//lint:ignore\s+(\S+)(?:\s+(.*))?$`)
 
 // suppressions maps file:line to the set of rule names ignored there. A
 // directive covers its own line and the next line, so it works both as a
-// trailing comment and on the line above the flagged statement.
+// trailing comment and on the line above the flagged statement. Stacked
+// directives chain: when the next line holds another lint:ignore
+// directive, coverage extends past it, so several single-rule
+// directives above one statement all reach the statement — previously
+// only the bottom directive of a stack applied, and a line carrying
+// findings from two rules could not be suppressed one rule per
+// directive line.
 type suppressions map[string]map[string]bool
 
 func collectSuppressions(p *Package, report func(token.Pos, string)) suppressions {
 	sup := suppressions{}
 	for _, f := range p.Files {
+		// Lines occupied by a lint:ignore directive, for stack chaining.
+		directiveLines := map[string]map[int]bool{}
+		type directive struct {
+			rules    []string
+			filename string
+			line     int
+		}
+		var directives []directive
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				m := ignoreRe.FindStringSubmatch(c.Text)
@@ -108,14 +203,34 @@ func collectSuppressions(p *Package, report func(token.Pos, string)) suppression
 					continue
 				}
 				pos := p.Fset.Position(c.Pos())
-				for _, rule := range strings.Split(m[1], ",") {
-					for _, line := range []int{pos.Line, pos.Line + 1} {
-						key := fmt.Sprintf("%s:%d", pos.Filename, line)
-						if sup[key] == nil {
-							sup[key] = map[string]bool{}
-						}
-						sup[key][rule] = true
+				if directiveLines[pos.Filename] == nil {
+					directiveLines[pos.Filename] = map[int]bool{}
+				}
+				directiveLines[pos.Filename][pos.Line] = true
+				directives = append(directives, directive{
+					rules:    strings.Split(m[1], ","),
+					filename: pos.Filename,
+					line:     pos.Line,
+				})
+			}
+		}
+		for _, d := range directives {
+			// Own line, then chain down through any stacked directives
+			// to the first non-directive line.
+			cover := []int{d.line}
+			next := d.line + 1
+			for directiveLines[d.filename][next] {
+				cover = append(cover, next)
+				next++
+			}
+			cover = append(cover, next)
+			for _, rule := range d.rules {
+				for _, line := range cover {
+					key := fmt.Sprintf("%s:%d", d.filename, line)
+					if sup[key] == nil {
+						sup[key] = map[string]bool{}
 					}
+					sup[key][rule] = true
 				}
 			}
 		}
@@ -123,26 +238,65 @@ func collectSuppressions(p *Package, report func(token.Pos, string)) suppression
 	return sup
 }
 
-// RunRules runs the rules over a package and returns unsuppressed findings
-// sorted by position.
-func RunRules(c *Config, p *Package, rules []*Rule) []Diagnostic {
-	var diags []Diagnostic
+// Runner drives the rules over any number of packages, accumulating
+// suppressions and diagnostics globally so that cross-package Finish
+// hooks are filtered by the same directives as per-package findings.
+type Runner struct {
+	c     *Config
+	fset  *token.FileSet
+	rules []*Rule
+	sup   suppressions
+	diags []Diagnostic
+}
+
+func NewRunner(c *Config, fset *token.FileSet, rules []*Rule) *Runner {
+	return &Runner{c: c, fset: fset, rules: rules, sup: suppressions{}}
+}
+
+func (r *Runner) add(rule string, pos token.Pos, msg string) {
+	d := Diagnostic{Pos: r.fset.Position(pos), Rule: rule, Msg: msg}
+	key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+	if r.sup[key][rule] {
+		return
+	}
+	r.diags = append(r.diags, d)
+}
+
+// Package scans one package with every rule's Run hook.
+func (r *Runner) Package(p *Package) {
 	sup := collectSuppressions(p, func(pos token.Pos, msg string) {
-		diags = append(diags, Diagnostic{Pos: p.Fset.Position(pos), Rule: "lint-directive", Msg: msg})
+		r.add("lint-directive", pos, msg)
 	})
-	for _, r := range rules {
-		r := r
-		r.Run(c, p, func(pos token.Pos, msg string) {
-			d := Diagnostic{Pos: p.Fset.Position(pos), Rule: r.Name, Msg: msg}
-			key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
-			if sup[key][r.Name] {
-				return
-			}
-			diags = append(diags, d)
+	for key, rules := range sup {
+		if r.sup[key] == nil {
+			r.sup[key] = map[string]bool{}
+		}
+		for rule := range rules {
+			r.sup[key][rule] = true
+		}
+	}
+	for _, rule := range r.rules {
+		rule := rule
+		rule.Run(r.c, p, func(pos token.Pos, msg string) {
+			r.add(rule.Name, pos, msg)
 		})
 	}
-	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i].Pos, diags[j].Pos
+}
+
+// Finish runs the cross-package hooks and returns every unsuppressed
+// finding sorted by position.
+func (r *Runner) Finish() []Diagnostic {
+	for _, rule := range r.rules {
+		if rule.Finish == nil {
+			continue
+		}
+		rule := rule
+		rule.Finish(r.c, r.fset, func(pos token.Pos, msg string) {
+			r.add(rule.Name, pos, msg)
+		})
+	}
+	sort.Slice(r.diags, func(i, j int) bool {
+		a, b := r.diags[i].Pos, r.diags[j].Pos
 		if a.Filename != b.Filename {
 			return a.Filename < b.Filename
 		}
@@ -151,7 +305,16 @@ func RunRules(c *Config, p *Package, rules []*Rule) []Diagnostic {
 		}
 		return a.Column < b.Column
 	})
-	return diags
+	return r.diags
+}
+
+// RunRules runs the rules over a single package — Run and Finish hooks
+// both — and returns unsuppressed findings sorted by position. Multi-
+// package runs use a Runner directly.
+func RunRules(c *Config, p *Package, rules []*Rule) []Diagnostic {
+	r := NewRunner(c, p.Fset, rules)
+	r.Package(p)
+	return r.Finish()
 }
 
 // --- shared type helpers ---

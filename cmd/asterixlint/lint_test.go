@@ -158,6 +158,54 @@ func TestMemGrantFixture(t *testing.T) {
 	})
 }
 
+func TestDeferUnlockFixture(t *testing.T) {
+	checkFixture(t, "deferunlock", nil)
+}
+
+func TestLockOrderFixture(t *testing.T) {
+	checkFixture(t, "lockorder", nil)
+}
+
+func TestResourceLeakFixture(t *testing.T) {
+	checkFixture(t, "resleak", func(cfg *Config, pkgPath string) {
+		cfg.ErrPkgs = nil // fixture drops Close errors on purpose
+		cfg.Resources = []ResourceSpec{
+			{
+				Pkg: pkgPath, Recv: "Pool", Func: "Acquire", Result: 0,
+				Desc: "pool resource",
+				Releases: []ReleaseSpec{
+					{Pkg: pkgPath, Recv: "Res", Func: "Release", Arg: -1},
+				},
+			},
+			{
+				Pkg: "os", Func: "Open", Result: 0,
+				Desc: "open file",
+				Releases: []ReleaseSpec{
+					{Pkg: "os", Recv: "File", Func: "Close", Arg: -1},
+				},
+			},
+		}
+	})
+}
+
+func TestCtxFlowFixture(t *testing.T) {
+	checkFixture(t, "ctxflow", nil)
+}
+
+func TestMultiRuleSuppression(t *testing.T) {
+	checkFixture(t, "multirule", func(cfg *Config, pkgPath string) {
+		cfg.Resources = []ResourceSpec{
+			{
+				Pkg: pkgPath, Recv: "Pool", Func: "AcquireCtx", Result: 0,
+				Desc: "pool resource",
+				Releases: []ReleaseSpec{
+					{Pkg: pkgPath, Recv: "Res", Func: "Release", Arg: -1},
+				},
+			},
+		}
+	})
+}
+
 // A lint:ignore without a reason is itself a finding, and does not
 // suppress the rule it names.
 func TestDirectiveMissingReason(t *testing.T) {

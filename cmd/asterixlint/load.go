@@ -80,6 +80,11 @@ func NewLoader(dir string) (*Loader, error) {
 	}, nil
 }
 
+// Fset returns the loader's shared FileSet: positions from every
+// package it loads resolve through this one set, which is what lets
+// cross-package rules carry token.Pos values between packages.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
 // dirForPath maps a module import path to its directory.
 func (l *Loader) dirForPath(path string) string {
 	if path == l.ModPath {

@@ -6,31 +6,47 @@
 //
 // Usage:
 //
-//	asterixlint [-rules r1,r2] [-v] [packages...]
+//	asterixlint [-rules r1,r2] [-json] [-v] [packages...]
 //
 // Package patterns are directories or go-style "./..." trees. Exit code
 // is 1 when any diagnostic is reported, 2 on load/type-check failure.
+//
+// With -json, findings are emitted one JSON object per line
+// ({"file","line","col","rule","msg"}) for machine consumers; the
+// GitHub Actions problem matcher in .github/asterixlint-matcher.json
+// consumes the default text format to produce inline PR annotations.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 )
 
+// jsonDiagnostic is the -json wire shape, one object per line.
+type jsonDiagnostic struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
 func main() {
 	var (
 		rulesFlag = flag.String("rules", "", "comma-separated rule names to run (default: all)")
 		verbose   = flag.Bool("v", false, "print packages as they are checked")
 		listFlag  = flag.Bool("list", false, "list rules and exit")
+		jsonFlag  = flag.Bool("json", false, "emit findings as JSON, one object per line")
 	)
 	flag.Parse()
 
 	rules := AllRules()
 	if *listFlag {
 		for _, r := range rules {
-			fmt.Printf("%-12s %s\n", r.Name, r.Doc)
+			fmt.Printf("%-14s %s\n", r.Name, r.Doc)
 		}
 		return
 	}
@@ -69,8 +85,9 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := DefaultConfig()
-	found := 0
+	// All packages feed one Runner so cross-package rules (lock-order)
+	// see the whole acquisition graph before Finish reports on it.
+	runner := NewRunner(DefaultConfig(), loader.Fset(), rules)
 	for _, dir := range dirs {
 		pkg, err := loader.LoadDir(dir)
 		if err != nil {
@@ -80,13 +97,26 @@ func main() {
 		if *verbose {
 			fmt.Fprintln(os.Stderr, "checking", pkg.Path)
 		}
-		for _, d := range RunRules(cfg, pkg, rules) {
-			fmt.Println(d)
-			found++
-		}
+		runner.Package(pkg)
 	}
-	if found > 0 {
-		fmt.Fprintf(os.Stderr, "asterixlint: %d issue(s)\n", found)
+
+	diags := runner.Finish()
+	enc := json.NewEncoder(os.Stdout)
+	for _, d := range diags {
+		if *jsonFlag {
+			if err := enc.Encode(jsonDiagnostic{
+				File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+				Rule: d.Rule, Msg: d.Msg,
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, "asterixlint:", err)
+				os.Exit(2)
+			}
+			continue
+		}
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "asterixlint: %d issue(s)\n", len(diags))
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,76 @@
+// Package ctxflow exercises the ctx-flow rule: a function that receives
+// a context.Context must thread it (or a context derived from it) into
+// the context-taking calls it makes, rather than minting a fresh root.
+package ctxflow
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+type key struct{}
+
+func work(ctx context.Context) error {
+	_ = ctx
+	return nil
+}
+
+// Passing the parameter straight through is the baseline.
+func threads(ctx context.Context) error {
+	return work(ctx)
+}
+
+// Deriving through context.With* keeps the chain intact.
+func derives(ctx context.Context) error {
+	c, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return work(c)
+}
+
+// Minting a fresh root launders the caller's deadline away.
+func launders(ctx context.Context) error {
+	return work(context.Background()) // WANT ctx-flow
+}
+
+// Reassigning the parameter poisons every use downstream of it.
+func clobbers(ctx context.Context) error {
+	ctx = context.Background() // WANT ctx-flow
+	return work(ctx)           // WANT ctx-flow
+}
+
+// Re-deriving restores the chain: only the minting itself is flagged.
+func rederives(ctx context.Context) error {
+	c := context.Background() // WANT ctx-flow
+	c = context.WithValue(ctx, key{}, 1)
+	return work(c)
+}
+
+// Laundering inside a goroutine closure is still laundering.
+func spawns(ctx context.Context, wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = work(context.TODO()) // WANT ctx-flow
+	}()
+}
+
+// A literal with its own ctx parameter is an independent unit.
+func ownUnit(ctx context.Context) func(context.Context) error {
+	_ = ctx
+	return func(ctx context.Context) error {
+		return work(ctx)
+	}
+}
+
+// No ctx parameter: minting a root here is legitimate.
+func noCtx() error {
+	return work(context.Background())
+}
+
+// A deliberately detached task, documented and suppressed; the
+// directive covers both the minting line and the use below it.
+func detached(ctx context.Context) error {
+	bg := context.Background() //lint:ignore ctx-flow the audit task must outlive the request
+	return work(bg)
+}

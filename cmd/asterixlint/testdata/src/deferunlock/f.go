@@ -1,0 +1,107 @@
+// Package deferunlock exercises the flow-sensitive defer-unlock rule:
+// every Lock must reach an Unlock (or defer Unlock) on all return paths.
+package deferunlock
+
+import (
+	"errors"
+	"sync"
+)
+
+var errFailed = errors.New("failed")
+
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+
+type R struct {
+	mu sync.RWMutex
+	n  int
+}
+
+// The early return leaks the lock.
+func (s *S) leakOnEarlyReturn() int {
+	s.mu.Lock() // WANT defer-unlock
+	if s.n > 0 {
+		return s.n
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+// defer covers every path, including the early return.
+func (s *S) deferred() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n > 0 {
+		return s.n
+	}
+	return 0
+}
+
+// Explicit unlock on each path is fine too.
+func (s *S) bothPaths() int {
+	s.mu.Lock()
+	if s.n > 0 {
+		v := s.n
+		s.mu.Unlock()
+		return v
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+// A read lock leaks on the error path just as surely.
+func (r *R) rlockLeak(fail bool) (int, error) {
+	r.mu.RLock() // WANT defer-unlock
+	if fail {
+		return 0, errFailed
+	}
+	v := r.n
+	r.mu.RUnlock()
+	return v, nil
+}
+
+// TryLock acquires on its success branch; the inner return leaks it.
+func (s *S) tryLeak() bool {
+	if s.mu.TryLock() { // WANT defer-unlock
+		if s.n > 0 {
+			return true
+		}
+		s.mu.Unlock()
+	}
+	return false
+}
+
+// The negated guard form, handled by branch polarity.
+func (s *S) tryGood() int {
+	if !s.mu.TryLock() {
+		return -1
+	}
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Lock/unlock balanced around continue and the loop back edge.
+func (s *S) loop(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		s.mu.Lock()
+		if x < 0 {
+			s.mu.Unlock()
+			continue
+		}
+		total += x
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// lockForCaller hands the locked mutex to its caller by contract.
+func (s *S) lockForCaller() {
+	s.mu.Lock() //lint:ignore defer-unlock callers unlock via (*S).unlock when done
+}
+
+func (s *S) unlock() {
+	s.mu.Unlock()
+}

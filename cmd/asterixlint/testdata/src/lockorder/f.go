@@ -1,0 +1,79 @@
+// Package lockorder exercises the repo-global lock-order rule: nested
+// blocking acquisitions contribute edges to an acquisition graph keyed
+// by (package, type, field), and any cycle is a potential deadlock.
+package lockorder
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+type C struct{ mu sync.Mutex }
+type D struct{ mu sync.Mutex }
+type E struct{ mu sync.Mutex }
+type F struct{ mu sync.Mutex }
+
+var (
+	a A
+	b B
+	c C
+	d D
+	e E
+	f F
+)
+
+// lockAB and lockBA disagree on order: the A.mu ↔ B.mu cycle is
+// reported at the acquisition closing the lexically-first edge.
+func lockAB() {
+	a.mu.Lock()
+	b.mu.Lock() // WANT lock-order
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func lockBA() {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// Consistent nesting is clean, including under a deferred unlock
+// (which keeps the outer lock held for ordering purposes).
+func lockCD() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d.mu.Lock()
+	d.mu.Unlock()
+}
+
+func lockCDAgain() {
+	c.mu.Lock()
+	d.mu.Lock()
+	d.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// TryLock cannot close a cycle: a deadlock needs every participant to
+// block, and TryLock never blocks.
+func tryDC() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if c.mu.TryLock() {
+		c.mu.Unlock()
+	}
+}
+
+// A known, documented cycle is suppressed at its anchor.
+func lockEF() {
+	e.mu.Lock()
+	f.mu.Lock() //lint:ignore lock-order fixture: documented benign cycle
+	f.mu.Unlock()
+	e.mu.Unlock()
+}
+
+func lockFE() {
+	f.mu.Lock()
+	e.mu.Lock()
+	e.mu.Unlock()
+	f.mu.Unlock()
+}

@@ -1,0 +1,46 @@
+// Package multirule pins the suppression semantics for lines carrying
+// findings from more than one rule: the comma form names both rules in
+// one directive, and a stack of single-rule directives chains down so
+// every directive in the stack reaches the statement below it.
+package multirule
+
+import "context"
+
+type Res struct{}
+
+func (r *Res) Release() {}
+
+type Pool struct{}
+
+func (p *Pool) AcquireCtx(ctx context.Context) (*Res, error) {
+	_ = ctx
+	return &Res{}, nil
+}
+
+// Unsuppressed control: both rules fire on the acquire line.
+func control(ctx context.Context, p *Pool) {
+	r, _ := p.AcquireCtx(context.Background()) // WANT resource-leak ctx-flow
+	if r == nil {
+		return
+	}
+}
+
+// One directive, two rules, comma-separated.
+func commaForm(ctx context.Context, p *Pool) {
+	//lint:ignore resource-leak,ctx-flow fixture: both rules on one line
+	r, _ := p.AcquireCtx(context.Background())
+	if r == nil {
+		return
+	}
+}
+
+// Two stacked single-rule directives both reach the statement below
+// the stack — previously only the bottom directive applied.
+func stacked(ctx context.Context, p *Pool) {
+	//lint:ignore resource-leak fixture: leak is intentional
+	//lint:ignore ctx-flow fixture: detached by design
+	r, _ := p.AcquireCtx(context.Background())
+	if r == nil {
+		return
+	}
+}

@@ -1,0 +1,173 @@
+// Package resleak exercises the resource-leak rule: a value produced by
+// a registered acquire must reach one of its releases on every path out
+// of the acquiring function. The test retargets Config.Resources at the
+// Pool/Res pair below plus the real os.Open entry.
+package resleak
+
+import (
+	"errors"
+	"os"
+)
+
+var errTooBig = errors.New("too big")
+
+type Res struct{ n int }
+
+func (r *Res) Release() {}
+
+type Pool struct{}
+
+func (p *Pool) Acquire() (*Res, error) { return &Res{}, nil }
+
+// The errTooBig return path leaks r; the happy path transfers ownership
+// to the caller, which is not a leak.
+func leakOnErrorPath(p *Pool) (*Res, error) {
+	r, err := p.Acquire() // WANT resource-leak
+	if err != nil {
+		return nil, err
+	}
+	if r.n > 10 {
+		return nil, errTooBig
+	}
+	return r, nil
+}
+
+// The err != nil branch means r is nil: returning there is clean.
+func errContract(p *Pool) error {
+	r, err := p.Acquire()
+	if err != nil {
+		return err
+	}
+	r.Release()
+	return nil
+}
+
+// defer releases on every path, early returns included.
+func deferred(p *Pool) (int, error) {
+	r, err := p.Acquire()
+	if err != nil {
+		return 0, err
+	}
+	defer r.Release()
+	if r.n > 10 {
+		return 0, errTooBig
+	}
+	return r.n, nil
+}
+
+// Discarding the resource outright can never be released.
+func discarded(p *Pool) {
+	_, _ = p.Acquire() // WANT resource-leak
+}
+
+func dropped(p *Pool) {
+	p.Acquire() // WANT resource-leak
+}
+
+// The skip path returns without closing the file.
+func openLeak(path string, skip bool) error {
+	f, err := os.Open(path) // WANT resource-leak
+	if err != nil {
+		return err
+	}
+	if skip {
+		return nil
+	}
+	return f.Close()
+}
+
+func openClean(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return nil
+}
+
+// os.IsNotExist(err) being true implies err != nil, so f is nil on
+// that branch: returning there is clean.
+func notExistGuard(path string) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// An explicit panic is an exit path too.
+func panicLeak(p *Pool, bad bool) *Res {
+	r, err := p.Acquire() // WANT resource-leak
+	if err != nil {
+		return nil
+	}
+	if bad {
+		panic("resleak fixture")
+	}
+	return r
+}
+
+type holder struct{ r *Res }
+
+// Storing into a longer-lived structure transfers ownership.
+func stash(p *Pool, h *holder) error {
+	r, err := p.Acquire()
+	if err != nil {
+		return err
+	}
+	h.r = r
+	return nil
+}
+
+// Passing to another function transfers ownership.
+func handOff(p *Pool) error {
+	r, err := p.Acquire()
+	if err != nil {
+		return err
+	}
+	consume(r)
+	return nil
+}
+
+func consume(r *Res) { r.Release() }
+
+// Capture by a closure transfers ownership to the closure's lifetime.
+func capture(p *Pool) (func(), error) {
+	r, err := p.Acquire()
+	if err != nil {
+		return nil, err
+	}
+	return func() { r.Release() }, nil
+}
+
+// A nil check proves the resource absent on the guarded branch.
+func nilGuardRelease(p *Pool) {
+	r, _ := p.Acquire()
+	if r == nil {
+		return
+	}
+	r.Release()
+}
+
+// Intentional leak, documented and suppressed.
+func suppressed(p *Pool) {
+	r, _ := p.Acquire() //lint:ignore resource-leak fixture: reclaimed by the pool finalizer
+	if r == nil {
+		return
+	}
+}
+
+// Reassignment in a loop: each handle is closed before the next open.
+func reopen(paths []string) error {
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		f.Close()
+	}
+	return nil
+}

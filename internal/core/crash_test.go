@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"asterix/internal/adm"
+	"asterix/internal/check"
 	"asterix/internal/fault"
 	"asterix/internal/lsm"
 )
@@ -148,6 +149,10 @@ func TestCrashRecoveryMatrix(t *testing.T) {
 			if err := d.Validate(); err != nil {
 				t.Fatalf("post-recovery validation: %v", err)
 			}
+			// The governor's books must balance after recovery too: a
+			// crash must not strand working-memory grants or component
+			// charges from the pre-crash incarnation.
+			check.MustValidate(t, e2.MemGovernor())
 		})
 	}
 }
