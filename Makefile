@@ -25,15 +25,17 @@ fault-matrix:
 		./internal/core/ ./internal/hyracks/ ./internal/txn/ ./internal/lsm/
 	ASTERIX_FAULTS="hyracks.frame.delay:delay=1ms:times=4" go test -count=1 ./internal/hyracks/
 
+# bench: every top-level Go benchmark once.
 bench:
 	go test -bench . -benchtime 1x -run NONE .
 
-# bench-smoke: a fast bounded benchmark pass (CI uses this): every
-# top-level benchmark once, plus the E5 memory-governor experiment at the
-# small scale (budget sweep + concurrent queries under one shared pool).
+# bench-smoke: the CI perf gate — run the experiment suite at the small
+# scale, emit the structured BENCH_ci.json artifact, and diff it against
+# the checked-in BENCH_1.json baseline (warn-only: regressions are
+# reported, not yet fatal).
 bench-smoke:
-	go test -bench . -benchtime 1x -run NONE .
-	go test -run TestE5MemoryBudget -count=1 -v ./internal/experiments/
+	go run ./cmd/asterixbench -scale small -out BENCH_ci.json
+	go run ./cmd/asterixbench -compare BENCH_1.json -in BENCH_ci.json -warn-only
 
 # fuzz-smoke: a short bounded run of each fuzz target (CI uses this).
 fuzz-smoke:
@@ -49,6 +51,6 @@ help:
 	@echo "  fault-matrix crash-recovery + node-failure tests with validators on"
 	@echo "  fuzz-smoke  short bounded fuzz run (ADM codec, SQL++ parser)"
 	@echo "  bench       top-level benchmarks"
-	@echo "  bench-smoke fast bounded benchmark pass + E5 memory experiment"
+	@echo "  bench-smoke small-scale experiment run -> BENCH_ci.json, diffed vs BENCH_1.json"
 
 .PHONY: tier1 verify lint invariants fault-matrix bench bench-smoke fuzz-smoke help

@@ -1,0 +1,200 @@
+// Package benchfmt defines the machine-readable benchmark artifact the
+// asterixbench harness emits (BENCH_<n>.json) and the comparator that
+// diffs two artifacts with tolerance bands. The JSON artifact — not the
+// prose report — is the canonical record of a run: the prose tables are
+// a render of it, and regression gating in CI is a diff of two of them.
+package benchfmt
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+)
+
+// SchemaV1 identifies the artifact layout this package writes. Readers
+// reject other values rather than misinterpret fields.
+const SchemaV1 = "asterixbench/v1"
+
+// Artifact is one full benchmark run: the environment it ran in plus one
+// entry per experiment.
+type Artifact struct {
+	Schema      string       `json:"schema"`
+	Env         Environment  `json:"env"`
+	Experiments []Experiment `json:"experiments"`
+}
+
+// Environment records where and how the run happened — the block that
+// makes two artifacts comparable (or visibly not: diffing a laptop run
+// against a CI run is a choice, and the env block makes it a visible
+// one).
+type Environment struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Commit is the repo HEAD at run time, best-effort ("" when the
+	// harness ran outside a git checkout).
+	Commit string `json:"commit,omitempty"`
+	Scale  string `json:"scale"`
+	// Timestamp is RFC3339, stamped by the harness at write time.
+	Timestamp string `json:"timestamp,omitempty"`
+}
+
+// NewEnvironment captures the current process environment. commit may be
+// empty; the harness resolves it separately (os/exec stays out of this
+// package so tests and the server can import it freely).
+func NewEnvironment(scale, commit string) Environment {
+	return Environment{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Commit:     commit,
+		Scale:      scale,
+	}
+}
+
+// Experiment is one experiment's structured result.
+type Experiment struct {
+	ID    string `json:"id"`
+	Claim string `json:"claim,omitempty"`
+	// WallMS is the experiment's end-to-end wall time in milliseconds
+	// (includes data generation and setup, so it gates only coarsely;
+	// the Measurements are the precise per-claim numbers).
+	WallMS float64 `json:"wall_ms"`
+	// Allocs / AllocBytes are the runtime.MemStats deltas across the
+	// experiment (cumulative counters, so GC does not deflate them).
+	Allocs     uint64 `json:"allocs"`
+	AllocBytes uint64 `json:"alloc_bytes"`
+	// PeakWorkingBytes is the governor's high-water mark of granted
+	// working memory across the experiment's jobs (0 when nothing drew
+	// from the working pool).
+	PeakWorkingBytes int64 `json:"peak_working_bytes,omitempty"`
+	// WaitMS rolls up the run's span wait attribution by category
+	// (admission, lock, spill, flush, merge, exchange), milliseconds.
+	WaitMS map[string]float64 `json:"wait_ms,omitempty"`
+	// Measurements are the experiment's named metrics — the numbers its
+	// prose table is rendered from and the comparator diffs.
+	Measurements []Measurement `json:"measurements,omitempty"`
+	// Table is the human-readable rendering (header + rows + notes),
+	// preserved so a JSON artifact alone can reproduce the prose report.
+	Table Table `json:"table,omitempty"`
+}
+
+// Direction of a measurement for regression purposes.
+const (
+	// LowerBetter marks latencies, byte counts, component counts.
+	LowerBetter = "lower"
+	// HigherBetter marks throughputs and speedups.
+	HigherBetter = "higher"
+)
+
+// Measurement is one named metric of an experiment.
+type Measurement struct {
+	Name  string  `json:"name"`
+	Unit  string  `json:"unit,omitempty"`
+	Value float64 `json:"value"`
+	// Better is LowerBetter (default when empty) or HigherBetter.
+	Better string `json:"better,omitempty"`
+}
+
+// Table is the prose rendering of an experiment's results.
+type Table struct {
+	Header []string   `json:"header,omitempty"`
+	Rows   [][]string `json:"rows,omitempty"`
+	Notes  []string   `json:"notes,omitempty"`
+}
+
+// Find returns the experiment with the given ID, or nil.
+func (a *Artifact) Find(id string) *Experiment {
+	for i := range a.Experiments {
+		if a.Experiments[i].ID == id {
+			return &a.Experiments[i]
+		}
+	}
+	return nil
+}
+
+// Measurement returns the named measurement, or nil.
+func (e *Experiment) Measurement(name string) *Measurement {
+	for i := range e.Measurements {
+		if e.Measurements[i].Name == name {
+			return &e.Measurements[i]
+		}
+	}
+	return nil
+}
+
+// SortedWaits returns the wait categories in descending-milliseconds
+// order (stable names for rendering).
+func (e *Experiment) SortedWaits() []string {
+	names := make([]string, 0, len(e.WaitMS))
+	for k := range e.WaitMS {
+		names = append(names, k)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if e.WaitMS[names[i]] != e.WaitMS[names[j]] {
+			return e.WaitMS[names[i]] > e.WaitMS[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	return names
+}
+
+// WriteJSON writes the artifact as indented JSON.
+func (a *Artifact) WriteJSON(w io.Writer) error {
+	a.Schema = SchemaV1
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(a)
+}
+
+// WriteFile writes the artifact to path (atomically via rename, so a
+// crashed run never leaves a half-written baseline).
+func (a *Artifact) WriteFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := a.WriteJSON(f); err != nil {
+		return errors.Join(err, f.Close())
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Read parses an artifact, rejecting unknown schemas.
+func Read(r io.Reader) (*Artifact, error) {
+	var a Artifact
+	if err := json.NewDecoder(r).Decode(&a); err != nil {
+		return nil, fmt.Errorf("benchfmt: parse: %w", err)
+	}
+	if a.Schema != SchemaV1 {
+		return nil, fmt.Errorf("benchfmt: unknown schema %q (want %q)", a.Schema, SchemaV1)
+	}
+	return &a, nil
+}
+
+// ReadFile reads an artifact from disk.
+func ReadFile(path string) (*Artifact, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	//lint:ignore err-discard read-only scan; a close failure cannot lose data
+	defer f.Close()
+	a, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return a, nil
+}

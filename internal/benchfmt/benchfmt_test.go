@@ -1,0 +1,186 @@
+package benchfmt
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleArtifact() *Artifact {
+	return &Artifact{
+		Env: NewEnvironment("small", "abc1234"),
+		Experiments: []Experiment{
+			{
+				ID:     "E1",
+				Claim:  "speedup",
+				WallMS: 120,
+				Allocs: 1000, AllocBytes: 1 << 20,
+				PeakWorkingBytes: 4 << 20,
+				WaitMS:           map[string]float64{"admission": 12.5, "spill": 1.25},
+				Measurements: []Measurement{
+					{Name: "scan_p4", Unit: "ms", Value: 30},
+					{Name: "speedup_p4", Unit: "x", Value: 3.2, Better: HigherBetter},
+				},
+				Table: Table{
+					Header: []string{"partitions", "time"},
+					Rows:   [][]string{{"1", "96.0ms"}, {"4", "30.0ms"}},
+					Notes:  []string{"single-node"},
+				},
+			},
+			{
+				ID:           "E5",
+				Claim:        "memory crossover",
+				WallMS:       80,
+				Measurements: []Measurement{{Name: "sort_spill", Unit: "ms", Value: 50}},
+			},
+		},
+	}
+}
+
+// Round trip: emit to JSON, parse it back, compare against itself — the
+// gate must pass with zero deltas.
+func TestRoundTripCompareClean(t *testing.T) {
+	a := sampleArtifact()
+	path := filepath.Join(t.TempDir(), "BENCH_1.json")
+	if err := a.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Schema != SchemaV1 {
+		t.Fatalf("schema = %q", b.Schema)
+	}
+	if b.Env.GOMAXPROCS != a.Env.GOMAXPROCS || b.Env.Commit != "abc1234" || b.Env.Scale != "small" {
+		t.Fatalf("env did not round-trip: %+v", b.Env)
+	}
+	if got := b.Find("E1").WaitMS["admission"]; got != 12.5 {
+		t.Fatalf("wait_ms round-trip: %v", got)
+	}
+	rep := Compare(a, b, CompareOptions{WallTime: true})
+	if !rep.OK() {
+		var buf bytes.Buffer
+		rep.Format(&buf)
+		t.Fatalf("self-compare not OK:\n%s", buf.String())
+	}
+	if len(rep.Regressions)+len(rep.Improvements)+len(rep.Missing)+len(rep.Added) != 0 {
+		t.Fatalf("self-compare produced deltas: %+v", rep)
+	}
+}
+
+func TestReadRejectsUnknownSchema(t *testing.T) {
+	_, err := Read(strings.NewReader(`{"schema":"asterixbench/v9"}`))
+	if err == nil || !strings.Contains(err.Error(), "unknown schema") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// A synthetic 2x slowdown on a lower-better metric must fail the gate at
+// the default tolerance.
+func TestCompareDetectsSlowdown(t *testing.T) {
+	old := sampleArtifact()
+	cur := sampleArtifact()
+	cur.Find("E1").Measurement("scan_p4").Value *= 2
+	rep := Compare(old, cur, CompareOptions{})
+	if rep.OK() {
+		t.Fatal("2x slowdown passed the gate")
+	}
+	if len(rep.Regressions) != 1 || rep.Regressions[0].Metric != "scan_p4" {
+		t.Fatalf("regressions = %+v", rep.Regressions)
+	}
+	if r := rep.Regressions[0].Ratio; r != 2 {
+		t.Fatalf("ratio = %v", r)
+	}
+}
+
+// Exactly at the band edge passes; epsilon past it fails. Same for the
+// higher-better direction.
+func TestCompareToleranceBandEdges(t *testing.T) {
+	const tol = 0.5
+	old := sampleArtifact()
+
+	at := sampleArtifact()
+	at.Find("E1").Measurement("scan_p4").Value = 30 * (1 + tol)
+	at.Find("E1").Measurement("speedup_p4").Value = 3.2 / (1 + tol)
+	if rep := Compare(old, at, CompareOptions{Tolerance: tol}); !rep.OK() {
+		t.Fatalf("exactly-at-band failed: %+v", rep.Regressions)
+	}
+
+	over := sampleArtifact()
+	over.Find("E1").Measurement("scan_p4").Value = 30*(1+tol) + 0.01
+	rep := Compare(old, over, CompareOptions{Tolerance: tol})
+	if rep.OK() || rep.Regressions[0].Metric != "scan_p4" {
+		t.Fatalf("just-over-band passed: %+v", rep)
+	}
+
+	slower := sampleArtifact()
+	slower.Find("E1").Measurement("speedup_p4").Value = 3.2/(1+tol) - 0.01
+	rep = Compare(old, slower, CompareOptions{Tolerance: tol})
+	if rep.OK() || rep.Regressions[0].Metric != "speedup_p4" {
+		t.Fatalf("higher-better drop passed: %+v", rep)
+	}
+}
+
+// Losing an experiment (or a measurement) is a regression; gaining one is
+// a note.
+func TestCompareMissingAndAdded(t *testing.T) {
+	old := sampleArtifact()
+	cur := sampleArtifact()
+	cur.Experiments = cur.Experiments[:1] // drop E5
+	cur.Experiments[0].Measurements = append(cur.Experiments[0].Measurements,
+		Measurement{Name: "new_metric", Value: 1})
+	cur.Experiments = append(cur.Experiments, Experiment{ID: "E99"})
+
+	rep := Compare(old, cur, CompareOptions{})
+	if rep.OK() {
+		t.Fatal("missing experiment passed the gate")
+	}
+	if len(rep.Missing) != 1 || rep.Missing[0] != "experiment E5" {
+		t.Fatalf("missing = %v", rep.Missing)
+	}
+	want := map[string]bool{"measurement E1 new_metric": true, "experiment E99": true}
+	if len(rep.Added) != 2 || !want[rep.Added[0]] || !want[rep.Added[1]] {
+		t.Fatalf("added = %v", rep.Added)
+	}
+
+	// Added-only (no missing) must still pass.
+	rep = Compare(old, sampleArtifact(), CompareOptions{})
+	if !rep.OK() {
+		t.Fatalf("identical compare failed: %+v", rep)
+	}
+}
+
+// Big improvements are surfaced but never fail the gate.
+func TestCompareImprovementReported(t *testing.T) {
+	old := sampleArtifact()
+	cur := sampleArtifact()
+	cur.Find("E1").Measurement("scan_p4").Value = 3 // 10x faster
+	rep := Compare(old, cur, CompareOptions{})
+	if !rep.OK() {
+		t.Fatalf("improvement failed gate: %+v", rep.Regressions)
+	}
+	if len(rep.Improvements) != 1 || rep.Improvements[0].Metric != "scan_p4" {
+		t.Fatalf("improvements = %+v", rep.Improvements)
+	}
+}
+
+func TestWriteTextRendersEnvAndWaits(t *testing.T) {
+	var buf bytes.Buffer
+	sampleArtifact().WriteText(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"# asterixbench  scale=small",
+		"gomaxprocs=",
+		"commit=abc1234",
+		"== E1: speedup",
+		"partitions",
+		"note: single-node",
+		"waits: admission=12.5ms spill=1.2ms",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package benchfmt
+
+import (
+	"fmt"
+	"io"
+)
+
+// CompareOptions tunes the regression gate.
+type CompareOptions struct {
+	// Tolerance is the allowed fractional change before a metric counts
+	// as a regression: 0.5 lets a lower-better metric grow to 1.5× the
+	// baseline (and a higher-better one shrink to 1/1.5×) before
+	// failing. A value exactly at the band edge passes — the gate fires
+	// only on strictly worse-than-band. Zero means the default 0.5;
+	// benchmark timings on shared CI hosts are that noisy.
+	Tolerance float64
+	// WallTime also gates each experiment's end-to-end wall time, not
+	// just its measurements. Off by default: wall time includes data
+	// generation and is the noisiest number in the artifact.
+	WallTime bool
+}
+
+const defaultTolerance = 0.5
+
+// Delta is one metric's old-vs-new pair.
+type Delta struct {
+	Experiment string  `json:"experiment"`
+	Metric     string  `json:"metric"`
+	Unit       string  `json:"unit,omitempty"`
+	Better     string  `json:"better"`
+	Old        float64 `json:"old"`
+	New        float64 `json:"new"`
+	// Ratio is new/old (old > 0 always holds for recorded deltas).
+	Ratio float64 `json:"ratio"`
+}
+
+func (d Delta) String() string {
+	arrow := "worse"
+	switch {
+	case d.Better == HigherBetter && d.New > d.Old:
+		arrow = "better"
+	case d.Better != HigherBetter && d.New < d.Old:
+		arrow = "better"
+	}
+	return fmt.Sprintf("%s %s: %.4g -> %.4g %s (%.2fx, %s-is-better, %s)",
+		d.Experiment, d.Metric, d.Old, d.New, d.Unit, d.Ratio, d.Better, arrow)
+}
+
+// CompareReport is the outcome of diffing two artifacts.
+type CompareReport struct {
+	// Regressions are metrics strictly outside the tolerance band in the
+	// worse direction. Any entry here (or in Missing) fails the gate.
+	Regressions []Delta `json:"regressions,omitempty"`
+	// Improvements are metrics outside the band in the better direction
+	// (reported so a suspicious 10× "improvement" — often a broken
+	// experiment — is visible, but they never fail the gate).
+	Improvements []Delta `json:"improvements,omitempty"`
+	// Missing lists experiments or metrics present in the baseline but
+	// absent from the new run: losing coverage is a regression.
+	Missing []string `json:"missing,omitempty"`
+	// Added lists experiments/metrics new in this run — informational.
+	Added []string `json:"added,omitempty"`
+}
+
+// OK reports whether the gate passes (no regressions, nothing missing).
+func (r *CompareReport) OK() bool {
+	return len(r.Regressions) == 0 && len(r.Missing) == 0
+}
+
+// Format writes a human-readable summary.
+func (r *CompareReport) Format(w io.Writer) {
+	for _, m := range r.Missing {
+		fmt.Fprintf(w, "MISSING  %s\n", m)
+	}
+	for _, d := range r.Regressions {
+		fmt.Fprintf(w, "REGRESS  %s\n", d)
+	}
+	for _, d := range r.Improvements {
+		fmt.Fprintf(w, "improve  %s\n", d)
+	}
+	for _, m := range r.Added {
+		fmt.Fprintf(w, "added    %s\n", m)
+	}
+	if r.OK() {
+		fmt.Fprintf(w, "compare: OK (%d improvement(s), %d added)\n", len(r.Improvements), len(r.Added))
+	} else {
+		fmt.Fprintf(w, "compare: FAIL (%d regression(s), %d missing)\n", len(r.Regressions), len(r.Missing))
+	}
+}
+
+// Compare diffs new against the old baseline. Experiments are matched by
+// ID, measurements by name; direction comes from the BASELINE's Better
+// field (the baseline defines the contract a new run is held to).
+func Compare(old, new_ *Artifact, opts CompareOptions) *CompareReport {
+	tol := opts.Tolerance
+	if tol <= 0 {
+		tol = defaultTolerance
+	}
+	rep := &CompareReport{}
+
+	seen := map[string]bool{}
+	for i := range old.Experiments {
+		oe := &old.Experiments[i]
+		seen[oe.ID] = true
+		ne := new_.Find(oe.ID)
+		if ne == nil {
+			rep.Missing = append(rep.Missing, "experiment "+oe.ID)
+			continue
+		}
+		if opts.WallTime && oe.WallMS > 0 {
+			classify(rep, Delta{
+				Experiment: oe.ID, Metric: "wall_time", Unit: "ms",
+				Better: LowerBetter, Old: oe.WallMS, New: ne.WallMS,
+			}, tol)
+		}
+		for j := range oe.Measurements {
+			om := &oe.Measurements[j]
+			nm := ne.Measurement(om.Name)
+			if nm == nil {
+				rep.Missing = append(rep.Missing, fmt.Sprintf("measurement %s %s", oe.ID, om.Name))
+				continue
+			}
+			if om.Value <= 0 {
+				continue // no meaningful ratio against a zero baseline
+			}
+			better := om.Better
+			if better == "" {
+				better = LowerBetter
+			}
+			classify(rep, Delta{
+				Experiment: oe.ID, Metric: om.Name, Unit: om.Unit,
+				Better: better, Old: om.Value, New: nm.Value,
+			}, tol)
+		}
+		for j := range ne.Measurements {
+			if oe.Measurement(ne.Measurements[j].Name) == nil {
+				rep.Added = append(rep.Added, fmt.Sprintf("measurement %s %s", oe.ID, ne.Measurements[j].Name))
+			}
+		}
+	}
+	for i := range new_.Experiments {
+		if !seen[new_.Experiments[i].ID] {
+			rep.Added = append(rep.Added, "experiment "+new_.Experiments[i].ID)
+		}
+	}
+	return rep
+}
+
+// classify routes a delta into regressions/improvements, or drops it as
+// within-band. The band is inclusive: new == old*(1+tol) (or old/(1+tol)
+// for higher-better) still passes.
+func classify(rep *CompareReport, d Delta, tol float64) {
+	d.Ratio = d.New / d.Old
+	if d.Better == HigherBetter {
+		if d.New*(1+tol) < d.Old {
+			rep.Regressions = append(rep.Regressions, d)
+		} else if d.New > d.Old*(1+tol) {
+			rep.Improvements = append(rep.Improvements, d)
+		}
+		return
+	}
+	if d.New > d.Old*(1+tol) {
+		rep.Regressions = append(rep.Regressions, d)
+	} else if d.New*(1+tol) < d.Old {
+		rep.Improvements = append(rep.Improvements, d)
+	}
+}

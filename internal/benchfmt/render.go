@@ -1,0 +1,67 @@
+package benchfmt
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteText renders the artifact as the prose benchmark report: an
+// environment header, then each experiment's table in the harness's
+// column-aligned format. The prose report is derived output — the JSON
+// artifact is canonical.
+func (a *Artifact) WriteText(w io.Writer) {
+	e := a.Env
+	fmt.Fprintf(w, "# asterixbench  scale=%s  %s %s/%s  cpus=%d gomaxprocs=%d",
+		e.Scale, e.GoVersion, e.GOOS, e.GOARCH, e.NumCPU, e.GOMAXPROCS)
+	if e.Commit != "" {
+		fmt.Fprintf(w, "  commit=%s", e.Commit)
+	}
+	if e.Timestamp != "" {
+		fmt.Fprintf(w, "  at=%s", e.Timestamp)
+	}
+	fmt.Fprint(w, "\n\n")
+	for i := range a.Experiments {
+		a.Experiments[i].writeText(w)
+	}
+}
+
+func (x *Experiment) writeText(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s\n", x.ID, x.Claim)
+	widths := make([]int, len(x.Table.Header))
+	for i, h := range x.Table.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range x.Table.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(w, "%-*s  ", widths[i], c)
+		}
+		fmt.Fprintln(w)
+	}
+	printRow(x.Table.Header)
+	for _, row := range x.Table.Rows {
+		printRow(row)
+	}
+	for _, n := range x.Table.Notes {
+		fmt.Fprintf(w, "   note: %s\n", n)
+	}
+	fmt.Fprintf(w, "   -- wall=%.0fms allocs=%d alloc_bytes=%d", x.WallMS, x.Allocs, x.AllocBytes)
+	if x.PeakWorkingBytes > 0 {
+		fmt.Fprintf(w, " peak_working_bytes=%d", x.PeakWorkingBytes)
+	}
+	fmt.Fprintln(w)
+	if len(x.WaitMS) > 0 {
+		fmt.Fprint(w, "   -- waits:")
+		for _, k := range x.SortedWaits() {
+			fmt.Fprintf(w, " %s=%.1fms", k, x.WaitMS[k])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}

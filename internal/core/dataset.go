@@ -15,6 +15,7 @@ import (
 	"asterix/internal/external"
 	"asterix/internal/lsm"
 	"asterix/internal/metadata"
+	"asterix/internal/obs"
 	"asterix/internal/rtree"
 	"asterix/internal/spatial"
 )
@@ -181,31 +182,33 @@ func (d *Dataset) locate(rec *adm.Object) (int, []byte, []adm.Value, error) {
 
 // applyUpsert installs a record in the primary index and maintains all
 // secondary indexes (removing entries of any replaced record first).
-func (d *Dataset) applyUpsert(part int, keyBytes []byte, rec *adm.Object) error {
+// Flush/merge stalls the write triggers are attributed to sp (nil from
+// recovery redo and programmatic paths).
+func (d *Dataset) applyUpsert(part int, keyBytes []byte, rec *adm.Object, sp *obs.Span) error {
 	if old, ok, err := d.getRecord(part, keyBytes); err != nil {
 		return err
 	} else if ok {
-		if err := d.removeSecondaryEntries(part, keyBytes, old); err != nil {
+		if err := d.removeSecondaryEntries(part, keyBytes, old, sp); err != nil {
 			return err
 		}
 	}
 	stored := encodeRecordBytes(adm.EncodeValue(rec), d.eng.cfg.Compression)
-	if err := d.parts[part].Upsert(keyBytes, stored); err != nil {
+	if err := d.parts[part].UpsertSpan(keyBytes, stored, sp); err != nil {
 		return err
 	}
-	return d.addSecondaryEntries(part, keyBytes, rec)
+	return d.addSecondaryEntries(part, keyBytes, rec, sp)
 }
 
 // applyDelete removes a record and its index entries.
-func (d *Dataset) applyDelete(part int, keyBytes []byte) error {
+func (d *Dataset) applyDelete(part int, keyBytes []byte, sp *obs.Span) error {
 	if old, ok, err := d.getRecord(part, keyBytes); err != nil {
 		return err
 	} else if ok {
-		if err := d.removeSecondaryEntries(part, keyBytes, old); err != nil {
+		if err := d.removeSecondaryEntries(part, keyBytes, old, sp); err != nil {
 			return err
 		}
 	}
-	return d.parts[part].Delete(keyBytes)
+	return d.parts[part].DeleteSpan(keyBytes, sp)
 }
 
 func (d *Dataset) getRecord(part int, keyBytes []byte) (*adm.Object, bool, error) {
@@ -323,7 +326,7 @@ func (si *SecondaryIndex) entriesFor(keyBytes []byte, rec *adm.Object) ([]secEnt
 	return nil, fmt.Errorf("core: unknown index kind %q", si.def.Kind)
 }
 
-func (d *Dataset) addSecondaryEntries(part int, keyBytes []byte, rec *adm.Object) error {
+func (d *Dataset) addSecondaryEntries(part int, keyBytes []byte, rec *adm.Object, sp *obs.Span) error {
 	for _, si := range d.idxs {
 		entries, err := si.entriesFor(keyBytes, rec)
 		if err != nil {
@@ -331,10 +334,10 @@ func (d *Dataset) addSecondaryEntries(part int, keyBytes []byte, rec *adm.Object
 		}
 		for _, e := range entries {
 			if si.def.Kind == "RTREE" {
-				if err := si.rts[part].Insert(e.rect, keyBytes); err != nil {
+				if err := si.rts[part].InsertSpan(e.rect, keyBytes, sp); err != nil {
 					return err
 				}
-			} else if err := si.trees[part].Upsert(e.key, e.val); err != nil {
+			} else if err := si.trees[part].UpsertSpan(e.key, e.val, sp); err != nil {
 				return err
 			}
 		}
@@ -342,7 +345,7 @@ func (d *Dataset) addSecondaryEntries(part int, keyBytes []byte, rec *adm.Object
 	return nil
 }
 
-func (d *Dataset) removeSecondaryEntries(part int, keyBytes []byte, rec *adm.Object) error {
+func (d *Dataset) removeSecondaryEntries(part int, keyBytes []byte, rec *adm.Object, sp *obs.Span) error {
 	for _, si := range d.idxs {
 		entries, err := si.entriesFor(keyBytes, rec)
 		if err != nil {
@@ -350,10 +353,10 @@ func (d *Dataset) removeSecondaryEntries(part int, keyBytes []byte, rec *adm.Obj
 		}
 		for _, e := range entries {
 			if si.def.Kind == "RTREE" {
-				if err := si.rts[part].Delete(e.rect, keyBytes); err != nil {
+				if err := si.rts[part].DeleteSpan(e.rect, keyBytes, sp); err != nil {
 					return err
 				}
-			} else if err := si.trees[part].Delete(e.key); err != nil {
+			} else if err := si.trees[part].DeleteSpan(e.key, sp); err != nil {
 				return err
 			}
 		}

@@ -8,6 +8,7 @@ import (
 	"asterix/internal/adm"
 	"asterix/internal/algebricks"
 	"asterix/internal/external"
+	"asterix/internal/obs"
 	"asterix/internal/sqlpp"
 	"asterix/internal/txn"
 )
@@ -41,7 +42,7 @@ func (e *Engine) execUpsert(ctx context.Context, dataset string, expr sqlpp.Expr
 	default:
 		return Result{}, fmt.Errorf("core: INSERT/UPSERT payload must be object(s), got %s", v.Kind())
 	}
-	n, err := e.storeRecords(d, recs, upsert)
+	n, err := e.storeRecords(ctx, d, recs, upsert)
 	if err != nil {
 		return Result{}, err
 	}
@@ -55,9 +56,12 @@ func rollback(tx *txn.Txn, err error) error {
 	return errors.Join(err, tx.Abort())
 }
 
-// storeRecords writes a batch of records transactionally.
-func (e *Engine) storeRecords(d *Dataset, recs []adm.Value, upsert bool) (int64, error) {
-	tx := e.txmgr.Begin()
+// storeRecords writes a batch of records transactionally. Lock waits,
+// flushes, and merges the batch stalls on are attributed to the
+// statement span carried by ctx (nil span outside traced requests).
+func (e *Engine) storeRecords(ctx context.Context, d *Dataset, recs []adm.Value, upsert bool) (int64, error) {
+	sp := obs.SpanFromContext(ctx)
+	tx := e.txmgr.Begin().AttachSpan(sp)
 	var count int64
 	for _, rv := range recs {
 		rec, ok := rv.(*adm.Object)
@@ -82,7 +86,7 @@ func (e *Engine) storeRecords(d *Dataset, recs []adm.Value, upsert bool) (int64,
 		if err := tx.LogUpdate(d.def.Name, int32(part), txn.OpUpsert, keyBytes, recBytes); err != nil {
 			return count, rollback(tx, err)
 		}
-		if err := d.applyUpsert(part, keyBytes, rec); err != nil {
+		if err := d.applyUpsert(part, keyBytes, rec, sp); err != nil {
 			return count, rollback(tx, err)
 		}
 		count++
@@ -138,12 +142,13 @@ func (e *Engine) execDelete(ctx context.Context, s *sqlpp.DeleteStmt) (Result, e
 			return Result{}, err
 		}
 	}
-	tx := e.txmgr.Begin()
+	sp := obs.SpanFromContext(ctx)
+	tx := e.txmgr.Begin().AttachSpan(sp)
 	for _, v := range victims {
 		if err := tx.LogUpdate(d.def.Name, int32(v.part), txn.OpDelete, v.key, nil); err != nil {
 			return Result{}, rollback(tx, err)
 		}
-		if err := d.applyDelete(v.part, v.key); err != nil {
+		if err := d.applyDelete(v.part, v.key, sp); err != nil {
 			return Result{}, rollback(tx, err)
 		}
 	}
@@ -172,7 +177,7 @@ func (e *Engine) execLoad(ctx context.Context, s *sqlpp.LoadStmt) (Result, error
 	}); err != nil {
 		return Result{}, err
 	}
-	n, err := e.storeRecords(d, recs, true)
+	n, err := e.storeRecords(ctx, d, recs, true)
 	if err != nil {
 		return Result{}, err
 	}
@@ -189,7 +194,7 @@ func (e *Engine) UpsertValue(dataset string, rec *adm.Object) error {
 	if !ok {
 		return fmt.Errorf("core: unknown dataset %q", dataset)
 	}
-	_, err := e.storeRecords(d, []adm.Value{rec}, true)
+	_, err := e.storeRecords(context.Background(), d, []adm.Value{rec}, true)
 	return err
 }
 
@@ -210,7 +215,7 @@ func (e *Engine) DeleteKey(dataset string, pk ...adm.Value) error {
 	if err := tx.LogUpdate(d.def.Name, int32(part), txn.OpDelete, kb, nil); err != nil {
 		return rollback(tx, err)
 	}
-	if err := d.applyDelete(part, kb); err != nil {
+	if err := d.applyDelete(part, kb, nil); err != nil {
 		return rollback(tx, err)
 	}
 	return tx.Commit()

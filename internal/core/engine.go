@@ -261,9 +261,9 @@ func (e *Engine) Recover() (int, error) {
 			if !ok {
 				return fmt.Errorf("core: recovery: logged value is %s", v.Kind())
 			}
-			return d.applyUpsert(int(rec.Partition), rec.Key, o)
+			return d.applyUpsert(int(rec.Partition), rec.Key, o, nil)
 		case txn.OpDelete:
-			return d.applyDelete(int(rec.Partition), rec.Key)
+			return d.applyDelete(int(rec.Partition), rec.Key, nil)
 		}
 		return nil
 	})

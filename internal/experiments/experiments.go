@@ -9,10 +9,12 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
 	"asterix/internal/adm"
+	"asterix/internal/benchfmt"
 	"asterix/internal/btree"
 	"asterix/internal/core"
 	"asterix/internal/hyracks"
@@ -20,6 +22,7 @@ import (
 	"asterix/internal/lsm"
 	"asterix/internal/mapreduce"
 	"asterix/internal/mem"
+	"asterix/internal/obs"
 	"asterix/internal/storage"
 )
 
@@ -43,13 +46,65 @@ var Small = Scale{Users: 2000, Messages: 6000, Points: 20000, Keys: 20000,
 var Full = Scale{Users: 20000, Messages: 60000, Points: 200000, Keys: 200000,
 	LogLines: 20000, SortRows: 500000, Queries: 5}
 
-// Report is one experiment's rendered result.
+// Report is one experiment's result: the prose table plus the typed
+// measurements and wait attribution the BENCH_<n>.json artifact is built
+// from.
 type Report struct {
 	ID     string
 	Claim  string
 	Header []string
 	Rows   [][]string
 	Notes  []string
+
+	// Measurements are the experiment's named metrics — what the
+	// regression comparator diffs (the prose rows are for humans).
+	Measurements []benchfmt.Measurement
+	// PeakWorking is the high-water mark of granted working memory the
+	// experiment observed across its jobs (0 when nothing drew from the
+	// governor's working pool).
+	PeakWorking int64
+
+	// span is the experiment's root trace span; queries run under
+	// Ctx() attribute admission/lock/spill/flush/merge/exchange waits
+	// to it.
+	span *obs.Span
+}
+
+// Ctx returns a context carrying the experiment's root span, so engine
+// calls made with it feed the artifact's wait-time rollup.
+func (r *Report) Ctx() context.Context {
+	//lint:ignore obs-nil lazy creation of the root span, not instrumentation branching
+	if r.span == nil {
+		r.span = obs.NewSpan(r.ID)
+	}
+	return obs.ContextWithSpan(context.Background(), r.span)
+}
+
+// Waits returns the experiment's accumulated wait attribution
+// (WaitRollup is nil-safe: no Ctx call means an all-zero profile).
+func (r *Report) Waits() obs.WaitProfile {
+	return r.span.WaitRollup()
+}
+
+// Measure records a lower-is-better metric (times, bytes, I/O counts).
+func (r *Report) Measure(name, unit string, value float64) {
+	r.Measurements = append(r.Measurements, benchfmt.Measurement{
+		Name: name, Unit: unit, Value: value, Better: benchfmt.LowerBetter,
+	})
+}
+
+// MeasureHigher records a higher-is-better metric (speedups, rates).
+func (r *Report) MeasureHigher(name, unit string, value float64) {
+	r.Measurements = append(r.Measurements, benchfmt.Measurement{
+		Name: name, Unit: unit, Value: value, Better: benchfmt.HigherBetter,
+	})
+}
+
+// notePeak raises the experiment's working-memory high-water mark.
+func (r *Report) notePeak(bytes int64) {
+	if bytes > r.PeakWorking {
+		r.PeakWorking = bytes
+	}
 }
 
 // Print renders the report as an aligned text table.
@@ -128,7 +183,7 @@ func E1ScaleOut(scale Scale, workDir string) (*Report, error) {
 	rep := &Report{
 		ID:     "E1",
 		Claim:  "storage and query scale with hash partitioning (shape: speedup grows with partitions)",
-		Header: []string{"partitions", "ingest", "query(avg)", "speedup"},
+		Header: []string{"partitions", "gomaxprocs", "ingest", "query(avg)", "speedup"},
 		Notes: []string{fmt.Sprintf(
 			"host has %d CPU core(s) visible to Go — wall-clock speedup is bounded by that; "+
 				"the structural property (goroutine-per-partition tasks, hash exchanges) is exercised regardless",
@@ -154,20 +209,28 @@ func E1ScaleOut(scale Scale, workDir string) (*Report, error) {
 		var total time.Duration
 		for q := 0; q < scale.Queries; q++ {
 			t1 := time.Now()
-			if _, err := e.Query(context.Background(), query); err != nil {
+			res, err := e.Query(rep.Ctx(), query)
+			if err != nil {
 				e.Close()
 				return nil, err
 			}
 			total += time.Since(t1)
+			rep.notePeak(res.PeakWorkingMem)
 		}
 		avg := total / time.Duration(scale.Queries)
 		if p == 1 {
 			base = avg
 		}
+		speedup := float64(base) / float64(avg)
 		rep.Rows = append(rep.Rows, []string{
-			fmt.Sprint(p), ms(ingest), ms(avg),
-			fmt.Sprintf("%.2fx", float64(base)/float64(avg)),
+			fmt.Sprint(p), fmt.Sprint(runtime.GOMAXPROCS(0)), ms(ingest), ms(avg),
+			fmt.Sprintf("%.2fx", speedup),
 		})
+		rep.Measure(fmt.Sprintf("ingest_p%d", p), "ms", float64(ingest.Microseconds())/1000)
+		rep.Measure(fmt.Sprintf("query_p%d", p), "ms", float64(avg.Microseconds())/1000)
+		if p > 1 {
+			rep.MeasureHigher(fmt.Sprintf("speedup_p%d", p), "x", speedup)
+		}
 		e.Close()
 		//lint:ignore err-discard benchmark scratch-dir cleanup is best-effort
 		os.RemoveAll(dir)
@@ -195,7 +258,7 @@ func E2Spatial(scale Scale, workDir string) (*Report, error) {
 		return nil, err
 	}
 	defer e.Close()
-	ctx := context.Background()
+	ctx := rep.Ctx()
 	if _, err := e.Execute(ctx, `
 		CREATE TYPE PointType AS {id: int, loc: point, payload: string};
 		CREATE DATASET Points(PointType) PRIMARY KEY id;`); err != nil {
@@ -255,6 +318,10 @@ func E2Spatial(scale Scale, workDir string) (*Report, error) {
 				kind, fmt.Sprintf("%.4f", sel), fmt.Sprint(cands),
 				ms(idxOnly), ms(endToEnd), fmt.Sprint(len(res.Rows)),
 			})
+			if sel == 0.01 {
+				rep.Measure("idx_only_"+strings.ToLower(kind), "ms", float64(idxOnly.Microseconds())/1000)
+				rep.Measure("end_to_end_"+strings.ToLower(kind), "ms", float64(endToEnd.Microseconds())/1000)
+			}
 		}
 		if _, err := e.Execute(ctx, `DROP INDEX Points.spIdx;`); err != nil {
 			return nil, err
@@ -367,6 +434,10 @@ func E3BtreeVsHash(scale Scale, workDir string) (*Report, error) {
 	)
 	rep.Notes = append(rep.Notes,
 		fmt.Sprintf("load ratio (hash/btree): %.1fx — the missing-bulk-load cost", float64(lhLoad)/float64(btLoad)))
+	rep.Measure("btree_bulk_load", "ms", float64(btLoad.Microseconds())/1000)
+	rep.Measure("lhash_load", "ms", float64(lhLoad.Microseconds())/1000)
+	rep.Measure("btree_lookup_io", "reads/lookup", btIO)
+	rep.Measure("lhash_lookup_io", "reads/lookup", lhIO)
 	return rep, nil
 }
 
@@ -397,11 +468,12 @@ func E4MRvsHyracks(scale Scale, workDir string) (*Report, error) {
 		FROM GleambookUsers u JOIN GleambookMessages m ON m.authorId = u.id
 		GROUP BY u.name AS name;`
 	t0 := time.Now()
-	res, err := e.Query(context.Background(), query)
+	res, err := e.Query(rep.Ctx(), query)
 	if err != nil {
 		return nil, err
 	}
 	hyracksTime := time.Since(t0)
+	rep.notePeak(res.PeakWorkingMem)
 	rep.Rows = append(rep.Rows, []string{
 		"hyracks (SQL++)", ms(hyracksTime), "0", fmt.Sprint(len(res.Rows)),
 	})
@@ -494,6 +566,9 @@ func E4MRvsHyracks(scale Scale, workDir string) (*Report, error) {
 	})
 	rep.Notes = append(rep.Notes,
 		fmt.Sprintf("hyracks speedup: %.1fx", float64(mrTime)/float64(hyracksTime)))
+	rep.Measure("hyracks_time", "ms", float64(hyracksTime.Microseconds())/1000)
+	rep.Measure("mapreduce_time", "ms", float64(mrTime.Microseconds())/1000)
+	rep.MeasureHigher("hyracks_speedup", "x", float64(mrTime)/float64(hyracksTime))
 	return rep, nil
 }
 
@@ -513,7 +588,8 @@ func E5MemoryBudget(scale Scale, workDir string) (*Report, error) {
 	rows := scale.SortRows
 	dataBytes := rows * 64
 	budgets := []int{dataBytes * 2, dataBytes / 4, dataBytes / 16}
-	for _, budget := range budgets {
+	budgetLabels := []string{"sort_mem2x", "sort_mem_quarter", "sort_mem_16th"}
+	for bi, budget := range budgets {
 		cluster, err := hyracks.NewCluster(1, dir)
 		if err != nil {
 			return nil, err
@@ -539,7 +615,7 @@ func E5MemoryBudget(scale Scale, workDir string) (*Report, error) {
 		j.MustConnect(scan, sortOp, 0, hyracks.OneToOne())
 		j.MustConnect(sortOp, sink, 0, hyracks.OneToOne())
 		t0 := time.Now()
-		if err := cluster.Run(context.Background(), j); err != nil {
+		if err := cluster.Run(rep.Ctx(), j); err != nil {
 			return nil, err
 		}
 		elapsed := time.Since(t0)
@@ -550,6 +626,8 @@ func E5MemoryBudget(scale Scale, workDir string) (*Report, error) {
 			fmt.Sprintf("%dKB", budget/1024), ms(elapsed), fmt.Sprint(cluster.Nodes[0].Stats().Spills),
 			fmt.Sprintf("%dKB", j.PeakWorkingBytes()/1024),
 		})
+		rep.Measure(budgetLabels[bi], "ms", float64(elapsed.Microseconds())/1000)
+		rep.notePeak(j.PeakWorkingBytes())
 	}
 
 	// Concurrent variant: M simultaneous heavy group-by queries share one
@@ -571,6 +649,7 @@ func E5MemoryBudget(scale Scale, workDir string) (*Report, error) {
 		err     error
 	}
 	results := make([]concRes, concurrent)
+	ctx := rep.Ctx() // resolve once: the span is goroutine-safe, lazy init is not
 	var wg sync.WaitGroup
 	for q := 0; q < concurrent; q++ {
 		q := q
@@ -597,11 +676,12 @@ func E5MemoryBudget(scale Scale, workDir string) (*Report, error) {
 			j.MustConnect(scan, gb, 0, hyracks.OneToOne())
 			j.MustConnect(gb, sink, 0, hyracks.OneToOne())
 			t0 := time.Now()
-			err := cluster.Run(context.Background(), j)
+			err := cluster.Run(ctx, j)
 			results[q] = concRes{elapsed: time.Since(t0), peak: j.PeakWorkingBytes(), groups: n, err: err}
 		}()
 	}
 	wg.Wait()
+	var concMax time.Duration
 	for q, r := range results {
 		if r.err != nil {
 			return nil, fmt.Errorf("concurrent query %d: %w", q, r.err)
@@ -613,7 +693,12 @@ func E5MemoryBudget(scale Scale, workDir string) (*Report, error) {
 			fmt.Sprintf("conc-q%d/%dKB", q, concBudget/1024), ms(r.elapsed), "-",
 			fmt.Sprintf("%dKB", r.peak/1024),
 		})
+		rep.notePeak(r.peak)
+		if r.elapsed > concMax {
+			concMax = r.elapsed
+		}
 	}
+	rep.Measure("concurrent_makespan", "ms", float64(concMax.Microseconds())/1000)
 	st := gov.StatsSnapshot()
 	rep.Notes = append(rep.Notes, fmt.Sprintf(
 		"concurrent: %d group-by queries over one %dKB pool; admission waits=%d grow-denials=%d spills=%d",

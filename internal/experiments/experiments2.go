@@ -35,7 +35,7 @@ func E6HTAPIsolation(scale Scale, workDir string) (*Report, error) {
 		return nil, err
 	}
 	defer e.Close()
-	ctx := context.Background()
+	ctx := rep.Ctx()
 	if _, err := e.Execute(ctx, `
 		CREATE TYPE DocType AS {id: string};
 		CREATE DATASET Shadow(DocType) PRIMARY KEY id;`); err != nil {
@@ -117,6 +117,9 @@ func E6HTAPIsolation(scale Scale, workDir string) (*Report, error) {
 	rep.Notes = append(rep.Notes,
 		fmt.Sprintf("slowdown under concurrent analytics: %.2fx (isolation: no locks shared; remaining cost is CPU sharing)",
 			float64(concurrent)/float64(alone)))
+	rep.MeasureHigher("frontend_alone_ops", "ops/s", float64(opsN)/alone.Seconds())
+	rep.MeasureHigher("frontend_concurrent_ops", "ops/s", float64(opsN)/concurrent.Seconds())
+	rep.Measure("analytics_slowdown", "x", float64(concurrent)/float64(alone))
 	return rep, nil
 }
 
@@ -150,7 +153,7 @@ func E7AqlVsSqlpp(scale Scale, workDir string) (*Report, error) {
 	if err := ingestGleambook(e, scale.Users, scale.Messages, 7); err != nil {
 		return nil, err
 	}
-	ctx := context.Background()
+	ctx := rep.Ctx()
 	pairs := []struct {
 		name, sqlpp, aql string
 	}{
@@ -198,6 +201,8 @@ func E7AqlVsSqlpp(scale Scale, workDir string) (*Report, error) {
 			fmt.Sprintf("%.2f", float64(aqlTime)/float64(sqlTime)),
 			fmt.Sprint(equal),
 		})
+		rep.Measure("sqlpp_"+p.name, "ms", float64(sqlTime.Microseconds())/1000)
+		rep.Measure("aql_"+p.name, "ms", float64(aqlTime.Microseconds())/1000)
 		if !equal {
 			return nil, fmt.Errorf("E7: %s: AQL and SQL++ results differ", p.name)
 		}
@@ -263,6 +268,10 @@ func E8MergePolicy(scale Scale, workDir string) (*Report, error) {
 			pc.name, ms(ingest), fmt.Sprint(comps), fmt.Sprint(merges),
 			fmt.Sprintf("%.1fµs", float64(get.Nanoseconds())/1000),
 		})
+		key := strings.NewReplacer("(", "", ")", "").Replace(pc.name)
+		rep.Measure("ingest_"+key, "ms", float64(ingest.Microseconds())/1000)
+		rep.Measure("get_"+key, "us", float64(get.Nanoseconds())/1000)
+		rep.Measure("components_"+key, "count", float64(comps))
 		e.Close()
 		//lint:ignore err-discard benchmark scratch-dir cleanup is best-effort
 		os.RemoveAll(dir)
@@ -286,7 +295,7 @@ func E9Figure3(scale Scale, workDir string) (*Report, error) {
 		return nil, err
 	}
 	defer e.Close()
-	ctx := context.Background()
+	ctx := rep.Ctx()
 	if _, err := e.Execute(ctx, gleambookDDL); err != nil {
 		return nil, err
 	}
@@ -319,9 +328,11 @@ GROUP BY nf;`)
 		return nil, err
 	}
 	elapsed := time.Since(t0)
+	rep.notePeak(res.PeakWorkingMem)
 	rep.Rows = append(rep.Rows, []string{
 		fmt.Sprint(scale.Users), fmt.Sprint(scale.LogLines), ms(elapsed), fmt.Sprint(len(res.Rows)),
 	})
+	rep.Measure("figure3_query", "ms", float64(elapsed.Microseconds())/1000)
 	return rep, nil
 }
 
@@ -392,6 +403,9 @@ func E10Recovery(scale Scale, workDir string) (*Report, error) {
 		fmt.Sprintf("%.0f", float64(n)/recovery.Seconds()),
 		fmt.Sprint(verified),
 	})
+	rep.Measure("wal_ingest", "ms", float64(ingest.Microseconds())/1000)
+	rep.Measure("recovery", "ms", float64(recovery.Microseconds())/1000)
+	rep.MeasureHigher("recovery_rate", "records/s", float64(n)/recovery.Seconds())
 	if !verified {
 		return nil, fmt.Errorf("E10: recovered data failed verification")
 	}
@@ -425,11 +439,12 @@ func E13NodeFailure(scale Scale, workDir string) (*Report, error) {
 		GROUP BY u.id AS id;`
 
 	t0 := time.Now()
-	healthy, err := e.Query(context.Background(), query)
+	healthy, err := e.Query(rep.Ctx(), query)
 	if err != nil {
 		return nil, err
 	}
 	healthyT := time.Since(t0)
+	rep.notePeak(healthy.PeakWorkingMem)
 	rep.Rows = append(rep.Rows, []string{
 		"healthy", ms(healthyT), fmt.Sprint(healthy.Attempts), "-", fmt.Sprint(len(healthy.Rows)),
 	})
@@ -444,7 +459,7 @@ func E13NodeFailure(scale Scale, workDir string) (*Report, error) {
 	//lint:ignore fault-gate harness cleanup of its own arming
 	defer fault.Disarm()
 	t0 = time.Now()
-	wounded, err := e.Query(context.Background(), query)
+	wounded, err := e.Query(rep.Ctx(), query)
 	if err != nil {
 		return nil, fmt.Errorf("E13: query did not survive the node failure: %w", err)
 	}
@@ -453,6 +468,8 @@ func E13NodeFailure(scale Scale, workDir string) (*Report, error) {
 		"node-killed", ms(woundedT), fmt.Sprint(wounded.Attempts),
 		strings.Join(wounded.DeadNodes, " "), fmt.Sprint(len(wounded.Rows)),
 	})
+	rep.Measure("healthy_query", "ms", float64(healthyT.Microseconds())/1000)
+	rep.Measure("node_killed_query", "ms", float64(woundedT.Microseconds())/1000)
 	if wounded.Attempts < 2 || len(wounded.DeadNodes) == 0 {
 		return nil, fmt.Errorf("E13: expected a retried job, got attempts=%d dead=%v",
 			wounded.Attempts, wounded.DeadNodes)
@@ -554,11 +571,13 @@ func E11PKSortAblation(scale Scale, workDir string) (*Report, error) {
 		}
 		elapsed := time.Since(t0) / 3
 		reads := (e.BufferCacheStats().Reads - before) / 3
-		label := "pk-sorted"
+		label, key := "pk-sorted", "pk_sorted"
 		if !sorted {
-			label = "random-order"
+			label, key = "random-order", "random_order"
 		}
 		rep.Rows = append(rep.Rows, []string{label, fmt.Sprint(rows), ms(elapsed), fmt.Sprint(reads)})
+		rep.Measure("fetch_"+key, "ms", float64(elapsed.Microseconds())/1000)
+		rep.Measure("reads_"+key, "pages", float64(reads))
 	}
 	return rep, nil
 }
@@ -634,6 +653,8 @@ func E12Compression(scale Scale, workDir string) (*Report, error) {
 			label = "on"
 		}
 		rep.Rows = append(rep.Rows, []string{label, ms(ingest), fmt.Sprint(size), ms(scan)})
+		rep.Measure("storage_bytes_"+label, "bytes", float64(size))
+		rep.Measure("scan_"+label, "ms", float64(scan.Microseconds())/1000)
 		//lint:ignore err-discard benchmark scratch-dir cleanup is best-effort
 		os.RemoveAll(dir)
 	}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"asterix/internal/benchfmt"
+	"asterix/internal/obs"
+)
+
+// RunOne executes a single experiment under instrumentation: wall time,
+// allocation deltas (cumulative MemStats counters, so GC cannot deflate
+// them), and the report's own measurements/waits, packaged as one
+// benchfmt.Experiment.
+func RunOne(ex NamedExperiment, scale Scale, workDir string) (*Report, benchfmt.Experiment, error) {
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
+	rep, err := ex.Run(scale, workDir)
+	wall := time.Since(t0)
+	if err != nil {
+		return nil, benchfmt.Experiment{}, fmt.Errorf("%s: %w", ex.ID, err)
+	}
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+
+	bx := benchfmt.Experiment{
+		ID:               rep.ID,
+		Claim:            rep.Claim,
+		WallMS:           float64(wall.Microseconds()) / 1000,
+		Allocs:           after.Mallocs - before.Mallocs,
+		AllocBytes:       after.TotalAlloc - before.TotalAlloc,
+		PeakWorkingBytes: rep.PeakWorking,
+		Measurements:     rep.Measurements,
+		Table: benchfmt.Table{
+			Header: rep.Header,
+			Rows:   rep.Rows,
+			Notes:  rep.Notes,
+		},
+	}
+	waits := rep.Waits()
+	if waits.Total() > 0 {
+		bx.WaitMS = map[string]float64{}
+		for k := obs.WaitKind(0); int(k) < len(waits); k++ {
+			if waits[k] > 0 {
+				bx.WaitMS[k.String()] = float64(waits[k].Microseconds()) / 1000
+			}
+		}
+	}
+	return rep, bx, nil
+}

@@ -2,9 +2,11 @@ package hyracks
 
 import (
 	"fmt"
+	"time"
 
 	"asterix/internal/adm"
 	"asterix/internal/mem"
+	"asterix/internal/obs"
 )
 
 // AggSpec is a mergeable aggregate function over tuples. Partial states
@@ -124,6 +126,7 @@ func runGroupBy(tc *TaskContext, in *Input, out *Output, groupCols []int, aggs [
 			}
 			// Spill the whole table as partial aggregates and start over.
 			spilled = true
+			t0 := time.Now()
 			for _, bucket := range table {
 				for _, g := range bucket {
 					if err := spillGroup(g); err != nil {
@@ -131,6 +134,7 @@ func runGroupBy(tc *TaskContext, in *Input, out *Output, groupCols []int, aggs [
 					}
 				}
 			}
+			tc.AddWait(obs.WaitSpill, time.Since(t0))
 			table = map[uint64][]*group{}
 			size = 0
 			tc.Mem.ShrinkToMin()
@@ -162,7 +166,8 @@ func runGroupBy(tc *TaskContext, in *Input, out *Output, groupCols []int, aggs [
 	}
 
 	// Flush the residual table, then merge partials partition by
-	// partition.
+	// partition. Run-file writes and read-back both count as spill I/O.
+	tSpill := time.Now()
 	for _, bucket := range table {
 		for _, g := range bucket {
 			if err := spillGroup(g); err != nil {
@@ -170,10 +175,12 @@ func runGroupBy(tc *TaskContext, in *Input, out *Output, groupCols []int, aggs [
 			}
 		}
 	}
+	tc.AddWait(obs.WaitSpill, time.Since(tSpill))
 	for p := 0; p < spillFanout; p++ {
 		if spills[p] == nil {
 			continue
 		}
+		tRead := time.Now()
 		rr, err := spills[p].Finish()
 		if err != nil {
 			return err
@@ -212,6 +219,7 @@ func runGroupBy(tc *TaskContext, in *Input, out *Output, groupCols []int, aggs [
 			}
 		}
 		rr.Close()
+		tc.AddWait(obs.WaitSpill, time.Since(tRead))
 		for _, bucket := range merged {
 			for _, g := range bucket {
 				if err := emit(g); err != nil {

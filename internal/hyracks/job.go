@@ -3,6 +3,7 @@ package hyracks
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"asterix/internal/mem"
 	"asterix/internal/obs"
@@ -23,6 +24,24 @@ type TaskContext struct {
 	// Span is this task's trace span when the job runs under detailed
 	// profiling; nil otherwise (all span methods are nil-safe).
 	Span *obs.Span
+	// JobSpan is the enclosing statement's span (the server's request
+	// span), present even without detailed profiling so wait-time
+	// attribution reaches the slow-query log; nil outside traced
+	// requests.
+	JobSpan *obs.Span
+}
+
+// AddWait attributes blocked time (spill I/O, exchange stalls) to the
+// task span when detailed profiling is on, otherwise to the job span —
+// both nil-safe, so untraced jobs pay only the time.Since call at each
+// (rare) wait event.
+func (tc *TaskContext) AddWait(k obs.WaitKind, d time.Duration) {
+	//lint:ignore obs-nil routing between two sinks, not a call guard: detailed task span wins over the job span
+	if tc.Span != nil {
+		tc.Span.AddWait(k, d)
+		return
+	}
+	tc.JobSpan.AddWait(k, d)
 }
 
 // TempDir returns the node-local spill directory.

@@ -1,8 +1,11 @@
 package hyracks
 
 import (
+	"time"
+
 	"asterix/internal/adm"
 	"asterix/internal/mem"
+	"asterix/internal/obs"
 )
 
 // JoinKind selects inner or left-outer semantics.
@@ -109,6 +112,7 @@ func runHashJoin(tc *TaskContext, left, right *Input, out *Output, leftCols, rig
 			}
 			// Degrade: move the in-memory table to spill partitions.
 			spilled = true
+			t0 := time.Now()
 			for _, bucket := range table {
 				for _, bt := range bucket {
 					if err := spillBuild(bt); err != nil {
@@ -116,6 +120,7 @@ func runHashJoin(tc *TaskContext, left, right *Input, out *Output, leftCols, rig
 					}
 				}
 			}
+			tc.AddWait(obs.WaitSpill, time.Since(t0))
 			table = nil
 			tableSize = 0
 			tc.Mem.ShrinkToMin()
@@ -195,6 +200,7 @@ func runHashJoin(tc *TaskContext, left, right *Input, out *Output, leftCols, rig
 		var part map[uint64][]Tuple
 		if buildRuns[p] != nil {
 			part = map[uint64][]Tuple{}
+			tRead := time.Now()
 			rr, err := buildRuns[p].Finish()
 			if err != nil {
 				return err
@@ -211,6 +217,7 @@ func runHashJoin(tc *TaskContext, left, right *Input, out *Output, leftCols, rig
 				part[HashColumns(t, rightCols)] = append(part[HashColumns(t, rightCols)], t)
 			}
 			rr.Close()
+			tc.AddWait(obs.WaitSpill, time.Since(tRead))
 		}
 		if probeRuns[p] == nil {
 			continue

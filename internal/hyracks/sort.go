@@ -2,9 +2,11 @@ package hyracks
 
 import (
 	"sort"
+	"time"
 
 	"asterix/internal/fault"
 	"asterix/internal/mem"
+	"asterix/internal/obs"
 )
 
 // NewSort builds a memory-governed external sort: each partition
@@ -35,6 +37,8 @@ func runSort(tc *TaskContext, in *Input, out *Output, cmp Comparator) error {
 		if err := fault.Hit(fault.PointSpillIO); err != nil {
 			return err
 		}
+		t0 := time.Now()
+		defer func() { tc.AddWait(obs.WaitSpill, time.Since(t0)) }()
 		sort.SliceStable(buf, func(i, j int) bool { return cmp.Compare(buf[i], buf[j]) < 0 })
 		rw, err := NewRunWriter(tc.TempDir())
 		if err != nil {

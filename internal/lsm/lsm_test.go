@@ -282,7 +282,7 @@ func TestMergeDropsTombstones(t *testing.T) {
 		tr.Delete(ikey(i))
 	}
 	tr.Flush()
-	if err := tr.mergeRange(0, 1); err != nil {
+	if err := tr.mergeRange(0, 1, nil); err != nil {
 		t.Fatal(err)
 	}
 	if tr.DiskComponents() != 1 {
@@ -463,7 +463,7 @@ func TestLSMRTreeAntimatterAcrossComponents(t *testing.T) {
 		t.Fatalf("after antimatter flush found %d, want 50", count)
 	}
 	// Full merge cancels pairs and drops antimatter.
-	if err := rt.mergeAll(); err != nil {
+	if err := rt.mergeAll(nil); err != nil {
 		t.Fatal(err)
 	}
 	if rt.DiskComponents() != 1 {

@@ -157,6 +157,13 @@ func flagged(key []byte, tombstone bool) []byte {
 
 // Insert adds a live (rect, key) entry.
 func (t *RTreeIndex) Insert(r rtree.Rect, key []byte) error {
+	return t.InsertSpan(r, key, nil)
+}
+
+// InsertSpan is Insert with wait-time attribution: governor arbitration
+// and flushes/merges triggered by this write are charged to sp (nil for
+// no attribution).
+func (t *RTreeIndex) InsertSpan(r rtree.Rect, key []byte, sp *obs.Span) error {
 	t.wmu.Lock()
 	defer t.wmu.Unlock()
 	t.mu.Lock()
@@ -166,12 +173,17 @@ func (t *RTreeIndex) Insert(r rtree.Rect, key []byte) error {
 	t.mem.Insert(r, flagged(key, false))
 	t.memSize += len(key) + 64
 	t.mu.Unlock()
-	return t.afterPut(len(key) + 64)
+	return t.afterPut(len(key)+64, sp)
 }
 
 // Delete records the removal of (rect, key): it cancels any in-memory live
 // entry and inserts antimatter to cancel older disk entries.
 func (t *RTreeIndex) Delete(r rtree.Rect, key []byte) error {
+	return t.DeleteSpan(r, key, nil)
+}
+
+// DeleteSpan is Delete with wait-time attribution (see InsertSpan).
+func (t *RTreeIndex) DeleteSpan(r rtree.Rect, key []byte, sp *obs.Span) error {
 	t.wmu.Lock()
 	defer t.wmu.Unlock()
 	t.mu.Lock()
@@ -179,13 +191,23 @@ func (t *RTreeIndex) Delete(r rtree.Rect, key []byte) error {
 	t.mem.Insert(r, flagged(key, true))
 	t.memSize += len(key) + 64
 	t.mu.Unlock()
-	return t.afterPut(len(key) + 64)
+	return t.afterPut(len(key)+64, sp)
 }
 
 // afterPut charges the mutation to the governor and applies the per-index
-// budget. Caller holds t.wmu.
-func (t *RTreeIndex) afterPut(delta int) error {
+// budget. Caller holds t.wmu. Arbitration time counts as flush wait on
+// sp (see Tree.afterPut).
+func (t *RTreeIndex) afterPut(delta int, sp *obs.Span) error {
+	var t0 time.Time
+	//lint:ignore obs-nil skips time.Now on the untraced write hot path, not a call guard
+	if sp != nil {
+		t0 = time.Now()
+	}
 	flushSelf, err := t.charge.Add(int64(delta))
+	//lint:ignore obs-nil skips time.Since on the untraced write hot path, not a call guard
+	if sp != nil {
+		sp.AddWait(obs.WaitFlush, time.Since(t0))
+	}
 	if err != nil {
 		return err
 	}
@@ -193,7 +215,7 @@ func (t *RTreeIndex) afterPut(delta int) error {
 	over := t.memSize >= t.memBudget
 	t.mu.RUnlock()
 	if flushSelf || over {
-		return t.flushLocked()
+		return t.flushLocked(sp)
 	}
 	return nil
 }
@@ -214,7 +236,7 @@ func (t *RTreeIndex) tryFlushForGovernor() (bool, error) {
 		return false, nil
 	}
 	defer t.wmu.Unlock()
-	return true, t.flushLocked()
+	return true, t.flushLocked(nil)
 }
 
 // snapshotComps acquires a reference-counted component view.
@@ -311,11 +333,12 @@ func (t *RTreeIndex) DiskComponents() int {
 func (t *RTreeIndex) Flush() error {
 	t.wmu.Lock()
 	defer t.wmu.Unlock()
-	return t.flushLocked()
+	return t.flushLocked(nil)
 }
 
-// flushLocked is Flush with t.wmu held (no put can race the swap).
-func (t *RTreeIndex) flushLocked() error {
+// flushLocked is Flush with t.wmu held (no put can race the swap). The
+// flush and any merge it triggers are charged to sp as flush/merge wait.
+func (t *RTreeIndex) flushLocked(sp *obs.Span) error {
 	flushStart := time.Now()
 	t.mu.Lock()
 	if t.mem.Len() == 0 {
@@ -355,18 +378,20 @@ func (t *RTreeIndex) flushLocked() error {
 	t.charge.Flushed()
 	t.mFlushes.Inc()
 	t.mFlushDur.Observe(time.Since(flushStart).Seconds())
+	sp.AddWait(obs.WaitFlush, time.Since(flushStart))
 	if err != nil {
 		return err
 	}
 	if needMerge {
-		return t.mergeAll()
+		return t.mergeAll(sp)
 	}
 	return nil
 }
 
 // mergeAll performs a full merge of every disk component, cancelling
-// antimatter pairs and dropping the antimatter itself.
-func (t *RTreeIndex) mergeAll() error {
+// antimatter pairs and dropping the antimatter itself. Merge wall time
+// is charged to sp as merge wait.
+func (t *RTreeIndex) mergeAll(sp *obs.Span) error {
 	mergeStart := time.Now()
 	t.mu.Lock()
 	victims := append([]*rtreeComponent(nil), t.disk...)
@@ -423,6 +448,7 @@ func (t *RTreeIndex) mergeAll() error {
 	t.mu.Unlock()
 	t.mMerges.Inc()
 	t.mMergeDur.Observe(time.Since(mergeStart).Seconds())
+	sp.AddWait(obs.WaitMerge, time.Since(mergeStart))
 	if err != nil {
 		return err
 	}

@@ -227,29 +227,48 @@ func (t *Tree) memRef() *memTable {
 }
 
 // Upsert inserts or replaces the value stored under key.
-func (t *Tree) Upsert(key, value []byte) error {
+func (t *Tree) Upsert(key, value []byte) error { return t.UpsertSpan(key, value, nil) }
+
+// UpsertSpan is Upsert with wait-time attribution: governor arbitration,
+// flushes, and merges triggered by this write are charged to sp (nil for
+// no attribution).
+func (t *Tree) UpsertSpan(key, value []byte, sp *obs.Span) error {
 	t.wmu.Lock()
 	defer t.wmu.Unlock()
-	return t.afterPut(t.memRef().put(key, value, false))
+	return t.afterPut(t.memRef().put(key, value, false), sp)
 }
 
 // Delete records an antimatter entry for key (the key need not exist).
-func (t *Tree) Delete(key []byte) error {
+func (t *Tree) Delete(key []byte) error { return t.DeleteSpan(key, nil) }
+
+// DeleteSpan is Delete with wait-time attribution (see UpsertSpan).
+func (t *Tree) DeleteSpan(key []byte, sp *obs.Span) error {
 	t.wmu.Lock()
 	defer t.wmu.Unlock()
-	return t.afterPut(t.memRef().put(key, nil, true))
+	return t.afterPut(t.memRef().put(key, nil, true), sp)
 }
 
 // afterPut charges the mutation's byte delta to the governor (which may
 // arbitrate flushes of OTHER trees, or elect this one) and then applies
-// the per-tree budget. Caller holds t.wmu.
-func (t *Tree) afterPut(delta int) error {
+// the per-tree budget. Caller holds t.wmu. Arbitration time — this
+// writer stalled flushing OTHER trees' components — counts as flush
+// wait on sp, as does a flush of this tree's own component.
+func (t *Tree) afterPut(delta int, sp *obs.Span) error {
+	var t0 time.Time
+	//lint:ignore obs-nil skips time.Now on the untraced write hot path, not a call guard
+	if sp != nil {
+		t0 = time.Now()
+	}
 	flushSelf, err := t.charge.Add(int64(delta))
+	//lint:ignore obs-nil skips time.Since on the untraced write hot path, not a call guard
+	if sp != nil {
+		sp.AddWait(obs.WaitFlush, time.Since(t0))
+	}
 	if err != nil {
 		return err
 	}
 	if flushSelf || t.memRef().size() >= t.memBudget {
-		return t.flushLocked()
+		return t.flushLocked(sp)
 	}
 	return nil
 }
@@ -271,7 +290,7 @@ func (t *Tree) tryFlushForGovernor() (bool, error) {
 		return false, nil
 	}
 	defer t.wmu.Unlock()
-	return true, t.flushLocked()
+	return true, t.flushLocked(nil)
 }
 
 // snapshot acquires a reference-counted view of the disk components.
@@ -423,14 +442,15 @@ func (t *Tree) DiskComponents() int {
 func (t *Tree) Flush() error {
 	t.wmu.Lock()
 	defer t.wmu.Unlock()
-	return t.flushLocked()
+	return t.flushLocked(nil)
 }
 
 // flushLocked is Flush with t.wmu held: holding the writer mutex means no
 // put can land in the old memory component between the snapshot scan and
 // the pointer swap; concurrent readers are safe because they take the
-// pointer via memRef.
-func (t *Tree) flushLocked() error {
+// pointer via memRef. The flush (and any merge it triggers) is charged
+// to sp as flush/merge wait; sp is nil for flushes no statement waits on.
+func (t *Tree) flushLocked(sp *obs.Span) error {
 	flushStart := time.Now()
 	t.mu.Lock()
 	mem := t.mem
@@ -498,6 +518,7 @@ func (t *Tree) flushLocked() error {
 	t.charge.Flushed()
 	t.mFlushes.Inc()
 	t.mFlushDur.Observe(time.Since(flushStart).Seconds())
+	sp.AddWait(obs.WaitFlush, time.Since(flushStart))
 	if err != nil {
 		return err
 	}
@@ -508,11 +529,11 @@ func (t *Tree) flushLocked() error {
 	if err := check.Run(t); err != nil {
 		return err
 	}
-	return t.maybeMerge()
+	return t.maybeMerge(sp)
 }
 
 // maybeMerge consults the policy and merges one component range.
-func (t *Tree) maybeMerge() error {
+func (t *Tree) maybeMerge(sp *obs.Span) error {
 	t.mu.RLock()
 	sizes := make([]int64, len(t.disk))
 	for i, c := range t.disk {
@@ -523,13 +544,15 @@ func (t *Tree) maybeMerge() error {
 	if !ok {
 		return nil
 	}
-	return t.mergeRange(lo, hi)
+	return t.mergeRange(lo, hi, sp)
 }
 
 // mergeRange merges disk components [lo..hi] (newest-first indexes) into
 // one. Tombstones are dropped only when the merge includes the oldest
-// component.
-func (t *Tree) mergeRange(lo, hi int) error {
+// component. Merge wall time is charged to sp as merge wait (merges run
+// on the writer's thread, so the triggering statement really does stall
+// for the whole merge).
+func (t *Tree) mergeRange(lo, hi int, sp *obs.Span) error {
 	mergeStart := time.Now()
 	t.mu.RLock()
 	if lo < 0 || hi >= len(t.disk) || lo >= hi {
@@ -637,6 +660,7 @@ func (t *Tree) mergeRange(lo, hi int) error {
 	t.mu.Unlock()
 	t.mMerges.Inc()
 	t.mMergeDur.Observe(time.Since(mergeStart).Seconds())
+	sp.AddWait(obs.WaitMerge, time.Since(mergeStart))
 	if err != nil {
 		return err
 	}

@@ -217,6 +217,12 @@ func (g *Governor) reserve(ctx context.Context, n int64) error {
 	g.mu.Unlock()
 	g.mWaits.Inc()
 
+	// Attribute the queued time to the query's span (nil-safe): admission
+	// waits are the first place a contended instance loses time.
+	waitStart := time.Now()
+	span := obs.SpanFromContext(ctx)
+	defer func() { span.AddWait(obs.WaitAdmission, time.Since(waitStart)) }()
+
 	timer := time.NewTimer(g.cfg.AdmitTimeout)
 	defer timer.Stop()
 	select {

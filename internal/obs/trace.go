@@ -2,10 +2,101 @@ package obs
 
 import (
 	"context"
+	"fmt"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// WaitKind classifies time a query spent blocked rather than computing:
+// the wait-attribution categories threaded through the governor, the lock
+// manager, the LSM, and the executor. A span accumulates nanoseconds per
+// kind, so a slow query's trace answers "where did the time go" — was it
+// queued for memory admission, stuck behind a record lock, or grinding
+// through spill/flush/merge I/O.
+type WaitKind int32
+
+// Wait categories.
+const (
+	// WaitAdmission is time queued in the memory governor waiting for a
+	// working-memory reservation (job admission, standalone reserves).
+	WaitAdmission WaitKind = iota
+	// WaitLock is time blocked on a record lock in the transaction
+	// manager (including waits that ended in ErrLockTimeout).
+	WaitLock
+	// WaitSpill is run-file spill I/O in memory-governed operators
+	// (sort, join, group-by) — writing and re-reading spilled runs.
+	WaitSpill
+	// WaitFlush is LSM memory-component flush I/O charged to the writer
+	// whose put crossed the budget (including governor-arbitrated
+	// flushes it waited on).
+	WaitFlush
+	// WaitMerge is LSM disk-component merge I/O charged to the writer
+	// whose flush triggered the merge policy.
+	WaitMerge
+	// WaitExchange is time a task spent stalled on frame exchange —
+	// blocked sends into a full downstream connector channel (recorded
+	// only under detailed profiling: it is a per-frame hot path).
+	WaitExchange
+
+	numWaitKinds
+)
+
+var waitKindNames = [numWaitKinds]string{
+	"admission", "lock", "spill", "flush", "merge", "exchange",
+}
+
+// String names the category as it appears in logs and span counters.
+func (k WaitKind) String() string {
+	if k < 0 || k >= numWaitKinds {
+		return "unknown"
+	}
+	return waitKindNames[k]
+}
+
+// WaitProfile is a per-category wait-time rollup (one Duration per
+// WaitKind).
+type WaitProfile [numWaitKinds]time.Duration
+
+// Total sums all categories.
+func (p WaitProfile) Total() time.Duration {
+	var t time.Duration
+	for _, d := range p {
+		t += d
+	}
+	return t
+}
+
+// TopN renders the n largest nonzero categories as
+// "admission=120ms lock=40ms spill=8ms" (empty string when all zero).
+func (p WaitProfile) TopN(n int) string {
+	type kv struct {
+		k WaitKind
+		d time.Duration
+	}
+	var top []kv
+	for k, d := range p {
+		if d > 0 {
+			top = append(top, kv{WaitKind(k), d})
+		}
+	}
+	sort.Slice(top, func(i, j int) bool {
+		if top[i].d != top[j].d {
+			return top[i].d > top[j].d
+		}
+		return top[i].k < top[j].k
+	})
+	if n > 0 && len(top) > n {
+		top = top[:n]
+	}
+	parts := make([]string, len(top))
+	for i, e := range top {
+		parts[i] = fmt.Sprintf("%s=%s", e.k, e.d.Round(time.Microsecond))
+	}
+	return strings.Join(parts, " ")
+}
 
 // Span is one timed node in a per-query trace tree: the statement
 // lifecycle (parse → compile → execute) down to per-operator,
@@ -25,6 +116,9 @@ type Span struct {
 	tuplesIn  int64
 	tuplesOut int64
 	spills    int64
+
+	// Wait-time attribution in nanoseconds per category (atomic).
+	waits [numWaitKinds]int64
 
 	mu       sync.Mutex
 	counters map[string]int64
@@ -125,6 +219,51 @@ func (s *Span) AddSpill() {
 	atomic.AddInt64(&s.spills, 1)
 }
 
+// AddWait attributes blocked time to a wait category. Nil-safe and
+// atomic: governor, lock-manager, LSM, and operator code call it
+// unconditionally from any goroutine.
+func (s *Span) AddWait(k WaitKind, d time.Duration) {
+	if s == nil || d <= 0 || k < 0 || k >= numWaitKinds {
+		return
+	}
+	atomic.AddInt64(&s.waits[k], int64(d))
+}
+
+// Waits snapshots this span's own wait times (no descendants).
+func (s *Span) Waits() WaitProfile {
+	var p WaitProfile
+	if s == nil {
+		return p
+	}
+	for k := range p {
+		p[k] = time.Duration(atomic.LoadInt64(&s.waits[k]))
+	}
+	return p
+}
+
+// WaitRollup sums wait times over the span and all descendants — the
+// per-query "where did the blocked time go" profile the slow-query log
+// prints.
+func (s *Span) WaitRollup() WaitProfile {
+	var p WaitProfile
+	if s == nil {
+		return p
+	}
+	for k := range p {
+		p[k] = time.Duration(atomic.LoadInt64(&s.waits[k]))
+	}
+	s.mu.Lock()
+	kids := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range kids {
+		cp := c.WaitRollup()
+		for k := range p {
+			p[k] += cp[k]
+		}
+	}
+	return p
+}
+
 // TotalFor sums the durations of all descendant spans (including s) with
 // the exact name — e.g. TotalFor("parse") over a request tree.
 func (s *Span) TotalFor(name string) time.Duration {
@@ -178,6 +317,12 @@ func (s *Span) Tree() *SpanNode {
 	add("tuplesIn", atomic.LoadInt64(&s.tuplesIn))
 	add("tuplesOut", atomic.LoadInt64(&s.tuplesOut))
 	add("spills", atomic.LoadInt64(&s.spills))
+	for k := WaitKind(0); k < numWaitKinds; k++ {
+		if ns := atomic.LoadInt64(&s.waits[k]); ns > 0 {
+			// Round up so a recorded sub-microsecond wait still shows.
+			add("wait."+k.String()+".us", (ns+999)/1000)
+		}
+	}
 	s.mu.Lock()
 	for k, v := range s.counters {
 		add(k, v)

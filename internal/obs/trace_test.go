@@ -74,6 +74,74 @@ func TestSpanEndIdempotent(t *testing.T) {
 	}
 }
 
+func TestSpanWaitAttribution(t *testing.T) {
+	root := NewSpan("request")
+	task := root.StartChild("sort[0]")
+	root.AddWait(WaitAdmission, 120*time.Millisecond)
+	task.AddWait(WaitSpill, 8*time.Millisecond)
+	task.AddWait(WaitSpill, 2*time.Millisecond)
+	task.AddWait(WaitLock, 40*time.Millisecond)
+	task.End()
+	root.End()
+
+	if got := task.Waits()[WaitSpill]; got != 10*time.Millisecond {
+		t.Fatalf("task spill wait = %v", got)
+	}
+	// Rollup sums the whole tree.
+	p := root.WaitRollup()
+	if p[WaitAdmission] != 120*time.Millisecond || p[WaitSpill] != 10*time.Millisecond ||
+		p[WaitLock] != 40*time.Millisecond {
+		t.Fatalf("rollup = %+v", p)
+	}
+	if p.Total() != 170*time.Millisecond {
+		t.Fatalf("total = %v", p.Total())
+	}
+	// Top-3 rendering is sorted descending and names the categories.
+	if got, want := p.TopN(3), "admission=120ms lock=40ms spill=10ms"; got != want {
+		t.Fatalf("TopN = %q, want %q", got, want)
+	}
+	if got := p.TopN(1); got != "admission=120ms" {
+		t.Fatalf("TopN(1) = %q", got)
+	}
+	// The span tree carries the categories as counters (µs).
+	tree := root.Tree()
+	if tree.Counters["wait.admission.us"] != 120000 {
+		t.Fatalf("tree counters = %+v", tree.Counters)
+	}
+	if tree.Children[0].Counters["wait.spill.us"] != 10000 {
+		t.Fatalf("task counters = %+v", tree.Children[0].Counters)
+	}
+	// Sub-microsecond waits round up instead of vanishing.
+	s := NewSpan("x")
+	s.AddWait(WaitFlush, 100*time.Nanosecond)
+	if s.Tree().Counters["wait.flush.us"] != 1 {
+		t.Fatalf("sub-µs wait dropped: %+v", s.Tree().Counters)
+	}
+}
+
+func TestSpanWaitNilSafety(t *testing.T) {
+	var s *Span
+	s.AddWait(WaitLock, time.Second) // must not panic
+	if p := s.Waits(); p.Total() != 0 {
+		t.Fatalf("nil span waits = %+v", p)
+	}
+	if p := s.WaitRollup(); p.Total() != 0 {
+		t.Fatalf("nil span rollup = %+v", p)
+	}
+	if got := (WaitProfile{}).TopN(3); got != "" {
+		t.Fatalf("empty profile TopN = %q", got)
+	}
+	if WaitKind(99).String() != "unknown" {
+		t.Fatal("out-of-range WaitKind string")
+	}
+	real := NewSpan("x")
+	real.AddWait(WaitKind(99), time.Second) // out of range: ignored
+	real.AddWait(WaitLock, -time.Second)    // negative: ignored
+	if real.Waits().Total() != 0 {
+		t.Fatal("invalid AddWait inputs were recorded")
+	}
+}
+
 // TestSpanConcurrentChildren mirrors the executor: many tasks attach
 // children and bump counters concurrently (run under -race).
 func TestSpanConcurrentChildren(t *testing.T) {

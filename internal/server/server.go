@@ -15,7 +15,10 @@ import (
 	"log"
 	"net/http"
 	"net/http/pprof"
+	rpprof "runtime/pprof"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"asterix/internal/adm"
@@ -109,6 +112,9 @@ type service struct {
 	retriable *obs.Counter
 	slowQ     *obs.Counter
 	reqDur    *obs.Histogram
+
+	// queryID numbers requests for pprof labels and the slow-query log.
+	queryID uint64
 }
 
 func (s *service) serveMetrics(w http.ResponseWriter, r *http.Request) {
@@ -149,6 +155,10 @@ type queryMetrics struct {
 	// PeakWorkingMemBytes is the largest working-memory grant the memory
 	// governor saw for any statement in the script.
 	PeakWorkingMemBytes int64 `json:"peakWorkingMemBytes,omitempty"`
+	// WaitTimes attributes where the statement blocked, by category
+	// (admission, lock, spill, flush, merge, exchange); only nonzero
+	// categories appear.
+	WaitTimes map[string]string `json:"waitTimes,omitempty"`
 }
 
 type queryResponse struct {
@@ -199,8 +209,16 @@ func (s *service) serveQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx := obs.ContextWithSpan(r.Context(), root)
 
+	// Label the goroutine (and everything Execute spawns downstream) so CPU
+	// profiles group samples by query; the id ties a profile back to the
+	// slow-query log.
+	qid := strconv.FormatUint(atomic.AddUint64(&s.queryID, 1), 10)
 	start := time.Now()
-	results, err := s.eng.Execute(ctx, req.Statement)
+	var results []core.Result
+	var err error
+	rpprof.Do(ctx, rpprof.Labels("query_id", qid), func(ctx context.Context) {
+		results, err = s.eng.Execute(ctx, req.Statement)
+	})
 	root.End()
 	elapsed := time.Since(start)
 	s.reqDur.Observe(elapsed.Seconds())
@@ -282,6 +300,7 @@ func (s *service) serveQuery(w http.ResponseWriter, r *http.Request) {
 	parseT := root.TotalFor("parse")
 	optT := root.TotalFor("compile")
 	execT := root.TotalFor("execute")
+	waits := root.WaitRollup()
 	resp.Metrics = queryMetrics{
 		ElapsedTime:         elapsed.String(),
 		ResultCount:         len(resp.Results),
@@ -293,13 +312,25 @@ func (s *service) serveQuery(w http.ResponseWriter, r *http.Request) {
 		DeadNodes:           dead,
 		PeakWorkingMemBytes: peakMem,
 	}
+	for k, d := range waits {
+		if d > 0 {
+			if resp.Metrics.WaitTimes == nil {
+				resp.Metrics.WaitTimes = map[string]string{}
+			}
+			resp.Metrics.WaitTimes[obs.WaitKind(k).String()] = d.String()
+		}
+	}
 	if req.Profile == "timings" {
 		resp.Profile = root.Tree()
 	}
 	if s.slow >= 0 && elapsed >= s.slow {
 		s.slowQ.Inc()
-		s.logger.Printf("server: slow query (%v; parse=%v optimize=%v execute=%v): %s",
-			elapsed, parseT, optT, execT, truncateStmt(req.Statement))
+		line := fmt.Sprintf("server: slow query #%s (%v; parse=%v optimize=%v execute=%v", qid,
+			elapsed, parseT, optT, execT)
+		if top := waits.TopN(3); top != "" {
+			line += "; waits: " + top
+		}
+		s.logger.Printf("%s): %s", line, truncateStmt(req.Statement))
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if resp.Status != "success" {

@@ -11,6 +11,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -346,6 +347,137 @@ func TestSlowQueryLog(t *testing.T) {
 	resp.Body.Close()
 	if promValue(t, string(raw), "server_slow_queries_total") < 1 {
 		t.Error("server_slow_queries_total not incremented")
+	}
+}
+
+// postSafe is post for use from non-test goroutines (no t.Fatal).
+func postSafe(srv *httptest.Server, stmt string, profile bool) (queryResponse, error) {
+	body := `{"statement": ` + jsonString(stmt) + `}`
+	if profile {
+		body = `{"statement": ` + jsonString(stmt) + `, "profile": "timings"}`
+	}
+	resp, err := http.Post(srv.URL+"/query/service", "application/json", strings.NewReader(body))
+	if err != nil {
+		return queryResponse{}, err
+	}
+	defer resp.Body.Close()
+	var qr queryResponse
+	err = json.NewDecoder(resp.Body).Decode(&qr)
+	return qr, err
+}
+
+// TestWaitAttributionUnderContention drives two real contention paths and
+// asserts the time a statement spent blocked is attributed — in the
+// metrics block, in the "profile":"timings" span tree, and in the
+// slow-query log.
+func TestWaitAttributionUnderContention(t *testing.T) {
+	fixed, _ := time.Parse(time.RFC3339, "2019-04-01T00:00:00Z")
+	eng, err := core.Open(core.Config{
+		DataDir:            t.TempDir(),
+		Partitions:         1,
+		Nodes:              1,
+		WorkingMemory:      64 << 10,
+		AdmitTimeout:       5 * time.Second,
+		MemComponentBudget: 4 << 10,
+		Now:                func() time.Time { return fixed },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	var buf strings.Builder
+	srv := httptest.NewServer(NewHandler(eng, Options{
+		SlowQueryThreshold: 1 * time.Nanosecond, // everything is slow
+		Logger:             log.New(&buf, "", 0),
+	}))
+	t.Cleanup(srv.Close)
+
+	r := post(t, srv, `
+		CREATE TYPE T AS {id: int};
+		CREATE DATASET D(T) PRIMARY KEY id;
+	`)
+	if r.Status != "success" {
+		t.Fatalf("setup: %+v", r)
+	}
+	var sb strings.Builder
+	sb.WriteString("UPSERT INTO D ([")
+	for i := 0; i < 300; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		fmt.Fprintf(&sb, `{"id": %d, "g": %d}`, i, i%7)
+	}
+	sb.WriteString("]);")
+	if r := post(t, srv, sb.String()); r.Status != "success" {
+		t.Fatalf("load: %+v", r)
+	}
+
+	// Admission wait: hold the whole working-memory pool, release it only
+	// after the query has been waiting a while.
+	gov := eng.MemGovernor()
+	hold, err := gov.Reserve(context.Background(), gov.WorkingCap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	released := make(chan struct{})
+	go func() {
+		time.Sleep(60 * time.Millisecond)
+		hold.Release()
+		close(released)
+	}()
+	qr := postProfile(t, srv, `SELECT g AS grp, COUNT(*) AS n FROM D d GROUP BY d.g AS g ORDER BY grp;`)
+	<-released
+	if qr.Status != "success" {
+		t.Fatalf("starved-then-released query: %+v", qr)
+	}
+	if qr.Metrics.WaitTimes["admission"] == "" {
+		t.Fatalf("admission wait not attributed: %+v", qr.Metrics)
+	}
+	adm, err := time.ParseDuration(qr.Metrics.WaitTimes["admission"])
+	if err != nil || adm < 20*time.Millisecond {
+		t.Fatalf("admission wait = %q, want >= 20ms", qr.Metrics.WaitTimes["admission"])
+	}
+	// The same attribution must appear as counters in the span tree.
+	var admUS int64
+	walkProfile(qr.Profile, func(n *obs.SpanNode) {
+		admUS += n.Counters["wait.admission.us"]
+	})
+	if admUS <= 0 {
+		t.Fatal("profile span tree carries no wait.admission.us counter")
+	}
+
+	// Lock wait: concurrent upserts of the same keys serialize on the lock
+	// manager; the losers' wait must be attributed.
+	var wg sync.WaitGroup
+	const writers = 3
+	results := make([]queryResponse, writers)
+	errs := make([]error, writers)
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = postSafe(srv, sb.String(), true)
+		}(i)
+	}
+	wg.Wait()
+	lockWaits := 0
+	for i := 0; i < writers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("writer %d: %v", i, errs[i])
+		}
+		if results[i].Metrics.WaitTimes["lock"] != "" {
+			lockWaits++
+		}
+	}
+	if lockWaits == 0 {
+		t.Fatalf("no writer recorded lock wait under contention: %+v",
+			[]map[string]string{results[0].Metrics.WaitTimes, results[1].Metrics.WaitTimes, results[2].Metrics.WaitTimes})
+	}
+
+	// Slow-query log explains where the time went.
+	logged := buf.String()
+	if !strings.Contains(logged, "waits: ") || !strings.Contains(logged, "admission=") {
+		t.Fatalf("slow-query log lacks wait attribution:\n%s", logged)
 	}
 }
 

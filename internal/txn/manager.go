@@ -60,6 +60,12 @@ func lockName(dataset string, key []byte) string {
 // Lock acquires the exclusive lock on (dataset, key) for txnID, waiting up
 // to the timeout. Re-acquiring a held lock is a no-op.
 func (lm *LockManager) Lock(txnID int64, dataset string, key []byte) error {
+	return lm.lock(txnID, dataset, key, nil)
+}
+
+// lock is Lock with wait-time attribution: blocked time lands on sp's
+// WaitLock category (nil-safe) in addition to the registry histogram.
+func (lm *LockManager) lock(txnID int64, dataset string, key []byte, sp *obs.Span) error {
 	name := lockName(dataset, key)
 	deadline := time.Now().Add(lm.Timeout)
 	lm.mu.Lock()
@@ -83,6 +89,7 @@ func (lm *LockManager) Lock(txnID int64, dataset string, key []byte) error {
 		if time.Now().After(deadline) {
 			lm.timeouts.Inc()
 			lm.waitSecs.Observe(time.Since(waitStart).Seconds())
+			sp.AddWait(obs.WaitLock, time.Since(waitStart))
 			return fmt.Errorf("txn %d: %w on %s (held by txn %d) — possible deadlock", txnID, ErrLockTimeout, dataset, e.owner)
 		}
 		e.waiters++
@@ -103,6 +110,7 @@ func (lm *LockManager) Lock(txnID int64, dataset string, key []byte) error {
 	}
 	if !waitStart.IsZero() {
 		lm.waitSecs.Observe(time.Since(waitStart).Seconds())
+		sp.AddWait(obs.WaitLock, time.Since(waitStart))
 	}
 	e.owner = txnID
 	return nil
@@ -171,8 +179,19 @@ func NewManager(log *LogManager) *Manager {
 type Txn struct {
 	ID  int64
 	mgr *Manager
+	// span receives wait-time attribution (lock waits) for the statement
+	// this transaction serves; nil outside traced requests.
+	span *obs.Span
 	// done guards against double commit/abort.
 	done bool
+}
+
+// AttachSpan routes the transaction's lock-wait time to a query span
+// (nil-safe; attribution only, no behavior change). Returns t for
+// chaining off Begin.
+func (t *Txn) AttachSpan(sp *obs.Span) *Txn {
+	t.span = sp
+	return t
 }
 
 // Begin starts a transaction.
@@ -191,7 +210,7 @@ func (t *Txn) LogUpdate(dataset string, partition int32, op Op, key, value []byt
 	if t.done {
 		return fmt.Errorf("txn %d: already finished", t.ID)
 	}
-	if err := t.mgr.Locks.Lock(t.ID, dataset, key); err != nil {
+	if err := t.mgr.Locks.lock(t.ID, dataset, key, t.span); err != nil {
 		return err
 	}
 	_, err := t.mgr.Log.Append(&LogRecord{
