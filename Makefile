@@ -9,8 +9,12 @@ verify: tier1 lint
 	go test -race ./...
 
 # lint: project-specific static analysis (see docs/STATIC_ANALYSIS.md).
+# -stats prints per-rule finding counts and wall time; the interprocedural
+# summaries are cached in .lintcache keyed on the Go file hash set, and
+# -max-wall turns a lint run slower than 120s into a failure (exit 3) so
+# the gate stays fast enough to keep in CI.
 lint:
-	go run ./cmd/asterixlint ./...
+	go run ./cmd/asterixlint -stats -summary-cache .lintcache -max-wall 120s ./...
 
 # invariants: the test suite with deep structural validators compiled in
 # (see internal/check).

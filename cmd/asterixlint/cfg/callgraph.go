@@ -1,0 +1,431 @@
+// Call graph construction for the interprocedural engine. The graph is
+// purely syntactic+type-directed: static calls and method calls resolve
+// through go/types object identity, interface calls resolve to every
+// implementing method declared inside the module (conservative: calls
+// through interfaces with no module implementer, and calls of
+// function-typed values, become Dynamic sites the rules treat as
+// unprovable), and references to named functions that are not calls
+// (method values, functions stored in struct fields or passed as
+// arguments) become Ref edges so a summary can still follow the chain
+// `sources[i].next = r.Next; ... sources[i].next()`.
+//
+// Function literals fold into their enclosing declaration — a call made
+// inside a closure is an edge out of the declaring function — with one
+// exception: a literal launched by a `go` statement runs on another
+// goroutine, so its body is excluded (the launch itself is recorded as a
+// Go site; the launched work neither allocates on the hot path nor
+// blocks the task that spawned it).
+package cfg
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// GraphPackage is one type-checked package fed to BuildCallGraph. It
+// mirrors the analyzer's Package without importing it (the analyzer
+// imports cfg, not the other way around).
+type GraphPackage struct {
+	Path  string
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// DispatchKind classifies a call site.
+type DispatchKind uint8
+
+const (
+	// Static is a direct call of a package-level function.
+	Static DispatchKind = iota
+	// Method is a direct call of a concrete method.
+	Method
+	// Interface is a call through an interface; Callees holds every
+	// module method that can implement it.
+	Interface
+	// Dynamic is a call of a function-typed value (field, parameter,
+	// variable) — unresolvable without pointer analysis.
+	Dynamic
+	// External is a direct call of a function outside the analyzed
+	// package set (stdlib, unexported siblings when linting one dir).
+	External
+	// Ref is not a call: a named function referenced as a value (method
+	// value, function passed as argument or stored in a field). Rules
+	// follow Ref edges when they must assume the reference is invoked.
+	Ref
+)
+
+func (k DispatchKind) String() string {
+	switch k {
+	case Static:
+		return "static"
+	case Method:
+		return "method"
+	case Interface:
+		return "interface"
+	case Dynamic:
+		return "dynamic"
+	case External:
+		return "external"
+	case Ref:
+		return "ref"
+	}
+	return "?"
+}
+
+// CallSite is one outgoing edge (or edge bundle, for interface
+// dispatch) of a function.
+type CallSite struct {
+	Call *ast.CallExpr // nil for Ref sites
+	Node ast.Node      // the call expression or the referencing identifier
+	Kind DispatchKind
+	// Callee is the resolved ID for Static/Method/External sites and
+	// the interface method's own ID for Interface sites.
+	Callee string
+	// Callees are the module implementations an Interface site can
+	// reach, sorted. Empty means no module type implements the
+	// interface: the call is as opaque as a Dynamic site.
+	Callees []string
+	// Go marks a call launched by a `go` statement.
+	Go bool
+}
+
+// CGFunc is one declared function or method with a body.
+type CGFunc struct {
+	ID      string
+	Pkg     *GraphPackage
+	Decl    *ast.FuncDecl
+	Fn      *types.Func
+	Calls   []CallSite
+	GoVerbs int // number of `go` statements (launch sites) in the body
+}
+
+// CallGraph is the module-wide graph.
+type CallGraph struct {
+	Funcs map[string]*CGFunc
+	IDs   []string // sorted, for deterministic iteration
+}
+
+// FuncID returns the canonical identifier of fn:
+// "pkg/path.Name" for functions, "pkg/path.(Recv).Name" for methods
+// (pointer receivers are stripped; generic origins are canonicalized).
+func FuncID(fn *types.Func) string {
+	fn = fn.Origin()
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		name := ""
+		switch tt := t.(type) {
+		case *types.Named:
+			name = tt.Obj().Name()
+		case *types.Interface:
+			name = tt.String()
+		default:
+			name = t.String()
+		}
+		return pkg + ".(" + name + ")." + fn.Name()
+	}
+	return pkg + "." + fn.Name()
+}
+
+// BuildCallGraph constructs the graph over the given packages. Interface
+// calls resolve against the named types declared in these packages only.
+// Construction is two-pass: every declared function registers first, so
+// the edge pass classifies Static/Method versus External exactly
+// regardless of package visit order.
+func BuildCallGraph(pkgs []*GraphPackage) *CallGraph {
+	b := &cgBuilder{
+		cg:    &CallGraph{Funcs: map[string]*CGFunc{}},
+		named: collectNamedTypes(pkgs),
+	}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := p.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				cf := &CGFunc{ID: FuncID(fn), Pkg: p, Decl: fd, Fn: fn}
+				b.cg.Funcs[cf.ID] = cf
+				b.cg.IDs = append(b.cg.IDs, cf.ID)
+			}
+		}
+	}
+	for _, id := range b.cg.IDs {
+		b.fn(b.cg.Funcs[id])
+	}
+	sort.Strings(b.cg.IDs)
+	return b.cg
+}
+
+type cgBuilder struct {
+	cg    *CallGraph
+	named []*types.Named // module named types, interface-implementation candidates
+}
+
+// collectNamedTypes gathers every package-scope concrete named type.
+func collectNamedTypes(pkgs []*GraphPackage) []*types.Named {
+	var out []*types.Named
+	for _, p := range pkgs {
+		scope := p.Pkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			n, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if types.IsInterface(n) {
+				continue
+			}
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func (b *cgBuilder) fn(f *CGFunc) {
+	p, decl := f.Pkg, f.Decl
+	// Literals launched by `go` run concurrently: exclude their bodies.
+	goLits := map[*ast.FuncLit]bool{}
+	goCalls := map[*ast.CallExpr]bool{}
+	// Identifiers appearing as a call's function operand are calls, not
+	// references.
+	funIdents := map[*ast.Ident]bool{}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			f.GoVerbs++
+			goCalls[x.Call] = true
+			if lit, ok := ast.Unparen(x.Call.Fun).(*ast.FuncLit); ok {
+				goLits[lit] = true
+			}
+		case *ast.CallExpr:
+			switch fun := ast.Unparen(x.Fun).(type) {
+			case *ast.Ident:
+				funIdents[fun] = true
+			case *ast.SelectorExpr:
+				funIdents[fun.Sel] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return !goLits[x]
+		case *ast.CallExpr:
+			b.call(f, p, x, goCalls[x])
+			return true
+		case *ast.Ident:
+			if !funIdents[x] {
+				b.ref(f, p, x)
+			}
+		}
+		return true
+	})
+}
+
+// call classifies one call expression and appends its site.
+func (b *cgBuilder) call(f *CGFunc, p *GraphPackage, call *ast.CallExpr, isGo bool) {
+	fun := ast.Unparen(call.Fun)
+	var obj types.Object
+	switch fx := fun.(type) {
+	case *ast.Ident:
+		obj = p.Info.Uses[fx]
+	case *ast.SelectorExpr:
+		obj = p.Info.Uses[fx.Sel]
+	}
+	switch o := obj.(type) {
+	case *types.Builtin:
+		// make/new/append/copy/...: allocation behavior is the
+		// summarizer's business, not an edge.
+		return
+	case *types.TypeName:
+		// Conversion: T(x). String conversions are alloc sites; again
+		// the summarizer's business.
+		return
+	case *types.Func:
+		sig, _ := o.Type().(*types.Signature)
+		if sig != nil && sig.Recv() != nil && types.IsInterface(sig.Recv().Type().Underlying()) {
+			iface, _ := sig.Recv().Type().Underlying().(*types.Interface)
+			f.Calls = append(f.Calls, CallSite{
+				Call: call, Node: call, Kind: Interface,
+				Callee:  FuncID(o),
+				Callees: b.implementers(iface, o.Name()),
+				Go:      isGo,
+			})
+			return
+		}
+		id := FuncID(o)
+		kind := Static
+		if sig != nil && sig.Recv() != nil {
+			kind = Method
+		}
+		if _, ok := b.cg.Funcs[id]; !ok {
+			kind = External
+		}
+		f.Calls = append(f.Calls, CallSite{Call: call, Node: call, Kind: kind, Callee: id, Go: isGo})
+		return
+	}
+	// Conversion via type expression (e.g. []byte(s)) or call of a
+	// function-typed value.
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() {
+		return
+	}
+	f.Calls = append(f.Calls, CallSite{Call: call, Node: call, Kind: Dynamic, Go: isGo})
+}
+
+// ref records a non-call reference to a named module function.
+func (b *cgBuilder) ref(f *CGFunc, p *GraphPackage, id *ast.Ident) {
+	fn, ok := p.Info.Uses[id].(*types.Func)
+	if !ok {
+		return
+	}
+	if fn.Pkg() == nil {
+		return
+	}
+	f.Calls = append(f.Calls, CallSite{Node: id, Kind: Ref, Callee: FuncID(fn)})
+}
+
+// implementers returns the sorted IDs of module methods that satisfy
+// (iface).method.
+func (b *cgBuilder) implementers(iface *types.Interface, method string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, n := range b.named {
+		ptr := types.NewPointer(n)
+		if !types.Implements(n, iface) && !types.Implements(ptr, iface) {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(ptr, true, n.Obj().Pkg(), method)
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		id := FuncID(fn)
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SCCs returns the strongly-connected components of the graph in
+// reverse topological order: every callee's component appears before
+// (or with) its caller's, which is the order a bottom-up summary
+// fixpoint wants. Interface sites contribute edges to every possible
+// implementer; Ref edges count as calls (the reference may be
+// invoked); Dynamic and External sites contribute nothing.
+func (cg *CallGraph) SCCs() [][]string {
+	// Tarjan, iterative to survive deep recursion chains.
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var sccs [][]string
+	next := 0
+
+	succs := func(id string) []string {
+		f := cg.Funcs[id]
+		if f == nil {
+			return nil
+		}
+		var out []string
+		for _, s := range f.Calls {
+			switch s.Kind {
+			case Static, Method, Ref:
+				if _, ok := cg.Funcs[s.Callee]; ok {
+					out = append(out, s.Callee)
+				}
+			case Interface:
+				for _, c := range s.Callees {
+					if _, ok := cg.Funcs[c]; ok {
+						out = append(out, c)
+					}
+				}
+			}
+		}
+		return out
+	}
+
+	type frame struct {
+		id    string
+		succs []string
+		next  int
+	}
+	var strongconnect func(root string)
+	strongconnect = func(root string) {
+		frames := []frame{{id: root, succs: succs(root)}}
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			fr := &frames[len(frames)-1]
+			if fr.next < len(fr.succs) {
+				w := fr.succs[fr.next]
+				fr.next++
+				if _, seen := index[w]; !seen {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{id: w, succs: succs(w)})
+				} else if onStack[w] {
+					if index[w] < low[fr.id] {
+						low[fr.id] = index[w]
+					}
+				}
+				continue
+			}
+			// fr done: pop, roll up lowlink, emit SCC at roots.
+			if low[fr.id] == index[fr.id] {
+				var comp []string
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == fr.id {
+						break
+					}
+				}
+				sort.Strings(comp)
+				sccs = append(sccs, comp)
+			}
+			id := fr.id
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := &frames[len(frames)-1]
+				if low[id] < low[parent.id] {
+					low[parent.id] = low[id]
+				}
+			}
+		}
+	}
+	for _, id := range cg.IDs {
+		if _, seen := index[id]; !seen {
+			strongconnect(id)
+		}
+	}
+	return sccs
+}

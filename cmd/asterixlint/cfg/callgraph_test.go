@@ -1,0 +1,131 @@
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadFixture type-checks one testdata package and wraps it as a
+// GraphPackage.
+func loadFixture(t *testing.T, dir, path string) *GraphPackage {
+	t.Helper()
+	fset := token.NewFileSet()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		if !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &GraphPackage{Path: path, Files: files, Pkg: tpkg, Info: info}
+}
+
+// dump renders the graph in the golden format: functions sorted by ID,
+// call sites in source order.
+func dump(cg *CallGraph) string {
+	var b strings.Builder
+	for _, id := range cg.IDs {
+		f := cg.Funcs[id]
+		fmt.Fprintf(&b, "%s\n", id)
+		for _, s := range f.Calls {
+			line := "  " + s.Kind.String()
+			if s.Callee != "" {
+				line += " " + s.Callee
+			}
+			if s.Kind == Interface {
+				line += " -> [" + strings.Join(s.Callees, " ") + "]"
+			}
+			if s.Go {
+				line += " (go)"
+			}
+			fmt.Fprintf(&b, "%s\n", line)
+		}
+	}
+	return b.String()
+}
+
+func TestCallGraphGolden(t *testing.T) {
+	p := loadFixture(t, filepath.Join("testdata", "callgraph"), "cg")
+	cg := BuildCallGraph([]*GraphPackage{p})
+	got := dump(cg)
+
+	goldenPath := filepath.Join("testdata", "callgraph.golden")
+	if os.Getenv("ASTERIXLINT_UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with ASTERIXLINT_UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("call graph mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestCallGraphGoLaunchExcluded(t *testing.T) {
+	p := loadFixture(t, filepath.Join("testdata", "callgraph"), "cg")
+	cg := BuildCallGraph([]*GraphPackage{p})
+	caller := cg.Funcs["cg.Caller"]
+	if caller == nil {
+		t.Fatal("cg.Caller not in graph")
+	}
+	if caller.GoVerbs != 1 {
+		t.Errorf("GoVerbs = %d, want 1", caller.GoVerbs)
+	}
+	for _, s := range caller.Calls {
+		if s.Callee == "cg.Leaf" {
+			t.Errorf("go-launched literal interior folded into Caller: edge to cg.Leaf")
+		}
+	}
+}
+
+func TestSCCOrder(t *testing.T) {
+	p := loadFixture(t, filepath.Join("testdata", "callgraph"), "cg")
+	cg := BuildCallGraph([]*GraphPackage{p})
+	sccs := cg.SCCs()
+	pos := map[string]int{}
+	for i, comp := range sccs {
+		for _, id := range comp {
+			pos[id] = i
+		}
+	}
+	// Callee components must come no later than their callers'.
+	for _, id := range cg.IDs {
+		for _, s := range cg.Funcs[id].Calls {
+			if s.Kind == Static || s.Kind == Method || s.Kind == Ref {
+				if _, ok := cg.Funcs[s.Callee]; ok && pos[s.Callee] > pos[id] {
+					t.Errorf("SCC order: callee %s after caller %s", s.Callee, id)
+				}
+			}
+		}
+	}
+}

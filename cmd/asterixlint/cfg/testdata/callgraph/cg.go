@@ -1,0 +1,58 @@
+// Package cg is the call-graph golden fixture: it exercises static
+// dispatch, method dispatch, interface dispatch (two module
+// implementers), a method-value reference, a dynamic call of a
+// function value, an external call, and a go-launched literal whose
+// interior must NOT fold into the enclosing function.
+package cg
+
+import "fmt"
+
+// Shape is dispatched through below; Circle and Square implement it.
+type Shape interface {
+	Area() int
+}
+
+// Circle implements Shape.
+type Circle struct{ R int }
+
+// Area implements Shape.
+func (c Circle) Area() int { return 3 * c.R * c.R }
+
+// Square implements Shape (pointer receiver).
+type Square struct{ S int }
+
+// Area implements Shape.
+func (s *Square) Area() int { return s.S * s.S }
+
+// Counter has a concrete method called directly and referenced as a
+// method value.
+type Counter struct{ N int }
+
+// Inc bumps the counter.
+func (c *Counter) Inc() { c.N++ }
+
+// Helper is the static-dispatch target.
+func Helper() int { return 1 }
+
+// Leaf is only reachable through the go-launched literal: the edge must
+// not appear under Caller.
+func Leaf() {}
+
+// Caller exercises every dispatch kind.
+func Caller(s Shape, f func() int) int {
+	n := Helper() // static
+	var c Counter
+	c.Inc()          // method
+	n += s.Area()    // interface -> {Circle,Square}.Area
+	n += f()         // dynamic
+	fmt.Println(n)   // external
+	step := c.Inc    // ref (method value)
+	defer step()     // dynamic (calls the ref'd value)
+	go func() {      // launch; interior excluded
+		Leaf()
+	}()
+	closure := func() int { // folded literal: its call IS Caller's edge
+		return Helper()
+	}
+	return n + closure()
+}

@@ -38,6 +38,33 @@ type Config struct {
 	// rule: every value produced by an acquire must reach one of its
 	// releases on all paths out of the acquiring function.
 	Resources []ResourceSpec
+
+	// HotRoots are the per-tuple kernels the hot-alloc rule requires to
+	// be transitively allocation-free (see docs/STATIC_ANALYSIS.md for
+	// the registration recipe).
+	HotRoots []FuncRef
+	// WaitRoots are operator task entry points: blocking operations
+	// reachable from them must be covered by wait attribution.
+	WaitRoots []FuncRef
+	// WaitFuncs are the attribution sinks (TaskContext.AddWait and the
+	// span-level AddWait) that satisfy the wait-attrib rule.
+	WaitFuncs []FuncRef
+	// NonAllocExt whitelists external functions the hot-alloc rule may
+	// assume allocation-free; everything external is otherwise
+	// conservatively treated as allocating. An entry ending in "." is a
+	// prefix: "sync/atomic." covers the whole package, "sync.(Mutex)."
+	// every method of the type.
+	NonAllocExt []string
+	// BlockExt enumerates external functions that block (file I/O,
+	// sleeps, waits). Unlike allocation, blocking is whitelist-by-
+	// default: only enumerated callees count, because "any external
+	// call may block" would drown the signal.
+	BlockExt []string
+	// LockWaits extends wait-attrib to sync.Mutex/RWMutex Lock calls.
+	// Off by default: the repo's short-critical-section mutexes are the
+	// lock-order/defer-unlock rules' territory, and the long waits
+	// (admission, txn locks) already attribute internally.
+	LockWaits bool
 }
 
 // DefaultConfig is the configuration for this repository.
@@ -60,33 +87,36 @@ func DefaultConfig() *Config {
 		Resources: []ResourceSpec{
 			{
 				Pkg: "asterix/internal/mem", Recv: "Governor", Func: "Reserve", Result: 0,
-				Desc: "memory grant",
+				Type: "Grant", Desc: "memory grant",
 				Releases: []ReleaseSpec{
 					{Pkg: "asterix/internal/mem", Recv: "Grant", Func: "Release", Arg: -1},
 				},
 			},
 			{
 				Pkg: "asterix/internal/mem", Recv: "Governor", Func: "AdmitJob", Result: 0,
-				Desc: "job admission grant",
+				Type: "JobGrant", Desc: "job admission grant",
 				Releases: []ReleaseSpec{
 					{Pkg: "asterix/internal/mem", Recv: "JobGrant", Func: "Release", Arg: -1},
 				},
 			},
 			{
 				Pkg: "asterix/internal/storage", Recv: "BufferCache", Func: "Pin", Result: 0,
-				Desc: "pinned page",
+				Type: "Page", Desc: "pinned page",
 				Releases: []ReleaseSpec{
 					{Pkg: "asterix/internal/storage", Recv: "BufferCache", Func: "Unpin", Arg: 0},
 				},
 			},
 			{
 				Pkg: "asterix/internal/storage", Recv: "BufferCache", Func: "NewPage", Result: 0,
-				Desc: "pinned page",
+				Type: "Page", Desc: "pinned page",
 				Releases: []ReleaseSpec{
 					{Pkg: "asterix/internal/storage", Recv: "BufferCache", Func: "Unpin", Arg: 0},
 				},
 			},
 			{
+				// snapshot returns []*diskComponent — no named resource
+				// type, so helper parameters are not classified and call
+				// sites keep the blanket ownership-transfer kill.
 				Pkg: "asterix/internal/lsm", Recv: "Tree", Func: "snapshot", Result: 0,
 				Desc: "component snapshot",
 				Releases: []ReleaseSpec{
@@ -95,7 +125,7 @@ func DefaultConfig() *Config {
 			},
 			{
 				Pkg: "asterix/internal/txn", Recv: "Manager", Func: "Begin", Result: 0,
-				Desc: "transaction",
+				Type: "Txn", Desc: "transaction",
 				Releases: []ReleaseSpec{
 					{Pkg: "asterix/internal/txn", Recv: "Txn", Func: "Commit", Arg: -1},
 					{Pkg: "asterix/internal/txn", Recv: "Txn", Func: "Abort", Arg: -1},
@@ -103,25 +133,82 @@ func DefaultConfig() *Config {
 			},
 			{
 				Pkg: "os", Func: "Open", Result: 0,
-				Desc: "open file",
+				Type: "File", Desc: "open file",
 				Releases: []ReleaseSpec{
 					{Pkg: "os", Recv: "File", Func: "Close", Arg: -1},
 				},
 			},
 			{
 				Pkg: "os", Func: "Create", Result: 0,
-				Desc: "open file",
+				Type: "File", Desc: "open file",
 				Releases: []ReleaseSpec{
 					{Pkg: "os", Recv: "File", Func: "Close", Arg: -1},
 				},
 			},
 			{
 				Pkg: "os", Func: "OpenFile", Result: 0,
-				Desc: "open file",
+				Type: "File", Desc: "open file",
 				Releases: []ReleaseSpec{
 					{Pkg: "os", Recv: "File", Func: "Close", Arg: -1},
 				},
 			},
+		},
+		HotRoots: []FuncRef{
+			// ADM comparator/serde kernels: run once per tuple column.
+			{Pkg: "asterix/internal/adm", Func: "Compare"},
+			{Pkg: "asterix/internal/adm", Func: "Equal"},
+			{Pkg: "asterix/internal/adm", Func: "Hash64"},
+			{Pkg: "asterix/internal/adm", Func: "Encode"},
+			// Hyracks per-tuple operator kernels.
+			{Pkg: "asterix/internal/hyracks", Recv: "Comparator", Func: "Compare"},
+			{Pkg: "asterix/internal/hyracks", Func: "HashColumns"},
+			{Pkg: "asterix/internal/hyracks", Recv: "Tuple", Func: "EstimateSize"},
+			{Pkg: "asterix/internal/hyracks", Recv: "Tuple", Func: "EstimateSizeShallow"},
+			{Pkg: "asterix/internal/hyracks", Func: "keysEqual"},
+			{Pkg: "asterix/internal/hyracks", Func: "hasNullKey"},
+			{Pkg: "asterix/internal/hyracks", Recv: "groupTable", Func: "probe"},
+			// Storage iterator Next paths.
+			{Pkg: "asterix/internal/btree", Recv: "Iterator", Func: "Next"},
+			{Pkg: "asterix/internal/btree", Recv: "Iterator", Func: "Valid"},
+			{Pkg: "asterix/internal/lsm", Recv: "Tree", Func: "Scan"},
+		},
+		WaitRoots: []FuncRef{
+			{Pkg: "asterix/internal/hyracks", Func: "runSort"},
+			{Pkg: "asterix/internal/hyracks", Func: "runGroupBy"},
+			{Pkg: "asterix/internal/hyracks", Func: "runHashJoin"},
+			{Pkg: "asterix/internal/hyracks", Func: "NewNestedLoopJoin"},
+		},
+		WaitFuncs: []FuncRef{
+			{Pkg: "asterix/internal/hyracks", Recv: "TaskContext", Func: "AddWait"},
+			{Pkg: "asterix/internal/obs", Recv: "Span", Func: "AddWait"},
+		},
+		NonAllocExt: []string{
+			"bytes.Compare", "bytes.Equal", "bytes.HasPrefix",
+			"time.Now", "time.Since",
+			// Endian codecs and varints write into caller buffers; the
+			// Append* forms grow amortized like self-append.
+			"encoding/binary.AppendUvarint", "encoding/binary.AppendVarint",
+			"encoding/binary.PutUvarint", "encoding/binary.PutVarint",
+			"encoding/binary.ReadUvarint",
+			"encoding/binary.Uvarint", "encoding/binary.Varint",
+			"encoding/binary.(bigEndian).", "encoding/binary.(littleEndian).",
+			"bufio.(Writer).Write", "bufio.(Writer).WriteByte",
+			"math.Float64bits", "math.Float64frombits",
+			"sort.SearchInts", "sort.Search",
+			// Lock/unlock and atomics never allocate; whether a Lock may
+			// *block* in a hot path is the wait-attrib rule's LockWaits
+			// knob, not an allocation question.
+			"sync.(Mutex).", "sync.(RWMutex).", "sync/atomic.",
+		},
+		BlockExt: []string{
+			"os.(File).Read", "os.(File).ReadAt", "os.(File).Write",
+			"os.(File).WriteAt", "os.(File).Sync",
+			"io.ReadFull", "io.Copy", "io.ReadAll",
+			"bufio.(Reader).Read", "bufio.(Reader).ReadByte",
+			"bufio.(Writer).Flush", "bufio.(Writer).Write",
+			"encoding/binary.ReadUvarint",
+			"time.Sleep",
+			"sync.(WaitGroup).Wait", "sync.(Cond).Wait",
 		},
 	}
 }
@@ -141,12 +228,15 @@ func (d Diagnostic) String() string {
 // when set, runs once after every package has been scanned — it is how
 // repo-global analyses (lock-order) report on state accumulated across
 // packages. The positions a Finish reports must come from the shared
-// loader FileSet.
+// loader FileSet. Interp, when set, runs after every package has been
+// scanned with the interprocedural summary table; its findings report
+// by token.Position because cached summaries have no live token.Pos.
 type Rule struct {
 	Name   string
 	Doc    string
 	Run    func(c *Config, p *Package, report func(token.Pos, string))
 	Finish func(c *Config, fset *token.FileSet, report func(token.Pos, string))
+	Interp func(c *Config, ip *Interp, report func(token.Position, string))
 }
 
 // AllRules returns every rule in stable order. Rules carrying
@@ -165,6 +255,8 @@ func AllRules() []*Rule {
 		ruleLockOrder(),
 		ruleResourceLeak(),
 		ruleCtxFlow(),
+		ruleHotAlloc(),
+		ruleWaitAttrib(),
 	}
 }
 
@@ -247,23 +339,41 @@ type Runner struct {
 	rules []*Rule
 	sup   suppressions
 	diags []Diagnostic
+	pkgs  []*Package
+	stats map[string]int
+
+	// ModRoot anchors cached summary positions; CacheDir, when set,
+	// enables the summary cache. Both are set by main before Finish
+	// (tests leave them empty: absolute positions, no cache).
+	ModRoot  string
+	CacheDir string
+	// Interp is the summary table built by Finish; exposed for -stats.
+	Interp *Interp
 }
 
 func NewRunner(c *Config, fset *token.FileSet, rules []*Rule) *Runner {
-	return &Runner{c: c, fset: fset, rules: rules, sup: suppressions{}}
+	return &Runner{c: c, fset: fset, rules: rules, sup: suppressions{}, stats: map[string]int{}}
 }
 
 func (r *Runner) add(rule string, pos token.Pos, msg string) {
-	d := Diagnostic{Pos: r.fset.Position(pos), Rule: rule, Msg: msg}
-	key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+	r.addAt(rule, r.fset.Position(pos), msg)
+}
+
+func (r *Runner) addAt(rule string, pos token.Position, msg string) {
+	key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
 	if r.sup[key][rule] {
 		return
 	}
-	r.diags = append(r.diags, d)
+	r.stats[rule]++
+	r.diags = append(r.diags, Diagnostic{Pos: pos, Rule: rule, Msg: msg})
 }
+
+// Stats returns per-rule unsuppressed finding counts.
+func (r *Runner) Stats() map[string]int { return r.stats }
 
 // Package scans one package with every rule's Run hook.
 func (r *Runner) Package(p *Package) {
+	r.pkgs = append(r.pkgs, p)
 	sup := collectSuppressions(p, func(pos token.Pos, msg string) {
 		r.add("lint-directive", pos, msg)
 	})
@@ -276,6 +386,9 @@ func (r *Runner) Package(p *Package) {
 		}
 	}
 	for _, rule := range r.rules {
+		if rule.Run == nil {
+			continue
+		}
 		rule := rule
 		rule.Run(r.c, p, func(pos token.Pos, msg string) {
 			r.add(rule.Name, pos, msg)
@@ -283,9 +396,31 @@ func (r *Runner) Package(p *Package) {
 	}
 }
 
-// Finish runs the cross-package hooks and returns every unsuppressed
-// finding sorted by position.
+// Finish runs the interprocedural and cross-package hooks and returns
+// every unsuppressed finding sorted by position. The summary table is
+// built (or restored from cache) only when a selected rule wants it.
 func (r *Runner) Finish() []Diagnostic {
+	needInterp := false
+	for _, rule := range r.rules {
+		if rule.Interp != nil {
+			needInterp = true
+		}
+	}
+	if needInterp {
+		r.Interp = buildInterp(r.c, r.fset, r.ModRoot, r.CacheDir, r.pkgs)
+		r.Interp.Suppressed = func(rule string, pos token.Position) bool {
+			return r.sup[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)][rule]
+		}
+		for _, rule := range r.rules {
+			if rule.Interp == nil {
+				continue
+			}
+			rule := rule
+			rule.Interp(r.c, r.Interp, func(pos token.Position, msg string) {
+				r.addAt(rule.Name, pos, msg)
+			})
+		}
+	}
 	for _, rule := range r.rules {
 		if rule.Finish == nil {
 			continue

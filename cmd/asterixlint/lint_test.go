@@ -188,6 +188,33 @@ func TestResourceLeakFixture(t *testing.T) {
 	})
 }
 
+func TestHotAllocFixture(t *testing.T) {
+	checkFixture(t, "hotalloc", func(cfg *Config, pkgPath string) {
+		cfg.HotRoots = []FuncRef{{Pkg: pkgPath, Func: "HotKernel"}}
+	})
+}
+
+func TestWaitAttribFixture(t *testing.T) {
+	checkFixture(t, "waitattrib", func(cfg *Config, pkgPath string) {
+		cfg.WaitRoots = []FuncRef{{Pkg: pkgPath, Func: "RunTask"}}
+		cfg.WaitFuncs = []FuncRef{{Pkg: pkgPath, Recv: "TC", Func: "AddWait"}}
+	})
+}
+
+func TestResourceLeakInterprocFixture(t *testing.T) {
+	checkFixture(t, "resleakip", func(cfg *Config, pkgPath string) {
+		cfg.Resources = []ResourceSpec{
+			{
+				Pkg: pkgPath, Recv: "Pool", Func: "Acquire", Result: 0,
+				Type: "Res", Desc: "pool resource",
+				Releases: []ReleaseSpec{
+					{Pkg: pkgPath, Recv: "Res", Func: "Release", Arg: -1},
+				},
+			},
+		}
+	})
+}
+
 func TestCtxFlowFixture(t *testing.T) {
 	checkFixture(t, "ctxflow", nil)
 }

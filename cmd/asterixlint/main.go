@@ -6,10 +6,18 @@
 //
 // Usage:
 //
-//	asterixlint [-rules r1,r2] [-json] [-v] [packages...]
+//	asterixlint [-rules r1,r2] [-json] [-v] [-stats] [-summary-cache dir] [-max-wall d] [packages...]
 //
 // Package patterns are directories or go-style "./..." trees. Exit code
-// is 1 when any diagnostic is reported, 2 on load/type-check failure.
+// is 1 when any diagnostic is reported, 2 on load/type-check failure,
+// and 3 when -max-wall is set and the run exceeds it.
+//
+// -summary-cache names a directory for the interprocedural summary
+// cache: the table of per-function summaries is keyed on the hash of
+// every loaded Go file plus the config, so an unchanged tree restores
+// instead of re-extracting. -stats prints per-rule finding counts and
+// wall time to stderr; -max-wall turns slow lint into a hard failure so
+// CI notices when the engine regresses.
 //
 // With -json, findings are emitted one JSON object per line
 // ({"file","line","col","rule","msg"}) for machine consumers; the
@@ -22,7 +30,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
+	"time"
 )
 
 // jsonDiagnostic is the -json wire shape, one object per line.
@@ -40,8 +50,12 @@ func main() {
 		verbose   = flag.Bool("v", false, "print packages as they are checked")
 		listFlag  = flag.Bool("list", false, "list rules and exit")
 		jsonFlag  = flag.Bool("json", false, "emit findings as JSON, one object per line")
+		cacheFlag = flag.String("summary-cache", "", "directory for the interprocedural summary cache")
+		statsFlag = flag.Bool("stats", false, "print per-rule finding counts and wall time to stderr")
+		wallFlag  = flag.Duration("max-wall", 0, "fail (exit 3) when the run exceeds this wall time")
 	)
 	flag.Parse()
+	start := time.Now()
 
 	rules := AllRules()
 	if *listFlag {
@@ -88,6 +102,8 @@ func main() {
 	// All packages feed one Runner so cross-package rules (lock-order)
 	// see the whole acquisition graph before Finish reports on it.
 	runner := NewRunner(DefaultConfig(), loader.Fset(), rules)
+	runner.ModRoot = loader.ModRoot
+	runner.CacheDir = *cacheFlag
 	for _, dir := range dirs {
 		pkg, err := loader.LoadDir(dir)
 		if err != nil {
@@ -114,6 +130,28 @@ func main() {
 			continue
 		}
 		fmt.Println(d)
+	}
+	elapsed := time.Since(start)
+	if *statsFlag {
+		stats := runner.Stats()
+		var names []string
+		for _, r := range rules {
+			names = append(names, r.Name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(os.Stderr, "asterixlint: rule %-14s %d finding(s)\n", name, stats[name])
+		}
+		cached := ""
+		if runner.Interp != nil && runner.Interp.FromCache {
+			cached = " (summaries from cache)"
+		}
+		fmt.Fprintf(os.Stderr, "asterixlint: wall %s%s\n", elapsed.Round(time.Millisecond), cached)
+	}
+	if *wallFlag > 0 && elapsed > *wallFlag {
+		fmt.Fprintf(os.Stderr, "asterixlint: wall time %s exceeds -max-wall %s\n",
+			elapsed.Round(time.Millisecond), *wallFlag)
+		os.Exit(3)
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "asterixlint: %d issue(s)\n", len(diags))

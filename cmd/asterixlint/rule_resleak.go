@@ -24,25 +24,33 @@ import (
 // acquire functions return a nil resource with a non-nil error.
 //
 // Ownership transfers end tracking instead of reporting: returning the
-// value, storing it into a field/map/global, passing it to another
-// function, or capturing it in a closure all assume the new owner
-// releases it. That keeps the rule precise on constructor/helper
-// patterns at the cost of missing leaks laundered through an escape —
-// the documented trade (docs/STATIC_ANALYSIS.md).
+// value, storing it into a field/map/global, or capturing it in a
+// closure all assume the new owner releases it. Passing the value to
+// another function used to be a blanket transfer too; it now consults
+// the callee's interprocedural parameter summary — a helper proven to
+// neither release, store, return, nor forward the resource (action
+// "none") leaves the caller the owner, so the fact survives the call
+// and a missing release downstream is a finding. Unknown callees keep
+// the old conservative transfer.
 func ruleResourceLeak() *Rule {
 	return &Rule{
-		Name: "resource-leak",
-		Doc:  "acquired resources (grants, pins, component refs, txns, files) must be released on every path",
-		Run:  runResourceLeak,
+		Name:   "resource-leak",
+		Doc:    "acquired resources (grants, pins, component refs, txns, files) must be released on every path",
+		Interp: runResourceLeak,
 	}
 }
 
 // ResourceSpec registers one acquire function whose result must reach a
 // release. Recv is empty for package-level functions; Result indexes the
-// resource among the call's results.
+// resource among the call's results. Type names the resource's named
+// type within Pkg — it is what lets the interprocedural engine classify
+// resource-typed parameters of helper functions; specs whose resource
+// has no named type (a slice, say) leave it empty and keep the old
+// blanket ownership-transfer behavior at call sites.
 type ResourceSpec struct {
 	Pkg, Recv, Func string
 	Result          int
+	Type            string
 	Desc            string
 	Releases        []ReleaseSpec
 }
@@ -54,13 +62,21 @@ type ReleaseSpec struct {
 	Arg             int
 }
 
-func runResourceLeak(c *Config, p *Package, report func(token.Pos, string)) {
+func runResourceLeak(c *Config, ip *Interp, reportAt func(token.Position, string)) {
 	if len(c.Resources) == 0 {
 		return
 	}
-	funcBodies(p, func(_ *ast.FuncDecl, _ *ast.FuncLit, body *ast.BlockStmt) {
-		newLeakAnalysis(c, p, report).check(body)
-	})
+	for _, p := range ip.Pkgs() {
+		p := p
+		report := func(pos token.Pos, msg string) {
+			reportAt(p.Fset.Position(pos), msg)
+		}
+		funcBodies(p, func(_ *ast.FuncDecl, _ *ast.FuncLit, body *ast.BlockStmt) {
+			a := newLeakAnalysis(c, p, report)
+			a.ip = ip
+			a.check(body)
+		})
+	}
 }
 
 // leakSite is one tracked acquisition.
@@ -70,11 +86,13 @@ type leakSite struct {
 	spec *ResourceSpec
 	obj  types.Object // variable holding the resource (nil if discarded)
 	err  types.Object // companion error result, when assigned
+	via  string       // helper the value survived through (summary "none")
 }
 
 type leakAnalysis struct {
 	c      *Config
 	p      *Package
+	ip     *Interp // nil in unit tests that exercise the lattice directly
 	report func(token.Pos, string)
 
 	sites   map[string]*leakSite // id → site
@@ -278,8 +296,12 @@ func (a *leakAnalysis) check(body *ast.BlockStmt) {
 			reported[id] = true
 			s := a.sites[id]
 			rel := releaseNames(s.spec)
-			a.report(s.pos, fmt.Sprintf("%s acquired here does not reach %s on the path that %ss at line %d",
-				s.spec.Desc, rel, exit, line))
+			msg := fmt.Sprintf("%s acquired here does not reach %s on the path that %ss at line %d",
+				s.spec.Desc, rel, exit, line)
+			if s.via != "" {
+				msg += fmt.Sprintf(" (passing it to %s does not discharge it: that helper neither releases nor keeps it)", s.via)
+			}
+			a.report(s.pos, msg)
 		}
 	})
 }
@@ -428,8 +450,31 @@ func (a *leakAnalysis) applyEscapes(n ast.Node, s posSet) {
 				return
 			}
 			scanExpr(v.Fun)
-			for _, arg := range v.Args {
-				scanExpr(arg)
+			fn := calleeFunc(a.p.Info, v)
+			for i, arg := range v.Args {
+				site := live(arg)
+				if site == nil {
+					scanExpr(arg)
+					continue
+				}
+				// Interprocedural: a live resource handed to an analyzed
+				// module callee consults its resolved parameter action. A
+				// "none" verdict means the helper neither releases, stores,
+				// returns, nor forwards the value — the caller is still the
+				// owner, so the fact survives the call. Every other verdict
+				// (released, kept, or the callee/param being unknown) ends
+				// tracking as before.
+				if a.ip != nil && fn != nil && site.spec.Type != "" && !v.Ellipsis.IsValid() {
+					if sig, ok := fn.Type().(*types.Signature); ok &&
+						!(sig.Variadic() && i >= sig.Params().Len()-1) && i < sig.Params().Len() {
+						tkey := site.spec.Pkg + "." + site.spec.Type
+						if a.ip.ParamResolved(cfg.FuncID(fn), i, tkey) == ParamNone {
+							site.via = fn.Name()
+							continue
+						}
+					}
+				}
+				delete(s, site.id)
 			}
 		case *ast.AssignStmt:
 			for _, l := range v.Lhs {

@@ -1,0 +1,55 @@
+// Fixture for the interprocedural half of the resource-leak rule:
+// passing a tracked resource to a helper is no longer a blanket
+// ownership transfer — the helper's summary decides. Only helpers that
+// release the resource or keep/return it discharge the caller's
+// obligation.
+package resleakip
+
+// Pool hands out resources that must be released.
+type Pool struct{}
+
+// Res is the tracked resource type.
+type Res struct{ open bool }
+
+// Acquire is the registered acquire function.
+func (p *Pool) Acquire() *Res { return &Res{open: true} }
+
+// Release is the registered release.
+func (r *Res) Release() { r.open = false }
+
+// LeakViaHelper passes the resource to a helper that neither releases
+// nor keeps it, so the caller still owns it and leaks it (true
+// positive — the old blanket transfer rule missed this).
+func LeakViaHelper(p *Pool) {
+	r := p.Acquire() // WANT resource-leak
+	touch(r)
+}
+
+// touch inspects the resource without discharging it.
+func touch(r *Res) bool { return r.open }
+
+// OkViaReleasingHelper delegates the release (true negative).
+func OkViaReleasingHelper(p *Pool) {
+	r := p.Acquire()
+	closeIt(r)
+}
+
+func closeIt(r *Res) { r.Release() }
+
+// OkViaKeepingHelper transfers ownership to a helper that stores the
+// resource; the caller's obligation moves with it (true negative).
+func OkViaKeepingHelper(p *Pool) {
+	r := p.Acquire()
+	register(r)
+}
+
+var registry []*Res
+
+func register(r *Res) { registry = append(registry, r) }
+
+// SuppressedLeak documents an intentional leak-shaped pattern.
+func SuppressedLeak(p *Pool) {
+	//lint:ignore resource-leak handed to the process-lifetime registry, reclaimed only at shutdown
+	r := p.Acquire()
+	touch(r)
+}

@@ -1,0 +1,44 @@
+// Fixture for the interprocedural wait-attrib rule. RunTask is
+// registered as a wait root and TC.AddWait as the attribution sink by
+// the test config; blocking calls reachable from the root must be
+// covered by attribution.
+package waitattrib
+
+import "time"
+
+// TC stands in for the real TaskContext.
+type TC struct{}
+
+// AddWait is the registered attribution sink.
+func (TC) AddWait(d time.Duration) {}
+
+var ch = make(chan int, 1)
+
+// RunTask is the registered wait root.
+func RunTask(tc TC) {
+	helperAttributed(tc)
+	helperUnattributed()
+	//lint:ignore wait-attrib test-only stall injected by the harness, never reached in production tasks
+	helperCold()
+	<-ch // WANT wait-attrib
+}
+
+// helperAttributed blocks but routes the time through AddWait in the
+// same block (true negative).
+func helperAttributed(tc TC) {
+	t0 := time.Now()
+	time.Sleep(time.Millisecond)
+	tc.AddWait(time.Since(t0))
+}
+
+// helperUnattributed blocks with no attribution; the finding surfaces
+// at the blocking site with the chain from the root (true positive).
+func helperUnattributed() {
+	time.Sleep(time.Millisecond) // WANT wait-attrib
+}
+
+// helperCold blocks too, but the call into it carries a reasoned
+// barrier directive.
+func helperCold() {
+	time.Sleep(time.Millisecond)
+}

@@ -2,7 +2,6 @@ package adm
 
 import (
 	"bytes"
-	"hash/fnv"
 	"math"
 	"sort"
 )
@@ -80,12 +79,16 @@ func Compare(a, b Value) int {
 		return cmpFloat(x.Y, y.Y)
 	case KindRectangle:
 		x, y := a.(Rectangle), b.(Rectangle)
-		for _, p := range [][2]float64{{x.MinX, y.MinX}, {x.MinY, y.MinY}, {x.MaxX, y.MaxX}, {x.MaxY, y.MaxY}} {
-			if c := cmpFloat(p[0], p[1]); c != 0 {
-				return c
-			}
+		if c := cmpFloat(x.MinX, y.MinX); c != 0 {
+			return c
 		}
-		return 0
+		if c := cmpFloat(x.MinY, y.MinY); c != 0 {
+			return c
+		}
+		if c := cmpFloat(x.MaxX, y.MaxX); c != 0 {
+			return c
+		}
+		return cmpFloat(x.MaxY, y.MaxY)
 	case KindUUID:
 		x, y := a.(UUID), b.(UUID)
 		return bytes.Compare(x[:], y[:])
@@ -95,27 +98,101 @@ func Compare(a, b Value) int {
 		return compareSeq(a.(Array), b.(Array))
 	case KindMultiset:
 		// Multisets are unordered bags: compare their sorted element lists.
-		return compareSeq(sortedElems(a.(Multiset)), sortedElems(b.(Multiset)))
+		return compareMultisets(a.(Multiset), b.(Multiset))
 	case KindObject:
-		x, y := a.(*Object).sortedFields(), b.(*Object).sortedFields()
-		n := len(x)
-		if len(y) < n {
-			n = len(y)
-		}
-		for i := 0; i < n; i++ {
-			if x[i].Name != y[i].Name {
-				if x[i].Name < y[i].Name {
-					return -1
-				}
-				return 1
-			}
-			if c := Compare(x[i].Value, y[i].Value); c != 0 {
-				return c
-			}
-		}
-		return cmpInt(int64(len(x)), int64(len(y)))
+		return compareObjects(a.(*Object), b.(*Object))
 	}
 	return 0
+}
+
+// compareMultisets compares two bags by their sorted element orders.
+// Bags up to smallObjectFields elements sort through stack-resident
+// index arrays; only wider ones fall back to the allocating sorted-copy
+// path.
+func compareMultisets(x, y Multiset) int {
+	nx, ny := len(x), len(y)
+	if nx > smallObjectFields || ny > smallObjectFields {
+		//lint:ignore hot-alloc wide multiset (> 16 elements) takes the allocating sorted-copy slow path; typical keys stay on the stack path above
+		return compareSeq(sortedElems(x), sortedElems(y))
+	}
+	var bx, by [smallObjectFields]int32
+	ix, iy := bx[:nx], by[:ny]
+	sortedValueIdx(x, ix)
+	sortedValueIdx(y, iy)
+	n := nx
+	if ny < n {
+		n = ny
+	}
+	for i := 0; i < n; i++ {
+		if c := Compare(x[ix[i]], y[iy[i]]); c != 0 {
+			return c
+		}
+	}
+	return cmpInt(int64(nx), int64(ny))
+}
+
+// compareObjects compares by name-sorted field lists. Objects up to
+// smallObjectFields fields sort through stack-resident index arrays.
+func compareObjects(x, y *Object) int {
+	nx, ny := len(x.fields), len(y.fields)
+	if nx > smallObjectFields || ny > smallObjectFields {
+		//lint:ignore hot-alloc wide object (> 16 fields) takes the allocating sorted-copy slow path; typical records stay on the stack path above
+		return compareFieldSeq(x.sortedFields(), y.sortedFields())
+	}
+	var bx, by [smallObjectFields]int32
+	ix, iy := bx[:nx], by[:ny]
+	x.sortedIdx(ix)
+	y.sortedIdx(iy)
+	n := nx
+	if ny < n {
+		n = ny
+	}
+	for i := 0; i < n; i++ {
+		fx, fy := &x.fields[ix[i]], &y.fields[iy[i]]
+		if fx.Name != fy.Name {
+			if fx.Name < fy.Name {
+				return -1
+			}
+			return 1
+		}
+		if c := Compare(fx.Value, fy.Value); c != 0 {
+			return c
+		}
+	}
+	return cmpInt(int64(nx), int64(ny))
+}
+
+func compareFieldSeq(x, y []Field) int {
+	n := len(x)
+	if len(y) < n {
+		n = len(y)
+	}
+	for i := 0; i < n; i++ {
+		if x[i].Name != y[i].Name {
+			if x[i].Name < y[i].Name {
+				return -1
+			}
+			return 1
+		}
+		if c := Compare(x[i].Value, y[i].Value); c != 0 {
+			return c
+		}
+	}
+	return cmpInt(int64(len(x)), int64(len(y)))
+}
+
+// sortedValueIdx writes the Compare-sorted order of vals into idx
+// (insertion sort: quadratic, but only ever run on small inputs, and it
+// keeps the whole sort allocation-free).
+func sortedValueIdx(vals []Value, idx []int32) {
+	for i := range vals {
+		j := i
+		for j > 0 && Compare(vals[idx[j-1]], vals[i]) > 0 {
+			idx[j] = idx[j-1]
+			j--
+		}
+		idx[j] = int32(i)
+	}
 }
 
 func sortedElems(m Multiset) []Value {
@@ -162,66 +239,67 @@ func cmpFloat(a, b float64) int {
 // Compare it treats int64(2) and double(2.0) as equal.
 func Equal(a, b Value) bool { return Compare(a, b) == 0 }
 
+// FNV-1a parameters (matching hash/fnv's 64-bit variant).
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
 // Hash64 computes a 64-bit hash of a value, consistent with Equal: equal
-// values hash identically (numerics hash via their float64 image).
+// values hash identically (numerics hash via their float64 image). The
+// FNV-1a fold is inlined over a plain uint64 state — the earlier
+// hash/fnv version allocated the hash object and boxed every Write —
+// and produces bit-identical results to it.
 func Hash64(v Value) uint64 {
-	h := fnv.New64a()
-	hashInto(h.(hashWriter), v)
-	return h.Sum64()
+	return hashValue(fnvOffset64, v)
 }
 
-type hashWriter interface {
-	Write(p []byte) (int, error)
-	Sum64() uint64
-}
-
-func hashInto(h hashWriter, v Value) {
-	var tag [1]byte
+// hashValue folds v into the running FNV-1a state h.
+func hashValue(h uint64, v Value) uint64 {
 	k := v.Kind()
 	if k == KindDouble || k == KindInt64 {
-		tag[0] = byte(KindDouble) // numeric types hash uniformly
+		h = fnvByte(h, byte(KindDouble)) // numeric types hash uniformly
 	} else {
-		tag[0] = byte(k)
+		h = fnvByte(h, byte(k))
 	}
-	h.Write(tag[:])
 	switch x := v.(type) {
 	case missingValue, nullValue:
 	case Boolean:
 		if x {
-			h.Write([]byte{1})
+			h = fnvByte(h, 1)
 		} else {
-			h.Write([]byte{0})
+			h = fnvByte(h, 0)
 		}
 	case Int64:
-		writeU64(h, math.Float64bits(float64(x)))
+		h = fnvU64(h, math.Float64bits(float64(x)))
 	case Double:
-		writeU64(h, math.Float64bits(float64(x)))
+		h = fnvU64(h, math.Float64bits(float64(x)))
 	case String:
-		h.Write([]byte(x))
+		h = fnvString(h, string(x))
 	case Date:
-		writeU64(h, uint64(int64(x)))
+		h = fnvU64(h, uint64(int64(x)))
 	case Time:
-		writeU64(h, uint64(int64(x)))
+		h = fnvU64(h, uint64(int64(x)))
 	case Datetime:
-		writeU64(h, uint64(int64(x)))
+		h = fnvU64(h, uint64(int64(x)))
 	case Duration:
-		writeU64(h, uint64(int64(x.Months)))
-		writeU64(h, uint64(x.Millis))
+		h = fnvU64(h, uint64(int64(x.Months)))
+		h = fnvU64(h, uint64(x.Millis))
 	case Point:
-		writeU64(h, math.Float64bits(x.X))
-		writeU64(h, math.Float64bits(x.Y))
+		h = fnvU64(h, math.Float64bits(x.X))
+		h = fnvU64(h, math.Float64bits(x.Y))
 	case Rectangle:
-		writeU64(h, math.Float64bits(x.MinX))
-		writeU64(h, math.Float64bits(x.MinY))
-		writeU64(h, math.Float64bits(x.MaxX))
-		writeU64(h, math.Float64bits(x.MaxY))
+		h = fnvU64(h, math.Float64bits(x.MinX))
+		h = fnvU64(h, math.Float64bits(x.MinY))
+		h = fnvU64(h, math.Float64bits(x.MaxX))
+		h = fnvU64(h, math.Float64bits(x.MaxY))
 	case UUID:
-		h.Write(x[:])
+		h = fnvBytes(h, x[:])
 	case Binary:
-		h.Write(x)
+		h = fnvBytes(h, x)
 	case Array:
 		for _, e := range x {
-			hashInto(h, e)
+			h = hashValue(h, e)
 		}
 	case Multiset:
 		// Order-insensitive: XOR of element hashes folded in.
@@ -229,19 +307,48 @@ func hashInto(h hashWriter, v Value) {
 		for _, e := range x {
 			acc ^= Hash64(e)
 		}
-		writeU64(h, acc)
+		h = fnvU64(h, acc)
 	case *Object:
-		for _, f := range x.sortedFields() {
-			h.Write([]byte(f.Name))
-			hashInto(h, f.Value)
+		if n := len(x.fields); n <= smallObjectFields {
+			var buf [smallObjectFields]int32
+			idx := buf[:n]
+			x.sortedIdx(idx)
+			for _, i := range idx {
+				f := &x.fields[i]
+				h = fnvString(h, f.Name)
+				h = hashValue(h, f.Value)
+			}
+		} else {
+			//lint:ignore hot-alloc wide object (> 16 fields) takes the allocating sorted-copy slow path; typical records stay on the stack path above
+			for _, f := range x.sortedFields() {
+				h = fnvString(h, f.Name)
+				h = hashValue(h, f.Value)
+			}
 		}
 	}
+	return h
 }
 
-func writeU64(h hashWriter, u uint64) {
-	var b [8]byte
-	for i := 0; i < 8; i++ {
-		b[i] = byte(u >> (8 * i))
+func fnvByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime64 }
+
+func fnvU64(h, u uint64) uint64 {
+	for i := 0; i < 64; i += 8 {
+		h = (h ^ uint64(byte(u>>i))) * fnvPrime64
 	}
-	h.Write(b[:])
+	return h
+}
+
+func fnvBytes(h uint64, p []byte) uint64 {
+	for _, b := range p {
+		h = (h ^ uint64(b)) * fnvPrime64
+	}
+	return h
+}
+
+// fnvString folds a string without converting it to []byte.
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
+	}
+	return h
 }

@@ -330,6 +330,27 @@ func (o *Object) Without(name string) *Object {
 	return out
 }
 
+// smallObjectFields bounds the stack-resident index buffers the compare
+// and hash kernels use to visit object fields (and multiset elements) in
+// canonical order without allocating. Wider values fall back to the
+// sorted-copy path.
+const smallObjectFields = 16
+
+// sortedIdx writes the name-sorted order of o's fields into idx, which
+// must have length len(o.fields). Insertion sort: quadratic, but only
+// run on ≤ smallObjectFields inputs, and allocation-free so the hot
+// comparator/hash kernels can call it per tuple.
+func (o *Object) sortedIdx(idx []int32) {
+	for i := range o.fields {
+		j := i
+		for j > 0 && o.fields[idx[j-1]].Name > o.fields[i].Name {
+			idx[j] = idx[j-1]
+			j--
+		}
+		idx[j] = int32(i)
+	}
+}
+
 // sortedFields returns the fields sorted by name (for canonical hashing and
 // equality), without modifying the object.
 func (o *Object) sortedFields() []Field {

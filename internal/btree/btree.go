@@ -200,6 +200,7 @@ func (t *BTree) readNode(num int32) (*node, error) {
 	if err != nil {
 		return nil, err
 	}
+	//lint:ignore hot-alloc per-page decode builds the node once and is amortized across every tuple read from that leaf; a node cache would remove it entirely (tracked in ROADMAP)
 	n, err := decodeNode(p.Data)
 	t.bc.Unpin(p, false)
 	return n, err

@@ -16,6 +16,7 @@ type Iterator struct {
 // NewIterator positions a cursor at the first key >= lo (nil = min); it
 // yields keys up to hi inclusive (nil = max).
 func (t *BTree) NewIterator(lo, hi []byte) *Iterator {
+	//lint:ignore hot-alloc per-scan cursor setup: one allocation per NewIterator, not per Next
 	it := &Iterator{t: t, hi: hi}
 	num := t.root
 	for lvl := t.height; lvl > 1; lvl-- {

@@ -180,3 +180,18 @@ func TestE13NodeFailure(t *testing.T) {
 		t.Errorf("row counts differ: %v", rep.Rows)
 	}
 }
+
+func TestE14HotPathAllocs(t *testing.T) {
+	rep := runExp(t, E14HotPathAllocs)
+	if len(rep.Measurements) < 6 {
+		t.Fatalf("measurements: %d, want >= 6", len(rep.Measurements))
+	}
+	// The experiment itself fails when a small-shape kernel allocates;
+	// here just check the wide fallback really is the allocating
+	// baseline so the before/after story holds.
+	for _, m := range rep.Measurements {
+		if m.Name == "adm_compare_object_wide" && m.Value <= 0 {
+			t.Errorf("wide compare should allocate (it is the legacy path), got %v", m.Value)
+		}
+	}
+}

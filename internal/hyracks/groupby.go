@@ -46,39 +46,88 @@ type group struct {
 	states []adm.Value
 }
 
+// groupTable is the hash table of a hash aggregation. Its probe path
+// runs once per input tuple, so it works out of preallocated scratch —
+// an identity column list for hashing extracted keys and a reusable key
+// buffer — and is a registered hot-alloc root: probing must never
+// allocate. (The old shape rebuilt both per tuple: a fresh key Tuple
+// and a fresh []int for HashColumns on every probe.)
+type groupTable struct {
+	groupCols []int
+	idCols    []int // 0..len(groupCols)-1: the extracted key's own columns
+	buckets   map[uint64][]*group
+	scratch   Tuple
+}
+
+func newGroupTable(groupCols []int) *groupTable {
+	idCols := make([]int, len(groupCols))
+	for i := range idCols {
+		idCols[i] = i
+	}
+	return &groupTable{
+		groupCols: groupCols,
+		idCols:    idCols,
+		buckets:   map[uint64][]*group{},
+		scratch:   make(Tuple, len(groupCols)),
+	}
+}
+
+// key extracts t's group columns into the scratch buffer; the result is
+// valid only until the next key or probe call, and must be Cloned to be
+// retained.
+func (gt *groupTable) key(t Tuple) Tuple {
+	for i, c := range gt.groupCols {
+		gt.scratch[i] = t[c]
+	}
+	return gt.scratch
+}
+
+func (gt *groupTable) hash(k Tuple) uint64 { return HashColumns(k, gt.idCols) }
+
+// probe finds the group holding t's key. The group is nil for an unseen
+// key; the returned hash addresses the bucket an insert must go to.
+func (gt *groupTable) probe(t Tuple) (*group, uint64) {
+	k := gt.key(t)
+	h := gt.hash(k)
+	for _, cand := range gt.buckets[h] {
+		if groupKeyEq(cand.key, k) {
+			return cand, h
+		}
+	}
+	return nil, h
+}
+
+// insert adds a group for t's key under bucket h. The scratch key is
+// cloned here — the one allocation of the insert path, paid per distinct
+// group rather than per tuple.
+func (gt *groupTable) insert(h uint64, t Tuple, states []adm.Value) *group {
+	g := &group{key: gt.key(t).Clone(), states: states}
+	gt.buckets[h] = append(gt.buckets[h], g)
+	return g
+}
+
+func (gt *groupTable) reset() { gt.buckets = map[uint64][]*group{} }
+
+func groupKeyEq(a, b Tuple) bool {
+	for i := range a {
+		if adm.Compare(a[i], b[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 func runGroupBy(tc *TaskContext, in *Input, out *Output, groupCols []int, aggs []AggSpec) error {
 	const spillFanout = 8
 	var (
-		table   = map[uint64][]*group{}
+		gt      = newGroupTable(groupCols)
 		size    = 0
 		spills  [spillFanout]*RunWriter
 		spilled = false
 	)
-	groupKey := func(t Tuple) Tuple {
-		k := make(Tuple, len(groupCols))
-		for i, c := range groupCols {
-			k[i] = t[c]
-		}
-		return k
-	}
-	keyHash := func(k Tuple) uint64 {
-		cols := make([]int, len(k))
-		for i := range cols {
-			cols[i] = i
-		}
-		return HashColumns(k, cols)
-	}
-	keyEq := func(a, b Tuple) bool {
-		for i := range a {
-			if adm.Compare(a[i], b[i]) != 0 {
-				return false
-			}
-		}
-		return true
-	}
 	// spillGroup writes a group's partial state as key ++ states.
 	spillGroup := func(g *group) error {
-		p := keyHash(g.key) % spillFanout
+		p := gt.hash(g.key) % spillFanout
 		if spills[p] == nil {
 			rw, err := NewRunWriter(tc.TempDir())
 			if err != nil {
@@ -100,24 +149,16 @@ func runGroupBy(tc *TaskContext, in *Input, out *Output, groupCols []int, aggs [
 	}
 
 	err := in.ForEach(func(t Tuple) error {
-		k := groupKey(t)
-		h := keyHash(k)
-		var g *group
-		for _, cand := range table[h] {
-			if keyEq(cand.key, k) {
-				g = cand
-				break
-			}
-		}
+		g, h := gt.probe(t)
 		if g == nil {
-			// The key was cloned above, so its *adm.Object columns are
+			// The key is cloned by insert, so its *adm.Object columns are
 			// shared with the source tuple: account them shallowly.
-			g = &group{key: k.Clone(), states: make([]adm.Value, len(aggs))}
+			states := make([]adm.Value, len(aggs))
 			for i, a := range aggs {
-				g.states[i] = a.Init()
+				states[i] = a.Init()
 			}
-			table[h] = append(table[h], g)
-			size += k.EstimateSizeShallow() + 64
+			g = gt.insert(h, t, states)
+			size += g.key.EstimateSizeShallow() + 64
 		}
 		step(g, t)
 		for size > tc.Mem.Granted() {
@@ -127,7 +168,7 @@ func runGroupBy(tc *TaskContext, in *Input, out *Output, groupCols []int, aggs [
 			// Spill the whole table as partial aggregates and start over.
 			spilled = true
 			t0 := time.Now()
-			for _, bucket := range table {
+			for _, bucket := range gt.buckets {
 				for _, g := range bucket {
 					if err := spillGroup(g); err != nil {
 						return err
@@ -135,7 +176,7 @@ func runGroupBy(tc *TaskContext, in *Input, out *Output, groupCols []int, aggs [
 				}
 			}
 			tc.AddWait(obs.WaitSpill, time.Since(t0))
-			table = map[uint64][]*group{}
+			gt.reset()
 			size = 0
 			tc.Mem.ShrinkToMin()
 		}
@@ -155,7 +196,7 @@ func runGroupBy(tc *TaskContext, in *Input, out *Output, groupCols []int, aggs [
 	}
 
 	if !spilled {
-		for _, bucket := range table {
+		for _, bucket := range gt.buckets {
 			for _, g := range bucket {
 				if err := emit(g); err != nil {
 					return err
@@ -168,7 +209,7 @@ func runGroupBy(tc *TaskContext, in *Input, out *Output, groupCols []int, aggs [
 	// Flush the residual table, then merge partials partition by
 	// partition. Run-file writes and read-back both count as spill I/O.
 	tSpill := time.Now()
-	for _, bucket := range table {
+	for _, bucket := range gt.buckets {
 		for _, g := range bucket {
 			if err := spillGroup(g); err != nil {
 				return err
@@ -185,7 +226,9 @@ func runGroupBy(tc *TaskContext, in *Input, out *Output, groupCols []int, aggs [
 		if err != nil {
 			return err
 		}
-		merged := map[uint64][]*group{}
+		// Spilled records carry the key already extracted up front, so the
+		// merge table's group columns are the identity list.
+		mt := newGroupTable(gt.idCols)
 		for {
 			rec, ok, err := rr.Next()
 			if err != nil {
@@ -201,17 +244,9 @@ func runGroupBy(tc *TaskContext, in *Input, out *Output, groupCols []int, aggs [
 			}
 			k := rec[:len(groupCols)]
 			states := rec[len(groupCols):]
-			h := keyHash(k)
-			var g *group
-			for _, cand := range merged[h] {
-				if keyEq(cand.key, k) {
-					g = cand
-					break
-				}
-			}
+			g, h := mt.probe(k)
 			if g == nil {
-				g = &group{key: k.Clone(), states: append([]adm.Value(nil), states...)}
-				merged[h] = append(merged[h], g)
+				mt.insert(h, k, append([]adm.Value(nil), states...))
 				continue
 			}
 			for i, a := range aggs {
@@ -220,7 +255,7 @@ func runGroupBy(tc *TaskContext, in *Input, out *Output, groupCols []int, aggs [
 		}
 		rr.Close()
 		tc.AddWait(obs.WaitSpill, time.Since(tRead))
-		for _, bucket := range merged {
+		for _, bucket := range mt.buckets {
 			for _, g := range bucket {
 				if err := emit(g); err != nil {
 					return err

@@ -222,12 +222,19 @@ func runHashJoin(tc *TaskContext, left, right *Input, out *Output, leftCols, rig
 		if probeRuns[p] == nil {
 			continue
 		}
+		// Probe-side read-back is spill I/O like the build side, but its
+		// reads interleave with match emission, so attribute each read
+		// individually instead of blanketing the whole loop.
+		tFin := time.Now()
 		rr, err := probeRuns[p].Finish()
+		tc.AddWait(obs.WaitSpill, time.Since(tFin))
 		if err != nil {
 			return err
 		}
 		for {
+			tNext := time.Now()
 			l, ok, err := rr.Next()
+			tc.AddWait(obs.WaitSpill, time.Since(tNext))
 			if err != nil {
 				rr.Close()
 				return err

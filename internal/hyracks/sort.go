@@ -101,7 +101,15 @@ func runSort(tc *TaskContext, in *Input, out *Output, cmp Comparator) error {
 	var sources []*source
 	for _, r := range runs {
 		r := r
-		sources = append(sources, &source{next: r.Next})
+		// Run read-back is spill I/O: attribute the wait, or the merge
+		// phase's disk stalls vanish from the operator's breakdown while
+		// the write side (spill above) is fully accounted.
+		sources = append(sources, &source{next: func() (Tuple, bool, error) {
+			t0 := time.Now()
+			t, ok, err := r.Next()
+			tc.AddWait(obs.WaitSpill, time.Since(t0))
+			return t, ok, err
+		}})
 	}
 	memPos := 0
 	sources = append(sources, &source{next: func() (Tuple, bool, error) {

