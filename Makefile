@@ -29,6 +29,16 @@ fault-matrix:
 		./internal/core/ ./internal/hyracks/ ./internal/txn/ ./internal/lsm/
 	ASTERIX_FAULTS="hyracks.frame.delay:delay=1ms:times=4" go test -count=1 ./internal/hyracks/
 
+# net-matrix: the network-failure gate — in-process transport fault tests
+# (drop, delay, partition, conn-reset, torn frames) plus the multi-process
+# cluster smoke test, which boots three asterixd processes and drives a
+# distributed join through injected link faults and a killed node
+# (gated on ASTERIX_NET_MATRIX so plain `go test ./...` stays fast).
+net-matrix:
+	go test -count=1 -run 'TestNetDrop|TestNetDelay|TestHeartbeatPartition|TestConnResetMidFrame|TestPartitionDuringExchange|TestWaitNetAttribution|TestTwoPeerExchange' \
+		./internal/net/ ./internal/dist/
+	ASTERIX_NET_MATRIX=1 go test -count=1 -timeout 180s -run 'TestParsePeers|TestMultiProcessCluster' -v ./cmd/asterixd/
+
 # bench: every top-level Go benchmark once.
 bench:
 	go test -bench . -benchtime 1x -run NONE .
@@ -45,6 +55,7 @@ bench-smoke:
 fuzz-smoke:
 	go test -run NONE -fuzz FuzzADMBinaryRoundTrip -fuzztime 10s ./internal/adm
 	go test -run NONE -fuzz FuzzSQLPPParse -fuzztime 10s ./internal/sqlpp
+	go test -run NONE -fuzz FuzzFrameDecode -fuzztime 10s ./internal/net
 
 help:
 	@echo "Targets:"
@@ -53,8 +64,9 @@ help:
 	@echo "  lint        asterixlint static analysis over the module"
 	@echo "  invariants  tests with deep structural validators enabled"
 	@echo "  fault-matrix crash-recovery + node-failure tests with validators on"
-	@echo "  fuzz-smoke  short bounded fuzz run (ADM codec, SQL++ parser)"
+	@echo "  net-matrix  transport fault tests + 3-process cluster smoke test"
+	@echo "  fuzz-smoke  short bounded fuzz run (ADM codec, SQL++ parser, frame decoder)"
 	@echo "  bench       top-level benchmarks"
 	@echo "  bench-smoke small-scale experiment run -> BENCH_ci.json, diffed vs BENCH_1.json"
 
-.PHONY: tier1 verify lint invariants fault-matrix bench bench-smoke fuzz-smoke help
+.PHONY: tier1 verify lint invariants fault-matrix net-matrix bench bench-smoke fuzz-smoke help

@@ -79,7 +79,7 @@ func DefaultConfig() *Config {
 			"asterix/internal/storage", "asterix/internal/txn",
 		},
 		FaultPkgPath: "asterix/internal/fault",
-		FaultGuarded: []string{"Hit", "Tear", "Armed", "Hits", "Fired", "Snapshot", "BindMetrics"},
+		FaultGuarded: []string{"Hit", "HitTag", "Tear", "TearTag", "Armed", "Hits", "Fired", "Snapshot", "BindMetrics", "Int63n"},
 		OperatorPkgs: []string{
 			"asterix/internal/hyracks", "asterix/internal/algebricks",
 		},
@@ -209,6 +209,14 @@ func DefaultConfig() *Config {
 			"encoding/binary.ReadUvarint",
 			"time.Sleep",
 			"sync.(WaitGroup).Wait", "sync.(Cond).Wait",
+			// Transport blocking calls (internal/net): the conn methods
+			// are interface dispatch — the concrete net.TCPConn lives
+			// outside the module — so they match by declared symbol.
+			// An unattributed network wait on an operator task path is
+			// a lint error; the executor attributes the whole Send call
+			// as WaitNet, which covers everything beneath it.
+			"net.(Conn).Read", "net.(Conn).Write",
+			"net.(Listener).Accept", "net.DialTimeout",
 		},
 	}
 }

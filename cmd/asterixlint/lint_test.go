@@ -201,6 +201,13 @@ func TestWaitAttribFixture(t *testing.T) {
 	})
 }
 
+func TestWaitNetFixture(t *testing.T) {
+	checkFixture(t, "waitnet", func(cfg *Config, pkgPath string) {
+		cfg.WaitRoots = []FuncRef{{Pkg: pkgPath, Func: "SendFrames"}}
+		cfg.WaitFuncs = []FuncRef{{Pkg: pkgPath, Recv: "TC", Func: "AddWait"}}
+	})
+}
+
 func TestResourceLeakInterprocFixture(t *testing.T) {
 	checkFixture(t, "resleakip", func(cfg *Config, pkgPath string) {
 		cfg.Resources = []ResourceSpec{

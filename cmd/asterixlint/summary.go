@@ -826,7 +826,12 @@ func (x *extractor) edges(f *cfg.CGFunc) {
 			ef.Ext = s.Callee
 		}
 		x.sum.Edges = append(x.sum.Edges, ef)
-		if s.Kind == cfg.External && blockExt[s.Callee] {
+		// Interface dispatch matches the blocker list by declared
+		// symbol: a call through an enumerated interface method
+		// (net.(Conn).Read/Write) blocks by contract no matter which
+		// implementation lands — including ones outside the module,
+		// which the callee walk can never reach.
+		if (s.Kind == cfg.External || s.Kind == cfg.Interface) && blockExt[s.Callee] {
 			x.sum.Blocks = append(x.sum.Blocks, BlockSite{
 				P: x.ip.site(pos), What: "call to " + s.Callee, Attributed: attributed,
 			})

@@ -1,0 +1,37 @@
+// Fixture for wait-attrib coverage of transport blocking calls. The
+// net.Conn methods dispatch through an interface — the concrete conn
+// lives outside the module, so no callee summary exists — and the
+// BlockExt whitelist must still see them block by declared symbol.
+package waitnet
+
+import (
+	"net"
+	"time"
+)
+
+// TC stands in for the real TaskContext.
+type TC struct{}
+
+// AddWait is the registered attribution sink.
+func (TC) AddWait(d time.Duration) {}
+
+// SendFrames is the registered wait root: the executor-style pattern —
+// time the whole write, charge it to the task — covers the interface
+// call, so only the bare read in the helper is a finding.
+func SendFrames(tc TC, c net.Conn, frame []byte) error {
+	t0 := time.Now()
+	_, err := c.Write(frame)
+	tc.AddWait(time.Since(t0))
+	if err != nil {
+		return err
+	}
+	return readAck(c)
+}
+
+// readAck blocks on the conn with no attribution; the finding surfaces
+// at the interface call with the chain from the root.
+func readAck(c net.Conn) error {
+	var buf [1]byte
+	_, err := c.Read(buf[:]) // WANT wait-attrib
+	return err
+}

@@ -16,6 +16,8 @@
 //	times=N   fire at most N times, then become a no-op (default 1; 0 = unlimited)
 //	p=F       fire with probability F per eligible hit (default 1.0,
 //	          drawn from the registry's seeded PRNG — see Seed)
+//	tag=S     fire only for probes carrying scope tag S (HitTag/TearTag);
+//	          network points tag probes with the local peer id
 //
 // Examples:
 //
@@ -65,6 +67,25 @@ const (
 	PointWALAppend = "txn.wal.append"
 	// PointPageWrite fails a storage-layer page write.
 	PointPageWrite = "storage.write.io"
+
+	// PointNetDrop drops an outbound data frame on the floor and resets
+	// the connection, like a lost packet followed by a peer RST. The
+	// sending task fails with a retriable link failure; nothing is
+	// silently lost.
+	PointNetDrop = "net.drop"
+	// PointNetDelay stalls an outbound data frame (arm with delay=…),
+	// simulating a slow or congested link.
+	PointNetDelay = "net.delay"
+	// PointNetPartition isolates a process from the data-plane mesh:
+	// while armed, its outbound sends fail and inbound messages are
+	// dropped, so peers stop hearing its heartbeats and eventually
+	// declare it dead. Arm with times=0 for a lasting partition, or tag=
+	// to partition one peer of an in-process mesh.
+	PointNetPartition = "net.partition"
+	// PointNetConnReset tears an outbound frame mid-write (torn mode)
+	// and resets the connection: the receiver sees a short or
+	// CRC-corrupt frame on the wire.
+	PointNetConnReset = "net.conn.reset"
 )
 
 // ErrInjected is the sentinel wrapped by every injected error; callers
@@ -112,6 +133,11 @@ type Point struct {
 	Times int64
 	// P is the per-hit firing probability in (0,1]; 0 means 1.0.
 	P float64
+	// Tag scopes the point to probes carrying the same tag (HitTag,
+	// TearTag). Empty matches every probe — including plain Hit/Tear.
+	// Network points use the local peer id as the tag, so an in-process
+	// mesh can partition one peer: `net.partition:error:times=0:tag=b`.
+	Tag string
 
 	hits  int64 // total Hit/Tear probes while armed (atomic)
 	fired int64 // times the point actually fired (atomic)
@@ -164,7 +190,19 @@ func Hit(name string) error {
 		return nil
 	}
 	//lint:ignore hot-alloc,wait-attrib armed fault-injection slow path: only tests arm points, and an armed hit exists to inject errors/delays, so its allocations and sleeps are intentional
-	return reg.hit(name)
+	return reg.hit(name, "")
+}
+
+// HitTag probes the named fault point with a scope tag: a point armed
+// with tag=T fires only for probes carrying T, while an untagged point
+// fires for every probe. The network layer tags probes with the local
+// peer id so one peer of an in-process mesh can be faulted alone.
+func HitTag(name, tag string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	//lint:ignore hot-alloc,wait-attrib armed fault-injection slow path: only tests arm points, and an armed hit exists to inject errors/delays, so its allocations and sleeps are intentional
+	return reg.hit(name, tag)
 }
 
 // Tear probes a torn-write fault point: when the point is armed in
@@ -176,7 +214,15 @@ func Tear(name string, buf []byte) ([]byte, bool) {
 	if armed.Load() == 0 {
 		return buf, false
 	}
-	return reg.tear(name, buf)
+	return reg.tear(name, "", buf)
+}
+
+// TearTag is Tear with a scope tag (see HitTag).
+func TearTag(name, tag string, buf []byte) ([]byte, bool) {
+	if armed.Load() == 0 {
+		return buf, false
+	}
+	return reg.tear(name, tag, buf)
 }
 
 func (r *registry) lookup(name string) *Point {
@@ -211,9 +257,9 @@ func (r *registry) eligible(p *Point) bool {
 	return true
 }
 
-func (r *registry) hit(name string) error {
+func (r *registry) hit(name, tag string) error {
 	p := r.lookup(name)
-	if p == nil || !r.eligible(p) {
+	if p == nil || (p.Tag != "" && p.Tag != tag) || !r.eligible(p) {
 		return nil
 	}
 	r.countFire(name)
@@ -228,9 +274,9 @@ func (r *registry) hit(name string) error {
 	}
 }
 
-func (r *registry) tear(name string, buf []byte) ([]byte, bool) {
+func (r *registry) tear(name, tag string, buf []byte) ([]byte, bool) {
 	p := r.lookup(name)
-	if p == nil || p.Mode != ModeTorn || !r.eligible(p) {
+	if p == nil || p.Mode != ModeTorn || (p.Tag != "" && p.Tag != tag) || !r.eligible(p) {
 		return buf, false
 	}
 	r.countFire(name)
@@ -329,6 +375,11 @@ func parsePoint(s string) (Point, error) {
 				return p, fmt.Errorf("fault: %s: bad probability %q", p.Name, f)
 			}
 			p.P = v
+		case strings.HasPrefix(f, "tag="):
+			p.Tag = strings.TrimPrefix(f, "tag=")
+			if p.Tag == "" {
+				return p, fmt.Errorf("fault: %s: empty tag", p.Name)
+			}
 		default:
 			return p, fmt.Errorf("fault: %s: unknown option %q", p.Name, f)
 		}
@@ -344,12 +395,27 @@ func Disarm() {
 	armed.Store(0)
 }
 
-// Seed reseeds the registry's PRNG (probabilistic points); runs with the
-// same seed and spec fire identically.
+// Seed reseeds the registry's PRNG (probabilistic points and Int63n);
+// runs with the same seed and spec fire identically.
 func Seed(n int64) {
 	reg.mu.Lock()
 	reg.rng = rand.New(rand.NewSource(n))
 	reg.mu.Unlock()
+}
+
+// Int63n draws a value in [0, n) from the registry's seeded PRNG. It is
+// the randomness source for robustness-machinery jitter (retry backoff,
+// reconnect backoff): drawing it here instead of the global math/rand
+// makes a fault-matrix run with ASTERIX_FAULT_SEED deterministic
+// end-to-end, retry timing included. n <= 0 returns 0.
+func Int63n(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	reg.mu.Lock()
+	v := reg.rng.Int63n(n)
+	reg.mu.Unlock()
+	return v
 }
 
 // Hits returns the named point's probe count (0 if not armed).

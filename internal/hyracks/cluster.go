@@ -114,6 +114,7 @@ type Cluster struct {
 	jobAttempts  int64
 	jobRetries   int64
 	nodeFailures int64
+	linkFailures int64
 }
 
 // governor resolves the cluster's memory governor, building the default
@@ -136,6 +137,9 @@ type RetryStats struct {
 	Retries int64
 	// NodeFailures counts jobs that failed because a node died.
 	NodeFailures int64
+	// LinkFailures counts jobs that failed because a network frame
+	// stream broke (connection reset, partition) without a node dying.
+	LinkFailures int64
 }
 
 // RetryStats snapshots the retry counters.
@@ -144,6 +148,7 @@ func (c *Cluster) RetryStats() RetryStats {
 		Attempts:     atomic.LoadInt64(&c.jobAttempts),
 		Retries:      atomic.LoadInt64(&c.jobRetries),
 		NodeFailures: atomic.LoadInt64(&c.nodeFailures),
+		LinkFailures: atomic.LoadInt64(&c.linkFailures),
 	}
 }
 
@@ -189,9 +194,43 @@ func NewCluster(n int, baseDir string) (*Cluster, error) {
 	return c, nil
 }
 
+// NewNamedCluster creates a cluster whose node controllers carry the
+// given ids — one per member of a multi-process cluster, local and
+// remote alike. Each process holds a controller for EVERY member: the
+// local one runs tasks, the remote ones exist so heartbeat failure
+// detection can Kill them and the executor's remote-node watchers fire,
+// exactly as an in-process Kill does.
+func NewNamedCluster(ids []string, baseDir string) (*Cluster, error) {
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("hyracks: named cluster needs at least one node id")
+	}
+	c := &Cluster{FrameSize: 256, MemBudget: 32 << 20}
+	for _, id := range ids {
+		dir := filepath.Join(baseDir, id)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("hyracks: node temp dir: %w", err)
+		}
+		c.Nodes = append(c.Nodes, &NodeController{
+			ID: id, TempDir: dir,
+			killed: make(chan struct{}),
+		})
+	}
+	return c, nil
+}
+
 // NodeFor maps an operator partition to its node.
 func (c *Cluster) NodeFor(partition int) *NodeController {
 	return c.Nodes[partition%len(c.Nodes)]
+}
+
+// NodeByID returns the controller with the id, or nil.
+func (c *Cluster) NodeByID(id string) *NodeController {
+	for _, n := range c.Nodes {
+		if n.ID == id {
+			return n
+		}
+	}
+	return nil
 }
 
 // TotalStats sums counter snapshots across all nodes.

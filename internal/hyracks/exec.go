@@ -20,6 +20,15 @@ import (
 // alive when the run starts; a node killed mid-run cancels its tasks,
 // which surface as a *NodeFailure (retriable via RunWithRetry).
 //
+// With a Placement attached (SetPlacement), Run executes only this
+// process's share of the DAG: channels consumed here stay on the
+// in-process fabric, channels consumed elsewhere are routed through the
+// placement's Transport, and a remote node's death — reported by
+// heartbeat failure detection through NodeController.Kill — fails the
+// run with the same *NodeFailure an in-process kill produces. A broken
+// frame stream without a dead node surfaces as *LinkFailure, equally
+// retriable.
+//
 // Before any task starts, the job is admitted through the cluster's
 // memory governor: the minimum grants of ALL its memory operators'
 // tasks are reserved atomically (bounded wait, typed timeout). Because
@@ -30,6 +39,21 @@ func (c *Cluster) Run(ctx context.Context, j *Job) error {
 	alive := c.AliveNodes()
 	if len(alive) == 0 {
 		return fmt.Errorf("hyracks: no alive nodes in the cluster")
+	}
+	pl := j.placement
+	var localNC *NodeController
+	if pl != nil {
+		var err error
+		if localNC, err = pl.localNode(c); err != nil {
+			return err
+		}
+		if localNC.Dead() {
+			return &NodeFailure{Node: localNC.ID, Op: "(startup)"}
+		}
+	}
+	// isLocal reports whether (op, partition) runs in this process.
+	isLocal := func(op *Operator, p int) bool {
+		return pl == nil || pl.Assign(op.Name, p) == pl.Node
 	}
 	// When the caller's span requests detailed profiling, every
 	// (operator, partition) task gets its own child span recording wall
@@ -50,12 +74,18 @@ func (c *Cluster) Run(ctx context.Context, j *Job) error {
 		}
 	}
 
-	// Admit the job: one atomic reservation covering every memory task's
-	// minimum grant.
+	// Admit the job: one atomic reservation covering every LOCAL memory
+	// task's minimum grant (each process admits against its own
+	// governor).
 	memTasks := 0
 	for _, op := range j.ops {
-		if op.Memory {
-			memTasks += op.Parallelism
+		if !op.Memory {
+			continue
+		}
+		for p := 0; p < op.Parallelism; p++ {
+			if isLocal(op, p) {
+				memTasks++
+			}
 		}
 	}
 	var jobGrant *mem.JobGrant
@@ -67,13 +97,43 @@ func (c *Cluster) Run(ctx context.Context, j *Job) error {
 		jobGrant = jg
 	}
 
-	// Build per-edge channel fabric.
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	// Build the per-edge fabric. Each edge has one frame channel per
+	// consumer-owned slot: channels consumed in this process are real Go
+	// channels; channels consumed elsewhere stay nil and sends to them go
+	// through the transport. The channels close when every producer —
+	// local task or remote peer EOS — has finished, or are abandoned (and
+	// drained by task-context cancellation) when the run dies first.
 	type edgeRT struct {
-		chans     []chan []Tuple
-		producers sync.WaitGroup
+		chans   []chan []Tuple
+		owners  []string // per-channel consumer node; "" = local
+		remote  bool     // any remote-owned channel
+		handle  EdgeHandle
+		pending int32 // undone producers, local + remote
+		done    chan struct{}
 	}
 	rts := make(map[*edge]*edgeRT, len(j.edges))
-	for _, e := range j.edges {
+	var transport Transport = LocalTransport{}
+	if pl != nil && pl.Transport != nil {
+		transport = pl.Transport
+	}
+	jobID := ""
+	if pl != nil {
+		jobID = pl.JobID
+	}
+	defer transport.CloseJob(jobID)
+	for ei, e := range j.edges {
 		rt := &edgeRT{}
 		n := e.to.Parallelism
 		if e.conn.Kind == ConnMerge {
@@ -90,35 +150,139 @@ func (c *Cluster) Run(ctx context.Context, j *Job) error {
 			}
 		}
 		rt.chans = make([]chan []Tuple, n)
+		rt.owners = make([]string, n)
 		for i := range rt.chans {
+			// The consumer partition owning channel i: merge connectors
+			// concentrate every stream onto consumer partition 0.
+			part := i
+			if e.conn.Kind == ConnMerge {
+				part = 0
+			}
+			if pl != nil {
+				if owner := pl.Assign(e.to.Name, part); owner != pl.Node {
+					rt.owners[i] = owner
+					rt.remote = true
+					continue
+				}
+			}
 			rt.chans[i] = make(chan []Tuple, 8)
 		}
-		rt.producers.Add(e.from.Parallelism)
+		rt.pending = int32(e.from.Parallelism)
+		rt.done = make(chan struct{})
 		rts[e] = rt
+		decr := func() {
+			if atomic.AddInt32(&rt.pending, -1) == 0 {
+				close(rt.done)
+			}
+		}
+		if pl != nil {
+			h, err := transport.OpenEdge(ctx, EdgeDesc{
+				JobID:     pl.JobID,
+				Edge:      ei,
+				Owners:    rt.owners,
+				Recv:      rt.chans,
+				Producers: e.from.Parallelism,
+				EOS:       decr,
+			})
+			if err != nil {
+				if jobGrant != nil {
+					jobGrant.Release()
+				}
+				return fmt.Errorf("hyracks: open edge %d: %w", ei, err)
+			}
+			rt.handle = h
+		}
 		go func(rt *edgeRT) {
-			rt.producers.Wait()
-			for _, ch := range rt.chans {
-				close(ch)
+			// Close the local channels once all producers finished. A run
+			// that dies first (error, cancellation, a peer that will never
+			// EOS) abandons them instead: every consumer recv selects on
+			// its task context, so nothing blocks on an unclosed channel.
+			select {
+			case <-rt.done:
+				for _, ch := range rt.chans {
+					if ch != nil {
+						close(ch)
+					}
+				}
+			case <-ctx.Done():
 			}
 		}(rt)
 	}
 
-	var (
-		wg       sync.WaitGroup
-		errOnce  sync.Once
-		firstErr error
-	)
-	fail := func(err error) {
-		errOnce.Do(func() {
-			firstErr = err
-			cancel()
-		})
+	// Control-plane hooks. The remote-node watchers and the abort
+	// listener install BEFORE the START barrier: a process whose
+	// coordinator (or any depended-on peer) dies while it is parked at
+	// the barrier must still fail with the typed retriable error rather
+	// than wait forever.
+	if pl != nil {
+		// Watch every remote node this attempt depends on: a heartbeat
+		// timeout Kills its controller, and the watcher converts that
+		// into the same retriable NodeFailure an in-process kill raises.
+		watched := map[string]bool{pl.Node: true}
+		for _, op := range j.ops {
+			for p := 0; p < op.Parallelism; p++ {
+				id := pl.Assign(op.Name, p)
+				if watched[id] {
+					continue
+				}
+				watched[id] = true
+				nc := c.NodeByID(id)
+				if nc == nil {
+					if jobGrant != nil {
+						jobGrant.Release()
+					}
+					return fmt.Errorf("hyracks: placement assigns %s[%d] to unknown node %q", op.Name, p, id)
+				}
+				go func(nc *NodeController) {
+					select {
+					case <-nc.killedCh():
+						fail(&NodeFailure{Node: nc.ID, Op: "(remote)"})
+					case <-ctx.Done():
+					}
+				}(nc)
+			}
+		}
+		if pl.Abort != nil {
+			go func() {
+				select {
+				case err := <-pl.Abort:
+					if err != nil {
+						fail(err)
+					}
+				case <-ctx.Done():
+				}
+			}()
+		}
+		if pl.Ready != nil {
+			pl.Ready()
+		}
+		if pl.Start != nil {
+			select {
+			case <-pl.Start:
+			case <-ctx.Done():
+				if jobGrant != nil {
+					jobGrant.Release()
+				}
+				// A watcher or the abort listener may have cancelled the
+				// run with a typed retriable failure; fail-then-read
+				// synchronizes on the errOnce, so that error wins over a
+				// bare context.Canceled.
+				fail(ctx.Err())
+				return firstErr
+			}
+		}
 	}
 
 	for _, op := range j.ops {
 		for p := 0; p < op.Parallelism; p++ {
+			if !isLocal(op, p) {
+				continue
+			}
 			op, p := op, p
-			node := alive[p%len(alive)]
+			node := localNC
+			if node == nil {
+				node = alive[p%len(alive)]
+			}
 			var ts *obs.Span
 			if traceTasks {
 				ts = jobSpan.StartChild(fmt.Sprintf("%s[%d]", op.Name, p))
@@ -134,10 +298,34 @@ func (c *Cluster) Run(ctx context.Context, j *Job) error {
 				case <-tctx.Done():
 				}
 			}()
-			send := func(ch chan []Tuple, frame []Tuple) error {
+			var taskMem *mem.Grant
+			if op.Memory {
+				taskMem = jobGrant.TaskGrant()
+			}
+			tc := &TaskContext{
+				Ctx:           tctx,
+				Partition:     p,
+				NumPartitions: op.Parallelism,
+				Node:          node,
+				Mem:           taskMem,
+				Span:          ts,
+				JobSpan:       jobSpan,
+			}
+			send := func(rt *edgeRT, dst int, frame []Tuple) error {
 				if err := fault.Hit(fault.PointFrameDelay); err != nil {
 					return err
 				}
+				if rt.owners[dst] != "" {
+					// Remote consumer: the transport serializes the frame
+					// and blocks under the consumer's credit window. Wire
+					// stalls are always attributed (the per-frame clock is
+					// noise next to a network round trip).
+					t0 := time.Now()
+					err := rt.handle.Send(tctx, dst, frame)
+					tc.AddWait(obs.WaitNet, time.Since(t0))
+					return err
+				}
+				ch := rt.chans[dst]
 				// Fast path: a non-blocking send costs nothing extra.
 				select {
 				case ch <- frame:
@@ -159,19 +347,6 @@ func (c *Cluster) Run(ctx context.Context, j *Job) error {
 				case <-tctx.Done():
 					return tctx.Err()
 				}
-			}
-			var taskMem *mem.Grant
-			if op.Memory {
-				taskMem = jobGrant.TaskGrant()
-			}
-			tc := &TaskContext{
-				Ctx:           tctx,
-				Partition:     p,
-				NumPartitions: op.Parallelism,
-				Node:          node,
-				Mem:           taskMem,
-				Span:          ts,
-				JobSpan:       jobSpan,
 			}
 
 			// Inputs, ordered by port.
@@ -211,23 +386,24 @@ func (c *Cluster) Run(ctx context.Context, j *Job) error {
 			outs := make([]*Output, len(op.outs))
 			writers := make([]*connWriter, len(op.outs))
 			for i, e := range op.outs {
+				rt := rts[e]
 				w := &connWriter{
 					conn:      e.conn,
-					chans:     rts[e].chans,
+					nch:       len(rt.chans),
 					frameSize: c.FrameSize,
 					producer:  p,
-					send:      send,
+					send:      func(dst int, frame []Tuple) error { return send(rt, dst, frame) },
 					node:      node,
 					span:      ts,
 				}
 				if e.conn.Kind == ConnMerge {
 					if len(e.conn.Cmp.Columns) > 0 {
-						w.mergeChan = rts[e].chans[p]
+						w.mergeDst = p
 					} else {
-						w.mergeChan = rts[e].chans[0]
+						w.mergeDst = 0
 					}
 				}
-				w.buffers = make([][]Tuple, len(w.chans))
+				w.buffers = make([][]Tuple, w.nch)
 				writers[i] = w
 				outs[i] = &Output{write: w.Write, close: w.Close}
 			}
@@ -265,9 +441,23 @@ func (c *Cluster) Run(ctx context.Context, j *Job) error {
 					}
 				}
 				// Producers must be marked done even on error so channel
-				// closers terminate.
+				// closers terminate. The wire end-of-stream, though, is a
+				// success claim — "every frame I owed this edge arrived
+				// before this" — so a FAILED producer must not send it: a
+				// reconnect would carry the EOS past the break and the
+				// consumer would complete on silently truncated data. Its
+				// consumers instead block until the failure status aborts
+				// the attempt and the retry supersedes the job id.
 				for _, e := range op.outs {
-					rts[e].producers.Done()
+					rt := rts[e]
+					if rt.remote && rt.handle != nil && err == nil {
+						if pdErr := rt.handle.ProducerDone(); pdErr != nil {
+							err = pdErr
+						}
+					}
+					if atomic.AddInt32(&rt.pending, -1) == 0 {
+						close(rt.done)
+					}
 				}
 				// A task that failed on a dead node failed BECAUSE the node
 				// died (its tctx was cancelled by the watcher); a task that
@@ -290,8 +480,11 @@ func (c *Cluster) Run(ctx context.Context, j *Job) error {
 	}
 	if firstErr != nil {
 		var nf *NodeFailure
+		var lf *LinkFailure
 		if errors.As(firstErr, &nf) {
 			atomic.AddInt64(&c.nodeFailures, 1)
+		} else if errors.As(firstErr, &lf) {
+			atomic.AddInt64(&c.linkFailures, 1)
 		}
 		return firstErr
 	}
@@ -302,14 +495,14 @@ func (c *Cluster) Run(ctx context.Context, j *Job) error {
 // channels with frame batching.
 type connWriter struct {
 	conn      Connector
-	chans     []chan []Tuple
+	nch       int
 	buffers   [][]Tuple
 	frameSize int
 	producer  int
 	rr        int
-	mergeChan chan []Tuple
+	mergeDst  int
 	mbuf      []Tuple
-	send      func(chan []Tuple, []Tuple) error
+	send      func(dst int, frame []Tuple) error
 	node      *NodeController
 	span      *obs.Span
 	closed    bool
@@ -322,17 +515,17 @@ func (w *connWriter) Write(t Tuple) error {
 	case ConnOneToOne:
 		return w.buffered(w.producer, t)
 	case ConnHashPartition:
-		dst := int(HashColumns(t, w.conn.HashCols) % uint64(len(w.chans)))
+		dst := int(HashColumns(t, w.conn.HashCols) % uint64(w.nch))
 		return w.buffered(dst, t)
 	case ConnBroadcast:
-		for i := range w.chans {
+		for i := 0; i < w.nch; i++ {
 			if err := w.buffered(i, t); err != nil {
 				return err
 			}
 		}
 		return nil
 	case ConnRoundRobin:
-		dst := w.rr % len(w.chans)
+		dst := w.rr % w.nch
 		w.rr++
 		return w.buffered(dst, t)
 	case ConnMerge:
@@ -342,7 +535,7 @@ func (w *connWriter) Write(t Tuple) error {
 		if len(w.mbuf) >= w.frameSize {
 			f := w.mbuf
 			w.mbuf = nil
-			return w.send(w.mergeChan, f)
+			return w.send(w.mergeDst, f)
 		}
 		return nil
 	}
@@ -354,7 +547,7 @@ func (w *connWriter) buffered(dst int, t Tuple) error {
 	if len(w.buffers[dst]) >= w.frameSize {
 		f := w.buffers[dst]
 		w.buffers[dst] = nil
-		return w.send(w.chans[dst], f)
+		return w.send(dst, f)
 	}
 	return nil
 }
@@ -369,13 +562,13 @@ func (w *connWriter) Close() error {
 		if len(w.mbuf) > 0 {
 			f := w.mbuf
 			w.mbuf = nil
-			return w.send(w.mergeChan, f)
+			return w.send(w.mergeDst, f)
 		}
 		return nil
 	}
 	for i, buf := range w.buffers {
 		if len(buf) > 0 {
-			if err := w.send(w.chans[i], buf); err != nil {
+			if err := w.send(i, buf); err != nil {
 				return err
 			}
 			w.buffers[i] = nil

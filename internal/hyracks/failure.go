@@ -4,9 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 	"sync/atomic"
 	"time"
+
+	"asterix/internal/fault"
 )
 
 // NodeFailure is the error a job fails with when a node controller dies
@@ -19,6 +20,47 @@ type NodeFailure struct {
 
 func (e *NodeFailure) Error() string {
 	return fmt.Sprintf("node %s died running %s", e.Node, e.Op)
+}
+
+// LinkFailure is the error a job fails with when the network transport
+// loses a frame stream mid-flight — a dropped connection, a torn frame,
+// or a partition — without the remote peer being declared dead. Like
+// NodeFailure it is retriable: the exchange protocol never acknowledges
+// a frame it did not deliver, so re-running the attempt from scratch on
+// a fresh stream is always safe.
+type LinkFailure struct {
+	Peer string // remote peer / node id the stream was bound for
+	Op   string // operator whose task observed the break (may be empty)
+	Err  error  // underlying transport error
+}
+
+func (e *LinkFailure) Error() string {
+	if e.Op != "" {
+		return fmt.Sprintf("link to %s failed running %s: %v", e.Peer, e.Op, e.Err)
+	}
+	return fmt.Sprintf("link to %s failed: %v", e.Peer, e.Err)
+}
+
+func (e *LinkFailure) Unwrap() error { return e.Err }
+
+// Retriable reports whether err is a failure class RunWithRetry would
+// re-plan around (node death or a broken frame stream), and the dead
+// node's id when the error names one. Servers use it to tell clients a
+// resend may succeed.
+func Retriable(err error) (deadNode string, ok bool) { return retriable(err) }
+
+// retriable reports whether err is a failure class RunWithRetry should
+// re-plan around (node death or a broken frame stream).
+func retriable(err error) (deadNode string, ok bool) {
+	var nf *NodeFailure
+	if errors.As(err, &nf) {
+		return nf.Node, true
+	}
+	var lf *LinkFailure
+	if errors.As(err, &lf) {
+		return "", true
+	}
+	return "", false
 }
 
 // RetryPolicy bounds RunWithRetry's re-execution of node-failed jobs with
@@ -64,11 +106,13 @@ type RunReport struct {
 }
 
 // RunWithRetry executes the job produced by build, re-building and
-// re-running it on the surviving nodes when a node failure kills an
-// attempt, with bounded exponential backoff plus jitter between attempts.
+// re-running it on the surviving nodes when a node or link failure kills
+// an attempt, with bounded exponential backoff plus jitter between
+// attempts. Jitter is drawn from fault.Int63n, so a run armed with
+// ASTERIX_FAULT_SEED has deterministic retry timing end-to-end.
 // build must return a fresh Job per call — sinks and collectors hold
-// per-run state, so a Job value cannot be re-run. Non-node-failure errors
-// are returned immediately.
+// per-run state, so a Job value cannot be re-run. Other errors are
+// returned immediately.
 func (c *Cluster) RunWithRetry(ctx context.Context, build func() (*Job, error), pol RetryPolicy) (RunReport, error) {
 	pol = pol.withDefaults()
 	var rep RunReport
@@ -86,11 +130,11 @@ func (c *Cluster) RunWithRetry(ctx context.Context, build func() (*Job, error), 
 		if err == nil {
 			return rep, nil
 		}
-		var nf *NodeFailure
-		if !errors.As(err, &nf) {
+		deadNode, ok := retriable(err)
+		if !ok {
 			return rep, err
 		}
-		rep.DeadNodes = mergeDead(rep.DeadNodes, c.DeadNodeIDs(), nf.Node)
+		rep.DeadNodes = mergeDead(rep.DeadNodes, c.DeadNodeIDs(), deadNode)
 		if rep.Attempts >= pol.MaxAttempts {
 			return rep, fmt.Errorf("hyracks: job failed after %d attempts: %w", rep.Attempts, err)
 		}
@@ -100,7 +144,7 @@ func (c *Cluster) RunWithRetry(ctx context.Context, build func() (*Job, error), 
 		atomic.AddInt64(&c.jobRetries, 1)
 		d := backoff
 		if pol.Jitter > 0 {
-			d += time.Duration(rand.Int63n(int64(float64(backoff)*pol.Jitter) + 1))
+			d += time.Duration(fault.Int63n(int64(float64(backoff)*pol.Jitter) + 1))
 		}
 		select {
 		case <-time.After(d):

@@ -175,10 +175,20 @@ type Job struct {
 	ops   []*Operator
 	edges []*edge
 
+	// placement, when set, makes Run execute only this process's share
+	// of the DAG and route cross-process edges through the transport.
+	// Nil is the single-process mode: every task local.
+	placement *Placement
+
 	// peakWorking records the job's high-water mark of granted working
 	// memory, set by Run when the job completes.
 	peakWorking int64
 }
+
+// SetPlacement attaches a multi-process placement to the job (see
+// Placement). Call before Run; a nil placement restores single-process
+// execution.
+func (j *Job) SetPlacement(p *Placement) { j.placement = p }
 
 // PeakWorkingBytes returns the high-water mark of working memory granted
 // to the job's tasks during its last Run (0 before the job ran or when

@@ -1,0 +1,482 @@
+package anet
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"asterix/internal/adm"
+	"asterix/internal/fault"
+	"asterix/internal/hyracks"
+	"asterix/internal/obs"
+)
+
+// simNode is one simulated node process: a peer endpoint plus its own
+// cluster view (every process holds controllers for every member).
+type simNode struct {
+	id      string
+	peer    *Peer
+	cluster *hyracks.Cluster
+	metrics *obs.Registry
+}
+
+// startMesh boots one Peer per id on loopback with dynamic ports, wires
+// the full address book, and gives each node a named cluster whose
+// remote controllers are killed by that node's failure detector.
+func startMesh(t *testing.T, ids []string, tune func(id string, o *Options)) map[string]*simNode {
+	t.Helper()
+	nodes := map[string]*simNode{}
+	for _, id := range ids {
+		cl, err := hyracks.NewNamedCluster(ids, t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := obs.NewRegistry()
+		o := Options{
+			ID:                id,
+			ListenAddr:        "127.0.0.1:0",
+			Metrics:           reg,
+			HeartbeatInterval: 25 * time.Millisecond,
+			OnPeerDown: func(down string) {
+				if nc := cl.NodeByID(down); nc != nil {
+					nc.Kill()
+				}
+			},
+		}
+		if tune != nil {
+			tune(id, &o)
+		}
+		p, err := NewPeer(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[id] = &simNode{id: id, peer: p, cluster: cl, metrics: reg}
+	}
+	for _, a := range nodes {
+		for _, b := range nodes {
+			if a.id != b.id {
+				a.peer.AddPeer(b.id, b.peer.Addr())
+			}
+		}
+	}
+	t.Cleanup(func() {
+		for _, n := range nodes {
+			n.peer.Close()
+		}
+	})
+	return nodes
+}
+
+// runPlaced executes the same job spec on every node of the mesh with a
+// shared START barrier, returning the per-node Run errors.
+func runPlaced(ctx context.Context, nodes map[string]*simNode, jobID string,
+	build func(n *simNode) *hyracks.Job, assign func(op string, part int) string) map[string]error {
+	// A failed node cancels the others, standing in for the dist control
+	// plane's failure-status abort: a failed producer withholds its wire
+	// EOS (it would legitimize a truncated stream), so its consumers
+	// block until told the attempt is dead.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	start := make(chan struct{})
+	var readyWG sync.WaitGroup
+	readyWG.Add(len(nodes))
+	go func() {
+		readyWG.Wait()
+		close(start)
+	}()
+	errs := map[string]error{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, n := range nodes {
+		n := n
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			j := build(n)
+			j.SetPlacement(&hyracks.Placement{
+				JobID:     jobID,
+				Node:      n.id,
+				Assign:    assign,
+				Transport: n.peer,
+				Ready:     readyWG.Done,
+				Start:     start,
+			})
+			err := n.cluster.Run(ctx, j)
+			mu.Lock()
+			errs[n.id] = err
+			mu.Unlock()
+			if err != nil {
+				cancel()
+			}
+		}()
+	}
+	wg.Wait()
+	return errs
+}
+
+// genOp emits rows [base, base+count) on each partition; used as the
+// distributed source.
+func genOp(parallelism, rowsPerPart int) *hyracks.Operator {
+	return hyracks.NewScan("gen", parallelism, func(tc *hyracks.TaskContext, emit func(hyracks.Tuple) error) error {
+		base := tc.Partition * rowsPerPart
+		for i := 0; i < rowsPerPart; i++ {
+			if err := emit(hyracks.Tuple{adm.Int64(base + i), adm.String("row-payload")}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func counterValue(reg *obs.Registry, name string) int64 {
+	snap := reg.Snapshot()
+	if v, ok := snap[name]; ok {
+		switch x := v.(type) {
+		case int64:
+			return x
+		case float64:
+			return int64(x)
+		}
+	}
+	return 0
+}
+
+// TestTwoPeerExchange proves the tentpole end to end in miniature: two
+// node processes, a hash-partitioned producer spanning both, and a
+// merge-concentrated collector on one — frames cross the wire with
+// credit backpressure, EOS closes the stream, and every row arrives
+// exactly once.
+func TestTwoPeerExchange(t *testing.T) {
+	nodes := startMesh(t, []string{"na", "nb"}, nil)
+	const rows = 500
+	var collMu sync.Mutex
+	colls := map[string]*hyracks.Collector{}
+	errs := runPlaced(context.Background(), nodes, "x1#1", func(n *simNode) *hyracks.Job {
+		j := hyracks.NewJob()
+		gen := j.Add(genOp(2, rows))
+		coll := &hyracks.Collector{}
+		collMu.Lock()
+		colls[n.id] = coll
+		collMu.Unlock()
+		sink := j.Add(hyracks.NewSink("collect", 1, coll))
+		j.MustConnect(gen, sink, 0, hyracks.MergeUnordered())
+		return j
+	}, func(op string, part int) string {
+		if op == "collect" {
+			return "na"
+		}
+		return []string{"na", "nb"}[part%2]
+	})
+	for id, err := range errs {
+		if err != nil {
+			t.Fatalf("node %s: %v", id, err)
+		}
+	}
+	got := colls["na"].Len()
+	if got != 2*rows {
+		t.Fatalf("collector on na has %d rows, want %d", got, 2*rows)
+	}
+	if colls["nb"].Len() != 0 {
+		t.Fatalf("collector on nb has %d rows, want 0", colls["nb"].Len())
+	}
+	// The wire must actually have carried nb's half.
+	sent := counterValue(nodes["nb"].metrics, "net_frames_sent_total")
+	if sent == 0 {
+		t.Fatal("nb sent no frames over the wire")
+	}
+	recv := counterValue(nodes["na"].metrics, "net_frames_recv_total")
+	if recv == 0 {
+		t.Fatal("na received no frames over the wire")
+	}
+}
+
+// TestCreditBackpressure squeezes a big transfer through a 2-frame
+// credit window: the sender must stall (observable in the counter) and
+// still deliver every row exactly once.
+func TestCreditBackpressure(t *testing.T) {
+	nodes := startMesh(t, []string{"na", "nb"}, func(id string, o *Options) {
+		o.CreditWindow = 2
+	})
+	const rows = 2000
+	coll := &hyracks.Collector{}
+	errs := runPlaced(context.Background(), nodes, "bp#1", func(n *simNode) *hyracks.Job {
+		j := hyracks.NewJob()
+		gen := j.Add(genOp(1, rows))
+		sink := j.Add(hyracks.NewSink("collect", 1, coll))
+		j.MustConnect(gen, sink, 0, hyracks.MergeUnordered())
+		return j
+	}, func(op string, part int) string {
+		if op == "gen" {
+			return "nb"
+		}
+		return "na"
+	})
+	for id, err := range errs {
+		if err != nil {
+			t.Fatalf("node %s: %v", id, err)
+		}
+	}
+	if coll.Len() != rows {
+		t.Fatalf("got %d rows, want %d", coll.Len(), rows)
+	}
+	if counterValue(nodes["nb"].metrics, "net_credit_stalls_total") == 0 {
+		t.Fatal("a 2-frame window moved 2000 rows without one credit stall")
+	}
+}
+
+// TestHeartbeatFailureDetection kills one node process mid-run; the
+// survivor's detector must declare it dead, kill its controller, and
+// fail the run with a retriable NodeFailure.
+func TestHeartbeatFailureDetection(t *testing.T) {
+	nodes := startMesh(t, []string{"na", "nb"}, nil)
+	// Warm the link so nb has been heard from.
+	if err := nodes["na"].peer.SendControl("nb", []byte("ping")); err != nil {
+		t.Fatalf("warm-up send: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for nodes["na"].peer.peer("nb").lastSeen.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("na never heard from nb")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Hard-kill nb's process.
+	nodes["nb"].peer.Close()
+	for !nodes["na"].cluster.NodeByID("nb").Dead() {
+		if time.Now().After(deadline) {
+			t.Fatal("na never declared nb dead after heartbeat silence")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if counterValue(nodes["na"].metrics, "net_heartbeat_timeouts_total") == 0 {
+		t.Fatal("heartbeat timeout not counted")
+	}
+	// A run placed across the dead node must fail with NodeFailure.
+	j := hyracks.NewJob()
+	gen := j.Add(genOp(2, 10))
+	coll := &hyracks.Collector{}
+	sink := j.Add(hyracks.NewSink("collect", 1, coll))
+	j.MustConnect(gen, sink, 0, hyracks.MergeUnordered())
+	start := make(chan struct{})
+	close(start)
+	j.SetPlacement(&hyracks.Placement{
+		JobID: "hb#1", Node: "na", Transport: nodes["na"].peer, Start: start,
+		Assign: func(op string, part int) string {
+			if op == "gen" && part == 1 {
+				return "nb"
+			}
+			return "na"
+		},
+	})
+	err := nodes["na"].cluster.Run(context.Background(), j)
+	var nf *hyracks.NodeFailure
+	if !errors.As(err, &nf) || nf.Node != "nb" {
+		t.Fatalf("want NodeFailure{nb}, got %v", err)
+	}
+}
+
+// TestNetDropBreaksStream arms net.drop on the sending process: the
+// dropped frame resets the connection and the sending task fails with a
+// retriable LinkFailure — never a silent gap in the data.
+func TestNetDropBreaksStream(t *testing.T) {
+	defer fault.Disarm()
+	if err := fault.Arm("net.drop:error:after=2:tag=nb"); err != nil {
+		t.Fatal(err)
+	}
+	nodes := startMesh(t, []string{"na", "nb"}, nil)
+	coll := &hyracks.Collector{}
+	errs := runPlaced(context.Background(), nodes, "drop#1", func(n *simNode) *hyracks.Job {
+		j := hyracks.NewJob()
+		gen := j.Add(genOp(1, 5000))
+		sink := j.Add(hyracks.NewSink("collect", 1, coll))
+		j.MustConnect(gen, sink, 0, hyracks.MergeUnordered())
+		return j
+	}, func(op string, part int) string {
+		if op == "gen" {
+			return "nb"
+		}
+		return "na"
+	})
+	var lf *hyracks.LinkFailure
+	if !errors.As(errs["nb"], &lf) {
+		t.Fatalf("sender should fail with LinkFailure, got %v", errs["nb"])
+	}
+	if !errors.Is(errs["nb"], fault.ErrInjected) {
+		t.Fatalf("link failure should wrap the injected fault: %v", errs["nb"])
+	}
+	if counterValue(nodes["nb"].metrics, "net_frames_dropped_total") == 0 {
+		t.Fatal("drop not counted")
+	}
+	if counterValue(nodes["nb"].metrics, "net_conn_resets_total") == 0 {
+		t.Fatal("drop must reset the connection")
+	}
+}
+
+// TestConnResetMidFrame arms the torn-write fault: the receiver sees a
+// truncated wire frame (caught by length/CRC framing), the connection
+// resets, and the sender surfaces a retriable LinkFailure.
+func TestConnResetMidFrame(t *testing.T) {
+	defer fault.Disarm()
+	if err := fault.Arm("net.conn.reset:torn:after=1:tag=nb"); err != nil {
+		t.Fatal(err)
+	}
+	nodes := startMesh(t, []string{"na", "nb"}, nil)
+	coll := &hyracks.Collector{}
+	errs := runPlaced(context.Background(), nodes, "torn#1", func(n *simNode) *hyracks.Job {
+		j := hyracks.NewJob()
+		gen := j.Add(genOp(1, 5000))
+		sink := j.Add(hyracks.NewSink("collect", 1, coll))
+		j.MustConnect(gen, sink, 0, hyracks.MergeUnordered())
+		return j
+	}, func(op string, part int) string {
+		if op == "gen" {
+			return "nb"
+		}
+		return "na"
+	})
+	var lf *hyracks.LinkFailure
+	if !errors.As(errs["nb"], &lf) {
+		t.Fatalf("sender should fail with LinkFailure, got %v", errs["nb"])
+	}
+	if !strings.Contains(errs["nb"].Error(), "reset mid-frame") {
+		t.Fatalf("unexpected failure: %v", errs["nb"])
+	}
+}
+
+// TestStaleAttemptFramesDropped delivers frames for an unregistered
+// job attempt: they must be counted stale and discarded, not crash or
+// leak into a later attempt.
+func TestStaleAttemptFramesDropped(t *testing.T) {
+	nodes := startMesh(t, []string{"na", "nb"}, nil)
+	payload := encodeDataPayload(nil, edgeRef{jobID: "ghost#9", edge: 0}, 0, testFrame())
+	if err := nodes["nb"].peer.send("na", msgData, payload); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for counterValue(nodes["na"].metrics, "net_stale_frames_total") == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stale frame never counted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestNoGoroutineLeakAfterClose runs a cross-peer job, closes the mesh,
+// and checks the process goroutine count returns to baseline — the
+// crash-matrix condition that transports never leak watchers, inject
+// loops, or readers.
+func TestNoGoroutineLeakAfterClose(t *testing.T) {
+	before := runtime.NumGoroutine()
+	func() {
+		nodes := startMesh(t, []string{"na", "nb", "nc"}, nil)
+		coll := &hyracks.Collector{}
+		errs := runPlaced(context.Background(), nodes, "leak#1", func(n *simNode) *hyracks.Job {
+			j := hyracks.NewJob()
+			gen := j.Add(genOp(3, 200))
+			sink := j.Add(hyracks.NewSink("collect", 1, coll))
+			j.MustConnect(gen, sink, 0, hyracks.MergeUnordered())
+			return j
+		}, func(op string, part int) string {
+			if op == "collect" {
+				return "na"
+			}
+			return []string{"na", "nb", "nc"}[part%3]
+		})
+		for id, err := range errs {
+			if err != nil {
+				t.Fatalf("node %s: %v", id, err)
+			}
+		}
+		if coll.Len() != 600 {
+			t.Fatalf("got %d rows, want 600", coll.Len())
+		}
+		for _, n := range nodes {
+			n.peer.Close()
+		}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if g := runtime.NumGoroutine(); g <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: before=%d after=%d\n%s", before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestWaitNetAttribution checks that wire stalls show up in the span
+// wait profile under the net kind.
+func TestWaitNetAttribution(t *testing.T) {
+	defer fault.Disarm()
+	if err := fault.Arm("net.delay:delay=5ms:times=3:tag=nb"); err != nil {
+		t.Fatal(err)
+	}
+	nodes := startMesh(t, []string{"na", "nb"}, nil)
+	span := obs.NewSpan("job")
+	ctx := obs.ContextWithSpan(context.Background(), span)
+	coll := &hyracks.Collector{}
+	errs := runPlaced(ctx, nodes, "wait#1", func(n *simNode) *hyracks.Job {
+		j := hyracks.NewJob()
+		gen := j.Add(genOp(1, 2000))
+		sink := j.Add(hyracks.NewSink("collect", 1, coll))
+		j.MustConnect(gen, sink, 0, hyracks.MergeUnordered())
+		return j
+	}, func(op string, part int) string {
+		if op == "gen" {
+			return "nb"
+		}
+		return "na"
+	})
+	for id, err := range errs {
+		if err != nil {
+			t.Fatalf("node %s: %v", id, err)
+		}
+	}
+	if coll.Len() != 2000 {
+		t.Fatalf("got %d rows, want 2000", coll.Len())
+	}
+	if w := span.WaitRollup()[obs.WaitNet]; w < 5*time.Millisecond {
+		t.Fatalf("net wait %v not attributed (want ≥ 5ms)", w)
+	}
+}
+
+// TestPartitionIsolatesPeer arms a lasting partition on one node of a
+// three-node mesh (scoped by tag): both sides must eventually declare
+// each other dead while the unpartitioned pair stays healthy.
+func TestPartitionIsolatesPeer(t *testing.T) {
+	defer fault.Disarm()
+	nodes := startMesh(t, []string{"na", "nb", "nc"}, nil)
+	// Let the mesh warm up so everyone has heard everyone.
+	deadline := time.Now().Add(5 * time.Second)
+	warm := func(a, b string) bool { return nodes[a].peer.peer(b).lastSeen.Load() != 0 }
+	for !(warm("na", "nb") && warm("na", "nc") && warm("nb", "na") && warm("nc", "na")) {
+		if time.Now().After(deadline) {
+			t.Fatal("mesh never warmed up")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := fault.Arm("net.partition:error:times=0:tag=nc"); err != nil {
+		t.Fatal(err)
+	}
+	for !nodes["na"].cluster.NodeByID("nc").Dead() {
+		if time.Now().After(deadline) {
+			t.Fatal("na never declared partitioned nc dead")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if nodes["na"].cluster.NodeByID("nb").Dead() {
+		t.Fatal("unpartitioned nb wrongly declared dead on na")
+	}
+	if !nodes["na"].cluster.NodeByID("nc").Dead() {
+		t.Fatal("partitioned nc not declared dead on na")
+	}
+}

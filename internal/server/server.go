@@ -56,6 +56,23 @@ type Options struct {
 // options.
 func Handler(e Engine) http.Handler { return NewHandler(e, Options{}) }
 
+// NewHTTPServer wraps a handler in an http.Server with the timeouts a
+// long-lived daemon needs: a client that stalls while sending headers
+// or a body, or that stops reading its response, is disconnected
+// instead of holding a connection (and its goroutine) forever. Write
+// and idle bounds are generous because statements legitimately run for
+// seconds; header reads have no such excuse.
+func NewHTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		WriteTimeout:      5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
 // NewHandler returns the HTTP handler for the query service.
 func NewHandler(e Engine, opts Options) http.Handler {
 	if opts.SlowQueryThreshold == 0 {

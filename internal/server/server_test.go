@@ -3,9 +3,11 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
@@ -668,5 +670,59 @@ func TestAdmissionTimeoutEndToEnd(t *testing.T) {
 	}
 	if qr.Metrics.PeakWorkingMemBytes <= 0 {
 		t.Fatalf("peakWorkingMemBytes = %d, want > 0", qr.Metrics.PeakWorkingMemBytes)
+	}
+}
+
+// TestStalledClientDisconnected proves the hardened server tears down a
+// client that opens a connection and never finishes its request: the
+// read-header deadline fires and the connection closes, instead of the
+// goroutine idling forever (the bare ListenAndServe behavior).
+func TestStalledClientDisconnected(t *testing.T) {
+	srv := NewHTTPServer("127.0.0.1:0", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	if srv.ReadHeaderTimeout <= 0 || srv.ReadTimeout <= 0 || srv.WriteTimeout <= 0 || srv.IdleTimeout <= 0 {
+		t.Fatalf("server missing timeouts: %+v", srv)
+	}
+	// Shrink the deadlines so the test observes them quickly; the zero
+	// values are what production guards against.
+	srv.ReadHeaderTimeout = 150 * time.Millisecond
+	srv.ReadTimeout = 300 * time.Millisecond
+
+	ln, err := net.Listen("tcp", srv.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); srv.Serve(ln) }()
+	t.Cleanup(func() { srv.Close(); <-done })
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A torso of a request, then silence.
+	if _, err := conn.Write([]byte("POST /query/service HTTP/1.1\r\nHost: x\r\nContent-Le")); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 256)
+	n, err := conn.Read(buf)
+	// The server must close the connection — either a bare EOF or an
+	// error response (408/400) followed by close; anything but hanging
+	// until our own deadline.
+	if err == nil {
+		body := string(buf[:n])
+		if !strings.Contains(body, "408") && !strings.Contains(body, "400") {
+			t.Fatalf("unexpected payload for a stalled request: %q", body)
+		}
+		if _, err = conn.Read(buf); err == nil {
+			t.Fatal("connection still open after timeout response")
+		}
+	}
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		t.Fatal("server never disconnected the stalled client")
 	}
 }
