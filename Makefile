@@ -35,7 +35,7 @@ fault-matrix:
 # distributed join through injected link faults and a killed node
 # (gated on ASTERIX_NET_MATRIX so plain `go test ./...` stays fast).
 net-matrix:
-	go test -count=1 -run 'TestNetDrop|TestNetDelay|TestHeartbeatPartition|TestConnResetMidFrame|TestPartitionDuringExchange|TestWaitNetAttribution|TestTwoPeerExchange' \
+	go test -count=1 -run 'TestNetDrop|TestNetDelay|TestHeartbeatPartition|TestConnResetMidFrame|TestPartitionDuringExchange|TestWaitNetAttribution|TestTwoPeerExchange|TestConcentratedMergeExact|TestRecvOverflowPoisonsEdge|TestPeerDownRevivesOnHeal|TestConcurrentRunsSameSpecID' \
 		./internal/net/ ./internal/dist/
 	ASTERIX_NET_MATRIX=1 go test -count=1 -timeout 180s -run 'TestParsePeers|TestMultiProcessCluster' -v ./cmd/asterixd/
 

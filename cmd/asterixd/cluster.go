@@ -12,6 +12,7 @@ import (
 	"asterix/internal/dist"
 	"asterix/internal/fault"
 	"asterix/internal/hyracks"
+	"asterix/internal/mem"
 	anet "asterix/internal/net"
 	"asterix/internal/obs"
 )
@@ -46,9 +47,11 @@ func parsePeers(s string) (map[string]string, error) {
 }
 
 // startCluster boots the data-plane peer and control plane for a node
-// of a multi-process cluster.
+// of a multi-process cluster. The engine's governor arbitrates the
+// distributed path's memory too: jobs admit against it and the peer
+// charges its receive-window buffers to it.
 func startCluster(self, dataListen, peerSpec, dataDir string, hbInterval time.Duration,
-	reg *obs.Registry, allowFault bool) (*clusterService, error) {
+	gov *mem.Governor, reg *obs.Registry, allowFault bool) (*clusterService, error) {
 	peers, err := parsePeers(peerSpec)
 	if err != nil {
 		return nil, err
@@ -65,13 +68,16 @@ func startCluster(self, dataListen, peerSpec, dataDir string, hbInterval time.Du
 	if err != nil {
 		return nil, err
 	}
+	cluster.Gov = gov
 	node := dist.NewNode(cluster)
 	peer, err := anet.NewPeer(anet.Options{
 		ID:                self,
 		ListenAddr:        dataListen,
 		Peers:             peers,
+		Gov:               gov,
 		Metrics:           reg,
 		OnPeerDown:        node.OnPeerDown,
+		OnPeerUp:          node.OnPeerUp,
 		OnControl:         node.HandleControl,
 		HeartbeatInterval: hbInterval,
 	})

@@ -98,7 +98,7 @@ func main() {
 	// endpoints in front of the single-process query service.
 	if *nodeID != "" {
 		cs, err := startCluster(*nodeID, *dataListen, *peers, filepath.Join(*dataDir, "cluster"),
-			*hbInterval, eng.Metrics(), *faultAPI)
+			*hbInterval, eng.Cluster().Gov, eng.Metrics(), *faultAPI)
 		if err != nil {
 			log.Fatalf("asterixd: cluster: %v", err)
 		}

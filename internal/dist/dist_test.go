@@ -167,6 +167,43 @@ func TestDistributedGroupBy(t *testing.T) {
 	}
 }
 
+// TestConcurrentRunsSameSpecID drives two simultaneous Runs of specs
+// sharing one spec id. Their attempt job ids must not collide: a
+// collision makes workers dedupe-drop the second job message, the READY
+// barrier then times out and Kill()s perfectly healthy members, and the
+// poisoned cluster view breaks every later query.
+func TestConcurrentRunsSameSpecID(t *testing.T) {
+	nodes := startDist(t, []string{"na", "nb", "nc"})
+	type res struct {
+		rows int
+		err  error
+	}
+	ch := make(chan res, 2)
+	for i := 0; i < 2; i++ {
+		spec, _ := joinSpec("q-dup")
+		go func(spec *Spec) {
+			rows, _, err := nodes["na"].node.Run(context.Background(), spec,
+				hyracks.RetryPolicy{MaxAttempts: 2})
+			ch <- res{len(rows), err}
+		}(spec)
+	}
+	_, want := joinSpec("q-dup")
+	for i := 0; i < 2; i++ {
+		r := <-ch
+		if r.err != nil {
+			t.Fatalf("concurrent run failed: %v", r.err)
+		}
+		if r.rows != want {
+			t.Fatalf("concurrent run got %d rows, want %d", r.rows, want)
+		}
+	}
+	for _, nc := range nodes["na"].cluster.Nodes {
+		if nc.Dead() {
+			t.Fatalf("healthy member %s was killed by a job-id collision", nc.ID)
+		}
+	}
+}
+
 // TestRetryAfterWorkerDeath kills a worker process before the run and
 // verifies the ready barrier declares it dead and the retry lands on
 // the survivors — the distributed analog of the in-process

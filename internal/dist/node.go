@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	anet "asterix/internal/net"
@@ -46,6 +47,12 @@ type Node struct {
 	jobs   map[string]*workerJob // attempts this process runs for a remote driver
 	runs   map[string]*driverRun // attempts this process is driving
 	closed bool
+	// seq (atomic) numbers this driver's Runs: without it, two
+	// concurrent Runs of the same spec id would mint colliding attempt
+	// job ids — the workers would dedupe-drop the second job message,
+	// its READY barrier would time out, and healthy members would be
+	// Kill()ed for nothing.
+	seq uint64
 }
 
 // workerJob is one attempt being executed on behalf of a remote driver.
@@ -112,6 +119,16 @@ func (n *Node) Close() {
 func (n *Node) OnPeerDown(id string) {
 	if nc := n.cluster.NodeByID(id); nc != nil {
 		nc.Kill()
+	}
+}
+
+// OnPeerUp is the mirror hook: a peer heard from again after being
+// declared down — healed partition, restarted process — is Revived so
+// later attempts may place tasks on it again (in-flight attempts that
+// already counted it dead still retry; Revive never resurrects tasks).
+func (n *Node) OnPeerUp(id string) {
+	if nc := n.cluster.NodeByID(id); nc != nil {
+		nc.Revive()
 	}
 }
 
@@ -308,6 +325,11 @@ func (n *Node) Run(ctx context.Context, spec *Spec, pol hyracks.RetryPolicy) ([]
 		return nil, hyracks.RunReport{}, fmt.Errorf("dist: node is not bound to a peer")
 	}
 	self := peer.ID()
+	// The job id carries the driver's node id and a per-driver run
+	// nonce besides the attempt counter: concurrent Runs of the same
+	// spec — on this driver or racing drivers — must never collide in
+	// the workers' attempt registries.
+	runSeq := atomic.AddUint64(&n.seq, 1)
 	attempt := 0
 	var last *driverRun
 	build := func() (*hyracks.Job, error) {
@@ -316,7 +338,7 @@ func (n *Node) Run(ctx context.Context, spec *Spec, pol hyracks.RetryPolicy) ([]
 			last = nil
 		}
 		attempt++
-		jobID := fmt.Sprintf("%s#%d", spec.ID, attempt)
+		jobID := fmt.Sprintf("%s@%s.%d#%d", spec.ID, self, runSeq, attempt)
 		members := make([]string, 0, len(n.cluster.Nodes))
 		selfAlive := false
 		for _, nc := range n.cluster.AliveNodes() {

@@ -176,13 +176,21 @@ func (c *Cluster) Run(ctx context.Context, j *Job) error {
 			}
 		}
 		if pl != nil {
+			senders := map[string]bool{}
+			for pp := 0; pp < e.from.Parallelism; pp++ {
+				if id := pl.Assign(e.from.Name, pp); id != pl.Node {
+					senders[id] = true
+				}
+			}
 			h, err := transport.OpenEdge(ctx, EdgeDesc{
 				JobID:     pl.JobID,
 				Edge:      ei,
 				Owners:    rt.owners,
 				Recv:      rt.chans,
 				Producers: e.from.Parallelism,
+				Senders:   len(senders),
 				EOS:       decr,
+				Fail:      fail,
 			})
 			if err != nil {
 				if jobGrant != nil {
@@ -478,6 +486,12 @@ func (c *Cluster) Run(ctx context.Context, j *Job) error {
 		j.peakWorking = jobGrant.Peak()
 		jobGrant.Release()
 	}
+	// The remote-node watchers and the abort listener stop on the
+	// deferred cancel, so one can be inside fail() right now. An empty
+	// Do synchronizes with it — Do returns only after the first call's
+	// write to firstErr completed — and consumes the Once, so a watcher
+	// firing later can no longer write while firstErr is read.
+	errOnce.Do(func() {})
 	if firstErr != nil {
 		var nf *NodeFailure
 		var lf *LinkFailure

@@ -58,9 +58,21 @@ type EdgeDesc struct {
 	// Producers is the edge's total producer partition count, local and
 	// remote combined.
 	Producers int
+	// Senders is the number of DISTINCT remote processes producing into
+	// this edge (0 = unknown; the transport must then assume up to
+	// Producers distinct processes). Each sending process holds its own
+	// credit window per channel, so this bounds how many windows can be
+	// in flight toward one locally-owned channel — which is what sizes
+	// the receive queues.
+	Senders int
 	// EOS is invoked once per remote producer partition that finishes
 	// the edge, after all of that producer's frames were delivered.
 	EOS func()
+	// Fail, when non-nil, aborts the attempt with a (retriable) error —
+	// the transport's escape hatch for protocol violations it cannot
+	// attribute to any one local task (e.g. a peer overrunning its
+	// credit window).
+	Fail func(error)
 }
 
 // EdgeHandle is the producer-side face of one registered edge.

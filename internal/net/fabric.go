@@ -31,6 +31,11 @@ type edgeState struct {
 	queues       map[int]*recvQueue
 	credits      map[int]chan struct{}
 	grant        *mem.Grant
+	// broken latches when a peer violates the edge's protocol (receive
+	// queue overrun): a poisoned edge never fires EOS — a dropped frame
+	// must not end in a "complete" stream — and the attempt is failed
+	// with a retriable LinkFailure instead.
+	broken atomic.Bool
 }
 
 // recvQueue decouples a connection's read loop from one local channel's
@@ -75,6 +80,17 @@ func (p *Peer) OpenEdge(ctx context.Context, desc hyracks.EdgeDesc) (hyracks.Edg
 		credits: map[int]chan struct{}{},
 	}
 	w := p.opt.CreditWindow
+	// Credit windows are per sending PROCESS per channel: every remote
+	// producer process holds its own w-frame pool for the same channel,
+	// so a queue must absorb w frames from each of them (worst case: a
+	// concentrating edge pulls every producer into one channel), plus one
+	// EOS marker per producer partition. Sized this way, honest senders
+	// can never overflow a queue — overflow is a protocol violation.
+	senders := desc.Senders
+	if senders <= 0 || senders > desc.Producers {
+		senders = desc.Producers
+	}
+	qcap := w*maxInt(1, senders) + maxInt(1, desc.Producers)
 	locals := 0
 	seen := map[string]bool{}
 	for ch, owner := range desc.Owners {
@@ -82,9 +98,7 @@ func (p *Peer) OpenEdge(ctx context.Context, desc hyracks.EdgeDesc) (hyracks.Edg
 			if desc.Recv[ch] == nil {
 				return nil, fmt.Errorf("anet: edge %d channel %d is local but has no receive queue", desc.Edge, ch)
 			}
-			// Queue capacity: the sender-side window per remote peer plus
-			// one EOS marker per producer. Honest peers cannot overflow it.
-			es.queues[ch] = &recvQueue{items: make(chan recvItem, w*maxInt(1, len(desc.Owners))+desc.Producers)}
+			es.queues[ch] = &recvQueue{items: make(chan recvItem, qcap)}
 			locals++
 			continue
 		}
@@ -101,9 +115,10 @@ func (p *Peer) OpenEdge(ctx context.Context, desc hyracks.EdgeDesc) (hyracks.Edg
 
 	// Charge the receive window to the memory governor before frames
 	// flow: the recv queues are real buffered memory this process holds
-	// on behalf of remote producers.
+	// on behalf of remote producers — one full credit window per sending
+	// process per local channel.
 	if locals > 0 && p.opt.Gov != nil {
-		need := int64(locals) * int64(w) * p.opt.FrameBytes
+		need := int64(locals) * int64(w*maxInt(1, senders)) * p.opt.FrameBytes
 		rctx, rcancel := context.WithTimeout(ctx, 5*time.Second)
 		grant, err := p.opt.Gov.Reserve(rctx, need)
 		rcancel()
@@ -186,13 +201,41 @@ func (p *Peer) deliverData(from string, payload []byte) {
 		p.m.staleDrops.Inc()
 		return
 	}
+	if es.broken.Load() {
+		p.m.staleDrops.Inc() // edge already poisoned: the attempt is dying
+		return
+	}
 	select {
 	case q.items <- recvItem{from: from, frame: frame}:
 		p.m.framesRecv.Inc()
 	default:
-		// A peer violating its credit window; drop rather than block
-		// the shared connection's read loop.
-		p.m.staleDrops.Inc()
+		// The queue is sized so every honest sender's full credit window
+		// and EOS markers fit: overflow means the peer violated its
+		// window, and a silent drop here would let the consumer complete
+		// on truncated data (the sender saw success and its EOS still
+		// arrives). Treat it as a protocol violation instead.
+		p.protocolViolation(from, es, ref)
+	}
+}
+
+// protocolViolation handles a peer overrunning a receive queue. The
+// queues are sized so honest senders cannot overflow them, so overflow
+// means a broken peer: poison the edge (its EOS can never fire, so a
+// lost frame can never end in a "complete" stream), reset the
+// connection, and fail the attempt with a retriable LinkFailure so
+// RunWithRetry replans it.
+func (p *Peer) protocolViolation(from string, es *edgeState, ref edgeRef) {
+	es.broken.Store(true)
+	p.m.connResets.Inc()
+	p.mu.Lock()
+	pc := p.conns[from]
+	p.mu.Unlock()
+	if pc != nil {
+		p.unregister(pc)
+	}
+	if es.desc.Fail != nil {
+		es.desc.Fail(&hyracks.LinkFailure{Peer: from,
+			Err: fmt.Errorf("anet: peer %s overran edge %d's receive window", from, ref.edge)})
 	}
 }
 
@@ -207,6 +250,9 @@ func (p *Peer) deliverEOS(from string, payload []byte) {
 	if es == nil {
 		return
 	}
+	if es.broken.Load() {
+		return // edge poisoned by a protocol violation: the attempt is dead
+	}
 	p.m.eosRecv.Inc()
 	if len(es.queues) == 0 {
 		es.desc.EOS()
@@ -217,11 +263,12 @@ func (p *Peer) deliverEOS(from string, payload []byte) {
 		select {
 		case q.items <- recvItem{from: from, eos: b}:
 		default:
-			// Queue sized for Producers markers; overflow means the peer
-			// EOSed more than once. Fire directly rather than lose it.
-			if atomic.AddInt32(&b.pending, -1) == 0 {
-				es.desc.EOS()
-			}
+			// Queue sized for every producer's EOS marker: overflow means
+			// the peer EOSed more than once (or overran its window), and
+			// firing the edge EOS from here could close recv channels
+			// while frames are still queued. Protocol violation.
+			p.protocolViolation(from, es, ref)
+			return
 		}
 	}
 }
@@ -271,7 +318,7 @@ func (p *Peer) injectLoop(js *jobState, es *edgeState, ch int, q *recvQueue) {
 		select {
 		case it := <-q.items:
 			if it.eos != nil {
-				if atomic.AddInt32(&it.eos.pending, -1) == 0 {
+				if atomic.AddInt32(&it.eos.pending, -1) == 0 && !es.broken.Load() {
 					es.desc.EOS()
 				}
 				flush(it.from)

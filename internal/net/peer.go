@@ -31,6 +31,11 @@ type Options struct {
 	// had been heard from goes silent past the heartbeat timeout — the
 	// hook that feeds NodeController.Kill.
 	OnPeerDown func(id string)
+	// OnPeerUp is invoked (once per up transition) when a peer
+	// previously declared down is heard from again — a healed partition
+	// or a restarted process. The mirror hook, feeding
+	// NodeController.Revive. A later silence re-fires OnPeerDown.
+	OnPeerUp func(id string)
 	// OnControl receives opaque control-plane messages (internal/dist).
 	OnControl func(from string, payload []byte)
 
@@ -520,6 +525,18 @@ func (p *Peer) readLoop(pc *peerConn) {
 			continue
 		}
 		ps.lastSeen.Store(time.Now().UnixNano())
+		if ps.down.CompareAndSwap(true, false) {
+			// Back from the dead — a healed partition or a restarted
+			// process. Re-arm failure detection and the dial schedule,
+			// and give the control plane its up transition.
+			ps.mu.Lock()
+			ps.failures = 0
+			ps.nextDial = time.Time{}
+			ps.mu.Unlock()
+			if p.opt.OnPeerUp != nil {
+				p.opt.OnPeerUp(pc.id)
+			}
+		}
 		switch typ {
 		case msgHeartbeat:
 			// last-seen refresh is the whole message.
@@ -558,7 +575,13 @@ func (p *Peer) heartbeatLoop() {
 		now := time.Now()
 		for _, id := range p.peerIDs() {
 			ps := p.peer(id)
-			// Failure detection: silence from a peer we had heard.
+			// Failure detection: silence from a peer we had heard. The
+			// latch fires OnPeerDown once per down transition; readLoop
+			// clears it when the peer is heard again, so a later silence
+			// fires again. Deliberately no continue — a down peer keeps
+			// being dialed and heartbeated below, otherwise two mutually
+			// down-latched peers would never heal a partition (neither
+			// side would ever dial the other again).
 			if last := ps.lastSeen.Load(); last != 0 &&
 				now.Sub(time.Unix(0, last)) > p.opt.HeartbeatTimeout {
 				if ps.down.CompareAndSwap(false, true) {
@@ -573,7 +596,6 @@ func (p *Peer) heartbeatLoop() {
 						p.opt.OnPeerDown(id)
 					}
 				}
-				continue
 			}
 			// Keepalive / reconnect. Respect the backoff schedule.
 			p.mu.Lock()

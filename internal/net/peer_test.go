@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -44,6 +45,11 @@ func startMesh(t *testing.T, ids []string, tune func(id string, o *Options)) map
 			OnPeerDown: func(down string) {
 				if nc := cl.NodeByID(down); nc != nil {
 					nc.Kill()
+				}
+			},
+			OnPeerUp: func(up string) {
+				if nc := cl.NodeByID(up); nc != nil {
+					nc.Revive()
 				}
 			},
 		}
@@ -447,6 +453,155 @@ func TestWaitNetAttribution(t *testing.T) {
 	if w := span.WaitRollup()[obs.WaitNet]; w < 5*time.Millisecond {
 		t.Fatalf("net wait %v not attributed (want ≥ 5ms)", w)
 	}
+}
+
+// TestConcentratedMergeExact is the topology that can overrun a receive
+// queue sized for one sender's window: an unordered merge concentrates
+// every producer of a 3-node mesh onto ONE channel, and each remote
+// producer process holds its own credit window for it. With a slow
+// consumer keeping the queue under pressure, every row must still
+// arrive exactly once — an overflow-turned-silent-drop would show up as
+// a short count.
+func TestConcentratedMergeExact(t *testing.T) {
+	nodes := startMesh(t, []string{"na", "nb", "nc"}, func(id string, o *Options) {
+		o.CreditWindow = 4
+	})
+	const rowsPerPart = 4000
+	var got atomic.Int64
+	errs := runPlaced(context.Background(), nodes, "conc#1", func(n *simNode) *hyracks.Job {
+		j := hyracks.NewJob()
+		gen := j.Add(genOp(3, rowsPerPart))
+		sink := j.Add(hyracks.NewFuncSink("collect", 1, func(_ int, t hyracks.Tuple) error {
+			// Stall roughly once per frame so the receive queue stays
+			// under pressure while both remote windows are in flight.
+			if got.Add(1)%256 == 0 {
+				time.Sleep(time.Millisecond)
+			}
+			return nil
+		}))
+		j.MustConnect(gen, sink, 0, hyracks.MergeUnordered())
+		return j
+	}, func(op string, part int) string {
+		if op == "collect" {
+			return "na"
+		}
+		return []string{"na", "nb", "nc"}[part%3]
+	})
+	for id, err := range errs {
+		if err != nil {
+			t.Fatalf("node %s: %v", id, err)
+		}
+	}
+	if got.Load() != 3*rowsPerPart {
+		t.Fatalf("concentrated merge delivered %d rows, want %d (frames lost to queue overflow?)",
+			got.Load(), 3*rowsPerPart)
+	}
+}
+
+// TestRecvOverflowPoisonsEdge drives a receive queue past its capacity
+// by hand (a peer violating its credit window): the overflow must fail
+// the attempt with a retriable LinkFailure, and the poisoned edge must
+// never fire EOS — a dropped frame must not end in a "complete" stream.
+func TestRecvOverflowPoisonsEdge(t *testing.T) {
+	p, err := NewPeer(Options{ID: "na", ListenAddr: "127.0.0.1:0",
+		Metrics: obs.NewRegistry(), CreditWindow: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	failed := make(chan error, 1)
+	eos := make(chan struct{}, 4)
+	recv := make(chan []hyracks.Tuple) // never read: the consumer is wedged
+	ref := edgeRef{jobID: "v#1", edge: 0}
+	if _, err := p.OpenEdge(context.Background(), hyracks.EdgeDesc{
+		JobID:     ref.jobID,
+		Edge:      ref.edge,
+		Owners:    []string{""},
+		Recv:      []chan []hyracks.Tuple{recv},
+		Producers: 1,
+		Senders:   1,
+		EOS:       func() { eos <- struct{}{} },
+		Fail: func(err error) {
+			select {
+			case failed <- err:
+			default:
+			}
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Queue capacity is w*senders + producers = 2 and the inject
+	// goroutine can hold one more: a burst of 5 frames must overflow.
+	payload := encodeDataPayload(nil, ref, 0, testFrame())
+	for i := 0; i < 5; i++ {
+		p.deliverData("nb", payload)
+	}
+	select {
+	case err := <-failed:
+		var lf *hyracks.LinkFailure
+		if !errors.As(err, &lf) {
+			t.Fatalf("overflow should fail as LinkFailure, got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("credit-window overrun never failed the attempt")
+	}
+	p.deliverEOS("nb", appendEdgeRef(nil, ref))
+	select {
+	case <-eos:
+		t.Fatal("EOS fired on an edge that dropped a frame")
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+// TestPeerDownRevivesOnHeal latches a peer down behind a partition,
+// heals it, and requires the detector to hear the peer again (revive)
+// and to fire again on a second silence — failure detection must not be
+// one-shot per process lifetime.
+func TestPeerDownRevivesOnHeal(t *testing.T) {
+	defer fault.Disarm()
+	var ups, downs atomic.Int32
+	nodes := startMesh(t, []string{"na", "nb"}, func(id string, o *Options) {
+		if id != "na" {
+			return
+		}
+		innerUp, innerDown := o.OnPeerUp, o.OnPeerDown
+		o.OnPeerUp = func(peer string) { ups.Add(1); innerUp(peer) }
+		o.OnPeerDown = func(peer string) { downs.Add(1); innerDown(peer) }
+	})
+	deadline := time.Now().Add(10 * time.Second)
+	warm := func(a, b string) bool { return nodes[a].peer.peer(b).lastSeen.Load() != 0 }
+	for !(warm("na", "nb") && warm("nb", "na")) {
+		if time.Now().After(deadline) {
+			t.Fatal("mesh never warmed up")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	wait := func(cond func() bool, what string) {
+		t.Helper()
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", what)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	nb := func() *hyracks.NodeController { return nodes["na"].cluster.NodeByID("nb") }
+
+	if err := fault.Arm("net.partition:error:times=0:tag=nb"); err != nil {
+		t.Fatal(err)
+	}
+	wait(func() bool { return nb().Dead() }, "first down transition")
+
+	// Heal: both sides are down-latched, so convergence needs the
+	// detector to keep dialing and heartbeating a down peer.
+	fault.Disarm()
+	wait(func() bool { return !nb().Dead() && ups.Load() >= 1 }, "revive after heal")
+
+	// A second silence must fire detection again.
+	if err := fault.Arm("net.partition:error:times=0:tag=nb"); err != nil {
+		t.Fatal(err)
+	}
+	wait(func() bool { return nb().Dead() && downs.Load() >= 2 }, "second down transition")
 }
 
 // TestPartitionIsolatesPeer arms a lasting partition on one node of a
