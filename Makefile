@@ -2,11 +2,19 @@
 tier1:
 	go build ./... && go test ./...
 
-# verify: tier-1 plus go vet, the project linter, and the race detector
-# over the whole module.
-verify: tier1 lint
+# verify: tier-1 plus go vet, the project linter, the optimizer gate, and
+# the race detector over the whole module.
+verify: tier1 lint optimizer
 	go vet ./...
 	go test -race ./...
+
+# optimizer: the plan-quality gate — golden plan tests, hash-join and
+# join-order regressions, rule idempotence, and the optimizer on/off
+# equivalence corpus under the race detector. Regenerate drifted goldens
+# with ASTERIX_UPDATE_GOLDEN=1 go test ./internal/algebricks -run TestGoldenPlans.
+optimizer:
+	go test -run 'TestGoldenPlans|TestHashJoin|TestGreedy|TestOptimizer|TestIndexSelection|TestPlanJSON|TestRule' ./internal/algebricks/
+	go test -race -run 'TestOptimizerOnOffEquivalence|TestOptimizerDisableRule|TestResultCarriesPlanAndRules' ./internal/core/
 
 # lint: project-specific static analysis (see docs/STATIC_ANALYSIS.md).
 # -stats prints per-rule finding counts and wall time; the interprocedural
@@ -60,8 +68,9 @@ fuzz-smoke:
 help:
 	@echo "Targets:"
 	@echo "  tier1       build + test (the must-stay-green gate)"
-	@echo "  verify      tier1 + lint + go vet + race detector"
+	@echo "  verify      tier1 + lint + optimizer + go vet + race detector"
 	@echo "  lint        asterixlint static analysis over the module"
+	@echo "  optimizer   golden plans, join regressions, on/off equivalence (race)"
 	@echo "  invariants  tests with deep structural validators enabled"
 	@echo "  fault-matrix crash-recovery + node-failure tests with validators on"
 	@echo "  net-matrix  transport fault tests + 3-process cluster smoke test"
@@ -69,4 +78,4 @@ help:
 	@echo "  bench       top-level benchmarks"
 	@echo "  bench-smoke small-scale experiment run -> BENCH_ci.json, diffed vs BENCH_1.json"
 
-.PHONY: tier1 verify lint invariants fault-matrix net-matrix bench bench-smoke fuzz-smoke help
+.PHONY: tier1 verify lint optimizer invariants fault-matrix net-matrix bench bench-smoke fuzz-smoke help

@@ -34,6 +34,7 @@ func (m *memSource) ScanPartition(p int, emit func(adm.Value) error) error {
 
 type memCatalog struct {
 	sources map[string]*memSource
+	indexes map[string]IndexAccessor // "dataset.field"
 }
 
 func (c *memCatalog) Resolve(name string) (DataSource, bool) {
@@ -41,7 +42,74 @@ func (c *memCatalog) Resolve(name string) (DataSource, bool) {
 	return s, ok
 }
 func (c *memCatalog) ResolveIndex(dataset, field string) (IndexAccessor, bool) {
-	return nil, false
+	ix, ok := c.indexes[dataset+"."+field]
+	return ix, ok
+}
+
+// memIndex is a scan-backed secondary index for tests: correct, not fast.
+type memIndex struct {
+	src   *memSource
+	field string
+	kind  string
+}
+
+func (ix *memIndex) Kind() string { return ix.kind }
+func (ix *memIndex) SearchRange(part int, lo, hi adm.Value, loInc, hiInc bool, emit func(adm.Value) error) error {
+	return ix.src.ScanPartition(part, func(rec adm.Value) error {
+		o, ok := rec.(*adm.Object)
+		if !ok {
+			return nil
+		}
+		v := o.Get(ix.field)
+		if v.Kind() == adm.KindMissing || v.Kind() == adm.KindNull {
+			return nil
+		}
+		if lo != nil {
+			if c := adm.Compare(v, lo); c < 0 || (c == 0 && !loInc) {
+				return nil
+			}
+		}
+		if hi != nil {
+			if c := adm.Compare(v, hi); c > 0 || (c == 0 && !hiInc) {
+				return nil
+			}
+		}
+		return emit(rec)
+	})
+}
+func (ix *memIndex) SearchSpatial(part int, rect adm.Rectangle, emit func(adm.Value) error) error {
+	return ix.src.ScanPartition(part, func(rec adm.Value) error {
+		o, ok := rec.(*adm.Object)
+		if !ok {
+			return nil
+		}
+		p, ok := o.Get(ix.field).(adm.Point)
+		if !ok {
+			return nil
+		}
+		if p.X >= rect.MinX && p.X <= rect.MaxX && p.Y >= rect.MinY && p.Y <= rect.MaxY {
+			return emit(rec)
+		}
+		return nil
+	})
+}
+func (ix *memIndex) SearchKeyword(part int, token string, emit func(adm.Value) error) error {
+	return ix.src.ScanPartition(part, func(rec adm.Value) error {
+		o, ok := rec.(*adm.Object)
+		if !ok {
+			return nil
+		}
+		s, ok := o.Get(ix.field).(adm.String)
+		if !ok {
+			return nil
+		}
+		for _, w := range strings.Fields(strings.ToLower(string(s))) {
+			if strings.Trim(w, ".,!?") == strings.ToLower(token) {
+				return emit(rec)
+			}
+		}
+		return nil
+	})
 }
 
 func testCatalog() *memCatalog {

@@ -1,11 +1,16 @@
 package algebricks
 
 import (
+	"errors"
 	"fmt"
 
 	"asterix/internal/adm"
 	"asterix/internal/hyracks"
 )
+
+// errScanLimit stops a partition scan early once a pushed-down limit is
+// satisfied; it never escapes the scan operator.
+var errScanLimit = errors.New("scan limit reached")
 
 // JobGen lowers an optimized logical plan to a Hyracks job.
 type JobGen struct {
@@ -88,10 +93,20 @@ func (g *JobGen) buildOp(j *hyracks.Job, plan Op) (built, error) {
 			return built{}, fmt.Errorf("jobgen: unknown dataset %q", o.Dataset)
 		}
 		par := ds.Partitions()
+		maxT := o.MaxTuples
 		op := j.Add(hyracks.NewScan("scan-"+o.Dataset, par, func(tc *hyracks.TaskContext, emit func(hyracks.Tuple) error) error {
-			return ds.ScanPartition(tc.Partition, func(rec adm.Value) error {
+			var n int64
+			err := ds.ScanPartition(tc.Partition, func(rec adm.Value) error {
+				if maxT > 0 && n >= maxT {
+					return errScanLimit
+				}
+				n++
 				return emit(hyracks.Tuple{rec})
 			})
+			if errors.Is(err, errScanLimit) {
+				return nil
+			}
+			return err
 		}))
 		return built{op: op, schema: []string{o.Var}, par: par}, nil
 
@@ -147,17 +162,31 @@ func (g *JobGen) buildOp(j *hyracks.Job, plan Op) (built, error) {
 			token = string(s)
 		}
 		kind := o.Kind
+		maxT := o.MaxTuples
 		op := j.Add(hyracks.NewScan("idx-"+o.Dataset+"."+o.Field, par, func(tc *hyracks.TaskContext, emit func(hyracks.Tuple) error) error {
-			cb := func(rec adm.Value) error { return emit(hyracks.Tuple{rec}) }
+			var n int64
+			cb := func(rec adm.Value) error {
+				if maxT > 0 && n >= maxT {
+					return errScanLimit
+				}
+				n++
+				return emit(hyracks.Tuple{rec})
+			}
+			var err error
 			switch kind {
 			case "BTREE":
-				return idx.SearchRange(tc.Partition, lo, hi, o.LoInc, o.HiInc, cb)
+				err = idx.SearchRange(tc.Partition, lo, hi, o.LoInc, o.HiInc, cb)
 			case "RTREE", "ZORDER", "HILBERT", "GRID":
-				return idx.SearchSpatial(tc.Partition, rect, cb)
+				err = idx.SearchSpatial(tc.Partition, rect, cb)
 			case "KEYWORD":
-				return idx.SearchKeyword(tc.Partition, token, cb)
+				err = idx.SearchKeyword(tc.Partition, token, cb)
+			default:
+				err = fmt.Errorf("jobgen: unknown index kind %s", kind)
 			}
-			return fmt.Errorf("jobgen: unknown index kind %s", kind)
+			if errors.Is(err, errScanLimit) {
+				return nil
+			}
+			return err
 		}))
 		return built{op: op, schema: []string{o.Var}, par: par}, nil
 
@@ -234,6 +263,28 @@ func (g *JobGen) buildOp(j *hyracks.Job, plan Op) (built, error) {
 		}))
 		j.MustConnect(in.op, op, 0, hyracks.OneToOne())
 		return built{op: op, schema: plan.Schema(), par: in.par}, nil
+
+	case *ProjectOp:
+		in, err := g.buildOp(j, o.In)
+		if err != nil {
+			return built{}, err
+		}
+		cols := make([]int, len(o.Cols))
+		for i, c := range o.Cols {
+			cols[i] = indexOf(in.schema, c)
+			if cols[i] < 0 {
+				return built{}, fmt.Errorf("jobgen: project column %q missing", c)
+			}
+		}
+		op := j.Add(hyracks.NewMap("project", in.par, func(tc *hyracks.TaskContext, t hyracks.Tuple, emit func(hyracks.Tuple) error) error {
+			out := make(hyracks.Tuple, len(cols))
+			for i, ci := range cols {
+				out[i] = t[ci]
+			}
+			return emit(out)
+		}))
+		j.MustConnect(in.op, op, 0, hyracks.OneToOne())
+		return built{op: op, schema: plan.Schema(), par: in.par, ordered: in.ordered}, nil
 
 	case *JoinOp:
 		return g.buildJoin(j, o)
@@ -460,6 +511,13 @@ func (g *JobGen) buildGroup(j *hyracks.Job, o *GroupOp) (built, error) {
 	nAggs := len(o.Aggs)
 	hasGroupAs := o.GroupAs != ""
 	rowVars := o.RowVars
+	// RowVars was captured at translate time; optimizer rules (join
+	// reordering, projection pruning) may have changed the input column
+	// order since, so resolve positions by name.
+	rowCols := make([]int, len(rowVars))
+	for i, name := range rowVars {
+		rowCols[i] = indexOf(schema, name)
+	}
 
 	// Pre-compute: key columns, aggregate argument columns, and the
 	// GROUP AS object column.
@@ -489,8 +547,8 @@ func (g *JobGen) buildGroup(j *hyracks.Job, o *GroupOp) (built, error) {
 		if hasGroupAs {
 			obj := adm.NewObject()
 			for i, name := range rowVars {
-				if i < len(t) && t[i].Kind() != adm.KindMissing {
-					obj.Set(name, t[i])
+				if ci := rowCols[i]; ci >= 0 && ci < len(t) && t[ci].Kind() != adm.KindMissing {
+					obj.Set(name, t[ci])
 				}
 			}
 			out = append(out, obj)

@@ -24,6 +24,9 @@ type EtsOp struct{}
 type ScanOp struct {
 	Dataset string
 	Var     string
+	// MaxTuples caps the number of tuples each partition emits (0 = no
+	// cap), set by the limit-pushdown rule.
+	MaxTuples int64
 }
 
 // IndexKind names the access paths an IndexSearchOp can use.
@@ -45,6 +48,9 @@ type IndexSearchOp struct {
 	Rect sqlpp.Expr
 	// KEYWORD token (constant expression).
 	Token sqlpp.Expr
+	// MaxTuples caps the number of tuples each partition emits (0 = no
+	// cap), set by the limit-pushdown rule.
+	MaxTuples int64
 }
 
 // SelectOp filters tuples by a predicate.
@@ -89,6 +95,16 @@ type JoinOp struct {
 	// Hash-join keys (variable names present in L/R schemas), set by the
 	// join-recognition rule.
 	LeftKeys, RightKeys []string
+	// ordered marks joins already placed by the greedy join-ordering rule
+	// so the rule does not restructure the same cluster twice.
+	ordered bool
+}
+
+// ProjectOp narrows the tuple to the named columns (in the given order),
+// inserted by the column-pruning rule.
+type ProjectOp struct {
+	In   Op
+	Cols []string
 }
 
 // GroupKeyDef is one grouping key.
@@ -155,25 +171,68 @@ func (*EtsOp) Inputs() []Op        { return nil }
 func (o *EtsOp) String() string    { return "ets" }
 func (o *ScanOp) Schema() []string { return []string{o.Var} }
 func (o *ScanOp) Inputs() []Op     { return nil }
-func (o *ScanOp) String() string   { return fmt.Sprintf("scan(%s as %s)", o.Dataset, o.Var) }
+func (o *ScanOp) String() string {
+	s := fmt.Sprintf("scan(%s as %s)", o.Dataset, o.Var)
+	if o.MaxTuples > 0 {
+		s += fmt.Sprintf(" limit=%d", o.MaxTuples)
+	}
+	return s
+}
 
 func (o *IndexSearchOp) Schema() []string { return []string{o.Var} }
 func (o *IndexSearchOp) Inputs() []Op     { return nil }
 func (o *IndexSearchOp) String() string {
-	return fmt.Sprintf("index-search(%s.%s %s as %s)", o.Dataset, o.Field, o.Kind, o.Var)
+	s := fmt.Sprintf("index-search(%s.%s %s as %s)", o.Dataset, o.Field, o.Kind, o.Var)
+	if o.Lo != nil || o.Hi != nil {
+		lo, hi := "-inf", "+inf"
+		lb, hb := "(", ")"
+		if o.Lo != nil {
+			lo = ExprString(o.Lo)
+			if o.LoInc {
+				lb = "["
+			}
+		}
+		if o.Hi != nil {
+			hi = ExprString(o.Hi)
+			if o.HiInc {
+				hb = "]"
+			}
+		}
+		s += fmt.Sprintf(" range=%s%s..%s%s", lb, lo, hi, hb)
+	}
+	if o.Rect != nil {
+		s += " rect=" + ExprString(o.Rect)
+	}
+	if o.Token != nil {
+		s += " token=" + ExprString(o.Token)
+	}
+	if o.MaxTuples > 0 {
+		s += fmt.Sprintf(" limit=%d", o.MaxTuples)
+	}
+	return s
 }
 
 func (o *SelectOp) Schema() []string { return o.In.Schema() }
 func (o *SelectOp) Inputs() []Op     { return []Op{o.In} }
-func (o *SelectOp) String() string   { return "select" }
+func (o *SelectOp) String() string   { return "select " + ExprString(o.Cond) }
 
 func (o *AssignOp) Schema() []string { return append(append([]string{}, o.In.Schema()...), o.Var) }
 func (o *AssignOp) Inputs() []Op     { return []Op{o.In} }
-func (o *AssignOp) String() string   { return "assign " + o.Var }
+func (o *AssignOp) String() string   { return "assign " + o.Var + " := " + ExprString(o.Expr) }
 
 func (o *UnnestOp) Schema() []string { return append(append([]string{}, o.In.Schema()...), o.Var) }
 func (o *UnnestOp) Inputs() []Op     { return []Op{o.In} }
-func (o *UnnestOp) String() string   { return "unnest " + o.Var }
+func (o *UnnestOp) String() string {
+	kind := "unnest"
+	if o.Outer {
+		kind = "outer-unnest"
+	}
+	return kind + " " + o.Var + " := " + ExprString(o.Expr)
+}
+
+func (o *ProjectOp) Schema() []string { return append([]string{}, o.Cols...) }
+func (o *ProjectOp) Inputs() []Op     { return []Op{o.In} }
+func (o *ProjectOp) String() string   { return "project [" + strings.Join(o.Cols, ", ") + "]" }
 
 func (o *JoinOp) Schema() []string {
 	if o.Kind == JoinSemi {
@@ -188,7 +247,18 @@ func (o *JoinOp) String() string {
 	if len(o.LeftKeys) > 0 {
 		how = "hash"
 	}
-	return fmt.Sprintf("join[%s,%s]", kinds[o.Kind], how)
+	s := fmt.Sprintf("join[%s,%s]", kinds[o.Kind], how)
+	if len(o.LeftKeys) > 0 {
+		pairs := make([]string, len(o.LeftKeys))
+		for i := range o.LeftKeys {
+			pairs[i] = o.LeftKeys[i] + "=" + o.RightKeys[i]
+		}
+		s += " keys=[" + strings.Join(pairs, ", ") + "]"
+	}
+	if o.On != nil {
+		s += " on=" + ExprString(o.On)
+	}
+	return s
 }
 
 func (o *GroupOp) Schema() []string {
@@ -206,12 +276,30 @@ func (o *GroupOp) Schema() []string {
 }
 func (o *GroupOp) Inputs() []Op { return []Op{o.In} }
 func (o *GroupOp) String() string {
-	return fmt.Sprintf("group-by(%d keys, %d aggs)", len(o.Keys), len(o.Aggs))
+	var parts []string
+	for _, k := range o.Keys {
+		parts = append(parts, k.Var+":="+ExprString(k.Expr))
+	}
+	for _, a := range o.Aggs {
+		arg := "*"
+		if !a.Star {
+			arg = ExprString(a.Arg)
+		}
+		parts = append(parts, fmt.Sprintf("%s:=%s(%s)", a.Var, a.Fn, arg))
+	}
+	s := fmt.Sprintf("group-by(%d keys, %d aggs)", len(o.Keys), len(o.Aggs))
+	if len(parts) > 0 {
+		s += " [" + strings.Join(parts, ", ") + "]"
+	}
+	if o.GroupAs != "" {
+		s += " as " + o.GroupAs
+	}
+	return s
 }
 
 func (o *ResultOp) Schema() []string { return append(append([]string{}, o.In.Schema()...), ResultVar) }
 func (o *ResultOp) Inputs() []Op     { return []Op{o.In} }
-func (o *ResultOp) String() string   { return "result" }
+func (o *ResultOp) String() string   { return "result " + ExprString(o.Expr) }
 
 func (o *DistinctOp) Schema() []string { return []string{ResultVar} }
 func (o *DistinctOp) Inputs() []Op     { return []Op{o.In} }
@@ -219,7 +307,16 @@ func (o *DistinctOp) String() string   { return "distinct" }
 
 func (o *OrderOp) Schema() []string { return o.In.Schema() }
 func (o *OrderOp) Inputs() []Op     { return []Op{o.In} }
-func (o *OrderOp) String() string   { return fmt.Sprintf("order(%d keys)", len(o.Items)) }
+func (o *OrderOp) String() string {
+	items := make([]string, len(o.Items))
+	for i, it := range o.Items {
+		items[i] = ExprString(it.Expr)
+		if it.Desc {
+			items[i] += " desc"
+		}
+	}
+	return fmt.Sprintf("order(%s)", strings.Join(items, ", "))
+}
 
 func (o *LimitOp) Schema() []string { return o.In.Schema() }
 func (o *LimitOp) Inputs() []Op     { return []Op{o.In} }
@@ -246,6 +343,9 @@ type Translator struct {
 	Ev      *Evaluator
 	Catalog Catalog
 	varGen  int
+	// LastOpt is the report of the most recent Optimize run on this
+	// translator (one translator serves one statement).
+	LastOpt OptReport
 }
 
 func (tr *Translator) freshVar(prefix string) string {

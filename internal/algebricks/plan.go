@@ -1,0 +1,227 @@
+package algebricks
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"asterix/internal/sqlpp"
+)
+
+// ExprString renders an expression in compact SQL-ish form for plan text
+// (EXPLAIN output and golden plan tests). It is stable: the same
+// expression always renders the same way.
+func ExprString(e sqlpp.Expr) string {
+	var sb strings.Builder
+	writeExprString(&sb, e)
+	return sb.String()
+}
+
+func writeExprString(sb *strings.Builder, e sqlpp.Expr) {
+	switch x := e.(type) {
+	case nil:
+		sb.WriteString("true")
+	case *sqlpp.Literal:
+		sb.WriteString(x.Value.String())
+	case *sqlpp.VarRef:
+		sb.WriteString(x.Name)
+	case *sqlpp.FieldAccess:
+		writeExprString(sb, x.Base)
+		sb.WriteByte('.')
+		sb.WriteString(x.Field)
+	case *sqlpp.IndexAccess:
+		writeExprString(sb, x.Base)
+		sb.WriteByte('[')
+		writeExprString(sb, x.Index)
+		sb.WriteByte(']')
+	case *sqlpp.Call:
+		sb.WriteString(x.Fn)
+		sb.WriteByte('(')
+		if x.Distinct {
+			sb.WriteString("distinct ")
+		}
+		for i, a := range x.Args {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			writeExprString(sb, a)
+		}
+		sb.WriteByte(')')
+	case *sqlpp.Unary:
+		sb.WriteString(x.Op)
+		sb.WriteByte(' ')
+		writeExprString(sb, x.X)
+	case *sqlpp.Binary:
+		sb.WriteByte('(')
+		writeExprString(sb, x.L)
+		sb.WriteByte(' ')
+		sb.WriteString(x.Op)
+		sb.WriteByte(' ')
+		writeExprString(sb, x.R)
+		sb.WriteByte(')')
+	case *sqlpp.IsExpr:
+		sb.WriteByte('(')
+		writeExprString(sb, x.X)
+		sb.WriteString(" is ")
+		if x.Negate {
+			sb.WriteString("not ")
+		}
+		sb.WriteString(x.What)
+		sb.WriteByte(')')
+	case *sqlpp.Between:
+		sb.WriteByte('(')
+		writeExprString(sb, x.X)
+		if x.Negate {
+			sb.WriteString(" not")
+		}
+		sb.WriteString(" between ")
+		writeExprString(sb, x.Lo)
+		sb.WriteString(" and ")
+		writeExprString(sb, x.Hi)
+		sb.WriteByte(')')
+	case *sqlpp.InExpr:
+		sb.WriteByte('(')
+		writeExprString(sb, x.X)
+		if x.Negate {
+			sb.WriteString(" not")
+		}
+		sb.WriteString(" in ")
+		writeExprString(sb, x.Coll)
+		sb.WriteByte(')')
+	case *sqlpp.CaseExpr:
+		sb.WriteString("case")
+		if x.Operand != nil {
+			sb.WriteByte(' ')
+			writeExprString(sb, x.Operand)
+		}
+		for _, wt := range x.Whens {
+			sb.WriteString(" when ")
+			writeExprString(sb, wt.When)
+			sb.WriteString(" then ")
+			writeExprString(sb, wt.Then)
+		}
+		if x.Else != nil {
+			sb.WriteString(" else ")
+			writeExprString(sb, x.Else)
+		}
+		sb.WriteString(" end")
+	case *sqlpp.QuantifiedExpr:
+		if x.Some {
+			sb.WriteString("some ")
+		} else {
+			sb.WriteString("every ")
+		}
+		sb.WriteString(x.Var)
+		sb.WriteString(" in ")
+		writeExprString(sb, x.In)
+		sb.WriteString(" satisfies ")
+		writeExprString(sb, x.Satisfies)
+	case *sqlpp.ExistsExpr:
+		if x.Negate {
+			sb.WriteString("not ")
+		}
+		sb.WriteString("exists ")
+		writeExprString(sb, x.X)
+	case *sqlpp.ObjectConstructor:
+		sb.WriteByte('{')
+		for i, f := range x.Fields {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			writeExprString(sb, f.Name)
+			sb.WriteString(": ")
+			writeExprString(sb, f.Value)
+		}
+		sb.WriteByte('}')
+	case *sqlpp.ArrayConstructor:
+		sb.WriteByte('[')
+		for i, el := range x.Elems {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			writeExprString(sb, el)
+		}
+		sb.WriteByte(']')
+	case *sqlpp.MultisetConstructor:
+		sb.WriteString("{{")
+		for i, el := range x.Elems {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			writeExprString(sb, el)
+		}
+		sb.WriteString("}}")
+	case *sqlpp.SelectExpr:
+		sb.WriteString("(subquery)")
+	case *sqlpp.UnionExpr:
+		sb.WriteString("(union)")
+	default:
+		fmt.Fprintf(sb, "?%T", e)
+	}
+}
+
+// PlanNode is the JSON form of one plan operator, exposed through EXPLAIN
+// and "profile":"plan".
+type PlanNode struct {
+	Op      string      `json:"op"`
+	Detail  string      `json:"detail,omitempty"`
+	Columns []string    `json:"columns,omitempty"`
+	Inputs  []*PlanNode `json:"inputs,omitempty"`
+}
+
+// opKind returns a stable one-token name for the operator type.
+func opKind(op Op) string {
+	switch op.(type) {
+	case *EtsOp:
+		return "ets"
+	case *ScanOp:
+		return "scan"
+	case *IndexSearchOp:
+		return "index-search"
+	case *SelectOp:
+		return "select"
+	case *AssignOp:
+		return "assign"
+	case *UnnestOp:
+		return "unnest"
+	case *ProjectOp:
+		return "project"
+	case *JoinOp:
+		return "join"
+	case *GroupOp:
+		return "group-by"
+	case *ResultOp:
+		return "result"
+	case *DistinctOp:
+		return "distinct"
+	case *OrderOp:
+		return "order"
+	case *LimitOp:
+		return "limit"
+	case *UnionAllOp:
+		return "union-all"
+	}
+	return fmt.Sprintf("%T", op)
+}
+
+// PlanTree converts a plan to its JSON-ready node form.
+func PlanTree(op Op) *PlanNode {
+	n := &PlanNode{
+		Op:      opKind(op),
+		Detail:  op.String(),
+		Columns: append([]string{}, op.Schema()...),
+	}
+	for _, in := range op.Inputs() {
+		n.Inputs = append(n.Inputs, PlanTree(in))
+	}
+	return n
+}
+
+// PlanJSON renders a plan as a stable JSON tree.
+func PlanJSON(op Op) string {
+	b, err := json.Marshal(PlanTree(op))
+	if err != nil {
+		return `{"op":"error"}`
+	}
+	return string(b)
+}

@@ -5,76 +5,29 @@ import (
 	"asterix/internal/sqlpp"
 )
 
-// Optimize applies the rule-based rewriter to a logical plan until
-// fixpoint (bounded): quantifier-to-semijoin, selection pushdown, join
-// recognition (equi-join key extraction), and index-access introduction —
-// the Algebricks rule pipeline of Figure 5 in miniature.
-func (tr *Translator) Optimize(plan Op) Op {
-	for pass := 0; pass < 8; pass++ {
-		var changed bool
-		plan, changed = tr.rewrite(plan)
-		if !changed {
-			break
-		}
+// DefaultRules returns the standard rule pipeline in application order:
+// normalization first (constant folding), then predicate motion, then the
+// structural rules (join ordering, physical join/access-path selection),
+// and finally the cleanup rules that shrink tuples.
+func DefaultRules() []Rule {
+	return []Rule{
+		{Name: "constant-fold", Apply: ruleConstantFold},
+		{Name: "quantifier-to-semijoin", Apply: ruleQuantifierToSemijoin},
+		{Name: "push-select-down", Apply: rulePushSelectDown},
+		{Name: "push-select-through-join", Apply: rulePushSelectThroughJoin},
+		{Name: "order-joins-greedily", Apply: ruleOrderJoinsGreedily},
+		{Name: "recognize-hash-join", Apply: ruleRecognizeHashJoin},
+		{Name: "introduce-index-search", Apply: ruleIntroduceIndexSearch},
+		{Name: "push-limit-into-scan", Apply: rulePushLimitIntoScan},
+		{Name: "prune-columns", Apply: rulePruneColumns},
+		{Name: "eliminate-redundant-project", Apply: ruleEliminateRedundantProject},
 	}
-	return plan
 }
 
-func (tr *Translator) rewrite(op Op) (Op, bool) {
-	changed := false
-	// Rewrite children first (bottom-up).
-	switch o := op.(type) {
-	case *SelectOp:
-		in, c := tr.rewrite(o.In)
-		o.In, changed = in, c
-	case *AssignOp:
-		in, c := tr.rewrite(o.In)
-		o.In, changed = in, c
-	case *UnnestOp:
-		in, c := tr.rewrite(o.In)
-		o.In, changed = in, c
-	case *JoinOp:
-		l, c1 := tr.rewrite(o.L)
-		r, c2 := tr.rewrite(o.R)
-		o.L, o.R = l, r
-		changed = c1 || c2
-	case *GroupOp:
-		in, c := tr.rewrite(o.In)
-		o.In, changed = in, c
-	case *ResultOp:
-		in, c := tr.rewrite(o.In)
-		o.In, changed = in, c
-	case *DistinctOp:
-		in, c := tr.rewrite(o.In)
-		o.In, changed = in, c
-	case *OrderOp:
-		in, c := tr.rewrite(o.In)
-		o.In, changed = in, c
-	case *LimitOp:
-		in, c := tr.rewrite(o.In)
-		o.In, changed = in, c
-	case *UnionAllOp:
-		for i := range o.Ins {
-			in, c := tr.rewrite(o.Ins[i])
-			o.Ins[i] = in
-			changed = changed || c
-		}
-	}
+// --- shared predicate helpers ---
 
-	if sel, ok := op.(*SelectOp); ok {
-		if out, c := tr.rewriteSelect(sel); c {
-			return out, true
-		}
-	}
-	if j, ok := op.(*JoinOp); ok && len(j.LeftKeys) == 0 && j.On != nil {
-		if c := tr.recognizeHashJoin(j); c {
-			return j, true
-		}
-	}
-	return op, changed
-}
-
-// conjuncts flattens a conjunction.
+// conjuncts flattens a conjunction (recursing through nested/parenthesized
+// ANDs on both sides).
 func conjuncts(e sqlpp.Expr) []sqlpp.Expr {
 	if b, ok := e.(*sqlpp.Binary); ok && b.Op == "AND" {
 		return append(conjuncts(b.L), conjuncts(b.R)...)
@@ -116,6 +69,20 @@ func (tr *Translator) usesOnly(e sqlpp.Expr, vars []string) bool {
 	return true
 }
 
+// referencesAny reports whether e references at least one of vars. A key
+// expression must actually depend on its join side: a constant passes
+// usesOnly vacuously but makes a useless (single-partition) hash key.
+func referencesAny(e sqlpp.Expr, vars []string) bool {
+	free := map[string]bool{}
+	FreeVars(e, free)
+	for _, v := range vars {
+		if free[v] {
+			return true
+		}
+	}
+	return false
+}
+
 // isConstant reports whether e references no variables at all (safe to
 // evaluate at plan time).
 func (tr *Translator) isConstant(e sqlpp.Expr) bool {
@@ -124,110 +91,396 @@ func (tr *Translator) isConstant(e sqlpp.Expr) bool {
 	return len(free) == 0
 }
 
-// rewriteSelect applies select-centered rules.
-func (tr *Translator) rewriteSelect(sel *SelectOp) (Op, bool) {
-	cs := conjuncts(sel.Cond)
-
-	// Rule: quantifier-to-semijoin. SOME x IN <dataset> SATISFIES pred
-	// becomes a (hash) semi join against the dataset.
-	for i, c := range cs {
-		q, ok := c.(*sqlpp.QuantifiedExpr)
-		if !ok || !q.Some {
-			continue
+// containsSubquery reports whether e contains a nested SELECT, EXISTS, or
+// quantifier — subtrees the constant folder must not evaluate at plan
+// time (they may scan datasets).
+func containsSubquery(e sqlpp.Expr) bool {
+	found := false
+	var walk func(sqlpp.Expr)
+	walk = func(e sqlpp.Expr) {
+		if found || e == nil {
+			return
 		}
-		ds, ok := q.In.(*sqlpp.VarRef)
-		if !ok || tr.Catalog == nil {
-			continue
+		switch x := e.(type) {
+		case *sqlpp.SelectExpr, *sqlpp.UnionExpr, *sqlpp.ExistsExpr, *sqlpp.QuantifiedExpr:
+			found = true
+		case *sqlpp.FieldAccess:
+			walk(x.Base)
+		case *sqlpp.IndexAccess:
+			walk(x.Base)
+			walk(x.Index)
+		case *sqlpp.Call:
+			for _, a := range x.Args {
+				walk(a)
+			}
+		case *sqlpp.Unary:
+			walk(x.X)
+		case *sqlpp.Binary:
+			walk(x.L)
+			walk(x.R)
+		case *sqlpp.IsExpr:
+			walk(x.X)
+		case *sqlpp.Between:
+			walk(x.X)
+			walk(x.Lo)
+			walk(x.Hi)
+		case *sqlpp.InExpr:
+			walk(x.X)
+			walk(x.Coll)
+		case *sqlpp.CaseExpr:
+			walk(x.Operand)
+			for _, wt := range x.Whens {
+				walk(wt.When)
+				walk(wt.Then)
+			}
+			walk(x.Else)
+		case *sqlpp.ObjectConstructor:
+			for _, f := range x.Fields {
+				walk(f.Name)
+				walk(f.Value)
+			}
+		case *sqlpp.ArrayConstructor:
+			for _, el := range x.Elems {
+				walk(el)
+			}
+		case *sqlpp.MultisetConstructor:
+			for _, el := range x.Elems {
+				walk(el)
+			}
 		}
-		if _, isDS := tr.Catalog.Resolve(ds.Name); !isDS {
-			continue
-		}
-		// The satisfies predicate may reference the quantified var and
-		// outer scope only.
-		if !tr.usesOnly(q.Satisfies, append(append([]string{}, sel.In.Schema()...), q.Var)) {
-			continue
-		}
-		rest := append(append([]sqlpp.Expr{}, cs[:i]...), cs[i+1:]...)
-		join := &JoinOp{
-			L:    sel.In,
-			R:    &ScanOp{Dataset: ds.Name, Var: q.Var},
-			Kind: JoinSemi,
-			On:   q.Satisfies,
-		}
-		var out Op = join
-		if len(rest) > 0 {
-			out = &SelectOp{In: out, Cond: conjoin(rest)}
-		}
-		return out, true
 	}
+	walk(e)
+	return found
+}
 
-	// Rule: push selections below assigns/unnests that don't define the
-	// referenced variables, and into join sides.
-	switch in := sel.In.(type) {
-	case *AssignOp:
+// constValue evaluates a constant expression at plan time.
+func (tr *Translator) constValue(e sqlpp.Expr) (adm.Value, error) {
+	return tr.Ev.Eval(e, NewEnv(nil, nil, nil))
+}
+
+// --- rule: constant-fold ---
+
+// foldConst replaces variable-free subexpressions with literals (bottom-up,
+// largest constant subtree wins). Evaluation errors leave the expression
+// unfolded so runtime semantics are preserved.
+func (tr *Translator) foldConst(e sqlpp.Expr) (sqlpp.Expr, bool) {
+	if e == nil {
+		return nil, false
+	}
+	if _, ok := e.(*sqlpp.Literal); ok {
+		return e, false
+	}
+	if !containsSubquery(e) && tr.isConstant(e) {
+		if v, err := tr.constValue(e); err == nil {
+			return &sqlpp.Literal{Value: v}, true
+		}
+		return e, false
+	}
+	changed := false
+	fold := func(c sqlpp.Expr) sqlpp.Expr {
+		nc, ch := tr.foldConst(c)
+		changed = changed || ch
+		return nc
+	}
+	switch x := e.(type) {
+	case *sqlpp.FieldAccess:
+		x.Base = fold(x.Base)
+	case *sqlpp.IndexAccess:
+		x.Base, x.Index = fold(x.Base), fold(x.Index)
+	case *sqlpp.Call:
+		for i := range x.Args {
+			x.Args[i] = fold(x.Args[i])
+		}
+	case *sqlpp.Unary:
+		x.X = fold(x.X)
+	case *sqlpp.Binary:
+		x.L, x.R = fold(x.L), fold(x.R)
+	case *sqlpp.IsExpr:
+		x.X = fold(x.X)
+	case *sqlpp.Between:
+		x.X, x.Lo, x.Hi = fold(x.X), fold(x.Lo), fold(x.Hi)
+	case *sqlpp.InExpr:
+		x.X, x.Coll = fold(x.X), fold(x.Coll)
+	case *sqlpp.CaseExpr:
+		if x.Operand != nil {
+			x.Operand = fold(x.Operand)
+		}
+		for i := range x.Whens {
+			x.Whens[i].When = fold(x.Whens[i].When)
+			x.Whens[i].Then = fold(x.Whens[i].Then)
+		}
+		if x.Else != nil {
+			x.Else = fold(x.Else)
+		}
+	case *sqlpp.ObjectConstructor:
+		for i := range x.Fields {
+			x.Fields[i].Value = fold(x.Fields[i].Value)
+		}
+	case *sqlpp.ArrayConstructor:
+		for i := range x.Elems {
+			x.Elems[i] = fold(x.Elems[i])
+		}
+	case *sqlpp.MultisetConstructor:
+		for i := range x.Elems {
+			x.Elems[i] = fold(x.Elems[i])
+		}
+	}
+	return e, changed
+}
+
+func isTrueLiteral(e sqlpp.Expr) bool {
+	l, ok := e.(*sqlpp.Literal)
+	return ok && l.Value.Kind() == adm.KindBoolean && bool(l.Value.(adm.Boolean))
+}
+
+func ruleConstantFold(tr *Translator, plan Op) (Op, int) {
+	return sweep(plan, func(op Op) (Op, bool) {
+		changed := false
+		fold := func(e sqlpp.Expr) sqlpp.Expr {
+			ne, c := tr.foldConst(e)
+			changed = changed || c
+			return ne
+		}
+		switch o := op.(type) {
+		case *SelectOp:
+			o.Cond = fold(o.Cond)
+			// Drop conjuncts folded to TRUE; drop the filter entirely when
+			// nothing remains.
+			cs := conjuncts(o.Cond)
+			var kept []sqlpp.Expr
+			for _, c := range cs {
+				if !isTrueLiteral(c) {
+					kept = append(kept, c)
+				}
+			}
+			if len(kept) == 0 {
+				return o.In, true
+			}
+			if len(kept) < len(cs) {
+				o.Cond = conjoin(kept)
+				changed = true
+			}
+		case *AssignOp:
+			o.Expr = fold(o.Expr)
+		case *UnnestOp:
+			o.Expr = fold(o.Expr)
+		case *JoinOp:
+			if o.On != nil {
+				o.On = fold(o.On)
+			}
+		case *ResultOp:
+			o.Expr = fold(o.Expr)
+		case *OrderOp:
+			for i := range o.Items {
+				o.Items[i].Expr = fold(o.Items[i].Expr)
+			}
+		case *GroupOp:
+			for i := range o.Keys {
+				o.Keys[i].Expr = fold(o.Keys[i].Expr)
+			}
+			for i := range o.Aggs {
+				if o.Aggs[i].Arg != nil {
+					o.Aggs[i].Arg = fold(o.Aggs[i].Arg)
+				}
+			}
+		}
+		return op, changed
+	})
+}
+
+// --- rule: quantifier-to-semijoin ---
+
+// SOME x IN <dataset> SATISFIES pred becomes a (hash) semi join against
+// the dataset.
+func ruleQuantifierToSemijoin(tr *Translator, plan Op) (Op, int) {
+	return sweep(plan, func(op Op) (Op, bool) {
+		sel, ok := op.(*SelectOp)
+		if !ok {
+			return op, false
+		}
+		cs := conjuncts(sel.Cond)
+		for i, c := range cs {
+			q, ok := c.(*sqlpp.QuantifiedExpr)
+			if !ok || !q.Some {
+				continue
+			}
+			ds, ok := q.In.(*sqlpp.VarRef)
+			if !ok || tr.Catalog == nil {
+				continue
+			}
+			if _, isDS := tr.Catalog.Resolve(ds.Name); !isDS {
+				continue
+			}
+			// The satisfies predicate may reference the quantified var and
+			// outer scope only.
+			if !tr.usesOnly(q.Satisfies, append(append([]string{}, sel.In.Schema()...), q.Var)) {
+				continue
+			}
+			rest := append(append([]sqlpp.Expr{}, cs[:i]...), cs[i+1:]...)
+			join := &JoinOp{
+				L:    sel.In,
+				R:    &ScanOp{Dataset: ds.Name, Var: q.Var},
+				Kind: JoinSemi,
+				On:   q.Satisfies,
+			}
+			var out Op = join
+			if len(rest) > 0 {
+				out = &SelectOp{In: out, Cond: conjoin(rest)}
+			}
+			return out, true
+		}
+		return op, false
+	})
+}
+
+// --- rule: push-select-down ---
+
+// Push selections below assigns and unnests that do not define the
+// referenced variables (both are 1:1 or expanding on rows they keep, so a
+// filter on pre-existing columns commutes).
+func rulePushSelectDown(tr *Translator, plan Op) (Op, int) {
+	return sweep(plan, func(op Op) (Op, bool) {
+		sel, ok := op.(*SelectOp)
+		if !ok {
+			return op, false
+		}
+		var defVar string
+		var setChild func(Op)
+		var child Op
+		switch in := sel.In.(type) {
+		case *AssignOp:
+			defVar, child = in.Var, in.In
+			setChild = func(c Op) { in.In = c }
+		case *UnnestOp:
+			defVar, child = in.Var, in.In
+			setChild = func(c Op) { in.In = c }
+		default:
+			return op, false
+		}
 		var below, above []sqlpp.Expr
-		for _, c := range cs {
+		for _, c := range conjuncts(sel.Cond) {
 			free := map[string]bool{}
 			FreeVars(c, free)
-			if !free[in.Var] {
+			if !free[defVar] {
 				below = append(below, c)
 			} else {
 				above = append(above, c)
 			}
 		}
-		if len(below) > 0 {
-			in.In = &SelectOp{In: in.In, Cond: conjoin(below)}
-			if len(above) == 0 {
-				return in, true
-			}
-			sel.Cond = conjoin(above)
-			return sel, true
+		if len(below) == 0 {
+			return op, false
 		}
-	case *JoinOp:
-		if in.Kind == JoinInner {
+		setChild(&SelectOp{In: child, Cond: conjoin(below)})
+		if len(above) == 0 {
+			return sel.In, true
+		}
+		sel.Cond = conjoin(above)
+		return sel, true
+	})
+}
+
+// --- rule: push-select-through-join ---
+
+// Distribute a filter above a join: single-side conjuncts move below the
+// join (into the preserved side only, for outer/semi joins), and for inner
+// joins the remaining cross-side conjuncts fold into the join condition
+// (enabling hash-join recognition).
+func rulePushSelectThroughJoin(tr *Translator, plan Op) (Op, int) {
+	return sweep(plan, func(op Op) (Op, bool) {
+		sel, ok := op.(*SelectOp)
+		if !ok {
+			return op, false
+		}
+		j, ok := sel.In.(*JoinOp)
+		if !ok {
+			return op, false
+		}
+		cs := conjuncts(sel.Cond)
+		switch j.Kind {
+		case JoinInner:
 			var toL, toR, keep []sqlpp.Expr
 			for _, c := range cs {
 				switch {
-				case tr.usesOnly(c, in.L.Schema()):
+				case tr.usesOnly(c, j.L.Schema()):
 					toL = append(toL, c)
-				case tr.usesOnly(c, in.R.Schema()):
+				case tr.usesOnly(c, j.R.Schema()):
 					toR = append(toR, c)
 				default:
 					keep = append(keep, c)
 				}
 			}
-			if len(toL) > 0 || len(toR) > 0 {
-				if len(toL) > 0 {
-					in.L = &SelectOp{In: in.L, Cond: conjoin(toL)}
-				}
-				if len(toR) > 0 {
-					in.R = &SelectOp{In: in.R, Cond: conjoin(toR)}
-				}
-				if len(keep) == 0 {
-					return in, true
-				}
-				sel.Cond = conjoin(keep)
-				return sel, true
+			// Folding into the join condition is only safe before key
+			// extraction: afterwards On is the per-pair residual and stays
+			// equivalent too, but there is nothing left to recognize.
+			foldOK := len(j.LeftKeys) == 0
+			if len(toL) == 0 && len(toR) == 0 && (len(keep) == 0 || !foldOK) {
+				return op, false
 			}
-			// Fold remaining cross-side conjuncts into the join
-			// condition (enables hash-join recognition).
-			if in.On == nil && len(keep) > 0 {
-				in.On = conjoin(keep)
-				return in, true
+			if len(toL) > 0 {
+				j.L = &SelectOp{In: j.L, Cond: conjoin(toL)}
 			}
+			if len(toR) > 0 {
+				j.R = &SelectOp{In: j.R, Cond: conjoin(toR)}
+			}
+			if len(keep) > 0 && foldOK {
+				if j.On != nil {
+					keep = append(conjuncts(j.On), keep...)
+				}
+				j.On = conjoin(keep)
+				return j, true
+			}
+			if len(keep) == 0 {
+				return j, true
+			}
+			sel.Cond = conjoin(keep)
+			return sel, true
+		case JoinLeftOuter, JoinSemi:
+			// Only the preserved (left) side can absorb filters: for a
+			// left-outer join, pushing right-side filters would turn pad
+			// rows into matches (or vice versa); for a semi join the output
+			// schema is the left side anyway.
+			var toL, keep []sqlpp.Expr
+			for _, c := range cs {
+				if tr.usesOnly(c, j.L.Schema()) && referencesAny(c, j.L.Schema()) {
+					toL = append(toL, c)
+				} else {
+					keep = append(keep, c)
+				}
+			}
+			if len(toL) == 0 {
+				return op, false
+			}
+			j.L = &SelectOp{In: j.L, Cond: conjoin(toL)}
+			if len(keep) == 0 {
+				return j, true
+			}
+			sel.Cond = conjoin(keep)
+			return sel, true
 		}
-	case *ScanOp:
-		if out, ok := tr.introduceIndex(sel, in); ok {
-			return out, true
-		}
-	}
-	return sel, false
+		return op, false
+	})
 }
 
-// recognizeHashJoin extracts equi-join keys from a join condition, adding
-// assigns for the key expressions beneath each side.
+// --- rule: recognize-hash-join ---
+
+// Extract equi-join keys from a join condition, adding assigns for the
+// key expressions beneath each side. Handles straight and commuted
+// equalities and AND-nested conjunctions (conjuncts flattens nesting);
+// equalities against constants or spanning both sides stay in the
+// residual predicate.
+func ruleRecognizeHashJoin(tr *Translator, plan Op) (Op, int) {
+	return sweep(plan, func(op Op) (Op, bool) {
+		j, ok := op.(*JoinOp)
+		if !ok || len(j.LeftKeys) > 0 || j.On == nil {
+			return op, false
+		}
+		return j, tr.recognizeHashJoin(j)
+	})
+}
+
 func (tr *Translator) recognizeHashJoin(j *JoinOp) bool {
 	cs := conjuncts(j.On)
+	lSchema, rSchema := j.L.Schema(), j.R.Schema()
 	var lExprs, rExprs []sqlpp.Expr
 	var residual []sqlpp.Expr
 	for _, c := range cs {
@@ -236,11 +489,16 @@ func (tr *Translator) recognizeHashJoin(j *JoinOp) bool {
 			residual = append(residual, c)
 			continue
 		}
+		// Each key expression must use only — and at least one of — its
+		// side's variables: a constant "key" would degenerate into a
+		// single-partition cross join.
 		switch {
-		case tr.usesOnly(b.L, j.L.Schema()) && tr.usesOnly(b.R, j.R.Schema()):
+		case tr.usesOnly(b.L, lSchema) && referencesAny(b.L, lSchema) &&
+			tr.usesOnly(b.R, rSchema) && referencesAny(b.R, rSchema):
 			lExprs = append(lExprs, b.L)
 			rExprs = append(rExprs, b.R)
-		case tr.usesOnly(b.L, j.R.Schema()) && tr.usesOnly(b.R, j.L.Schema()):
+		case tr.usesOnly(b.L, rSchema) && referencesAny(b.L, rSchema) &&
+			tr.usesOnly(b.R, lSchema) && referencesAny(b.R, lSchema):
 			lExprs = append(lExprs, b.R)
 			rExprs = append(rExprs, b.L)
 		default:
@@ -261,8 +519,27 @@ func (tr *Translator) recognizeHashJoin(j *JoinOp) bool {
 		j.LeftKeys = append(j.LeftKeys, lv)
 		j.RightKeys = append(j.RightKeys, rv)
 	}
-	j.On = conjoin(residual) // post-join residual filter (inner only)
+	j.On = conjoin(residual) // post-join residual filter
 	return true
+}
+
+// --- rule: introduce-index-search ---
+
+func ruleIntroduceIndexSearch(tr *Translator, plan Op) (Op, int) {
+	return sweep(plan, func(op Op) (Op, bool) {
+		sel, ok := op.(*SelectOp)
+		if !ok {
+			return op, false
+		}
+		scan, ok := sel.In.(*ScanOp)
+		if !ok {
+			return op, false
+		}
+		if out, c := tr.introduceIndex(sel, scan); c {
+			return out, true
+		}
+		return op, false
+	})
 }
 
 // introduceIndex replaces Scan+Select with an index search when a
@@ -285,14 +562,15 @@ func (tr *Translator) introduceIndex(sel *SelectOp, scan *ScanOp) (Op, bool) {
 		return fa.Field, true
 	}
 
-	// BTREE: collect range bounds per field.
+	// BTREE: collect range bounds per field, in first-conjunct order so
+	// the chosen access path is deterministic.
 	type rangeBound struct {
 		lo, hi       sqlpp.Expr
 		loInc, hiInc bool
-		used         []int
 	}
 	bounds := map[string]*rangeBound{}
-	for i, c := range cs {
+	var fieldOrder []string
+	for _, c := range cs {
 		b, ok := c.(*sqlpp.Binary)
 		if !ok {
 			continue
@@ -319,20 +597,16 @@ func (tr *Translator) introduceIndex(sel *SelectOp, scan *ScanOp) (Op, bool) {
 			continue
 		}
 		idx, ok := tr.Catalog.ResolveIndex(scan.Dataset, field)
-		if !ok || idx.Kind() != "BTREE" && idx.Kind() != "ZORDER" && idx.Kind() != "HILBERT" {
+		if !ok || idx.Kind() != "BTREE" {
 			// Only value-ordered indexes take range predicates (the
 			// curve/grid variants are driven through spatial preds).
-			if !ok || idx.Kind() != "BTREE" {
-				continue
-			}
-		}
-		if idx.Kind() != "BTREE" {
 			continue
 		}
 		rb := bounds[field]
 		if rb == nil {
 			rb = &rangeBound{}
 			bounds[field] = rb
+			fieldOrder = append(fieldOrder, field)
 		}
 		switch op {
 		case "=":
@@ -345,12 +619,10 @@ func (tr *Translator) introduceIndex(sel *SelectOp, scan *ScanOp) (Op, bool) {
 			rb.lo, rb.loInc = valExpr, false
 		case ">=":
 			rb.lo, rb.loInc = valExpr, true
-		default:
-			continue
 		}
-		rb.used = append(rb.used, i)
 	}
-	for field, rb := range bounds {
+	for _, field := range fieldOrder {
+		rb := bounds[field]
 		if rb.lo == nil && rb.hi == nil {
 			continue
 		}
@@ -416,7 +688,258 @@ func (tr *Translator) introduceIndex(sel *SelectOp, scan *ScanOp) (Op, bool) {
 	return nil, false
 }
 
-// constValue evaluates a constant expression at plan time.
-func (tr *Translator) constValue(e sqlpp.Expr) (adm.Value, error) {
-	return tr.Ev.Eval(e, NewEnv(nil, nil, nil))
+// --- rule: push-limit-into-scan ---
+
+// Cap leaf scans under a LIMIT: walking through row-preserving 1:1
+// operators (assign/result/project), each scan partition needs to produce
+// at most limit+offset tuples. The LimitOp above still enforces the exact
+// global bound.
+func rulePushLimitIntoScan(tr *Translator, plan Op) (Op, int) {
+	return sweep(plan, func(op Op) (Op, bool) {
+		l, ok := op.(*LimitOp)
+		if !ok || l.Limit < 0 {
+			return op, false
+		}
+		target := l.Limit + l.Offset
+		if target <= 0 {
+			return op, false
+		}
+		cur := l.In
+		for {
+			switch x := cur.(type) {
+			case *AssignOp:
+				cur = x.In
+			case *ResultOp:
+				cur = x.In
+			case *ProjectOp:
+				cur = x.In
+			case *ScanOp:
+				if x.MaxTuples == 0 || x.MaxTuples > target {
+					x.MaxTuples = target
+					return op, true
+				}
+				return op, false
+			case *IndexSearchOp:
+				if x.MaxTuples == 0 || x.MaxTuples > target {
+					x.MaxTuples = target
+					return op, true
+				}
+				return op, false
+			default:
+				return op, false
+			}
+		}
+	})
+}
+
+// --- rule: prune-columns ---
+
+// Propagate required columns top-down: drop assigns nobody reads and
+// narrow join inputs with projects so exchanges move minimal tuples.
+func rulePruneColumns(tr *Translator, plan Op) (Op, int) {
+	hits := 0
+	need := map[string]bool{}
+	if indexOf(plan.Schema(), ResultVar) >= 0 {
+		// Downstream (result sink) only reads the result column.
+		need[ResultVar] = true
+	} else {
+		for _, v := range plan.Schema() {
+			need[v] = true
+		}
+	}
+	out := pruneOp(plan, need, &hits)
+	return out, hits
+}
+
+func addFreeIn(need map[string]bool, e sqlpp.Expr, schema []string) {
+	free := map[string]bool{}
+	FreeVars(e, free)
+	for _, v := range schema {
+		if free[v] {
+			need[v] = true
+		}
+	}
+}
+
+func cloneSet(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k, v := range m {
+		if v {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func pruneOp(op Op, need map[string]bool, hits *int) Op {
+	switch o := op.(type) {
+	case *SelectOp:
+		n := cloneSet(need)
+		addFreeIn(n, o.Cond, o.In.Schema())
+		o.In = pruneOp(o.In, n, hits)
+		return o
+	case *AssignOp:
+		if !need[o.Var] {
+			// Dead assign: nobody downstream reads the column.
+			*hits++
+			return pruneOp(o.In, need, hits)
+		}
+		n := cloneSet(need)
+		delete(n, o.Var)
+		addFreeIn(n, o.Expr, o.In.Schema())
+		o.In = pruneOp(o.In, n, hits)
+		return o
+	case *UnnestOp:
+		// The unnest shapes cardinality even when its variable is dead;
+		// only the requirement set shrinks.
+		n := cloneSet(need)
+		delete(n, o.Var)
+		addFreeIn(n, o.Expr, o.In.Schema())
+		o.In = pruneOp(o.In, n, hits)
+		return o
+	case *ProjectOp:
+		var cols []string
+		for _, c := range o.Cols {
+			if need[c] {
+				cols = append(cols, c)
+			}
+		}
+		if len(cols) < len(o.Cols) {
+			o.Cols = cols
+			*hits++
+		}
+		n := map[string]bool{}
+		for _, c := range o.Cols {
+			n[c] = true
+		}
+		o.In = pruneOp(o.In, n, hits)
+		return o
+	case *JoinOp:
+		needL := map[string]bool{}
+		needR := map[string]bool{}
+		lSchema, rSchema := o.L.Schema(), o.R.Schema()
+		for _, v := range lSchema {
+			if need[v] {
+				needL[v] = true
+			}
+		}
+		for _, v := range rSchema {
+			if need[v] {
+				needR[v] = true
+			}
+		}
+		if o.On != nil {
+			addFreeIn(needL, o.On, lSchema)
+			addFreeIn(needR, o.On, rSchema)
+		}
+		for _, k := range o.LeftKeys {
+			needL[k] = true
+		}
+		for _, k := range o.RightKeys {
+			needR[k] = true
+		}
+		o.L = maybeProject(pruneOp(o.L, needL, hits), needL, hits)
+		o.R = maybeProject(pruneOp(o.R, needR, hits), needR, hits)
+		return o
+	case *GroupOp:
+		n := map[string]bool{}
+		inSchema := o.In.Schema()
+		for _, k := range o.Keys {
+			addFreeIn(n, k.Expr, inSchema)
+		}
+		for _, a := range o.Aggs {
+			if a.Arg != nil {
+				addFreeIn(n, a.Arg, inSchema)
+			}
+		}
+		if o.GroupAs != "" {
+			// GROUP AS materializes every row variable.
+			for _, v := range o.RowVars {
+				n[v] = true
+			}
+		}
+		o.In = pruneOp(o.In, n, hits)
+		return o
+	case *ResultOp:
+		n := cloneSet(need)
+		delete(n, ResultVar)
+		addFreeIn(n, o.Expr, o.In.Schema())
+		o.In = pruneOp(o.In, n, hits)
+		return o
+	case *DistinctOp:
+		o.In = pruneOp(o.In, map[string]bool{ResultVar: true}, hits)
+		return o
+	case *OrderOp:
+		n := cloneSet(need)
+		for _, it := range o.Items {
+			addFreeIn(n, it.Expr, o.In.Schema())
+		}
+		o.In = pruneOp(o.In, n, hits)
+		return o
+	case *LimitOp:
+		o.In = pruneOp(o.In, need, hits)
+		return o
+	case *UnionAllOp:
+		for i := range o.Ins {
+			o.Ins[i] = pruneOp(o.Ins[i], map[string]bool{ResultVar: true}, hits)
+		}
+		return o
+	default:
+		return op
+	}
+}
+
+// maybeProject narrows child to the needed columns when it produces more,
+// keeping schema order. Children that are already projects were narrowed
+// in place by pruneOp.
+func maybeProject(child Op, need map[string]bool, hits *int) Op {
+	if _, ok := child.(*ProjectOp); ok {
+		return child
+	}
+	schema := child.Schema()
+	var cols []string
+	for _, v := range schema {
+		if need[v] {
+			cols = append(cols, v)
+		}
+	}
+	if len(cols) == len(schema) {
+		return child
+	}
+	*hits++
+	return &ProjectOp{In: child, Cols: cols}
+}
+
+// --- rule: eliminate-redundant-project ---
+
+func ruleEliminateRedundantProject(tr *Translator, plan Op) (Op, int) {
+	return sweep(plan, func(op Op) (Op, bool) {
+		p, ok := op.(*ProjectOp)
+		if !ok {
+			return op, false
+		}
+		// Collapse stacked projects (the outer column set is a subset of
+		// the inner by construction).
+		if inner, ok := p.In.(*ProjectOp); ok {
+			p.In = inner.In
+			return p, true
+		}
+		// An identity project is noise.
+		if sameStrings(p.Cols, p.In.Schema()) {
+			return p.In, true
+		}
+		return op, false
+	})
+}
+
+func sameStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

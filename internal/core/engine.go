@@ -71,6 +71,14 @@ type Config struct {
 	// Compressed and raw records coexist, so the option can be toggled
 	// across restarts.
 	Compression bool
+	// OptimizerOff disables the rule-based plan optimizer entirely:
+	// queries run exactly as translated (equivalence testing, worst-case
+	// baselines).
+	OptimizerOff bool
+	// OptimizerDisable names individual rewrite rules to skip (see
+	// algebricks.DefaultRules), for experiment ablations such as turning
+	// off only greedy join ordering.
+	OptimizerDisable []string
 	// Metrics, when set, is the observability registry all subsystems
 	// publish into; nil = the engine creates its own (see Engine.Metrics).
 	Metrics *obs.Registry
@@ -165,6 +173,7 @@ type Engine struct {
 	cluster *hyracks.Cluster
 	txmgr   *txn.Manager
 	gov     *mem.Governor
+	opt     *algebricks.Optimizer
 
 	// Observability: the registry is shared by every subsystem; the
 	// engine-level instruments below are pushed per statement.
@@ -321,6 +330,15 @@ func (e *Engine) Reopen() (*Engine, error) {
 // them; the trees share them by name (see lsm.Options.Metrics).
 func (e *Engine) registerMetrics(reg *obs.Registry) {
 	e.reg = reg
+	// One optimizer per engine so per-rule fired counters accumulate in
+	// the registry (surfaced at /admin/metrics).
+	e.opt = algebricks.NewOptimizer(reg)
+	if len(e.cfg.OptimizerDisable) > 0 {
+		e.opt.Disabled = map[string]bool{}
+		for _, name := range e.cfg.OptimizerDisable {
+			e.opt.Disabled[name] = true
+		}
+	}
 	e.mStatements = reg.Counter("engine_statements_total", "statements executed")
 	e.mQueries = reg.Counter("engine_queries_total", "query statements executed")
 	e.mStmtErrors = reg.Counter("engine_statement_errors_total", "statements that returned an error")
@@ -430,6 +448,11 @@ type Result struct {
 	Count int64
 	// Plan is the optimized logical plan (queries only).
 	Plan string
+	// PlanJSON is the same plan as a stable JSON tree.
+	PlanJSON string
+	// RulesFired maps optimizer rule name -> rewrite sites fired while
+	// compiling this query.
+	RulesFired map[string]int
 	// Attempts is how many times the query's job ran (>1 after a node
 	// failure was retried); 0 for non-job statements.
 	Attempts int
@@ -613,7 +636,8 @@ func (e *Engine) execQuery(ctx context.Context, q *sqlpp.QueryStmt) (Result, err
 		return Result{}, err
 	}
 	opt := cs.StartChild("optimize")
-	plan = tr.Optimize(plan)
+	var orep algebricks.OptReport
+	plan, orep = e.optimizePlan(tr, plan)
 	opt.End()
 	g := &algebricks.JobGen{
 		Cluster:     e.cluster,
@@ -654,8 +678,18 @@ func (e *Engine) execQuery(ctx context.Context, q *sqlpp.QueryStmt) (Result, err
 	}
 	return Result{
 		Kind: ResultQuery, Rows: rows, Plan: algebricks.PlanString(plan),
+		PlanJSON: algebricks.PlanJSON(plan), RulesFired: orep.Fired,
 		Attempts: rep.Attempts, DeadNodes: rep.DeadNodes, PeakWorkingMem: rep.PeakWorkingBytes,
 	}, nil
+}
+
+// optimizePlan runs the engine's optimizer, honoring the OptimizerOff
+// knob (in which case the plan runs exactly as translated).
+func (e *Engine) optimizePlan(tr *algebricks.Translator, plan algebricks.Op) (algebricks.Op, algebricks.OptReport) {
+	if e.cfg.OptimizerOff {
+		return plan, algebricks.OptReport{}
+	}
+	return e.opt.Optimize(tr, plan)
 }
 
 // Explain returns the optimized plan for a query without running it.
@@ -680,7 +714,8 @@ func (e *Engine) explainAST(q *sqlpp.QueryStmt) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return algebricks.PlanString(tr.Optimize(plan)), nil
+	plan, _ = e.optimizePlan(tr, plan)
+	return algebricks.PlanString(plan), nil
 }
 
 // trimSemis is a small helper for REPLs built on the engine.

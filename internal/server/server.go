@@ -40,6 +40,13 @@ type MetricsProvider interface {
 	Metrics() *obs.Registry
 }
 
+// Explainer is implemented by engines that can compile a statement to its
+// optimized plan without executing it (core.Engine does); it backs the
+// explain-only request flag.
+type Explainer interface {
+	Explain(src string) (string, error)
+}
+
 // Options configures the HTTP service.
 type Options struct {
 	// SlowQueryThreshold is the elapsed time beyond which a statement is
@@ -148,8 +155,12 @@ type queryRequest struct {
 	Statement string `json:"statement"`
 	// Profile requests expanded response metrics; "timings" additionally
 	// returns the span tree with per-operator, per-partition timings
-	// (mirroring AsterixDB's query-service profiling).
+	// (mirroring AsterixDB's query-service profiling); "plan" returns the
+	// optimized logical plan (text and JSON tree) alongside the results.
 	Profile string `json:"profile"`
+	// Explain compiles and optimizes the statement but does not execute
+	// it; the response carries only the plan.
+	Explain bool `json:"explain"`
 }
 
 // queryMetrics keeps elapsedTime/resultCount stable for old clients and
@@ -172,6 +183,9 @@ type queryMetrics struct {
 	// PeakWorkingMemBytes is the largest working-memory grant the memory
 	// governor saw for any statement in the script.
 	PeakWorkingMemBytes int64 `json:"peakWorkingMemBytes,omitempty"`
+	// RulesFired maps optimizer rule name -> rewrite sites fired while
+	// compiling the responded-to query (present with "profile":"plan").
+	RulesFired map[string]int `json:"rulesFired,omitempty"`
 	// WaitTimes attributes where the statement blocked, by category
 	// (admission, lock, spill, flush, merge, exchange); only nonzero
 	// categories appear.
@@ -188,6 +202,16 @@ type queryResponse struct {
 	Metrics   queryMetrics `json:"metrics"`
 	// Profile is the span tree, present only when requested.
 	Profile *obs.SpanNode `json:"profile,omitempty"`
+	// Plan is the optimized logical plan, present with "profile":"plan"
+	// or the explain flag.
+	Plan *planPayload `json:"plan,omitempty"`
+}
+
+// planPayload carries the optimized plan in both human-readable and
+// machine-readable form.
+type planPayload struct {
+	Text string          `json:"text"`
+	Tree json.RawMessage `json:"tree,omitempty"`
 }
 
 func (s *service) serveQuery(w http.ResponseWriter, r *http.Request) {
@@ -211,12 +235,17 @@ func (s *service) serveQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		req.Statement = r.PostFormValue("statement")
 		req.Profile = r.PostFormValue("profile")
+		req.Explain = r.PostFormValue("explain") == "true"
 	}
 	if strings.TrimSpace(req.Statement) == "" {
 		writeError(w, http.StatusBadRequest, "empty statement")
 		return
 	}
 	s.requests.Inc()
+	if req.Explain {
+		s.serveExplain(w, req.Statement)
+		return
+	}
 
 	// Every request is traced (the spans feed the phase metrics and the
 	// slow-query log); per-operator detail is opt-in via the profile flag.
@@ -340,6 +369,20 @@ func (s *service) serveQuery(w http.ResponseWriter, r *http.Request) {
 	if req.Profile == "timings" {
 		resp.Profile = root.Tree()
 	}
+	if req.Profile == "plan" {
+		// Plan of the last statement that produced one (matching the
+		// results payload, which is also the last statement's).
+		for i := len(results) - 1; i >= 0; i-- {
+			if results[i].Plan != "" {
+				resp.Plan = &planPayload{Text: results[i].Plan}
+				if results[i].PlanJSON != "" {
+					resp.Plan.Tree = json.RawMessage(results[i].PlanJSON)
+				}
+				resp.Metrics.RulesFired = results[i].RulesFired
+				break
+			}
+		}
+	}
 	if s.slow >= 0 && elapsed >= s.slow {
 		s.slowQ.Inc()
 		line := fmt.Sprintf("server: slow query #%s (%v; parse=%v optimize=%v execute=%v", qid,
@@ -356,6 +399,41 @@ func (s *service) serveQuery(w http.ResponseWriter, r *http.Request) {
 		} else {
 			w.WriteHeader(http.StatusInternalServerError)
 		}
+	}
+	//lint:ignore err-discard best-effort write to the response; a failure means the client is gone
+	json.NewEncoder(w).Encode(&resp)
+}
+
+// serveExplain answers an explain-only request: the statement is parsed
+// and optimized but never executed, and the response carries only the
+// plan.
+func (s *service) serveExplain(w http.ResponseWriter, statement string) {
+	ex, ok := s.eng.(Explainer)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, "engine does not support explain")
+		return
+	}
+	start := time.Now()
+	plan, err := ex.Explain(statement)
+	elapsed := time.Since(start)
+	resp := queryResponse{Status: "success"}
+	if err != nil {
+		s.errors.Inc()
+		resp.Status = "fatal"
+		resp.Errors = append(resp.Errors, err.Error())
+	} else {
+		resp.Plan = &planPayload{Text: plan}
+		if raw, jerr := json.Marshal(plan); jerr == nil {
+			resp.Results = append(resp.Results, json.RawMessage(raw))
+		}
+	}
+	resp.Metrics = queryMetrics{
+		ElapsedTime: elapsed.String(),
+		ResultCount: len(resp.Results),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if resp.Status != "success" {
+		w.WriteHeader(http.StatusInternalServerError)
 	}
 	//lint:ignore err-discard best-effort write to the response; a failure means the client is gone
 	json.NewEncoder(w).Encode(&resp)

@@ -726,3 +726,77 @@ func TestStalledClientDisconnected(t *testing.T) {
 		t.Fatal("server never disconnected the stalled client")
 	}
 }
+
+// postBody posts an arbitrary JSON request body to /query/service.
+func postBody(t *testing.T, srv *httptest.Server, body string) queryResponse {
+	t.Helper()
+	resp, err := http.Post(srv.URL+"/query/service", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var qr queryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	return qr
+}
+
+func TestProfilePlanReturnsPlanAndRules(t *testing.T) {
+	srv := newServer(t)
+	post(t, srv, `
+		CREATE TYPE UT AS {id: int};
+		CREATE DATASET U(UT) PRIMARY KEY id;
+		CREATE TYPE MT AS {mid: int};
+		CREATE DATASET M(MT) PRIMARY KEY mid;
+		UPSERT INTO U ([{"id": 1}, {"id": 2}]);
+		UPSERT INTO M ([{"mid": 1, "aid": 1}, {"mid": 2, "aid": 2}]);`)
+	qr := postBody(t, srv, `{"statement": "SELECT u.id AS a, m.mid AS b FROM U u, M m WHERE m.aid = u.id;", "profile": "plan"}`)
+	if qr.Status != "success" {
+		t.Fatalf("status %s: %v", qr.Status, qr.Errors)
+	}
+	if qr.Plan == nil || !strings.Contains(qr.Plan.Text, "join[inner,hash]") {
+		t.Fatalf("plan missing or wrong: %+v", qr.Plan)
+	}
+	var tree struct {
+		Op string `json:"op"`
+	}
+	if err := json.Unmarshal(qr.Plan.Tree, &tree); err != nil || tree.Op == "" {
+		t.Fatalf("plan tree not a JSON op node: %v %s", err, qr.Plan.Tree)
+	}
+	if qr.Metrics.RulesFired["recognize-hash-join"] == 0 {
+		t.Errorf("rulesFired missing hash-join recognition: %v", qr.Metrics.RulesFired)
+	}
+	if len(qr.Results) != 2 {
+		t.Errorf("profile=plan must still execute: %d results", len(qr.Results))
+	}
+}
+
+func TestExplainOnlyFlagDoesNotExecute(t *testing.T) {
+	srv := newServer(t)
+	post(t, srv, `
+		CREATE TYPE UT AS {id: int};
+		CREATE DATASET U(UT) PRIMARY KEY id;
+		UPSERT INTO U ([{"id": 1}, {"id": 2}, {"id": 3}]);`)
+	qr := postBody(t, srv, `{"statement": "SELECT VALUE u.id FROM U u;", "explain": true}`)
+	if qr.Status != "success" {
+		t.Fatalf("status %s: %v", qr.Status, qr.Errors)
+	}
+	if qr.Plan == nil || !strings.Contains(qr.Plan.Text, "scan(U as u)") {
+		t.Fatalf("explain plan missing: %+v", qr.Plan)
+	}
+	// No data rows: the single result is the plan string itself.
+	if len(qr.Results) != 1 || !strings.HasPrefix(string(qr.Results[0]), `"`) {
+		t.Errorf("explain-only should return the plan, not rows: %v", qr.Results)
+	}
+	// Metrics endpoint carries the per-rule counters.
+	resp, err := http.Get(srv.URL + "/admin/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(b), "optimizer_plans_total") {
+		t.Error("optimizer counters missing from /admin/metrics")
+	}
+}
