@@ -20,9 +20,10 @@ optimizer:
 # -stats prints per-rule finding counts and wall time; the interprocedural
 # summaries are cached in .lintcache keyed on the Go file hash set, and
 # -max-wall turns a lint run slower than 120s into a failure (exit 3) so
-# the gate stays fast enough to keep in CI.
+# the gate stays fast enough to keep in CI. -strict-suppressions promotes
+# stale //lint:ignore directives (suppressing nothing) to failures.
 lint:
-	go run ./cmd/asterixlint -stats -summary-cache .lintcache -max-wall 120s ./...
+	go run ./cmd/asterixlint -stats -summary-cache .lintcache -max-wall 120s -strict-suppressions ./...
 
 # invariants: the test suite with deep structural validators compiled in
 # (see internal/check).
@@ -53,11 +54,12 @@ bench:
 
 # bench-smoke: the CI perf gate — run the experiment suite at the small
 # scale, emit the structured BENCH_ci.json artifact, and diff it against
-# the checked-in BENCH_1.json baseline (warn-only: regressions are
-# reported, not yet fatal).
+# the checked-in BENCH_1.json baseline. Timings stay warn-only (shared CI
+# hosts are noisy), but allocation counters are deterministic and gate
+# hard: an allocs/op or allocs/row regression fails the job.
 bench-smoke:
 	go run ./cmd/asterixbench -scale small -out BENCH_ci.json
-	go run ./cmd/asterixbench -compare BENCH_1.json -in BENCH_ci.json -warn-only
+	go run ./cmd/asterixbench -compare BENCH_1.json -in BENCH_ci.json -warn-only -hard-units allocs/op,allocs/row
 
 # fuzz-smoke: a short bounded run of each fuzz target (CI uses this).
 fuzz-smoke:
@@ -76,6 +78,6 @@ help:
 	@echo "  net-matrix  transport fault tests + 3-process cluster smoke test"
 	@echo "  fuzz-smoke  short bounded fuzz run (ADM codec, SQL++ parser, frame decoder)"
 	@echo "  bench       top-level benchmarks"
-	@echo "  bench-smoke small-scale experiment run -> BENCH_ci.json, diffed vs BENCH_1.json"
+	@echo "  bench-smoke small-scale experiment run -> BENCH_ci.json, diffed vs BENCH_1.json (alloc counters gate hard)"
 
 .PHONY: tier1 verify lint optimizer invariants fault-matrix net-matrix bench bench-smoke fuzz-smoke help

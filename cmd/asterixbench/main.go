@@ -39,6 +39,8 @@ func main() {
 		comparePV = flag.String("compare", "", "baseline BENCH_*.json to diff against; regressions exit non-zero")
 		tolerance = flag.Float64("tolerance", 0, "fractional tolerance band for -compare (default 0.5)")
 		warnOnly  = flag.Bool("warn-only", false, "report -compare regressions but exit zero")
+		hardUnits = flag.String("hard-units", "",
+			"comma-separated measurement units (e.g. allocs/op,allocs/row) whose regressions fail the gate even under -warn-only")
 	)
 	flag.Parse()
 
@@ -51,7 +53,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		gate(*comparePV, cur, *tolerance, *warnOnly)
+		gate(*comparePV, cur, *tolerance, *warnOnly, splitUnits(*hardUnits))
 		return
 	}
 
@@ -112,21 +114,37 @@ func main() {
 		os.Exit(1)
 	}
 	if *comparePV != "" {
-		gate(*comparePV, artifact, *tolerance, *warnOnly)
+		gate(*comparePV, artifact, *tolerance, *warnOnly, splitUnits(*hardUnits))
 	}
 }
 
+// splitUnits parses the -hard-units flag value.
+func splitUnits(s string) []string {
+	var units []string
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			units = append(units, u)
+		}
+	}
+	return units
+}
+
 // gate diffs cur against the baseline at basePath and exits non-zero on
-// regression (unless warn-only).
-func gate(basePath string, cur *benchfmt.Artifact, tolerance float64, warnOnly bool) {
+// regression (unless warn-only). Hard-unit regressions — deterministic
+// counters like allocs/op — fail the gate even under warn-only.
+func gate(basePath string, cur *benchfmt.Artifact, tolerance float64, warnOnly bool, hardUnits []string) {
 	base, err := benchfmt.ReadFile(basePath)
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep := benchfmt.Compare(base, cur, benchfmt.CompareOptions{Tolerance: tolerance})
+	rep := benchfmt.Compare(base, cur, benchfmt.CompareOptions{Tolerance: tolerance, HardUnits: hardUnits})
 	fmt.Printf("\n-- compare vs %s (env: %s/%d-cpu -> %s/%d-cpu)\n",
 		basePath, base.Env.GOOS, base.Env.NumCPU, cur.Env.GOOS, cur.Env.NumCPU)
 	rep.Format(os.Stdout)
+	if rep.HardFail() {
+		fmt.Fprintln(os.Stderr, "asterixbench: hard-unit regression (allocation counters are a hard gate)")
+		os.Exit(2)
+	}
 	if !rep.OK() && !warnOnly {
 		os.Exit(2)
 	}

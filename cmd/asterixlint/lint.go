@@ -38,6 +38,11 @@ type Config struct {
 	// rule: every value produced by an acquire must reach one of its
 	// releases on all paths out of the acquiring function.
 	Resources []ResourceSpec
+	// Pools registers buffer pools for the pool-safety rule family: a
+	// container drawn from a pool's Get must reach its Put on every
+	// path, must not be touched after the Put, put twice, or recycled
+	// after its ownership escaped.
+	Pools []PoolSpec
 
 	// HotRoots are the per-tuple kernels the hot-alloc rule requires to
 	// be transitively allocation-free (see docs/STATIC_ANALYSIS.md for
@@ -153,6 +158,31 @@ func DefaultConfig() *Config {
 				},
 			},
 		},
+		Pools: []PoolSpec{
+			{
+				// Exchange frame containers ([]Tuple): connWriter batches,
+				// merge-input output frames, wire decode. Unnamed element
+				// type, so call arguments stay loans.
+				Pkg: "asterix/internal/hyracks", Recv: "FramePool",
+				Get: "Get", Put: "Put",
+				Desc: "pooled frame",
+			},
+			{
+				// Spill-record scratch tuples: group-by partial records,
+				// grace-join probe read-back. The named Tuple element lets
+				// helper parameters resolve kept/released.
+				Pkg: "asterix/internal/hyracks", Recv: "TuplePool",
+				Get: "Get", Put: "Put",
+				ElemPkg: "asterix/internal/hyracks", ElemType: "Tuple",
+				Desc: "pooled tuple",
+			},
+			{
+				// Run-file encode/decode scratch ([]byte).
+				Pkg: "asterix/internal/hyracks", Recv: "BytePool",
+				Get: "Get", Put: "Put",
+				Desc: "pooled byte buffer",
+			},
+		},
 		HotRoots: []FuncRef{
 			// ADM comparator/serde kernels: run once per tuple column.
 			{Pkg: "asterix/internal/adm", Func: "Compare"},
@@ -251,7 +281,7 @@ type Rule struct {
 // cross-package state are built fresh on each call, so independent
 // runs (and tests) do not share graphs.
 func AllRules() []*Rule {
-	return []*Rule{
+	rules := []*Rule{
 		ruleObsNil(),
 		ruleLockHeld(),
 		ruleGoLifecycle(),
@@ -266,6 +296,7 @@ func AllRules() []*Rule {
 		ruleHotAlloc(),
 		ruleWaitAttrib(),
 	}
+	return append(rules, poolSafetyRules()...)
 }
 
 var ignoreRe = regexp.MustCompile(`^//lint:ignore\s+(\S+)(?:\s+(.*))?$`)
@@ -281,8 +312,18 @@ var ignoreRe = regexp.MustCompile(`^//lint:ignore\s+(\S+)(?:\s+(.*))?$`)
 // directive line.
 type suppressions map[string]map[string]bool
 
-func collectSuppressions(p *Package, report func(token.Pos, string)) suppressions {
+// supDirective is one reasoned lint:ignore directive, kept for the
+// stale-suppression audit: a directive that suppresses nothing in the
+// whole run is itself reported.
+type supDirective struct {
+	rules []string
+	keys  []string // the "file:line" keys the directive covers
+	pos   token.Position
+}
+
+func collectSuppressions(p *Package, report func(token.Pos, string)) (suppressions, []supDirective) {
 	sup := suppressions{}
+	var out []supDirective
 	for _, f := range p.Files {
 		// Lines occupied by a lint:ignore directive, for stack chaining.
 		directiveLines := map[string]map[int]bool{}
@@ -290,6 +331,7 @@ func collectSuppressions(p *Package, report func(token.Pos, string)) suppression
 			rules    []string
 			filename string
 			line     int
+			pos      token.Position
 		}
 		var directives []directive
 		for _, cg := range f.Comments {
@@ -311,6 +353,7 @@ func collectSuppressions(p *Package, report func(token.Pos, string)) suppression
 					rules:    strings.Split(m[1], ","),
 					filename: pos.Filename,
 					line:     pos.Line,
+					pos:      pos,
 				})
 			}
 		}
@@ -324,9 +367,13 @@ func collectSuppressions(p *Package, report func(token.Pos, string)) suppression
 				next++
 			}
 			cover = append(cover, next)
+			sd := supDirective{rules: d.rules, pos: d.pos}
+			for _, line := range cover {
+				sd.keys = append(sd.keys, fmt.Sprintf("%s:%d", d.filename, line))
+			}
+			out = append(out, sd)
 			for _, rule := range d.rules {
-				for _, line := range cover {
-					key := fmt.Sprintf("%s:%d", d.filename, line)
+				for _, key := range sd.keys {
 					if sup[key] == nil {
 						sup[key] = map[string]bool{}
 					}
@@ -335,7 +382,7 @@ func collectSuppressions(p *Package, report func(token.Pos, string)) suppression
 			}
 		}
 	}
-	return sup
+	return sup, out
 }
 
 // Runner drives the rules over any number of packages, accumulating
@@ -357,10 +404,19 @@ type Runner struct {
 	CacheDir string
 	// Interp is the summary table built by Finish; exposed for -stats.
 	Interp *Interp
+
+	// ReportStale enables the stale-suppression audit: a reasoned
+	// directive that suppressed nothing across the whole run is reported
+	// as "stale-suppression". Only meaningful when every rule runs — a
+	// partial -rules selection would call live directives stale.
+	ReportStale bool
+	directives  []supDirective
+	supUsed     map[string]bool // "file:line|rule" pairs that suppressed something
 }
 
 func NewRunner(c *Config, fset *token.FileSet, rules []*Rule) *Runner {
-	return &Runner{c: c, fset: fset, rules: rules, sup: suppressions{}, stats: map[string]int{}}
+	return &Runner{c: c, fset: fset, rules: rules, sup: suppressions{},
+		stats: map[string]int{}, supUsed: map[string]bool{}}
 }
 
 func (r *Runner) add(rule string, pos token.Pos, msg string) {
@@ -370,6 +426,7 @@ func (r *Runner) add(rule string, pos token.Pos, msg string) {
 func (r *Runner) addAt(rule string, pos token.Position, msg string) {
 	key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
 	if r.sup[key][rule] {
+		r.supUsed[key+"|"+rule] = true
 		return
 	}
 	r.stats[rule]++
@@ -382,9 +439,10 @@ func (r *Runner) Stats() map[string]int { return r.stats }
 // Package scans one package with every rule's Run hook.
 func (r *Runner) Package(p *Package) {
 	r.pkgs = append(r.pkgs, p)
-	sup := collectSuppressions(p, func(pos token.Pos, msg string) {
+	sup, directives := collectSuppressions(p, func(pos token.Pos, msg string) {
 		r.add("lint-directive", pos, msg)
 	})
+	r.directives = append(r.directives, directives...)
 	for key, rules := range sup {
 		if r.sup[key] == nil {
 			r.sup[key] = map[string]bool{}
@@ -417,7 +475,14 @@ func (r *Runner) Finish() []Diagnostic {
 	if needInterp {
 		r.Interp = buildInterp(r.c, r.fset, r.ModRoot, r.CacheDir, r.pkgs)
 		r.Interp.Suppressed = func(rule string, pos token.Position) bool {
-			return r.sup[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)][rule]
+			key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+			if r.sup[key][rule] {
+				// A directive acting as an interprocedural walk barrier is
+				// in use even when no finding lands on its line.
+				r.supUsed[key+"|"+rule] = true
+				return true
+			}
+			return false
 		}
 		for _, rule := range r.rules {
 			if rule.Interp == nil {
@@ -438,6 +503,23 @@ func (r *Runner) Finish() []Diagnostic {
 			r.add(rule.Name, pos, msg)
 		})
 	}
+	if r.ReportStale {
+		for _, d := range r.directives {
+			used := false
+			for _, key := range d.keys {
+				for _, rule := range d.rules {
+					if r.supUsed[key+"|"+rule] {
+						used = true
+					}
+				}
+			}
+			if !used {
+				r.addAt("stale-suppression", d.pos, fmt.Sprintf(
+					"//lint:ignore %s suppresses no finding: delete the directive or re-justify it",
+					strings.Join(d.rules, ",")))
+			}
+		}
+	}
 	sort.Slice(r.diags, func(i, j int) bool {
 		a, b := r.diags[i].Pos, r.diags[j].Pos
 		if a.Filename != b.Filename {
@@ -456,6 +538,7 @@ func (r *Runner) Finish() []Diagnostic {
 // package runs use a Runner directly.
 func RunRules(c *Config, p *Package, rules []*Rule) []Diagnostic {
 	r := NewRunner(c, p.Fset, rules)
+	r.ReportStale = true
 	r.Package(p)
 	return r.Finish()
 }

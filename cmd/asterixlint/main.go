@@ -6,11 +6,13 @@
 //
 // Usage:
 //
-//	asterixlint [-rules r1,r2] [-json] [-v] [-stats] [-summary-cache dir] [-max-wall d] [packages...]
+//	asterixlint [-rules r1,r2] [-json] [-v] [-stats] [-summary-cache dir] [-max-wall d] [-strict-suppressions] [packages...]
 //
 // Package patterns are directories or go-style "./..." trees. Exit code
 // is 1 when any diagnostic is reported, 2 on load/type-check failure,
-// and 3 when -max-wall is set and the run exceeds it.
+// and 3 when -max-wall is set and the run exceeds it. Stale
+// //lint:ignore directives (rule "stale-suppression") warn by default;
+// -strict-suppressions makes them fail too.
 //
 // -summary-cache names a directory for the interprocedural summary
 // cache: the table of per-function summaries is keyed on the hash of
@@ -51,8 +53,9 @@ func main() {
 		listFlag  = flag.Bool("list", false, "list rules and exit")
 		jsonFlag  = flag.Bool("json", false, "emit findings as JSON, one object per line")
 		cacheFlag = flag.String("summary-cache", "", "directory for the interprocedural summary cache")
-		statsFlag = flag.Bool("stats", false, "print per-rule finding counts and wall time to stderr")
-		wallFlag  = flag.Duration("max-wall", 0, "fail (exit 3) when the run exceeds this wall time")
+		statsFlag  = flag.Bool("stats", false, "print per-rule finding counts and wall time to stderr")
+		wallFlag   = flag.Duration("max-wall", 0, "fail (exit 3) when the run exceeds this wall time")
+		strictFlag = flag.Bool("strict-suppressions", false, "fail (exit 1) on stale //lint:ignore directives instead of warning")
 	)
 	flag.Parse()
 	start := time.Now()
@@ -104,6 +107,9 @@ func main() {
 	runner := NewRunner(DefaultConfig(), loader.Fset(), rules)
 	runner.ModRoot = loader.ModRoot
 	runner.CacheDir = *cacheFlag
+	// The stale audit needs every rule live: under a -rules subset a
+	// directive for an unselected rule would be falsely called stale.
+	runner.ReportStale = *rulesFlag == ""
 	for _, dir := range dirs {
 		pkg, err := loader.LoadDir(dir)
 		if err != nil {
@@ -153,8 +159,21 @@ func main() {
 			elapsed.Round(time.Millisecond), *wallFlag)
 		os.Exit(3)
 	}
-	if len(diags) > 0 {
+	// Stale suppressions warn by default; -strict-suppressions promotes
+	// them to failures. Every other finding is always a failure.
+	hard, stale := 0, 0
+	for _, d := range diags {
+		if d.Rule == "stale-suppression" {
+			stale++
+		} else {
+			hard++
+		}
+	}
+	if hard > 0 || (*strictFlag && stale > 0) {
 		fmt.Fprintf(os.Stderr, "asterixlint: %d issue(s)\n", len(diags))
 		os.Exit(1)
+	}
+	if stale > 0 {
+		fmt.Fprintf(os.Stderr, "asterixlint: %d stale suppression(s) (warning; -strict-suppressions to fail)\n", stale)
 	}
 }

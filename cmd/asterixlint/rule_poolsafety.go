@@ -1,0 +1,993 @@
+package main
+
+// The pool-safety rule family tracks pooled buffers from a registered
+// Get to their Put on every CFG path. Putting a container transfers
+// ownership back to the pool — it may be handed out to another goroutine
+// immediately and its elements are cleared — so the lifetime contract
+// is: use freely between Get and Put, Put at most once, and never Put a
+// container whose ownership already moved to someone else (stored,
+// sent, or returned). The four finding kinds:
+//
+//   - pool-use-after-put: any read or write of the variable after a
+//     path on which it was Put.
+//   - pool-double-put: a second Put of the same container (including an
+//     inline Put shadowed by a pending deferred Put).
+//   - pool-missing-put: a path that returns (or panics) while the
+//     function still owns a live container — the classic forgotten
+//     error-path Put. Dropping a container is GC-safe at runtime but
+//     silently degrades the pool, so the lint insists on an explicit
+//     Put or an ownership handoff.
+//   - pool-escape-past-put: a Put after ownership already escaped —
+//     the pool would recycle a container someone else still holds.
+//
+// Escape is approximated structurally: channel sends, returns,
+// composite-literal elements, stores into fields/maps/slices,
+// append-as-element, goroutine arguments, address-taking, and closure
+// captures transfer ownership. Plain aliasing (`g := f`) and handing
+// the value to a callee whose summary resolves the parameter as "kept"
+// end tracking silently (the analysis cannot follow the alias, so it
+// stays quiet rather than guess). Call arguments are otherwise loans:
+// the callee borrows the container and the caller still owes the Put —
+// except a callee whose summary resolves the parameter "released" is
+// credited as the Put itself. Reslicing (`k := rec[:n]`) creates an
+// untracked view and leaves the site live: the view is how merge loops
+// read key/state halves out of a pooled tuple before recycling it.
+//
+// Functions that return a pool-Get value verbatim are producers: their
+// summaries carry Pooled facts (see summary.go), and a caller assigning
+// such a call's results starts tracking the pooled result, with the
+// usual error/ok-companion branch refinements.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"asterix/cmd/asterixlint/cfg"
+)
+
+const (
+	poolUseAfterPut   = "pool-use-after-put"
+	poolDoublePut     = "pool-double-put"
+	poolMissingPut    = "pool-missing-put"
+	poolEscapePastPut = "pool-escape-past-put"
+)
+
+// PoolSpec registers one buffer pool type for the pool-safety family.
+// Pkg.Recv is the pool's named type; Get/Put are its method names. When
+// the pooled element is itself a named type (TuplePool's Tuple), ElemPkg
+// and ElemType name it so helper parameters of that type get
+// interprocedural kept/released classification; pools of unnamed
+// containers ([]Tuple, []byte) leave them empty and call arguments stay
+// loans.
+type PoolSpec struct {
+	Pkg, Recv string
+	Get, Put  string
+	ElemPkg   string
+	ElemType  string
+	Desc      string
+}
+
+// poolSafetyRules returns the family. The four rules share one analysis
+// pass (memoized in poolState) so selecting any subset computes the
+// findings once and reports only the selected kinds.
+func poolSafetyRules() []*Rule {
+	st := &poolState{}
+	mk := func(name, doc string) *Rule {
+		return &Rule{
+			Name: name,
+			Doc:  doc,
+			Interp: func(c *Config, ip *Interp, report func(token.Position, string)) {
+				st.run(c, ip)
+				for _, f := range st.findings[name] {
+					report(f.pos, f.msg)
+				}
+			},
+		}
+	}
+	return []*Rule{
+		mk(poolUseAfterPut, "pooled buffers must not be touched after Put returns them to the pool"),
+		mk(poolDoublePut, "a pooled buffer must be returned to the pool at most once"),
+		mk(poolMissingPut, "pooled buffers must reach Put (or an ownership handoff) on every path"),
+		mk(poolEscapePastPut, "a pooled buffer whose ownership escaped must not be recycled"),
+	}
+}
+
+type poolFinding struct {
+	pos token.Position
+	msg string
+}
+
+type poolState struct {
+	done     bool
+	findings map[string][]poolFinding
+}
+
+func (st *poolState) run(c *Config, ip *Interp) {
+	if st.done {
+		return
+	}
+	st.done = true
+	st.findings = map[string][]poolFinding{}
+	if len(c.Pools) == 0 {
+		return
+	}
+	for _, p := range ip.Pkgs() {
+		p := p
+		emit := func(kind string, pos token.Pos, msg string) {
+			st.findings[kind] = append(st.findings[kind], poolFinding{p.Fset.Position(pos), msg})
+		}
+		funcBodies(p, func(_ *ast.FuncDecl, _ *ast.FuncLit, body *ast.BlockStmt) {
+			a := newPoolAnalysis(c, p, ip, emit)
+			a.check(body)
+		})
+	}
+}
+
+// poolSite is one tracked acquisition: a direct pool Get or a pooled
+// result returned by a producer function.
+type poolSite struct {
+	id   string // stable per-function id (position string)
+	pos  token.Pos
+	desc string // "pooled frame", ...
+	from string // "FramePool.Get" or the producer function's name
+	tkey string // "pkg.Elem" when the container's type is a registered elem
+	obj  types.Object
+}
+
+type poolAnalysis struct {
+	c    *Config
+	p    *Package
+	ip   *Interp
+	emit func(kind string, pos token.Pos, msg string)
+
+	sites    map[string]*poolSite
+	byNode   map[ast.Node][]*poolSite
+	byObj    map[types.Object]*poolSite
+	errObjs  map[types.Object][]*poolSite // companion error results
+	okObjs   map[types.Object][]*poolSite // companion bool results
+	reported map[string]bool
+}
+
+func newPoolAnalysis(c *Config, p *Package, ip *Interp, emit func(string, token.Pos, string)) *poolAnalysis {
+	return &poolAnalysis{
+		c: c, p: p, ip: ip, emit: emit,
+		sites:    map[string]*poolSite{},
+		byNode:   map[ast.Node][]*poolSite{},
+		byObj:    map[types.Object]*poolSite{},
+		errObjs:  map[types.Object][]*poolSite{},
+		okObjs:   map[types.Object][]*poolSite{},
+		reported: map[string]bool{},
+	}
+}
+
+// poolSpecOfRecv matches a receiver type against the registered pools.
+func poolSpecOfRecv(c *Config, t types.Type) *PoolSpec {
+	n := namedType(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return nil
+	}
+	for i := range c.Pools {
+		ps := &c.Pools[i]
+		if n.Obj().Pkg().Path() == ps.Pkg && n.Obj().Name() == ps.Recv {
+			return ps
+		}
+	}
+	return nil
+}
+
+// poolGetSpec matches `pool.Get()` for a registered pool.
+func poolGetSpec(c *Config, info *types.Info, call *ast.CallExpr) *PoolSpec {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	ps := poolSpecOfRecv(c, info.TypeOf(sel.X))
+	if ps == nil || sel.Sel.Name != ps.Get {
+		return nil
+	}
+	return ps
+}
+
+// poolPutTarget matches `pool.Put(x)` and returns x.
+func poolPutTarget(c *Config, info *types.Info, call *ast.CallExpr) (ast.Expr, *PoolSpec) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil
+	}
+	ps := poolSpecOfRecv(c, info.TypeOf(sel.X))
+	if ps == nil || sel.Sel.Name != ps.Put || len(call.Args) < 1 {
+		return nil, nil
+	}
+	return call.Args[0], ps
+}
+
+func (a *poolAnalysis) getCall(call *ast.CallExpr) *PoolSpec {
+	return poolGetSpec(a.c, a.p.Info, call)
+}
+
+func (a *poolAnalysis) putTarget(call *ast.CallExpr) (ast.Expr, *PoolSpec) {
+	return poolPutTarget(a.c, a.p.Info, call)
+}
+
+// pooledResults resolves a call to a producer function whose summary
+// returns pooled containers.
+func (a *poolAnalysis) pooledResults(call *ast.CallExpr) (*types.Func, []PooledResult) {
+	if a.ip == nil {
+		return nil, nil
+	}
+	fn := calleeFunc(a.p.Info, call)
+	if fn == nil {
+		return nil, nil
+	}
+	sum := a.ip.SummaryFor(fn)
+	if sum == nil || len(sum.Pooled) == 0 {
+		return nil, nil
+	}
+	return fn, sum.Pooled
+}
+
+func (a *poolAnalysis) objOf(e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := a.p.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return a.p.Info.Defs[id]
+}
+
+// elemKey returns "pkg.Type" when obj's named type is a registered pool
+// element, else "".
+func (a *poolAnalysis) elemKey(obj types.Object) string {
+	n := namedType(obj.Type())
+	if n == nil || n.Obj().Pkg() == nil {
+		return ""
+	}
+	k := n.Obj().Pkg().Path() + "." + n.Obj().Name()
+	for i := range a.c.Pools {
+		ps := &a.c.Pools[i]
+		if ps.ElemType != "" && ps.ElemPkg+"."+ps.ElemType == k {
+			return k
+		}
+	}
+	return ""
+}
+
+func (a *poolAnalysis) line(pos token.Pos) int { return a.p.Fset.Position(pos).Line }
+
+func (a *poolAnalysis) reportOnce(key, kind string, pos token.Pos, msg string) {
+	if a.reported[key] {
+		return
+	}
+	a.reported[key] = true
+	a.emit(kind, pos, msg)
+}
+
+// collect registers every acquisition, attaching sites to their
+// generating node.
+func (a *poolAnalysis) collect(g *cfg.Graph) {
+	newSite := func(n ast.Node, pos token.Pos, desc, from string, obj, errObj, okObj types.Object) {
+		s := &poolSite{
+			id:   a.p.Fset.Position(pos).String(),
+			pos:  pos,
+			desc: desc,
+			from: from,
+			tkey: a.elemKey(obj),
+			obj:  obj,
+		}
+		a.sites[s.id] = s
+		a.byNode[n] = append(a.byNode[n], s)
+		a.byObj[obj] = s
+		if errObj != nil {
+			a.errObjs[errObj] = append(a.errObjs[errObj], s)
+		}
+		if okObj != nil {
+			a.okObjs[okObj] = append(a.okObjs[okObj], s)
+		}
+	}
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				if len(st.Rhs) != 1 {
+					continue
+				}
+				call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				if ps := a.getCall(call); ps != nil {
+					if len(st.Lhs) != 1 {
+						continue
+					}
+					id, isIdent := ast.Unparen(st.Lhs[0]).(*ast.Ident)
+					if !isIdent {
+						continue // stored straight into a field/slot: owner escapes at birth
+					}
+					if id.Name == "_" {
+						a.emit(poolMissingPut, call.Pos(), fmt.Sprintf(
+							"%s from %s.%s is discarded with _: it can never be returned to the pool",
+							ps.Desc, ps.Recv, ps.Get))
+						continue
+					}
+					if obj := a.objOf(id); obj != nil {
+						newSite(n, call.Pos(), ps.Desc, ps.Recv+"."+ps.Get, obj, nil, nil)
+					}
+					continue
+				}
+				if fn, pooled := a.pooledResults(call); fn != nil {
+					var errObj, okObj types.Object
+					for _, l := range st.Lhs {
+						id, isIdent := ast.Unparen(l).(*ast.Ident)
+						if !isIdent || id.Name == "_" {
+							continue
+						}
+						o := a.objOf(id)
+						if o == nil {
+							continue
+						}
+						if isErrorType(o.Type()) {
+							errObj = o
+						} else if b, isBasic := o.Type().Underlying().(*types.Basic); isBasic && b.Kind() == types.Bool {
+							okObj = o
+						}
+					}
+					for _, pr := range pooled {
+						idx := pr.Index
+						if len(st.Lhs) == 1 {
+							idx = 0 // single-value context of a single-result producer
+						}
+						if idx >= len(st.Lhs) {
+							continue
+						}
+						id, isIdent := ast.Unparen(st.Lhs[idx]).(*ast.Ident)
+						if !isIdent || id.Name == "_" {
+							continue // dropped pooled result: a benign (GC-safe) drop
+						}
+						if obj := a.objOf(id); obj != nil {
+							newSite(n, call.Pos(), pr.Desc, fn.Name(), obj, errObj, okObj)
+						}
+					}
+				}
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(st.X).(*ast.CallExpr); ok {
+					if ps := a.getCall(call); ps != nil {
+						a.emit(poolMissingPut, call.Pos(), fmt.Sprintf(
+							"%s from %s.%s is discarded: the container can never be returned to the pool",
+							ps.Desc, ps.Recv, ps.Get))
+					}
+				}
+			}
+		}
+	}
+}
+
+func (a *poolAnalysis) check(body *ast.BlockStmt) {
+	g := cfg.New(body)
+	a.collect(g)
+	if len(a.sites) == 0 {
+		return
+	}
+	lat := cfg.Lattice[posSet]{
+		Clone: clonePosSet,
+		Meet:  meetPosSet,
+		Equal: equalPosSet,
+		Node:  a.transfer,
+		Refine: func(blk *cfg.Block, e cfg.Edge, s posSet) posSet {
+			return a.refine(blk, e, s)
+		},
+	}
+	in := cfg.Forward(g, posSet{}, lat)
+	cfg.Visit(g, in, lat,
+		func(blk *cfg.Block, n ast.Node, before posSet) { a.checkNode(n, before) },
+		func(blk *cfg.Block, e cfg.Edge, out posSet) { a.checkEdge(g, blk, e, out) })
+}
+
+func (a *poolAnalysis) killAll(s posSet, id string) {
+	delete(s, "l|"+id)
+	delete(s, "d|"+id)
+	delete(s, "f|"+id)
+	delete(s, "e|"+id)
+}
+
+// poolPut is one Put event found inside a node.
+type poolPut struct {
+	ident    *ast.Ident
+	site     *poolSite
+	pos      token.Pos
+	deferred bool
+}
+
+// putsIn collects the Put events of tracked sites within n. Puts inside
+// deferred calls (including deferred closures) run at function exit and
+// are marked deferred; non-deferred closures are skipped — their body
+// executes at some later call, not at this node.
+func (a *poolAnalysis) putsIn(n ast.Node) []poolPut {
+	var out []poolPut
+	var deferSpans [][2]token.Pos
+	ast.Inspect(n, func(x ast.Node) bool {
+		if d, ok := x.(*ast.DeferStmt); ok {
+			deferSpans = append(deferSpans, [2]token.Pos{d.Pos(), d.End()})
+		}
+		return true
+	})
+	inDefer := func(pos token.Pos) bool {
+		for _, sp := range deferSpans {
+			if sp[0] <= pos && pos < sp[1] {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		if l, ok := x.(*ast.FuncLit); ok && !inDefer(l.Pos()) {
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		target, ps := a.putTarget(call)
+		if ps == nil {
+			return true
+		}
+		id, ok := ast.Unparen(target).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := a.objOf(id)
+		if obj == nil {
+			return true
+		}
+		site, tracked := a.byObj[obj]
+		if !tracked {
+			return true
+		}
+		out = append(out, poolPut{ident: id, site: site, pos: call.Pos(), deferred: inDefer(call.Pos())})
+		return true
+	})
+	return out
+}
+
+// selfReuse reports whether rhs keeps obj's own container (append to
+// self, re-slice of self) rather than replacing it.
+func (a *poolAnalysis) selfReuse(rhs ast.Expr, obj types.Object) (*ast.Ident, bool) {
+	if rhs == nil {
+		return nil, false
+	}
+	switch e := ast.Unparen(rhs).(type) {
+	case *ast.CallExpr:
+		if isBuiltinCall(a.p.Info, e, "append") && len(e.Args) > 0 {
+			base := ast.Unparen(e.Args[0])
+			if se, ok := base.(*ast.SliceExpr); ok {
+				base = ast.Unparen(se.X)
+			}
+			if id, ok := base.(*ast.Ident); ok && a.p.Info.Uses[id] == obj {
+				return id, true
+			}
+		}
+	case *ast.SliceExpr:
+		if id, ok := ast.Unparen(e.X).(*ast.Ident); ok && a.p.Info.Uses[id] == obj {
+			return id, true
+		}
+	}
+	return nil, false
+}
+
+// transfer is the per-node gen/kill function over the prefixed posSet:
+// "l|id" live, "d|id" put (dead), "f|id" deferred-put pending, "e|id"
+// escaped.
+func (a *poolAnalysis) transfer(n ast.Node, s posSet) posSet {
+	exempt := map[*ast.Ident]bool{}
+	// 1. Puts.
+	for _, pe := range a.putsIn(n) {
+		exempt[pe.ident] = true
+		id := pe.site.id
+		if pe.deferred {
+			if _, live := s["l|"+id]; live {
+				delete(s, "l|"+id)
+				s["f|"+id] = pe.pos
+			}
+			continue
+		}
+		delete(s, "l|"+id)
+		delete(s, "f|"+id)
+		s["d|"+id] = pe.pos
+	}
+	// 2. Ownership transfers.
+	a.applyEscapes(n, s, exempt)
+	// 3. Gen: the acquisition's own node (re-acquire into the same
+	// variable drops the old site's facts).
+	for _, site := range a.byNode[n] {
+		for id, other := range a.sites {
+			if other.obj == site.obj && id != site.id {
+				a.killAll(s, id)
+			}
+		}
+		a.killAll(s, site.id)
+		s["l|"+site.id] = site.pos
+	}
+	// 4. A plain reassignment of a tracked variable ends tracking of the
+	// old container; self-append/self-reslice keep it.
+	if as, ok := n.(*ast.AssignStmt); ok && len(a.byNode[n]) == 0 {
+		for i, l := range as.Lhs {
+			obj := a.objOf(l)
+			if obj == nil {
+				continue
+			}
+			site, tracked := a.byObj[obj]
+			if !tracked {
+				continue
+			}
+			var rhs ast.Expr
+			if len(as.Rhs) == len(as.Lhs) {
+				rhs = as.Rhs[i]
+			} else if len(as.Rhs) == 1 {
+				rhs = as.Rhs[0]
+			}
+			if _, self := a.selfReuse(rhs, obj); self {
+				continue
+			}
+			a.killAll(s, site.id)
+		}
+	}
+	return s
+}
+
+// applyEscapes walks n classifying every use of a live tracked
+// container. See the file comment for the approximation.
+func (a *poolAnalysis) applyEscapes(n ast.Node, s posSet, exempt map[*ast.Ident]bool) {
+	// A bare identifier as a whole CFG node is a read: the cfg builder
+	// records range operands and switch tags as standalone expressions.
+	if _, ok := n.(*ast.Ident); ok {
+		return
+	}
+	live := func(e ast.Expr) *poolSite {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok || exempt[id] {
+			return nil
+		}
+		obj := a.objOf(id)
+		if obj == nil {
+			return nil
+		}
+		site, tracked := a.byObj[obj]
+		if !tracked {
+			return nil
+		}
+		if _, isLive := s["l|"+site.id]; !isLive {
+			return nil
+		}
+		return site
+	}
+	escape := func(e ast.Expr, pos token.Pos) {
+		if site := live(e); site != nil {
+			delete(s, "l|"+site.id)
+			s["e|"+site.id] = pos
+		}
+	}
+	silent := func(e ast.Expr) {
+		if site := live(e); site != nil {
+			delete(s, "l|"+site.id)
+		}
+	}
+	var scan func(x ast.Node)
+	scan = func(x ast.Node) {
+		switch v := x.(type) {
+		case nil:
+			return
+		case *ast.Ident:
+			// Bare use in an unhandled context: assume the container
+			// escaped (conservative — a report names the witness).
+			escape(v, v.Pos())
+		case *ast.ParenExpr:
+			scan(v.X)
+		case *ast.SelectorExpr:
+			if live(v.X) != nil {
+				return // field/method read off the container: benign
+			}
+			scan(v.X)
+		case *ast.IndexExpr:
+			if live(v.X) == nil {
+				scan(v.X)
+			}
+			scan(v.Index)
+		case *ast.SliceExpr:
+			// Re-slicing creates an untracked view; the container stays
+			// owned (merge loops read key/state halves this way).
+			if live(v.X) == nil {
+				scan(v.X)
+			}
+			scan(v.Low)
+			scan(v.High)
+			scan(v.Max)
+		case *ast.BinaryExpr:
+			if live(v.X) == nil {
+				scan(v.X)
+			}
+			if live(v.Y) == nil {
+				scan(v.Y)
+			}
+		case *ast.UnaryExpr:
+			if v.Op == token.AND {
+				escape(v.X, v.Pos())
+				return
+			}
+			scan(v.X)
+		case *ast.SendStmt:
+			if live(v.Value) != nil {
+				escape(v.Value, v.Pos())
+			} else {
+				scan(v.Value)
+			}
+			scan(v.Chan)
+		case *ast.ReturnStmt:
+			for _, r := range v.Results {
+				if live(r) != nil {
+					escape(r, v.Pos())
+				} else {
+					scan(r)
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range v.Elts {
+				e := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					scan(kv.Key)
+					e = kv.Value
+				}
+				if live(e) != nil {
+					escape(e, e.Pos())
+				} else {
+					scan(e)
+				}
+			}
+		case *ast.GoStmt:
+			for _, arg := range v.Call.Args {
+				if live(arg) != nil {
+					escape(arg, v.Pos())
+				} else {
+					scan(arg)
+				}
+			}
+			scan(v.Call.Fun)
+		case *ast.DeferStmt:
+			scan(v.Call)
+		case *ast.RangeStmt:
+			if live(v.X) == nil {
+				scan(v.X)
+			}
+		case *ast.CallExpr:
+			a.scanCall(v, s, exempt, live, escape, silent, scan)
+		case *ast.AssignStmt:
+			for i, l := range v.Lhs {
+				var rhs ast.Expr
+				if len(v.Rhs) == len(v.Lhs) {
+					rhs = v.Rhs[i]
+				} else if len(v.Rhs) == 1 {
+					rhs = v.Rhs[0]
+				}
+				switch lt := ast.Unparen(l).(type) {
+				case *ast.Ident:
+					// Reassignment targets are transfer's business. Mark
+					// self-reuse bases and alias sources so the RHS scan
+					// below does not treat them as escapes.
+					if obj := a.objOf(lt); obj != nil {
+						if base, self := a.selfReuse(rhs, obj); self {
+							exempt[base] = true
+						}
+					}
+					if rhs != nil {
+						if rid, ok := ast.Unparen(rhs).(*ast.Ident); ok {
+							if lt.Name == "_" {
+								exempt[rid] = true // `_ = f`: a no-op read
+							} else if live(rhs) != nil {
+								// Plain alias `g := f`: tracking cannot
+								// follow g, so end silently rather than
+								// report against the untracked alias.
+								silent(rhs)
+								exempt[rid] = true
+							}
+						}
+					}
+				case *ast.IndexExpr:
+					// f[i] = x writes into the owned container: benign.
+					if live(lt.X) == nil {
+						scan(lt.X)
+					}
+					scan(lt.Index)
+				case *ast.SelectorExpr:
+					if live(lt.X) == nil {
+						scan(lt.X)
+					}
+				default:
+					scan(l)
+				}
+			}
+			for _, r := range v.Rhs {
+				scan(r)
+			}
+		case *ast.FuncLit:
+			// Closure capture: the closure may run later, so a captured
+			// live container escapes to its lifetime (deferred-Put
+			// closures were exempted by the put pass).
+			ast.Inspect(v.Body, func(y ast.Node) bool {
+				if id, ok := y.(*ast.Ident); ok && !exempt[id] {
+					escape(id, id.Pos())
+				}
+				return true
+			})
+		default:
+			if x == nil {
+				return
+			}
+			ast.Inspect(x, func(y ast.Node) bool {
+				if y == x {
+					return true
+				}
+				switch y.(type) {
+				case *ast.Ident, *ast.ParenExpr, *ast.SelectorExpr, *ast.IndexExpr,
+					*ast.SliceExpr, *ast.BinaryExpr, *ast.UnaryExpr, *ast.CallExpr,
+					*ast.AssignStmt, *ast.FuncLit, *ast.CompositeLit, *ast.SendStmt,
+					*ast.ReturnStmt, *ast.GoStmt, *ast.DeferStmt, *ast.RangeStmt:
+					scan(y)
+					return false
+				}
+				return true
+			})
+		}
+	}
+	scan(n)
+}
+
+// scanCall classifies a call's effect on live tracked arguments.
+func (a *poolAnalysis) scanCall(v *ast.CallExpr, s posSet, exempt map[*ast.Ident]bool,
+	live func(ast.Expr) *poolSite, escape func(ast.Expr, token.Pos), silent func(ast.Expr),
+	scan func(ast.Node)) {
+	if target, ps := a.putTarget(v); ps != nil {
+		// Applied by the put pass; the receiver and target are benign.
+		for _, arg := range v.Args {
+			if arg != target {
+				scan(arg)
+			}
+		}
+		return
+	}
+	if id, ok := ast.Unparen(v.Fun).(*ast.Ident); ok {
+		if b, isBuiltin := a.p.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch b.Name() {
+			case "append":
+				for i, arg := range v.Args {
+					site := live(arg)
+					if site == nil {
+						scan(arg)
+						continue
+					}
+					switch {
+					case i == 0:
+						// Non-self base (self-append was exempted by the
+						// assignment pre-pass): the result aliases the
+						// container — end tracking silently.
+						silent(arg)
+					case v.Ellipsis.IsValid() && i == len(v.Args)-1:
+						// Spread: the elements copy out; the container
+						// stays owned.
+					default:
+						escape(arg, arg.Pos()) // stored as an element
+					}
+				}
+			default:
+				// len/cap/copy/clear/delete/min/max/panic/...: reads.
+				for _, arg := range v.Args {
+					if live(arg) == nil {
+						scan(arg)
+					}
+				}
+			}
+			return
+		}
+	}
+	if tv, ok := a.p.Info.Types[v.Fun]; ok && tv.IsType() {
+		// Conversion: the result aliases the container.
+		for _, arg := range v.Args {
+			if live(arg) != nil {
+				silent(arg)
+			} else {
+				scan(arg)
+			}
+		}
+		return
+	}
+	scan(v.Fun) // dynamic callee exprs / closure literals may capture
+	fn := calleeFunc(a.p.Info, v)
+	for i, arg := range v.Args {
+		site := live(arg)
+		if site == nil {
+			scan(arg)
+			continue
+		}
+		switch a.argVerdict(fn, i, v, site) {
+		case ParamReleased:
+			// The callee puts it for us: credit the Put here.
+			delete(s, "l|"+site.id)
+			s["d|"+site.id] = v.Pos()
+		case ParamKept:
+			silent(arg) // ownership handed to the callee
+		default:
+			// Loan: the callee borrows it, the Put is still owed here.
+		}
+	}
+}
+
+// argVerdict consults the callee's resolved parameter action for a
+// tracked container passed as argument i. Returns "" (loan) when the
+// callee is dynamic, external, variadic at i, or the container's
+// element type is not registered.
+func (a *poolAnalysis) argVerdict(fn *types.Func, i int, call *ast.CallExpr, site *poolSite) string {
+	if fn == nil || a.ip == nil || site.tkey == "" {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params() == nil {
+		return ""
+	}
+	if call.Ellipsis.IsValid() || (sig.Variadic() && i >= sig.Params().Len()-1) || i >= sig.Params().Len() {
+		return ""
+	}
+	return a.ip.ParamResolved(cfg.FuncID(fn), i, site.tkey)
+}
+
+// checkNode reports node-level findings against the state holding just
+// before the node executes.
+func (a *poolAnalysis) checkNode(n ast.Node, before posSet) {
+	puts := a.putsIn(n)
+	exempt := map[*ast.Ident]bool{}
+	for _, pe := range puts {
+		exempt[pe.ident] = true
+	}
+	if as, ok := n.(*ast.AssignStmt); ok {
+		for _, l := range as.Lhs {
+			if id, ok := ast.Unparen(l).(*ast.Ident); ok {
+				exempt[id] = true // definitions and reassignments, not uses
+			}
+		}
+	}
+	for _, pe := range puts {
+		id := pe.site.id
+		if p, dead := before["d|"+id]; dead {
+			a.reportOnce(fmt.Sprintf("dp|%s|%d", id, pe.pos), poolDoublePut, pe.pos, fmt.Sprintf(
+				"%s from %s (line %d) was already returned to the pool at line %d — a double Put hands one container to two owners",
+				pe.site.desc, pe.site.from, a.line(pe.site.pos), a.line(p)))
+			continue
+		}
+		if p, pending := before["f|"+id]; pending && !pe.deferred {
+			a.reportOnce(fmt.Sprintf("dp|%s|%d", id, pe.pos), poolDoublePut, pe.pos, fmt.Sprintf(
+				"%s from %s (line %d) is returned to the pool here and again by the deferred Put at line %d",
+				pe.site.desc, pe.site.from, a.line(pe.site.pos), a.line(p)))
+			continue
+		}
+		if p, escaped := before["e|"+id]; escaped {
+			a.reportOnce(fmt.Sprintf("ep|%s|%d", id, pe.pos), poolEscapePastPut, pe.pos, fmt.Sprintf(
+				"%s from %s (line %d) escaped to a new owner at line %d but is returned to the pool here — the pool may recycle it under that owner",
+				pe.site.desc, pe.site.from, a.line(pe.site.pos), a.line(p)))
+		}
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false // closure bodies run later, under a different state
+		}
+		id, ok := x.(*ast.Ident)
+		if !ok || exempt[id] {
+			return true
+		}
+		obj := a.p.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		site, tracked := a.byObj[obj]
+		if !tracked {
+			return true
+		}
+		if p, dead := before["d|"+site.id]; dead {
+			a.reportOnce(fmt.Sprintf("up|%s|%d", site.id, id.Pos()), poolUseAfterPut, id.Pos(), fmt.Sprintf(
+				"%s from %s (line %d) is used here after the Put at line %d returned it to the pool — it may already be handed out again",
+				site.desc, site.from, a.line(site.pos), a.line(p)))
+		}
+		return true
+	})
+}
+
+// checkEdge reports live containers crossing a return or panic edge.
+func (a *poolAnalysis) checkEdge(g *cfg.Graph, blk *cfg.Block, e cfg.Edge, out posSet) {
+	if e.Kind != cfg.Return && e.Kind != cfg.Panic {
+		return
+	}
+	exit := p_returnWord(e.Kind)
+	line := a.p.Fset.Position(returnPos(blk, g)).Line
+	if e.Kind == cfg.Panic && len(blk.Nodes) > 0 {
+		line = a.p.Fset.Position(blk.Nodes[len(blk.Nodes)-1].Pos()).Line
+	}
+	for _, key := range sortedKeys(out) {
+		if !strings.HasPrefix(key, "l|") {
+			continue
+		}
+		id := key[2:]
+		site := a.sites[id]
+		if site == nil {
+			continue
+		}
+		a.reportOnce("mp|"+id, poolMissingPut, site.pos, fmt.Sprintf(
+			"%s from %s acquired here does not reach Put (or an ownership handoff) on the path that %ss at line %d",
+			site.desc, site.from, exit, line))
+	}
+}
+
+// refine kills facts along branches that prove the container nil: the
+// error contract of producer calls (`b, ok, err := next(); if err != nil`
+// means b is nil on the error branch), the ok contract (`if !ok` means
+// the stream ended and b is nil), and explicit nil checks.
+func (a *poolAnalysis) refine(blk *cfg.Block, e cfg.Edge, s posSet) posSet {
+	if len(blk.Nodes) == 0 || (e.Kind != cfg.True && e.Kind != cfg.False) {
+		return s
+	}
+	cond, ok := blk.Nodes[len(blk.Nodes)-1].(ast.Expr)
+	if !ok {
+		return s
+	}
+	killCompanion := func(obj types.Object) {
+		for _, site := range a.okObjs[obj] {
+			a.killAll(s, site.id)
+		}
+	}
+	switch x := ast.Unparen(cond).(type) {
+	case *ast.Ident:
+		// `if ok { ... }`: on the false edge the producer returned
+		// nothing — the companion containers are nil.
+		if obj := a.objOf(x); obj != nil && e.Kind == cfg.False {
+			killCompanion(obj)
+		}
+		return s
+	case *ast.UnaryExpr:
+		if x.Op == token.NOT {
+			if obj := a.objOf(x.X); obj != nil && e.Kind == cfg.True {
+				killCompanion(obj)
+			}
+		}
+		return s
+	case *ast.BinaryExpr:
+		if x.Op != token.EQL && x.Op != token.NEQ {
+			return s
+		}
+		var other ast.Expr
+		if isNilIdent(x.Y) {
+			other = x.X
+		} else if isNilIdent(x.X) {
+			other = x.Y
+		} else {
+			return s
+		}
+		obj := a.objOf(other)
+		if obj == nil {
+			return s
+		}
+		nilOnTrue := x.Op == token.EQL
+		onNilEdge := (nilOnTrue && e.Kind == cfg.True) || (!nilOnTrue && e.Kind == cfg.False)
+		if sites, isErr := a.errObjs[obj]; isErr {
+			// err non-nil ⇒ container nil ⇒ nothing to put on that edge.
+			if !onNilEdge {
+				for _, site := range sites {
+					a.killAll(s, site.id)
+				}
+			}
+			return s
+		}
+		if site, tracked := a.byObj[obj]; tracked && onNilEdge {
+			a.killAll(s, site.id) // container proven nil
+		}
+	}
+	return s
+}

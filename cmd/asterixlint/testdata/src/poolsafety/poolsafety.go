@@ -1,0 +1,308 @@
+// Fixture for the pool-safety rule family. The harness registers Pool
+// as a buffer pool (Get/Put) with Rec as its named element type, so
+// helper parameters of type Rec get interprocedural kept/released
+// classification and functions returning a Get result verbatim are
+// producers whose callers inherit the Put obligation.
+package poolsafety
+
+import "errors"
+
+var errSome = errors.New("boom")
+
+// Rec is the pooled container type.
+type Rec []int
+
+// Pool hands out Rec containers that should flow back through Put.
+type Pool struct{}
+
+// Get draws a container from the pool.
+func (p *Pool) Get() Rec { return make(Rec, 0, 8) }
+
+// Put returns a container to the pool.
+func (p *Pool) Put(r Rec) { _ = r }
+
+// --- pool-use-after-put ---
+
+// UseAfterPut touches the container after recycling it (true positive).
+func UseAfterPut(p *Pool) int {
+	r := p.Get()
+	r = append(r, 1)
+	p.Put(r)
+	return r[0] // WANT pool-use-after-put
+}
+
+// UseAfterPutViaHelper loans the dead container to a callee (true
+// positive: a loan is still a use).
+func UseAfterPutViaHelper(p *Pool) int {
+	r := p.Get()
+	p.Put(r)
+	return touch(r) // WANT pool-use-after-put
+}
+
+// BranchExclusive puts on both arms of a branch; the use on the second
+// arm precedes its put (true negative — flow-sensitivity keeps the
+// mutually exclusive paths apart).
+func BranchExclusive(p *Pool, done bool) int {
+	r := p.Get()
+	if done {
+		p.Put(r)
+		return 0
+	}
+	n := len(r)
+	p.Put(r)
+	return n
+}
+
+// SuppressedUseAfterPut documents a deliberate post-Put read.
+func SuppressedUseAfterPut(p *Pool) int {
+	r := p.Get()
+	p.Put(r)
+	//lint:ignore pool-use-after-put fixture: the harness pool is single-threaded and never re-hands the container
+	return len(r)
+}
+
+// --- pool-double-put ---
+
+// DoublePut recycles the same container twice (true positive).
+func DoublePut(p *Pool) {
+	r := p.Get()
+	p.Put(r)
+	p.Put(r) // WANT pool-double-put
+}
+
+// DeferredDoublePut puts inline under a pending deferred Put (true
+// positive).
+func DeferredDoublePut(p *Pool) {
+	r := p.Get()
+	defer p.Put(r)
+	p.Put(r) // WANT pool-double-put
+}
+
+// DeferPut recycles exactly once, at exit, on every path (true
+// negative).
+func DeferPut(p *Pool, fail bool) error {
+	r := p.Get()
+	defer p.Put(r)
+	if fail {
+		return errSome
+	}
+	return nil
+}
+
+// SuppressedDoublePut documents an intentional second Put.
+func SuppressedDoublePut(p *Pool) {
+	r := p.Get()
+	p.Put(r)
+	//lint:ignore pool-double-put fixture: exercising the suppression path of the double-put finding
+	p.Put(r)
+}
+
+// --- pool-missing-put ---
+
+// MissingPutOnError forgets the container on the error path (true
+// positive — the classic bug this rule exists for).
+func MissingPutOnError(p *Pool, fail bool) error {
+	r := p.Get() // WANT pool-missing-put
+	r = append(r, 1)
+	if fail {
+		return errSome
+	}
+	p.Put(r)
+	return nil
+}
+
+// DiscardGet can never return the container (true positive at the
+// acquisition itself).
+func DiscardGet(p *Pool) {
+	_ = p.Get() // WANT pool-missing-put
+}
+
+// BareGet drops the container without even binding it (true positive).
+func BareGet(p *Pool) {
+	p.Get() // WANT pool-missing-put
+}
+
+// LeakViaLoan passes the container to a helper that only borrows it, so
+// the Put is still owed here (true positive — interprocedural loans).
+func LeakViaLoan(p *Pool) {
+	r := p.Get() // WANT pool-missing-put
+	touch(r)
+}
+
+// touch borrows the container: it neither keeps nor releases it.
+func touch(r Rec) int { return len(r) }
+
+// OkViaReleasingHelper delegates the Put to a helper whose summary
+// resolves the parameter released (true negative).
+func OkViaReleasingHelper(p *Pool) {
+	r := p.Get()
+	r = append(r, 7)
+	finish(p, r)
+}
+
+func finish(p *Pool, r Rec) { p.Put(r) }
+
+// OkViaKeepingHelper transfers ownership to a helper that stores the
+// container; the obligation moves with it (true negative).
+func OkViaKeepingHelper(p *Pool) {
+	r := p.Get()
+	stash(r)
+}
+
+var stashed []Rec
+
+func stash(r Rec) { stashed = append(stashed, r) }
+
+// SendHandsOff transfers ownership over a channel: the consumer owns
+// the Put now (true negative).
+func SendHandsOff(p *Pool, ch chan Rec) {
+	r := p.Get()
+	r = append(r, 1)
+	ch <- r
+}
+
+// ResliceView reads halves out of the container through untracked views
+// before recycling it (true negative — the merge-loop idiom).
+func ResliceView(p *Pool) int {
+	r := p.Get()
+	r = append(r, 1, 2)
+	k := r[:1]
+	n := k[0]
+	p.Put(r)
+	return n
+}
+
+// NilRefined only ever puts a container that was proven non-nil (true
+// negative — nil-branch refinement).
+func NilRefined(p *Pool, ok bool) {
+	var r Rec
+	if ok {
+		r = p.Get()
+	}
+	if r == nil {
+		return
+	}
+	p.Put(r)
+}
+
+// SuppressedMissingPut documents a deliberate drop.
+func SuppressedMissingPut(p *Pool) {
+	//lint:ignore pool-missing-put fixture: deliberately dropped — the GC reclaims the container, only pooling efficiency is lost
+	r := p.Get()
+	touch(r)
+}
+
+// --- pool-escape-past-put ---
+
+var sink []Rec
+
+// EscapePastPut stores the container as a slice element and then
+// recycles it out from under that owner (true positive).
+func EscapePastPut(p *Pool) {
+	r := p.Get()
+	sink = append(sink, r)
+	p.Put(r) // WANT pool-escape-past-put
+}
+
+// SendThenPut hands the container to a consumer and recycles it anyway
+// (true positive).
+func SendThenPut(p *Pool, ch chan Rec) {
+	r := p.Get()
+	ch <- r
+	p.Put(r) // WANT pool-escape-past-put
+}
+
+// StoreThenPut parks the container in a struct field before recycling
+// it (true positive).
+type Holder struct{ r Rec }
+
+func StoreThenPut(p *Pool, h *Holder) {
+	r := p.Get()
+	h.r = r
+	p.Put(r) // WANT pool-escape-past-put
+}
+
+// GoThenPut hands the container to a goroutine and recycles it while
+// the goroutine may still read it (true positive).
+func GoThenPut(p *Pool) {
+	r := p.Get()
+	go goTouch(r)
+	p.Put(r) // WANT pool-escape-past-put
+}
+
+func goTouch(r Rec) { _ = len(r) }
+
+// SuppressedEscapePastPut documents a synchronization the analysis
+// cannot see.
+func SuppressedEscapePastPut(p *Pool, ch chan Rec) {
+	r := p.Get()
+	ch <- r
+	//lint:ignore pool-escape-past-put fixture: the consumer drains the channel before the pool can re-hand the container
+	p.Put(r)
+}
+
+// --- producer summaries ---
+
+// NewRec is a producer: it returns the pooled container it drew, so its
+// summary carries a Pooled fact and the caller owes the Put.
+func NewRec(p *Pool) Rec {
+	r := p.Get()
+	r = append(r, 0)
+	return r
+}
+
+// NewRecErr is a producer with the error contract: on error the
+// container is recycled here and the caller gets nil.
+func NewRecErr(p *Pool, fail bool) (Rec, error) {
+	r := p.Get()
+	if fail {
+		p.Put(r)
+		return nil, errSome
+	}
+	return r, nil
+}
+
+// nextRec is a producer with the ok contract: ok=false means no
+// container was handed out.
+func nextRec(p *Pool, more bool) (Rec, bool) {
+	if !more {
+		return nil, false
+	}
+	r := p.Get()
+	return r, true
+}
+
+// ProducerCallerLeak drops a produced container (true positive — the
+// summary moves the obligation here).
+func ProducerCallerLeak(p *Pool) {
+	r := NewRec(p) // WANT pool-missing-put
+	touch(r)
+}
+
+// ProducerCallerOk returns the produced container to the pool (true
+// negative).
+func ProducerCallerOk(p *Pool) {
+	r := NewRec(p)
+	touch(r)
+	p.Put(r)
+}
+
+// ProducerErrOk honors the error contract: nothing to put on the error
+// path (true negative).
+func ProducerErrOk(p *Pool, fail bool) error {
+	r, err := NewRecErr(p, fail)
+	if err != nil {
+		return err
+	}
+	p.Put(r)
+	return nil
+}
+
+// ProducerOkOk honors the ok contract (true negative).
+func ProducerOkOk(p *Pool) {
+	r, ok := nextRec(p, true)
+	if !ok {
+		return
+	}
+	p.Put(r)
+}

@@ -184,3 +184,58 @@ func TestWriteTextRendersEnvAndWaits(t *testing.T) {
 		}
 	}
 }
+
+// Hard units promote deterministic counters (allocs/op) to failures a
+// warn-only caller still honors; other units stay soft.
+func TestCompareHardUnits(t *testing.T) {
+	mk := func() *Artifact {
+		a := sampleArtifact()
+		a.Experiments[0].Measurements = append(a.Experiments[0].Measurements,
+			Measurement{Name: "pipeline_allocs", Unit: "allocs/op", Value: 4})
+		return a
+	}
+	opts := CompareOptions{HardUnits: []string{"allocs/op", "allocs/row"}}
+
+	clean := Compare(mk(), mk(), opts)
+	if !clean.OK() || clean.HardFail() {
+		t.Fatalf("identical artifacts failed: %+v", clean)
+	}
+
+	// An alloc-counter regression is hard; a timing regression is not.
+	allocUp := mk()
+	allocUp.Find("E1").Measurement("pipeline_allocs").Value = 40
+	rep := Compare(mk(), allocUp, opts)
+	if !rep.HardFail() {
+		t.Fatalf("10x alloc growth not a hard failure: %+v", rep)
+	}
+	if len(rep.Regressions) != 1 || !rep.Regressions[0].Hard {
+		t.Fatalf("regressions = %+v", rep.Regressions)
+	}
+
+	slow := mk()
+	slow.Find("E1").Measurement("scan_p4").Value = 300
+	rep = Compare(mk(), slow, opts)
+	if rep.OK() || rep.HardFail() {
+		t.Fatalf("timing regression classified hard: %+v", rep)
+	}
+
+	// Losing the counter (directly or with its whole experiment) is hard.
+	gone := mk()
+	gone.Experiments[0].Measurements = gone.Experiments[0].Measurements[:2]
+	rep = Compare(mk(), gone, opts)
+	if !rep.HardFail() || len(rep.HardMissing) != 1 {
+		t.Fatalf("dropped hard counter not HardMissing: %+v", rep)
+	}
+	lost := mk()
+	lost.Experiments = lost.Experiments[1:]
+	rep = Compare(mk(), lost, opts)
+	if !rep.HardFail() {
+		t.Fatalf("dropped experiment with hard counter not HardFail: %+v", rep)
+	}
+
+	var buf bytes.Buffer
+	Compare(mk(), allocUp, opts).Format(&buf)
+	if !strings.Contains(buf.String(), "REGRESS!") || !strings.Contains(buf.String(), "hard-unit failure") {
+		t.Fatalf("hard regression not labeled:\n%s", buf.String())
+	}
+}

@@ -18,6 +18,12 @@ type CompareOptions struct {
 	// just its measurements. Off by default: wall time includes data
 	// generation and is the noisiest number in the artifact.
 	WallTime bool
+	// HardUnits lists measurement units whose regressions are hard
+	// failures: deterministic counters (e.g. "allocs/op", "allocs/row")
+	// that stay meaningful on noisy shared hosts. A warn-only caller is
+	// expected to still fail when HardFail reports true. Wall time is
+	// never hard.
+	HardUnits []string
 }
 
 const defaultTolerance = 0.5
@@ -32,6 +38,9 @@ type Delta struct {
 	New        float64 `json:"new"`
 	// Ratio is new/old (old > 0 always holds for recorded deltas).
 	Ratio float64 `json:"ratio"`
+	// Hard marks a delta whose unit is in CompareOptions.HardUnits: its
+	// regression fails the gate even under a warn-only policy.
+	Hard bool `json:"hard,omitempty"`
 }
 
 func (d Delta) String() string {
@@ -58,6 +67,10 @@ type CompareReport struct {
 	// Missing lists experiments or metrics present in the baseline but
 	// absent from the new run: losing coverage is a regression.
 	Missing []string `json:"missing,omitempty"`
+	// HardMissing is the subset of Missing that loses a hard-unit
+	// measurement (directly, or via a whole missing experiment that
+	// carried one): losing a deterministic counter is itself hard.
+	HardMissing []string `json:"hard_missing,omitempty"`
 	// Added lists experiments/metrics new in this run — informational.
 	Added []string `json:"added,omitempty"`
 }
@@ -67,13 +80,31 @@ func (r *CompareReport) OK() bool {
 	return len(r.Regressions) == 0 && len(r.Missing) == 0
 }
 
+// HardFail reports whether a hard-unit metric regressed or went missing
+// — the failures a warn-only gate must still honor.
+func (r *CompareReport) HardFail() bool {
+	if len(r.HardMissing) > 0 {
+		return true
+	}
+	for _, d := range r.Regressions {
+		if d.Hard {
+			return true
+		}
+	}
+	return false
+}
+
 // Format writes a human-readable summary.
 func (r *CompareReport) Format(w io.Writer) {
 	for _, m := range r.Missing {
 		fmt.Fprintf(w, "MISSING  %s\n", m)
 	}
 	for _, d := range r.Regressions {
-		fmt.Fprintf(w, "REGRESS  %s\n", d)
+		tag := "REGRESS "
+		if d.Hard {
+			tag = "REGRESS!"
+		}
+		fmt.Fprintf(w, "%s %s\n", tag, d)
 	}
 	for _, d := range r.Improvements {
 		fmt.Fprintf(w, "improve  %s\n", d)
@@ -84,7 +115,11 @@ func (r *CompareReport) Format(w io.Writer) {
 	if r.OK() {
 		fmt.Fprintf(w, "compare: OK (%d improvement(s), %d added)\n", len(r.Improvements), len(r.Added))
 	} else {
-		fmt.Fprintf(w, "compare: FAIL (%d regression(s), %d missing)\n", len(r.Regressions), len(r.Missing))
+		hard := ""
+		if r.HardFail() {
+			hard = ", hard-unit failure"
+		}
+		fmt.Fprintf(w, "compare: FAIL (%d regression(s), %d missing%s)\n", len(r.Regressions), len(r.Missing), hard)
 	}
 }
 
@@ -97,6 +132,10 @@ func Compare(old, new_ *Artifact, opts CompareOptions) *CompareReport {
 		tol = defaultTolerance
 	}
 	rep := &CompareReport{}
+	hardUnit := map[string]bool{}
+	for _, u := range opts.HardUnits {
+		hardUnit[u] = true
+	}
 
 	seen := map[string]bool{}
 	for i := range old.Experiments {
@@ -105,6 +144,14 @@ func Compare(old, new_ *Artifact, opts CompareOptions) *CompareReport {
 		ne := new_.Find(oe.ID)
 		if ne == nil {
 			rep.Missing = append(rep.Missing, "experiment "+oe.ID)
+			// Losing a whole experiment loses its counters too: surface
+			// each hard-unit measurement it carried.
+			for j := range oe.Measurements {
+				if om := &oe.Measurements[j]; hardUnit[om.Unit] {
+					rep.HardMissing = append(rep.HardMissing,
+						fmt.Sprintf("measurement %s %s", oe.ID, om.Name))
+				}
+			}
 			continue
 		}
 		if opts.WallTime && oe.WallMS > 0 {
@@ -117,7 +164,11 @@ func Compare(old, new_ *Artifact, opts CompareOptions) *CompareReport {
 			om := &oe.Measurements[j]
 			nm := ne.Measurement(om.Name)
 			if nm == nil {
-				rep.Missing = append(rep.Missing, fmt.Sprintf("measurement %s %s", oe.ID, om.Name))
+				m := fmt.Sprintf("measurement %s %s", oe.ID, om.Name)
+				rep.Missing = append(rep.Missing, m)
+				if hardUnit[om.Unit] {
+					rep.HardMissing = append(rep.HardMissing, m)
+				}
 				continue
 			}
 			if om.Value <= 0 {
@@ -130,6 +181,7 @@ func Compare(old, new_ *Artifact, opts CompareOptions) *CompareReport {
 			classify(rep, Delta{
 				Experiment: oe.ID, Metric: om.Name, Unit: om.Unit,
 				Better: better, Old: om.Value, New: nm.Value,
+				Hard: hardUnit[om.Unit],
 			}, tol)
 		}
 		for j := range ne.Measurements {

@@ -1,0 +1,241 @@
+package experiments
+
+import (
+	"fmt"
+	"path/filepath"
+	"runtime"
+	"sync"
+
+	"asterix/internal/adm"
+	"asterix/internal/hyracks"
+	anet "asterix/internal/net"
+)
+
+// E17PooledBuffers measures what the frame/tuple buffer pools buy on the
+// two hot paths they cover: the in-process exchange (connWriter batches
+// and merge cursors drawing output frames from the cluster pool) and the
+// wire-decode path (inbound data frames decoding into pooled containers
+// instead of allocate-per-frame). Each path runs the identical workload
+// pooled and unpooled (DisableFramePool / a nil transport pool) and
+// reports steady-state allocations per row resp. per frame. The pooled
+// variant must allocate strictly less, verify the exact same answers,
+// and show actual freelist reuse — pooling that never recycles is dead
+// weight the pool-safety lint would have to justify for nothing.
+func E17PooledBuffers(scale Scale, workDir string) (*Report, error) {
+	rep := &Report{
+		ID:     "E17",
+		Claim:  "pooled frame/tuple buffers cut steady-state allocations on the exchange and wire-decode hot paths without changing any answer",
+		Header: []string{"path", "variant", "allocs/unit", "pool reuses"},
+	}
+	dir := filepath.Join(workDir, "e17")
+
+	// --- exchange path: parallel scans hash-partitioned into a sink ---
+	rows := scale.SortRows
+	const parallelism = 4
+	runExchange := func(disable bool) (float64, int64, error) {
+		cluster, err := hyracks.NewCluster(2, dir)
+		if err != nil {
+			return 0, 0, err
+		}
+		// Small frames make the exchange's per-frame costs visible per
+		// row (the default 256-tuple frames amortize a frame allocation
+		// down into measurement noise).
+		cluster.FrameSize = 16
+		cluster.DisableFramePool = disable
+		runJob := func() error {
+			j := hyracks.NewJob()
+			scan := j.Add(hyracks.NewScan("gen", parallelism, func(tc *hyracks.TaskContext, emit func(hyracks.Tuple) error) error {
+				for i := tc.Partition; i < rows; i += tc.NumPartitions {
+					if err := emit(hyracks.Tuple{adm.Int64(int64(i)), adm.Int64(int64(i) * 10)}); err != nil {
+						return err
+					}
+				}
+				return nil
+			}))
+			var mu sync.Mutex
+			got := 0
+			sink := j.Add(hyracks.NewFuncSink("sink", parallelism, func(p int, t hyracks.Tuple) error {
+				id, _ := adm.AsInt(t[0])
+				v, _ := adm.AsInt(t[1])
+				if v != id*10 {
+					return fmt.Errorf("row %d carries payload %d, want %d (aliasing corruption)", id, v, id*10)
+				}
+				mu.Lock()
+				got++
+				mu.Unlock()
+				return nil
+			}))
+			j.MustConnect(scan, sink, 0, hyracks.HashPartition(0))
+			if err := cluster.Run(rep.Ctx(), j); err != nil {
+				return err
+			}
+			if got != rows {
+				return fmt.Errorf("exchange delivered %d rows, want %d", got, rows)
+			}
+			return nil
+		}
+		if err := runJob(); err != nil { // warm up code paths and the freelist
+			return 0, 0, err
+		}
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		if err := runJob(); err != nil {
+			return 0, 0, err
+		}
+		runtime.ReadMemStats(&after)
+		return float64(after.Mallocs-before.Mallocs) / float64(rows), cluster.FramePool().Stats().Reuses, nil
+	}
+
+	exPooled, exReuses, err := runExchange(false)
+	if err != nil {
+		return nil, fmt.Errorf("E17 pooled exchange: %w", err)
+	}
+	exUnpooled, _, err := runExchange(true)
+	if err != nil {
+		return nil, fmt.Errorf("E17 unpooled exchange: %w", err)
+	}
+	if exReuses == 0 {
+		return nil, fmt.Errorf("E17: the pooled exchange never recycled a frame")
+	}
+	if exPooled >= exUnpooled {
+		return nil, fmt.Errorf("E17: pooled exchange allocates %.2f/row, unpooled %.2f — pooling bought nothing", exPooled, exUnpooled)
+	}
+	rep.Rows = append(rep.Rows,
+		[]string{"exchange", "pooled", fmt.Sprintf("%.2f", exPooled), fmt.Sprint(exReuses)},
+		[]string{"exchange", "unpooled", fmt.Sprintf("%.2f", exUnpooled), "-"})
+	rep.Measure("exchange_allocs_per_row_pooled", "allocs/row", exPooled)
+	rep.Measure("exchange_allocs_per_row_unpooled", "allocs/row", exUnpooled)
+
+	// --- wire-decode path: a two-peer loopback edge over real TCP ---
+	const tuplesPerFrame = 8
+	frames := rows / 2
+	wirePooled, wireReuses, err := runWireDecode(rep, frames, tuplesPerFrame, true)
+	if err != nil {
+		return nil, fmt.Errorf("E17 pooled wire decode: %w", err)
+	}
+	wireUnpooled, _, err := runWireDecode(rep, frames, tuplesPerFrame, false)
+	if err != nil {
+		return nil, fmt.Errorf("E17 unpooled wire decode: %w", err)
+	}
+	if wireReuses == 0 {
+		return nil, fmt.Errorf("E17: the wire decoder never recycled a frame")
+	}
+	if wirePooled >= wireUnpooled {
+		return nil, fmt.Errorf("E17: pooled wire decode allocates %.2f/frame, unpooled %.2f — pooling bought nothing", wirePooled, wireUnpooled)
+	}
+	rep.Rows = append(rep.Rows,
+		[]string{"wire-decode", "pooled", fmt.Sprintf("%.2f", wirePooled), fmt.Sprint(wireReuses)},
+		[]string{"wire-decode", "unpooled", fmt.Sprintf("%.2f", wireUnpooled), "-"})
+	rep.Measure("wire_decode_allocs_per_frame_pooled", "allocs/op", wirePooled)
+	rep.Measure("wire_decode_allocs_per_frame_unpooled", "allocs/op", wireUnpooled)
+	rep.Notes = append(rep.Notes, fmt.Sprintf(
+		"pooled exchange saves %.2f allocs/row and pooled decode %.2f allocs/frame on identical, verified answers",
+		exUnpooled-exPooled, wireUnpooled-wirePooled))
+	return rep, nil
+}
+
+// runWireDecode streams frames of small tuples from one peer to another
+// over loopback TCP and reports process-wide allocations per frame. The
+// sender side is identical in both variants, so the pooled-vs-unpooled
+// delta isolates the receive path: decodeDataPayload drawing its frame
+// container from the transport's pool (the consumer recycles each frame
+// after verifying it) versus allocating one per frame.
+func runWireDecode(rep *Report, frames, tuplesPerFrame int, pooled bool) (float64, int64, error) {
+	var pool *hyracks.FramePool
+	if pooled {
+		pool = hyracks.NewFramePool(tuplesPerFrame, 64, nil)
+	}
+	recv, err := anet.NewPeer(anet.Options{ID: "rx", ListenAddr: "127.0.0.1:0", FramePool: pool})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer recv.Close()
+	send, err := anet.NewPeer(anet.Options{ID: "tx", ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer send.Close()
+	recv.AddPeer("tx", send.Addr())
+	send.AddPeer("rx", recv.Addr())
+
+	// One edge, one channel, owned by the receiver. The consumer verifies
+	// every tuple and recycles the container — it owns delivered frames.
+	round := func(jobID string, n int) (float64, error) {
+		recvCh := make(chan []hyracks.Tuple, 8)
+		done := make(chan error, 1)
+		if _, err := recv.OpenEdge(rep.Ctx(), hyracks.EdgeDesc{
+			JobID: jobID, Edge: 0, Owners: []string{""},
+			Recv: []chan []hyracks.Tuple{recvCh}, Producers: 1, Senders: 1,
+			EOS: func() { close(recvCh) },
+		}); err != nil {
+			return 0, err
+		}
+		defer recv.CloseJob(jobID)
+		sh, err := send.OpenEdge(rep.Ctx(), hyracks.EdgeDesc{
+			JobID: jobID, Edge: 0, Owners: []string{"rx"},
+			Recv: []chan []hyracks.Tuple{nil}, Producers: 1, Senders: 1,
+		})
+		if err != nil {
+			return 0, err
+		}
+		defer send.CloseJob(jobID)
+
+		go func() {
+			total := 0
+			for frame := range recvCh {
+				for _, t := range frame {
+					id, _ := adm.AsInt(t[0])
+					v, _ := adm.AsInt(t[1])
+					if v != id*10 {
+						done <- fmt.Errorf("frame tuple %d carries %d, want %d (decode aliasing)", id, v, id*10)
+						return
+					}
+					total++
+				}
+				pool.Put(frame) // nil-safe: a no-op when unpooled
+			}
+			if want := n * tuplesPerFrame; total != want {
+				done <- fmt.Errorf("received %d tuples, want %d", total, want)
+				return
+			}
+			done <- nil
+		}()
+
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		frame := make([]hyracks.Tuple, tuplesPerFrame)
+		for f := 0; f < n; f++ {
+			for i := range frame {
+				id := int64(f*tuplesPerFrame + i)
+				frame[i] = hyracks.Tuple{adm.Int64(id), adm.Int64(id * 10)}
+			}
+			if err := sh.Send(rep.Ctx(), 0, frame); err != nil {
+				return 0, err
+			}
+		}
+		if err := sh.ProducerDone(); err != nil {
+			return 0, err
+		}
+		if err := <-done; err != nil {
+			return 0, err
+		}
+		runtime.ReadMemStats(&after)
+		return float64(after.Mallocs-before.Mallocs) / float64(n), nil
+	}
+
+	if _, err := round("e17-warm", maxFrames(frames/10, 8)); err != nil { // dials, handshakes, code paths
+		return 0, 0, err
+	}
+	perFrame, err := round("e17-measure", frames)
+	if err != nil {
+		return 0, 0, err
+	}
+	return perFrame, pool.Stats().Reuses, nil
+}
+
+func maxFrames(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -201,7 +201,6 @@ func HitTag(name, tag string) error {
 	if armed.Load() == 0 {
 		return nil
 	}
-	//lint:ignore hot-alloc,wait-attrib armed fault-injection slow path: only tests arm points, and an armed hit exists to inject errors/delays, so its allocations and sleeps are intentional
 	return reg.hit(name, tag)
 }
 

@@ -133,6 +133,7 @@ func (c *Cluster) Run(ctx context.Context, j *Job) error {
 		jobID = pl.JobID
 	}
 	defer transport.CloseJob(jobID)
+	pool := c.framePool()
 	for ei, e := range j.edges {
 		rt := &edgeRT{}
 		n := e.to.Parallelism
@@ -327,10 +328,14 @@ func (c *Cluster) Run(ctx context.Context, j *Job) error {
 					// Remote consumer: the transport serializes the frame
 					// and blocks under the consumer's credit window. Wire
 					// stalls are always attributed (the per-frame clock is
-					// noise next to a network round trip).
+					// noise next to a network round trip). Send's contract
+					// is that the frame is fully encoded (or abandoned)
+					// before it returns, so the container recycles here
+					// either way.
 					t0 := time.Now()
 					err := rt.handle.Send(tctx, dst, frame)
 					tc.AddWait(obs.WaitNet, time.Since(t0))
+					pool.Put(frame)
 					return err
 				}
 				ch := rt.chans[dst]
@@ -368,13 +373,13 @@ func (c *Cluster) Run(ctx context.Context, j *Job) error {
 						for i, ch := range rt.chans {
 							buffered[i] = unboundedBuffer(tctx, ch)
 						}
-						ins[port] = newMergingInput(tctx, buffered, e.conn.Cmp, c.FrameSize, node, ts)
+						ins[port] = newMergingInput(tctx, buffered, e.conn.Cmp, c.FrameSize, pool, node, ts)
 					} else {
-						ins[port] = newConcatInput(tctx, rt.chans, node, ts)
+						ins[port] = newConcatInput(tctx, rt.chans, pool, node, ts)
 					}
 				default:
 					ch := rt.chans[p]
-					ins[port] = &Input{recv: func() ([]Tuple, bool, error) {
+					ins[port] = &Input{pool: pool, recv: func() ([]Tuple, bool, error) {
 						select {
 						case f, ok := <-ch:
 							if !ok {
@@ -400,6 +405,7 @@ func (c *Cluster) Run(ctx context.Context, j *Job) error {
 					nch:       len(rt.chans),
 					frameSize: c.FrameSize,
 					producer:  p,
+					pool:      pool,
 					send:      func(dst int, frame []Tuple) error { return send(rt, dst, frame) },
 					node:      node,
 					span:      ts,
@@ -506,7 +512,11 @@ func (c *Cluster) Run(ctx context.Context, j *Job) error {
 }
 
 // connWriter routes a producer partition's output tuples into the edge's
-// channels with frame batching.
+// channels with frame batching. Batch buffers start life as recycled
+// frame containers: a locally-consumed frame transfers ownership to its
+// consumer over the channel (the consumer's Input recycles it after the
+// tuple pass), while a remote send recycles it as soon as the transport
+// has serialized it.
 type connWriter struct {
 	conn      Connector
 	nch       int
@@ -516,6 +526,7 @@ type connWriter struct {
 	rr        int
 	mergeDst  int
 	mbuf      []Tuple
+	pool      *FramePool
 	send      func(dst int, frame []Tuple) error
 	node      *NodeController
 	span      *obs.Span
@@ -545,6 +556,9 @@ func (w *connWriter) Write(t Tuple) error {
 	case ConnMerge:
 		// One writer-local buffer feeding this producer's merge channel
 		// (shared MPSC channel for unordered merges).
+		if w.mbuf == nil {
+			w.mbuf = w.pool.Get()
+		}
 		w.mbuf = append(w.mbuf, t)
 		if len(w.mbuf) >= w.frameSize {
 			f := w.mbuf
@@ -557,6 +571,9 @@ func (w *connWriter) Write(t Tuple) error {
 }
 
 func (w *connWriter) buffered(dst int, t Tuple) error {
+	if w.buffers[dst] == nil {
+		w.buffers[dst] = w.pool.Get()
+	}
 	w.buffers[dst] = append(w.buffers[dst], t)
 	if len(w.buffers[dst]) >= w.frameSize {
 		f := w.buffers[dst]
@@ -646,9 +663,9 @@ func unboundedBuffer(ctx context.Context, in chan []Tuple) chan []Tuple {
 
 // newConcatInput drains k producer channels sequentially (unordered
 // concentrator).
-func newConcatInput(ctx context.Context, chans []chan []Tuple, node *NodeController, span *obs.Span) *Input {
+func newConcatInput(ctx context.Context, chans []chan []Tuple, pool *FramePool, node *NodeController, span *obs.Span) *Input {
 	idx := 0
-	return &Input{recv: func() ([]Tuple, bool, error) {
+	return &Input{pool: pool, recv: func() ([]Tuple, bool, error) {
 		for idx < len(chans) {
 			select {
 			case f, ok := <-chans[idx]:
@@ -667,8 +684,13 @@ func newConcatInput(ctx context.Context, chans []chan []Tuple, node *NodeControl
 	}}
 }
 
-// newMergingInput merge-sorts k already-sorted producer channels.
-func newMergingInput(ctx context.Context, chans []chan []Tuple, cmp Comparator, frameSize int, node *NodeController, span *obs.Span) *Input {
+// newMergingInput merge-sorts k already-sorted producer channels. Each
+// cursor's exhausted frame recycles when the next one replaces it, and
+// the merged output frames come from the pool (the downstream Input
+// recycles them after the tuple pass); the tuple headers copied from
+// cursor frames into the output survive recycling — they are independent
+// arrays.
+func newMergingInput(ctx context.Context, chans []chan []Tuple, cmp Comparator, frameSize int, pool *FramePool, node *NodeController, span *obs.Span) *Input {
 	type cursor struct {
 		frame []Tuple
 		pos   int
@@ -681,10 +703,13 @@ func newMergingInput(ctx context.Context, chans []chan []Tuple, cmp Comparator, 
 			case f, ok := <-chans[i]:
 				if !ok {
 					curs[i].done = true
+					pool.Put(curs[i].frame)
+					curs[i].frame = nil
 					return nil
 				}
 				node.addIn(int64(len(f)))
 				span.AddTuplesIn(int64(len(f)))
+				pool.Put(curs[i].frame)
 				curs[i].frame = f
 				curs[i].pos = 0
 			case <-ctx.Done():
@@ -694,7 +719,7 @@ func newMergingInput(ctx context.Context, chans []chan []Tuple, cmp Comparator, 
 		return nil
 	}
 	primed := false
-	return &Input{recv: func() ([]Tuple, bool, error) {
+	return &Input{pool: pool, recv: func() ([]Tuple, bool, error) {
 		if !primed {
 			for i := range curs {
 				if err := fill(i); err != nil {
@@ -703,7 +728,7 @@ func newMergingInput(ctx context.Context, chans []chan []Tuple, cmp Comparator, 
 			}
 			primed = true
 		}
-		var out []Tuple
+		out := pool.Get()
 		for len(out) < frameSize {
 			best := -1
 			for i := range curs {
@@ -720,10 +745,12 @@ func newMergingInput(ctx context.Context, chans []chan []Tuple, cmp Comparator, 
 			out = append(out, curs[best].frame[curs[best].pos])
 			curs[best].pos++
 			if err := fill(best); err != nil {
+				pool.Put(out)
 				return nil, false, err
 			}
 		}
 		if len(out) == 0 {
+			pool.Put(out)
 			return nil, false, nil
 		}
 		return out, true, nil

@@ -1,0 +1,276 @@
+package hyracks
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"asterix/internal/adm"
+	"asterix/internal/mem"
+)
+
+// This file is the frame/tuple buffer recycling layer: the hot exchange
+// and spill paths move data in short-lived slice containers (frames of
+// tuples, tuple scratch, run-file byte scratch) that used to be allocated
+// fresh per batch. Each pool hands containers from a bounded freelist and
+// takes them back once the single consumer is done with them.
+//
+// Safety is not left to review: every pool here is registered in
+// cmd/asterixlint's pool registry, and the pool-safety rules prove each
+// Get reaches a Put (or an ownership transfer) on every path — see
+// "Pool-safety" in docs/STATIC_ANALYSIS.md. The runtime contract the
+// analysis encodes:
+//
+//   - a frame has exactly ONE owner at a time; Put transfers ownership to
+//     the pool, after which the container must not be touched;
+//   - Put clears the container's elements, so retaining a Tuple read OUT
+//     of a recycled frame is always safe (tuples are their own arrays;
+//     only the frame's slice-of-headers is recycled);
+//   - dropping a container instead of Putting it is benign (GC takes it) —
+//     pools bound retained memory, they do not own correctness.
+
+// PoolStats is an atomic snapshot of one pool's traffic.
+type PoolStats struct {
+	// Gets counts Get calls; Reuses counts the subset served from the
+	// freelist (Gets-Reuses were fresh allocations).
+	Gets, Reuses int64
+	// Puts counts containers handed back; Drops counts the subset the
+	// pool discarded (freelist full or container too small to keep).
+	Puts, Drops int64
+}
+
+// bufPool is the shared freelist core behind FramePool, TuplePool, and
+// BytePool: a bounded LIFO of slice containers whose retained bytes are
+// charged to a mem.PoolCharge. A nil core (from a nil typed pool) is the
+// disabled mode: Get returns nil — callers build with append, so a nil
+// container is a valid empty buffer — and Put discards.
+type bufPool[E any] struct {
+	mu   sync.Mutex
+	free [][]E
+	// max bounds retained entries; minKeep drops undersized containers so
+	// the freelist doesn't silt up with tiny early buffers.
+	max     int
+	minKeep int
+	// elemBytes prices one element header for the retained-bytes charge.
+	elemBytes int64
+	// clearElems zeroes returned containers (pointer-bearing elements must
+	// not pin dead values from inside the freelist).
+	clearElems bool
+	charge     *mem.PoolCharge
+
+	gets, reuses, puts, drops atomic.Int64
+}
+
+func (p *bufPool[E]) get() []E {
+	if p == nil {
+		return nil
+	}
+	p.gets.Add(1)
+	p.mu.Lock()
+	n := len(p.free)
+	if n == 0 {
+		p.mu.Unlock()
+		return nil
+	}
+	b := p.free[n-1]
+	p.free[n-1] = nil
+	p.free = p.free[:n-1]
+	p.mu.Unlock()
+	p.reuses.Add(1)
+	p.charge.Add(-int64(cap(b)) * p.elemBytes)
+	return b[:0]
+}
+
+func (p *bufPool[E]) put(b []E) {
+	if p == nil || cap(b) == 0 {
+		return
+	}
+	p.puts.Add(1)
+	if cap(b) < p.minKeep {
+		p.drops.Add(1)
+		return
+	}
+	if p.clearElems {
+		clear(b[:cap(b)])
+	}
+	p.mu.Lock()
+	if len(p.free) >= p.max {
+		p.mu.Unlock()
+		p.drops.Add(1)
+		return
+	}
+	p.free = append(p.free, b[:0])
+	p.mu.Unlock()
+	p.charge.Add(int64(cap(b)) * p.elemBytes)
+}
+
+func (p *bufPool[E]) stats() PoolStats {
+	if p == nil {
+		return PoolStats{}
+	}
+	return PoolStats{
+		Gets: p.gets.Load(), Reuses: p.reuses.Load(),
+		Puts: p.puts.Load(), Drops: p.drops.Load(),
+	}
+}
+
+// FramePool recycles frame containers ([]Tuple) for the exchange paths:
+// connWriter batch buffers, merge-input output frames, and the wire
+// decoder's per-frame allocation. A nil *FramePool disables pooling (Get
+// returns a nil slice to append into; Put is a no-op).
+type FramePool struct {
+	core      *bufPool[Tuple]
+	frameSize int
+}
+
+// NewFramePool builds a pool keeping at most maxEntries frames, charging
+// retained bytes (frame headers only — 24 bytes per tuple slot) to
+// charge. frameSize sets the keep threshold: containers that never grew
+// to half a frame are dropped rather than retained.
+func NewFramePool(frameSize, maxEntries int, charge *mem.PoolCharge) *FramePool {
+	if maxEntries <= 0 {
+		maxEntries = 64
+	}
+	return &FramePool{
+		core: &bufPool[Tuple]{
+			max: maxEntries, minKeep: frameSize / 2,
+			elemBytes: 24, clearElems: true, charge: charge,
+		},
+		frameSize: frameSize,
+	}
+}
+
+// Get returns an empty frame to append tuples into — recycled when the
+// freelist has one, otherwise freshly sized to a full frame. The caller
+// owns it until Put or an ownership handoff (channel send, transport
+// send).
+func (p *FramePool) Get() []Tuple {
+	if p == nil {
+		return nil
+	}
+	if f := p.core.get(); f != nil {
+		return f
+	}
+	if p.frameSize <= 0 {
+		return nil
+	}
+	return make([]Tuple, 0, p.frameSize)
+}
+
+// Put returns a frame to the pool. The frame's tuple headers are cleared;
+// the caller must not use the container afterwards. Tuples read out of
+// the frame remain valid — they are independent arrays.
+func (p *FramePool) Put(f []Tuple) {
+	if p == nil {
+		return
+	}
+	p.core.put(f)
+}
+
+// Stats snapshots the pool's traffic counters.
+func (p *FramePool) Stats() PoolStats {
+	if p == nil {
+		return PoolStats{}
+	}
+	return p.core.stats()
+}
+
+// TuplePool recycles tuple containers ([]adm.Value) for scratch records
+// that are fully consumed before the next Get — spill-record assembly and
+// run read-back in group-by and join. The VALUES a tuple holds are never
+// pooled (adm values are immutable and shared); only the column-header
+// container cycles.
+type TuplePool struct{ core *bufPool[adm.Value] }
+
+// NewTuplePool builds a pool keeping at most maxEntries tuple containers.
+func NewTuplePool(maxEntries int, charge *mem.PoolCharge) *TuplePool {
+	if maxEntries <= 0 {
+		maxEntries = 64
+	}
+	return &TuplePool{core: &bufPool[adm.Value]{
+		max: maxEntries, elemBytes: 16, clearElems: true, charge: charge,
+	}}
+}
+
+// Get returns an empty tuple container to append values into.
+func (p *TuplePool) Get() Tuple {
+	if p == nil {
+		return nil
+	}
+	return Tuple(p.core.get())
+}
+
+// Put returns a tuple container to the pool; the caller must not use it
+// afterwards.
+func (p *TuplePool) Put(t Tuple) {
+	if p == nil {
+		return
+	}
+	p.core.put(t)
+}
+
+// Stats snapshots the pool's traffic counters.
+func (p *TuplePool) Stats() PoolStats {
+	if p == nil {
+		return PoolStats{}
+	}
+	return p.core.stats()
+}
+
+// BytePool recycles byte scratch (run-file encode/decode buffers, wire
+// payload scratch). Byte containers are not cleared on Put — they carry
+// no pointers.
+type BytePool struct{ core *bufPool[byte] }
+
+// NewBytePool builds a pool keeping at most maxEntries buffers.
+func NewBytePool(maxEntries int, charge *mem.PoolCharge) *BytePool {
+	if maxEntries <= 0 {
+		maxEntries = 64
+	}
+	return &BytePool{core: &bufPool[byte]{
+		max: maxEntries, elemBytes: 1, charge: charge,
+	}}
+}
+
+// Get returns an empty byte buffer to append into.
+func (p *BytePool) Get() []byte {
+	if p == nil {
+		return nil
+	}
+	return p.core.get()
+}
+
+// Put returns a byte buffer to the pool; the caller must not use it
+// afterwards.
+func (p *BytePool) Put(b []byte) {
+	if p == nil {
+		return
+	}
+	p.core.put(b)
+}
+
+// Stats snapshots the pool's traffic counters.
+func (p *BytePool) Stats() PoolStats {
+	if p == nil {
+		return PoolStats{}
+	}
+	return p.core.stats()
+}
+
+// runScratch is the package-global byte pool behind run-file readers and
+// writers: sort, join, and group-by all spill through RunWriter/RunReader,
+// so their encode/decode scratch shares one bounded freelist instead of
+// growing a private buffer per run file.
+var runScratch = NewBytePool(64, mem.NewPoolCharge("run_scratch", nil))
+
+// RunScratchStats exposes the shared run-file scratch pool's counters
+// (tests assert reuse across spill cycles).
+func RunScratchStats() PoolStats { return runScratch.Stats() }
+
+// tupleScratch recycles the tuple containers of spill-record assembly and
+// run read-back in group-by and the grace join's probe phase — records
+// that are fully consumed (encoded, merged, or copied) before the next
+// Get, never handed downstream.
+var tupleScratch = NewTuplePool(256, mem.NewPoolCharge("tuple_scratch", nil))
+
+// TupleScratchStats exposes the shared tuple scratch pool's counters.
+func TupleScratchStats() PoolStats { return tupleScratch.Stats() }

@@ -1,0 +1,257 @@
+package hyracks
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"asterix/internal/adm"
+	"asterix/internal/mem"
+)
+
+func TestFramePoolReuseAndBounds(t *testing.T) {
+	charge := &mem.PoolCharge{}
+	p := NewFramePool(8, 2, charge)
+
+	f := p.Get()
+	if cap(f) != 8 || len(f) != 0 {
+		t.Fatalf("fresh frame cap=%d len=%d, want 8/0", cap(f), len(f))
+	}
+	f = append(f, Tuple{adm.Int64(1)})
+	p.Put(f)
+	if got := charge.Held(); got != 8*24 {
+		t.Fatalf("retained charge %d, want %d", got, 8*24)
+	}
+	g := p.Get()
+	if cap(g) != 8 || len(g) != 0 {
+		t.Fatalf("recycled frame cap=%d len=%d, want 8/0", cap(g), len(g))
+	}
+	// The recycled container's old tuple headers must be cleared so the
+	// freelist never pins dead tuples.
+	if gg := g[:1]; gg[0] != nil {
+		t.Fatal("recycled frame still holds the old tuple header")
+	}
+	if got := charge.Held(); got != 0 {
+		t.Fatalf("charge after Get %d, want 0", got)
+	}
+	st := p.Stats()
+	if st.Gets != 2 || st.Reuses != 1 || st.Puts != 1 || st.Drops != 0 {
+		t.Fatalf("stats %+v, want gets=2 reuses=1 puts=1 drops=0", st)
+	}
+
+	// Undersized containers (below frameSize/2) are dropped, not kept.
+	small := make([]Tuple, 0, 2)
+	p.Put(small)
+	if st := p.Stats(); st.Drops != 1 {
+		t.Fatalf("undersized Put not dropped: %+v", st)
+	}
+
+	// The freelist is bounded at maxEntries; overflow drops.
+	p.Put(g)
+	p.Put(make([]Tuple, 0, 8))
+	p.Put(make([]Tuple, 0, 8))
+	if st := p.Stats(); st.Drops != 2 {
+		t.Fatalf("freelist bound not enforced: %+v", st)
+	}
+}
+
+func TestTuplePoolClearsValues(t *testing.T) {
+	p := NewTuplePool(4, &mem.PoolCharge{})
+	tp := p.Get()
+	tp = append(tp, adm.Int64(7), adm.String("x"))
+	p.Put(tp)
+	got := p.Get()
+	if len(got) != 0 {
+		t.Fatalf("recycled tuple len=%d, want 0", len(got))
+	}
+	if cap(got) < 2 {
+		t.Fatalf("recycled tuple cap=%d, want the old container back", cap(got))
+	}
+	if gg := got[:2]; gg[0] != nil || gg[1] != nil {
+		t.Fatal("recycled tuple still pins the old values")
+	}
+}
+
+func TestNilPoolsAreSafe(t *testing.T) {
+	var fp *FramePool
+	var tp *TuplePool
+	var bp *BytePool
+	if f := fp.Get(); f != nil {
+		t.Fatal("nil FramePool.Get must return nil")
+	}
+	fp.Put(nil)
+	if tup := tp.Get(); tup != nil {
+		t.Fatal("nil TuplePool.Get must return nil")
+	}
+	tp.Put(nil)
+	if b := bp.Get(); b != nil {
+		t.Fatal("nil BytePool.Get must return nil")
+	}
+	bp.Put(nil)
+	if st := fp.Stats(); st != (PoolStats{}) {
+		t.Fatalf("nil pool stats %+v, want zero", st)
+	}
+}
+
+// exchangeJob builds the pooled hot path end to end: parallel scans hash-
+// partitioned into a verifying sink, plus a sorted branch merged ordered
+// (the merging input draws its output frames from the pool).
+func exchangeJob(rows, parallelism int, coll *Collector, ordered *Collector) *Job {
+	j := NewJob()
+	scan := j.Add(NewScan("scan", parallelism, func(tc *TaskContext, emit func(Tuple) error) error {
+		for i := tc.Partition; i < rows; i += tc.NumPartitions {
+			if err := emit(Tuple{adm.Int64(i), adm.Int64(i * 10)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}))
+	filter := j.Add(NewFilter("filter", parallelism, func(tp Tuple) (bool, error) { return true, nil }))
+	sink := j.Add(NewSink("sink", parallelism, coll))
+	j.MustConnect(scan, filter, 0, HashPartition(0))
+	j.MustConnect(filter, sink, 0, OneToOne())
+
+	scan2 := j.Add(NewScan("scan2", parallelism, func(tc *TaskContext, emit func(Tuple) error) error {
+		r := rand.New(rand.NewSource(int64(tc.Partition)))
+		for i := 0; i < rows/parallelism; i++ {
+			if err := emit(Tuple{adm.Int64(r.Intn(1 << 16))}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}))
+	cmp := Comparator{Columns: []int{0}}
+	sortOp := j.Add(NewSort("sort", parallelism, cmp))
+	osink := j.Add(NewOrderedSink("osink", ordered))
+	j.MustConnect(scan2, sortOp, 0, OneToOne())
+	j.MustConnect(sortOp, osink, 0, MergeOrdered(cmp))
+	return j
+}
+
+// verifyExchange checks exact row counts and tuple integrity: every id
+// exactly once, every payload still paired with its id. Aliasing
+// corruption from a prematurely recycled frame shows up here as a
+// missing, duplicated, or cross-wired row.
+func verifyExchange(t *testing.T, coll *Collector, ordered *Collector, rows, parallelism int) {
+	t.Helper()
+	ts := coll.Tuples()
+	if len(ts) != rows {
+		t.Fatalf("got %d rows, want %d", len(ts), rows)
+	}
+	seen := make([]bool, rows)
+	for _, tp := range ts {
+		id, _ := adm.AsInt(tp[0])
+		v, _ := adm.AsInt(tp[1])
+		if v != id*10 {
+			t.Fatalf("row %d carries payload %d, want %d (aliasing corruption)", id, v, id*10)
+		}
+		if seen[id] {
+			t.Fatalf("row %d delivered twice", id)
+		}
+		seen[id] = true
+	}
+	os := ordered.Tuples()
+	if len(os) != (rows/parallelism)*parallelism {
+		t.Fatalf("ordered branch got %d rows, want %d", len(os), (rows/parallelism)*parallelism)
+	}
+	for i := 1; i < len(os); i++ {
+		if adm.Compare(os[i-1][0], os[i][0]) > 0 {
+			t.Fatalf("merge order violated at %d", i)
+		}
+	}
+}
+
+// TestPooledExchangeSoak runs the pooled exchange concurrently and
+// repeatedly (several jobs in flight over one shared frame pool) and
+// requires exact results every round, plus evidence that the pool
+// actually recycled containers.
+func TestPooledExchangeSoak(t *testing.T) {
+	c := newCluster(t, 2)
+	const rows, parallelism, rounds, lanes = 4000, 4, 3, 3
+	for round := 0; round < rounds; round++ {
+		var wg sync.WaitGroup
+		errs := make([]error, lanes)
+		colls := make([]*Collector, lanes)
+		ords := make([]*Collector, lanes)
+		for lane := 0; lane < lanes; lane++ {
+			lane := lane
+			colls[lane] = &Collector{}
+			ords[lane] = &Collector{}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				errs[lane] = c.Run(context.Background(), exchangeJob(rows, parallelism, colls[lane], ords[lane]))
+			}()
+		}
+		wg.Wait()
+		for lane := 0; lane < lanes; lane++ {
+			if errs[lane] != nil {
+				t.Fatalf("round %d lane %d: %v", round, lane, errs[lane])
+			}
+			verifyExchange(t, colls[lane], ords[lane], rows, parallelism)
+		}
+	}
+	st := c.FramePool().Stats()
+	if st.Reuses == 0 {
+		t.Fatalf("frame pool never recycled a container: %+v", st)
+	}
+	if st.Gets < st.Reuses {
+		t.Fatalf("inconsistent pool stats: %+v", st)
+	}
+}
+
+// TestPooledUnpooledEquivalence runs identical jobs on a pooled and an
+// unpooled cluster and requires byte-identical result multisets — frame
+// recycling must be invisible to query answers.
+func TestPooledUnpooledEquivalence(t *testing.T) {
+	render := func(coll *Collector) []string {
+		var out []string
+		for _, tp := range coll.Tuples() {
+			s := ""
+			for i, v := range tp {
+				if i > 0 {
+					s += "|"
+				}
+				s += fmt.Sprint(v)
+			}
+			out = append(out, s)
+		}
+		sort.Strings(out)
+		return out
+	}
+	run := func(disable bool) ([]string, []string) {
+		c := newCluster(t, 2)
+		c.DisableFramePool = disable
+		coll, ordered := &Collector{}, &Collector{}
+		if err := c.Run(context.Background(), exchangeJob(3000, 4, coll, ordered)); err != nil {
+			t.Fatal(err)
+		}
+		var ord []string
+		for _, tp := range ordered.Tuples() {
+			ord = append(ord, fmt.Sprint(tp[0]))
+		}
+		return render(coll), ord
+	}
+	gotP, ordP := run(false)
+	gotU, ordU := run(true)
+	if len(gotP) != len(gotU) {
+		t.Fatalf("pooled %d rows vs unpooled %d", len(gotP), len(gotU))
+	}
+	for i := range gotP {
+		if gotP[i] != gotU[i] {
+			t.Fatalf("row %d differs: pooled %q vs unpooled %q", i, gotP[i], gotU[i])
+		}
+	}
+	// The ordered branch is deterministic (seeded scans): exact match.
+	if len(ordP) != len(ordU) {
+		t.Fatalf("ordered branch %d vs %d rows", len(ordP), len(ordU))
+	}
+	for i := range ordP {
+		if ordP[i] != ordU[i] {
+			t.Fatalf("ordered row %d differs: %q vs %q", i, ordP[i], ordU[i])
+		}
+	}
+}

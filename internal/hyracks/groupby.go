@@ -125,7 +125,9 @@ func runGroupBy(tc *TaskContext, in *Input, out *Output, groupCols []int, aggs [
 		spills  [spillFanout]*RunWriter
 		spilled = false
 	)
-	// spillGroup writes a group's partial state as key ++ states.
+	// spillGroup writes a group's partial state as key ++ states. The
+	// record container is scratch: Write encodes it before returning, so
+	// it recycles immediately.
 	spillGroup := func(g *group) error {
 		p := gt.hash(g.key) % spillFanout
 		if spills[p] == nil {
@@ -136,10 +138,12 @@ func runGroupBy(tc *TaskContext, in *Input, out *Output, groupCols []int, aggs [
 			spills[p] = rw
 			tc.Spill()
 		}
-		rec := make(Tuple, 0, len(g.key)+len(g.states))
+		rec := tupleScratch.Get()
 		rec = append(rec, g.key...)
 		rec = append(rec, g.states...)
-		return spills[p].Write(rec)
+		err := spills[p].Write(rec)
+		tupleScratch.Put(rec)
+		return err
 	}
 
 	step := func(g *group, t Tuple) {
@@ -227,7 +231,11 @@ func runGroupBy(tc *TaskContext, in *Input, out *Output, groupCols []int, aggs [
 			return err
 		}
 		// Spilled records carry the key already extracted up front, so the
-		// merge table's group columns are the identity list.
+		// merge table's group columns are the identity list. Read-back
+		// records are pooled scratch: probe clones the key and the states
+		// are copied (or their VALUES retained, which recycling permits),
+		// so each record recycles at the end of its iteration.
+		rr.Tuples = tupleScratch
 		mt := newGroupTable(gt.idCols)
 		for {
 			rec, ok, err := rr.Next()
@@ -239,6 +247,7 @@ func runGroupBy(tc *TaskContext, in *Input, out *Output, groupCols []int, aggs [
 				break
 			}
 			if len(rec) != len(groupCols)+len(aggs) {
+				tupleScratch.Put(rec)
 				rr.Close()
 				return fmt.Errorf("groupby: corrupt partial record")
 			}
@@ -247,11 +256,13 @@ func runGroupBy(tc *TaskContext, in *Input, out *Output, groupCols []int, aggs [
 			g, h := mt.probe(k)
 			if g == nil {
 				mt.insert(h, k, append([]adm.Value(nil), states...))
+				tupleScratch.Put(rec)
 				continue
 			}
 			for i, a := range aggs {
 				g.states[i] = a.Merge(g.states[i], states[i])
 			}
+			tupleScratch.Put(rec)
 		}
 		rr.Close()
 		tc.AddWait(obs.WaitSpill, time.Since(tRead))

@@ -55,14 +55,27 @@ func (tc *TaskContext) Spill() {
 }
 
 // Input is a pull endpoint delivering frames from an upstream connector.
+// A frame's container belongs to the consumer once delivered: ForEach
+// recycles it after the per-tuple pass, and NextFrame callers should hand
+// exhausted frames back with Recycle (dropping one is benign — the GC
+// takes it — but defeats pooling).
 type Input struct {
 	recv func() ([]Tuple, bool, error)
+	pool *FramePool
 }
 
-// NextFrame returns the next frame, ok=false at end of stream.
+// NextFrame returns the next frame, ok=false at end of stream. The caller
+// owns the returned frame; Recycle it once its tuples are consumed.
 func (in *Input) NextFrame() ([]Tuple, bool, error) { return in.recv() }
 
-// ForEach drains the input, calling fn per tuple.
+// Recycle returns an exhausted frame container to the cluster's pool.
+// Tuples already read out of it stay valid (they are independent arrays);
+// the container itself must not be used after this call.
+func (in *Input) Recycle(frame []Tuple) { in.pool.Put(frame) }
+
+// ForEach drains the input, calling fn per tuple. Each frame's container
+// is recycled after its tuples are delivered, so fn must not retain the
+// frame slice itself — retaining individual tuples is fine.
 func (in *Input) ForEach(fn func(Tuple) error) error {
 	for {
 		frame, ok, err := in.recv()
@@ -77,6 +90,7 @@ func (in *Input) ForEach(fn func(Tuple) error) error {
 				return err
 			}
 		}
+		in.pool.Put(frame)
 	}
 }
 

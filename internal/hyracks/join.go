@@ -231,6 +231,13 @@ func runHashJoin(tc *TaskContext, left, right *Input, out *Output, leftCols, rig
 		if err != nil {
 			return err
 		}
+		if kind != LeftSemiJoin {
+			// Inner and outer probes copy the probe tuple into every
+			// emitted row, so the read-back container is scratch and
+			// recycles per iteration. Semi joins write the probe tuple
+			// itself downstream — those must keep fresh tuples.
+			rr.Tuples = tupleScratch
+		}
 		for {
 			tNext := time.Now()
 			l, ok, err := rr.Next()
@@ -248,6 +255,7 @@ func runHashJoin(tc *TaskContext, left, right *Input, out *Output, leftCols, rig
 				for _, r := range part[h] {
 					ok, err := matches(l, r)
 					if err != nil {
+						tupleScratch.Put(l)
 						rr.Close()
 						return err
 					}
@@ -257,6 +265,7 @@ func runHashJoin(tc *TaskContext, left, right *Input, out *Output, leftCols, rig
 							break
 						}
 						if err := emit(l, r); err != nil {
+							tupleScratch.Put(l)
 							rr.Close()
 							return err
 						}
@@ -271,9 +280,13 @@ func runHashJoin(tc *TaskContext, left, right *Input, out *Output, leftCols, rig
 			}
 			if !matched && kind == LeftOuterJoin {
 				if err := emitOuter(l); err != nil {
+					tupleScratch.Put(l)
 					rr.Close()
 					return err
 				}
+			}
+			if kind != LeftSemiJoin {
+				tupleScratch.Put(l)
 			}
 		}
 		rr.Close()

@@ -77,6 +77,7 @@ func NewLimit(name string, parallelism int, n int64) *Operator {
 							return err
 						}
 					}
+					in[0].Recycle(frame)
 				}
 			})
 		},

@@ -144,13 +144,15 @@ type RunWriter struct {
 	buf []byte
 }
 
-// NewRunWriter creates a spill file in dir.
+// NewRunWriter creates a spill file in dir. Its encode scratch comes from
+// the shared run-scratch byte pool and is handed on to the RunReader at
+// Finish; Abort (or a failed Finish) returns it directly.
 func NewRunWriter(dir string) (*RunWriter, error) {
 	f, err := os.CreateTemp(dir, "run-*.tmp")
 	if err != nil {
 		return nil, fmt.Errorf("hyracks: create run file: %w", err)
 	}
-	return &RunWriter{f: f, w: bufio.NewWriterSize(f, 1<<16)}, nil
+	return &RunWriter{f: f, w: bufio.NewWriterSize(f, 1<<16), buf: runScratch.Get()}, nil
 }
 
 // Write appends one tuple.
@@ -176,15 +178,22 @@ func (rw *RunWriter) Write(t Tuple) error {
 func (rw *RunWriter) Len() int { return rw.n }
 
 // Finish flushes and returns a reader positioned at the start. The file is
-// unlinked once the reader is closed.
+// unlinked once the reader is closed. The writer's encode scratch moves to
+// the reader (returned to the pool by the reader's Close).
 func (rw *RunWriter) Finish() (*RunReader, error) {
 	if err := rw.w.Flush(); err != nil {
+		runScratch.Put(rw.buf)
+		rw.buf = nil
 		return nil, err
 	}
 	if _, err := rw.f.Seek(0, io.SeekStart); err != nil {
+		runScratch.Put(rw.buf)
+		rw.buf = nil
 		return nil, err
 	}
-	return &RunReader{f: rw.f, r: bufio.NewReaderSize(rw.f, 1<<16), remaining: rw.n}, nil
+	rr := &RunReader{f: rw.f, r: bufio.NewReaderSize(rw.f, 1<<16), remaining: rw.n, buf: rw.buf}
+	rw.buf = nil
+	return rr, nil
 }
 
 // Abort discards the run file without reading it.
@@ -194,6 +203,8 @@ func (rw *RunWriter) Abort() {
 	rw.f.Close()
 	//lint:ignore err-discard best-effort cleanup of a spill file that is being thrown away
 	os.Remove(name)
+	runScratch.Put(rw.buf)
+	rw.buf = nil
 }
 
 // RunReader reads back a spilled tuple stream.
@@ -202,6 +213,13 @@ type RunReader struct {
 	r         *bufio.Reader
 	remaining int
 	buf       []byte
+
+	// Tuples, when set, makes Next build each tuple in a container drawn
+	// from the pool. Next then returns POOLED tuples: the caller owns each
+	// one until it Puts it back, and must not retain it past the Put (the
+	// values read out of it may be retained freely). Leave nil when read-
+	// back tuples flow downstream — sort merge output, semi-join probe.
+	Tuples *TuplePool
 }
 
 // Next returns the next tuple, or ok=false at end.
@@ -226,25 +244,33 @@ func (rr *RunReader) Next() (Tuple, bool, error) {
 		return nil, false, fmt.Errorf("hyracks: corrupt run file")
 	}
 	pos += m
-	t := make(Tuple, n)
-	for i := range t {
+	t := rr.Tuples.Get()
+	if cap(t) < int(n) {
+		rr.Tuples.Put(t)
+		t = make(Tuple, 0, n)
+	}
+	for i := uint64(0); i < n; i++ {
 		v, used, err := adm.Decode(rr.buf[pos:])
 		if err != nil {
+			rr.Tuples.Put(t)
 			return nil, false, err
 		}
-		t[i] = v
+		t = append(t, v)
 		pos += used
 	}
 	rr.remaining--
 	return t, true, nil
 }
 
-// Close closes and removes the run file.
+// Close closes and removes the run file, returning its decode scratch to
+// the shared pool.
 func (rr *RunReader) Close() error {
 	name := rr.f.Name()
 	err := rr.f.Close()
 	if rerr := os.Remove(name); err == nil {
 		err = rerr
 	}
+	runScratch.Put(rr.buf)
+	rr.buf = nil
 	return err
 }

@@ -137,7 +137,6 @@ func (m *memTable) scan(lo, hi []byte, fn func(e memEntry) bool) {
 		if hi != nil && bytes.Compare(n.entry.key, hi) > 0 {
 			return
 		}
-		//lint:ignore hot-alloc user-supplied visitor callback: its allocation behavior belongs to the caller, not the skiplist walk
 		if !fn(n.entry) {
 			return
 		}

@@ -1,0 +1,74 @@
+package mem
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"asterix/internal/obs"
+)
+
+// PoolCharge accounts the bytes a buffer pool retains while idle. Pooled
+// frames and scratch buffers are working memory the process holds even
+// when no query owns them, so each pool reports its retained high-water
+// footprint through the governor's metrics surface. The charge is
+// observational: it never gates admission (a pool is bounded by its own
+// max-entries cap, and dropping an entry frees the memory immediately),
+// but it keeps `/admin/metrics` honest about where resident bytes live —
+// see docs/MEMORY.md.
+type PoolCharge struct {
+	held atomic.Int64
+}
+
+// Add records delta retained bytes (negative on Get, positive on Put).
+// Nil-safe: an uncharged pool costs one branch.
+func (pc *PoolCharge) Add(delta int64) {
+	if pc == nil {
+		return
+	}
+	pc.held.Add(delta)
+}
+
+// Held returns the currently retained bytes (0 for nil).
+func (pc *PoolCharge) Held() int64 {
+	if pc == nil {
+		return 0
+	}
+	return pc.held.Load()
+}
+
+// poolChargeMu guards the governor-independent registration below:
+// charges can be created before any governor exists (raw test clusters),
+// and several pools may register under one metrics registry.
+var (
+	poolChargeMu sync.Mutex
+	poolCharges  = map[string]*PoolCharge{}
+)
+
+// NewPoolCharge creates (or returns the existing) named pool charge and,
+// when reg is non-nil, exposes it as a `mem_pool_<name>_retained_bytes`
+// gauge. Charges are process-global by name so a pool constructed before
+// the metrics registry can still surface once the server wires one up.
+func NewPoolCharge(name string, reg *obs.Registry) *PoolCharge {
+	poolChargeMu.Lock()
+	pc := poolCharges[name]
+	if pc == nil {
+		pc = &PoolCharge{}
+		poolCharges[name] = pc
+	}
+	poolChargeMu.Unlock()
+	// Registry methods are nil-safe: register unconditionally.
+	reg.RegisterFunc("mem_pool_"+name+"_retained_bytes",
+		"bytes retained by the "+name+" buffer pool while idle", obs.TypeGauge,
+		func() float64 { return float64(pc.Held()) })
+	return pc
+}
+
+// PoolCharge exposes a named pool charge on the governor's metrics
+// registry. Nil-safe: a nil governor still returns a usable (unexported)
+// charge so pools never branch on governor presence.
+func (g *Governor) PoolCharge(name string) *PoolCharge {
+	if g == nil {
+		return NewPoolCharge(name, nil)
+	}
+	return NewPoolCharge(name, g.cfg.Metrics)
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"asterix/internal/fault"
+	"asterix/internal/hyracks"
 	"asterix/internal/mem"
 	"asterix/internal/obs"
 )
@@ -25,6 +26,11 @@ type Options struct {
 	// governor: each registered edge reserves its receive queues'
 	// capacity before frames flow.
 	Gov *mem.Governor
+	// FramePool, when non-nil, supplies the frame containers inbound data
+	// frames decode into (share the hyracks cluster's pool so receive-side
+	// frames recycle through the same bounded freelist the executor
+	// drains into). Nil keeps allocate-per-frame decoding.
+	FramePool *hyracks.FramePool
 	// Metrics, when non-nil, receives the net_* counters.
 	Metrics *obs.Registry
 	// OnPeerDown is invoked (once per down transition) when a peer that
@@ -505,11 +511,19 @@ func (p *Peer) SendControl(peerID string, payload []byte) error {
 
 // readLoop drains one connection, dispatching messages until the stream
 // breaks. Every processed message refreshes the peer's last-seen time.
+// Payloads decode into a per-connection scratch buffer reused across
+// messages: every dispatch below fully consumes its payload before the
+// next read (data frames copy their bytes out during ADM decode), and the
+// one handler that may retain bytes — OnControl — gets a copy.
 func (p *Peer) readLoop(pc *peerConn) {
 	ps := p.peer(pc.id)
 	defer p.unregister(pc)
+	var scratch []byte
 	for {
-		typ, payload, err := readMsg(pc.c)
+		var typ byte
+		var payload []byte
+		var err error
+		typ, payload, scratch, err = readMsgReuse(pc.c, scratch)
 		if err != nil {
 			if !pc.closed.Load() && !p.isClosed() {
 				p.m.connResets.Inc()
@@ -549,7 +563,9 @@ func (p *Peer) readLoop(pc *peerConn) {
 		case msgControl:
 			from, body, err := readString(payload)
 			if err == nil && p.opt.OnControl != nil {
-				p.opt.OnControl(from, body)
+				// body aliases the reused scratch; the control plane may
+				// hold it past this dispatch, so it gets its own copy.
+				p.opt.OnControl(from, append([]byte(nil), body...))
 			}
 		case msgHello:
 			// Redundant hello on an established connection: ignore.

@@ -41,6 +41,7 @@ func startMesh(t *testing.T, ids []string, tune func(id string, o *Options)) map
 			ID:                id,
 			ListenAddr:        "127.0.0.1:0",
 			Metrics:           reg,
+			FramePool:         cl.FramePool(),
 			HeartbeatInterval: 25 * time.Millisecond,
 			OnPeerDown: func(down string) {
 				if nc := cl.NodeByID(down); nc != nil {
@@ -633,5 +634,95 @@ func TestPartitionIsolatesPeer(t *testing.T) {
 	}
 	if !nodes["na"].cluster.NodeByID("nc").Dead() {
 		t.Fatal("partitioned nc not declared dead on na")
+	}
+}
+
+// TestPooledExchangeSoakUnderDelay is the pooled-frame aliasing soak:
+// a 3-node mesh moves hash-partitioned rows through pooled frame
+// containers on both the send path (connWriter batches recycle after
+// the transport serializes them) and the receive path (inbound frames
+// decode into containers drawn from the cluster pool), while net.delay
+// randomly stalls nb's outbound frames. Every round must deliver every
+// row exactly once with its payload still paired to its id — a frame
+// recycled while the wire or a consumer still held it would corrupt
+// pairs or counts — and the pool must show real recycling.
+func TestPooledExchangeSoakUnderDelay(t *testing.T) {
+	defer fault.Disarm()
+	if err := fault.Arm("net.delay:delay=1ms:p=0.2:times=0:tag=nb"); err != nil {
+		t.Fatal(err)
+	}
+	nodes := startMesh(t, []string{"na", "nb", "nc"}, nil)
+	// Warm the mesh: with two producer partitions per node, cold
+	// concurrent first-sends to the same peer race the dialer; the
+	// heartbeat loop establishes the links first.
+	deadline := time.Now().Add(5 * time.Second)
+	for _, a := range []string{"na", "nb", "nc"} {
+		for _, b := range []string{"na", "nb", "nc"} {
+			if a == b {
+				continue
+			}
+			for nodes[a].peer.peer(b).lastSeen.Load() == 0 {
+				if time.Now().After(deadline) {
+					t.Fatal("mesh never warmed up")
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		}
+	}
+	const rows, parts, rounds = 6000, 6, 3
+	for round := 0; round < rounds; round++ {
+		var mu sync.Mutex
+		seen := make([]int64, rows)
+		dup := false
+		errs := runPlaced(context.Background(), nodes, "soak#"+string(rune('a'+round)), func(n *simNode) *hyracks.Job {
+			j := hyracks.NewJob()
+			gen := j.Add(hyracks.NewScan("gen", parts, func(tc *hyracks.TaskContext, emit func(hyracks.Tuple) error) error {
+				for i := tc.Partition; i < rows; i += tc.NumPartitions {
+					if err := emit(hyracks.Tuple{adm.Int64(i), adm.Int64(i * 10)}); err != nil {
+						return err
+					}
+				}
+				return nil
+			}))
+			sink := j.Add(hyracks.NewFuncSink("verify", 3, func(_ int, tp hyracks.Tuple) error {
+				id, _ := adm.AsInt(tp[0])
+				v, _ := adm.AsInt(tp[1])
+				if v != id*10 {
+					return errors.New("aliasing corruption: payload no longer pairs with id")
+				}
+				mu.Lock()
+				seen[id]++
+				if seen[id] > 1 {
+					dup = true
+				}
+				mu.Unlock()
+				return nil
+			}))
+			j.MustConnect(gen, sink, 0, hyracks.HashPartition(0))
+			return j
+		}, func(op string, part int) string {
+			return []string{"na", "nb", "nc"}[part%3]
+		})
+		for id, err := range errs {
+			if err != nil {
+				t.Fatalf("round %d node %s: %v", round, id, err)
+			}
+		}
+		missing := 0
+		for _, n := range seen {
+			if n == 0 {
+				missing++
+			}
+		}
+		if missing > 0 || dup {
+			t.Fatalf("round %d: %d rows missing, dup=%v", round, missing, dup)
+		}
+	}
+	reused := int64(0)
+	for _, n := range nodes {
+		reused += n.cluster.FramePool().Stats().Reuses
+	}
+	if reused == 0 {
+		t.Fatal("frame pools never recycled a container across the soak")
 	}
 }

@@ -72,11 +72,31 @@ func readMsg(r io.Reader) (typ byte, payload []byte, err error) {
 	if _, err := io.ReadFull(r, h[:]); err != nil {
 		return 0, nil, err
 	}
-	typ, payload, err = decodeHeaderAndBody(h, r)
+	typ, payload, err = decodeHeaderAndBodyInto(h, r, nil)
 	return typ, payload, err
 }
 
-func decodeHeaderAndBody(h [headerLen]byte, r io.Reader) (byte, []byte, error) {
+// readMsgReuse is readMsg with a per-connection decode scratch buffer: the
+// payload decodes into scratch when it fits (one allocation per high-water
+// mark instead of one per message), and the possibly-grown scratch is
+// returned for the connection's next read. The payload therefore ALIASES
+// scratch — it is valid only until the next readMsgReuse on the same
+// scratch, so the caller must fully consume or copy it first. Data frames
+// qualify (adm.Decode copies string and binary bytes out of the payload);
+// control payloads that outlive the dispatch must be copied.
+func readMsgReuse(r io.Reader, scratch []byte) (typ byte, payload, next []byte, err error) {
+	var h [headerLen]byte
+	if _, err := io.ReadFull(r, h[:]); err != nil {
+		return 0, nil, scratch, err
+	}
+	typ, payload, err = decodeHeaderAndBodyInto(h, r, scratch)
+	if cap(payload) > cap(scratch) {
+		scratch = payload[:0]
+	}
+	return typ, payload, scratch, err
+}
+
+func decodeHeaderAndBodyInto(h [headerLen]byte, r io.Reader, scratch []byte) (byte, []byte, error) {
 	if h[0] != magic0 || h[1] != magic1 {
 		return 0, nil, fmt.Errorf("anet: bad magic %02x%02x", h[0], h[1])
 	}
@@ -84,7 +104,12 @@ func decodeHeaderAndBody(h [headerLen]byte, r io.Reader) (byte, []byte, error) {
 	if n > maxPayload {
 		return 0, nil, fmt.Errorf("anet: payload length %d exceeds cap", n)
 	}
-	payload := make([]byte, n)
+	var payload []byte
+	if uint32(cap(scratch)) >= n {
+		payload = scratch[:n]
+	} else {
+		payload = make([]byte, n)
+	}
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return 0, nil, fmt.Errorf("anet: short payload: %w", err)
 	}
@@ -162,7 +187,14 @@ func encodeDataPayload(buf []byte, ref edgeRef, ch int, frame []hyracks.Tuple) [
 // decodeDataPayload is the inverse of encodeDataPayload. It validates
 // every length against the remaining input, so truncated or fuzzed
 // payloads fail with an error instead of panicking or over-allocating.
-func decodeDataPayload(p []byte) (ref edgeRef, ch int, frame []hyracks.Tuple, err error) {
+//
+// The frame container comes from pool (nil-safe: a nil pool allocates
+// fresh). On success the POOLED frame transfers to the caller, who must
+// route it to a consumer or Put it back; every error path returns the
+// container to the pool itself, so a failed decode never leaks one.
+// Decoded values never alias p — adm.Decode copies string and binary
+// bytes — so the payload buffer may be reused immediately.
+func decodeDataPayload(p []byte, pool *hyracks.FramePool) (ref edgeRef, ch int, frame []hyracks.Tuple, err error) {
 	if ref, p, err = readEdgeRef(p); err != nil {
 		return ref, 0, nil, err
 	}
@@ -178,20 +210,26 @@ func decodeDataPayload(p []byte) (ref edgeRef, ch int, frame []hyracks.Tuple, er
 	if n > uint64(len(p)) { // each tuple needs ≥ 1 byte
 		return ref, 0, nil, fmt.Errorf("anet: frame claims %d tuples in %d bytes", n, len(p))
 	}
-	frame = make([]hyracks.Tuple, 0, n)
+	frame = pool.Get()
+	if frame == nil {
+		frame = make([]hyracks.Tuple, 0, n)
+	}
 	for i := uint64(0); i < n; i++ {
 		cols, rest, err := readUvarint(p)
 		if err != nil {
+			pool.Put(frame)
 			return ref, 0, nil, err
 		}
 		p = rest
 		if cols > uint64(len(p)) {
+			pool.Put(frame)
 			return ref, 0, nil, fmt.Errorf("anet: tuple claims %d columns in %d bytes", cols, len(p))
 		}
 		t := make(hyracks.Tuple, 0, cols)
 		for j := uint64(0); j < cols; j++ {
 			v, w, err := adm.Decode(p)
 			if err != nil {
+				pool.Put(frame)
 				return ref, 0, nil, fmt.Errorf("anet: tuple value: %w", err)
 			}
 			t = append(t, v)
@@ -200,6 +238,7 @@ func decodeDataPayload(p []byte) (ref edgeRef, ch int, frame []hyracks.Tuple, er
 		frame = append(frame, t)
 	}
 	if len(p) != 0 {
+		pool.Put(frame)
 		return ref, 0, nil, fmt.Errorf("anet: %d trailing bytes after frame", len(p))
 	}
 	return ref, ch, frame, nil
